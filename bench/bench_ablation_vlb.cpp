@@ -1,0 +1,61 @@
+// Ablation: Direct VLB vs classic two-phase VLB (§3.2's 2R-vs-3R "VLB
+// tax"). Sweeps the offered 64 B load on the RB4 mesh and reports loss
+// for both routing modes, exposing the capacity gap between the 2R
+// (direct) and 3R (always-balanced) operating points — and that the gap
+// closes as the traffic matrix turns adversarial (single-pair).
+#include <cstdio>
+
+#include "cluster/des.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/report.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+double LossAt(bool direct_vlb, const rb::TrafficMatrix& tm, double per_port_bps,
+              double duration) {
+  rb::ClusterConfig cfg = rb::ClusterConfig::Rb4();
+  cfg.vlb.direct_vlb = direct_vlb;
+  rb::ClusterSim sim(cfg);
+  rb::FixedSizeDistribution sizes(64);
+  return sim.RunUniform(tm, per_port_bps, &sizes, duration).loss_fraction();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_ablation_vlb");
+  auto* duration = flags.AddDouble("duration", 0.01, "simulated seconds per point");
+  auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  flags.Parse(argc, argv);
+
+  rb::Report report("Ablation: VLB mode", "loss vs offered 64 B load, uniform matrix");
+  report.SetColumns({"per-port Gbps", "Direct VLB loss", "classic VLB loss"});
+  for (double gbps : {2.0, 2.4, 2.8, 3.0, 3.2, 3.6, 4.0}) {
+    auto tm = rb::TrafficMatrix::Uniform(4);
+    report.AddRow({rb::Format("%.1f", gbps),
+                   rb::Format("%.1f%%", 100 * LossAt(true, tm, gbps * 1e9, *duration)),
+                   rb::Format("%.1f%%", 100 * LossAt(false, tm, gbps * 1e9, *duration))});
+  }
+  report.AddNote("Direct VLB rides the uniform matrix to the 2R operating point; classic VLB");
+  report.AddNote("pays the 50% forwarding tax and saturates earlier (§3.2).");
+  report.Print();
+
+  rb::Report adv("Ablation: VLB mode (adversarial)", "single-pair matrix, 64 B");
+  adv.SetColumns({"pair offered Gbps", "Direct VLB loss", "classic VLB loss"});
+  for (double gbps : {4.0, 6.0, 8.0, 10.0}) {
+    auto tm = rb::TrafficMatrix::SinglePair(4, 0, 2);
+    adv.AddRow({rb::Format("%.1f", gbps),
+                rb::Format("%.1f%%", 100 * LossAt(true, tm, gbps * 1e9, *duration)),
+                rb::Format("%.1f%%", 100 * LossAt(false, tm, gbps * 1e9, *duration))});
+  }
+  adv.AddNote("with one hot pair most Direct-VLB traffic is load-balanced anyway, so the two");
+  adv.AddNote("modes converge — the worst-case guarantee costs nothing extra.");
+  adv.Print();
+
+  if (!csv->empty()) {
+    report.WriteCsv(*csv);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Figure 10: per-packet loads on the memory buses, socket-I/O
+// links, PCIe buses, and inter-socket links for the three applications at
+// 64 B, against their nominal and empirical upper bounds evaluated at each
+// application's maximum achieved rate. The conclusion the figure carries:
+// every one of these subsystems runs well below its ceiling — the CPU is
+// the bottleneck (§5.3 items 1 and 3).
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/report.hpp"
+#include "model/throughput.hpp"
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_fig10_bus_load");
+  auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  flags.Parse(argc, argv);
+
+  rb::ServerSpec spec = rb::ServerSpec::Nehalem();
+  rb::Report report("Figure 10", "bus loads (bytes/packet) at each app's max 64 B rate");
+  report.SetColumns({"application", "rate Mpps", "bus", "load B/pkt", "empirical bound B/pkt",
+                     "nominal bound B/pkt", "headroom"});
+
+  for (int a = 0; a < 3; ++a) {
+    rb::ThroughputConfig cfg;
+    cfg.app = static_cast<rb::App>(a);
+    cfg.frame_bytes = 64;
+    rb::ThroughputResult r = rb::SolveThroughput(cfg);
+    rb::ComponentLoads loads = r.per_packet;
+
+    struct BusRow {
+      const char* name;
+      double load;
+      rb::Capacity cap;
+    };
+    const BusRow buses[] = {
+        {"memory", loads.memory_bytes, spec.memory},
+        {"socket-I/O", loads.io_bytes, spec.io},
+        {"PCIe", loads.pcie_bytes, spec.pcie},
+        {"inter-socket", loads.inter_socket_bytes, spec.inter_socket},
+    };
+    for (const BusRow& bus : buses) {
+      double emp_bound = bus.cap.empirical_bps / 8.0 / r.pps;
+      double nom_bound = bus.cap.nominal_bps / 8.0 / r.pps;
+      report.AddRow({rb::AppName(static_cast<rb::App>(a)), rb::Format("%.2f", r.pps / 1e6),
+                     bus.name, rb::Format("%.0f", bus.load), rb::Format("%.0f", emp_bound),
+                     rb::Format("%.0f", nom_bound),
+                     rb::Format("%.1fx", emp_bound / bus.load)});
+    }
+  }
+  report.AddNote("every bus has >1x headroom at the CPU-limited rate: 'these traditional problem");
+  report.AddNote("areas for packet processing are no longer the primary performance limiters'.");
+  report.AddNote("1024 B / 64 B load ratios: memory 6x, socket-I/O 11x, CPU 1.6x (paper §5.3-2).");
+  report.Print();
+  if (!csv->empty()) {
+    report.WriteCsv(*csv);
+  }
+  return 0;
+}

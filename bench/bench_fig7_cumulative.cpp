@@ -1,0 +1,62 @@
+// Reproduces Figure 7: the cumulative impact of the new server
+// architecture, multi-queue NICs, and batching on the 64 B minimal
+// forwarding rate (any-to-any traffic, all 8 cores).
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/report.hpp"
+#include "model/throughput.hpp"
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_fig7_cumulative");
+  auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  flags.Parse(argc, argv);
+
+  struct Bar {
+    const char* label;
+    bool xeon;
+    bool multi_queue;
+    bool batching;
+    double paper_mpps;  // from the figure / the 6.7x and 11x statements
+  };
+  const Bar bars[] = {
+      {"Xeon, single queue, no batching", true, false, false, 1.72},
+      {"Nehalem, single queue, no batching", false, false, false, 2.83},
+      {"Nehalem, single queue, with batching", false, false, true, 9.5},
+      {"Nehalem, multiple queues, with batching", false, true, true, 18.96},
+  };
+
+  rb::Report report("Figure 7", "aggregate impact on forwarding rate (64 B, Mpps)");
+  report.SetColumns({"configuration", "paper Mpps", "model Mpps", "ratio", "bottleneck"});
+  double full = 0;
+  double plain = 0;
+  double xeon = 0;
+  for (const Bar& bar : bars) {
+    rb::ThroughputConfig cfg;
+    if (bar.xeon) {
+      cfg.spec = rb::ServerSpec::SharedBusXeon();
+    }
+    cfg.multi_queue = bar.multi_queue;
+    cfg.batching = bar.batching ? rb::BatchingConfig{32, 16} : rb::BatchingConfig{1, 1};
+    rb::ThroughputResult r = rb::SolveThroughput(cfg);
+    double mpps = r.pps / 1e6;
+    if (bar.multi_queue) {
+      full = mpps;
+    } else if (!bar.xeon && !bar.batching) {
+      plain = mpps;
+    } else if (bar.xeon) {
+      xeon = mpps;
+    }
+    report.AddRow({bar.label, rb::Format("%.2f", bar.paper_mpps), rb::Format("%.2f", mpps),
+                   rb::RatioCell(mpps, bar.paper_mpps), r.bottleneck});
+  }
+  report.AddNote(rb::Format("cumulative gains: %.1fx over unmodified Nehalem (paper: 6.7x), "
+                            "%.1fx over shared-bus Xeon (paper: 11x)",
+                            full / plain, full / xeon));
+  report.Print();
+  if (!csv->empty()) {
+    report.WriteCsv(*csv);
+  }
+  return 0;
+}

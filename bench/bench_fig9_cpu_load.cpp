@@ -1,0 +1,54 @@
+// Reproduces Figure 9: per-packet CPU load (cycles/packet) as a function
+// of the input rate for the three applications, against the nominal
+// "cycles available" bound 8 x 2.8 GHz / r. The load lines are flat — the
+// §5.3 observation that lets the authors extrapolate — and each
+// application's line intersects the bound exactly at its measured maximum
+// rate, identifying the CPU as the bottleneck.
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/report.hpp"
+#include "model/throughput.hpp"
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_fig9_cpu_load");
+  auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  flags.Parse(argc, argv);
+
+  rb::Report report("Figure 9", "CPU load (cycles/packet) vs input rate, 64 B");
+  report.SetColumns({"rate (Mpps)", "available cyc/pkt", "fwd", "rtr", "ipsec", "saturated"});
+
+  double loads[3];
+  for (int a = 0; a < 3; ++a) {
+    rb::ThroughputConfig cfg;
+    cfg.app = static_cast<rb::App>(a);
+    cfg.frame_bytes = 64;
+    loads[a] = rb::LoadsFor(cfg).cpu_cycles;
+  }
+  const double total_cycles = 8 * 2.8e9;
+  for (double mpps : {1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 19.0, 20.0}) {
+    double available = total_cycles / (mpps * 1e6);
+    std::string saturated;
+    for (int a = 0; a < 3; ++a) {
+      if (loads[a] > available) {
+        saturated += std::string(saturated.empty() ? "" : ",") +
+                     rb::AppName(static_cast<rb::App>(a));
+      }
+    }
+    report.AddRow({rb::Format("%.0f", mpps), rb::Format("%.0f", available),
+                   rb::Format("%.0f", loads[0]), rb::Format("%.0f", loads[1]),
+                   rb::Format("%.0f", loads[2]), saturated.empty() ? "-" : saturated});
+  }
+  report.AddNote("loads are constant in the input rate (paper: 'per-packet load on the system is");
+  report.AddNote("constant with increasing input packet rate'); crossings with the available-cycles");
+  report.AddNote(rb::Format("curve give max rates: fwd %.1f, rtr %.1f, ipsec %.1f Mpps "
+                            "(paper: 18.96, 12.4, 2.7)",
+                            total_cycles / loads[0] / 1e6, total_cycles / loads[1] / 1e6,
+                            total_cycles / loads[2] / 1e6));
+  report.Print();
+  if (!csv->empty()) {
+    report.WriteCsv(*csv);
+  }
+  return 0;
+}

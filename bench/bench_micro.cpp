@@ -1,0 +1,162 @@
+// google-benchmark microbenchmarks for the data-plane primitives: LPM
+// lookup (DIR-24-8 vs the reference trie), AES-128/CBC, the Internet
+// checksum, flow hashing, SPSC vs locked rings, and ESP encapsulation.
+//
+// These measure this host's wall clock and make no claim of matching the
+// paper's testbed; they document the relative costs (e.g. D-lookup vs
+// trie, AES per byte) that the calibrated model encodes.
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes128.hpp"
+#include "crypto/cbc.hpp"
+#include "crypto/esp.hpp"
+#include "lookup/dir24_8.hpp"
+#include "lookup/radix_trie.hpp"
+#include "lookup/table_gen.hpp"
+#include "netdev/ring.hpp"
+#include "packet/checksum.hpp"
+#include "packet/flow.hpp"
+#include "packet/pool.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+std::vector<rb::RouteEntry> SharedTable() {
+  static std::vector<rb::RouteEntry> table = [] {
+    rb::TableGenConfig cfg;
+    cfg.num_routes = 256 * 1024;  // the paper's table size
+    return rb::GenerateRoutingTable(cfg);
+  }();
+  return table;
+}
+
+void BM_LookupDir24_8(benchmark::State& state) {
+  static rb::Dir24_8* dut = [] {
+    auto* t = new rb::Dir24_8();
+    t->InsertAll(SharedTable());
+    return t;
+  }();
+  rb::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dut->Lookup(static_cast<uint32_t>(rng.Next())));
+  }
+}
+BENCHMARK(BM_LookupDir24_8);
+
+void BM_LookupRadixTrie(benchmark::State& state) {
+  static rb::RadixTrie* dut = [] {
+    auto* t = new rb::RadixTrie();
+    t->InsertAll(SharedTable());
+    return t;
+  }();
+  rb::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dut->Lookup(static_cast<uint32_t>(rng.Next())));
+  }
+}
+BENCHMARK(BM_LookupRadixTrie);
+
+void BM_Aes128Block(benchmark::State& state) {
+  uint8_t key[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  rb::Aes128 aes(key);
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes.EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block[0]);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 16);
+}
+BENCHMARK(BM_Aes128Block);
+
+void BM_AesCbc(benchmark::State& state) {
+  uint8_t key[16] = {0};
+  uint8_t iv[16] = {0};
+  rb::AesCbc cbc(key);
+  std::vector<uint8_t> buf(static_cast<size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    cbc.Encrypt(buf.data(), buf.size(), iv);
+    benchmark::DoNotOptimize(buf[0]);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_AesCbc)->Arg(64)->Arg(576)->Arg(1504);
+
+void BM_Checksum(benchmark::State& state) {
+  std::vector<uint8_t> buf(static_cast<size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rb::Checksum(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(buf.size()));
+}
+BENCHMARK(BM_Checksum)->Arg(20)->Arg(64)->Arg(1500);
+
+void BM_FlowHash(benchmark::State& state) {
+  rb::FlowKey key{0x0a000001, 0x0b000002, 1234, 80, 6};
+  for (auto _ : state) {
+    key.src_port++;
+    benchmark::DoNotOptimize(rb::FlowHash64(key));
+  }
+}
+BENCHMARK(BM_FlowHash);
+
+void BM_SpscRing(benchmark::State& state) {
+  rb::SpscRing<uint64_t> ring(1024);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    ring.TryPush(v++);
+    uint64_t out = 0;
+    ring.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SpscRing);
+
+void BM_LockedRing(benchmark::State& state) {
+  rb::LockedRing<uint64_t> ring(1024);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    ring.TryPush(v++);
+    uint64_t out = 0;
+    ring.TryPop(&out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LockedRing);
+
+void BM_EspEncapsulate(benchmark::State& state) {
+  rb::EspConfig cfg;
+  rb::EspTunnel enc(cfg);
+  rb::EspTunnel dec(cfg);
+  rb::PacketPool pool(4);
+  rb::FrameSpec spec;
+  spec.size = static_cast<uint32_t>(state.range(0));
+  spec.flow = {1, 2, 3, 4, 17};
+  rb::Packet* p = rb::AllocFrame(spec, &pool);
+  for (auto _ : state) {
+    enc.Encapsulate(p);
+    dec.Decapsulate(p);
+  }
+  pool.Free(p);
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EspEncapsulate)->Arg(64)->Arg(576)->Arg(1500);
+
+void BM_MaterializeFrame(benchmark::State& state) {
+  rb::PacketPool pool(4);
+  rb::FrameSpec spec;
+  spec.size = 64;
+  spec.flow = {1, 2, 3, 4, 17};
+  rb::Packet* p = pool.Alloc();
+  for (auto _ : state) {
+    rb::MaterializeFrame(spec, p);
+    benchmark::DoNotOptimize(p->data()[0]);
+  }
+  pool.Free(p);
+}
+BENCHMARK(BM_MaterializeFrame);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Reproduces the §4.2 NUMA-placement experiment: "careful data placement
+// is not [essential]". The paper disables one socket at a time: with the
+// 4 cores of socket 0, packets AND descriptors are local; with the 4
+// cores of socket 1, descriptors live in remote memory (Linux pins them
+// to socket 0) and ~23% of memory accesses cross the inter-socket link —
+// yet both placements forward at the same 6.3 Gbps, because neither the
+// memory buses nor the inter-socket link is anywhere near its ceiling.
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/report.hpp"
+#include "model/throughput.hpp"
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_numa_placement");
+  auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  flags.Parse(argc, argv);
+
+  rb::Report report("§4.2 NUMA placement",
+                    "4-core forwarding with local vs remote descriptor placement, 64 B");
+  report.SetColumns({"placement", "remote-memory share", "rate Gbps", "bottleneck",
+                     "inter-socket headroom"});
+
+  for (bool remote : {false, true}) {
+    rb::ThroughputConfig cfg;
+    cfg.app = rb::App::kMinimalForwarding;
+    cfg.frame_bytes = 64;
+    cfg.cores_used = 4;  // one socket's cores
+    rb::ThroughputResult r = rb::SolveThroughput(cfg);
+    // Remote placement moves descriptor/bookkeeping accesses (~23% of
+    // memory traffic, the paper's measured share) onto the QPI link; the
+    // load stays far under the 144.34 Gbps empirical bound, so the rate
+    // does not move.
+    double qpi_load_bps =
+        (remote ? 0.23 * r.per_packet.memory_bytes : r.per_packet.inter_socket_bytes) * 8 * r.pps;
+    double headroom = rb::ServerSpec::Nehalem().inter_socket.empirical_bps / qpi_load_bps;
+    report.AddRow({remote ? "socket 1 (descriptors remote)" : "socket 0 (all local)",
+                   remote ? "23%" : "~0%", rb::Format("%.2f", r.bps / 1e9), r.bottleneck,
+                   rb::Format("%.0fx", headroom)});
+  }
+  report.AddNote("paper: both placements measure 6.3 Gbps — 'custom data placement is not");
+  report.AddNote("critical' for this workload. The model agrees: the CPU bound is identical and");
+  report.AddNote("the inter-socket link has orders of magnitude of headroom either way.");
+  report.AddNote("(our 4-core CPU bound is half the 8-core 9.7 Gbps; the paper's 6.3 Gbps point");
+  report.AddNote("shows mild superlinearity in core count that the linear model does not carry.)");
+  report.Print();
+  if (!csv->empty()) {
+    report.WriteCsv(*csv);
+  }
+  return 0;
+}

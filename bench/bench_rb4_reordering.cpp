@@ -1,0 +1,61 @@
+// Reproduces §6.2 "Reordering": the Abilene trace forced through a single
+// input/output pair at a rate exceeding any single path, measured as the
+// fraction of same-flow packet sequences delivered out of order — with
+// the flowlet-based avoidance scheme (paper: 0.15%) and with plain
+// per-packet Direct VLB (paper: 5.5%).
+#include <cstdio>
+
+#include "cluster/des.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/report.hpp"
+#include "workload/abilene.hpp"
+
+namespace {
+
+rb::ClusterRunStats Run(bool flowlets, double offered_bps, double duration, uint64_t seed) {
+  rb::ClusterConfig cfg = rb::ClusterConfig::Rb4();
+  cfg.vlb.flowlets = flowlets;
+  cfg.seed = seed;
+  rb::ClusterSim sim(cfg);
+  auto gen_cfg =
+      rb::FlowTrafficGenerator::ConfigForRate(offered_bps, 729.6, 40, 20000, seed * 31 + 7);
+  rb::FlowTrafficGenerator gen(gen_cfg, std::make_unique<rb::AbileneSizeDistribution>());
+  return sim.RunSinglePairTrace(&gen, 0, 2, duration);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_rb4_reordering");
+  auto* offered = flags.AddDouble("offered_gbps", 9.0, "offered load on the single pair");
+  auto* duration = flags.AddDouble("duration", 0.05, "simulated seconds");
+  auto* seed = flags.AddInt64("seed", 7, "RNG seed");
+  auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  flags.Parse(argc, argv);
+
+  rb::Report report("§6.2 RB4 reordering",
+                    "single overloaded pair, Abilene-like flow-structured trace");
+  report.SetColumns({"scheme", "paper", "model reordered sequences", "model reordered packets",
+                     "direct fraction"});
+
+  for (bool flowlets : {true, false}) {
+    rb::ClusterRunStats stats =
+        Run(flowlets, *offered * 1e9, *duration, static_cast<uint64_t>(*seed));
+    double direct_frac = static_cast<double>(stats.direct_packets) /
+                         std::max<uint64_t>(1, stats.direct_packets + stats.balanced_packets);
+    report.AddRow({flowlets ? "flowlet reordering-avoidance (delta = 100 ms)"
+                            : "plain Direct VLB (per-packet balancing)",
+                   flowlets ? "0.15%" : "5.5%",
+                   rb::Format("%.3f%%", 100 * stats.reorder_sequence_fraction),
+                   rb::Format("%.3f%%", 100 * stats.reorder_packet_fraction),
+                   rb::Format("%.2f", direct_frac)});
+  }
+  report.AddNote("shape target: well under 1% with flowlets, several % without — an order-of-");
+  report.AddNote("magnitude gap, as the prototype measured.");
+  report.Print();
+  if (!csv->empty()) {
+    report.WriteCsv(*csv);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Table 2: nominal and empirical upper bounds on the capacity
+// of each system component of the evaluation server.
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/report.hpp"
+#include "model/server_spec.hpp"
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_table2_bounds");
+  auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  flags.Parse(argc, argv);
+
+  rb::ServerSpec s = rb::ServerSpec::Nehalem();
+  rb::Report report("Table 2", "component capacity bounds (Nehalem evaluation server)");
+  report.SetColumns({"component", "nominal", "empirical benchmark", "paper nominal",
+                     "paper empirical"});
+  report.AddRow({"CPUs", rb::Format("%d x %.1f GHz", s.total_cores(), s.clock_hz / 1e9), "n/a",
+                 "8 x 2.8 GHz", "none"});
+  report.AddRow({"memory", rb::Format("%.0f Gbps", s.memory.nominal_bps / 1e9),
+                 rb::Format("%.0f Gbps (random-access stream)", s.memory.empirical_bps / 1e9),
+                 "410 Gbps", "262 Gbps"});
+  report.AddRow({"inter-socket link", rb::Format("%.0f Gbps", s.inter_socket.nominal_bps / 1e9),
+                 rb::Format("%.2f Gbps (stream)", s.inter_socket.empirical_bps / 1e9), "200 Gbps",
+                 "144.34 Gbps"});
+  report.AddRow({"I/O-socket links", rb::Format("2 x %.0f Gbps", s.io.nominal_bps / 2e9),
+                 rb::Format("%.0f Gbps (fwd, 1024 B)", s.io.empirical_bps / 1e9), "2 x 200 Gbps",
+                 "117 Gbps"});
+  report.AddRow({"PCIe buses (v1.1)", rb::Format("%.0f Gbps", s.pcie.nominal_bps / 1e9),
+                 rb::Format("%.1f Gbps (fwd, 1024 B)", s.pcie.empirical_bps / 1e9), "64 Gbps",
+                 "50.8 Gbps"});
+  report.AddNote(rb::Format("derived NIC-slot input ceiling: %d NICs x %.1f Gbps = %.1f Gbps "
+                            "(the 24.6 Gbps cap of §4.1)",
+                            s.nic_slots, s.per_nic_input_bps / 1e9, s.max_input_bps() / 1e9));
+  report.Print();
+  if (!csv->empty()) {
+    report.WriteCsv(*csv);
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Programmability demo (§8): configure a router with the Click language
+// instead of C++ — "RouteBricks is not just programmable in the literal
+// sense, it also offers ease of programmability."
+//
+// The config below builds a small firewall-ish edge router: validate the
+// IP header, split TCP/UDP/other, count each class, drop non-TCP/UDP,
+// route the rest by longest-prefix match across two uplinks.
+//
+//   $ ./click_config [--packets=N]
+#include <cstdio>
+
+#include "click/config_parser.hpp"
+#include "click/elements/misc.hpp"
+#include "common/flags.hpp"
+#include "lookup/dir24_8.hpp"
+#include "lookup/table_gen.hpp"
+#include "packet/pool.hpp"
+#include "workload/abilene.hpp"
+
+namespace {
+
+constexpr const char* kConfig = R"click(
+  // --- edge router: LAN on device 0, two uplinks on devices 1 and 2 ---
+  src :: FromDevice(0, 0, 32);
+
+  check :: CheckIPHeader;
+  cls   :: IpProtoClassifier(6, 17);     // TCP, UDP, everything else
+  tcp   :: Counter;
+  udp   :: Counter;
+  other :: Counter;
+  rt    :: IPLookup(2);
+
+  src -> check -> cls;
+  check [1] -> Discard;                  // malformed frames
+
+  cls [0] -> tcp -> DecIPTTL -> rt;
+  cls [1] -> udp -> SetFlowHash -> rt;   /* re-hash after any rewrite */
+  cls [2] -> other -> Discard;           // default-deny for exotic protocols
+
+  rt [0] -> Queue(512) -> ToDevice(1, 0);
+  rt [1] -> Queue(512) -> ToDevice(2, 0);
+)click";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("click_config");
+  auto* packets = flags.AddInt64("packets", 4000, "packets to run through the config");
+  flags.Parse(argc, argv);
+
+  // Devices and routing table the config refers to.
+  rb::NicConfig nc;
+  nc.num_rx_queues = 1;
+  nc.kn = 1;
+  rb::NicPort lan(nc);
+  rb::NicPort uplink_a(nc);
+  rb::NicPort uplink_b(nc);
+
+  rb::Dir24_8 table;
+  rb::TableGenConfig tg;
+  tg.num_routes = 32768;
+  tg.num_next_hops = 2;
+  table.InsertAll(rb::GenerateRoutingTable(tg));
+
+  rb::ConfigContext context;
+  context.ports = {&lan, &uplink_a, &uplink_b};
+  context.table = &table;
+
+  rb::Router graph;
+  rb::ConfigParseResult parsed = rb::ParseClickConfig(kConfig, &graph, context);
+  if (!parsed.ok) {
+    fprintf(stderr, "config error: %s\n", parsed.error.c_str());
+    return 1;
+  }
+  printf("parsed Click config: %d statements, %zu named elements, %d connections\n",
+         parsed.statements, parsed.elements.size(), parsed.connections);
+  graph.Initialize();
+
+  rb::PacketPool pool(8192);
+  rb::AbileneGenerator gen(rb::AbileneConfig{1024, 99});
+  int injected = 0;
+  rb::Packet* burst[64];
+  uint64_t uplink_counts[2] = {0, 0};
+  auto drain = [&] {
+    rb::NicPort* ups[2] = {&uplink_a, &uplink_b};
+    for (int u = 0; u < 2; ++u) {
+      size_t n;
+      while ((n = ups[u]->DrainTx(burst, std::size(burst))) > 0) {
+        for (size_t i = 0; i < n; ++i) {
+          pool.Free(burst[i]);
+        }
+        uplink_counts[u] += n;
+      }
+    }
+  };
+  int attempts = 0;
+  while (injected < *packets && attempts < 100 * *packets) {
+    attempts++;
+    rb::FrameSpec spec = gen.Next();
+    if (table.Lookup(spec.flow.dst_ip) == rb::LpmTable::kNoRoute) {
+      continue;
+    }
+    rb::Packet* p = rb::AllocFrame(spec, &pool);
+    if (p == nullptr) {
+      break;
+    }
+    lan.Deliver(p, 0.0);
+    injected++;
+    if (injected % 512 == 0) {
+      graph.RunUntilIdle();
+      drain();
+    }
+  }
+  graph.RunUntilIdle();
+  drain();
+
+  auto count = [&](const char* name) {
+    return dynamic_cast<rb::CounterElement*>(parsed.elements.at(name))->counters().packets;
+  };
+  printf("injected %d routable packets from the LAN:\n", injected);
+  printf("  TCP: %llu   UDP: %llu   other (dropped): %llu\n",
+         static_cast<unsigned long long>(count("tcp")),
+         static_cast<unsigned long long>(count("udp")),
+         static_cast<unsigned long long>(count("other")));
+  printf("  uplink A forwarded %llu, uplink B forwarded %llu\n",
+         static_cast<unsigned long long>(uplink_counts[0]),
+         static_cast<unsigned long long>(uplink_counts[1]));
+  printf("changing this router's behaviour is a config edit, not a rebuild — the paper's\n");
+  printf("programmability argument (§8).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Cluster planner: answer "how many servers do I need for an N-port,
+// R Gbps/port RouteBricks router?" using the §3.3 sizing rules, and show
+// the projected per-server requirements and end-to-end latency.
+//
+//   $ ./cluster_planner --ports=128 --rate_gbps=10 --slots=20
+#include <cstdio>
+
+#include "cluster/latency.hpp"
+#include "cluster/sizing.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "model/throughput.hpp"
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("cluster_planner");
+  auto* ports = flags.AddInt64("ports", 32, "external router ports (N)");
+  auto* rate = flags.AddDouble("rate_gbps", 10.0, "line rate per port (R)");
+  auto* slots = flags.AddInt64("slots", 5, "PCIe NIC slots per server");
+  auto* ext_per_server = flags.AddInt64("ext_ports_per_server", 1, "router ports per server (s)");
+  flags.Parse(argc, argv);
+
+  rb::ServerPlatform platform;
+  platform.name = "custom";
+  platform.nic_slots = static_cast<int>(*slots);
+  platform.ext_ports_per_server = static_cast<int>(*ext_per_server);
+
+  rb::SizingResult r =
+      rb::SizeCluster(platform, static_cast<uint32_t>(*ports), *rate * 1e9);
+
+  printf("RouteBricks cluster plan: N=%lld ports at R=%.0f Gbps, servers with %lld NIC slots, "
+         "%lld port(s)/server\n",
+         static_cast<long long>(*ports), *rate, static_cast<long long>(*slots),
+         static_cast<long long>(*ext_per_server));
+  if (!r.feasible) {
+    printf("  INFEASIBLE with this platform (fanout too small) — add NIC slots.\n");
+    return 1;
+  }
+  printf("  topology: %s\n",
+         r.mesh ? rb::Format("full mesh over %s internal links", r.internal_link.c_str()).c_str()
+                : "k-ary n-fly (port count exceeds server fanout)");
+  printf("  servers: %llu port servers + %llu switch servers = %llu total\n",
+         static_cast<unsigned long long>(r.port_servers),
+         static_cast<unsigned long long>(r.switch_servers),
+         static_cast<unsigned long long>(r.total_servers()));
+
+  double s = static_cast<double>(*ext_per_server);
+  printf("  per-server processing requirement (Direct VLB): %.0f-%.0f Gbps (2sR-3sR, s=%.0f)\n",
+         2 * s * *rate, 3 * s * *rate, s);
+
+  // Can the paper's evaluation server meet it, and on what workload?
+  for (double bytes : {64.0, 729.6}) {
+    rb::ThroughputConfig cfg;
+    cfg.app = rb::App::kIpRouting;
+    cfg.frame_bytes = bytes;
+    cfg.nic_input_cap = false;  // cluster nodes use many internal ports
+    rb::ThroughputResult res = rb::SolveThroughput(cfg);
+    const char* verdict = res.bps >= 2 * s * *rate * 1e9 ? "meets 2sR" : "below 2sR";
+    printf("  Nehalem IP-routing capacity at %s: %s (%s)\n", bytes < 100 ? "64 B" : "Abilene mix",
+           rb::HumanBitRate(res.bps).c_str(), verdict);
+  }
+
+  rb::LatencyEstimate lat = rb::EstimateLatency();
+  double hops = r.mesh ? 3.0 : 2.0 + 1.0;  // up to 1 intermediate in a mesh
+  printf("  worst-case VLB path latency (mesh): ~%.0f us (%.0f us per server x %.0f servers)\n",
+         lat.per_server_us * hops, lat.per_server_us, hops);
+  printf("  equivalent switched-cluster cost: %.0f server-equivalents (48-port non-blocking "
+         "switches at the paper's 4-ports-per-server conversion)\n",
+         rb::SwitchedClusterServerEquivalents(static_cast<uint32_t>(*ports)));
+  return 0;
+}

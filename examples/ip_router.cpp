@@ -1,0 +1,91 @@
+// A fuller IP-router scenario: a 256 K-entry table (the paper's size),
+// an Abilene-like traffic mix, multi-queue RSS spreading flows across
+// polling cores, and a throughput-model readout of what this
+// configuration would sustain on the paper's hardware.
+//
+//   $ ./ip_router [--packets=N] [--ports=P]
+#include <cstdio>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "core/single_server_router.hpp"
+#include "model/throughput.hpp"
+#include "workload/abilene.hpp"
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("ip_router");
+  auto* packets = flags.AddInt64("packets", 20000, "packets to route");
+  auto* ports = flags.AddInt64("ports", 4, "router ports");
+  auto* routes = flags.AddInt64("routes", 256 * 1024, "routing-table entries");
+  flags.Parse(argc, argv);
+
+  rb::SingleServerConfig config;
+  config.num_ports = static_cast<int>(*ports);
+  config.queues_per_port = 8;
+  config.cores = 8;
+  config.app = rb::App::kIpRouting;
+  config.pool_packets = 1 << 16;
+  config.table.num_routes = static_cast<size_t>(*routes);
+
+  printf("building IP router: %d ports, %d queues/port, %lld-entry DIR-24-8 table...\n",
+         config.num_ports, config.queues_per_port, static_cast<long long>(*routes));
+  rb::SingleServerRouter router(config);
+  router.Initialize();
+  printf("  table memory: %.1f MiB (tbl24 + %zu tbl_long segments)\n",
+         router.table().memory_bytes() / 1048576.0, router.table().num_long_segments());
+
+  rb::AbileneGenerator gen(rb::AbileneConfig{4096, 3});
+  int injected = 0;
+  uint64_t injected_bytes = 0;
+  uint64_t forwarded = 0;
+  rb::Packet* burst[64];
+  auto drain = [&] {
+    for (int port = 0; port < config.num_ports; ++port) {
+      size_t n;
+      while ((n = router.DrainPort(port, burst, std::size(burst))) > 0) {
+        for (size_t i = 0; i < n; ++i) {
+          router.pool().Free(burst[i]);
+        }
+        forwarded += n;
+      }
+    }
+  };
+  int attempts = 0;
+  while (injected < *packets && attempts < 50 * *packets) {
+    attempts++;
+    rb::FrameSpec spec = gen.Next();
+    if (router.table().Lookup(spec.flow.dst_ip) == rb::LpmTable::kNoRoute) {
+      continue;
+    }
+    rb::Packet* p = rb::AllocFrame(spec, &router.pool());
+    if (p == nullptr) {
+      router.RunUntilIdle();  // recycle buffers
+      drain();
+      continue;
+    }
+    router.DeliverFrame(injected % config.num_ports, p, 0.0);
+    injected_bytes += spec.size;
+    injected++;
+    if (injected % 2048 == 0) {
+      router.RunUntilIdle();
+      drain();
+    }
+  }
+  router.RunUntilIdle();
+  drain();
+  printf("routed %llu / %d packets (%.1f MB, mean %.0f B)\n",
+         static_cast<unsigned long long>(forwarded), injected, injected_bytes / 1e6,
+         injected ? static_cast<double>(injected_bytes) / injected : 0.0);
+
+  // What would this sustain on the paper's server?
+  for (double bytes : {64.0, 729.6}) {
+    rb::ThroughputConfig model;
+    model.app = rb::App::kIpRouting;
+    model.frame_bytes = bytes;
+    rb::ThroughputResult r = rb::SolveThroughput(model);
+    printf("  model (Nehalem, %s): %s, bottleneck: %s\n",
+           bytes < 100 ? "64 B" : "Abilene mix", rb::HumanBitRate(r.bps).c_str(),
+           r.bottleneck.c_str());
+  }
+  return 0;
+}

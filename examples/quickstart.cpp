@@ -1,0 +1,82 @@
+// Quickstart: build a 4-port RouteBricks server in ~30 lines, push a few
+// thousand packets through it, and read the counters.
+//
+//   $ ./quickstart
+//
+// The server follows the paper's §4.2 rules automatically: one polling
+// core per NIC queue, one core per packet, per-core transmit queues.
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "core/single_server_router.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  // 1. Configure a server: 4 ports, 4 rx/tx queues each, IP routing with
+  //    a generated 64 K-entry table.
+  rb::SingleServerConfig config;
+  config.num_ports = 4;
+  config.queues_per_port = 4;
+  config.cores = 4;
+  config.app = rb::App::kIpRouting;
+  config.table.num_routes = 64 * 1024;
+
+  rb::SingleServerRouter router(config);
+  router.Initialize();
+
+  // 2. Generate traffic: random flows, random destinations (only inject
+  //    destinations the table can route, as a real upstream would).
+  rb::SyntheticConfig traffic;
+  traffic.packet_size = 64;
+  traffic.random_dst = true;
+  rb::SyntheticGenerator gen(traffic);
+
+  // 3. Inject in bursts, running the element graph between bursts (the
+  //    deterministic single-thread mode; see ThreadScheduler for the
+  //    multi-core mode) and harvesting transmitted packets as a wire
+  //    would, so no descriptor ring overflows.
+  int injected = 0;
+  uint64_t tx_count[8] = {0};
+  rb::Packet* burst[64];
+  auto drain = [&] {
+    for (int port = 0; port < config.num_ports; ++port) {
+      size_t n;
+      while ((n = router.DrainPort(port, burst, std::size(burst))) > 0) {
+        for (size_t i = 0; i < n; ++i) {
+          router.pool().Free(burst[i]);
+        }
+        tx_count[port] += n;
+      }
+    }
+  };
+  for (int i = 0; injected < 10000 && i < 200000; ++i) {
+    rb::FrameSpec spec = gen.Next();
+    if (router.table().Lookup(spec.flow.dst_ip) == rb::LpmTable::kNoRoute) {
+      continue;
+    }
+    rb::Packet* p = rb::AllocFrame(spec, &router.pool());
+    if (p == nullptr) {
+      break;
+    }
+    router.DeliverFrame(injected % config.num_ports, p, 0.0);
+    injected++;
+    if (injected % 1024 == 0) {
+      router.RunUntilIdle();
+      drain();
+    }
+  }
+  router.RunUntilIdle();
+  drain();
+
+  // 4. Print per-port counts.
+  printf("quickstart: injected %d routable packets into a %d-port IP router\n", injected,
+         config.num_ports);
+  for (int port = 0; port < config.num_ports; ++port) {
+    printf("  port %d transmitted %llu packets\n", port,
+           static_cast<unsigned long long>(tx_count[port]));
+  }
+  printf("  total rx=%llu tx=%llu (headers checked, TTL decremented, LPM-routed)\n",
+         static_cast<unsigned long long>(router.total_rx_packets()),
+         static_cast<unsigned long long>(router.total_tx_packets()));
+  return 0;
+}

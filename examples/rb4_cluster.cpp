@@ -1,0 +1,104 @@
+// The RB4 prototype, two ways:
+//
+//  1. Functional: a real 4-node Click-graph cluster moving real packets —
+//     Direct VLB with flowlets, the output node encoded in the MAC
+//     address, MAC-steered rx queues, headers processed once at the input
+//     node (§6.1). The example injects traffic, verifies delivery at the
+//     right external ports, and prints the header-processing invariant.
+//
+//  2. Calibrated: the event-driven performance simulation of the same
+//     cluster under uniform 64 B load, showing the §6.2 operating point.
+//
+//   $ ./rb4_cluster [--packets=N]
+#include <cstdio>
+
+#include "cluster/des.hpp"
+#include "cluster/reorder.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "core/cluster_router.hpp"
+#include "workload/synthetic.hpp"
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("rb4_cluster");
+  auto* packets = flags.AddInt64("packets", 8000, "packets for the functional cluster");
+  flags.Parse(argc, argv);
+
+  printf("=== RB4, functional (real packets through 4 Click graphs) ===\n");
+  rb::FunctionalClusterConfig config;
+  config.num_nodes = 4;
+  rb::FunctionalCluster cluster(config);
+
+  rb::Rng rng(123);
+  std::vector<uint64_t> flow_seq(1024, 0);
+  int injected = 0;
+  for (int i = 0; i < *packets; ++i) {
+    uint64_t flow = rng.NextBounded(1024);
+    // A flow lives between one (source, destination) port pair.
+    uint16_t src = static_cast<uint16_t>((flow / 4) % 4);
+    uint16_t dst = static_cast<uint16_t>(flow % 4);
+    rb::FrameSpec spec;
+    spec.size = 64 + static_cast<uint32_t>(rng.NextBounded(1400));
+    spec.flow.src_ip = 0xac100001 + static_cast<uint32_t>(flow);
+    spec.flow.dst_ip = cluster.AddressForNode(dst);
+    spec.flow.src_port = static_cast<uint16_t>(1024 + flow);
+    spec.flow.dst_port = 80;
+    spec.flow.protocol = 6;
+    spec.flow_id = flow;
+    spec.flow_seq = flow_seq[flow]++;
+    rb::Packet* p = rb::AllocFrame(spec, &cluster.pool());
+    if (p == nullptr) {
+      break;
+    }
+    cluster.InjectExternal(src, p, i * 1e-6);
+    injected++;
+  }
+  cluster.RunUntilIdle();
+
+  uint64_t delivered = 0;
+  uint64_t misrouted = 0;
+  rb::ReorderDetector reorder;
+  rb::Packet* burst[64];
+  for (uint16_t node = 0; node < 4; ++node) {
+    size_t n;
+    uint64_t here = 0;
+    while ((n = cluster.DrainExternal(node, burst, std::size(burst))) > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        if (rb::NodeFromMac(rb::EthernetView{burst[i]->data()}.dst()) != node) {
+          misrouted++;
+        }
+        reorder.Deliver(burst[i]->flow_id(), burst[i]->flow_seq());
+        cluster.pool().Free(burst[i]);
+        here++;
+      }
+    }
+    delivered += here;
+    printf("  node %u external port delivered %llu packets\n", node,
+           static_cast<unsigned long long>(here));
+  }
+  uint64_t headers = 0;
+  for (uint16_t node = 0; node < 4; ++node) {
+    headers += cluster.vlb_route(node).headers_processed();
+  }
+  printf("  delivered %llu / %d, misrouted %llu, header-processings per packet: %.3f\n",
+         static_cast<unsigned long long>(delivered), injected,
+         static_cast<unsigned long long>(misrouted),
+         static_cast<double>(headers) / static_cast<double>(injected));
+  printf("  (exactly 1.0 = the §6.1 MAC-encoding trick works: transit nodes never parse IP)\n");
+  printf("  internal wire crossings: %llu; reordered packets: %llu\n",
+         static_cast<unsigned long long>(cluster.wire_packets()),
+         static_cast<unsigned long long>(reorder.reordered_packets()));
+
+  printf("\n=== RB4, calibrated performance (event-driven simulation) ===\n");
+  rb::ClusterSim sim(rb::ClusterConfig::Rb4());
+  rb::FixedSizeDistribution sizes(64);
+  auto tm = rb::TrafficMatrix::Uniform(4);
+  rb::ClusterRunStats stats = sim.RunUniform(tm, 3e9, &sizes, 0.01);
+  printf("  64 B uniform load at 3 Gbps/port (12 Gbps aggregate — the paper's measured point):\n");
+  printf("  delivered %s aggregate, loss %.3f%%, median latency %.1f us, direct fraction %.2f\n",
+         rb::HumanBitRate(stats.delivered_bps()).c_str(), 100 * stats.loss_fraction(),
+         stats.latency.Percentile(50) * 1e6,
+         static_cast<double>(stats.direct_packets) /
+             std::max<uint64_t>(1, stats.direct_packets + stats.balanced_packets));
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "click/element.hpp"
+
+#include "common/log.hpp"
+
+namespace rb {
+
+Element::Element(int n_inputs, int n_outputs)
+    : inputs_(static_cast<size_t>(n_inputs)), outputs_(static_cast<size_t>(n_outputs)) {
+  RB_CHECK(n_inputs >= 0 && n_outputs >= 0);
+}
+
+void Element::Push(int /*port*/, Packet* p) { Drop(p); }
+
+Packet* Element::Pull(int /*port*/) {
+  // Pass-through default for single-input agnostic elements; elements with
+  // no inputs return nullptr.
+  if (n_inputs() >= 1) {
+    return Input(0);
+  }
+  return nullptr;
+}
+
+void Element::Initialize(Router* /*router*/) {}
+
+void Element::Output(int port, Packet* p) {
+  RB_CHECK(port >= 0 && port < n_outputs());
+  PortRef& ref = outputs_[static_cast<size_t>(port)];
+  if (!ref.connected()) {
+    Drop(p);
+    return;
+  }
+  ref.element->Push(ref.port, p);
+}
+
+Packet* Element::Input(int port) {
+  RB_CHECK(port >= 0 && port < n_inputs());
+  PortRef& ref = inputs_[static_cast<size_t>(port)];
+  if (!ref.connected()) {
+    return nullptr;
+  }
+  return ref.element->Pull(ref.port);
+}
+
+}  // namespace rb

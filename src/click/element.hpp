@@ -1,0 +1,88 @@
+// The Click-style element abstraction (Kohler et al., TOCS 2000), rebuilt
+// for RouteBricks' needs (§4.1 "Linux with Click in polling mode").
+//
+// An Element is a packet-processing stage with numbered input and output
+// ports. Packets move through the graph by *push* (upstream calls
+// Push(port, p) downstream) or *pull* (downstream asks upstream for a
+// packet, typically ToDevice pulling from a Queue). Elements that need CPU
+// time outside of packet handoff (FromDevice polling a NIC queue,
+// ToDevice draining one) register a Task with the router's scheduler; the
+// RouteBricks rule that every queue and every packet is handled by a
+// single core is enforced by statically assigning tasks to cores
+// (scheduler.hpp).
+//
+// Ownership: a pushed packet belongs to the callee; an element that drops
+// a packet returns it to its pool via PacketPool::Release.
+#ifndef RB_CLICK_ELEMENT_HPP_
+#define RB_CLICK_ELEMENT_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "packet/pool.hpp"
+
+namespace rb {
+
+class Router;
+
+class Element {
+ public:
+  Element(int n_inputs, int n_outputs);
+  virtual ~Element() = default;
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  virtual const char* class_name() const = 0;
+
+  // Push processing: receives a packet on input `port`. Default: drop.
+  virtual void Push(int port, Packet* p);
+
+  // Pull processing: downstream requests a packet from output `port`.
+  // Default: pulls from input 0 (pass-through) or returns nullptr.
+  virtual Packet* Pull(int port);
+
+  // Called once by Router::Initialize after the graph is wired.
+  virtual void Initialize(Router* router);
+
+  int n_inputs() const { return static_cast<int>(inputs_.size()); }
+  int n_outputs() const { return static_cast<int>(outputs_.size()); }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  uint64_t drops() const { return drops_; }
+
+ protected:
+  // Sends `p` out of output `port` (push). If the port is unconnected the
+  // packet is dropped and counted.
+  void Output(int port, Packet* p);
+
+  // Pulls a packet from whatever is connected to input `port` (pull path).
+  Packet* Input(int port);
+
+  void Drop(Packet* p) {
+    drops_++;
+    PacketPool::Release(p);
+  }
+
+ private:
+  friend class Router;
+
+  struct PortRef {
+    Element* element = nullptr;
+    int port = -1;
+    bool connected() const { return element != nullptr; }
+  };
+
+  std::vector<PortRef> inputs_;   // upstream peers (for pull)
+  std::vector<PortRef> outputs_;  // downstream peers (for push)
+  std::string name_;
+  uint64_t drops_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLICK_ELEMENT_HPP_

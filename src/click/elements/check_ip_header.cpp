@@ -1,0 +1,25 @@
+#include "click/elements/check_ip_header.hpp"
+
+#include "packet/headers.hpp"
+
+namespace rb {
+
+void CheckIpHeader::Push(int /*port*/, Packet* p) {
+  bool ok = false;
+  if (p->length() >= EthernetView::kSize + Ipv4View::kMinSize &&
+      EthernetView{p->data()}.ether_type() == EthernetView::kTypeIpv4) {
+    Ipv4View ip{p->data() + EthernetView::kSize};
+    ok = ip.version() == 4 && ip.ihl() >= 5 &&
+         ip.total_length() >= ip.header_length() &&
+         ip.total_length() <= p->length() - EthernetView::kSize &&
+         p->length() >= EthernetView::kSize + ip.header_length() && ip.ChecksumOk();
+  }
+  if (ok) {
+    Output(0, p);
+    return;
+  }
+  bad_++;
+  Output(1, p);  // drops (counted) if output 1 is unwired
+}
+
+}  // namespace rb

@@ -1,0 +1,41 @@
+#include "click/elements/classifier.hpp"
+
+namespace rb {
+
+void EtherClassifier::Push(int /*port*/, Packet* p) {
+  if (p->length() >= EthernetView::kSize) {
+    EthernetView eth{p->data()};
+    if (eth.ether_type() == EthernetView::kTypeIpv4) {
+      Output(0, p);
+      return;
+    }
+  }
+  Output(1, p);
+}
+
+IpProtoClassifier::IpProtoClassifier(std::vector<uint8_t> protos)
+    : Element(1, static_cast<int>(protos.size()) + 1), protos_(std::move(protos)) {}
+
+void IpProtoClassifier::Push(int /*port*/, Packet* p) {
+  if (p->length() >= EthernetView::kSize + Ipv4View::kMinSize) {
+    Ipv4View ip{p->data() + EthernetView::kSize};
+    for (size_t i = 0; i < protos_.size(); ++i) {
+      if (ip.protocol() == protos_[i]) {
+        Output(static_cast<int>(i), p);
+        return;
+      }
+    }
+  }
+  Output(static_cast<int>(protos_.size()), p);
+}
+
+void HashSwitch::Push(int /*port*/, Packet* p) {
+  Output(static_cast<int>(p->flow_hash() % static_cast<uint32_t>(n_outputs())), p);
+}
+
+void RoundRobinSwitch::Push(int /*port*/, Packet* p) {
+  Output(next_, p);
+  next_ = (next_ + 1) % n_outputs();
+}
+
+}  // namespace rb

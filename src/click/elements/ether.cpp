@@ -1,0 +1,53 @@
+#include "click/elements/ether.hpp"
+
+namespace rb {
+
+EtherEncap::EtherEncap(const MacAddress& src, const MacAddress& dst, uint16_t ether_type)
+    : Element(1, 1), src_(src), dst_(dst), ether_type_(ether_type) {}
+
+void EtherEncap::Push(int /*port*/, Packet* p) {
+  uint8_t* hdr = p->Push(EthernetView::kSize);
+  EthernetView eth{hdr};
+  eth.set_dst(dst_);
+  eth.set_src(src_);
+  eth.set_ether_type(ether_type_);
+  Output(0, p);
+}
+
+void StripEther::Push(int /*port*/, Packet* p) {
+  if (p->length() < EthernetView::kSize) {
+    Drop(p);
+    return;
+  }
+  p->Pull(EthernetView::kSize);
+  Output(0, p);
+}
+
+EtherRewrite::EtherRewrite(const MacAddress& src, const MacAddress& dst)
+    : Element(1, 1), src_(src), dst_(dst) {}
+
+void EtherRewrite::Push(int /*port*/, Packet* p) {
+  if (p->length() < EthernetView::kSize) {
+    Drop(p);
+    return;
+  }
+  EthernetView eth{p->data()};
+  eth.set_src(src_);
+  eth.set_dst(dst_);
+  Output(0, p);
+}
+
+VlbEncap::VlbEncap(const MacAddress& src) : Element(1, 1), src_(src) {}
+
+void VlbEncap::Push(int /*port*/, Packet* p) {
+  if (p->length() < EthernetView::kSize || p->output_node() == Packet::kNoNode) {
+    Drop(p);
+    return;
+  }
+  EthernetView eth{p->data()};
+  eth.set_src(src_);
+  eth.set_dst(MacForNode(p->output_node()));
+  Output(0, p);
+}
+
+}  // namespace rb

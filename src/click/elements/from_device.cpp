@@ -1,0 +1,23 @@
+#include "click/elements/from_device.hpp"
+
+#include "click/router.hpp"
+
+namespace rb {
+
+FromDevice::FromDevice(NicPort* port, uint16_t rx_queue, uint16_t kp, int home_core)
+    : Element(0, 1), driver_(port, rx_queue, DriverConfig{kp}), home_core_(home_core) {}
+
+void FromDevice::Initialize(Router* router) {
+  router->RegisterTask(std::make_unique<PollTask>(this, home_core_));
+}
+
+size_t FromDevice::RunOnce() {
+  std::vector<Packet*> burst;
+  size_t n = driver_.Poll(&burst);
+  for (Packet* p : burst) {
+    Output(0, p);
+  }
+  return n;
+}
+
+}  // namespace rb

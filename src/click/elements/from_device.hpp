@@ -1,0 +1,47 @@
+// FromDevice: polls one NIC rx queue and pushes packets downstream.
+//
+// This is the multi-queue-aware version the paper built (§4.2): the
+// element binds to a *queue*, not a port, so each queue can be polled by
+// exactly one core. kp (poll-driven batching) is the Driver's burst size.
+#ifndef RB_CLICK_ELEMENTS_FROM_DEVICE_HPP_
+#define RB_CLICK_ELEMENTS_FROM_DEVICE_HPP_
+
+#include <memory>
+
+#include "click/element.hpp"
+#include "click/task.hpp"
+#include "netdev/driver.hpp"
+
+namespace rb {
+
+class FromDevice : public Element {
+ public:
+  // home_core: the core this queue's polling is pinned to (-1 = any).
+  FromDevice(NicPort* port, uint16_t rx_queue, uint16_t kp = 32, int home_core = -1);
+
+  const char* class_name() const override { return "FromDevice"; }
+  void Initialize(Router* router) override;
+
+  // One poll iteration: retrieves up to kp packets and pushes each out of
+  // output 0. Returns packets moved.
+  size_t RunOnce();
+
+  Driver& driver() { return driver_; }
+
+ private:
+  class PollTask : public Task {
+   public:
+    PollTask(FromDevice* fd, int home_core) : Task(fd, home_core), fd_(fd) {}
+    size_t Run() override { return fd_->RunOnce(); }
+
+   private:
+    FromDevice* fd_;
+  };
+
+  Driver driver_;
+  int home_core_;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLICK_ELEMENTS_FROM_DEVICE_HPP_

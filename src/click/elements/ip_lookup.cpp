@@ -1,0 +1,29 @@
+#include "click/elements/ip_lookup.hpp"
+
+#include "common/log.hpp"
+#include "packet/headers.hpp"
+
+namespace rb {
+
+IpLookup::IpLookup(const LpmTable* table, int n_next_hops)
+    : Element(1, n_next_hops), table_(table) {
+  RB_CHECK(table != nullptr);
+  RB_CHECK(n_next_hops >= 1);
+}
+
+void IpLookup::Push(int /*port*/, Packet* p) {
+  if (p->length() < EthernetView::kSize + Ipv4View::kMinSize) {
+    Drop(p);
+    return;
+  }
+  Ipv4View ip{p->data() + EthernetView::kSize};
+  uint32_t hop = table_->Lookup(ip.dst());
+  if (hop == LpmTable::kNoRoute) {
+    no_route_++;
+    Drop(p);
+    return;
+  }
+  Output(static_cast<int>((hop - 1) % static_cast<uint32_t>(n_outputs())), p);
+}
+
+}  // namespace rb

@@ -1,0 +1,27 @@
+#include "click/elements/ipsec.hpp"
+
+namespace rb {
+
+IpsecEncrypt::IpsecEncrypt(const EspConfig& config) : Element(1, 2), tunnel_(config) {}
+
+void IpsecEncrypt::Push(int /*port*/, Packet* p) {
+  if (tunnel_.Encapsulate(p)) {
+    encrypted_++;
+    Output(0, p);
+  } else {
+    Output(1, p);
+  }
+}
+
+IpsecDecrypt::IpsecDecrypt(const EspConfig& config) : Element(1, 2), tunnel_(config) {}
+
+void IpsecDecrypt::Push(int /*port*/, Packet* p) {
+  if (tunnel_.Decapsulate(p)) {
+    decrypted_++;
+    Output(0, p);
+  } else {
+    Output(1, p);
+  }
+}
+
+}  // namespace rb

@@ -1,0 +1,64 @@
+#include "click/elements/misc.hpp"
+
+namespace rb {
+
+void CounterElement::Push(int /*port*/, Packet* p) {
+  counters_.AddPacket(p->wire_bytes());
+  Output(0, p);
+}
+
+Packet* CounterElement::Pull(int /*port*/) {
+  Packet* p = Input(0);
+  if (p != nullptr) {
+    counters_.AddPacket(p->wire_bytes());
+  }
+  return p;
+}
+
+void Discard::Push(int /*port*/, Packet* p) {
+  count_++;
+  PacketPool::Release(p);
+}
+
+void Tee::Push(int /*port*/, Packet* p) {
+  for (int out = 1; out < n_outputs(); ++out) {
+    Packet* copy = p->origin_pool() != nullptr ? p->origin_pool()->Alloc() : nullptr;
+    if (copy == nullptr) {
+      continue;  // pool exhausted; counted in PacketPool::alloc_failures
+    }
+    copy->SetPayload(p->data(), p->length());
+    copy->set_arrival_time(p->arrival_time());
+    copy->set_input_port(p->input_port());
+    copy->set_flow_hash(p->flow_hash());
+    copy->set_vlb_phase(p->vlb_phase());
+    copy->set_output_node(p->output_node());
+    copy->set_flow_id(p->flow_id());
+    copy->set_flow_seq(p->flow_seq());
+    copy->set_paint(p->paint());
+    Output(out, copy);
+  }
+  Output(0, p);
+}
+
+void Paint::Push(int /*port*/, Packet* p) {
+  p->set_paint(color_);
+  Output(0, p);
+}
+
+void PaintSwitch::Push(int /*port*/, Packet* p) {
+  int out = p->paint();
+  if (out >= n_outputs()) {
+    out = n_outputs() - 1;
+  }
+  Output(out, p);
+}
+
+void SetFlowHash::Push(int /*port*/, Packet* p) {
+  FlowKey key;
+  if (ExtractFlowKey(*p, &key)) {
+    p->set_flow_hash(FlowHash32(key));
+  }
+  Output(0, p);
+}
+
+}  // namespace rb

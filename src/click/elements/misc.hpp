@@ -1,0 +1,94 @@
+// Small utility elements: Counter, Discard, Tee, Paint/PaintSwitch,
+// SetFlowHash, SetOutputNode, and InfiniteSource/TimedSink for tests.
+#ifndef RB_CLICK_ELEMENTS_MISC_HPP_
+#define RB_CLICK_ELEMENTS_MISC_HPP_
+
+#include <functional>
+
+#include "click/element.hpp"
+#include "common/stats.hpp"
+#include "packet/flow.hpp"
+
+namespace rb {
+
+// Counts packets and bytes, passes through.
+class CounterElement : public Element {
+ public:
+  CounterElement() : Element(1, 1) {}
+  const char* class_name() const override { return "Counter"; }
+  void Push(int port, Packet* p) override;
+  Packet* Pull(int port) override;
+
+  const PortCounters& counters() const { return counters_; }
+
+ private:
+  PortCounters counters_;
+};
+
+// Frees every packet it receives.
+class Discard : public Element {
+ public:
+  Discard() : Element(1, 0) {}
+  const char* class_name() const override { return "Discard"; }
+  void Push(int port, Packet* p) override;
+
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+// Copies each packet to all outputs (allocating the copies from the
+// original packet's pool; drops copies when the pool is exhausted).
+class Tee : public Element {
+ public:
+  explicit Tee(int n_outputs) : Element(1, n_outputs) {}
+  const char* class_name() const override { return "Tee"; }
+  void Push(int port, Packet* p) override;
+};
+
+// Stamps the paint annotation.
+class Paint : public Element {
+ public:
+  explicit Paint(uint8_t color) : Element(1, 1), color_(color) {}
+  const char* class_name() const override { return "Paint"; }
+  void Push(int port, Packet* p) override;
+
+ private:
+  uint8_t color_;
+};
+
+// Demuxes on the paint annotation: paint c exits output min(c, n-1).
+class PaintSwitch : public Element {
+ public:
+  explicit PaintSwitch(int n_outputs) : Element(1, n_outputs) {}
+  const char* class_name() const override { return "PaintSwitch"; }
+  void Push(int port, Packet* p) override;
+};
+
+// Recomputes the flow-hash annotation from the 5-tuple (for paths where
+// headers were rewritten after NIC RSS stamped the hash).
+class SetFlowHash : public Element {
+ public:
+  SetFlowHash() : Element(1, 1) {}
+  const char* class_name() const override { return "SetFlowHash"; }
+  void Push(int port, Packet* p) override;
+};
+
+// Applies a user function to each packet (glue for tests and experiments).
+class ForEach : public Element {
+ public:
+  explicit ForEach(std::function<void(Packet*)> fn) : Element(1, 1), fn_(std::move(fn)) {}
+  const char* class_name() const override { return "ForEach"; }
+  void Push(int /*port*/, Packet* p) override {
+    fn_(p);
+    Output(0, p);
+  }
+
+ private:
+  std::function<void(Packet*)> fn_;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLICK_ELEMENTS_MISC_HPP_

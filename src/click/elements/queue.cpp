@@ -1,0 +1,24 @@
+#include "click/elements/queue.hpp"
+
+namespace rb {
+
+QueueElement::QueueElement(size_t capacity) : Element(1, 1), ring_(capacity) {}
+
+void QueueElement::Push(int /*port*/, Packet* p) {
+  if (!ring_.TryPush(p)) {
+    Drop(p);
+    return;
+  }
+  size_t depth = ring_.size();
+  if (depth > highwater_) {
+    highwater_ = depth;
+  }
+}
+
+Packet* QueueElement::Pull(int /*port*/) {
+  Packet* p = nullptr;
+  ring_.TryPop(&p);
+  return p;
+}
+
+}  // namespace rb

@@ -1,0 +1,33 @@
+// Queue: the push-to-pull boundary. Drop-tail with fixed capacity, like
+// Click's Queue element. Uses the lock-free SPSC ring, which is safe under
+// RouteBricks' scheduling discipline (a queue sits between exactly one
+// pushing core and one pulling core).
+#ifndef RB_CLICK_ELEMENTS_QUEUE_HPP_
+#define RB_CLICK_ELEMENTS_QUEUE_HPP_
+
+#include "click/element.hpp"
+#include "netdev/ring.hpp"
+
+namespace rb {
+
+class QueueElement : public Element {
+ public:
+  explicit QueueElement(size_t capacity = 1024);
+
+  const char* class_name() const override { return "Queue"; }
+
+  void Push(int port, Packet* p) override;
+  Packet* Pull(int port) override;
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return ring_.capacity(); }
+  uint64_t highwater() const { return highwater_; }
+
+ private:
+  SpscRing<Packet*> ring_;
+  uint64_t highwater_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLICK_ELEMENTS_QUEUE_HPP_

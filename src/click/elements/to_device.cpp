@@ -1,0 +1,42 @@
+#include "click/elements/to_device.hpp"
+
+#include "click/router.hpp"
+#include "common/log.hpp"
+
+namespace rb {
+
+ToDevice::ToDevice(NicPort* port, uint16_t tx_queue, uint16_t burst, int home_core)
+    : Element(1, 0), port_(port), tx_queue_(tx_queue), burst_(burst), home_core_(home_core) {
+  RB_CHECK(port != nullptr);
+  RB_CHECK(tx_queue < port->num_tx_queues());
+}
+
+void ToDevice::Initialize(Router* router) {
+  router->RegisterTask(std::make_unique<DrainTask>(this, home_core_));
+}
+
+void ToDevice::Push(int /*port*/, Packet* p) {
+  // Transmit() owns the packet either way; failures are counted as tx
+  // drops by the NIC.
+  if (port_->Transmit(tx_queue_, p)) {
+    sent_++;
+  }
+}
+
+size_t ToDevice::RunOnce() {
+  size_t moved = 0;
+  for (uint16_t i = 0; i < burst_; ++i) {
+    Packet* p = Input(0);
+    if (p == nullptr) {
+      break;
+    }
+    if (port_->Transmit(tx_queue_, p)) {
+      sent_++;
+    }
+    // Transmit() owns the packet either way (drops are counted by the NIC).
+    moved++;
+  }
+  return moved;
+}
+
+}  // namespace rb

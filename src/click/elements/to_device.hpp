@@ -1,0 +1,50 @@
+// ToDevice: drains an upstream pull path (normally a Queue) into one NIC
+// tx queue. Like FromDevice, it binds to a queue so that the "one core per
+// queue" rule holds on the transmit side too.
+#ifndef RB_CLICK_ELEMENTS_TO_DEVICE_HPP_
+#define RB_CLICK_ELEMENTS_TO_DEVICE_HPP_
+
+#include <memory>
+
+#include "click/element.hpp"
+#include "click/task.hpp"
+#include "netdev/nic.hpp"
+
+namespace rb {
+
+class ToDevice : public Element {
+ public:
+  ToDevice(NicPort* port, uint16_t tx_queue, uint16_t burst = 32, int home_core = -1);
+
+  const char* class_name() const override { return "ToDevice"; }
+  void Initialize(Router* router) override;
+
+  // Also usable in push mode: a pushed packet is transmitted immediately.
+  void Push(int port, Packet* p) override;
+
+  // One drain iteration: pulls up to `burst` packets from input 0 and
+  // transmits them. Returns packets moved.
+  size_t RunOnce();
+
+  uint64_t sent() const { return sent_; }
+
+ private:
+  class DrainTask : public Task {
+   public:
+    DrainTask(ToDevice* td, int home_core) : Task(td, home_core), td_(td) {}
+    size_t Run() override { return td_->RunOnce(); }
+
+   private:
+    ToDevice* td_;
+  };
+
+  NicPort* port_;
+  uint16_t tx_queue_;
+  uint16_t burst_;
+  int home_core_;
+  uint64_t sent_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLICK_ELEMENTS_TO_DEVICE_HPP_

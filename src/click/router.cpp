@@ -1,0 +1,82 @@
+#include "click/router.hpp"
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace rb {
+
+std::string Router::Format_(const char* fmt, const char* a, size_t b) {
+  return Format(fmt, a, b);
+}
+
+void Router::Connect(Element* from, int out_port, Element* to, int in_port) {
+  RB_CHECK(!initialized_);
+  RB_CHECK(from != nullptr && to != nullptr);
+  RB_CHECK_MSG(out_port >= 0 && out_port < from->n_outputs(), "output port out of range");
+  RB_CHECK_MSG(in_port >= 0 && in_port < to->n_inputs(), "input port out of range");
+  auto& out_ref = from->outputs_[static_cast<size_t>(out_port)];
+  auto& in_ref = to->inputs_[static_cast<size_t>(in_port)];
+  RB_CHECK_MSG(!out_ref.connected(), "output port already wired");
+  out_ref = {to, in_port};
+  // Push inputs may fan in (multiple upstream elements pushing into the
+  // same port, as in Click). The input back-reference records the first
+  // upstream only; it is what Pull() follows, so pull paths must stay
+  // single-wired by construction (Queue -> ToDevice chains are).
+  if (!in_ref.connected()) {
+    in_ref = {from, out_port};
+  }
+}
+
+bool Router::CanConnect(Element* from, int out_port, Element* to, int in_port) const {
+  if (initialized_ || from == nullptr || to == nullptr) {
+    return false;
+  }
+  if (out_port < 0 || out_port >= from->n_outputs() || in_port < 0 ||
+      in_port >= to->n_inputs()) {
+    return false;
+  }
+  return !from->outputs_[static_cast<size_t>(out_port)].connected();
+}
+
+void Router::Chain(std::initializer_list<Element*> elements) {
+  Element* prev = nullptr;
+  for (Element* e : elements) {
+    if (prev != nullptr) {
+      Connect(prev, 0, e, 0);
+    }
+    prev = e;
+  }
+}
+
+void Router::RegisterTask(std::unique_ptr<Task> task) { tasks_.push_back(std::move(task)); }
+
+void Router::Initialize() {
+  RB_CHECK_MSG(!initialized_, "Router::Initialize called twice");
+  initialized_ = true;
+  for (auto& e : elements_) {
+    e->Initialize(this);
+  }
+}
+
+size_t Router::RunTasksOnce() {
+  RB_CHECK_MSG(initialized_, "Router not initialized");
+  size_t moved = 0;
+  for (auto& t : tasks_) {
+    moved += t->RunOnce();
+  }
+  return moved;
+}
+
+size_t Router::RunUntilIdle(size_t max_sweeps) {
+  size_t total = 0;
+  for (size_t i = 0; i < max_sweeps; ++i) {
+    size_t moved = RunTasksOnce();
+    total += moved;
+    if (moved == 0) {
+      break;
+    }
+  }
+  return total;
+}
+
+}  // namespace rb

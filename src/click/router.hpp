@@ -1,0 +1,73 @@
+// The element graph: owns elements, wires ports, validates the
+// configuration, and collects the tasks elements register.
+#ifndef RB_CLICK_ROUTER_HPP_
+#define RB_CLICK_ROUTER_HPP_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "click/element.hpp"
+#include "click/task.hpp"
+
+namespace rb {
+
+class Router {
+ public:
+  Router() = default;
+
+  // Constructs an element in place, returns a borrowed pointer (the router
+  // owns it). Usage: auto* q = router.Add<QueueElement>(1024);
+  template <typename T, typename... Args>
+  T* Add(Args&&... args) {
+    auto elem = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = elem.get();
+    raw->set_name(Format_("%s@%zu", raw->class_name(), elements_.size()));
+    elements_.push_back(std::move(elem));
+    return raw;
+  }
+
+  // Connects `from`'s output port to `to`'s input port. A port can be
+  // wired at most once (Click's single-wire rule).
+  void Connect(Element* from, int out_port, Element* to, int in_port);
+
+  // True if the connection would be legal (ports in range and unwired).
+  // Used by the config parser to report errors instead of aborting.
+  bool CanConnect(Element* from, int out_port, Element* to, int in_port) const;
+
+  // Convenience: connect port 0 -> port 0 along a chain.
+  void Chain(std::initializer_list<Element*> elements);
+
+  // Registers a task (called by elements during Initialize).
+  void RegisterTask(std::unique_ptr<Task> task);
+
+  // Validates wiring (port indices sane, no double wiring — enforced at
+  // Connect time) and calls Initialize on every element in insertion
+  // order. Must be called exactly once before running.
+  void Initialize();
+
+  // Runs every task once, in registration order; returns packets moved.
+  // This is the deterministic single-threaded driver used by tests and by
+  // experiments where thread interleaving must not affect results.
+  size_t RunTasksOnce();
+
+  // Runs tasks until an entire sweep moves no packets, or `max_sweeps` is
+  // reached. Returns total packets moved.
+  size_t RunUntilIdle(size_t max_sweeps = 1'000'000);
+
+  const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  const std::vector<std::unique_ptr<Element>>& elements() const { return elements_; }
+  bool initialized() const { return initialized_; }
+
+ private:
+  static std::string Format_(const char* fmt, const char* a, size_t b);
+
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  bool initialized_ = false;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLICK_ROUTER_HPP_

@@ -1,0 +1,66 @@
+#include "click/scheduler.hpp"
+
+#include "common/log.hpp"
+
+namespace rb {
+
+ThreadScheduler::ThreadScheduler(Router* router, int num_cores) : router_(router) {
+  RB_CHECK(router != nullptr);
+  RB_CHECK(num_cores >= 1);
+  per_core_.resize(static_cast<size_t>(num_cores));
+  int rr = 0;
+  for (const auto& task : router->tasks()) {
+    int core = task->home_core();
+    if (core < 0) {
+      core = rr++ % num_cores;
+    } else {
+      core %= num_cores;
+    }
+    per_core_[static_cast<size_t>(core)].push_back(task.get());
+  }
+}
+
+ThreadScheduler::~ThreadScheduler() {
+  if (running_.load()) {
+    Stop();
+  }
+}
+
+void ThreadScheduler::Start() {
+  RB_CHECK_MSG(!running_.load(), "scheduler already running");
+  running_.store(true);
+  for (int core = 0; core < num_cores(); ++core) {
+    threads_.emplace_back([this, core] { WorkerLoop(core); });
+  }
+}
+
+void ThreadScheduler::Stop() {
+  running_.store(false);
+  for (auto& t : threads_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  threads_.clear();
+}
+
+void ThreadScheduler::WorkerLoop(int core) {
+  auto& tasks = per_core_[static_cast<size_t>(core)];
+  while (running_.load(std::memory_order_relaxed)) {
+    for (Task* t : tasks) {
+      t->RunOnce();
+    }
+  }
+}
+
+void ThreadScheduler::RunInline(size_t sweeps) {
+  for (size_t i = 0; i < sweeps; ++i) {
+    for (auto& tasks : per_core_) {
+      for (Task* t : tasks) {
+        t->RunOnce();
+      }
+    }
+  }
+}
+
+}  // namespace rb

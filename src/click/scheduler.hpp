@@ -1,0 +1,59 @@
+// Static thread-to-core task scheduling (§4.2).
+//
+// RouteBricks' first rule — each network queue is accessed by a single
+// core — is enforced structurally: every FromDevice/ToDevice task is bound
+// to exactly one worker, and workers never steal tasks. The ThreadScheduler
+// spawns one std::thread per "core", runs each worker's tasks round-robin
+// in a polling loop (no blocking — Click polling mode), and stops on
+// request.
+//
+// On the single-vCPU container all workers timeshare one physical CPU, so
+// wall-clock throughput is not meaningful — but the concurrency behaviour
+// (SPSC ring handoff, per-queue single-writer discipline) is real and is
+// what the functional tests exercise.
+#ifndef RB_CLICK_SCHEDULER_HPP_
+#define RB_CLICK_SCHEDULER_HPP_
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "click/router.hpp"
+
+namespace rb {
+
+class ThreadScheduler {
+ public:
+  // Distributes the router's tasks across `num_cores` workers: tasks with
+  // home_core >= 0 go to (home_core % num_cores); the rest round-robin.
+  ThreadScheduler(Router* router, int num_cores);
+
+  // Spawns the workers. Each runs its task list in a tight polling loop.
+  void Start();
+
+  // Signals stop and joins all workers.
+  void Stop();
+
+  // Runs all workers' tasks inline (no threads) for `sweeps` rounds —
+  // deterministic mode with the same task partitioning.
+  void RunInline(size_t sweeps);
+
+  int num_cores() const { return static_cast<int>(per_core_.size()); }
+  const std::vector<Task*>& core_tasks(int core) const {
+    return per_core_[static_cast<size_t>(core)];
+  }
+
+  ~ThreadScheduler();
+
+ private:
+  void WorkerLoop(int core);
+
+  Router* router_;
+  std::vector<std::vector<Task*>> per_core_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace rb
+
+#endif  // RB_CLICK_SCHEDULER_HPP_

@@ -1,0 +1,7 @@
+#include "click/task.hpp"
+
+namespace rb {
+
+Task::Task(Element* element, int home_core) : element_(element), home_core_(home_core) {}
+
+}  // namespace rb

@@ -1,0 +1,53 @@
+// A schedulable unit of work: one polling loop iteration of an element
+// (FromDevice poll, ToDevice drain). Tasks are created by elements during
+// Initialize and statically assigned to worker threads ("cores") by the
+// ThreadScheduler — the paper's static thread-to-core assignment (§4.2).
+#ifndef RB_CLICK_TASK_HPP_
+#define RB_CLICK_TASK_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace rb {
+
+class Element;
+
+class Task {
+ public:
+  // `home_core` is a hint for the scheduler (-1 = any core).
+  Task(Element* element, int home_core = -1);
+  virtual ~Task() = default;
+
+  // Runs one iteration; returns the number of packets moved (0 = idle).
+  virtual size_t Run() = 0;
+
+  Element* element() const { return element_; }
+  int home_core() const { return home_core_; }
+  void set_home_core(int core) { home_core_ = core; }
+
+  uint64_t runs() const { return runs_; }
+  uint64_t idle_runs() const { return idle_runs_; }
+  uint64_t work() const { return work_; }
+
+  // Bookkeeping wrapper used by schedulers.
+  size_t RunOnce() {
+    size_t n = Run();
+    runs_++;
+    if (n == 0) {
+      idle_runs_++;
+    }
+    work_ += n;
+    return n;
+  }
+
+ private:
+  Element* element_;
+  int home_core_;
+  uint64_t runs_ = 0;
+  uint64_t idle_runs_ = 0;
+  uint64_t work_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLICK_TASK_HPP_

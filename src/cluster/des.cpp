@@ -1,0 +1,509 @@
+#include "cluster/des.hpp"
+
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace rb {
+
+ClusterConfig ClusterConfig::Rb4() {
+  ClusterConfig c;
+  c.num_nodes = 4;
+  c.ext_rate_bps = 10e9;
+  c.internal_link_bps = 10e9;
+  c.node_cycles_per_sec = 8 * 2.8e9;
+  c.ingress_cycles = AppProfile::For(App::kIpRouting).cpu_cycles;
+  c.transit_cycles = AppProfile::For(App::kMinimalForwarding).cpu_cycles;
+  c.vlb.num_nodes = 4;
+  c.vlb.port_rate_bps = c.ext_rate_bps;
+  c.vlb.internal_link_bps = c.internal_link_bps;
+  c.vlb.direct_vlb = true;
+  c.vlb.flowlets = true;
+  return c;
+}
+
+int ClusterSim::NicIndexForPort(int port_index) const {
+  return port_index / config_.ports_per_nic;
+}
+
+int ClusterSim::NicForPeer(uint16_t node, uint16_t peer) const {
+  int port = 1 + (peer < node ? peer : peer - 1);
+  return NicIndexForPort(port);
+}
+
+int ClusterSim::num_nics_per_node() const {
+  int ports = config_.num_nodes;  // 1 external + (n - 1) internal
+  return (ports + config_.ports_per_nic - 1) / config_.ports_per_nic;
+}
+
+uint32_t ClusterSim::CpuId(uint16_t node) const {
+  return node * (2 + 2 * static_cast<uint32_t>(num_nics_per_node()));
+}
+
+uint32_t ClusterSim::ExtOutId(uint16_t node) const { return CpuId(node) + 1; }
+
+uint32_t ClusterSim::NicRxId(uint16_t node, int nic) const {
+  return CpuId(node) + 2 + static_cast<uint32_t>(nic);
+}
+
+uint32_t ClusterSim::NicTxId(uint16_t node, int nic) const {
+  return CpuId(node) + 2 + static_cast<uint32_t>(num_nics_per_node() + nic);
+}
+
+uint32_t ClusterSim::LinkId(uint16_t from, uint16_t to) const {
+  uint32_t base = config_.num_nodes * (2 + 2 * static_cast<uint32_t>(num_nics_per_node()));
+  return base + from * config_.num_nodes + to;
+}
+
+ClusterSim::ClusterSim(const ClusterConfig& config) : config_(config) {
+  RB_CHECK(config.num_nodes >= 2);
+  uint16_t n = config.num_nodes;
+  int nics = num_nics_per_node();
+
+  servers_.resize(n * (2 + 2 * static_cast<size_t>(nics)) + static_cast<size_t>(n) * n);
+  for (uint16_t i = 0; i < n; ++i) {
+    FifoServer& cpu = servers_[CpuId(i)];
+    cpu.kind = ServerKind::kCpu;
+    cpu.cycles_per_sec = config.node_cycles_per_sec;
+    cpu.queue_cap = config.cpu_queue_pkts;
+
+    FifoServer& out = servers_[ExtOutId(i)];
+    out.kind = ServerKind::kExtOut;
+    out.rate_bps = config.ext_rate_bps;
+    out.queue_cap = config.ext_out_queue_pkts;
+
+    for (int k = 0; k < nics; ++k) {
+      FifoServer& rx = servers_[NicRxId(i, k)];
+      rx.kind = ServerKind::kRxNic;
+      rx.rate_bps = config.model_nics ? config.per_nic_bps : 0;
+      rx.queue_cap = config.nic_queue_pkts;
+      FifoServer& tx = servers_[NicTxId(i, k)];
+      tx.kind = ServerKind::kTxNic;
+      tx.rate_bps = config.model_nics ? config.per_nic_bps : 0;
+      tx.queue_cap = config.nic_queue_pkts;
+    }
+    for (uint16_t j = 0; j < n; ++j) {
+      FifoServer& link = servers_[LinkId(i, j)];
+      link.kind = ServerKind::kLink;
+      link.rate_bps = config.internal_link_bps;
+      link.queue_cap = config.link_queue_pkts;
+    }
+
+    VlbConfig vc = config.vlb;
+    vc.num_nodes = n;
+    vc.seed = config.seed ^ (i * 0x51ed2705ULL);
+    vlb_.push_back(std::make_unique<DirectVlbRouter>(vc, i));
+  }
+  delivered_by_src_.assign(n, 0);
+  delivered_by_dst_.assign(n, 0);
+  delivered_bytes_by_src_.assign(n, 0);
+  delivered_bytes_by_dst_.assign(n, 0);
+}
+
+uint32_t ClusterSim::AllocSlot() {
+  if (!free_slots_.empty()) {
+    uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  packets_.push_back(InFlight{});
+  return static_cast<uint32_t>(packets_.size() - 1);
+}
+
+void ClusterSim::ReleaseSlot(uint32_t slot) {
+  packets_[slot].active = false;
+  free_slots_.push_back(slot);
+}
+
+double ClusterSim::ServiceSecondsFor(const FifoServer& server, const InFlight& pkt) const {
+  switch (server.kind) {
+    case ServerKind::kCpu: {
+      double cycles;
+      if (pkt.stage == Stage::kCpuIngress) {
+        cycles = config_.ingress_cycles.At(pkt.bytes);
+        if (config_.vlb.flowlets) {
+          cycles += config_.reorder_avoidance_cycles;
+        }
+      } else {
+        cycles = config_.transit_cycles.At(pkt.bytes);
+      }
+      return cycles / server.cycles_per_sec;
+    }
+    case ServerKind::kExtRxNic:
+    case ServerKind::kRxNic:
+    case ServerKind::kTxNic:
+    case ServerKind::kLink:
+    case ServerKind::kExtOut:
+      return server.rate_bps > 0 ? static_cast<double>(pkt.bytes) * 8.0 / server.rate_bps : 0.0;
+  }
+  return 0.0;
+}
+
+void ClusterSim::DropAt(ServerKind kind, uint32_t slot) {
+  switch (kind) {
+    case ServerKind::kExtRxNic:
+      stats_.drops.ext_rx_nic++;
+      break;
+    case ServerKind::kCpu:
+      stats_.drops.cpu++;
+      break;
+    case ServerKind::kTxNic:
+      stats_.drops.tx_nic++;
+      break;
+    case ServerKind::kLink:
+      stats_.drops.link++;
+      break;
+    case ServerKind::kRxNic:
+      stats_.drops.rx_nic++;
+      break;
+    case ServerKind::kExtOut:
+      stats_.drops.ext_out++;
+      break;
+  }
+  ReleaseSlot(slot);
+}
+
+void ClusterSim::ArriveAt(uint32_t server_id, uint32_t slot, SimTime now) {
+  FifoServer& server = servers_[server_id];
+  InFlight& pkt = packets_[slot];
+  ServerJob job;
+  job.packet_slot = slot;
+  job.service_seconds = ServiceSecondsFor(server, pkt);
+  if (!server.Enqueue(job)) {
+    // Distinguish the external-ingress rx drop from internal rx drops for
+    // the stats breakdown.
+    DropAt(pkt.stage == Stage::kExtRx ? ServerKind::kExtRxNic : server.kind, slot);
+    return;
+  }
+  if (!server.busy) {
+    StartService(server_id, now);
+  }
+}
+
+void ClusterSim::StartService(uint32_t server_id, SimTime now) {
+  FifoServer& server = servers_[server_id];
+  RB_CHECK(!server.busy && !server.queue.empty());
+  server.busy = true;
+  Event ev;
+  ev.time = now + server.queue.front().service_seconds;
+  ev.kind = Event::Kind::kCompletion;
+  ev.server = server_id;
+  events_.push(ev);
+}
+
+void ClusterSim::OnServiceComplete(uint32_t server_id, SimTime now) {
+  FifoServer& server = servers_[server_id];
+  RB_CHECK(server.busy && !server.queue.empty());
+  ServerJob job = server.queue.front();
+  server.queue.pop_front();
+  server.busy = false;
+  server.served++;
+  server.busy_time += job.service_seconds;
+  server.bytes += packets_[job.packet_slot].bytes;
+  if (!server.queue.empty()) {
+    StartService(server_id, now);
+  }
+  ForwardAfter(job.packet_slot, now);
+}
+
+void ClusterSim::ForwardAfter(uint32_t slot, SimTime now) {
+  InFlight& pkt = packets_[slot];
+  auto schedule_arrival = [&](uint32_t server_id, SimTime when) {
+    Event ev;
+    ev.time = when;
+    ev.kind = Event::Kind::kArrival;
+    ev.packet_slot = slot;
+    ev.arrival_server = server_id;
+    events_.push(ev);
+  };
+
+  switch (pkt.stage) {
+    case Stage::kExtRx:
+      pkt.stage = Stage::kCpuIngress;
+      ArriveAt(CpuId(pkt.cur), slot, now);
+      break;
+
+    case Stage::kCpuIngress: {
+      if (pkt.src == pkt.dst) {
+        pkt.direct = true;
+        pkt.stage = Stage::kExtOut;
+        schedule_arrival(ExtOutId(pkt.dst), now + config_.node_fixed_latency);
+        break;
+      }
+      VlbDecision decision =
+          vlb_[pkt.src]->Route(pkt.dst, pkt.flow_id, pkt.bytes, now);
+      pkt.direct = decision.direct;
+      pkt.nxt = decision.direct ? pkt.dst : decision.via;
+      pkt.stage = Stage::kTxNic;
+      schedule_arrival(NicTxId(pkt.cur, NicForPeer(pkt.cur, pkt.nxt)),
+                       now + config_.node_fixed_latency);
+      break;
+    }
+
+    case Stage::kTxNic:
+      pkt.stage = Stage::kLink;
+      ArriveAt(LinkId(pkt.cur, pkt.nxt), slot, now);
+      break;
+
+    case Stage::kLink:
+      pkt.stage = Stage::kRxNic;
+      schedule_arrival(NicRxId(pkt.nxt, NicForPeer(pkt.nxt, pkt.cur)),
+                       now + config_.link_propagation);
+      break;
+
+    case Stage::kRxNic:
+      pkt.cur = pkt.nxt;
+      pkt.stage = pkt.cur == pkt.dst ? Stage::kCpuEgress : Stage::kCpuTransit;
+      ArriveAt(CpuId(pkt.cur), slot, now);
+      break;
+
+    case Stage::kCpuTransit:
+      pkt.nxt = pkt.dst;
+      pkt.stage = Stage::kTxNic;
+      schedule_arrival(NicTxId(pkt.cur, NicForPeer(pkt.cur, pkt.dst)),
+                       now + config_.node_fixed_latency);
+      break;
+
+    case Stage::kCpuEgress:
+      pkt.stage = Stage::kExtOut;
+      schedule_arrival(ExtOutId(pkt.dst), now + config_.node_fixed_latency);
+      break;
+
+    case Stage::kExtOut:
+      Deliver(slot, now);
+      break;
+  }
+}
+
+void ClusterSim::RecordDelivery(const InFlight& pkt, SimTime delivered) {
+  stats_.delivered_packets++;
+  stats_.delivered_bytes += pkt.bytes;
+  delivered_by_src_[pkt.src]++;
+  delivered_by_dst_[pkt.dst]++;
+  delivered_bytes_by_src_[pkt.src] += pkt.bytes;
+  delivered_bytes_by_dst_[pkt.dst] += pkt.bytes;
+  stats_.latency.Add(delivered - pkt.injected);
+  // Deliveries happen in global time order, so feeding the detector here
+  // measures true on-the-wire reordering.
+  reorder_.Deliver(pkt.flow_id, pkt.flow_seq);
+}
+
+void ClusterSim::ResequenceDeliver(const InFlight& pkt, SimTime delivered) {
+  FlowReseq& fr = reseq_[pkt.flow_id];
+  auto release_held = [&](SimTime when) {
+    InFlight ghost;
+    ghost.flow_id = pkt.flow_id;
+    auto it = fr.held.begin();
+    ghost.flow_seq = it->first;
+    ghost.src = it->second.src;
+    ghost.dst = it->second.dst;
+    ghost.bytes = it->second.bytes;
+    ghost.injected = it->second.injected;
+    reseq_delay_.Add(when - it->second.ready);
+    RecordDelivery(ghost, when);
+    fr.held.erase(it);
+    fr.next_seq = ghost.flow_seq + 1;
+  };
+
+  // Time out stale holes first: if the oldest held packet has waited past
+  // the timeout, give up on the missing sequence numbers.
+  while (!fr.held.empty() &&
+         delivered - fr.held.begin()->second.ready > config_.resequence_timeout) {
+    reseq_timeouts_++;
+    release_held(delivered);
+    while (!fr.held.empty() && fr.held.begin()->first == fr.next_seq) {
+      release_held(delivered);
+    }
+  }
+
+  if (pkt.flow_seq < fr.next_seq) {
+    // Arrived after its hole was timed out: deliver late (counts as
+    // reordered — the resequencer gave up on it).
+    RecordDelivery(pkt, delivered);
+    return;
+  }
+  if (pkt.flow_seq == fr.next_seq) {
+    reseq_delay_.Add(0);
+    RecordDelivery(pkt, delivered);
+    fr.next_seq++;
+    while (!fr.held.empty() && fr.held.begin()->first == fr.next_seq) {
+      release_held(delivered);
+    }
+    return;
+  }
+  HeldPkt held;
+  held.ready = delivered;
+  held.src = pkt.src;
+  held.dst = pkt.dst;
+  held.bytes = pkt.bytes;
+  held.injected = pkt.injected;
+  fr.held.emplace(pkt.flow_seq, held);
+}
+
+void ClusterSim::FlushResequencers() {
+  for (auto& [flow_id, fr] : reseq_) {
+    for (auto& [seq, held] : fr.held) {
+      InFlight ghost;
+      ghost.flow_id = flow_id;
+      ghost.flow_seq = seq;
+      ghost.src = held.src;
+      ghost.dst = held.dst;
+      ghost.bytes = held.bytes;
+      ghost.injected = held.injected;
+      RecordDelivery(ghost, held.ready);
+    }
+    fr.held.clear();
+  }
+}
+
+void ClusterSim::Deliver(uint32_t slot, SimTime now) {
+  InFlight& pkt = packets_[slot];
+  if (config_.resequence) {
+    ResequenceDeliver(pkt, now);
+  } else {
+    RecordDelivery(pkt, now);
+  }
+  ReleaseSlot(slot);
+}
+
+void ClusterSim::ProcessEvent(const Event& ev) {
+  now_ = ev.time;
+  if (ev.kind == Event::Kind::kCompletion) {
+    OnServiceComplete(ev.server, now_);
+  } else {
+    ArriveAt(ev.arrival_server, ev.packet_slot, now_);
+  }
+}
+
+void ClusterSim::AdvanceTo(SimTime t) {
+  while (!events_.empty() && events_.top().time <= t) {
+    Event ev = events_.top();
+    events_.pop();
+    ProcessEvent(ev);
+  }
+  if (t > now_) {
+    now_ = t;
+  }
+}
+
+void ClusterSim::Inject(uint16_t src, uint16_t dst, uint64_t flow_id, uint64_t flow_seq,
+                        uint32_t bytes, SimTime t) {
+  RB_CHECK(src < config_.num_nodes && dst < config_.num_nodes);
+  RB_CHECK(!finished_);
+  AdvanceTo(t);
+  stats_.offered_packets++;
+  stats_.offered_bytes += bytes;
+  uint32_t slot = AllocSlot();
+  InFlight& pkt = packets_[slot];
+  pkt = InFlight{};
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.cur = src;
+  pkt.nxt = src;
+  pkt.bytes = bytes;
+  pkt.flow_id = flow_id;
+  pkt.flow_seq = flow_seq;
+  pkt.injected = t;
+  pkt.stage = Stage::kExtRx;
+  pkt.active = true;
+  ArriveAt(NicRxId(src, NicIndexForPort(0)), slot, t);
+}
+
+ClusterRunStats ClusterSim::Finish(SimTime duration) {
+  RB_CHECK(!finished_);
+  finished_ = true;
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    ProcessEvent(ev);
+  }
+  if (config_.resequence) {
+    FlushResequencers();
+  }
+
+  stats_.duration = duration;
+  uint16_t n = config_.num_nodes;
+  stats_.per_output_bps.assign(n, 0);
+  stats_.per_input_delivered_bps.assign(n, 0);
+  for (uint16_t i = 0; i < n; ++i) {
+    stats_.per_output_bps[i] =
+        duration > 0 ? static_cast<double>(delivered_bytes_by_dst_[i]) * 8.0 / duration : 0;
+    stats_.per_input_delivered_bps[i] =
+        duration > 0 ? static_cast<double>(delivered_bytes_by_src_[i]) * 8.0 / duration : 0;
+    stats_.direct_packets += vlb_[i]->direct_packets();
+    stats_.balanced_packets += vlb_[i]->balanced_packets();
+  }
+  uint64_t total = reorder_.total_packets();
+  stats_.reorder_packet_fraction =
+      total ? static_cast<double>(reorder_.reordered_packets()) / static_cast<double>(total) : 0;
+  stats_.reorder_sequence_fraction =
+      total ? static_cast<double>(reorder_.reordered_sequences()) / static_cast<double>(total) : 0;
+  stats_.resequencer_added_delay_mean = reseq_delay_.mean();
+  stats_.resequencer_timeouts = reseq_timeouts_;
+  return stats_;
+}
+
+NodeStats ClusterSim::node_stats(uint16_t i) const {
+  NodeStats ns;
+  const FifoServer& cpu = servers_[CpuId(i)];
+  ns.cpu_served = cpu.served;
+  ns.cpu_busy_seconds = cpu.busy_time;
+  ns.delivered = delivered_by_dst_[i];
+  ns.delivered_bytes = delivered_bytes_by_dst_[i];
+  return ns;
+}
+
+ClusterRunStats ClusterSim::RunUniform(const TrafficMatrix& tm, double per_input_bps,
+                                       SizeDistribution* sizes, SimTime duration,
+                                       uint32_t flows_per_pair) {
+  RB_CHECK(tm.num_nodes() == config_.num_nodes);
+  RB_CHECK(per_input_bps > 0);
+  Rng rng(config_.seed * 7919 + 13);
+  uint16_t n = config_.num_nodes;
+  double mean_gap = sizes->MeanSize() * 8.0 / per_input_bps;
+
+  std::vector<SimTime> next_arrival(n, 0);
+  std::vector<bool> active(n, false);
+  for (uint16_t i = 0; i < n; ++i) {
+    active[i] = tm.InputActive(i);
+    next_arrival[i] = active[i] ? rng.NextExponential(mean_gap) : duration;
+  }
+  std::unordered_map<uint64_t, uint64_t> flow_seq;
+
+  while (true) {
+    uint16_t src = 0;
+    SimTime t = duration;
+    for (uint16_t i = 0; i < n; ++i) {
+      if (active[i] && next_arrival[i] < t) {
+        t = next_arrival[i];
+        src = i;
+      }
+    }
+    if (t >= duration) {
+      break;
+    }
+    uint16_t dst = tm.SampleOutput(src, &rng);
+    uint32_t bytes = sizes->NextSize(&rng);
+    uint64_t flow_id =
+        (static_cast<uint64_t>(src) * n + dst) * flows_per_pair + rng.NextBounded(flows_per_pair);
+    uint64_t seq = flow_seq[flow_id]++;
+    Inject(src, dst, flow_id, seq, bytes, t);
+    next_arrival[src] = t + rng.NextExponential(mean_gap);
+  }
+  return Finish(duration);
+}
+
+ClusterRunStats ClusterSim::RunSinglePairTrace(FlowTrafficGenerator* gen, uint16_t src,
+                                               uint16_t dst, SimTime duration) {
+  RB_CHECK(gen != nullptr);
+  while (true) {
+    FlowTrafficGenerator::Item item = gen->Next();
+    if (item.time >= duration) {
+      break;
+    }
+    Inject(src, dst, item.spec.flow_id, item.spec.flow_seq, item.spec.size, item.time);
+  }
+  return Finish(duration);
+}
+
+}  // namespace rb

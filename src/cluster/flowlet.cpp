@@ -1,0 +1,34 @@
+#include "cluster/flowlet.hpp"
+
+namespace rb {
+
+FlowletPath FlowletTable::Lookup(uint64_t flow_id, SimTime now) {
+  auto it = entries_.find(flow_id);
+  if (it == entries_.end() || now - it->second.last_seen > delta_) {
+    return FlowletPath{};
+  }
+  return it->second.path;
+}
+
+void FlowletTable::Commit(uint64_t flow_id, SimTime now, FlowletPath path) {
+  Entry& e = entries_[flow_id];
+  e.last_seen = now;
+  e.path = path;
+}
+
+void FlowletTable::Expire(SimTime now) {
+  // Amortized sweep: at most once per δ.
+  if (now - last_expire_ < delta_) {
+    return;
+  }
+  last_expire_ = now;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->second.last_seen > delta_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace rb

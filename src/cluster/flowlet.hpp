@@ -1,0 +1,62 @@
+// Flowlet tracking for the reordering-avoidance scheme (§6.1).
+//
+// A set of same-flow packets arriving within δ of one another is a
+// "flowlet" (Flare, Kandula et al.); the input node sends a whole flowlet
+// through one path whenever that does not overload the corresponding
+// internal link. δ = 100 ms in the prototype — well above the per-packet
+// latency through the cluster, so packets of one flowlet cannot overtake
+// each other by taking the same path.
+#ifndef RB_CLUSTER_FLOWLET_HPP_
+#define RB_CLUSTER_FLOWLET_HPP_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/time.hpp"
+
+namespace rb {
+
+// Path assignment for a flowlet: direct to the output node, or via a
+// specific intermediate.
+struct FlowletPath {
+  static constexpr uint16_t kUnassigned = 0xffff;
+  static constexpr uint16_t kDirect = 0xfffe;
+  uint16_t via = kUnassigned;
+
+  bool assigned() const { return via != kUnassigned; }
+  bool direct() const { return via == kDirect; }
+};
+
+class FlowletTable {
+ public:
+  explicit FlowletTable(SimTime delta) : delta_(delta) {}
+
+  // Returns the current path for `flow_id` if the flowlet is still live
+  // (last packet within δ); otherwise an unassigned path. Always refreshes
+  // the last-seen time afterwards via Commit().
+  FlowletPath Lookup(uint64_t flow_id, SimTime now);
+
+  // Records the path chosen for this packet.
+  void Commit(uint64_t flow_id, SimTime now, FlowletPath path);
+
+  // Drops entries idle for more than δ (bounds memory in long runs).
+  void Expire(SimTime now);
+
+  size_t size() const { return entries_.size(); }
+  SimTime delta() const { return delta_; }
+
+ private:
+  struct Entry {
+    SimTime last_seen = 0;
+    FlowletPath path;
+  };
+
+  SimTime delta_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  SimTime last_expire_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_FLOWLET_HPP_

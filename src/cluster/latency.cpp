@@ -1,0 +1,18 @@
+#include "cluster/latency.hpp"
+
+namespace rb {
+
+LatencyEstimate EstimateLatency(const LatencyParams& params) {
+  LatencyEstimate e;
+  e.dma_us = params.dma_crossing_us * params.dma_crossings;
+  e.processing_us = params.routing_cycles / params.clock_hz * 1e6;
+  // A packet can wait for up to kn - 1 others before its descriptor batch
+  // is initiated; the paper rounds this to kn * processing time.
+  e.batching_us = params.kn * e.processing_us;
+  e.per_server_us = e.dma_us + e.batching_us + e.processing_us;
+  e.cluster_2hop_us = 2 * e.per_server_us;
+  e.cluster_3hop_us = 3 * e.per_server_us;
+  return e;
+}
+
+}  // namespace rb

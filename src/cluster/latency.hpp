@@ -1,0 +1,42 @@
+// The §6.2 latency decomposition, as an analytic estimator.
+//
+// Per-server latency for a 64 B packet:
+//   * 2 back-and-forth DMA transfers (packet + descriptor) = 4 crossings
+//     at 2.56 us each (400 MHz DMA engine, published reports [50]),
+//   * NIC-driven batching wait: up to kn - 1 = 15 packet slots, bounded
+//     by kn * 0.8 us = 12.8 us at the measured processing rate,
+//   * CPU processing: ~2425 cycles (Table 3 routing) = 0.8 us.
+//   => ~24 us per server; a 2-hop (direct) path gives ~47.6 us, a 3-hop
+//   (load-balanced) path ~66.4 us through RB4.
+#ifndef RB_CLUSTER_LATENCY_HPP_
+#define RB_CLUSTER_LATENCY_HPP_
+
+#include "common/time.hpp"
+
+namespace rb {
+
+struct LatencyParams {
+  double dma_crossing_us = 2.56;  // one DMA transfer of a 64 B packet
+  int dma_crossings = 4;          // packet in/out + descriptor in/out
+  int kn = 16;                    // NIC-driven batch size
+  // Cycles to route one 64 B packet. The paper's Table 3 gives 2425; its
+  // latency arithmetic rounds that to 0.8 us (2240 cycles) and we follow
+  // the arithmetic so the headline 24 us / 47.6 us figures reproduce.
+  double routing_cycles = 2240;
+  double clock_hz = 2.8e9;        // per-core clock (processing is serial)
+};
+
+struct LatencyEstimate {
+  double per_server_us = 0;
+  double batching_us = 0;
+  double dma_us = 0;
+  double processing_us = 0;
+  double cluster_2hop_us = 0;  // direct path (input + output node)
+  double cluster_3hop_us = 0;  // load-balanced path (+ intermediate)
+};
+
+LatencyEstimate EstimateLatency(const LatencyParams& params = LatencyParams{});
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_LATENCY_HPP_

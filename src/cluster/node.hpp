@@ -1,0 +1,78 @@
+// FIFO servers for the event-driven cluster simulator.
+//
+// Every contended resource on a packet's path through the cluster is a
+// work-conserving FIFO server with a bounded queue: NIC directions (the
+// per-NIC PCIe ceiling of §4.1), internal links, the node's CPU complex
+// (capacity = cores x clock, abstracting within-server parallelism at
+// cluster scope), and the external output port (line rate R). A server
+// drops arrivals when its queue is full — the finite-buffer behaviour
+// that defines the maximum loss-free rate.
+#ifndef RB_CLUSTER_NODE_HPP_
+#define RB_CLUSTER_NODE_HPP_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/vlb.hpp"
+#include "common/time.hpp"
+
+namespace rb {
+
+enum class ServerKind : uint8_t {
+  kExtRxNic = 0,
+  kCpu,
+  kTxNic,
+  kLink,
+  kRxNic,
+  kExtOut,
+};
+
+// A unit of work queued at a server: which in-flight packet, and its
+// service time (precomputed from the packet size / role).
+struct ServerJob {
+  uint32_t packet_slot = 0;
+  double service_seconds = 0;
+};
+
+struct FifoServer {
+  ServerKind kind = ServerKind::kCpu;
+  // Service capacity: rate servers set rate_bps (0 = transparent wire);
+  // the CPU server sets cycles_per_sec and jobs carry cycle costs.
+  double rate_bps = 0;
+  double cycles_per_sec = 0;
+  size_t queue_cap = 4096;
+
+  std::deque<ServerJob> queue;
+  bool busy = false;
+  uint64_t served = 0;
+  uint64_t drops = 0;
+  uint64_t bytes = 0;
+  double busy_time = 0;
+
+  // Accepts a job unless the queue is full. The caller starts service if
+  // the server was idle.
+  bool Enqueue(const ServerJob& job) {
+    if (queue.size() >= queue_cap) {
+      drops++;
+      return false;
+    }
+    queue.push_back(job);
+    return true;
+  }
+
+  bool idle() const { return !busy && queue.empty(); }
+};
+
+// Per-node bookkeeping the simulator exposes to tests and benches.
+struct NodeStats {
+  uint64_t cpu_served = 0;
+  double cpu_busy_seconds = 0;
+  uint64_t delivered = 0;
+  uint64_t delivered_bytes = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_NODE_HPP_

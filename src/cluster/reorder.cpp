@@ -1,0 +1,27 @@
+#include "cluster/reorder.hpp"
+
+namespace rb {
+
+void ReorderDetector::Deliver(uint64_t flow_id, uint64_t flow_seq) {
+  total_++;
+  FlowState& st = flows_[flow_id];
+  if (!st.any) {
+    st.any = true;
+    st.max_seq = flow_seq;
+    return;
+  }
+  if (flow_seq > st.max_seq) {
+    st.max_seq = flow_seq;
+    st.in_reordered_run = false;
+    return;
+  }
+  // Late packet: part of a reordered sequence. A contiguous run of late
+  // packets counts once.
+  reordered_packets_++;
+  if (!st.in_reordered_run) {
+    reordered_sequences_++;
+    st.in_reordered_run = true;
+  }
+}
+
+}  // namespace rb

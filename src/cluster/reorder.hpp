@@ -1,0 +1,53 @@
+// Reordering measurement (§6.2).
+//
+// The paper counts the fraction of same-flow packet sequences delivered
+// out of order within their TCP/UDP flow. We track, per flow, the highest
+// per-flow sequence number delivered so far: a delivered packet with a
+// lower sequence number than the maximum already delivered is a
+// reordered packet, and each contiguous run of such packets counts as one
+// reordered sequence (matching the paper's example: <p1,p4,p2,p3,p5>
+// counts one reordered sequence).
+#ifndef RB_CLUSTER_REORDER_HPP_
+#define RB_CLUSTER_REORDER_HPP_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace rb {
+
+class ReorderDetector {
+ public:
+  // Records a delivery. Deliveries must be reported in delivery order
+  // (per flow).
+  void Deliver(uint64_t flow_id, uint64_t flow_seq);
+
+  uint64_t total_packets() const { return total_; }
+  uint64_t reordered_packets() const { return reordered_packets_; }
+  uint64_t reordered_sequences() const { return reordered_sequences_; }
+  uint64_t flows() const { return flows_.size(); }
+
+  // Fraction of reordered sequences over delivered packets (the paper's
+  // metric normalizes per sequence).
+  double SequenceFraction() const {
+    return total_ ? static_cast<double>(reordered_sequences_) / static_cast<double>(total_) : 0.0;
+  }
+  double PacketFraction() const {
+    return total_ ? static_cast<double>(reordered_packets_) / static_cast<double>(total_) : 0.0;
+  }
+
+ private:
+  struct FlowState {
+    uint64_t max_seq = 0;
+    bool any = false;
+    bool in_reordered_run = false;
+  };
+
+  std::unordered_map<uint64_t, FlowState> flows_;
+  uint64_t total_ = 0;
+  uint64_t reordered_packets_ = 0;
+  uint64_t reordered_sequences_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_REORDER_HPP_

@@ -1,0 +1,150 @@
+#include "cluster/sizing.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "cluster/topology.hpp"
+
+namespace rb {
+
+ServerPlatform ServerPlatform::Current() {
+  ServerPlatform p;
+  p.name = "one ext. port/server, 5 PCIe slots";
+  p.nic_slots = 5;
+  p.ext_ports_per_server = 1;
+  return p;
+}
+
+ServerPlatform ServerPlatform::MoreNics() {
+  ServerPlatform p;
+  p.name = "one ext. port/server, 20 PCIe slots";
+  p.nic_slots = 20;
+  p.ext_ports_per_server = 1;
+  return p;
+}
+
+ServerPlatform ServerPlatform::FasterServers() {
+  ServerPlatform p;
+  p.name = "two ext. ports/server, 20 PCIe slots";
+  p.nic_slots = 20;
+  p.ext_ports_per_server = 2;
+  return p;
+}
+
+namespace {
+
+// NIC slots left for internal links after the external ports are housed.
+int SpareSlots(const ServerPlatform& p) {
+  int ext_slots = (p.ext_ports_per_server + p.tengig_ports_per_slot - 1) / p.tengig_ports_per_slot;
+  return p.nic_slots - ext_slots;
+}
+
+}  // namespace
+
+SizingResult SizeCluster(const ServerPlatform& platform, uint32_t external_ports,
+                         double port_rate_bps) {
+  SizingResult r;
+  r.external_ports = external_ports;
+  uint32_t s = static_cast<uint32_t>(platform.ext_ports_per_server);
+  RB_CHECK(s >= 1);
+  uint64_t servers = (external_ports + s - 1) / s;
+  r.port_servers = servers;
+  int spare = SpareSlots(platform);
+  if (spare <= 0 || servers < 2) {
+    r.feasible = servers >= 1 && external_ports <= s;  // single-server "cluster"
+    r.mesh = true;
+    return r;
+  }
+
+  // Mesh feasibility with either internal port type. Per-link VLB load in
+  // a full mesh of M nodes handling s ports each: 2 s R / (M - 1).
+  uint64_t links_needed = servers - 1;
+  double per_link_load = 2.0 * s * port_rate_bps / static_cast<double>(links_needed);
+  struct LinkOption {
+    const char* label;
+    double rate;
+    uint64_t fanout;
+  };
+  const LinkOption options[] = {
+      {"10G", 10e9, static_cast<uint64_t>(spare) * platform.tengig_ports_per_slot},
+      {"1G", 1e9, static_cast<uint64_t>(spare) * platform.onegig_ports_per_slot},
+  };
+  for (const auto& opt : options) {
+    // Bundle parallel physical links per neighbor when one link cannot
+    // carry the VLB share (e.g. 1 GbE links in a small mesh).
+    uint64_t bundle = static_cast<uint64_t>(std::ceil(per_link_load / opt.rate));
+    bundle = std::max<uint64_t>(bundle, 1);
+    if (links_needed * bundle <= opt.fanout) {
+      r.feasible = true;
+      r.mesh = true;
+      r.internal_link = opt.label;
+      return r;
+    }
+  }
+
+  // k-ary n-fly of 10 GbE-linked servers: a switch server needs k links in
+  // and k out -> k = spare slots (dual-port NICs give one in + one out per
+  // slot).
+  uint64_t k = static_cast<uint64_t>(spare);
+  if (k < 2) {
+    r.feasible = false;
+    return r;
+  }
+  uint64_t n = 1;
+  uint64_t reach = k;
+  while (reach < servers) {
+    reach *= k;
+    n++;
+  }
+  r.feasible = true;
+  r.mesh = false;
+  r.internal_link = "10G";
+  r.switch_servers = n * ((servers + k - 1) / k);
+  return r;
+}
+
+namespace {
+
+// Switch count for a strictly non-blocking fabric with `ports` endpoints
+// built from k-port switches: one switch when it fits, otherwise a folded
+// Clos whose 2*(k/2)-1 middle planes are built recursively.
+uint64_t NonBlockingSwitchCount(uint64_t ports, int k) {
+  if (ports <= static_cast<uint64_t>(k)) {
+    return 1;
+  }
+  // Strictly non-blocking Clos (m >= 2n - 1): an edge switch with n
+  // host-facing ports needs 2n - 1 uplinks, so n + (2n - 1) <= k gives
+  // n = (k + 1) / 3 — this is the over-provisioning §3.3 points at.
+  uint64_t down = (static_cast<uint64_t>(k) + 1) / 3;
+  uint64_t edge = (ports + down - 1) / down;
+  uint64_t planes = 2 * down - 1;
+  return edge + planes * NonBlockingSwitchCount(edge, k);
+}
+
+}  // namespace
+
+double SwitchedClusterServerEquivalents(uint32_t external_ports, int switch_ports,
+                                        double port_cost, double server_cost) {
+  RB_CHECK(switch_ports >= 4);
+  uint64_t switches = NonBlockingSwitchCount(external_ports, switch_ports);
+  double switch_cost = static_cast<double>(switches) * switch_ports * port_cost;
+  // N packet-processing servers plus the switch fabric cost in
+  // server-equivalents (the paper's conversion: 4 Arista ports = 1 server).
+  return static_cast<double>(external_ports) + switch_cost / server_cost;
+}
+
+std::vector<Fig3Row> ComputeFig3() {
+  std::vector<Fig3Row> rows;
+  for (uint32_t n = 4; n <= 2048; n *= 2) {
+    Fig3Row row;
+    row.n = n;
+    row.current = SizeCluster(ServerPlatform::Current(), n);
+    row.more_nics = SizeCluster(ServerPlatform::MoreNics(), n);
+    row.faster = SizeCluster(ServerPlatform::FasterServers(), n);
+    row.switched_equiv = SwitchedClusterServerEquivalents(n);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace rb

@@ -1,0 +1,74 @@
+// Cluster sizing (Fig 3): how many servers are needed for an N-port,
+// R bps/port router, as a function of the server configuration.
+//
+// Rules (§3.3):
+//  * Assign each server as many external router ports as it can handle
+//    (s ports at 3sR processing).
+//  * Full mesh if the per-server fanout covers N/s - 1 internal links AND
+//    every internal link's VLB load, 2sR / (N/s - 1), fits the link rate.
+//    Internal links can be built from either port type the NICs offer
+//    (2 x 10 GbE or 8 x 1 GbE per slot); we pick whichever admits a mesh.
+//  * Otherwise, a k-ary n-fly of 10 GbE-linked servers, k = spare NIC
+//    slots (each switch node needs k links in + k out on dual-port NICs),
+//    n = ceil(log_k(N/s)): total = N/s port servers + n * ceil(N/(s*k))
+//    switch servers.
+//
+// The "switched cluster" comparison prices a strictly non-blocking Clos of
+// 48-port 10 GbE switches at the paper's conversion (4 switch ports == 1
+// server) and adds the N packet-processing servers.
+#ifndef RB_CLUSTER_SIZING_HPP_
+#define RB_CLUSTER_SIZING_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rb {
+
+struct ServerPlatform {
+  std::string name;
+  int nic_slots = 5;
+  int ext_ports_per_server = 1;  // s
+  // Port options per NIC slot (the paper's NICs: 2x10G or 8x1G).
+  int tengig_ports_per_slot = 2;
+  int onegig_ports_per_slot = 8;
+
+  static ServerPlatform Current();        // 1 ext port, 5 slots
+  static ServerPlatform MoreNics();       // 1 ext port, 20 slots
+  static ServerPlatform FasterServers();  // 2 ext ports, 20 slots
+};
+
+struct SizingResult {
+  uint32_t external_ports = 0;
+  bool feasible = false;
+  bool mesh = false;             // full mesh vs k-ary n-fly
+  std::string internal_link;     // "10G" or "1G" for the mesh case
+  uint64_t port_servers = 0;
+  uint64_t switch_servers = 0;   // n-fly intermediates
+  uint64_t total_servers() const { return port_servers + switch_servers; }
+};
+
+// Sizes a cluster of `platform` servers for N external ports at R bps.
+SizingResult SizeCluster(const ServerPlatform& platform, uint32_t external_ports,
+                         double port_rate_bps = 10e9);
+
+// Cost of the rejected switched-cluster design, in server-equivalents:
+// N processing servers + (switch ports) * port_cost / server_cost.
+// 48-port strictly non-blocking switches; Clos when N > 48.
+double SwitchedClusterServerEquivalents(uint32_t external_ports, int switch_ports = 48,
+                                        double port_cost = 500, double server_cost = 2000);
+
+// The Fig 3 sweep: N in powers of two over [4, 2048] for all three
+// platforms plus the switched-cluster cost.
+struct Fig3Row {
+  uint32_t n = 0;
+  SizingResult current;
+  SizingResult more_nics;
+  SizingResult faster;
+  double switched_equiv = 0;
+};
+std::vector<Fig3Row> ComputeFig3();
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_SIZING_HPP_

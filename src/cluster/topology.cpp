@@ -1,0 +1,56 @@
+#include "cluster/topology.hpp"
+
+#include "common/log.hpp"
+
+namespace rb {
+
+FullMeshTopology::FullMeshTopology(uint16_t num_nodes) : n_(num_nodes) {
+  RB_CHECK(num_nodes >= 2);
+}
+
+KAryNFlyTopology::KAryNFlyTopology(uint32_t k, uint32_t n) : k_(k), n_(n) {
+  RB_CHECK(k >= 2);
+  RB_CHECK(n >= 1);
+}
+
+uint64_t KAryNFlyTopology::num_terminals() const {
+  uint64_t t = 1;
+  for (uint32_t i = 0; i < n_; ++i) {
+    t *= k_;
+  }
+  return t;
+}
+
+uint64_t KAryNFlyTopology::switches_per_stage() const { return num_terminals() / k_; }
+
+uint64_t KAryNFlyTopology::total_switches() const { return n_ * switches_per_stage(); }
+
+uint64_t KAryNFlyTopology::SwitchOnPath(uint64_t src, uint64_t dst, uint32_t stage) const {
+  RB_CHECK(stage < n_);
+  RB_CHECK(src < num_terminals() && dst < num_terminals());
+  // Destination-tag routing: entering stage t, the most significant t
+  // address digits have already been corrected to the destination's. The
+  // switch row is the terminal address with digit t removed.
+  // Extract base-k digits, most significant first.
+  std::vector<uint32_t> sdig(n_), ddig(n_);
+  uint64_t s = src;
+  uint64_t d = dst;
+  for (uint32_t i = n_; i-- > 0;) {
+    sdig[i] = static_cast<uint32_t>(s % k_);
+    s /= k_;
+    ddig[i] = static_cast<uint32_t>(d % k_);
+    d /= k_;
+  }
+  uint64_t row = 0;
+  for (uint32_t j = 0; j < n_; ++j) {
+    if (j == stage) {
+      continue;  // the digit being corrected at this stage indexes the
+                 // switch's internal port, not its row
+    }
+    uint32_t digit = j < stage ? ddig[j] : sdig[j];
+    row = row * k_ + digit;
+  }
+  return row;
+}
+
+}  // namespace rb

@@ -1,0 +1,62 @@
+// Cluster interconnect topologies (§3.3).
+//
+// FullMeshTopology: every node links to every other (the RB4 layout).
+// KAryNFlyTopology: a generalized butterfly interconnecting N terminals
+// through n = ceil(log_k N) stages of k-degree switch nodes — used when
+// the port count exceeds a server's fanout. The fly here provides node
+// counts and hop paths for the sizing calculator and tests; the DES runs
+// on the mesh (as the paper's prototype does).
+#ifndef RB_CLUSTER_TOPOLOGY_HPP_
+#define RB_CLUSTER_TOPOLOGY_HPP_
+
+#include <cstdint>
+#include <vector>
+
+namespace rb {
+
+class FullMeshTopology {
+ public:
+  explicit FullMeshTopology(uint16_t num_nodes);
+
+  uint16_t num_nodes() const { return n_; }
+  // Every distinct pair is directly connected.
+  bool Connected(uint16_t a, uint16_t b) const { return a != b; }
+  // Links per node.
+  uint16_t Degree() const { return static_cast<uint16_t>(n_ - 1); }
+  // Hops for a direct (1) or load-balanced (2) path.
+  static constexpr int kDirectHops = 1;
+  static constexpr int kBalancedHops = 2;
+
+ private:
+  uint16_t n_;
+};
+
+// k-ary n-fly: k^n terminal ports on each side, n stages of k^(n-1)
+// k-by-k switch nodes. Node ids: stage s in [0, n), index i in
+// [0, k^(n-1)).
+class KAryNFlyTopology {
+ public:
+  KAryNFlyTopology(uint32_t k, uint32_t n);
+
+  uint32_t k() const { return k_; }
+  uint32_t n() const { return n_; }
+  uint64_t num_terminals() const;        // k^n
+  uint64_t switches_per_stage() const;   // k^(n-1)
+  uint64_t total_switches() const;       // n * k^(n-1)
+
+  // The switch visited at stage `stage` on the (unique) path from input
+  // terminal `src` to output terminal `dst` in a destination-routed
+  // butterfly.
+  uint64_t SwitchOnPath(uint64_t src, uint64_t dst, uint32_t stage) const;
+
+  // Path length in switch hops (== n for every pair).
+  uint32_t PathHops() const { return n_; }
+
+ private:
+  uint32_t k_;
+  uint32_t n_;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_TOPOLOGY_HPP_

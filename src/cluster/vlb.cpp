@@ -1,0 +1,116 @@
+#include "cluster/vlb.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace rb {
+
+DirectVlbRouter::DirectVlbRouter(const VlbConfig& config, uint16_t self)
+    : config_(config),
+      self_(self),
+      flowlets_(config.flowlet_delta),
+      rng_(config.seed ^ (0x9e37ULL * (self + 1))),
+      direct_rate_(config.num_nodes),
+      via_rate_(config.num_nodes) {
+  RB_CHECK(config.num_nodes >= 2);
+  RB_CHECK(self < config.num_nodes);
+}
+
+void DirectVlbRouter::Charge(PathRate* pr, uint32_t bytes, SimTime now) const {
+  double decay = std::exp(-(now - pr->last) / config_.rate_tau);
+  pr->rate = pr->rate * decay + static_cast<double>(bytes) * 8.0 / config_.rate_tau;
+  pr->last = now;
+}
+
+double DirectVlbRouter::Read(const PathRate& pr, SimTime now) const {
+  return pr.rate * std::exp(-(now - pr.last) / config_.rate_tau);
+}
+
+double DirectVlbRouter::EstimatedRate(uint16_t dst, uint16_t via, SimTime now) const {
+  if (via == FlowletPath::kDirect) {
+    return Read(direct_rate_[dst], now);
+  }
+  return Read(via_rate_[via], now);
+}
+
+uint16_t DirectVlbRouter::PickIntermediate(uint16_t dst, Rng* rng) {
+  // Uniform over nodes other than self and dst (those two would not be
+  // load-balancing). num_nodes >= 3 is required to balance at all; in a
+  // 2-node cluster everything is direct.
+  uint16_t n = config_.num_nodes;
+  if (n <= 2) {
+    return dst;
+  }
+  while (true) {
+    uint16_t v = static_cast<uint16_t>(rng->NextBounded(n));
+    if (v != self_ && v != dst) {
+      return v;
+    }
+  }
+}
+
+VlbDecision DirectVlbRouter::Route(uint16_t dst, uint64_t flow_id, uint32_t bytes, SimTime now) {
+  RB_CHECK(dst < config_.num_nodes);
+  const double direct_budget =
+      config_.port_rate_bps / config_.num_nodes * 1.0;  // R/N (Direct VLB rule)
+  const double link_budget = config_.internal_link_bps * config_.overload_threshold;
+
+  VlbDecision d;
+
+  if (config_.flowlets) {
+    flowlets_.Expire(now);
+    FlowletPath path = flowlets_.Lookup(flow_id, now);
+    if (path.assigned()) {
+      if (path.direct()) {
+        // A flowlet assigned to the direct path stays there: revoking it
+        // mid-flowlet is exactly the path flap the scheme exists to
+        // prevent. The R/N budget is enforced where it matters — when NEW
+        // flowlets are assigned — and the EWMA charge here is what that
+        // admission check reads.
+        Charge(&direct_rate_[dst], bytes, now);
+        flowlets_.Commit(flow_id, now, path);
+        direct_packets_++;
+        d.direct = true;
+        return d;
+      }
+      if (Read(via_rate_[path.via], now) <= link_budget) {
+        Charge(&via_rate_[path.via], bytes, now);
+        flowlets_.Commit(flow_id, now, path);
+        balanced_packets_++;
+        d.via = path.via;
+        return d;
+      }
+      // The flowlet's path is overloaded: spill to per-packet balancing
+      // (classic VLB) for this packet; the flowlet keeps its assignment
+      // so later packets retry it.
+      spilled_++;
+      d.spilled = true;
+      d.via = PickIntermediate(dst, &rng_);
+      Charge(&via_rate_[d.via], bytes, now);
+      balanced_packets_++;
+      return d;
+    }
+  }
+
+  // Fresh decision: direct when Direct VLB is on and within budget.
+  if (config_.direct_vlb && Read(direct_rate_[dst], now) < direct_budget) {
+    Charge(&direct_rate_[dst], bytes, now);
+    if (config_.flowlets) {
+      flowlets_.Commit(flow_id, now, FlowletPath{FlowletPath::kDirect});
+    }
+    direct_packets_++;
+    d.direct = true;
+    return d;
+  }
+
+  d.via = PickIntermediate(dst, &rng_);
+  Charge(&via_rate_[d.via], bytes, now);
+  if (config_.flowlets) {
+    flowlets_.Commit(flow_id, now, FlowletPath{d.via});
+  }
+  balanced_packets_++;
+  return d;
+}
+
+}  // namespace rb

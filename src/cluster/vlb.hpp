@@ -1,0 +1,91 @@
+// Direct Valiant Load Balancing path selection (§3.2, §6.1).
+//
+// Plain VLB sends every packet via a uniformly random intermediate node
+// (phase 1), which then forwards it to the output node (phase 2). Direct
+// VLB ("adaptive load-balancing with local information", Zhang-Shen &
+// McKeown) lets the input node send up to R/N of the traffic addressed to
+// each output directly, load-balancing only the excess — with a uniform
+// traffic matrix everything goes direct and the per-node processing
+// requirement drops from 3R to 2R.
+//
+// The flowlet layer (when enabled) keeps same-flow bursts on one path
+// unless the path's estimated load exceeds its share, in which case the
+// flowlet spills to per-packet balancing, as in the prototype.
+#ifndef RB_CLUSTER_VLB_HPP_
+#define RB_CLUSTER_VLB_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/flowlet.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace rb {
+
+struct VlbConfig {
+  uint16_t num_nodes = 4;
+  double port_rate_bps = 10e9;       // R
+  double internal_link_bps = 10e9;
+  bool direct_vlb = true;            // false = classic two-phase VLB always
+  bool flowlets = true;
+  SimTime flowlet_delta = 0.1;       // δ = 100 ms
+  // A flowlet may stay on a path while the path's estimated rate is below
+  // this fraction of the link's VLB share; beyond it, spill to per-packet.
+  double overload_threshold = 0.95;
+  // EWMA time constant for per-path rate estimation. Short enough that
+  // the Direct-VLB budget reacts within a fraction of a millisecond.
+  SimTime rate_tau = 1e-3;
+  uint64_t seed = 99;
+};
+
+struct VlbDecision {
+  bool direct = false;
+  uint16_t via = 0;      // intermediate node when !direct
+  bool spilled = false;  // flowlet overflowed to per-packet balancing
+};
+
+// Path selector for one input node.
+class DirectVlbRouter {
+ public:
+  DirectVlbRouter(const VlbConfig& config, uint16_t self);
+
+  // Chooses the path for a packet of `bytes` bytes of flow `flow_id`
+  // destined to output node `dst`, at simulated time `now`.
+  VlbDecision Route(uint16_t dst, uint64_t flow_id, uint32_t bytes, SimTime now);
+
+  // Estimated rate currently sent via `via` (bps); kDirectIndex for the
+  // direct path. Exposed for tests.
+  double EstimatedRate(uint16_t dst, uint16_t via, SimTime now) const;
+
+  uint64_t direct_packets() const { return direct_packets_; }
+  uint64_t balanced_packets() const { return balanced_packets_; }
+  uint64_t spilled_flowlets() const { return spilled_; }
+
+ private:
+  // Token bucket + EWMA rate tracker per path.
+  struct PathRate {
+    double rate = 0;       // EWMA bps
+    SimTime last = 0;
+  };
+
+  void Charge(PathRate* pr, uint32_t bytes, SimTime now) const;
+  double Read(const PathRate& pr, SimTime now) const;
+  uint16_t PickIntermediate(uint16_t dst, Rng* rng);
+
+  VlbConfig config_;
+  uint16_t self_;
+  FlowletTable flowlets_;
+  Rng rng_;
+  // direct_rate_[dst]: rate sent directly to dst (budget R/N each).
+  std::vector<PathRate> direct_rate_;
+  // via_rate_[via]: phase-1 rate sent through each neighbor link.
+  std::vector<PathRate> via_rate_;
+  uint64_t direct_packets_ = 0;
+  uint64_t balanced_packets_ = 0;
+  uint64_t spilled_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_VLB_HPP_

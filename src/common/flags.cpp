@@ -1,0 +1,160 @@
+#include "common/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.hpp"
+
+namespace rb {
+
+FlagSet::FlagSet(std::string program) : program_(std::move(program)) {}
+
+int64_t* FlagSet::AddInt64(const std::string& name, int64_t def, const std::string& help) {
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->help = help;
+  flag->type = Type::kInt64;
+  flag->i64 = std::make_unique<int64_t>(def);
+  flag->default_repr = Format("%lld", static_cast<long long>(def));
+  int64_t* out = flag->i64.get();
+  flags_.push_back(std::move(flag));
+  return out;
+}
+
+double* FlagSet::AddDouble(const std::string& name, double def, const std::string& help) {
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->help = help;
+  flag->type = Type::kDouble;
+  flag->f64 = std::make_unique<double>(def);
+  flag->default_repr = Format("%g", def);
+  double* out = flag->f64.get();
+  flags_.push_back(std::move(flag));
+  return out;
+}
+
+bool* FlagSet::AddBool(const std::string& name, bool def, const std::string& help) {
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->help = help;
+  flag->type = Type::kBool;
+  flag->b = std::make_unique<bool>(def);
+  flag->default_repr = def ? "true" : "false";
+  bool* out = flag->b.get();
+  flags_.push_back(std::move(flag));
+  return out;
+}
+
+std::string* FlagSet::AddString(const std::string& name, const std::string& def,
+                                const std::string& help) {
+  auto flag = std::make_unique<Flag>();
+  flag->name = name;
+  flag->help = help;
+  flag->type = Type::kString;
+  flag->s = std::make_unique<std::string>(def);
+  flag->default_repr = def;
+  std::string* out = flag->s.get();
+  flags_.push_back(std::move(flag));
+  return out;
+}
+
+FlagSet::Flag* FlagSet::Find(const std::string& name) {
+  for (auto& f : flags_) {
+    if (f->name == name) {
+      return f.get();
+    }
+  }
+  return nullptr;
+}
+
+bool FlagSet::SetValue(Flag* flag, const std::string& value) {
+  char* end = nullptr;
+  switch (flag->type) {
+    case Type::kInt64: {
+      long long v = strtoll(value.c_str(), &end, 0);
+      if (end == value.c_str() || *end != '\0') {
+        return false;
+      }
+      *flag->i64 = v;
+      return true;
+    }
+    case Type::kDouble: {
+      double v = strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        return false;
+      }
+      *flag->f64 = v;
+      return true;
+    }
+    case Type::kBool: {
+      if (value == "true" || value == "1" || value == "yes") {
+        *flag->b = true;
+        return true;
+      }
+      if (value == "false" || value == "0" || value == "no") {
+        *flag->b = false;
+        return true;
+      }
+      return false;
+    }
+    case Type::kString:
+      *flag->s = value;
+      return true;
+  }
+  return false;
+}
+
+void FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printf("%s", Usage().c_str());
+      exit(0);
+    }
+    if (!StartsWith(arg, "--")) {
+      fprintf(stderr, "%s: unexpected argument '%s'\n%s", program_.c_str(), arg.c_str(),
+              Usage().c_str());
+      exit(2);
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+    } else {
+      name = body;
+      Flag* f = Find(name);
+      if (f != nullptr && f->type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        fprintf(stderr, "%s: flag --%s needs a value\n", program_.c_str(), name.c_str());
+        exit(2);
+      }
+    }
+    Flag* flag = Find(name);
+    if (flag == nullptr) {
+      fprintf(stderr, "%s: unknown flag --%s\n%s", program_.c_str(), name.c_str(), Usage().c_str());
+      exit(2);
+    }
+    if (!SetValue(flag, value)) {
+      fprintf(stderr, "%s: bad value '%s' for --%s\n", program_.c_str(), value.c_str(),
+              name.c_str());
+      exit(2);
+    }
+  }
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = Format("usage: %s [flags]\n", program_.c_str());
+  for (const auto& f : flags_) {
+    out += Format("  --%-20s %s (default: %s)\n", f->name.c_str(), f->help.c_str(),
+                  f->default_repr.c_str());
+  }
+  return out;
+}
+
+}  // namespace rb

@@ -1,0 +1,58 @@
+// A tiny command-line flag parser for bench and example binaries.
+//
+// Usage:
+//   rb::FlagSet flags("bench_fig8");
+//   auto* seed = flags.AddInt64("seed", 1, "RNG seed");
+//   auto* dur = flags.AddDouble("duration", 0.05, "simulated seconds");
+//   flags.Parse(argc, argv);   // accepts --name=value and --name value
+//
+// Unknown flags are an error; `--help` prints the registered flags and
+// exits. This avoids pulling a third-party dependency into the benches.
+#ifndef RB_COMMON_FLAGS_HPP_
+#define RB_COMMON_FLAGS_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rb {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program);
+
+  int64_t* AddInt64(const std::string& name, int64_t def, const std::string& help);
+  double* AddDouble(const std::string& name, double def, const std::string& help);
+  bool* AddBool(const std::string& name, bool def, const std::string& help);
+  std::string* AddString(const std::string& name, const std::string& def, const std::string& help);
+
+  // Parses argv; on `--help` prints usage and exits(0); on error prints the
+  // problem and exits(2).
+  void Parse(int argc, char** argv);
+
+  std::string Usage() const;
+
+ private:
+  enum class Type { kInt64, kDouble, kBool, kString };
+  struct Flag {
+    std::string name;
+    std::string help;
+    Type type;
+    std::unique_ptr<int64_t> i64;
+    std::unique_ptr<double> f64;
+    std::unique_ptr<bool> b;
+    std::unique_ptr<std::string> s;
+    std::string default_repr;
+  };
+
+  Flag* Find(const std::string& name);
+  bool SetValue(Flag* flag, const std::string& value);
+
+  std::string program_;
+  std::vector<std::unique_ptr<Flag>> flags_;
+};
+
+}  // namespace rb
+
+#endif  // RB_COMMON_FLAGS_HPP_

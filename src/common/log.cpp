@@ -1,0 +1,55 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace rb {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kNone:
+      return "NONE";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level), std::memory_order_relaxed); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  char buf[2048];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  fprintf(stderr, "[%s] %s\n", LevelName(level), buf);
+}
+
+void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
+  fprintf(stderr, "RB_CHECK failed at %s:%d: %s %s\n", file, line, expr, msg);
+  fflush(stderr);
+  abort();
+}
+
+}  // namespace rb

@@ -1,0 +1,57 @@
+// Minimal leveled logging for the RouteBricks library.
+//
+// Logging is intentionally tiny: benches and examples are the primary
+// consumers and they mostly print structured tables via rb::harness. The
+// logger exists so that library internals can report rare conditions
+// (drops due to misconfiguration, invariant warnings) without depending
+// on iostream formatting at call sites.
+#ifndef RB_COMMON_LOG_HPP_
+#define RB_COMMON_LOG_HPP_
+
+#include <cstdarg>
+#include <string>
+
+namespace rb {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kNone = 4,
+};
+
+// Sets the global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging. Thread-safe (single write per message).
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define RB_LOG_DEBUG(...) ::rb::Logf(::rb::LogLevel::kDebug, __VA_ARGS__)
+#define RB_LOG_INFO(...) ::rb::Logf(::rb::LogLevel::kInfo, __VA_ARGS__)
+#define RB_LOG_WARN(...) ::rb::Logf(::rb::LogLevel::kWarn, __VA_ARGS__)
+#define RB_LOG_ERROR(...) ::rb::Logf(::rb::LogLevel::kError, __VA_ARGS__)
+
+// Fatal check macro: prints the failed expression and aborts. Used for
+// programmer errors (invalid element graph wiring, out-of-range ports),
+// never for data-plane conditions.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
+
+#define RB_CHECK(expr)                                            \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::rb::CheckFailed(__FILE__, __LINE__, #expr, "");           \
+    }                                                             \
+  } while (0)
+
+#define RB_CHECK_MSG(expr, msg)                                   \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::rb::CheckFailed(__FILE__, __LINE__, #expr, (msg));        \
+    }                                                             \
+  } while (0)
+
+}  // namespace rb
+
+#endif  // RB_COMMON_LOG_HPP_

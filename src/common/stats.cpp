@@ -1,0 +1,141 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace rb {
+
+void MeanVar::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  count_++;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void MeanVar::Merge(const MeanVar& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  uint64_t n = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ = n;
+}
+
+void MeanVar::Reset() { *this = MeanVar(); }
+
+double MeanVar::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double MeanVar::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)), counts_(buckets, 0) {
+  RB_CHECK(hi > lo);
+  RB_CHECK(buckets > 0);
+}
+
+void Histogram::Add(double x) {
+  count_++;
+  acc_.Add(x);
+  if (x < lo_) {
+    underflow_++;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_++;
+    return;
+  }
+  size_t idx = static_cast<size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) {
+    idx = counts_.size() - 1;
+  }
+  counts_[idx]++;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = count_ = 0;
+  acc_.Reset();
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (target == 0) {
+    target = 1;
+  }
+  uint64_t seen = underflow_;
+  if (seen >= target) {
+    return lo_;
+  }
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (seen + counts_[i] >= target) {
+      // Linear interpolation within the bucket.
+      double frac = counts_[i] ? static_cast<double>(target - seen) / static_cast<double>(counts_[i]) : 0.0;
+      return lo_ + (static_cast<double>(i) + frac) * width_;
+    }
+    seen += counts_[i];
+  }
+  return acc_.max();
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf), "n=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
+           static_cast<unsigned long long>(count_), mean(), Percentile(50), Percentile(95),
+           Percentile(99), max());
+  return buf;
+}
+
+Rate Rate::FromCounts(uint64_t packets, uint64_t bytes, double seconds) {
+  Rate r;
+  if (seconds > 0) {
+    r.pps = static_cast<double>(packets) / seconds;
+    r.bps = static_cast<double>(bytes) * 8.0 / seconds;
+  }
+  return r;
+}
+
+double JainFairnessIndex(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sumsq += x * x;
+  }
+  if (sumsq == 0.0) {
+    return 1.0;
+  }
+  double n = static_cast<double>(xs.size());
+  return (sum * sum) / (n * sumsq);
+}
+
+}  // namespace rb

@@ -1,0 +1,109 @@
+#include "common/strings.hpp"
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rb {
+
+std::string Format(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts, const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) {
+      out += sep;
+    }
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\n' || s[b] == '\r')) {
+    b++;
+  }
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\n' || s[e - 1] == '\r')) {
+    e--;
+  }
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string HumanBitRate(double bps) {
+  if (bps >= 1e9) {
+    return Format("%.2f Gbps", bps / 1e9);
+  }
+  if (bps >= 1e6) {
+    return Format("%.2f Mbps", bps / 1e6);
+  }
+  if (bps >= 1e3) {
+    return Format("%.2f Kbps", bps / 1e3);
+  }
+  return Format("%.0f bps", bps);
+}
+
+std::string HumanPacketRate(double pps) {
+  if (pps >= 1e6) {
+    return Format("%.2f Mpps", pps / 1e6);
+  }
+  if (pps >= 1e3) {
+    return Format("%.2f Kpps", pps / 1e3);
+  }
+  return Format("%.0f pps", pps);
+}
+
+bool ParseIpv4(const std::string& s, uint32_t* out) {
+  unsigned a, b, c, d;
+  char extra;
+  if (sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4) {
+    return false;
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) {
+    return false;
+  }
+  *out = (a << 24) | (b << 16) | (c << 8) | d;
+  return true;
+}
+
+std::string Ipv4ToString(uint32_t addr) {
+  return Format("%u.%u.%u.%u", (addr >> 24) & 0xff, (addr >> 16) & 0xff, (addr >> 8) & 0xff,
+                addr & 0xff);
+}
+
+}  // namespace rb

@@ -1,0 +1,32 @@
+// Small string helpers: printf-style Format, Split/Join, and
+// human-readable rate/byte rendering used by the bench harness.
+#ifndef RB_COMMON_STRINGS_HPP_
+#define RB_COMMON_STRINGS_HPP_
+
+#include <string>
+#include <vector>
+
+namespace rb {
+
+std::string Format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+std::vector<std::string> Split(const std::string& s, char sep);
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+// "9.70 Gbps", "18.96 Mpps", "1.46 Kpps" etc.
+std::string HumanBitRate(double bps);
+std::string HumanPacketRate(double pps);
+
+// Parses dotted-quad "a.b.c.d" into a host-order uint32. Returns false on
+// malformed input.
+bool ParseIpv4(const std::string& s, uint32_t* out);
+std::string Ipv4ToString(uint32_t addr_host_order);
+
+}  // namespace rb
+
+#endif  // RB_COMMON_STRINGS_HPP_

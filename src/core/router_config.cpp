@@ -1,0 +1,23 @@
+#include "core/router_config.hpp"
+
+#include "common/log.hpp"
+
+namespace rb {
+
+void ValidateConfig(const SingleServerConfig& config) {
+  RB_CHECK_MSG(config.num_ports >= 1, "need at least one port");
+  RB_CHECK_MSG(config.queues_per_port >= 1, "need at least one queue per port");
+  RB_CHECK_MSG(config.cores >= 1, "need at least one core");
+  // §4.2: with q >= cores, every core can own a private rx and tx queue on
+  // every port, satisfying both the one-core-per-queue and
+  // one-core-per-packet rules. Fewer queues than cores is allowed (cores
+  // then share ports round-robin) but warned about.
+  if (config.queues_per_port < config.cores) {
+    RB_LOG_WARN("queues_per_port (%d) < cores (%d): some cores will share queues",
+                config.queues_per_port, config.cores);
+  }
+  RB_CHECK_MSG(config.kp >= 1 && config.kn >= 1, "batch factors must be >= 1");
+  RB_CHECK_MSG(config.pool_packets >= 1024, "packet pool too small");
+}
+
+}  // namespace rb

@@ -1,0 +1,38 @@
+// Top-level RouteBricks configuration: what a downstream user sets up.
+#ifndef RB_CORE_ROUTER_CONFIG_HPP_
+#define RB_CORE_ROUTER_CONFIG_HPP_
+
+#include <cstdint>
+
+#include "crypto/esp.hpp"
+#include "lookup/table_gen.hpp"
+#include "workload/workload.hpp"
+
+namespace rb {
+
+// Configuration for one RouteBricks server (a "linecard" of the cluster,
+// or a standalone software router).
+struct SingleServerConfig {
+  int num_ports = 4;          // NIC ports on this server
+  int queues_per_port = 8;    // rx/tx queues per port (>= cores for rule 1)
+  int cores = 8;              // worker cores for static task assignment
+  App app = App::kIpRouting;  // packet-processing application
+  uint16_t kp = 32;           // poll-driven batch
+  uint16_t kn = 16;           // NIC-driven batch
+  size_t pool_packets = 65536;
+  size_t queue_capacity = 1024;
+  // IP routing.
+  TableGenConfig table;
+  // IPsec.
+  EspConfig esp;
+
+  uint64_t seed = 1;
+};
+
+// Validates invariants a user configuration must satisfy; RB_CHECKs on
+// violation (programmer error, not data-plane condition).
+void ValidateConfig(const SingleServerConfig& config);
+
+}  // namespace rb
+
+#endif  // RB_CORE_ROUTER_CONFIG_HPP_

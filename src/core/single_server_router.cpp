@@ -1,0 +1,141 @@
+#include "core/single_server_router.hpp"
+
+#include "click/elements/check_ip_header.hpp"
+#include "click/elements/dec_ip_ttl.hpp"
+#include "click/elements/from_device.hpp"
+#include "click/elements/ip_lookup.hpp"
+#include "click/elements/ipsec.hpp"
+#include "click/elements/queue.hpp"
+#include "click/elements/to_device.hpp"
+#include "common/log.hpp"
+
+namespace rb {
+
+SingleServerRouter::SingleServerRouter(const SingleServerConfig& config) : config_(config) {
+  ValidateConfig(config);
+  pool_ = std::make_unique<PacketPool>(config.pool_packets);
+  for (int p = 0; p < config.num_ports; ++p) {
+    NicConfig nc;
+    nc.num_rx_queues = static_cast<uint16_t>(config.queues_per_port);
+    nc.num_tx_queues = static_cast<uint16_t>(config.queues_per_port);
+    nc.kn = config.kn;
+    nc.steering = SteeringMode::kRss;
+    ports_.push_back(std::make_unique<NicPort>(nc));
+  }
+  if (config.app == App::kIpRouting) {
+    table_ = std::make_unique<Dir24_8>();
+    TableGenConfig tg = config.table;
+    tg.num_next_hops = static_cast<uint32_t>(config.num_ports);
+    table_->InsertAll(GenerateRoutingTable(tg));
+  }
+}
+
+void SingleServerRouter::BuildGraph() {
+  const int num_ports = config_.num_ports;
+  const int queues = config_.queues_per_port;
+
+  for (int in_port = 0; in_port < num_ports; ++in_port) {
+    for (int q = 0; q < queues; ++q) {
+      // Core assignment: queue q of every port belongs to core q % cores —
+      // the static thread-to-core mapping of §4.2.
+      int core = q % config_.cores;
+      auto* from = router_.Add<FromDevice>(&port(in_port), static_cast<uint16_t>(q), config_.kp,
+                                           core);
+      auto* check = router_.Add<CheckIpHeader>();
+      router_.Connect(from, 0, check, 0);
+
+      // Build the per-output transmit legs: each (in_port, q) chain has a
+      // private Queue + ToDevice per output port, so no tx queue is ever
+      // shared across cores (rule 1) and each packet stays on one core
+      // (rule 2).
+      std::vector<Element*> legs;
+      for (int out_port = 0; out_port < num_ports; ++out_port) {
+        auto* queue = router_.Add<QueueElement>(config_.queue_capacity);
+        auto* to = router_.Add<ToDevice>(&port(out_port), static_cast<uint16_t>(q),
+                                         config_.kp, core);
+        router_.Connect(queue, 0, to, 0);
+        legs.push_back(queue);
+      }
+
+      switch (config_.app) {
+        case App::kMinimalForwarding: {
+          // Blind forwarding to the pre-determined output (§4.2's toy
+          // configuration): port i -> port (i+1) % P.
+          router_.Connect(check, 0, legs[static_cast<size_t>((in_port + 1) % num_ports)], 0);
+          break;
+        }
+        case App::kIpRouting: {
+          auto* ttl = router_.Add<DecIpTtl>();
+          auto* lookup = router_.Add<IpLookup>(table_.get(), num_ports);
+          router_.Connect(check, 0, ttl, 0);
+          router_.Connect(ttl, 0, lookup, 0);
+          for (int out_port = 0; out_port < num_ports; ++out_port) {
+            router_.Connect(lookup, out_port, legs[static_cast<size_t>(out_port)], 0);
+          }
+          break;
+        }
+        case App::kIpsec: {
+          auto* esp = router_.Add<IpsecEncrypt>(config_.esp);
+          router_.Connect(check, 0, esp, 0);
+          router_.Connect(esp, 0, legs[static_cast<size_t>((in_port + 1) % num_ports)], 0);
+          break;
+        }
+      }
+    }
+  }
+}
+
+void SingleServerRouter::Initialize() {
+  RB_CHECK_MSG(!initialized_, "Initialize called twice");
+  initialized_ = true;
+  BuildGraph();
+  router_.Initialize();
+}
+
+void SingleServerRouter::DeliverFrame(int p, Packet* frame, SimTime t) {
+  RB_CHECK(p >= 0 && p < config_.num_ports);
+  frame->set_input_port(static_cast<uint16_t>(p));
+  port(p).Deliver(frame, t);
+}
+
+size_t SingleServerRouter::Step() {
+  RB_CHECK_MSG(initialized_, "router not initialized");
+  for (auto& nic : ports_) {
+    nic->FlushAllStaged();
+  }
+  return router_.RunTasksOnce();
+}
+
+size_t SingleServerRouter::RunUntilIdle() {
+  size_t total = 0;
+  while (true) {
+    size_t moved = Step();
+    total += moved;
+    if (moved == 0) {
+      break;
+    }
+  }
+  return total;
+}
+
+size_t SingleServerRouter::DrainPort(int p, Packet** out, size_t max) {
+  return port(p).DrainTx(out, max);
+}
+
+uint64_t SingleServerRouter::total_tx_packets() const {
+  uint64_t total = 0;
+  for (const auto& nic : ports_) {
+    total += nic->tx_counters().packets;
+  }
+  return total;
+}
+
+uint64_t SingleServerRouter::total_rx_packets() const {
+  uint64_t total = 0;
+  for (const auto& nic : ports_) {
+    total += nic->rx_counters().packets;
+  }
+  return total;
+}
+
+}  // namespace rb

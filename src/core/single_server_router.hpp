@@ -1,0 +1,72 @@
+// SingleServerRouter: a complete RouteBricks server built from the
+// library's pieces — multi-queue NICs, the Click-style element graph, and
+// one of the three evaluation applications — following the §4.2 rules:
+// every (port, queue) pair is polled by exactly one core's FromDevice,
+// every packet is processed start-to-finish on that core's element chain,
+// and every tx queue is written by exactly one core.
+//
+// Element graph per (input port, queue q):
+//   FromDevice(port, q) -> CheckIPHeader -> <app> -> per-output Queue ->
+//   ToDevice(output port, q)
+// where <app> is: nothing (minimal forwarding, output = (port+1) % P),
+// DecIPTTL -> IPLookup (IP routing, output from the 256 K-entry table), or
+// IPsecEncrypt (tunnel to output (port+1) % P).
+#ifndef RB_CORE_SINGLE_SERVER_ROUTER_HPP_
+#define RB_CORE_SINGLE_SERVER_ROUTER_HPP_
+
+#include <memory>
+#include <vector>
+
+#include "click/elements/misc.hpp"
+#include "click/router.hpp"
+#include "click/scheduler.hpp"
+#include "core/router_config.hpp"
+#include "lookup/dir24_8.hpp"
+#include "netdev/nic.hpp"
+#include "packet/pool.hpp"
+
+namespace rb {
+
+class SingleServerRouter {
+ public:
+  explicit SingleServerRouter(const SingleServerConfig& config);
+
+  // Builds and initializes the element graph. Call once.
+  void Initialize();
+
+  NicPort& port(int i) { return *ports_[static_cast<size_t>(i)]; }
+  PacketPool& pool() { return *pool_; }
+  Router& graph() { return router_; }
+  const Dir24_8& table() const { return *table_; }
+
+  // Injects a frame into `port` (as the wire would) at simulated time t.
+  void DeliverFrame(int port, Packet* p, SimTime t);
+
+  // Runs every polling task once (single-threaded deterministic mode).
+  size_t Step();
+  // Runs until no task moves a packet.
+  size_t RunUntilIdle();
+
+  // Drains transmitted frames from `port`; caller owns the packets.
+  size_t DrainPort(int port, Packet** out, size_t max);
+
+  // Total packets forwarded out of all ports so far.
+  uint64_t total_tx_packets() const;
+  uint64_t total_rx_packets() const;
+
+  const SingleServerConfig& config() const { return config_; }
+
+ private:
+  void BuildGraph();
+
+  SingleServerConfig config_;
+  std::unique_ptr<PacketPool> pool_;
+  std::vector<std::unique_ptr<NicPort>> ports_;
+  std::unique_ptr<Dir24_8> table_;
+  Router router_;
+  bool initialized_ = false;
+};
+
+}  // namespace rb
+
+#endif  // RB_CORE_SINGLE_SERVER_ROUTER_HPP_

@@ -1,0 +1,37 @@
+// AES-128 block cipher, implemented from FIPS-197.
+//
+// The paper's IPsec application encrypts every packet with AES-128 "as is
+// typical in VPNs" (§5.1). This is a straightforward, constant-table
+// software implementation (S-box + MixColumns over GF(2^8)); it is the
+// CPU-intensive workload of the evaluation, so all we need is a correct,
+// reasonably efficient cipher — not a vectorized one (the paper's numbers
+// predate AES-NI).
+#ifndef RB_CRYPTO_AES128_HPP_
+#define RB_CRYPTO_AES128_HPP_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rb {
+
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+  static constexpr int kRounds = 10;
+
+  explicit Aes128(const uint8_t key[kKeySize]);
+
+  // Encrypts/decrypts exactly one 16-byte block. in and out may alias.
+  void EncryptBlock(const uint8_t in[kBlockSize], uint8_t out[kBlockSize]) const;
+  void DecryptBlock(const uint8_t in[kBlockSize], uint8_t out[kBlockSize]) const;
+
+ private:
+  // Round keys: (kRounds + 1) * 16 bytes.
+  std::array<uint8_t, (kRounds + 1) * kBlockSize> round_keys_;
+};
+
+}  // namespace rb
+
+#endif  // RB_CRYPTO_AES128_HPP_

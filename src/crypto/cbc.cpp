@@ -1,0 +1,43 @@
+#include "crypto/cbc.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace rb {
+
+void AesCbc::Encrypt(uint8_t* data, size_t len, const uint8_t iv[Aes128::kBlockSize]) const {
+  RB_CHECK(len % Aes128::kBlockSize == 0);
+  uint8_t chain[Aes128::kBlockSize];
+  memcpy(chain, iv, sizeof(chain));
+  for (size_t off = 0; off < len; off += Aes128::kBlockSize) {
+    for (size_t i = 0; i < Aes128::kBlockSize; ++i) {
+      data[off + i] ^= chain[i];
+    }
+    cipher_.EncryptBlock(data + off, data + off);
+    memcpy(chain, data + off, sizeof(chain));
+  }
+}
+
+void AesCbc::Decrypt(uint8_t* data, size_t len, const uint8_t iv[Aes128::kBlockSize]) const {
+  RB_CHECK(len % Aes128::kBlockSize == 0);
+  uint8_t chain[Aes128::kBlockSize];
+  uint8_t next_chain[Aes128::kBlockSize];
+  memcpy(chain, iv, sizeof(chain));
+  for (size_t off = 0; off < len; off += Aes128::kBlockSize) {
+    memcpy(next_chain, data + off, sizeof(next_chain));
+    cipher_.DecryptBlock(data + off, data + off);
+    for (size_t i = 0; i < Aes128::kBlockSize; ++i) {
+      data[off + i] ^= chain[i];
+    }
+    memcpy(chain, next_chain, sizeof(chain));
+  }
+}
+
+size_t CbcPadLength(size_t len, bool esp_trailer) {
+  size_t total = len + (esp_trailer ? 2 : 0);
+  size_t rem = total % Aes128::kBlockSize;
+  return rem == 0 ? 0 : Aes128::kBlockSize - rem;
+}
+
+}  // namespace rb

@@ -1,0 +1,34 @@
+// AES-128-CBC with PKCS#7-style padding helpers.
+#ifndef RB_CRYPTO_CBC_HPP_
+#define RB_CRYPTO_CBC_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "crypto/aes128.hpp"
+
+namespace rb {
+
+class AesCbc {
+ public:
+  explicit AesCbc(const uint8_t key[Aes128::kKeySize]) : cipher_(key) {}
+
+  // Encrypts `len` bytes in place; len must be a multiple of 16.
+  void Encrypt(uint8_t* data, size_t len, const uint8_t iv[Aes128::kBlockSize]) const;
+
+  // Decrypts `len` bytes in place; len must be a multiple of 16.
+  void Decrypt(uint8_t* data, size_t len, const uint8_t iv[Aes128::kBlockSize]) const;
+
+  const Aes128& cipher() const { return cipher_; }
+
+ private:
+  Aes128 cipher_;
+};
+
+// Number of padding bytes needed to round `len` (+2 ESP trailer bytes when
+// `esp_trailer` is true) up to a 16-byte multiple.
+size_t CbcPadLength(size_t len, bool esp_trailer);
+
+}  // namespace rb
+
+#endif  // RB_CRYPTO_CBC_HPP_

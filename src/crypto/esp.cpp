@@ -1,0 +1,107 @@
+#include "crypto/esp.hpp"
+
+#include <cstring>
+
+#include "packet/headers.hpp"
+
+namespace rb {
+
+EspTunnel::EspTunnel(const EspConfig& config) : config_(config), cbc_(config.key) {}
+
+bool EspTunnel::Encapsulate(Packet* p) {
+  if (p->length() < EthernetView::kSize + Ipv4View::kMinSize) {
+    return false;
+  }
+  EthernetView eth{p->data()};
+  if (eth.ether_type() != EthernetView::kTypeIpv4) {
+    return false;
+  }
+  // Save the Ethernet header, then strip it; ESP operates on the IP packet.
+  uint8_t saved_eth[EthernetView::kSize];
+  memcpy(saved_eth, p->data(), EthernetView::kSize);
+  p->Pull(EthernetView::kSize);
+
+  uint32_t inner_len = p->length();
+  // Trailer: pad + pad-length byte + next-header byte.
+  uint32_t pad = static_cast<uint32_t>(CbcPadLength(inner_len, /*esp_trailer=*/true));
+  uint32_t trailer = pad + 2;
+  if (p->tailroom() < trailer) {
+    p->Push(EthernetView::kSize);  // restore before failing
+    return false;
+  }
+  uint8_t* tail = p->Put(trailer);
+  for (uint32_t i = 0; i < pad; ++i) {
+    tail[i] = static_cast<uint8_t>(i + 1);  // RFC 4303 monotonic padding
+  }
+  tail[pad] = static_cast<uint8_t>(pad);
+  tail[pad + 1] = 4;  // next header: IPv4 (tunnel mode)
+
+  // IV: counter-derived, unique per packet.
+  uint8_t iv[kIvBytes];
+  uint64_t ctr = iv_counter_++;
+  memset(iv, 0, sizeof(iv));
+  for (int i = 0; i < 8; ++i) {
+    iv[8 + i] = static_cast<uint8_t>(ctr >> (56 - 8 * i));
+  }
+  cbc_.Encrypt(p->data(), p->length(), iv);
+
+  // Prepend IV, ESP header, outer IP header.
+  uint8_t* ivp = p->Push(kIvBytes);
+  memcpy(ivp, iv, kIvBytes);
+  uint8_t* esp = p->Push(kEspHeaderBytes);
+  StoreBe32(esp, config_.spi);
+  StoreBe32(esp + 4, seq_++);
+  uint8_t* outer = p->Push(Ipv4View::kMinSize);
+  Ipv4View::WriteDefault(outer, config_.tunnel_src, config_.tunnel_dst, Ipv4View::kProtoEsp,
+                         static_cast<uint16_t>(p->length()));
+
+  // Restore Ethernet framing around the tunnel packet.
+  uint8_t* eth2 = p->Push(EthernetView::kSize);
+  memcpy(eth2, saved_eth, EthernetView::kSize);
+  return true;
+}
+
+bool EspTunnel::Decapsulate(Packet* p) {
+  constexpr uint32_t kMinEsp = EthernetView::kSize + Ipv4View::kMinSize + kEspHeaderBytes +
+                               kIvBytes + Aes128::kBlockSize;
+  if (p->length() < kMinEsp) {
+    return false;
+  }
+  uint8_t saved_eth[EthernetView::kSize];
+  memcpy(saved_eth, p->data(), EthernetView::kSize);
+  p->Pull(EthernetView::kSize);
+
+  Ipv4View outer{p->data()};
+  if (outer.version() != 4 || outer.protocol() != Ipv4View::kProtoEsp) {
+    p->Push(EthernetView::kSize);
+    return false;
+  }
+  p->Pull(outer.header_length());
+  uint32_t spi = LoadBe32(p->data());
+  if (spi != config_.spi) {
+    return false;  // packet is consumed-as-failed; caller drops it
+  }
+  p->Pull(kEspHeaderBytes);
+  uint8_t iv[kIvBytes];
+  memcpy(iv, p->data(), kIvBytes);
+  p->Pull(kIvBytes);
+
+  if (p->length() % Aes128::kBlockSize != 0 || p->length() == 0) {
+    return false;
+  }
+  cbc_.Decrypt(p->data(), p->length(), iv);
+
+  // Strip the trailer.
+  uint8_t next_header = p->data()[p->length() - 1];
+  uint8_t pad_len = p->data()[p->length() - 2];
+  if (next_header != 4 || pad_len + 2u > p->length()) {
+    return false;
+  }
+  p->Trim(pad_len + 2u);
+
+  uint8_t* eth2 = p->Push(EthernetView::kSize);
+  memcpy(eth2, saved_eth, EthernetView::kSize);
+  return true;
+}
+
+}  // namespace rb

@@ -1,0 +1,52 @@
+// ESP-style IPsec tunnel encapsulation (RFC 4303 framing, AES-128-CBC).
+//
+// The paper's third application encrypts every packet "as is typical in
+// VPNs" (§5.1). We implement tunnel-mode ESP: the original IP packet is
+// wrapped in [new IP hdr][ESP hdr: SPI, seq][IV][ciphertext][pad, padlen,
+// next-hdr]. Authentication (ICV) is not modeled — the paper benchmarks
+// encryption only.
+#ifndef RB_CRYPTO_ESP_HPP_
+#define RB_CRYPTO_ESP_HPP_
+
+#include <cstdint>
+
+#include "crypto/cbc.hpp"
+#include "packet/packet.hpp"
+
+namespace rb {
+
+struct EspConfig {
+  uint8_t key[Aes128::kKeySize] = {0};
+  uint32_t spi = 0x52420001;
+  uint32_t tunnel_src = 0x0a000001;  // 10.0.0.1
+  uint32_t tunnel_dst = 0x0a000002;  // 10.0.0.2
+};
+
+class EspTunnel {
+ public:
+  explicit EspTunnel(const EspConfig& config);
+
+  // Encapsulates the Ethernet+IPv4 frame in place: strips Ethernet,
+  // encrypts the IP packet into an ESP tunnel packet, re-adds Ethernet.
+  // Returns false if the packet is not IPv4 or lacks head/tail room.
+  bool Encapsulate(Packet* p);
+
+  // Reverses Encapsulate. Returns false on malformed input (wrong SPI,
+  // bad padding, truncated frame).
+  bool Decapsulate(Packet* p);
+
+  uint32_t next_seq() const { return seq_; }
+
+  static constexpr uint32_t kEspHeaderBytes = 8;   // SPI + sequence
+  static constexpr uint32_t kIvBytes = Aes128::kBlockSize;
+
+ private:
+  EspConfig config_;
+  AesCbc cbc_;
+  uint32_t seq_ = 1;
+  uint64_t iv_counter_ = 0x5242000000000000ULL;
+};
+
+}  // namespace rb
+
+#endif  // RB_CRYPTO_ESP_HPP_

@@ -1,0 +1,78 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/strings.hpp"
+
+namespace rb {
+
+Report::Report(std::string id, std::string title) : id_(std::move(id)), title_(std::move(title)) {}
+
+void Report::SetColumns(std::vector<std::string> names) { columns_ = std::move(names); }
+
+void Report::AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void Report::AddNote(std::string note) { notes_.push_back(std::move(note)); }
+
+void Report::Print() const {
+  printf("\n=== %s: %s ===\n", id_.c_str(), title_.c_str());
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    printf("  ");
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    printf("\n");
+  };
+  print_row(columns_);
+  std::string rule;
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  printf("  %s\n", rule.c_str());
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  for (const auto& note : notes_) {
+    printf("  note: %s\n", note.c_str());
+  }
+  printf("\n");
+}
+
+bool Report::WriteCsv(const std::string& path) const {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  auto write_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      fprintf(f, "%s%s", c ? "," : "", cells[c].c_str());
+    }
+    fprintf(f, "\n");
+  };
+  write_row(columns_);
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+  fclose(f);
+  return true;
+}
+
+std::string RatioCell(double ours, double paper) {
+  if (paper == 0) {
+    return "n/a";
+  }
+  return Format("%.2fx", ours / paper);
+}
+
+}  // namespace rb

@@ -1,0 +1,41 @@
+// Experiment reporting: aligned paper-vs-measured tables printed by every
+// bench binary, plus CSV output for plotting.
+#ifndef RB_HARNESS_REPORT_HPP_
+#define RB_HARNESS_REPORT_HPP_
+
+#include <string>
+#include <vector>
+
+namespace rb {
+
+class Report {
+ public:
+  // `id` e.g. "Figure 8", `title` a one-line description.
+  Report(std::string id, std::string title);
+
+  void SetColumns(std::vector<std::string> names);
+  void AddRow(std::vector<std::string> cells);
+
+  // Free-form annotation printed under the table.
+  void AddNote(std::string note);
+
+  // Prints the table to stdout.
+  void Print() const;
+
+  // Writes rows as CSV to `path` (columns header included).
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::string id_;
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> notes_;
+};
+
+// Formats a ratio "ours/paper" as e.g. "0.97x" for deviation columns.
+std::string RatioCell(double ours, double paper);
+
+}  // namespace rb
+
+#endif  // RB_HARNESS_REPORT_HPP_

@@ -1,0 +1,66 @@
+// DIR-24-8-BASIC — the "D-lookup" algorithm of Gupta, Lin and McKeown
+// ("Routing Lookups in Hardware at Memory Access Speeds", INFOCOM 1998),
+// which is what the Click distribution's IP-routing element uses and what
+// the paper's IP-routing application runs (§5.1).
+//
+// Layout (faithful to the original):
+//  * tbl24: 2^24 16-bit entries indexed by the top 24 address bits. The
+//    top bit selects the interpretation: 0 -> the remaining 15 bits are a
+//    next-hop index; 1 -> they are a segment number in tbl_long.
+//  * tbl_long: 256-entry segments of 16-bit next-hop indices, one segment
+//    per tbl24 entry covered by any prefix longer than /24.
+//
+// Lookups therefore cost one memory access for prefixes up to /24 (the
+// vast majority in real tables) and two for longer ones.
+//
+// Extension beyond the original paper: incremental insertion. We keep a
+// shadow per-slot prefix-length array so inserts in any order produce the
+// same table as a bulk build (longest prefix wins per slot); the property
+// tests verify this against the radix trie.
+#ifndef RB_LOOKUP_DIR24_8_HPP_
+#define RB_LOOKUP_DIR24_8_HPP_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lookup/lpm.hpp"
+
+namespace rb {
+
+class Dir24_8 : public LpmTable {
+ public:
+  Dir24_8();
+
+  void Insert(uint32_t prefix, uint8_t length, uint32_t next_hop) override;
+  uint32_t Lookup(uint32_t addr) const override;
+  size_t size() const override { return size_; }
+  std::string name() const override { return "Dir24-8"; }
+
+  // Introspection for tests and the memory-footprint report.
+  size_t num_long_segments() const { return tbl_long_.size() / kSegmentSize; }
+  size_t memory_bytes() const;
+
+ private:
+  static constexpr uint16_t kExtendedBit = 0x8000;
+  static constexpr size_t kSegmentSize = 256;
+  static constexpr uint16_t kMaxNextHops = 0x7fff;
+
+  uint16_t InternNextHop(uint32_t next_hop);
+  uint32_t ResolveNextHop(uint16_t index) const;
+  // Allocates a tbl_long segment seeded from the current tbl24 slot state.
+  uint16_t AllocateSegment(uint32_t slot24);
+
+  std::vector<uint16_t> tbl24_;        // 2^24 entries
+  std::vector<uint8_t> depth24_;       // shadow: prefix length per slot (0 = none)
+  std::vector<uint16_t> tbl_long_;     // segments of 256
+  std::vector<uint8_t> depth_long_;    // shadow for tbl_long
+  std::vector<uint32_t> next_hops_;    // index -> value; [0] == kNoRoute
+  std::unordered_map<uint32_t, uint16_t> next_hop_index_;
+  std::unordered_set<uint64_t> routes_;  // (prefix << 8) | length, for size()
+  size_t size_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_LOOKUP_DIR24_8_HPP_

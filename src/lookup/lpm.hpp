@@ -1,0 +1,53 @@
+// Longest-prefix-match interface shared by the lookup structures.
+#ifndef RB_LOOKUP_LPM_HPP_
+#define RB_LOOKUP_LPM_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rb {
+
+// A route: prefix/len -> next hop. next_hop 0 is reserved for "no route".
+struct RouteEntry {
+  uint32_t prefix = 0;   // host order, low bits beyond `length` ignored
+  uint8_t length = 0;    // 0..32
+  uint32_t next_hop = 0;
+
+  bool operator==(const RouteEntry&) const = default;
+};
+
+class LpmTable {
+ public:
+  virtual ~LpmTable() = default;
+
+  // Inserts (or replaces) a route.
+  virtual void Insert(uint32_t prefix, uint8_t length, uint32_t next_hop) = 0;
+
+  // Returns the next hop for `addr`, or kNoRoute when nothing matches.
+  virtual uint32_t Lookup(uint32_t addr) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual std::string name() const = 0;
+
+  static constexpr uint32_t kNoRoute = 0;
+
+  void InsertAll(const std::vector<RouteEntry>& routes) {
+    for (const auto& r : routes) {
+      Insert(r.prefix, r.length, r.next_hop);
+    }
+  }
+};
+
+// Normalizes a prefix: zeroes bits beyond `length`.
+inline uint32_t NormalizePrefix(uint32_t prefix, uint8_t length) {
+  if (length == 0) {
+    return 0;
+  }
+  uint32_t mask = length >= 32 ? 0xffffffffu : ~((1u << (32 - length)) - 1);
+  return prefix & mask;
+}
+
+}  // namespace rb
+
+#endif  // RB_LOOKUP_LPM_HPP_

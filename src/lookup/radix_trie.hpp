@@ -1,0 +1,42 @@
+// Reference longest-prefix-match structure: a plain binary (radix) trie.
+//
+// Slower than DIR-24-8 but trivially correct; property tests cross-check
+// DIR-24-8 against it over random tables and random lookups, and the
+// lookup microbenchmark uses it as the baseline the paper's D-lookup is
+// compared to.
+#ifndef RB_LOOKUP_RADIX_TRIE_HPP_
+#define RB_LOOKUP_RADIX_TRIE_HPP_
+
+#include <memory>
+
+#include "lookup/lpm.hpp"
+
+namespace rb {
+
+class RadixTrie : public LpmTable {
+ public:
+  RadixTrie() = default;
+
+  void Insert(uint32_t prefix, uint8_t length, uint32_t next_hop) override;
+  uint32_t Lookup(uint32_t addr) const override;
+  size_t size() const override { return size_; }
+  std::string name() const override { return "RadixTrie"; }
+
+  // Removes a route; returns true if it existed. (Extension beyond the
+  // LpmTable interface; DIR-24-8 supports replacement but not deletion.)
+  bool Remove(uint32_t prefix, uint8_t length);
+
+ private:
+  struct Node {
+    std::unique_ptr<Node> child[2];
+    uint32_t next_hop = kNoRoute;
+    bool has_route = false;
+  };
+
+  Node root_;
+  size_t size_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_LOOKUP_RADIX_TRIE_HPP_

@@ -1,0 +1,56 @@
+#include "lookup/table_gen.hpp"
+
+#include <unordered_set>
+
+#include "common/log.hpp"
+
+namespace rb {
+
+std::vector<std::pair<uint8_t, double>> DefaultPrefixLengthWeights() {
+  // Approximate RouteViews global-table shares, late-2008 vintage.
+  return {
+      {8, 0.1},  {9, 0.1},  {10, 0.2}, {11, 0.3}, {12, 0.5},  {13, 0.9},
+      {14, 1.8}, {15, 3.0}, {16, 5.5}, {17, 3.5}, {18, 6.0},  {19, 9.5},
+      {20, 9.0}, {21, 8.5}, {22, 10.0}, {23, 8.0}, {24, 53.0}, {25, 0.4},
+      {26, 0.4}, {27, 0.3}, {28, 0.2}, {29, 0.2}, {30, 0.1},  {31, 0.02},
+      {32, 0.3},
+  };
+}
+
+std::vector<RouteEntry> GenerateRoutingTable(const TableGenConfig& config) {
+  RB_CHECK(config.num_next_hops >= 1);
+  Rng rng(config.seed);
+  auto weight_pairs = DefaultPrefixLengthWeights();
+  std::vector<double> weights;
+  weights.reserve(weight_pairs.size());
+  for (const auto& [len, w] : weight_pairs) {
+    weights.push_back(w);
+  }
+
+  std::vector<RouteEntry> routes;
+  routes.reserve(config.num_routes);
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(config.num_routes * 2);
+
+  while (routes.size() < config.num_routes) {
+    uint8_t length = weight_pairs[rng.NextWeighted(weights)].first;
+    uint32_t prefix = NormalizePrefix(static_cast<uint32_t>(rng.Next()), length);
+    // Keep addresses out of multicast/reserved space so generated traffic
+    // looks like unicast.
+    if ((prefix >> 28) >= 0xe) {
+      continue;
+    }
+    uint64_t key = (static_cast<uint64_t>(prefix) << 8) | length;
+    if (!seen.insert(key).second) {
+      continue;
+    }
+    RouteEntry r;
+    r.prefix = prefix;
+    r.length = length;
+    r.next_hop = 1 + static_cast<uint32_t>(rng.NextBounded(config.num_next_hops));
+    routes.push_back(r);
+  }
+  return routes;
+}
+
+}  // namespace rb

@@ -1,0 +1,35 @@
+// Synthetic routing-table generation.
+//
+// The paper uses a 256 K-entry table ("in keeping with recent reports",
+// §5.1) with random destination addresses in the traffic so lookups stress
+// cache locality. We generate tables with a prefix-length distribution
+// modeled on published BGP-table statistics of the period (RouteViews,
+// 2008-2009): /24 dominates (~53%), followed by /23..../19, with a thin
+// tail of short prefixes and a small fraction (<2%) longer than /24.
+#ifndef RB_LOOKUP_TABLE_GEN_HPP_
+#define RB_LOOKUP_TABLE_GEN_HPP_
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "lookup/lpm.hpp"
+
+namespace rb {
+
+struct TableGenConfig {
+  size_t num_routes = 256 * 1024;
+  uint32_t num_next_hops = 16;  // distinct next-hop values (router ports)
+  uint64_t seed = 42;
+};
+
+// Generates `num_routes` distinct routes. next_hop values are in
+// [1, num_next_hops] (0 is reserved for "no route").
+std::vector<RouteEntry> GenerateRoutingTable(const TableGenConfig& config);
+
+// The default prefix-length weights (index = prefix length 8..32, as
+// pairs). Exposed for tests.
+std::vector<std::pair<uint8_t, double>> DefaultPrefixLengthWeights();
+
+}  // namespace rb
+
+#endif  // RB_LOOKUP_TABLE_GEN_HPP_

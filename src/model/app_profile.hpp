@@ -1,0 +1,58 @@
+// Per-application, per-packet load profiles — the executable form of the
+// paper's §5.3 measurements (Table 3 and Fig 9/10).
+//
+// Every component load is an affine function of the frame size:
+//     load(bytes) = fixed + per_byte * bytes
+// The constants are calibrated so that, on the Nehalem spec with the
+// default configuration (8 cores, multi-queue, kp=32, kn=16):
+//   * 64 B loads reproduce the paper's measured rates
+//     (forwarding 9.7 Gbps / 18.96 Mpps, routing 6.35 Gbps, IPsec
+//     1.4 Gbps — Fig 8 bottom),
+//   * the 1024 B / 64 B load ratios match §5.3 item (2)
+//     (memory 6x, I/O 11x, CPU 1.6x),
+//   * IPsec at the Abilene mix (~730 B mean) yields ~4.45 Gbps,
+//   * the next-generation projection reproduces 38.8 / 19.9 / 5.8 Gbps —
+//     the routing number requires the memory system to become the
+//     bottleneck at 2x memory bandwidth, which pins routing's memory
+//     load at ~1684 B/packet (random lookups in a 256 K-entry table).
+// Derivations are spelled out in app_profile.cpp next to each constant.
+#ifndef RB_MODEL_APP_PROFILE_HPP_
+#define RB_MODEL_APP_PROFILE_HPP_
+
+#include "workload/workload.hpp"
+
+namespace rb {
+
+// An affine per-packet load curve.
+struct LoadCurve {
+  double fixed = 0;
+  double per_byte = 0;
+
+  double At(double bytes) const { return fixed + per_byte * bytes; }
+};
+
+struct AppProfile {
+  App app = App::kMinimalForwarding;
+
+  // CPU cycles per packet in the default configuration (kp=32, kn=16,
+  // multi-queue). Batching/locking deltas are added by the batching and
+  // queueing models on top of this curve.
+  LoadCurve cpu_cycles;
+
+  // Bytes per packet crossing each subsystem.
+  LoadCurve memory_bytes;
+  LoadCurve io_bytes;           // socket <-> I/O-hub links (both crossings)
+  LoadCurve pcie_bytes;         // rx DMA + tx DMA + descriptors
+  LoadCurve inter_socket_bytes; // remote-memory traffic (~23% of accesses)
+
+  // Table 3 reference values at 64 B (instructions/packet and CPI), used
+  // for reporting; cpu_cycles is the load-bearing curve.
+  double instructions_per_packet_64 = 0;
+  double cycles_per_instruction_64 = 0;
+
+  static AppProfile For(App app);
+};
+
+}  // namespace rb
+
+#endif  // RB_MODEL_APP_PROFILE_HPP_

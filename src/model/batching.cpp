@@ -1,0 +1,21 @@
+#include "model/batching.hpp"
+
+#include "common/log.hpp"
+
+namespace rb {
+
+double BatchingCyclesDelta(const BatchingConfig& config) {
+  RB_CHECK(config.kp >= 1 && config.kn >= 1);
+  double default_amortized = kPollBatchCycles / 32.0 + kNicBatchCycles / 16.0;
+  double amortized = kPollBatchCycles / config.kp + kNicBatchCycles / config.kn;
+  return amortized - default_amortized;
+}
+
+double SharedQueueSerializedCycles(const BatchingConfig& config, int sharers) {
+  if (sharers <= 1) {
+    return 0.0;
+  }
+  return kLockCyclesFloor + kLockCyclesPerPoll / config.kp;
+}
+
+}  // namespace rb

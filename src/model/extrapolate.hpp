@@ -1,0 +1,30 @@
+// §5.3 item (4): scaling projections. The per-packet loads are constant in
+// the input rate, so next-generation performance is the same min-over-
+// components with the capacities scaled — that is literally what the
+// authors do to project 38.8 / 19.9 / 5.8 Gbps (64 B) and ~70 Gbps
+// (Abilene, NIC-slot-unconstrained).
+#ifndef RB_MODEL_EXTRAPOLATE_HPP_
+#define RB_MODEL_EXTRAPOLATE_HPP_
+
+#include "model/throughput.hpp"
+
+namespace rb {
+
+struct Projection {
+  App app;
+  double frame_bytes;
+  ThroughputResult current;   // paper's evaluation server
+  ThroughputResult next_gen;  // 4-socket projection
+};
+
+// Projects all three applications at 64 B onto the next-gen spec.
+std::vector<Projection> ProjectNextGen64B();
+
+// The Abilene projection on the *current* server with unlimited NIC slots
+// (PCIe ignored, socket-I/O the binding streaming bound) — the paper's
+// "70 Gbps" estimate.
+ThroughputResult ProjectAbileneUnlimitedNics(App app, double mean_frame_bytes);
+
+}  // namespace rb
+
+#endif  // RB_MODEL_EXTRAPOLATE_HPP_

@@ -1,0 +1,64 @@
+#include "model/scenarios.hpp"
+
+namespace rb {
+namespace {
+
+constexpr double kBitsPerPacket = 64.0 * 8.0;
+
+double PpsToGbps(double pps) { return pps * kBitsPerPacket / 1e9; }
+
+}  // namespace
+
+std::vector<Fig6Result> EvaluateFig6Scenarios() {
+  std::vector<Fig6Result> out;
+
+  // (b) Parallel: one core runs poll -> process -> transmit.
+  //     rate = clock / base = 2.8e9 / 843 = 3.32 Mpps = 1.70 Gbps.
+  double parallel_pps = kToyCoreClockHz / kToyBaseCycles;
+
+  // (a) Pipeline, same L3: two cores split the path ~evenly; the handoff
+  //     adds synchronization cycles to the receiving stage, which becomes
+  //     the bottleneck stage.
+  //     rate = clock / (base/2 + handoff) -> -29% vs parallel.
+  double pipe_l3_pps = kToyCoreClockHz / (kToyBaseCycles / 2 + kHandoffSameL3Cycles);
+
+  // (a') Pipeline across sockets: handoff plus compulsory cache misses on
+  //      every packet access -> -64%.
+  double pipe_x_pps = kToyCoreClockHz / (kToyBaseCycles / 2 + kHandoffCrossCycles);
+
+  // (c) Splitter without multi-queue: one core polls the single rx queue
+  //     and hands each packet to one of two processing cores. The splitter
+  //     saturates first: poll/classify plus a same-L3 handoff per packet.
+  double splitter_pps = kToyCoreClockHz / (kToyPollSplitCycles + kHandoffSameL3Cycles);
+
+  // (d) Same three cores with multi-queue: rx queues per core; two cores
+  //     run full parallel FPs (the third polls its own queue; with two
+  //     input ports the aggregate is 2 parallel FPs).
+  double mq_split_pps = 2 * parallel_pps;
+
+  // (e) Overlapping FPs, single queues: two FPs cross at shared output
+  //     ports, so transmitting cores contend on the tx queue lock.
+  double overlap_pps = kToyCoreClockHz / (kToyBaseCycles + kContendedLockCycles);
+
+  // (f) Overlapping FPs with multi-queue: each core owns a private tx
+  //     queue on every port -> full parallel rate.
+  double overlap_mq_pps = parallel_pps;
+
+  out.push_back({Fig6Scenario::kPipelineSameL3, "(a) pipeline, shared L3", 2,
+                 PpsToGbps(pipe_l3_pps), 1.2});
+  out.push_back({Fig6Scenario::kPipelineCrossL3, "(a') pipeline, across sockets", 2,
+                 PpsToGbps(pipe_x_pps), 0.6});
+  out.push_back({Fig6Scenario::kParallel, "(b) parallel, one core per packet", 1,
+                 PpsToGbps(parallel_pps), 1.7});
+  out.push_back({Fig6Scenario::kSplitterNoMq, "(c) splitter, single queue", 3,
+                 PpsToGbps(splitter_pps), 1.1});
+  out.push_back({Fig6Scenario::kSplitterWithMq, "(d) multi-queue split", 3,
+                 PpsToGbps(mq_split_pps), 3.4});
+  out.push_back({Fig6Scenario::kOverlapNoMq, "(e) overlapping paths, single queues", 2,
+                 PpsToGbps(overlap_pps), 0.7});
+  out.push_back({Fig6Scenario::kOverlapWithMq, "(f) overlapping paths, multi-queue", 2,
+                 PpsToGbps(overlap_mq_pps), 1.7});
+  return out;
+}
+
+}  // namespace rb

@@ -1,0 +1,55 @@
+// The Fig 6 "toy scenario" model: per-forwarding-path (FP) rates for the
+// six core/queue layouts the paper compares when deciding the two rules
+// ("one core per queue", "one core per packet").
+//
+// The model charges each packet the cycles of the work its layout implies:
+//   * base processing (poll + forward + transmit) on one core,
+//   * a synchronization handoff when a packet crosses cores that share an
+//     L3 cache (scenario a),
+//   * handoff + cache-miss penalty when it crosses sockets (scenario a'),
+//   * a contended-lock penalty when multiple cores share a queue
+//     (scenarios c and e).
+// Constants are calibrated to the paper's reported rates (1.7 Gbps/FP
+// parallel; 1.2 pipelined same-L3 = -29%; 0.6 across sockets = -64%;
+// overlapping paths 0.7 without multi-queue vs 1.7 with; splitter-core
+// layouts ~1/3 of their multi-queue equivalents).
+#ifndef RB_MODEL_SCENARIOS_HPP_
+#define RB_MODEL_SCENARIOS_HPP_
+
+#include <string>
+#include <vector>
+
+namespace rb {
+
+enum class Fig6Scenario {
+  kPipelineSameL3,     // (a) 2 cores, shared L3: poll core -> process core
+  kPipelineCrossL3,    // (a') 2 cores on different sockets
+  kParallel,           // (b) 1 core does everything for its FP
+  kSplitterNoMq,       // (c) 1 core polls+splits to 2 processing cores
+  kSplitterWithMq,     // (d) same cores, multi-queue: each core full path
+  kOverlapNoMq,        // (e) 2 FPs share output ports, single queues
+  kOverlapWithMq,      // (f) overlapping FPs with multi-queue NICs
+};
+
+struct Fig6Result {
+  Fig6Scenario scenario;
+  std::string label;
+  int cores;             // cores participating per FP group
+  double gbps_per_fp;    // forwarding rate per forwarding path (64 B)
+  double paper_gbps;     // the paper's reported value
+};
+
+// Evaluates all scenarios at 64 B.
+std::vector<Fig6Result> EvaluateFig6Scenarios();
+
+// Model constants (calibrated; see scenarios.cpp for derivations).
+inline constexpr double kToyCoreClockHz = 2.8e9;
+inline constexpr double kToyBaseCycles = 843.0;      // full path on one core
+inline constexpr double kToyPollSplitCycles = 500.0; // poll + classify only
+inline constexpr double kHandoffSameL3Cycles = 775.0;
+inline constexpr double kHandoffCrossCycles = 1972.0;
+inline constexpr double kContendedLockCycles = 1202.0;
+
+}  // namespace rb
+
+#endif  // RB_MODEL_SCENARIOS_HPP_

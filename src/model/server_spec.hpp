@@ -1,0 +1,60 @@
+// Hardware specifications of the servers the paper evaluates (§4.1, §5.3,
+// Table 2): the dual-socket Nehalem prototype, the shared-bus Xeon
+// comparator, and the projected next-generation 4-socket part.
+//
+// Capacities carry both a *nominal* rating and an *empirical* ceiling
+// (what a targeted micro-benchmark could actually extract — Table 2); the
+// throughput solver checks measured per-packet loads against the
+// empirical bounds, exactly as §5.3 does.
+#ifndef RB_MODEL_SERVER_SPEC_HPP_
+#define RB_MODEL_SERVER_SPEC_HPP_
+
+#include <string>
+
+namespace rb {
+
+struct Capacity {
+  double nominal_bps = 0;
+  double empirical_bps = 0;
+};
+
+struct ServerSpec {
+  std::string name;
+
+  int sockets = 2;
+  int cores_per_socket = 4;
+  double clock_hz = 2.8e9;
+
+  Capacity memory;        // aggregate memory-bus bandwidth
+  Capacity inter_socket;  // QPI-style socket interconnect
+  Capacity io;            // socket <-> I/O-hub links
+  Capacity pcie;          // aggregate PCIe payload bandwidth
+
+  // Shared-bus (front-side-bus) architecture? When true, memory and I/O
+  // traffic share one bus and CPU cycles inflate with bus stalls (§4.2
+  // "multi-core alone is not enough").
+  bool shared_bus = false;
+  double fsb_bps = 0;            // shared-bus empirical bandwidth
+  double fsb_cpu_stall_factor = 1.0;  // cycles/packet multiplier from bus waits
+
+  // NIC complement: slots * per-NIC PCIe ceiling gives the input cap the
+  // paper hits at 24.6 Gbps (2 NICs x 12.3 Gbps each, §4.1).
+  int nic_slots = 2;
+  double per_nic_input_bps = 12.3e9;
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  double total_cycles_per_sec() const { return total_cores() * clock_hz; }
+  double max_input_bps() const { return nic_slots * per_nic_input_bps; }
+
+  // The paper's evaluation server: dual-socket, 4 cores @ 2.8 GHz each,
+  // two dual-port 10 GbE NICs on PCIe 1.1 x8 (Table 2 bounds).
+  static ServerSpec Nehalem();
+  // The 8-core 2.4 GHz shared-bus Xeon of §4.2 / Fig 7.
+  static ServerSpec SharedBusXeon();
+  // §5.3 item (4): 4 sockets x 8 cores — 4x CPU, 2x memory, 2x I/O.
+  static ServerSpec NextGenNehalem();
+};
+
+}  // namespace rb
+
+#endif  // RB_MODEL_SERVER_SPEC_HPP_

@@ -1,0 +1,92 @@
+#include "model/throughput.hpp"
+
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace rb {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ComponentLoads LoadsFor(const ThroughputConfig& config) {
+  AppProfile profile = AppProfile::For(config.app);
+  ComponentLoads loads;
+  double bytes = config.frame_bytes;
+  loads.cpu_cycles = profile.cpu_cycles.At(bytes) + BatchingCyclesDelta(config.batching) +
+                     config.extra_cycles_per_packet;
+  loads.cpu_cycles *= config.spec.fsb_cpu_stall_factor;
+  loads.memory_bytes = profile.memory_bytes.At(bytes);
+  loads.io_bytes = profile.io_bytes.At(bytes);
+  loads.pcie_bytes = profile.pcie_bytes.At(bytes);
+  loads.inter_socket_bytes = profile.inter_socket_bytes.At(bytes);
+  return loads;
+}
+
+ThroughputResult SolveThroughput(const ThroughputConfig& config) {
+  RB_CHECK(config.frame_bytes >= 64);
+  const ServerSpec& spec = config.spec;
+  ThroughputResult r;
+  r.per_packet = LoadsFor(config);
+
+  int cores = config.cores_used < 0 ? spec.total_cores() : config.cores_used;
+  RB_CHECK(cores >= 1);
+  double cycles_per_sec = cores * spec.clock_hz;
+
+  r.cpu_pps = cycles_per_sec / r.per_packet.cpu_cycles;
+  r.memory_pps = spec.memory.empirical_bps / 8.0 / r.per_packet.memory_bytes;
+  r.io_pps = spec.io.empirical_bps > 0 ? spec.io.empirical_bps / 8.0 / r.per_packet.io_bytes : kInf;
+  r.pcie_pps = config.ignore_pcie
+                   ? kInf
+                   : spec.pcie.empirical_bps / 8.0 / r.per_packet.pcie_bytes;
+  r.inter_socket_pps = spec.inter_socket.empirical_bps > 0
+                           ? spec.inter_socket.empirical_bps / 8.0 / r.per_packet.inter_socket_bytes
+                           : kInf;
+  r.nic_input_pps = (config.nic_input_cap && !config.ignore_pcie)
+                        ? spec.max_input_bps() / (8.0 * config.frame_bytes)
+                        : kInf;
+
+  // Shared single queue: all polling cores serialize on the queue lock.
+  if (!config.multi_queue && cores > 1) {
+    double serialized = SharedQueueSerializedCycles(config.batching, cores);
+    r.shared_queue_pps = serialized > 0 ? spec.clock_hz / serialized : kInf;
+  } else {
+    r.shared_queue_pps = kInf;
+  }
+
+  // Shared-bus architecture: memory and I/O traffic contend on one bus.
+  if (spec.shared_bus) {
+    double bus_bytes = r.per_packet.memory_bytes + r.per_packet.io_bytes;
+    r.fsb_pps = spec.fsb_bps / 8.0 / bus_bytes;
+  } else {
+    r.fsb_pps = kInf;
+  }
+
+  struct Candidate {
+    double pps;
+    const char* name;
+  };
+  const Candidate candidates[] = {
+      {r.cpu_pps, "cpu"},
+      {r.memory_pps, "memory"},
+      {r.io_pps, "socket-io"},
+      {r.pcie_pps, "pcie"},
+      {r.inter_socket_pps, "inter-socket"},
+      {r.nic_input_pps, "nic-input"},
+      {r.shared_queue_pps, "queue-lock"},
+      {r.fsb_pps, "front-side-bus"},
+  };
+  r.pps = kInf;
+  for (const auto& c : candidates) {
+    if (c.pps < r.pps) {
+      r.pps = c.pps;
+      r.bottleneck = c.name;
+    }
+  }
+  r.bps = r.pps * config.frame_bytes * 8.0;
+  return r;
+}
+
+}  // namespace rb

@@ -1,0 +1,60 @@
+// The §5.3 throughput solver: per-component per-packet loads vs component
+// capacity bounds; the achievable loss-free rate is the minimum over
+// components, and the arg-min is the bottleneck.
+#ifndef RB_MODEL_THROUGHPUT_HPP_
+#define RB_MODEL_THROUGHPUT_HPP_
+
+#include <string>
+
+#include "model/app_profile.hpp"
+#include "model/batching.hpp"
+#include "model/server_spec.hpp"
+
+namespace rb {
+
+struct ThroughputConfig {
+  ServerSpec spec = ServerSpec::Nehalem();
+  App app = App::kMinimalForwarding;
+  double frame_bytes = 64;         // mean frame size of the workload
+  BatchingConfig batching;         // kp/kn (defaults = paper's tuned values)
+  bool multi_queue = true;         // false -> single shared queue per port
+  int cores_used = -1;             // -1 = all cores
+  bool nic_input_cap = true;       // apply the per-NIC PCIe input ceiling
+  bool ignore_pcie = false;        // §5.3 projection mode
+  double extra_cycles_per_packet = 0;  // e.g. VLB bookkeeping in cluster use
+};
+
+struct ComponentLoads {
+  double cpu_cycles = 0;
+  double memory_bytes = 0;
+  double io_bytes = 0;
+  double pcie_bytes = 0;
+  double inter_socket_bytes = 0;
+};
+
+struct ThroughputResult {
+  double pps = 0;
+  double bps = 0;                  // payload bits/s (frame bytes * 8 * pps)
+  std::string bottleneck;
+  ComponentLoads per_packet;
+
+  // Per-component ceilings in pps (infinity when not applicable).
+  double cpu_pps = 0;
+  double memory_pps = 0;
+  double io_pps = 0;
+  double pcie_pps = 0;
+  double inter_socket_pps = 0;
+  double nic_input_pps = 0;
+  double shared_queue_pps = 0;
+  double fsb_pps = 0;
+};
+
+// Computes the per-packet loads for a configuration (no capacities).
+ComponentLoads LoadsFor(const ThroughputConfig& config);
+
+// Solves for the maximum loss-free forwarding rate.
+ThroughputResult SolveThroughput(const ThroughputConfig& config);
+
+}  // namespace rb
+
+#endif  // RB_MODEL_THROUGHPUT_HPP_

@@ -1,0 +1,28 @@
+#include "netdev/driver.hpp"
+
+#include "common/log.hpp"
+
+namespace rb {
+
+Driver::Driver(NicPort* port, uint16_t rx_queue, const DriverConfig& config)
+    : port_(port), rx_queue_(rx_queue), config_(config) {
+  RB_CHECK(port != nullptr);
+  RB_CHECK(config.kp >= 1);
+  RB_CHECK(rx_queue < port->num_rx_queues());
+}
+
+size_t Driver::Poll(std::vector<Packet*>* out) {
+  polls_++;
+  Packet* burst[256];
+  size_t want = std::min<size_t>(config_.kp, std::size(burst));
+  size_t n = port_->PollRx(rx_queue_, burst, want);
+  if (n == 0) {
+    empty_polls_++;
+    return 0;
+  }
+  packets_ += n;
+  out->insert(out->end(), burst, burst + n);
+  return n;
+}
+
+}  // namespace rb

@@ -1,0 +1,58 @@
+// Poll-mode driver binding: the software analogue of the paper's extended
+// 10 GbE driver. A Driver instance fronts one (port, rx-queue) pair for
+// one polling core and implements poll-driven batching: each Poll() call
+// retrieves up to `kp` packets (kp = 32 is Click's default maximum).
+//
+// The driver also keeps the bookkeeping the §5.3 methodology needs: total
+// polls, empty polls, and packets retrieved, so the "factor out empty-poll
+// cycles" correction (ce × Er) can be computed exactly as the authors do.
+#ifndef RB_NETDEV_DRIVER_HPP_
+#define RB_NETDEV_DRIVER_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "netdev/nic.hpp"
+
+namespace rb {
+
+struct DriverConfig {
+  uint16_t kp = 32;  // packets per poll (1 = no poll-driven batching)
+};
+
+class Driver {
+ public:
+  Driver(NicPort* port, uint16_t rx_queue, const DriverConfig& config);
+
+  // Polls the bound rx queue; appends up to kp packets to `out`.
+  // Returns the number retrieved (0 counts as an empty poll).
+  size_t Poll(std::vector<Packet*>* out);
+
+  // Sends on the bound port's tx queue `q`.
+  bool Send(uint16_t tx_queue, Packet* p) { return port_->Transmit(tx_queue, p); }
+
+  NicPort* port() { return port_; }
+  uint16_t rx_queue() const { return rx_queue_; }
+  const DriverConfig& config() const { return config_; }
+
+  uint64_t polls() const { return polls_; }
+  uint64_t empty_polls() const { return empty_polls_; }
+  uint64_t packets() const { return packets_; }
+  // Average packets per non-empty poll: the realized poll batch size.
+  double mean_burst() const {
+    uint64_t nonempty = polls_ - empty_polls_;
+    return nonempty ? static_cast<double>(packets_) / static_cast<double>(nonempty) : 0.0;
+  }
+
+ private:
+  NicPort* port_;
+  uint16_t rx_queue_;
+  DriverConfig config_;
+  uint64_t polls_ = 0;
+  uint64_t empty_polls_ = 0;
+  uint64_t packets_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_NETDEV_DRIVER_HPP_

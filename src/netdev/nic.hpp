@@ -1,0 +1,125 @@
+// Software model of a multi-queue NIC port.
+//
+// A NicPort has `num_rx_queues` receive and `num_tx_queues` transmit
+// descriptor rings (SPSC, lock-free — the §4.2 driver), a steering engine
+// that picks the rx queue for each delivered frame, and NIC-driven
+// batching: frames delivered to an rx queue are staged and become visible
+// to the polling core only in batches of `kn` descriptors (the paper's
+// extension that packs kn 16-byte descriptors into PCIe transactions,
+// Table 1). A configurable staging timeout implements the latency-bounding
+// feature §4.2 mentions as future work.
+//
+// PCIe traffic is accounted per the PCIe 1.1 parameters the paper quotes:
+// descriptors are 16 B, the maximum transaction payload is 256 B, so at
+// most 16 descriptors fit one transaction.
+#ifndef RB_NETDEV_NIC_HPP_
+#define RB_NETDEV_NIC_HPP_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/time.hpp"
+#include "netdev/ring.hpp"
+#include "netdev/steering.hpp"
+#include "packet/packet.hpp"
+
+namespace rb {
+
+struct NicConfig {
+  uint16_t num_rx_queues = 1;
+  uint16_t num_tx_queues = 1;
+  size_t ring_entries = 512;          // descriptors per queue
+  uint16_t kn = 1;                    // NIC-driven batching factor (1 = off)
+  SimTime batch_timeout = 0;          // 0 = no timeout (paper's prototype)
+  SteeringMode steering = SteeringMode::kRss;
+  double line_rate_bps = 10e9;        // external port line rate R
+};
+
+// Accounting constants from the paper (§4.1, Table 1 caption).
+constexpr uint32_t kDescriptorBytes = 16;
+constexpr uint32_t kPcieMaxPayload = 256;
+constexpr uint32_t kMaxDescriptorsPerPcieTxn = kPcieMaxPayload / kDescriptorBytes;  // 16
+
+struct PcieCounters {
+  uint64_t transactions = 0;
+  uint64_t payload_bytes = 0;
+
+  void AddDescriptorBatch(uint32_t descriptors);
+  void AddPacketData(uint32_t bytes);
+  void Merge(const PcieCounters& o) {
+    transactions += o.transactions;
+    payload_bytes += o.payload_bytes;
+  }
+};
+
+class NicPort {
+ public:
+  explicit NicPort(const NicConfig& config);
+
+  // --- receive side (called by the wire / traffic source) ---
+
+  // Delivers a frame arriving on the wire at simulated time `now`.
+  // Steers it to an rx queue and stages it for NIC-driven batching; a
+  // frame whose ring is full at commit time is dropped and counted in
+  // rx_counters().drops (as a NIC with no free descriptors would).
+  // Always takes ownership of `p`.
+  void Deliver(Packet* p, SimTime now);
+
+  // Flushes any staged descriptors whose timeout expired (no-op when
+  // batch_timeout == 0). Called periodically by the simulation loop.
+  void FlushStaged(SimTime now);
+  // Unconditionally flushes all staged descriptors (end of experiment).
+  void FlushAllStaged();
+
+  // --- polling core side ---
+
+  // Pops up to `max` packets from rx queue `q`. Returns count. The caller
+  // owns the returned packets.
+  size_t PollRx(uint16_t q, Packet** out, size_t max);
+
+  // Enqueues a packet for transmission on tx queue `q`. Returns false (and
+  // counts a drop) when the ring is full. Accounts PCIe descriptor+data.
+  bool Transmit(uint16_t q, Packet* p);
+
+  // --- wire side (transmit drain) ---
+
+  // Pops up to `max` packets the NIC would put on the wire (round-robins
+  // across tx queues, as the hardware scheduler does).
+  size_t DrainTx(Packet** out, size_t max);
+
+  // --- introspection ---
+  Steering& steering() { return steering_; }
+  const NicConfig& config() const { return config_; }
+  uint16_t num_rx_queues() const { return config_.num_rx_queues; }
+  uint16_t num_tx_queues() const { return config_.num_tx_queues; }
+
+  const PortCounters& rx_counters() const { return rx_; }
+  const PortCounters& tx_counters() const { return tx_; }
+  const PcieCounters& pcie_counters() const { return pcie_; }
+  uint64_t rx_queue_depth(uint16_t q) const { return rx_rings_[q]->size(); }
+  uint64_t staged_depth(uint16_t q) const { return staged_[q].pkts.size(); }
+
+ private:
+  struct Staged {
+    std::vector<Packet*> pkts;
+    SimTime oldest = 0;
+  };
+
+  void CommitStaged(uint16_t q);
+
+  NicConfig config_;
+  Steering steering_;
+  std::vector<std::unique_ptr<SpscRing<Packet*>>> rx_rings_;
+  std::vector<std::unique_ptr<SpscRing<Packet*>>> tx_rings_;
+  std::vector<Staged> staged_;
+  PortCounters rx_;
+  PortCounters tx_;
+  PcieCounters pcie_;
+  uint16_t tx_drain_rr_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_NETDEV_NIC_HPP_

@@ -1,0 +1,113 @@
+// Queue primitives for the software NIC.
+//
+// SpscRing is a lock-free single-producer/single-consumer ring buffer —
+// the data structure behind each NIC descriptor queue once the §4.2 rule
+// "each network queue is accessed by a single core" holds. LockedRing is
+// the deliberately-worse alternative (one mutex around a deque) used to
+// demonstrate what shared queues cost; the Fig 6/7 models quantify that
+// cost analytically and the functional tests exercise both.
+#ifndef RB_NETDEV_RING_HPP_
+#define RB_NETDEV_RING_HPP_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/log.hpp"
+
+namespace rb {
+
+// Lock-free SPSC bounded ring. Capacity is rounded up to a power of two.
+// Producer calls TryPush, consumer calls TryPop; size() is approximate when
+// both sides run concurrently.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(size_t capacity) {
+    size_t cap = 1;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  bool TryPush(T item) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail > mask_) {
+      return false;  // full
+    }
+    slots_[head & mask_] = std::move(item);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) {
+      return false;  // empty
+    }
+    *out = std::move(slots_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  size_t size() const {
+    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+  }
+  bool empty() const { return size() == 0; }
+  size_t capacity() const { return mask_ + 1; }
+
+ private:
+  alignas(64) std::atomic<size_t> head_{0};
+  alignas(64) std::atomic<size_t> tail_{0};
+  size_t mask_;
+  std::unique_ptr<T[]> slots_;
+};
+
+// Mutex-protected MPMC queue; models the pre-multi-queue world where every
+// core locks the single port queue.
+template <typename T>
+class LockedRing {
+ public:
+  explicit LockedRing(size_t capacity) : capacity_(capacity) {}
+
+  bool TryPush(T item) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    return true;
+  }
+
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return false;
+    }
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::deque<T> items_;
+};
+
+}  // namespace rb
+
+#endif  // RB_NETDEV_RING_HPP_

@@ -1,0 +1,38 @@
+#include "packet/checksum.hpp"
+
+namespace rb {
+
+uint32_t ChecksumPartial(const uint8_t* data, size_t len, uint32_t sum) {
+  size_t i = 0;
+  for (; i + 1 < len; i += 2) {
+    sum += (static_cast<uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (i < len) {
+    sum += static_cast<uint32_t>(data[i]) << 8;
+  }
+  return sum;
+}
+
+uint16_t ChecksumFinish(uint32_t sum) {
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+uint16_t Checksum(const uint8_t* data, size_t len) {
+  return ChecksumFinish(ChecksumPartial(data, len));
+}
+
+uint16_t ChecksumUpdate16(uint16_t old_checksum, uint16_t old_field, uint16_t new_field) {
+  // RFC 1624: HC' = ~(~HC + ~m + m'), computed in one's complement.
+  uint32_t sum = static_cast<uint16_t>(~old_checksum);
+  sum += static_cast<uint16_t>(~old_field);
+  sum += new_field;
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
+}  // namespace rb

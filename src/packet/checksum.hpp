@@ -1,0 +1,26 @@
+// RFC 1071 Internet checksum.
+#ifndef RB_PACKET_CHECKSUM_HPP_
+#define RB_PACKET_CHECKSUM_HPP_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rb {
+
+// One's-complement sum of `len` bytes (not folded, not inverted). Useful
+// for incremental computation over several regions.
+uint32_t ChecksumPartial(const uint8_t* data, size_t len, uint32_t sum = 0);
+
+// Folds a partial sum into 16 bits and inverts: the final checksum value.
+uint16_t ChecksumFinish(uint32_t sum);
+
+// Convenience: full checksum of a region.
+uint16_t Checksum(const uint8_t* data, size_t len);
+
+// Incremental checksum update per RFC 1624 (HC' = ~(~HC + ~m + m')) for a
+// 16-bit field change; used by DecIPTTL to avoid recomputing the header.
+uint16_t ChecksumUpdate16(uint16_t old_checksum, uint16_t old_field, uint16_t new_field);
+
+}  // namespace rb
+
+#endif  // RB_PACKET_CHECKSUM_HPP_

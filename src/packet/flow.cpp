@@ -1,0 +1,50 @@
+#include "packet/flow.hpp"
+
+#include "packet/headers.hpp"
+
+namespace rb {
+
+uint64_t FlowHash64(const FlowKey& key) {
+  uint64_t x = (static_cast<uint64_t>(key.src_ip) << 32) | key.dst_ip;
+  uint64_t y = (static_cast<uint64_t>(key.src_port) << 24) |
+               (static_cast<uint64_t>(key.dst_port) << 8) | key.protocol;
+  // Two rounds of the splitmix64 finalizer over the combined words.
+  uint64_t z = x ^ (y * 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  z += y;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool ExtractFlowKey(const Packet& p, FlowKey* key) {
+  if (p.length() < EthernetView::kSize + Ipv4View::kMinSize) {
+    return false;
+  }
+  // const_cast is confined here: views are read-only in this function.
+  uint8_t* base = const_cast<uint8_t*>(p.data());
+  EthernetView eth{base};
+  if (eth.ether_type() != EthernetView::kTypeIpv4) {
+    return false;
+  }
+  Ipv4View ip{base + EthernetView::kSize};
+  if (ip.version() != 4 || ip.ihl() < 5) {
+    return false;
+  }
+  key->src_ip = ip.src();
+  key->dst_ip = ip.dst();
+  key->protocol = ip.protocol();
+  key->src_port = 0;
+  key->dst_port = 0;
+  uint32_t l4_off = EthernetView::kSize + ip.header_length();
+  if ((ip.protocol() == Ipv4View::kProtoTcp || ip.protocol() == Ipv4View::kProtoUdp) &&
+      p.length() >= l4_off + 4) {
+    key->src_port = LoadBe16(base + l4_off);
+    key->dst_port = LoadBe16(base + l4_off + 2);
+  }
+  return true;
+}
+
+}  // namespace rb

@@ -1,0 +1,46 @@
+// Flow identification: the classic 5-tuple and the RSS-style hash that
+// multi-queue NICs use to steer packets to receive queues (§4.2). The hash
+// must be (a) deterministic so the same flow always lands on the same
+// queue — a prerequisite for the flowlet reordering-avoidance scheme — and
+// (b) well mixed so queues load-balance.
+#ifndef RB_PACKET_FLOW_HPP_
+#define RB_PACKET_FLOW_HPP_
+
+#include <cstdint>
+#include <functional>
+
+#include "packet/packet.hpp"
+
+namespace rb {
+
+struct FlowKey {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t protocol = 0;
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+// 64-bit mix of the 5-tuple (SplitMix-style finalizer). Stable across runs.
+uint64_t FlowHash64(const FlowKey& key);
+
+// 32-bit variant for the Packet::flow_hash annotation.
+inline uint32_t FlowHash32(const FlowKey& key) {
+  uint64_t h = FlowHash64(key);
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
+// Extracts the 5-tuple from an Ethernet+IPv4(+TCP/UDP) frame. Returns false
+// if the frame is not parseable (non-IPv4, truncated). Ports are zero for
+// protocols other than TCP/UDP.
+bool ExtractFlowKey(const Packet& p, FlowKey* key);
+
+struct FlowKeyHasher {
+  size_t operator()(const FlowKey& key) const { return static_cast<size_t>(FlowHash64(key)); }
+};
+
+}  // namespace rb
+
+#endif  // RB_PACKET_FLOW_HPP_

@@ -1,0 +1,124 @@
+// Packet representation.
+//
+// A Packet owns a contiguous byte buffer (up to kMaxCapacity) plus the
+// metadata ("annotations" in Click terminology) that the RouteBricks data
+// path needs: arrival timestamp, input port, RSS flow hash, the VLB phase
+// tag, the encoded output node, and a per-flow sequence number used by the
+// reordering detector. Packets are pool-allocated (see pool.hpp) and moved
+// by raw pointer through rings and elements, exactly as in a real driver;
+// ownership is explicit: whoever drops a packet returns it to its pool.
+//
+// The buffer keeps headroom at the front so that encapsulating elements
+// (EtherEncap, ESP) can prepend headers without copying the payload.
+#ifndef RB_PACKET_PACKET_HPP_
+#define RB_PACKET_PACKET_HPP_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/time.hpp"
+
+namespace rb {
+
+class PacketPool;
+
+// VLB routing phase of a packet inside the cluster.
+enum class VlbPhase : uint8_t {
+  kNone = 0,    // not yet classified / external traffic
+  kPhase1 = 1,  // input node -> intermediate node
+  kPhase2 = 2,  // intermediate node -> output node
+  kDirect = 3,  // directly routed (Direct VLB shortcut)
+};
+
+class Packet {
+ public:
+  static constexpr uint32_t kMaxCapacity = 2048;
+  static constexpr uint32_t kDefaultHeadroom = 128;
+
+  Packet() = default;
+  Packet(const Packet&) = delete;
+  Packet& operator=(const Packet&) = delete;
+
+  // --- buffer ---
+  uint8_t* data() { return buf_ + offset_; }
+  const uint8_t* data() const { return buf_ + offset_; }
+  uint32_t length() const { return length_; }
+  uint32_t headroom() const { return offset_; }
+  uint32_t tailroom() const { return kMaxCapacity - offset_ - length_; }
+
+  // Copies `len` bytes into the buffer (after default headroom) and sets
+  // the length. len must fit.
+  void SetPayload(const uint8_t* src, uint32_t len);
+
+  // Sets the length without writing bytes (payload contents are whatever
+  // was in the buffer); used by generators that only care about sizes.
+  void SetLength(uint32_t len);
+
+  // Grows the packet by `n` bytes at the front (prepending a header).
+  // Consumes headroom; RB_CHECKs if none is left. Returns the new front.
+  uint8_t* Push(uint32_t n);
+  // Removes `n` bytes from the front.
+  void Pull(uint32_t n);
+  // Appends `n` bytes at the tail (uninitialized); returns the first one.
+  uint8_t* Put(uint32_t n);
+  // Truncates `n` bytes from the tail.
+  void Trim(uint32_t n);
+
+  // --- annotations ---
+  SimTime arrival_time() const { return arrival_time_; }
+  void set_arrival_time(SimTime t) { arrival_time_ = t; }
+
+  uint16_t input_port() const { return input_port_; }
+  void set_input_port(uint16_t p) { input_port_ = p; }
+
+  uint32_t flow_hash() const { return flow_hash_; }
+  void set_flow_hash(uint32_t h) { flow_hash_ = h; }
+
+  VlbPhase vlb_phase() const { return vlb_phase_; }
+  void set_vlb_phase(VlbPhase p) { vlb_phase_ = p; }
+
+  // Output node of the cluster, encoded at the input node (the paper's
+  // MAC-address trick, §6.1). kNoNode when unset.
+  static constexpr uint16_t kNoNode = 0xffff;
+  uint16_t output_node() const { return output_node_; }
+  void set_output_node(uint16_t n) { output_node_ = n; }
+
+  uint64_t flow_id() const { return flow_id_; }
+  void set_flow_id(uint64_t id) { flow_id_ = id; }
+  uint64_t flow_seq() const { return flow_seq_; }
+  void set_flow_seq(uint64_t s) { flow_seq_ = s; }
+
+  // Color annotation for Paint/CheckPaint-style elements.
+  uint8_t paint() const { return paint_; }
+  void set_paint(uint8_t c) { paint_ = c; }
+
+  // Frame bytes as counted on the wire per the paper's convention
+  // (no preamble/IFG accounting).
+  uint32_t wire_bytes() const { return length_; }
+
+  // Clears annotations and resets headroom; called by the pool on release.
+  void ResetMetadata();
+
+  PacketPool* origin_pool() const { return origin_pool_; }
+
+ private:
+  friend class PacketPool;
+
+  uint8_t buf_[kMaxCapacity];
+  uint32_t length_ = 0;
+  uint32_t offset_ = kDefaultHeadroom;
+
+  SimTime arrival_time_ = 0;
+  uint16_t input_port_ = 0;
+  uint32_t flow_hash_ = 0;
+  VlbPhase vlb_phase_ = VlbPhase::kNone;
+  uint16_t output_node_ = kNoNode;
+  uint64_t flow_id_ = 0;
+  uint64_t flow_seq_ = 0;
+  uint8_t paint_ = 0;
+  PacketPool* origin_pool_ = nullptr;
+};
+
+}  // namespace rb
+
+#endif  // RB_PACKET_PACKET_HPP_

@@ -1,0 +1,44 @@
+#include "packet/pool.hpp"
+
+#include "common/log.hpp"
+
+namespace rb {
+
+PacketPool::PacketPool(size_t capacity)
+    : capacity_(capacity), storage_(std::make_unique<Packet[]>(capacity)) {
+  free_.reserve(capacity);
+  for (size_t i = 0; i < capacity; ++i) {
+    storage_[i].origin_pool_ = this;
+    free_.push_back(&storage_[i]);
+  }
+}
+
+PacketPool::~PacketPool() {
+  if (free_.size() != capacity_) {
+    RB_LOG_WARN("PacketPool destroyed with %zu packets still in use", in_use());
+  }
+}
+
+Packet* PacketPool::Alloc() {
+  if (free_.empty()) {
+    alloc_failures_++;
+    return nullptr;
+  }
+  Packet* p = free_.back();
+  free_.pop_back();
+  return p;
+}
+
+void PacketPool::Free(Packet* p) {
+  RB_CHECK_MSG(p != nullptr, "freeing null packet");
+  RB_CHECK_MSG(p->origin_pool_ == this, "packet returned to the wrong pool");
+  p->ResetMetadata();
+  free_.push_back(p);
+}
+
+void PacketPool::Release(Packet* p) {
+  RB_CHECK(p != nullptr && p->origin_pool() != nullptr);
+  p->origin_pool()->Free(p);
+}
+
+}  // namespace rb

@@ -1,0 +1,54 @@
+// Fixed-capacity packet pool (freelist allocator).
+//
+// Real packet-processing systems never malloc per packet; they recycle
+// buffers from a pre-allocated pool ("socket-buffer descriptors" in the
+// paper). PacketPool mirrors that: Alloc() pops from a freelist, Free()
+// pushes back. The pool is not thread-safe by itself; each worker thread
+// owns its own pool in multi-threaded runs (per-core pools), matching the
+// lock-free driver design of §4.2. Packet::origin_pool() lets any element
+// return a packet to the pool it came from via PacketPool::Release().
+#ifndef RB_PACKET_POOL_HPP_
+#define RB_PACKET_POOL_HPP_
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace rb {
+
+class PacketPool {
+ public:
+  // Pre-allocates `capacity` packets.
+  explicit PacketPool(size_t capacity);
+  ~PacketPool();
+
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  // Returns nullptr when the pool is exhausted (the caller should count a
+  // drop, as a NIC would when it has no free descriptors).
+  Packet* Alloc();
+
+  // Returns a packet to this pool. The packet must have come from here.
+  void Free(Packet* p);
+
+  // Returns `p` to whichever pool allocated it.
+  static void Release(Packet* p);
+
+  size_t capacity() const { return capacity_; }
+  size_t available() const { return free_.size(); }
+  size_t in_use() const { return capacity_ - free_.size(); }
+  uint64_t alloc_failures() const { return alloc_failures_; }
+
+ private:
+  size_t capacity_;
+  std::unique_ptr<Packet[]> storage_;
+  std::vector<Packet*> free_;
+  uint64_t alloc_failures_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_PACKET_POOL_HPP_

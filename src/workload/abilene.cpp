@@ -1,0 +1,46 @@
+#include "workload/abilene.hpp"
+
+#include "packet/headers.hpp"
+
+namespace rb {
+
+uint32_t AbileneSizeDistribution::NextSize(Rng* rng) {
+  double u = rng->NextDouble();
+  if (u < kSmallWeight) {
+    return kSmall;
+  }
+  if (u < kSmallWeight + kMediumWeight) {
+    return kMedium;
+  }
+  return kLarge;
+}
+
+double AbileneSizeDistribution::MeanSize() const {
+  return kSmallWeight * kSmall + kMediumWeight * kMedium + kLargeWeight * kLarge;
+}
+
+AbileneGenerator::AbileneGenerator(const AbileneConfig& config) : rng_(config.seed) {
+  flows_.reserve(config.num_flows);
+  for (uint64_t i = 0; i < config.num_flows; ++i) {
+    FlowKey key;
+    key.src_ip = static_cast<uint32_t>(rng_.Next()) & 0xdfffffffu;
+    key.dst_ip = static_cast<uint32_t>(rng_.Next()) & 0xdfffffffu;
+    key.src_port = static_cast<uint16_t>(1024 + rng_.NextBounded(60000));
+    key.dst_port = static_cast<uint16_t>(1024 + rng_.NextBounded(60000));
+    key.protocol = (i % 10 < 9) ? Ipv4View::kProtoTcp : Ipv4View::kProtoUdp;
+    flows_.push_back(key);
+  }
+  flow_seq_.assign(flows_.size(), 0);
+}
+
+FrameSpec AbileneGenerator::Next() {
+  uint64_t idx = rng_.NextBounded(flows_.size());
+  FrameSpec spec;
+  spec.size = dist_.NextSize(&rng_);
+  spec.flow = flows_[idx];
+  spec.flow_id = idx;
+  spec.flow_seq = flow_seq_[idx]++;
+  return spec;
+}
+
+}  // namespace rb

@@ -1,0 +1,58 @@
+// Abilene-like trace synthesis.
+//
+// The paper's trace-driven workload is the "Abilene-I" NLANR packet trace
+// (§5.1), which is no longer distributable; we substitute a synthetic
+// trace whose packet-size distribution matches the trimodal shape of
+// backbone traffic of that era (ACK-sized minimum frames, a mid band near
+// 576 B from classic path-MTU defaults, and full 1500 B MTU frames). The
+// mixture weights are chosen so the mean frame size is ~730 B, which makes
+// the forwarding and routing applications NIC-limited (24.6 Gbps input
+// cap) rather than CPU-limited, exactly the regime the paper reports.
+#ifndef RB_WORKLOAD_ABILENE_HPP_
+#define RB_WORKLOAD_ABILENE_HPP_
+
+#include "workload/workload.hpp"
+
+namespace rb {
+
+class AbileneSizeDistribution : public SizeDistribution {
+ public:
+  AbileneSizeDistribution() = default;
+
+  uint32_t NextSize(Rng* rng) override;
+  double MeanSize() const override;
+
+  // The three modes and their probabilities (exposed for tests).
+  static constexpr uint32_t kSmall = 64;
+  static constexpr uint32_t kMedium = 576;
+  static constexpr uint32_t kLarge = 1500;
+  static constexpr double kSmallWeight = 0.44;
+  static constexpr double kMediumWeight = 0.15;
+  static constexpr double kLargeWeight = 0.41;
+};
+
+// Convenience: "the Abilene workload" as a generator of FrameSpecs over a
+// configurable flow population (sizes i.i.d. from the mixture; flows drawn
+// uniformly, per-flow sequence numbers maintained).
+struct AbileneConfig {
+  uint64_t num_flows = 8192;
+  uint64_t seed = 7;
+};
+
+class AbileneGenerator {
+ public:
+  explicit AbileneGenerator(const AbileneConfig& config);
+
+  FrameSpec Next();
+  double mean_size() const { return dist_.MeanSize(); }
+
+ private:
+  AbileneSizeDistribution dist_;
+  Rng rng_;
+  std::vector<FlowKey> flows_;
+  std::vector<uint64_t> flow_seq_;
+};
+
+}  // namespace rb
+
+#endif  // RB_WORKLOAD_ABILENE_HPP_

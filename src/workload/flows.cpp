@@ -1,0 +1,77 @@
+#include "workload/flows.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "packet/headers.hpp"
+
+namespace rb {
+
+FlowTrafficGenerator::FlowTrafficGenerator(const FlowGenConfig& config,
+                                           std::unique_ptr<SizeDistribution> sizes)
+    : config_(config), sizes_(std::move(sizes)), rng_(config.seed) {
+  RB_CHECK(config_.flow_arrival_rate > 0);
+  RB_CHECK(config_.mean_flow_packets >= 1);
+  RB_CHECK(config_.in_flow_pps > 0);
+  RB_CHECK(sizes_ != nullptr);
+  next_flow_arrival_ = rng_.NextExponential(1.0 / config_.flow_arrival_rate);
+}
+
+void FlowTrafficGenerator::StartFlow(SimTime now) {
+  ActiveFlow flow;
+  flow.key.src_ip = static_cast<uint32_t>(rng_.Next()) & 0xdfffffffu;
+  flow.key.dst_ip = static_cast<uint32_t>(rng_.Next()) & 0xdfffffffu;
+  flow.key.src_port = static_cast<uint16_t>(1024 + rng_.NextBounded(60000));
+  flow.key.dst_port = static_cast<uint16_t>(1024 + rng_.NextBounded(60000));
+  flow.key.protocol = Ipv4View::kProtoTcp;
+  flow.flow_id = next_flow_id_++;
+  // Pareto with mean m and shape a has scale xm = m (a - 1) / a.
+  double xm = config_.mean_flow_packets * (config_.pareto_alpha - 1.0) / config_.pareto_alpha;
+  xm = std::max(1.0, xm);
+  flow.remaining = static_cast<uint64_t>(std::ceil(rng_.NextPareto(xm, config_.pareto_alpha)));
+  flow.next_emit = now;
+  active_.push(flow);
+}
+
+FlowTrafficGenerator::Item FlowTrafficGenerator::Next() {
+  // Admit any flows that arrive before the earliest active packet.
+  while (active_.empty() || next_flow_arrival_ <= active_.top().next_emit) {
+    StartFlow(next_flow_arrival_);
+    next_flow_arrival_ += rng_.NextExponential(1.0 / config_.flow_arrival_rate);
+  }
+  ActiveFlow flow = active_.top();
+  active_.pop();
+
+  Item item;
+  item.time = flow.next_emit;
+  item.spec.size = sizes_->NextSize(&rng_);
+  item.spec.flow = flow.key;
+  item.spec.flow_id = flow.flow_id;
+  item.spec.flow_seq = flow.seq;
+
+  flow.seq++;
+  flow.remaining--;
+  if (flow.remaining > 0) {
+    flow.next_emit += rng_.NextExponential(1.0 / config_.in_flow_pps);
+    active_.push(flow);
+  }
+  return item;
+}
+
+double FlowTrafficGenerator::OfferedBps() const {
+  return config_.flow_arrival_rate * config_.mean_flow_packets * sizes_->MeanSize() * 8.0;
+}
+
+FlowGenConfig FlowTrafficGenerator::ConfigForRate(double target_bps, double mean_frame_bytes,
+                                                  double mean_flow_packets, double in_flow_pps,
+                                                  uint64_t seed) {
+  FlowGenConfig config;
+  config.mean_flow_packets = mean_flow_packets;
+  config.in_flow_pps = in_flow_pps;
+  config.seed = seed;
+  double pps = target_bps / (8.0 * mean_frame_bytes);
+  config.flow_arrival_rate = pps / mean_flow_packets;
+  return config;
+}
+
+}  // namespace rb

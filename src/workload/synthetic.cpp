@@ -1,0 +1,86 @@
+#include "workload/synthetic.hpp"
+
+#include "common/log.hpp"
+#include "packet/headers.hpp"
+
+namespace rb {
+
+const char* AppName(App app) {
+  switch (app) {
+    case App::kMinimalForwarding:
+      return "forwarding";
+    case App::kIpRouting:
+      return "routing";
+    case App::kIpsec:
+      return "ipsec";
+  }
+  return "?";
+}
+
+void MaterializeFrame(const FrameSpec& spec, Packet* p) {
+  RB_CHECK(spec.size >= EthernetView::kSize + Ipv4View::kMinSize + UdpView::kSize);
+  RB_CHECK(spec.size + Packet::kDefaultHeadroom <= Packet::kMaxCapacity);
+  p->SetLength(spec.size);
+  memset(p->data(), 0, spec.size);
+
+  EthernetView eth{p->data()};
+  eth.set_dst(MacAddress{0x02, 0x00, 0x00, 0x00, 0x00, 0x01});
+  eth.set_src(MacAddress{0x02, 0x00, 0x00, 0x00, 0x00, 0x02});
+  eth.set_ether_type(EthernetView::kTypeIpv4);
+
+  uint16_t ip_total = static_cast<uint16_t>(spec.size - EthernetView::kSize);
+  Ipv4View::WriteDefault(p->data() + EthernetView::kSize, spec.flow.src_ip, spec.flow.dst_ip,
+                         spec.flow.protocol ? spec.flow.protocol : Ipv4View::kProtoUdp, ip_total);
+
+  UdpView udp{p->data() + EthernetView::kSize + Ipv4View::kMinSize};
+  udp.set_src_port(spec.flow.src_port);
+  udp.set_dst_port(spec.flow.dst_port);
+  udp.set_length(static_cast<uint16_t>(ip_total - Ipv4View::kMinSize));
+  udp.set_checksum(0);
+
+  p->set_flow_id(spec.flow_id);
+  p->set_flow_seq(spec.flow_seq);
+  p->set_flow_hash(FlowHash32(spec.flow));
+}
+
+Packet* AllocFrame(const FrameSpec& spec, PacketPool* pool) {
+  Packet* p = pool->Alloc();
+  if (p == nullptr) {
+    return nullptr;
+  }
+  MaterializeFrame(spec, p);
+  return p;
+}
+
+SyntheticGenerator::SyntheticGenerator(const SyntheticConfig& config)
+    : config_(config), rng_(config.seed) {
+  RB_CHECK(config.num_flows >= 1);
+  flows_.reserve(config_.num_flows);
+  for (uint64_t i = 0; i < config_.num_flows; ++i) {
+    FlowKey key;
+    key.src_ip = static_cast<uint32_t>(rng_.Next());
+    key.dst_ip = static_cast<uint32_t>(rng_.Next());
+    key.src_port = static_cast<uint16_t>(1024 + rng_.NextBounded(60000));
+    key.dst_port = static_cast<uint16_t>(1024 + rng_.NextBounded(60000));
+    key.protocol = Ipv4View::kProtoUdp;
+    flows_.push_back(key);
+  }
+  flow_seq_.assign(config_.num_flows, 0);
+}
+
+FrameSpec SyntheticGenerator::Next() {
+  uint64_t idx = rng_.NextBounded(config_.num_flows);
+  FrameSpec spec;
+  spec.size = config_.packet_size;
+  spec.flow = flows_[idx];
+  if (config_.random_dst) {
+    // Random destination per packet to defeat lookup-cache locality, as in
+    // the paper; keep it unicast.
+    spec.flow.dst_ip = static_cast<uint32_t>(rng_.Next()) & 0xdfffffffu;
+  }
+  spec.flow_id = idx;
+  spec.flow_seq = flow_seq_[idx]++;
+  return spec;
+}
+
+}  // namespace rb

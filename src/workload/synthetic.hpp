@@ -1,0 +1,49 @@
+// Synthetic fixed-size and random-destination workloads (§5.1's "synthetic
+// workloads, where every packet has a fixed size of P bytes" with "random
+// destination addresses so as to stress cache locality").
+#ifndef RB_WORKLOAD_SYNTHETIC_HPP_
+#define RB_WORKLOAD_SYNTHETIC_HPP_
+
+#include <memory>
+
+#include "workload/workload.hpp"
+
+namespace rb {
+
+class FixedSizeDistribution : public SizeDistribution {
+ public:
+  explicit FixedSizeDistribution(uint32_t size) : size_(size) {}
+  uint32_t NextSize(Rng*) override { return size_; }
+  double MeanSize() const override { return size_; }
+
+ private:
+  uint32_t size_;
+};
+
+struct SyntheticConfig {
+  uint32_t packet_size = 64;
+  uint64_t num_flows = 4096;   // distinct 5-tuples to draw from
+  bool random_dst = true;      // random destination address per packet
+  uint64_t seed = 1;
+};
+
+// Generates an endless stream of FrameSpecs. Flow ids are stable per
+// 5-tuple; per-flow sequence numbers increase monotonically.
+class SyntheticGenerator {
+ public:
+  explicit SyntheticGenerator(const SyntheticConfig& config);
+
+  FrameSpec Next();
+
+  double mean_size() const { return config_.packet_size; }
+
+ private:
+  SyntheticConfig config_;
+  Rng rng_;
+  std::vector<FlowKey> flows_;
+  std::vector<uint64_t> flow_seq_;
+};
+
+}  // namespace rb
+
+#endif  // RB_WORKLOAD_SYNTHETIC_HPP_

@@ -1,0 +1,69 @@
+#include "workload/traffic_matrix.hpp"
+
+#include "common/log.hpp"
+
+namespace rb {
+
+TrafficMatrix::TrafficMatrix(uint16_t n) : n_(n), shares_(n, std::vector<double>(n, 0.0)) {
+  RB_CHECK(n >= 1);
+}
+
+TrafficMatrix TrafficMatrix::Uniform(uint16_t n) {
+  TrafficMatrix tm(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    for (uint16_t j = 0; j < n; ++j) {
+      tm.shares_[i][j] = 1.0 / n;
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix TrafficMatrix::SinglePair(uint16_t n, uint16_t src, uint16_t dst) {
+  TrafficMatrix tm(n);
+  RB_CHECK(src < n && dst < n);
+  tm.shares_[src][dst] = 1.0;
+  return tm;
+}
+
+TrafficMatrix TrafficMatrix::Hotspot(uint16_t n, uint16_t hot_dst, double hot_fraction) {
+  TrafficMatrix tm(n);
+  RB_CHECK(hot_dst < n);
+  RB_CHECK(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+  for (uint16_t i = 0; i < n; ++i) {
+    double rest = n > 1 ? (1.0 - hot_fraction) / (n - 1) : 0.0;
+    for (uint16_t j = 0; j < n; ++j) {
+      tm.shares_[i][j] = (j == hot_dst) ? hot_fraction : rest;
+    }
+  }
+  return tm;
+}
+
+bool TrafficMatrix::InputActive(uint16_t src) const {
+  for (double s : shares_[src]) {
+    if (s > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+uint16_t TrafficMatrix::SampleOutput(uint16_t src, Rng* rng) const {
+  double r = rng->NextDouble();
+  double acc = 0;
+  for (uint16_t j = 0; j < n_; ++j) {
+    acc += shares_[src][j];
+    if (r < acc) {
+      return j;
+    }
+  }
+  // Row may not sum exactly to 1 due to floating point; return the last
+  // destination with positive share.
+  for (uint16_t j = n_; j-- > 0;) {
+    if (shares_[src][j] > 0) {
+      return j;
+    }
+  }
+  return 0;
+}
+
+}  // namespace rb

@@ -1,0 +1,53 @@
+// Cluster traffic matrices.
+//
+// VLB's processing requirement depends on the traffic matrix: a uniform
+// matrix lets Direct VLB route everything directly (per-node rate 2R); a
+// worst-case matrix forces full two-phase load balancing (3R) (§3.2).
+// TrafficMatrix describes, for each input node, the share of its traffic
+// destined to each output node, and supports sampling.
+#ifndef RB_WORKLOAD_TRAFFIC_MATRIX_HPP_
+#define RB_WORKLOAD_TRAFFIC_MATRIX_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace rb {
+
+class TrafficMatrix {
+ public:
+  // Every input spreads uniformly over all outputs (including the
+  // node's own external port, as an any-to-any pattern does).
+  static TrafficMatrix Uniform(uint16_t n);
+
+  // All traffic enters at `src` and leaves at `dst` (§6.2's reordering
+  // experiment forces the whole trace through one input/output pair).
+  static TrafficMatrix SinglePair(uint16_t n, uint16_t src, uint16_t dst);
+
+  // Every input sends `hot_fraction` of its traffic to `hot_dst` and
+  // spreads the rest uniformly: an adversarial, non-uniform matrix.
+  static TrafficMatrix Hotspot(uint16_t n, uint16_t hot_dst, double hot_fraction);
+
+  uint16_t num_nodes() const { return n_; }
+
+  // Share of input `src`'s traffic destined to output `dst` (rows sum to 1
+  // for inputs that send at all).
+  double Share(uint16_t src, uint16_t dst) const { return shares_[src][dst]; }
+
+  // True if input `src` offers any traffic.
+  bool InputActive(uint16_t src) const;
+
+  // Samples an output node for a packet entering at `src`.
+  uint16_t SampleOutput(uint16_t src, Rng* rng) const;
+
+ private:
+  explicit TrafficMatrix(uint16_t n);
+
+  uint16_t n_;
+  std::vector<std::vector<double>> shares_;
+};
+
+}  // namespace rb
+
+#endif  // RB_WORKLOAD_TRAFFIC_MATRIX_HPP_

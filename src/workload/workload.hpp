@@ -1,0 +1,58 @@
+// Workload definitions shared by the single-server and cluster experiments.
+//
+// A workload is characterized by (1) the packet-size distribution and
+// (2) the per-packet application (§5.1). FrameSpec is the logical packet
+// the generators produce; it can be materialized into a real rb::Packet
+// (with Ethernet/IPv4/UDP headers) for the functional pipeline, or used
+// directly by the cluster discrete-event simulator, which does not need
+// payload bytes.
+#ifndef RB_WORKLOAD_WORKLOAD_HPP_
+#define RB_WORKLOAD_WORKLOAD_HPP_
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "packet/flow.hpp"
+#include "packet/packet.hpp"
+#include "packet/pool.hpp"
+
+namespace rb {
+
+// The three packet-processing applications of the evaluation.
+enum class App : uint8_t {
+  kMinimalForwarding = 0,
+  kIpRouting = 1,
+  kIpsec = 2,
+};
+
+const char* AppName(App app);
+
+// A logical frame: everything the simulators need, no payload bytes.
+struct FrameSpec {
+  uint32_t size = 64;   // frame bytes (Ethernet header..payload, no FCS gap accounting)
+  FlowKey flow;
+  uint64_t flow_id = 0;
+  uint64_t flow_seq = 0;
+};
+
+// Materializes a FrameSpec into `p`: writes Ethernet + IPv4 + UDP headers,
+// pads the payload to `spec.size` bytes, stamps annotations. The IPv4
+// total length and checksum are valid.
+void MaterializeFrame(const FrameSpec& spec, Packet* p);
+
+// Allocates from `pool` and materializes; returns nullptr when exhausted.
+Packet* AllocFrame(const FrameSpec& spec, PacketPool* pool);
+
+// --- size distributions ---
+
+class SizeDistribution {
+ public:
+  virtual ~SizeDistribution() = default;
+  virtual uint32_t NextSize(Rng* rng) = 0;
+  virtual double MeanSize() const = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_WORKLOAD_WORKLOAD_HPP_

@@ -1,0 +1,128 @@
+#include "click/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "click/elements/from_device.hpp"
+#include "click/elements/misc.hpp"
+#include "click/elements/queue.hpp"
+#include "click/elements/to_device.hpp"
+#include "packet/pool.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+FrameSpec Frame64(uint16_t port) {
+  FrameSpec spec;
+  spec.size = 64;
+  spec.flow.src_ip = 100u + port;
+  spec.flow.dst_ip = 200;
+  spec.flow.src_port = port;
+  spec.flow.protocol = 17;
+  return spec;
+}
+
+struct TwoPortSetup {
+  PacketPool pool{1024};
+  NicConfig cfg;
+  std::unique_ptr<NicPort> in;
+  std::unique_ptr<NicPort> out;
+  Router router;
+  FromDevice* from[2];
+
+  TwoPortSetup() {
+    cfg.num_rx_queues = 2;
+    cfg.num_tx_queues = 2;
+    cfg.kn = 1;
+    in = std::make_unique<NicPort>(cfg);
+    out = std::make_unique<NicPort>(cfg);
+    for (uint16_t q = 0; q < 2; ++q) {
+      from[q] = router.Add<FromDevice>(in.get(), q, 32, q);
+      auto* queue = router.Add<QueueElement>(256);
+      auto* to = router.Add<ToDevice>(out.get(), q, 32, q);
+      router.Connect(from[q], 0, queue, 0);
+      router.Connect(queue, 0, to, 0);
+    }
+    router.Initialize();
+  }
+};
+
+TEST(SchedulerTest, HomeCorePinningRespected) {
+  TwoPortSetup setup;
+  ThreadScheduler sched(&setup.router, 2);
+  // Queue-q tasks must land on core q: 2 tasks per core (poll + drain).
+  EXPECT_EQ(sched.core_tasks(0).size(), 2u);
+  EXPECT_EQ(sched.core_tasks(1).size(), 2u);
+  for (int core = 0; core < 2; ++core) {
+    for (Task* t : sched.core_tasks(core)) {
+      EXPECT_EQ(t->home_core(), core);
+    }
+  }
+}
+
+TEST(SchedulerTest, UnpinnedTasksRoundRobin) {
+  Router r;
+  NicConfig cfg;
+  NicPort nic(cfg);
+  for (int i = 0; i < 6; ++i) {
+    auto* from = r.Add<FromDevice>(&nic, 0, 32, -1);
+    auto* d = r.Add<Discard>();
+    r.Connect(from, 0, d, 0);
+  }
+  r.Initialize();
+  ThreadScheduler sched(&r, 3);
+  for (int core = 0; core < 3; ++core) {
+    EXPECT_EQ(sched.core_tasks(core).size(), 2u);
+  }
+}
+
+TEST(SchedulerTest, RunInlineMovesPackets) {
+  TwoPortSetup setup;
+  ThreadScheduler sched(&setup.router, 2);
+  for (int i = 0; i < 50; ++i) {
+    setup.in->Deliver(AllocFrame(Frame64(i % 2), &setup.pool), 0.0);
+  }
+  sched.RunInline(10);
+  EXPECT_EQ(setup.out->tx_counters().packets, 50u);
+  Packet* burst[64];
+  size_t n = setup.out->DrainTx(burst, 64);
+  EXPECT_EQ(n, 50u);
+  for (size_t i = 0; i < n; ++i) {
+    setup.pool.Free(burst[i]);
+  }
+}
+
+TEST(SchedulerTest, ThreadedRunForwardsEverything) {
+  // Real threads exercise the SPSC handoff; on a single-vCPU host this
+  // validates correctness, not speed.
+  TwoPortSetup setup;
+  for (int i = 0; i < 200; ++i) {
+    setup.in->Deliver(AllocFrame(Frame64(i % 2), &setup.pool), 0.0);
+  }
+  ThreadScheduler sched(&setup.router, 2);
+  sched.Start();
+  // Wait for the workers to drain the input.
+  for (int spin = 0; spin < 2000 && setup.out->tx_counters().packets < 200; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sched.Stop();
+  EXPECT_EQ(setup.out->tx_counters().packets, 200u);
+  Packet* burst[256];
+  size_t n = setup.out->DrainTx(burst, 256);
+  EXPECT_EQ(n, 200u);
+  for (size_t i = 0; i < n; ++i) {
+    setup.pool.Free(burst[i]);
+  }
+}
+
+TEST(SchedulerDeathTest, DoubleStartAborts) {
+  Router r;
+  r.Initialize();
+  ThreadScheduler sched(&r, 1);
+  sched.Start();
+  EXPECT_DEATH(sched.Start(), "already running");
+  sched.Stop();
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,180 @@
+#include "cluster/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/abilene.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+ClusterConfig FastRb4() {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.seed = 17;
+  return cfg;
+}
+
+TEST(ClusterSimTest, SinglePacketDirectDelivery) {
+  ClusterSim sim(FastRb4());
+  sim.Inject(0, 1, /*flow=*/1, /*seq=*/0, 64, 0.0);
+  ClusterRunStats stats = sim.Finish(1e-3);
+  EXPECT_EQ(stats.delivered_packets, 1u);
+  EXPECT_EQ(sim.node_stats(1).delivered, 1u);
+  // One fixed node latency per node visited (2 nodes on a direct path)
+  // plus service times: mid tens of microseconds.
+  double latency = stats.latency.max();
+  EXPECT_GT(latency, 2 * FastRb4().node_fixed_latency);
+  EXPECT_LT(latency, 100e-6);
+}
+
+TEST(ClusterSimTest, LocalTrafficStaysLocal) {
+  ClusterSim sim(FastRb4());
+  sim.Inject(2, 2, 1, 0, 64, 0.0);
+  ClusterRunStats local = sim.Finish(1e-3);
+  EXPECT_EQ(sim.node_stats(2).delivered, 1u);
+  // No inter-node hop: cheaper than a remote delivery.
+  ClusterSim sim2(FastRb4());
+  sim2.Inject(2, 3, 1, 0, 64, 0.0);
+  ClusterRunStats remote = sim2.Finish(1e-3);
+  EXPECT_LT(local.latency.max(), remote.latency.max());
+}
+
+TEST(ClusterSimTest, UniformLoadAt64BDeliversLossFree) {
+  // §6.2: RB4 routes 64 B uniform traffic at ~12 Gbps aggregate, i.e.
+  // ~3 Gbps per port. At that load, losses must be negligible.
+  ClusterSim sim(FastRb4());
+  FixedSizeDistribution sizes(64);
+  auto tm = TrafficMatrix::Uniform(4);
+  ClusterRunStats stats = sim.RunUniform(tm, 2.9e9, &sizes, 0.02);
+  EXPECT_GT(stats.offered_packets, 100000u);
+  EXPECT_LT(stats.loss_fraction(), 0.005);
+  EXPECT_NEAR(stats.delivered_bps() / 1e9, 4 * 2.9, 0.4);
+}
+
+TEST(ClusterSimTest, OverloadSheds) {
+  // Well past the 64 B capacity, the cluster must drop, not wedge.
+  ClusterSim sim(FastRb4());
+  FixedSizeDistribution sizes(64);
+  auto tm = TrafficMatrix::Uniform(4);
+  ClusterRunStats stats = sim.RunUniform(tm, 8e9, &sizes, 0.01);
+  EXPECT_GT(stats.loss_fraction(), 0.2);
+  EXPECT_GT(stats.drops.total(), 0u);
+}
+
+TEST(ClusterSimTest, UniformTrafficRoutesMostlyDirect) {
+  // Direct VLB with a uniform matrix: the 2R regime (§3.2).
+  ClusterSim sim(FastRb4());
+  FixedSizeDistribution sizes(64);
+  auto tm = TrafficMatrix::Uniform(4);
+  ClusterRunStats stats = sim.RunUniform(tm, 2.5e9, &sizes, 0.01);
+  double direct_frac = static_cast<double>(stats.direct_packets) /
+                       (stats.direct_packets + stats.balanced_packets);
+  EXPECT_GT(direct_frac, 0.9);
+}
+
+TEST(ClusterSimTest, SinglePairLoadBalancesExcess) {
+  // All traffic on one (src, dst) pair at > R/N: most packets must take
+  // the two-phase path.
+  ClusterConfig cfg = FastRb4();
+  cfg.vlb.flowlets = false;
+  ClusterSim sim(cfg);
+  FixedSizeDistribution sizes(64);
+  auto tm = TrafficMatrix::SinglePair(4, 0, 2);
+  ClusterRunStats stats = sim.RunUniform(tm, 8e9, &sizes, 0.005);
+  double balanced_frac = static_cast<double>(stats.balanced_packets) /
+                         (stats.direct_packets + stats.balanced_packets);
+  EXPECT_GT(balanced_frac, 0.5);
+}
+
+TEST(ClusterSimTest, FairnessAcrossCompetingInputs) {
+  // Two inputs blast one output at line rate each; VLB + the output port
+  // must share capacity fairly (§3.1 guarantee 2).
+  ClusterConfig cfg = FastRb4();
+  ClusterSim sim(cfg);
+  FixedSizeDistribution sizes(300);
+  TrafficMatrix tm = TrafficMatrix::Uniform(4);
+  // Build a custom two-inputs-one-output matrix.
+  auto pair_tm = TrafficMatrix::SinglePair(4, 0, 3);
+  // RunUniform only drives active inputs; emulate two inputs by running a
+  // hotspot matrix where inputs 0 and 1 send everything to node 3.
+  (void)tm;
+  ClusterRunStats stats;
+  {
+    // Hotspot with fraction 1.0 makes every input send only to node 3;
+    // restrict offered load to inputs 0 and 1 by constructing the matrix
+    // manually is not supported, so use all four inputs — fairness must
+    // still hold across them.
+    auto hot = TrafficMatrix::Hotspot(4, 3, 1.0);
+    stats = sim.RunUniform(hot, 6e9, &sizes, 0.01);
+  }
+  (void)pair_tm;
+  // Output 3 is oversubscribed 4:1 (24 Gbps offered into a 10 Gbps port,
+  // including its own local traffic); deliveries by source must be fair.
+  std::vector<double> by_src = stats.per_input_delivered_bps;
+  // Drop-tail sharing is proportionally fair in expectation; with the
+  // realistic (small) output ring the index sits a little under the
+  // ideal 1.0.
+  EXPECT_GT(JainFairnessIndex(by_src), 0.88);
+  // And the output port must run at (close to) full line rate: the 100%
+  // throughput property.
+  EXPECT_GT(stats.per_output_bps[3] / 10e9, 0.9);
+}
+
+TEST(ClusterSimTest, AbileneWorkloadSustains35GbpsAggregate) {
+  // §6.2: RB4 at ~35 Gbps with the Abilene workload, NIC-limited.
+  ClusterSim sim(FastRb4());
+  AbileneSizeDistribution sizes;
+  auto tm = TrafficMatrix::Uniform(4);
+  ClusterRunStats stats = sim.RunUniform(tm, 8.75e9, &sizes, 0.01);
+  EXPECT_LT(stats.loss_fraction(), 0.02);
+  EXPECT_NEAR(stats.delivered_bps() / 1e9, 35.0, 2.5);
+}
+
+TEST(ClusterSimTest, LatencyIncludesFixedPerNodeCosts) {
+  ClusterSim sim(FastRb4());
+  FixedSizeDistribution sizes(64);
+  auto tm = TrafficMatrix::Uniform(4);
+  ClusterRunStats stats = sim.RunUniform(tm, 1e9, &sizes, 0.005);
+  // Light load: latency should sit near the analytic 2-hop estimate
+  // (~48 us) with a tail under ~80 us (3-hop paths are rare here).
+  EXPECT_GT(stats.latency.Percentile(50), 40e-6);
+  EXPECT_LT(stats.latency.Percentile(50), 60e-6);
+}
+
+TEST(ClusterSimTest, ResequencerEliminatesReordering) {
+  ClusterConfig cfg = FastRb4();
+  cfg.vlb.flowlets = false;  // maximize reordering pressure
+  cfg.resequence = true;
+  ClusterSim sim(cfg);
+  auto gen_cfg = FlowTrafficGenerator::ConfigForRate(8e9, 729.6, 50, 5000, 3);
+  FlowTrafficGenerator gen(gen_cfg, std::make_unique<AbileneSizeDistribution>());
+  ClusterRunStats stats = sim.RunSinglePairTrace(&gen, 0, 2, 0.02);
+  EXPECT_EQ(stats.reorder_packet_fraction, 0.0);
+}
+
+TEST(ClusterSimTest, DropsAreCategorized) {
+  ClusterSim sim(FastRb4());
+  FixedSizeDistribution sizes(64);
+  auto tm = TrafficMatrix::Uniform(4);
+  ClusterRunStats stats = sim.RunUniform(tm, 9e9, &sizes, 0.005);
+  // At 9 Gbps/port of 64 B the CPUs saturate: the drop breakdown must
+  // attribute the loss somewhere sensible (CPU or NIC).
+  EXPECT_GT(stats.drops.cpu + stats.drops.ext_rx_nic, 0u);
+  EXPECT_EQ(stats.offered_packets,
+            stats.delivered_packets + stats.drops.total());
+}
+
+TEST(ClusterSimTest, TwoNodeClusterIsAllDirect) {
+  ClusterConfig cfg = FastRb4();
+  cfg.num_nodes = 2;
+  cfg.vlb.num_nodes = 2;
+  ClusterSim sim(cfg);
+  FixedSizeDistribution sizes(64);
+  auto tm = TrafficMatrix::Uniform(2);
+  ClusterRunStats stats = sim.RunUniform(tm, 2e9, &sizes, 0.005);
+  EXPECT_EQ(stats.balanced_packets, 0u);
+  EXPECT_LT(stats.loss_fraction(), 0.01);
+}
+
+}  // namespace
+}  // namespace rb

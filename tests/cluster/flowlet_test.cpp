@@ -1,0 +1,82 @@
+#include "cluster/flowlet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(FlowletTest, UnknownFlowUnassigned) {
+  FlowletTable table(0.1);
+  EXPECT_FALSE(table.Lookup(1, 0.0).assigned());
+}
+
+TEST(FlowletTest, CommitThenLookupWithinDelta) {
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{3});
+  FlowletPath p = table.Lookup(1, 0.05);
+  ASSERT_TRUE(p.assigned());
+  EXPECT_FALSE(p.direct());
+  EXPECT_EQ(p.via, 3);
+}
+
+TEST(FlowletTest, ExpiresAfterDelta) {
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{3});
+  EXPECT_FALSE(table.Lookup(1, 0.2).assigned());
+}
+
+TEST(FlowletTest, DirectPathRoundTrips) {
+  FlowletTable table(0.1);
+  table.Commit(7, 1.0, FlowletPath{FlowletPath::kDirect});
+  FlowletPath p = table.Lookup(7, 1.05);
+  ASSERT_TRUE(p.assigned());
+  EXPECT_TRUE(p.direct());
+}
+
+TEST(FlowletTest, RefreshKeepsFlowletAlive) {
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{2});
+  // Keep touching it every 0.09 s; it must survive far beyond delta.
+  for (int i = 1; i <= 20; ++i) {
+    SimTime t = i * 0.09;
+    FlowletPath p = table.Lookup(1, t);
+    ASSERT_TRUE(p.assigned()) << i;
+    table.Commit(1, t, p);
+  }
+}
+
+TEST(FlowletTest, ExpireSweepRemovesIdleEntries) {
+  FlowletTable table(0.01);
+  for (uint64_t f = 0; f < 100; ++f) {
+    table.Commit(f, 0.0, FlowletPath{1});
+  }
+  EXPECT_EQ(table.size(), 100u);
+  table.Expire(1.0);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowletTest, ExpireIsAmortized) {
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{1});
+  table.Commit(2, 0.05, FlowletPath{2});
+  // Less than delta since the last sweep epoch: no-op, both entries stay.
+  table.Expire(0.08);
+  EXPECT_EQ(table.size(), 2u);
+  // Past delta: sweeps, removing only the stale entry 1.
+  table.Expire(0.12);
+  EXPECT_EQ(table.size(), 1u);
+  // Sweep again after the second entry goes stale too.
+  table.Expire(0.30);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowletTest, IndependentFlows) {
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{2});
+  table.Commit(2, 0.0, FlowletPath{5});
+  EXPECT_EQ(table.Lookup(1, 0.01).via, 2);
+  EXPECT_EQ(table.Lookup(2, 0.01).via, 5);
+}
+
+}  // namespace
+}  // namespace rb

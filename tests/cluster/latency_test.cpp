@@ -1,0 +1,47 @@
+#include "cluster/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(LatencyTest, PerServerNear24us) {
+  LatencyEstimate e = EstimateLatency();
+  // §6.2: 4 x 2.56 + 12.8 + 0.8 = ~24 us per server.
+  EXPECT_NEAR(e.dma_us, 10.24, 0.01);
+  EXPECT_NEAR(e.batching_us, 12.8, 0.1);
+  EXPECT_NEAR(e.processing_us, 0.8, 0.05);
+  EXPECT_NEAR(e.per_server_us, 24.0, 0.5);
+}
+
+TEST(LatencyTest, ClusterPathBounds) {
+  LatencyEstimate e = EstimateLatency();
+  // Paper quotes 47.6-66.4 us for the 2-3 hop traversal.
+  EXPECT_NEAR(e.cluster_2hop_us, 47.6, 1.0);
+  EXPECT_GT(e.cluster_3hop_us, e.cluster_2hop_us);
+  EXPECT_NEAR(e.cluster_3hop_us, 66.4, 6.0);
+}
+
+TEST(LatencyTest, BatchingDominates) {
+  LatencyEstimate e = EstimateLatency();
+  EXPECT_GT(e.batching_us, e.dma_us);
+  EXPECT_GT(e.dma_us, e.processing_us);
+}
+
+TEST(LatencyTest, SmallerKnCutsBatchingWait) {
+  LatencyParams p;
+  p.kn = 1;
+  LatencyEstimate e = EstimateLatency(p);
+  EXPECT_LT(e.batching_us, 1.0);
+  EXPECT_LT(e.per_server_us, 13.0);
+}
+
+TEST(LatencyTest, FasterClockCutsProcessing) {
+  LatencyParams p;
+  p.clock_hz = 5.6e9;
+  LatencyEstimate e = EstimateLatency(p);
+  EXPECT_NEAR(e.processing_us, 0.4, 0.01);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,50 @@
+#include "cluster/node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(FifoServerTest, EnqueueUntilCap) {
+  FifoServer s;
+  s.queue_cap = 2;
+  EXPECT_TRUE(s.Enqueue({0, 1e-6}));
+  EXPECT_TRUE(s.Enqueue({1, 1e-6}));
+  EXPECT_FALSE(s.Enqueue({2, 1e-6}));
+  EXPECT_EQ(s.drops, 1u);
+  EXPECT_EQ(s.queue.size(), 2u);
+}
+
+TEST(FifoServerTest, FifoOrderPreserved) {
+  FifoServer s;
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(s.Enqueue({i, 1e-6}));
+  }
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(s.queue.front().packet_slot, i);
+    s.queue.pop_front();
+  }
+}
+
+TEST(FifoServerTest, IdleSemantics) {
+  FifoServer s;
+  EXPECT_TRUE(s.idle());
+  s.Enqueue({0, 1e-6});
+  EXPECT_FALSE(s.idle());
+  s.queue.pop_front();
+  EXPECT_TRUE(s.idle());
+  s.busy = true;
+  EXPECT_FALSE(s.idle());
+}
+
+TEST(FifoServerTest, KindsAndDefaultsAreSane) {
+  FifoServer s;
+  EXPECT_EQ(s.kind, ServerKind::kCpu);
+  EXPECT_EQ(s.served, 0u);
+  EXPECT_EQ(s.drops, 0u);
+  EXPECT_EQ(s.busy_time, 0.0);
+  EXPECT_GT(s.queue_cap, 0u);
+}
+
+}  // namespace
+}  // namespace rb

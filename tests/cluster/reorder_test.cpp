@@ -1,0 +1,76 @@
+#include "cluster/reorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(ReorderTest, InOrderDeliveryIsClean) {
+  ReorderDetector det;
+  for (uint64_t s = 0; s < 100; ++s) {
+    det.Deliver(1, s);
+  }
+  EXPECT_EQ(det.total_packets(), 100u);
+  EXPECT_EQ(det.reordered_packets(), 0u);
+  EXPECT_EQ(det.reordered_sequences(), 0u);
+  EXPECT_EQ(det.SequenceFraction(), 0.0);
+}
+
+TEST(ReorderTest, PaperExampleCountsOneSequence) {
+  // <p1, p4, p2, p3, p5> = one reordered sequence (§6.2).
+  ReorderDetector det;
+  det.Deliver(1, 1);
+  det.Deliver(1, 4);
+  det.Deliver(1, 2);
+  det.Deliver(1, 3);
+  det.Deliver(1, 5);
+  EXPECT_EQ(det.reordered_packets(), 2u);
+  EXPECT_EQ(det.reordered_sequences(), 1u);
+}
+
+TEST(ReorderTest, SeparatedLateArrivalsCountSeparately) {
+  ReorderDetector det;
+  det.Deliver(1, 2);
+  det.Deliver(1, 1);  // late run 1
+  det.Deliver(1, 3);
+  det.Deliver(1, 5);
+  det.Deliver(1, 4);  // late run 2
+  EXPECT_EQ(det.reordered_sequences(), 2u);
+  EXPECT_EQ(det.reordered_packets(), 2u);
+}
+
+TEST(ReorderTest, FlowsAreIndependent) {
+  ReorderDetector det;
+  det.Deliver(1, 10);
+  det.Deliver(2, 1);  // lower seq but different flow: fine
+  det.Deliver(1, 11);
+  det.Deliver(2, 2);
+  EXPECT_EQ(det.reordered_packets(), 0u);
+  EXPECT_EQ(det.flows(), 2u);
+}
+
+TEST(ReorderTest, FractionsNormalizeByTotal) {
+  ReorderDetector det;
+  det.Deliver(1, 1);
+  det.Deliver(1, 0);
+  det.Deliver(1, 2);
+  det.Deliver(1, 3);
+  EXPECT_DOUBLE_EQ(det.PacketFraction(), 0.25);
+  EXPECT_DOUBLE_EQ(det.SequenceFraction(), 0.25);
+}
+
+TEST(ReorderTest, DuplicateSeqCountsAsLate) {
+  ReorderDetector det;
+  det.Deliver(1, 1);
+  det.Deliver(1, 1);
+  EXPECT_EQ(det.reordered_packets(), 1u);
+}
+
+TEST(ReorderTest, FirstPacketNeverLate) {
+  ReorderDetector det;
+  det.Deliver(9, 1000);
+  EXPECT_EQ(det.reordered_packets(), 0u);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,99 @@
+#include "cluster/sizing.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(SizingTest, Rb4IsAFourServerMesh) {
+  SizingResult r = SizeCluster(ServerPlatform::Current(), 4);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.mesh);
+  EXPECT_EQ(r.total_servers(), 4u);
+  EXPECT_EQ(r.internal_link, "10G");
+}
+
+TEST(SizingTest, CurrentServersMeshUpTo32) {
+  // §3.3: "with the current server configuration, a full mesh is feasible
+  // for a maximum of N = 32 external ports".
+  EXPECT_TRUE(SizeCluster(ServerPlatform::Current(), 32).mesh);
+  EXPECT_FALSE(SizeCluster(ServerPlatform::Current(), 64).mesh);
+}
+
+TEST(SizingTest, MoreNicsMeshUpTo128) {
+  EXPECT_TRUE(SizeCluster(ServerPlatform::MoreNics(), 128).mesh);
+  EXPECT_FALSE(SizeCluster(ServerPlatform::MoreNics(), 256).mesh);
+}
+
+TEST(SizingTest, FasterServersHalveServerCount) {
+  SizingResult r = SizeCluster(ServerPlatform::FasterServers(), 128);
+  EXPECT_TRUE(r.mesh);
+  EXPECT_EQ(r.port_servers, 64u);
+}
+
+TEST(SizingTest, MeshUsesExactlyOneServerPerPortGroup) {
+  for (uint32_t n : {4u, 8u, 16u, 32u}) {
+    SizingResult r = SizeCluster(ServerPlatform::Current(), n);
+    EXPECT_EQ(r.total_servers(), n) << n;
+  }
+}
+
+TEST(SizingTest, FlyAddsIntermediates) {
+  SizingResult r = SizeCluster(ServerPlatform::Current(), 1024);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_FALSE(r.mesh);
+  EXPECT_EQ(r.port_servers, 1024u);
+  EXPECT_GT(r.switch_servers, 0u);
+  // §3.3's ballpark: order of 1-2 intermediate servers per port; total
+  // grows superlinearly but stays within ~3N.
+  EXPECT_LE(r.total_servers(), 3 * 1024u);
+}
+
+TEST(SizingTest, CostGrowsMonotonically) {
+  uint64_t prev = 0;
+  for (uint32_t n = 4; n <= 2048; n *= 2) {
+    SizingResult r = SizeCluster(ServerPlatform::Current(), n);
+    ASSERT_TRUE(r.feasible) << n;
+    EXPECT_GE(r.total_servers(), prev);
+    prev = r.total_servers();
+  }
+}
+
+TEST(SizingTest, BetterPlatformsNeverCostMore) {
+  for (uint32_t n = 4; n <= 2048; n *= 2) {
+    uint64_t current = SizeCluster(ServerPlatform::Current(), n).total_servers();
+    uint64_t more = SizeCluster(ServerPlatform::MoreNics(), n).total_servers();
+    uint64_t faster = SizeCluster(ServerPlatform::FasterServers(), n).total_servers();
+    EXPECT_LE(more, current) << n;
+    EXPECT_LE(faster, more) << n;
+  }
+}
+
+TEST(SwitchedClusterTest, SingleSwitchBelow48Ports) {
+  // N <= 48: one switch (48 ports at $500) + N servers.
+  double equiv = SwitchedClusterServerEquivalents(32);
+  EXPECT_DOUBLE_EQ(equiv, 32 + 48 * 500.0 / 2000.0);
+}
+
+TEST(SwitchedClusterTest, AlwaysCostsMoreThanServerCluster) {
+  // Fig 3's comparison: the Arista-based switched cluster is the more
+  // expensive option across the sweep.
+  for (const auto& row : ComputeFig3()) {
+    EXPECT_GT(row.switched_equiv, static_cast<double>(row.current.total_servers())) << row.n;
+  }
+}
+
+TEST(Fig3Test, SweepCoversPowerOfTwoRange) {
+  auto rows = ComputeFig3();
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows.front().n, 4u);
+  EXPECT_EQ(rows.back().n, 2048u);
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.current.feasible);
+    EXPECT_TRUE(row.more_nics.feasible);
+    EXPECT_TRUE(row.faster.feasible);
+  }
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,78 @@
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(FullMeshTest, Connectivity) {
+  FullMeshTopology mesh(4);
+  EXPECT_EQ(mesh.num_nodes(), 4);
+  EXPECT_EQ(mesh.Degree(), 3);
+  for (uint16_t a = 0; a < 4; ++a) {
+    for (uint16_t b = 0; b < 4; ++b) {
+      EXPECT_EQ(mesh.Connected(a, b), a != b);
+    }
+  }
+}
+
+TEST(KAryNFlyTest, Counts) {
+  KAryNFlyTopology fly(2, 3);  // 2-ary 3-fly: 8 terminals
+  EXPECT_EQ(fly.num_terminals(), 8u);
+  EXPECT_EQ(fly.switches_per_stage(), 4u);
+  EXPECT_EQ(fly.total_switches(), 12u);
+  EXPECT_EQ(fly.PathHops(), 3u);
+}
+
+TEST(KAryNFlyTest, LargerRadix) {
+  KAryNFlyTopology fly(4, 5);  // 4-ary 5-fly: 1024 terminals
+  EXPECT_EQ(fly.num_terminals(), 1024u);
+  EXPECT_EQ(fly.switches_per_stage(), 256u);
+  EXPECT_EQ(fly.total_switches(), 5 * 256u);
+}
+
+TEST(KAryNFlyTest, PathSwitchesInRange) {
+  KAryNFlyTopology fly(2, 3);
+  for (uint64_t s = 0; s < 8; ++s) {
+    for (uint64_t d = 0; d < 8; ++d) {
+      for (uint32_t stage = 0; stage < 3; ++stage) {
+        EXPECT_LT(fly.SwitchOnPath(s, d, stage), fly.switches_per_stage());
+      }
+    }
+  }
+}
+
+TEST(KAryNFlyTest, FirstStageDependsOnlyOnSource) {
+  KAryNFlyTopology fly(2, 3);
+  for (uint64_t s = 0; s < 8; ++s) {
+    uint64_t sw = fly.SwitchOnPath(s, 0, 0);
+    for (uint64_t d = 1; d < 8; ++d) {
+      EXPECT_EQ(fly.SwitchOnPath(s, d, 0), sw);
+    }
+  }
+}
+
+TEST(KAryNFlyTest, LastStageDependsMostlyOnDestination) {
+  // At the last stage, all but the final digit have been corrected to the
+  // destination's, so the switch is determined by dst's first n-1 digits.
+  KAryNFlyTopology fly(2, 3);
+  for (uint64_t d = 0; d < 8; ++d) {
+    uint64_t sw = fly.SwitchOnPath(0, d, 2);
+    for (uint64_t s = 1; s < 8; ++s) {
+      EXPECT_EQ(fly.SwitchOnPath(s, d, 2), sw) << "s=" << s << " d=" << d;
+    }
+  }
+}
+
+TEST(KAryNFlyTest, DestinationTagRoutingConverges) {
+  // Two sources routing to the same destination must meet by the last
+  // stage — the defining property of a butterfly.
+  KAryNFlyTopology fly(4, 3);
+  for (uint64_t d = 0; d < fly.num_terminals(); d += 7) {
+    uint64_t sw = fly.SwitchOnPath(0, d, 2);
+    EXPECT_EQ(fly.SwitchOnPath(fly.num_terminals() - 1, d, 2), sw);
+  }
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,148 @@
+#include "cluster/vlb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rb {
+namespace {
+
+VlbConfig BaseConfig(bool direct = true, bool flowlets = false) {
+  VlbConfig cfg;
+  cfg.num_nodes = 8;
+  cfg.port_rate_bps = 10e9;
+  cfg.internal_link_bps = 10e9;
+  cfg.direct_vlb = direct;
+  cfg.flowlets = flowlets;
+  return cfg;
+}
+
+TEST(VlbTest, UniformTrafficGoesDirect) {
+  // Offered (S, D) rate R/N: exactly the Direct VLB budget -> everything
+  // should route directly (the 2R regime).
+  DirectVlbRouter router(BaseConfig(), 0);
+  double per_dst_bps = 10e9 / 8 * 0.9;  // slightly under budget
+  double pkt_gap = 64.0 * 8.0 / per_dst_bps;
+  SimTime t = 0;
+  for (int i = 0; i < 20000; ++i) {
+    for (uint16_t dst = 1; dst < 8; ++dst) {
+      router.Route(dst, dst, 64, t);
+    }
+    t += pkt_gap;
+  }
+  double direct_frac = static_cast<double>(router.direct_packets()) /
+                       (router.direct_packets() + router.balanced_packets());
+  EXPECT_GT(direct_frac, 0.95);
+}
+
+TEST(VlbTest, OverloadedPairSpillsToBalancing) {
+  // A single (S, D) pair at full port rate exceeds the R/N direct budget:
+  // ~1/N of it goes direct, the rest is load-balanced.
+  DirectVlbRouter router(BaseConfig(), 0);
+  double pkt_gap = 64.0 * 8.0 / 10e9;  // full R toward one destination
+  SimTime t = 0;
+  const int kPackets = 200000;
+  for (int i = 0; i < kPackets; ++i) {
+    router.Route(5, static_cast<uint64_t>(i), 64, t);
+    t += pkt_gap;
+  }
+  double direct_frac = static_cast<double>(router.direct_packets()) / kPackets;
+  EXPECT_NEAR(direct_frac, 1.0 / 8, 0.05);
+}
+
+TEST(VlbTest, ClassicVlbNeverDirect) {
+  DirectVlbRouter router(BaseConfig(/*direct=*/false), 0);
+  for (int i = 0; i < 1000; ++i) {
+    VlbDecision d = router.Route(3, static_cast<uint64_t>(i), 64, i * 1e-6);
+    EXPECT_FALSE(d.direct);
+  }
+  EXPECT_EQ(router.direct_packets(), 0u);
+}
+
+TEST(VlbTest, IntermediatesExcludeSelfAndDst) {
+  DirectVlbRouter router(BaseConfig(false), 2);
+  for (int i = 0; i < 5000; ++i) {
+    VlbDecision d = router.Route(6, static_cast<uint64_t>(i), 64, i * 1e-6);
+    EXPECT_NE(d.via, 2);
+    EXPECT_NE(d.via, 6);
+    EXPECT_LT(d.via, 8);
+  }
+}
+
+TEST(VlbTest, BalancedSpreadIsUniform) {
+  DirectVlbRouter router(BaseConfig(false), 0);
+  std::map<uint16_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    counts[router.Route(7, static_cast<uint64_t>(i), 64, i * 1e-6).via]++;
+  }
+  // 6 candidate intermediates (8 minus self minus dst).
+  EXPECT_EQ(counts.size(), 6u);
+  for (auto& [via, count] : counts) {
+    EXPECT_NEAR(count, n / 6.0, n / 6.0 * 0.1) << via;
+  }
+}
+
+TEST(VlbTest, FlowletsStickWithinDelta) {
+  VlbConfig cfg = BaseConfig(false, /*flowlets=*/true);
+  cfg.flowlet_delta = 0.1;
+  DirectVlbRouter router(cfg, 0);
+  // Low-rate flow: packets 1 ms apart stay within delta, so the flowlet
+  // keeps one intermediate.
+  VlbDecision first = router.Route(4, 42, 64, 0.0);
+  for (int i = 1; i < 50; ++i) {
+    VlbDecision d = router.Route(4, 42, 64, i * 1e-3);
+    EXPECT_EQ(d.via, first.via) << "flowlet must not switch paths";
+    EXPECT_FALSE(d.spilled);
+  }
+}
+
+TEST(VlbTest, FlowletRedecidesAfterDelta) {
+  VlbConfig cfg = BaseConfig(false, true);
+  cfg.flowlet_delta = 0.01;
+  cfg.seed = 31;
+  DirectVlbRouter router(cfg, 0);
+  // Packets spaced beyond delta re-decide each time; over many gaps the
+  // path must change at least once.
+  std::map<uint16_t, int> vias;
+  for (int i = 0; i < 100; ++i) {
+    vias[router.Route(4, 42, 64, i * 0.1).via]++;
+  }
+  EXPECT_GT(vias.size(), 1u);
+}
+
+TEST(VlbTest, OverloadedFlowletSpills) {
+  VlbConfig cfg = BaseConfig(false, true);
+  cfg.internal_link_bps = 1e9;  // tiny links so one flow overloads a path
+  cfg.overload_threshold = 0.5;
+  DirectVlbRouter router(cfg, 0);
+  double pkt_gap = 1500.0 * 8.0 / 2e9;  // 2 Gbps flow >> 0.5 Gbps budget
+  SimTime t = 0;
+  for (int i = 0; i < 10000; ++i) {
+    router.Route(4, 42, 1500, t);
+    t += pkt_gap;
+  }
+  EXPECT_GT(router.spilled_flowlets(), 0u);
+}
+
+TEST(VlbTest, EstimatedRateTracksOfferedLoad) {
+  VlbConfig cfg = BaseConfig();
+  DirectVlbRouter router(cfg, 0);
+  double target_bps = 1e9;
+  double pkt_gap = 64.0 * 8.0 / target_bps;
+  SimTime t = 0;
+  for (int i = 0; i < 100000; ++i) {
+    router.Route(1, 1, 64, t);
+    t += pkt_gap;
+  }
+  // All under budget (R/N = 1.25G) -> all direct; EWMA should read ~1G.
+  EXPECT_NEAR(router.EstimatedRate(1, FlowletPath::kDirect, t), target_bps, target_bps * 0.2);
+}
+
+TEST(VlbDeathTest, BadDestinationAborts) {
+  DirectVlbRouter router(BaseConfig(), 0);
+  EXPECT_DEATH(router.Route(99, 1, 64, 0.0), "");
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,79 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(FlagsTest, DefaultsSurvive) {
+  FlagSet flags("t");
+  auto* i = flags.AddInt64("num", 7, "");
+  auto* d = flags.AddDouble("rate", 1.5, "");
+  auto* b = flags.AddBool("on", false, "");
+  auto* s = flags.AddString("name", "x", "");
+  const char* argv[] = {"t"};
+  flags.Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(*i, 7);
+  EXPECT_DOUBLE_EQ(*d, 1.5);
+  EXPECT_FALSE(*b);
+  EXPECT_EQ(*s, "x");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags("t");
+  auto* i = flags.AddInt64("num", 0, "");
+  auto* d = flags.AddDouble("rate", 0, "");
+  const char* argv[] = {"t", "--num=42", "--rate=2.25"};
+  flags.Parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(*i, 42);
+  EXPECT_DOUBLE_EQ(*d, 2.25);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags("t");
+  auto* s = flags.AddString("name", "", "");
+  const char* argv[] = {"t", "--name", "hello"};
+  flags.Parse(3, const_cast<char**>(argv));
+  EXPECT_EQ(*s, "hello");
+}
+
+TEST(FlagsTest, BareBoolIsTrue) {
+  FlagSet flags("t");
+  auto* b = flags.AddBool("on", false, "");
+  const char* argv[] = {"t", "--on"};
+  flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_TRUE(*b);
+}
+
+TEST(FlagsTest, BoolExplicitFalse) {
+  FlagSet flags("t");
+  auto* b = flags.AddBool("on", true, "");
+  const char* argv[] = {"t", "--on=false"};
+  flags.Parse(2, const_cast<char**>(argv));
+  EXPECT_FALSE(*b);
+}
+
+TEST(FlagsTest, UsageListsFlags) {
+  FlagSet flags("prog");
+  flags.AddInt64("alpha", 1, "the alpha");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("alpha"), std::string::npos);
+  EXPECT_NE(usage.find("the alpha"), std::string::npos);
+  EXPECT_NE(usage.find("prog"), std::string::npos);
+}
+
+TEST(FlagsDeathTest, UnknownFlagExits) {
+  FlagSet flags("t");
+  const char* argv[] = {"t", "--nope=1"};
+  EXPECT_EXIT(flags.Parse(2, const_cast<char**>(argv)), ::testing::ExitedWithCode(2), "unknown");
+}
+
+TEST(FlagsDeathTest, BadValueExits) {
+  FlagSet flags("t");
+  flags.AddInt64("num", 0, "");
+  const char* argv[] = {"t", "--num=abc"};
+  EXPECT_EXIT(flags.Parse(2, const_cast<char**>(argv)), ::testing::ExitedWithCode(2), "bad value");
+}
+
+}  // namespace
+}  // namespace rb

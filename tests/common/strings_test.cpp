@@ -1,0 +1,72 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(Format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(Format("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringsTest, SplitBasic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringsTest, SplitEmptyFields) {
+  auto parts = Split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> v = {"a", "b", "c"};
+  EXPECT_EQ(Join(v, "::"), "a::b::c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x y \n"), "x y");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+}
+
+TEST(StringsTest, HumanRates) {
+  EXPECT_EQ(HumanBitRate(9.7e9), "9.70 Gbps");
+  EXPECT_EQ(HumanBitRate(1.46e6), "1.46 Mbps");
+  EXPECT_EQ(HumanPacketRate(18.96e6), "18.96 Mpps");
+}
+
+TEST(StringsTest, ParseIpv4Valid) {
+  uint32_t addr = 0;
+  ASSERT_TRUE(ParseIpv4("10.1.2.3", &addr));
+  EXPECT_EQ(addr, (10u << 24) | (1u << 16) | (2u << 8) | 3u);
+}
+
+TEST(StringsTest, ParseIpv4Invalid) {
+  uint32_t addr = 0;
+  EXPECT_FALSE(ParseIpv4("256.1.1.1", &addr));
+  EXPECT_FALSE(ParseIpv4("1.2.3", &addr));
+  EXPECT_FALSE(ParseIpv4("1.2.3.4.5", &addr));
+  EXPECT_FALSE(ParseIpv4("abc", &addr));
+}
+
+TEST(StringsTest, Ipv4RoundTrip) {
+  uint32_t addr = 0;
+  ASSERT_TRUE(ParseIpv4("192.168.0.254", &addr));
+  EXPECT_EQ(Ipv4ToString(addr), "192.168.0.254");
+}
+
+}  // namespace
+}  // namespace rb

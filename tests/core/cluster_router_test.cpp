@@ -1,0 +1,160 @@
+#include "core/cluster_router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/reorder.hpp"
+#include "packet/headers.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+FunctionalClusterConfig SmallCluster(bool direct = true, bool flowlets = true) {
+  FunctionalClusterConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.routes = 256;
+  cfg.vlb.direct_vlb = direct;
+  cfg.vlb.flowlets = flowlets;
+  return cfg;
+}
+
+Packet* FrameTo(FunctionalCluster* cluster, uint16_t dst_node, uint64_t flow_id, uint64_t seq,
+                uint16_t src_port = 1000) {
+  FrameSpec spec;
+  spec.size = 128;
+  spec.flow.src_ip = 0x0b000001 + static_cast<uint32_t>(flow_id);
+  spec.flow.dst_ip = cluster->AddressForNode(dst_node);
+  spec.flow.src_port = src_port;
+  spec.flow.dst_port = 80;
+  spec.flow.protocol = 17;
+  spec.flow_id = flow_id;
+  spec.flow_seq = seq;
+  return AllocFrame(spec, &cluster->pool());
+}
+
+TEST(FunctionalClusterTest, DeliversToCorrectOutputNode) {
+  FunctionalCluster cluster(SmallCluster());
+  for (uint16_t dst = 0; dst < 4; ++dst) {
+    cluster.InjectExternal(0, FrameTo(&cluster, dst, dst + 1, 0), 0.0);
+  }
+  cluster.RunUntilIdle();
+  for (uint16_t node = 0; node < 4; ++node) {
+    Packet* out[8];
+    size_t n = cluster.DrainExternal(node, out, 8);
+    EXPECT_EQ(n, 1u) << "node " << node;
+    for (size_t i = 0; i < n; ++i) {
+      // The MAC trick: delivered frames carry the output node in dst MAC.
+      EXPECT_EQ(NodeFromMac(EthernetView{out[i]->data()}.dst()), node);
+      cluster.pool().Free(out[i]);
+    }
+  }
+}
+
+TEST(FunctionalClusterTest, HeadersProcessedExactlyOnce) {
+  // §6.1: each packet's header is processed by a CPU only once, at its
+  // input node. VlbRoute counts header processing; VlbSteer never parses.
+  FunctionalCluster cluster(SmallCluster(/*direct=*/false));  // force 2-phase
+  const int kPackets = 200;
+  for (int i = 0; i < kPackets; ++i) {
+    cluster.InjectExternal(0, FrameTo(&cluster, 2, static_cast<uint64_t>(i), 0), i * 1e-6);
+  }
+  cluster.RunUntilIdle();
+  uint64_t processed = 0;
+  for (uint16_t n = 0; n < 4; ++n) {
+    processed += cluster.vlb_route(n).headers_processed();
+  }
+  EXPECT_EQ(processed, static_cast<uint64_t>(kPackets));
+  Packet* out[256];
+  size_t n = cluster.DrainExternal(2, out, 256);
+  EXPECT_EQ(n, static_cast<size_t>(kPackets));
+  for (size_t i = 0; i < n; ++i) {
+    cluster.pool().Free(out[i]);
+  }
+}
+
+TEST(FunctionalClusterTest, ClassicVlbTakesTwoPhases) {
+  FunctionalCluster cluster(SmallCluster(/*direct=*/false));
+  const int kPackets = 100;
+  for (int i = 0; i < kPackets; ++i) {
+    cluster.InjectExternal(0, FrameTo(&cluster, 1, static_cast<uint64_t>(i), 0), i * 1e-6);
+  }
+  cluster.RunUntilIdle();
+  // Every packet crossed two internal wires (src -> via -> dst).
+  EXPECT_EQ(cluster.wire_packets(), static_cast<uint64_t>(2 * kPackets));
+  Packet* out[128];
+  size_t n = cluster.DrainExternal(1, out, 128);
+  EXPECT_EQ(n, static_cast<size_t>(kPackets));
+  for (size_t i = 0; i < n; ++i) {
+    cluster.pool().Free(out[i]);
+  }
+}
+
+TEST(FunctionalClusterTest, DirectVlbUsesOneWireUnderBudget) {
+  FunctionalCluster cluster(SmallCluster(/*direct=*/true));
+  const int kPackets = 50;
+  // Low rate: well under the R/N direct budget.
+  for (int i = 0; i < kPackets; ++i) {
+    cluster.InjectExternal(3, FrameTo(&cluster, 1, 7, static_cast<uint64_t>(i)), i * 1e-3);
+  }
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.wire_packets(), static_cast<uint64_t>(kPackets));
+  Packet* out[64];
+  size_t n = cluster.DrainExternal(1, out, 64);
+  EXPECT_EQ(n, static_cast<size_t>(kPackets));
+  for (size_t i = 0; i < n; ++i) {
+    cluster.pool().Free(out[i]);
+  }
+}
+
+TEST(FunctionalClusterTest, LocalTrafficNeverTouchesWires) {
+  FunctionalCluster cluster(SmallCluster());
+  cluster.InjectExternal(2, FrameTo(&cluster, 2, 1, 0), 0.0);
+  cluster.RunUntilIdle();
+  EXPECT_EQ(cluster.wire_packets(), 0u);
+  Packet* out[4];
+  ASSERT_EQ(cluster.DrainExternal(2, out, 4), 1u);
+  cluster.pool().Free(out[0]);
+}
+
+TEST(FunctionalClusterTest, FlowletKeepsFlowInOrder) {
+  FunctionalCluster cluster(SmallCluster(/*direct=*/true, /*flowlets=*/true));
+  const int kPackets = 300;
+  for (int i = 0; i < kPackets; ++i) {
+    cluster.InjectExternal(0, FrameTo(&cluster, 3, 99, static_cast<uint64_t>(i)), i * 1e-5);
+  }
+  cluster.RunUntilIdle();
+  Packet* out[512];
+  size_t n = cluster.DrainExternal(3, out, 512);
+  ASSERT_EQ(n, static_cast<size_t>(kPackets));
+  ReorderDetector det;
+  for (size_t i = 0; i < n; ++i) {
+    det.Deliver(out[i]->flow_id(), out[i]->flow_seq());
+    cluster.pool().Free(out[i]);
+  }
+  EXPECT_EQ(det.reordered_packets(), 0u);
+}
+
+TEST(FunctionalClusterTest, NoPacketsLeakFromPool) {
+  FunctionalCluster cluster(SmallCluster());
+  size_t cap = cluster.pool().capacity();
+  for (int i = 0; i < 64; ++i) {
+    cluster.InjectExternal(static_cast<uint16_t>(i % 4),
+                           FrameTo(&cluster, static_cast<uint16_t>((i + 1) % 4),
+                                   static_cast<uint64_t>(i), 0),
+                           i * 1e-6);
+  }
+  cluster.RunUntilIdle();
+  Packet* out[128];
+  for (uint16_t node = 0; node < 4; ++node) {
+    size_t n = cluster.DrainExternal(node, out, 128);
+    for (size_t i = 0; i < n; ++i) {
+      cluster.pool().Free(out[i]);
+    }
+  }
+  EXPECT_EQ(cluster.pool().available(), cap);
+}
+
+}  // namespace
+}  // namespace rb

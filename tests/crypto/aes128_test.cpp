@@ -1,0 +1,85 @@
+#include "crypto/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace rb {
+namespace {
+
+// FIPS-197 Appendix B: the worked example.
+TEST(Aes128Test, Fips197AppendixB) {
+  const uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const uint8_t plain[16] = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                             0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const uint8_t expected[16] = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                                0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  Aes128 aes(key);
+  uint8_t out[16];
+  aes.EncryptBlock(plain, out);
+  EXPECT_EQ(memcmp(out, expected, 16), 0);
+}
+
+// FIPS-197 Appendix C.1 known-answer test.
+TEST(Aes128Test, Fips197AppendixC1) {
+  const uint8_t key[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                           0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  const uint8_t plain[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                             0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  const uint8_t expected[16] = {0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+                                0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a};
+  Aes128 aes(key);
+  uint8_t out[16];
+  aes.EncryptBlock(plain, out);
+  EXPECT_EQ(memcmp(out, expected, 16), 0);
+  // And decryption inverts it.
+  uint8_t back[16];
+  aes.DecryptBlock(out, back);
+  EXPECT_EQ(memcmp(back, plain, 16), 0);
+}
+
+TEST(Aes128Test, EncryptDecryptRoundTripRandom) {
+  Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint8_t key[16], plain[16], cipher[16], back[16];
+    for (int i = 0; i < 16; ++i) {
+      key[i] = static_cast<uint8_t>(rng.Next());
+      plain[i] = static_cast<uint8_t>(rng.Next());
+    }
+    Aes128 aes(key);
+    aes.EncryptBlock(plain, cipher);
+    aes.DecryptBlock(cipher, back);
+    ASSERT_EQ(memcmp(back, plain, 16), 0) << "trial " << trial;
+    // Cipher differs from plaintext (astronomically unlikely otherwise).
+    ASSERT_NE(memcmp(cipher, plain, 16), 0);
+  }
+}
+
+TEST(Aes128Test, InPlaceEncryption) {
+  const uint8_t key[16] = {0};
+  uint8_t buf[16] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  uint8_t expected[16];
+  Aes128 aes(key);
+  aes.EncryptBlock(buf, expected);
+  uint8_t inplace[16];
+  memcpy(inplace, buf, 16);
+  aes.EncryptBlock(inplace, inplace);
+  EXPECT_EQ(memcmp(inplace, expected, 16), 0);
+}
+
+TEST(Aes128Test, KeySensitivity) {
+  const uint8_t plain[16] = {0};
+  uint8_t key_a[16] = {0};
+  uint8_t key_b[16] = {0};
+  key_b[15] = 1;
+  uint8_t out_a[16], out_b[16];
+  Aes128(key_a).EncryptBlock(plain, out_a);
+  Aes128(key_b).EncryptBlock(plain, out_b);
+  EXPECT_NE(memcmp(out_a, out_b, 16), 0);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,103 @@
+#include "crypto/cbc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace rb {
+namespace {
+
+// NIST SP 800-38A F.2.1 CBC-AES128.Encrypt, first two blocks.
+TEST(CbcTest, NistSp80038aVector) {
+  const uint8_t key[16] = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                           0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const uint8_t iv[16] = {0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07,
+                          0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d, 0x0e, 0x0f};
+  uint8_t data[32] = {
+      0x6b, 0xc1, 0xbe, 0xe2, 0x2e, 0x40, 0x9f, 0x96, 0xe9, 0x3d, 0x7e,
+      0x11, 0x73, 0x93, 0x17, 0x2a,  // block 1
+      0xae, 0x2d, 0x8a, 0x57, 0x1e, 0x03, 0xac, 0x9c, 0x9e, 0xb7, 0x6f,
+      0xac, 0x45, 0xaf, 0x8e, 0x51,  // block 2
+  };
+  const uint8_t expected[32] = {
+      0x76, 0x49, 0xab, 0xac, 0x81, 0x19, 0xb2, 0x46, 0xce, 0xe9, 0x8e,
+      0x9b, 0x12, 0xe9, 0x19, 0x7d,  //
+      0x50, 0x86, 0xcb, 0x9b, 0x50, 0x72, 0x19, 0xee, 0x95, 0xdb, 0x11,
+      0x3a, 0x91, 0x76, 0x78, 0xb2,  //
+  };
+  AesCbc cbc(key);
+  cbc.Encrypt(data, sizeof(data), iv);
+  EXPECT_EQ(memcmp(data, expected, sizeof(expected)), 0);
+}
+
+TEST(CbcTest, EncryptDecryptRoundTrip) {
+  Rng rng(7);
+  uint8_t key[16], iv[16];
+  for (int i = 0; i < 16; ++i) {
+    key[i] = static_cast<uint8_t>(rng.Next());
+    iv[i] = static_cast<uint8_t>(rng.Next());
+  }
+  AesCbc cbc(key);
+  for (size_t blocks : {1u, 2u, 8u, 64u}) {
+    std::vector<uint8_t> data(blocks * 16);
+    std::vector<uint8_t> original(blocks * 16);
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    original = data;
+    cbc.Encrypt(data.data(), data.size(), iv);
+    EXPECT_NE(memcmp(data.data(), original.data(), data.size()), 0);
+    cbc.Decrypt(data.data(), data.size(), iv);
+    EXPECT_EQ(memcmp(data.data(), original.data(), data.size()), 0) << blocks << " blocks";
+  }
+}
+
+TEST(CbcTest, ChainingPropagates) {
+  // Same plaintext blocks produce different ciphertext blocks under CBC.
+  uint8_t key[16] = {0};
+  uint8_t iv[16] = {0};
+  uint8_t data[32];
+  memset(data, 0x42, sizeof(data));
+  AesCbc cbc(key);
+  cbc.Encrypt(data, sizeof(data), iv);
+  EXPECT_NE(memcmp(data, data + 16, 16), 0);
+}
+
+TEST(CbcTest, IvChangesCiphertext) {
+  uint8_t key[16] = {0};
+  uint8_t iv_a[16] = {0};
+  uint8_t iv_b[16] = {0};
+  iv_b[0] = 1;
+  uint8_t a[16] = {0};
+  uint8_t b[16] = {0};
+  AesCbc cbc(key);
+  cbc.Encrypt(a, 16, iv_a);
+  cbc.Encrypt(b, 16, iv_b);
+  EXPECT_NE(memcmp(a, b, 16), 0);
+}
+
+TEST(CbcDeathTest, NonBlockMultipleAborts) {
+  uint8_t key[16] = {0};
+  uint8_t iv[16] = {0};
+  uint8_t data[20] = {0};
+  AesCbc cbc(key);
+  EXPECT_DEATH(cbc.Encrypt(data, 20, iv), "");
+}
+
+TEST(CbcPadTest, PadLengths) {
+  // Without the 2-byte ESP trailer.
+  EXPECT_EQ(CbcPadLength(16, false), 0u);
+  EXPECT_EQ(CbcPadLength(17, false), 15u);
+  EXPECT_EQ(CbcPadLength(0, false), 0u);
+  // With the trailer: len + pad + 2 must be a multiple of 16.
+  for (size_t len = 0; len < 64; ++len) {
+    size_t pad = CbcPadLength(len, true);
+    EXPECT_EQ((len + pad + 2) % 16, 0u) << len;
+    EXPECT_LT(pad, 16u);
+  }
+}
+
+}  // namespace
+}  // namespace rb

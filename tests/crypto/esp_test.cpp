@@ -1,0 +1,167 @@
+#include "crypto/esp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "packet/headers.hpp"
+#include "packet/pool.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+EspConfig TestConfig() {
+  EspConfig cfg;
+  for (int i = 0; i < 16; ++i) {
+    cfg.key[i] = static_cast<uint8_t>(i * 7 + 1);
+  }
+  return cfg;
+}
+
+Packet* UdpFrame(PacketPool* pool, uint32_t size) {
+  FrameSpec spec;
+  spec.size = size;
+  spec.flow.src_ip = 0xc0a80001;
+  spec.flow.dst_ip = 0xc0a80002;
+  spec.flow.src_port = 1234;
+  spec.flow.dst_port = 5678;
+  spec.flow.protocol = 17;
+  return AllocFrame(spec, pool);
+}
+
+TEST(EspTest, EncapsulateProducesEspFrame) {
+  PacketPool pool(4);
+  EspTunnel tunnel(TestConfig());
+  Packet* p = UdpFrame(&pool, 64);
+  uint32_t orig_len = p->length();
+  ASSERT_TRUE(tunnel.Encapsulate(p));
+  EXPECT_GT(p->length(), orig_len);
+  EthernetView eth{p->data()};
+  EXPECT_EQ(eth.ether_type(), EthernetView::kTypeIpv4);
+  Ipv4View outer{p->data() + EthernetView::kSize};
+  EXPECT_EQ(outer.protocol(), Ipv4View::kProtoEsp);
+  EXPECT_TRUE(outer.ChecksumOk());
+  EXPECT_EQ(outer.src(), TestConfig().tunnel_src);
+  EXPECT_EQ(outer.dst(), TestConfig().tunnel_dst);
+  // SPI is in the clear right after the outer header.
+  EXPECT_EQ(LoadBe32(p->data() + EthernetView::kSize + Ipv4View::kMinSize), TestConfig().spi);
+  pool.Free(p);
+}
+
+TEST(EspTest, RoundTripRestoresExactBytes) {
+  PacketPool pool(4);
+  EspTunnel enc(TestConfig());
+  EspTunnel dec(TestConfig());
+  for (uint32_t size : {64u, 65u, 100u, 576u, 1400u}) {
+    Packet* p = UdpFrame(&pool, size);
+    std::vector<uint8_t> original(p->data(), p->data() + p->length());
+    ASSERT_TRUE(enc.Encapsulate(p)) << size;
+    ASSERT_TRUE(dec.Decapsulate(p)) << size;
+    ASSERT_EQ(p->length(), original.size()) << size;
+    EXPECT_EQ(memcmp(p->data(), original.data(), original.size()), 0) << size;
+    pool.Free(p);
+  }
+}
+
+TEST(EspTest, PayloadIsActuallyEncrypted) {
+  PacketPool pool(2);
+  EspTunnel tunnel(TestConfig());
+  Packet* p = UdpFrame(&pool, 128);
+  // Stamp a recognizable payload.
+  memset(p->data() + 42, 0x5a, 64);
+  ASSERT_TRUE(tunnel.Encapsulate(p));
+  // The 0x5a run must not appear anywhere in the encrypted frame body.
+  int run = 0;
+  int longest = 0;
+  for (uint32_t i = EthernetView::kSize; i < p->length(); ++i) {
+    run = p->data()[i] == 0x5a ? run + 1 : 0;
+    longest = std::max(longest, run);
+  }
+  EXPECT_LT(longest, 8);
+  pool.Free(p);
+}
+
+TEST(EspTest, SequenceNumbersIncrease) {
+  PacketPool pool(4);
+  EspTunnel tunnel(TestConfig());
+  Packet* a = UdpFrame(&pool, 64);
+  Packet* b = UdpFrame(&pool, 64);
+  ASSERT_TRUE(tunnel.Encapsulate(a));
+  ASSERT_TRUE(tunnel.Encapsulate(b));
+  uint32_t seq_a = LoadBe32(a->data() + EthernetView::kSize + Ipv4View::kMinSize + 4);
+  uint32_t seq_b = LoadBe32(b->data() + EthernetView::kSize + Ipv4View::kMinSize + 4);
+  EXPECT_EQ(seq_b, seq_a + 1);
+  pool.Free(a);
+  pool.Free(b);
+}
+
+TEST(EspTest, UniqueIvPerPacket) {
+  PacketPool pool(4);
+  EspTunnel tunnel(TestConfig());
+  Packet* a = UdpFrame(&pool, 64);
+  Packet* b = UdpFrame(&pool, 64);
+  ASSERT_TRUE(tunnel.Encapsulate(a));
+  ASSERT_TRUE(tunnel.Encapsulate(b));
+  const uint8_t* iv_a = a->data() + EthernetView::kSize + Ipv4View::kMinSize + 8;
+  const uint8_t* iv_b = b->data() + EthernetView::kSize + Ipv4View::kMinSize + 8;
+  EXPECT_NE(memcmp(iv_a, iv_b, 16), 0);
+  // Same plaintext, different IV -> different ciphertext.
+  const uint8_t* ct_a = iv_a + 16;
+  const uint8_t* ct_b = iv_b + 16;
+  EXPECT_NE(memcmp(ct_a, ct_b, 16), 0);
+  pool.Free(a);
+  pool.Free(b);
+}
+
+TEST(EspTest, WrongSpiRejectedOnDecap) {
+  PacketPool pool(2);
+  EspTunnel enc(TestConfig());
+  EspConfig other = TestConfig();
+  other.spi = 0x12345678;
+  EspTunnel dec(other);
+  Packet* p = UdpFrame(&pool, 64);
+  ASSERT_TRUE(enc.Encapsulate(p));
+  EXPECT_FALSE(dec.Decapsulate(p));
+  pool.Free(p);
+}
+
+TEST(EspTest, NonIpv4Rejected) {
+  PacketPool pool(2);
+  EspTunnel tunnel(TestConfig());
+  Packet* p = UdpFrame(&pool, 64);
+  EthernetView eth{p->data()};
+  eth.set_ether_type(EthernetView::kTypeArp);
+  EXPECT_FALSE(tunnel.Encapsulate(p));
+  EXPECT_EQ(p->length(), 64u) << "failed encap must leave the frame intact";
+  pool.Free(p);
+}
+
+TEST(EspTest, TruncatedFrameRejectedOnDecap) {
+  PacketPool pool(2);
+  EspTunnel tunnel(TestConfig());
+  Packet* p = UdpFrame(&pool, 64);
+  EXPECT_FALSE(tunnel.Decapsulate(p));  // plain UDP, not ESP
+  pool.Free(p);
+}
+
+TEST(EspTest, WrongKeyCorruptsPlaintextButParsesFraming) {
+  PacketPool pool(2);
+  EspTunnel enc(TestConfig());
+  EspConfig other = TestConfig();
+  other.key[0] ^= 0xff;
+  EspTunnel dec(other);
+  Packet* p = UdpFrame(&pool, 64);
+  std::vector<uint8_t> original(p->data(), p->data() + p->length());
+  ASSERT_TRUE(enc.Encapsulate(p));
+  // Decap with the wrong key: the trailer check almost certainly fails
+  // (garbage next-header byte); if it passes by chance, bytes must differ.
+  bool ok = dec.Decapsulate(p);
+  if (ok) {
+    EXPECT_NE(memcmp(p->data(), original.data(), original.size()), 0);
+  }
+  pool.Free(p);
+}
+
+}  // namespace
+}  // namespace rb

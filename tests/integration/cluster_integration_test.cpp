@@ -1,0 +1,143 @@
+// Cluster-level integration: the VLB guarantees of §3.1 (100% throughput,
+// fairness, bounded reordering) exercised on the calibrated simulator, and
+// the flowlet scheme's effect measured end to end.
+#include <gtest/gtest.h>
+
+#include "cluster/des.hpp"
+#include "workload/abilene.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+ClusterConfig TestConfig() {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(ClusterIntegrationTest, HundredPercentThroughputUnderUniformLoad) {
+  // §3.1 guarantee (1): with admissible traffic (every input and output
+  // under line rate) the cluster delivers everything. Abilene-size mix at
+  // 8 Gbps/port is inside RB4's envelope.
+  ClusterSim sim(TestConfig());
+  AbileneSizeDistribution sizes;
+  auto tm = TrafficMatrix::Uniform(4);
+  ClusterRunStats stats = sim.RunUniform(tm, 8e9, &sizes, 0.02);
+  EXPECT_LT(stats.loss_fraction(), 0.01);
+  for (double out_bps : stats.per_output_bps) {
+    EXPECT_NEAR(out_bps / 1e9, 8.0, 0.8);
+  }
+}
+
+TEST(ClusterIntegrationTest, FairnessUnderHotspot) {
+  // §3.1 guarantee (2): inputs competing for one output each get a fair
+  // share, with no centralized scheduler.
+  ClusterSim sim(TestConfig());
+  AbileneSizeDistribution sizes;
+  // 6 Gbps per input keeps the per-NIC ceilings clear so the contention
+  // is purely at the hot output port (4:1 oversubscription of 10 G).
+  auto tm = TrafficMatrix::Hotspot(4, 0, 1.0);
+  ClusterRunStats stats = sim.RunUniform(tm, 6e9, &sizes, 0.02);
+  EXPECT_GT(JainFairnessIndex(stats.per_input_delivered_bps), 0.97);
+  // The contested output runs at essentially full line rate.
+  EXPECT_GT(stats.per_output_bps[0] / 10e9, 0.9);
+}
+
+TEST(ClusterIntegrationTest, FlowletsCutReorderingByAnOrderOfMagnitude) {
+  // The §6.2 experiment shape: single overloaded pair; flowlet avoidance
+  // vs plain per-packet Direct VLB.
+  auto run = [](bool flowlets) {
+    ClusterConfig cfg = TestConfig();
+    cfg.vlb.flowlets = flowlets;
+    ClusterSim sim(cfg);
+    auto gen_cfg = FlowTrafficGenerator::ConfigForRate(9e9, 729.6, 40, 20000, 5);
+    FlowTrafficGenerator gen(gen_cfg, std::make_unique<AbileneSizeDistribution>());
+    return sim.RunSinglePairTrace(&gen, 0, 2, 0.05);
+  };
+  ClusterRunStats with_flowlets = run(true);
+  ClusterRunStats without = run(false);
+  EXPECT_GT(without.reorder_sequence_fraction, 0.005)
+      << "plain VLB must visibly reorder an overloaded pair";
+  EXPECT_LT(with_flowlets.reorder_sequence_fraction,
+            without.reorder_sequence_fraction / 5.0)
+      << "flowlets must cut reordering by an order of magnitude";
+}
+
+TEST(ClusterIntegrationTest, DirectVlbBeats3RClassicVlbOnUniformTraffic) {
+  // §3.2: Direct VLB removes the 50% VLB tax when the matrix is uniform.
+  // At a load between the 2R and 3R operating points (node capacity is
+  // ~3.4 Gbps/port direct vs ~2.7 Gbps/port two-phase at 64 B), classic
+  // VLB drops packets that Direct VLB forwards cleanly.
+  auto run = [](bool direct) {
+    ClusterConfig cfg = TestConfig();
+    cfg.vlb.direct_vlb = direct;
+    ClusterSim sim(cfg);
+    FixedSizeDistribution sizes(64);
+    auto tm = TrafficMatrix::Uniform(4);
+    return sim.RunUniform(tm, 3.0e9, &sizes, 0.02);
+  };
+  ClusterRunStats direct = run(true);
+  ClusterRunStats classic = run(false);
+  EXPECT_LT(direct.loss_fraction(), 0.01);
+  EXPECT_GT(classic.loss_fraction(), direct.loss_fraction() + 0.02);
+}
+
+TEST(ClusterIntegrationTest, BalancedTrafficSpreadsOverIntermediates) {
+  // Phase-1 traffic of an overloaded pair must spread across both
+  // candidate intermediates (the randomization that yields VLB's
+  // guarantees).
+  ClusterConfig cfg = TestConfig();
+  cfg.vlb.flowlets = false;
+  ClusterSim sim(cfg);
+  FixedSizeDistribution sizes(64);
+  auto tm = TrafficMatrix::SinglePair(4, 0, 2);
+  sim.RunUniform(tm, 8e9, &sizes, 0.01);
+  // Intermediates for (0 -> 2) are nodes 1 and 3: both must have done
+  // transit work (cpu served more than the endpoints' share).
+  uint64_t transit_1 = sim.node_stats(1).cpu_served;
+  uint64_t transit_3 = sim.node_stats(3).cpu_served;
+  EXPECT_GT(transit_1, 1000u);
+  EXPECT_GT(transit_3, 1000u);
+  double ratio = static_cast<double>(transit_1) / static_cast<double>(transit_3);
+  EXPECT_NEAR(ratio, 1.0, 0.2);
+}
+
+TEST(ClusterIntegrationTest, ResequencerTradesLatencyForOrder) {
+  auto run = [](bool reseq) {
+    ClusterConfig cfg = TestConfig();
+    cfg.vlb.flowlets = false;
+    cfg.resequence = reseq;
+    ClusterSim sim(cfg);
+    auto gen_cfg = FlowTrafficGenerator::ConfigForRate(9e9, 729.6, 40, 20000, 5);
+    FlowTrafficGenerator gen(gen_cfg, std::make_unique<AbileneSizeDistribution>());
+    return sim.RunSinglePairTrace(&gen, 0, 2, 0.03);
+  };
+  ClusterRunStats with_reseq = run(true);
+  ClusterRunStats without = run(false);
+  EXPECT_EQ(with_reseq.reorder_packet_fraction, 0.0);
+  EXPECT_GT(without.reorder_packet_fraction, 0.0);
+  EXPECT_GT(with_reseq.resequencer_added_delay_mean, 0.0);
+}
+
+TEST(ClusterIntegrationTest, EightNodeClusterScalesLinearly) {
+  // §2: capacity scales with the node count — an 8-node mesh moves twice
+  // the aggregate of a 4-node mesh at the same per-port load.
+  auto run = [](uint16_t nodes) {
+    ClusterConfig cfg = TestConfig();
+    cfg.num_nodes = nodes;
+    cfg.vlb.num_nodes = nodes;
+    ClusterSim sim(cfg);
+    FixedSizeDistribution sizes(300);
+    auto tm = TrafficMatrix::Uniform(nodes);
+    return sim.RunUniform(tm, 5e9, &sizes, 0.01);
+  };
+  ClusterRunStats four = run(4);
+  ClusterRunStats eight = run(8);
+  EXPECT_LT(four.loss_fraction(), 0.01);
+  EXPECT_LT(eight.loss_fraction(), 0.01);
+  EXPECT_NEAR(eight.delivered_bps() / four.delivered_bps(), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rb

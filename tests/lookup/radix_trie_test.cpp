@@ -1,0 +1,84 @@
+#include "lookup/radix_trie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.hpp"
+
+namespace rb {
+namespace {
+
+uint32_t Ip(const char* s) {
+  uint32_t a = 0;
+  EXPECT_TRUE(ParseIpv4(s, &a));
+  return a;
+}
+
+TEST(RadixTrieTest, EmptyReturnsNoRoute) {
+  RadixTrie t;
+  EXPECT_EQ(t.Lookup(Ip("1.2.3.4")), LpmTable::kNoRoute);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(RadixTrieTest, ExactPrefixMatch) {
+  RadixTrie t;
+  t.Insert(Ip("10.0.0.0"), 8, 5);
+  EXPECT_EQ(t.Lookup(Ip("10.200.1.1")), 5u);
+  EXPECT_EQ(t.Lookup(Ip("11.0.0.1")), LpmTable::kNoRoute);
+}
+
+TEST(RadixTrieTest, LongestPrefixWins) {
+  RadixTrie t;
+  t.Insert(Ip("10.0.0.0"), 8, 1);
+  t.Insert(Ip("10.1.0.0"), 16, 2);
+  t.Insert(Ip("10.1.2.0"), 24, 3);
+  t.Insert(Ip("10.1.2.3"), 32, 4);
+  EXPECT_EQ(t.Lookup(Ip("10.9.9.9")), 1u);
+  EXPECT_EQ(t.Lookup(Ip("10.1.9.9")), 2u);
+  EXPECT_EQ(t.Lookup(Ip("10.1.2.9")), 3u);
+  EXPECT_EQ(t.Lookup(Ip("10.1.2.3")), 4u);
+}
+
+TEST(RadixTrieTest, DefaultRouteMatchesEverything) {
+  RadixTrie t;
+  t.Insert(0, 0, 9);
+  EXPECT_EQ(t.Lookup(0), 9u);
+  EXPECT_EQ(t.Lookup(0xffffffff), 9u);
+}
+
+TEST(RadixTrieTest, ReplaceSamePrefix) {
+  RadixTrie t;
+  t.Insert(Ip("10.0.0.0"), 8, 1);
+  t.Insert(Ip("10.0.0.0"), 8, 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.Lookup(Ip("10.0.0.1")), 2u);
+}
+
+TEST(RadixTrieTest, PrefixNormalization) {
+  RadixTrie t;
+  // Host bits beyond the prefix length must be ignored.
+  t.Insert(Ip("10.0.0.255"), 8, 3);
+  EXPECT_EQ(t.Lookup(Ip("10.55.66.77")), 3u);
+}
+
+TEST(RadixTrieTest, RemoveRestoresShorterMatch) {
+  RadixTrie t;
+  t.Insert(Ip("10.0.0.0"), 8, 1);
+  t.Insert(Ip("10.1.0.0"), 16, 2);
+  EXPECT_EQ(t.Lookup(Ip("10.1.0.1")), 2u);
+  EXPECT_TRUE(t.Remove(Ip("10.1.0.0"), 16));
+  EXPECT_EQ(t.Lookup(Ip("10.1.0.1")), 1u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_FALSE(t.Remove(Ip("10.1.0.0"), 16));
+}
+
+TEST(RadixTrieTest, SiblingPrefixesIndependent) {
+  RadixTrie t;
+  t.Insert(Ip("192.168.0.0"), 24, 1);
+  t.Insert(Ip("192.168.1.0"), 24, 2);
+  EXPECT_EQ(t.Lookup(Ip("192.168.0.77")), 1u);
+  EXPECT_EQ(t.Lookup(Ip("192.168.1.77")), 2u);
+  EXPECT_EQ(t.Lookup(Ip("192.168.2.77")), LpmTable::kNoRoute);
+}
+
+}  // namespace
+}  // namespace rb

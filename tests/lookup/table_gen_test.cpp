@@ -1,0 +1,98 @@
+#include "lookup/table_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace rb {
+namespace {
+
+TEST(TableGenTest, GeneratesRequestedCount) {
+  TableGenConfig cfg;
+  cfg.num_routes = 5000;
+  auto routes = GenerateRoutingTable(cfg);
+  EXPECT_EQ(routes.size(), 5000u);
+}
+
+TEST(TableGenTest, RoutesAreDistinct) {
+  TableGenConfig cfg;
+  cfg.num_routes = 10000;
+  auto routes = GenerateRoutingTable(cfg);
+  std::set<uint64_t> keys;
+  for (const auto& r : routes) {
+    keys.insert((static_cast<uint64_t>(r.prefix) << 8) | r.length);
+  }
+  EXPECT_EQ(keys.size(), routes.size());
+}
+
+TEST(TableGenTest, Deterministic) {
+  TableGenConfig cfg;
+  cfg.num_routes = 1000;
+  cfg.seed = 9;
+  auto a = GenerateRoutingTable(cfg);
+  auto b = GenerateRoutingTable(cfg);
+  EXPECT_EQ(a, b);
+}
+
+TEST(TableGenTest, NextHopsInRange) {
+  TableGenConfig cfg;
+  cfg.num_routes = 2000;
+  cfg.num_next_hops = 4;
+  auto routes = GenerateRoutingTable(cfg);
+  for (const auto& r : routes) {
+    EXPECT_GE(r.next_hop, 1u);
+    EXPECT_LE(r.next_hop, 4u);
+  }
+}
+
+TEST(TableGenTest, PrefixesAreNormalized) {
+  TableGenConfig cfg;
+  cfg.num_routes = 2000;
+  auto routes = GenerateRoutingTable(cfg);
+  for (const auto& r : routes) {
+    EXPECT_EQ(r.prefix, NormalizePrefix(r.prefix, r.length));
+  }
+}
+
+TEST(TableGenTest, NoMulticastOrReservedPrefixes) {
+  TableGenConfig cfg;
+  cfg.num_routes = 5000;
+  auto routes = GenerateRoutingTable(cfg);
+  for (const auto& r : routes) {
+    EXPECT_LT(r.prefix >> 28, 0xeu);
+  }
+}
+
+TEST(TableGenTest, Slash24Dominates) {
+  // The realistic shape: /24 is the most common length (roughly half).
+  TableGenConfig cfg;
+  cfg.num_routes = 30000;
+  auto routes = GenerateRoutingTable(cfg);
+  std::map<uint8_t, int> by_length;
+  for (const auto& r : routes) {
+    by_length[r.length]++;
+  }
+  double frac24 = by_length[24] / static_cast<double>(routes.size());
+  EXPECT_GT(frac24, 0.40);
+  EXPECT_LT(frac24, 0.60);
+  // A small but nonzero share of >24 prefixes exercises tbl_long.
+  int longer = 0;
+  for (auto& [len, count] : by_length) {
+    if (len > 24) {
+      longer += count;
+    }
+  }
+  EXPECT_GT(longer, 0);
+  EXPECT_LT(longer / static_cast<double>(routes.size()), 0.05);
+}
+
+TEST(TableGenTest, WeightsCoverDocumentedLengths) {
+  auto weights = DefaultPrefixLengthWeights();
+  EXPECT_EQ(weights.front().first, 8);
+  EXPECT_EQ(weights.back().first, 32);
+  EXPECT_EQ(weights.size(), 25u);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,90 @@
+#include "model/app_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+constexpr double kCycles = 8 * 2.8e9;
+
+TEST(AppProfileTest, ForwardingCalibratedTo64BRate) {
+  AppProfile p = AppProfile::For(App::kMinimalForwarding);
+  // 18.96 Mpps at 64 B (Fig 8): cycles/packet = total cycles / rate.
+  EXPECT_NEAR(kCycles / p.cpu_cycles.At(64), 18.96e6, 0.05e6);
+}
+
+TEST(AppProfileTest, RoutingCalibratedTo64BRate) {
+  AppProfile p = AppProfile::For(App::kIpRouting);
+  double gbps = kCycles / p.cpu_cycles.At(64) * 64 * 8 / 1e9;
+  EXPECT_NEAR(gbps, 6.35, 0.05);
+}
+
+TEST(AppProfileTest, IpsecCalibratedTo64BRate) {
+  AppProfile p = AppProfile::For(App::kIpsec);
+  double gbps = kCycles / p.cpu_cycles.At(64) * 64 * 8 / 1e9;
+  EXPECT_NEAR(gbps, 1.4, 0.05);
+}
+
+TEST(AppProfileTest, IpsecAbileneAnchor) {
+  AppProfile p = AppProfile::For(App::kIpsec);
+  double mean = 729.6;
+  double gbps = kCycles / p.cpu_cycles.At(mean) * mean * 8 / 1e9;
+  EXPECT_NEAR(gbps, 4.45, 0.1);
+}
+
+TEST(AppProfileTest, CpuLoadRatio1024vs64Is1_6) {
+  AppProfile p = AppProfile::For(App::kMinimalForwarding);
+  EXPECT_NEAR(p.cpu_cycles.At(1024) / p.cpu_cycles.At(64), 1.6, 0.01);
+}
+
+TEST(AppProfileTest, MemoryLoadRatio1024vs64Is6) {
+  AppProfile p = AppProfile::For(App::kMinimalForwarding);
+  EXPECT_NEAR(p.memory_bytes.At(1024) / p.memory_bytes.At(64), 6.0, 0.05);
+}
+
+TEST(AppProfileTest, IoLoadRatio1024vs64Is11) {
+  AppProfile p = AppProfile::For(App::kMinimalForwarding);
+  EXPECT_NEAR(p.io_bytes.At(1024) / p.io_bytes.At(64), 11.0, 0.1);
+}
+
+TEST(AppProfileTest, RoutingMemoryLoadSupportsNextGenProjection) {
+  // The 19.9 Gbps next-gen routing projection pins routing's 64 B memory
+  // load at ~1684 B/packet (see DESIGN.md §5).
+  AppProfile p = AppProfile::For(App::kIpRouting);
+  EXPECT_NEAR(p.memory_bytes.At(64), 1684, 5);
+}
+
+TEST(AppProfileTest, OrderingAcrossApps) {
+  double fwd = AppProfile::For(App::kMinimalForwarding).cpu_cycles.At(64);
+  double rtr = AppProfile::For(App::kIpRouting).cpu_cycles.At(64);
+  double ipsec = AppProfile::For(App::kIpsec).cpu_cycles.At(64);
+  EXPECT_LT(fwd, rtr);
+  EXPECT_LT(rtr, ipsec);
+}
+
+TEST(AppProfileTest, Table3ReferenceValues) {
+  EXPECT_EQ(AppProfile::For(App::kMinimalForwarding).instructions_per_packet_64, 1033);
+  EXPECT_EQ(AppProfile::For(App::kIpRouting).instructions_per_packet_64, 1512);
+  EXPECT_EQ(AppProfile::For(App::kIpsec).instructions_per_packet_64, 14221);
+  EXPECT_DOUBLE_EQ(AppProfile::For(App::kIpsec).cycles_per_instruction_64, 0.55);
+}
+
+TEST(AppProfileTest, InterSocketIsFractionOfMemory) {
+  for (App app : {App::kMinimalForwarding, App::kIpRouting, App::kIpsec}) {
+    AppProfile p = AppProfile::For(app);
+    EXPECT_NEAR(p.inter_socket_bytes.At(64) / p.memory_bytes.At(64), 0.25, 0.02);
+  }
+}
+
+TEST(AppProfileTest, LoadsGrowWithSize) {
+  for (App app : {App::kMinimalForwarding, App::kIpRouting, App::kIpsec}) {
+    AppProfile p = AppProfile::For(app);
+    for (const LoadCurve* curve : {&p.cpu_cycles, &p.memory_bytes, &p.io_bytes, &p.pcie_bytes}) {
+      EXPECT_GT(curve->At(1024), curve->At(64));
+      EXPECT_GT(curve->At(64), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,62 @@
+#include "model/batching.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(BatchingTest, DefaultConfigHasZeroDelta) {
+  EXPECT_DOUBLE_EQ(BatchingCyclesDelta(BatchingConfig{32, 16}), 0.0);
+}
+
+TEST(BatchingTest, NoBatchingIsMostExpensive) {
+  double none = BatchingCyclesDelta(BatchingConfig{1, 1});
+  double poll_only = BatchingCyclesDelta(BatchingConfig{32, 1});
+  double full = BatchingCyclesDelta(BatchingConfig{32, 16});
+  EXPECT_GT(none, poll_only);
+  EXPECT_GT(poll_only, full);
+}
+
+TEST(BatchingTest, DeltaMatchesTable1Anchors) {
+  // Table 1 rate ratios translate to cycle deltas (see batching.hpp).
+  // no batching adds ~6700 cycles over the tuned config.
+  double none = BatchingCyclesDelta(BatchingConfig{1, 1});
+  EXPECT_NEAR(none, 6688, 100);
+  double poll_only = BatchingCyclesDelta(BatchingConfig{32, 1});
+  EXPECT_NEAR(poll_only, 1133, 50);
+}
+
+TEST(BatchingTest, MonotoneInKp) {
+  double prev = 1e18;
+  for (uint16_t kp : {1, 2, 4, 8, 16, 32, 64}) {
+    double d = BatchingCyclesDelta(BatchingConfig{kp, 16});
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(BatchingTest, MonotoneInKn) {
+  double prev = 1e18;
+  for (uint16_t kn : {1, 2, 4, 8, 16}) {
+    double d = BatchingCyclesDelta(BatchingConfig{32, kn});
+    EXPECT_LT(d, prev);
+    prev = d;
+  }
+}
+
+TEST(SharedQueueTest, NoSerializationForOneCore) {
+  EXPECT_DOUBLE_EQ(SharedQueueSerializedCycles(BatchingConfig{}, 1), 0.0);
+  EXPECT_DOUBLE_EQ(SharedQueueSerializedCycles(BatchingConfig{}, 0), 0.0);
+}
+
+TEST(SharedQueueTest, BatchingShrinksCriticalSection) {
+  double unbatched = SharedQueueSerializedCycles(BatchingConfig{1, 1}, 8);
+  double batched = SharedQueueSerializedCycles(BatchingConfig{32, 16}, 8);
+  EXPECT_GT(unbatched, batched);
+  // Calibration anchors: 2.8 GHz / S = Fig 7's single-queue rates.
+  EXPECT_NEAR(2.8e9 / unbatched, 2.83e6, 0.1e6);
+  EXPECT_NEAR(2.8e9 / batched, 9.48e6, 0.3e6);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,68 @@
+#include "model/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rb {
+namespace {
+
+std::map<Fig6Scenario, Fig6Result> ByScenario() {
+  std::map<Fig6Scenario, Fig6Result> out;
+  for (const auto& r : EvaluateFig6Scenarios()) {
+    out[r.scenario] = r;
+  }
+  return out;
+}
+
+TEST(Fig6Test, AllScenariosPresent) {
+  EXPECT_EQ(EvaluateFig6Scenarios().size(), 7u);
+}
+
+TEST(Fig6Test, EachScenarioWithin15PercentOfPaper) {
+  for (const auto& r : EvaluateFig6Scenarios()) {
+    EXPECT_NEAR(r.gbps_per_fp / r.paper_gbps, 1.0, 0.15) << r.label;
+  }
+}
+
+TEST(Fig6Test, ParallelBeatsPipeline) {
+  auto by = ByScenario();
+  EXPECT_GT(by[Fig6Scenario::kParallel].gbps_per_fp,
+            by[Fig6Scenario::kPipelineSameL3].gbps_per_fp);
+  EXPECT_GT(by[Fig6Scenario::kPipelineSameL3].gbps_per_fp,
+            by[Fig6Scenario::kPipelineCrossL3].gbps_per_fp);
+}
+
+TEST(Fig6Test, SyncOverheadNear29Percent) {
+  auto by = ByScenario();
+  double drop = 1.0 - by[Fig6Scenario::kPipelineSameL3].gbps_per_fp /
+                          by[Fig6Scenario::kParallel].gbps_per_fp;
+  EXPECT_NEAR(drop, 0.29, 0.05);
+}
+
+TEST(Fig6Test, CacheMissesNear64Percent) {
+  auto by = ByScenario();
+  double drop = 1.0 - by[Fig6Scenario::kPipelineCrossL3].gbps_per_fp /
+                          by[Fig6Scenario::kParallel].gbps_per_fp;
+  EXPECT_NEAR(drop, 0.64, 0.05);
+}
+
+TEST(Fig6Test, MultiQueueSplitIs3xSplitter) {
+  auto by = ByScenario();
+  double ratio = by[Fig6Scenario::kSplitterWithMq].gbps_per_fp /
+                 by[Fig6Scenario::kSplitterNoMq].gbps_per_fp;
+  // Paper: "more than three times higher".
+  EXPECT_GT(ratio, 3.0);
+  EXPECT_LT(ratio, 3.6);
+}
+
+TEST(Fig6Test, OverlappingPathsRecoverWithMultiQueue) {
+  auto by = ByScenario();
+  // Without multi-queue: ~60% drop; with: parity with non-overlapping.
+  EXPECT_NEAR(by[Fig6Scenario::kOverlapNoMq].gbps_per_fp, 0.7, 0.1);
+  EXPECT_DOUBLE_EQ(by[Fig6Scenario::kOverlapWithMq].gbps_per_fp,
+                   by[Fig6Scenario::kParallel].gbps_per_fp);
+}
+
+}  // namespace
+}  // namespace rb

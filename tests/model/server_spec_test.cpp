@@ -1,0 +1,46 @@
+#include "model/server_spec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(ServerSpecTest, NehalemMatchesTable2) {
+  ServerSpec s = ServerSpec::Nehalem();
+  EXPECT_EQ(s.total_cores(), 8);
+  EXPECT_DOUBLE_EQ(s.total_cycles_per_sec(), 8 * 2.8e9);
+  // Table 2 rows.
+  EXPECT_DOUBLE_EQ(s.memory.nominal_bps, 410e9);
+  EXPECT_DOUBLE_EQ(s.memory.empirical_bps, 262e9);
+  EXPECT_DOUBLE_EQ(s.inter_socket.nominal_bps, 200e9);
+  EXPECT_DOUBLE_EQ(s.inter_socket.empirical_bps, 144.34e9);
+  EXPECT_DOUBLE_EQ(s.io.nominal_bps, 400e9);
+  EXPECT_DOUBLE_EQ(s.io.empirical_bps, 117e9);
+  EXPECT_DOUBLE_EQ(s.pcie.nominal_bps, 64e9);
+  EXPECT_DOUBLE_EQ(s.pcie.empirical_bps, 50.8e9);
+  // §4.1: two dual-port NICs capped at 12.3 Gbps each -> 24.6 Gbps input.
+  EXPECT_DOUBLE_EQ(s.max_input_bps(), 24.6e9);
+  EXPECT_FALSE(s.shared_bus);
+}
+
+TEST(ServerSpecTest, XeonIsSharedBus) {
+  ServerSpec s = ServerSpec::SharedBusXeon();
+  EXPECT_TRUE(s.shared_bus);
+  EXPECT_EQ(s.total_cores(), 8);
+  EXPECT_DOUBLE_EQ(s.clock_hz, 2.4e9);
+  EXPECT_GT(s.fsb_cpu_stall_factor, 1.0);
+  EXPECT_GT(s.fsb_bps, 0.0);
+}
+
+TEST(ServerSpecTest, NextGenScalesPerPaper) {
+  ServerSpec cur = ServerSpec::Nehalem();
+  ServerSpec next = ServerSpec::NextGenNehalem();
+  // §5.3: 4x CPU, 2x memory, 2x I/O.
+  EXPECT_DOUBLE_EQ(next.total_cycles_per_sec(), 4 * cur.total_cycles_per_sec());
+  EXPECT_DOUBLE_EQ(next.memory.empirical_bps, 2 * cur.memory.empirical_bps);
+  EXPECT_DOUBLE_EQ(next.io.empirical_bps, 2 * cur.io.empirical_bps);
+  EXPECT_GT(next.nic_slots, cur.nic_slots);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,140 @@
+#include "model/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/extrapolate.hpp"
+
+namespace rb {
+namespace {
+
+ThroughputConfig Base(App app, double bytes) {
+  ThroughputConfig cfg;
+  cfg.app = app;
+  cfg.frame_bytes = bytes;
+  return cfg;
+}
+
+TEST(ThroughputTest, Forwarding64BIsCpuBound) {
+  ThroughputResult r = SolveThroughput(Base(App::kMinimalForwarding, 64));
+  EXPECT_EQ(r.bottleneck, "cpu");
+  EXPECT_NEAR(r.bps / 1e9, 9.7, 0.3);  // paper: 9.7 Gbps / 18.96 Mpps
+  EXPECT_NEAR(r.pps / 1e6, 18.96, 0.5);
+}
+
+TEST(ThroughputTest, Routing64BIsCpuBound) {
+  ThroughputResult r = SolveThroughput(Base(App::kIpRouting, 64));
+  EXPECT_EQ(r.bottleneck, "cpu");
+  EXPECT_NEAR(r.bps / 1e9, 6.35, 0.2);
+}
+
+TEST(ThroughputTest, Ipsec64BIsCpuBound) {
+  ThroughputResult r = SolveThroughput(Base(App::kIpsec, 64));
+  EXPECT_EQ(r.bottleneck, "cpu");
+  EXPECT_NEAR(r.bps / 1e9, 1.4, 0.1);
+}
+
+TEST(ThroughputTest, ForwardingAbileneIsNicLimited) {
+  // Large/mixed packets hit the 24.6 Gbps NIC-slot input cap, not a server
+  // bottleneck (§5.2).
+  ThroughputResult r = SolveThroughput(Base(App::kMinimalForwarding, 729.6));
+  EXPECT_EQ(r.bottleneck, "nic-input");
+  EXPECT_NEAR(r.bps / 1e9, 24.6, 0.1);
+}
+
+TEST(ThroughputTest, RoutingAbileneIsNicLimited) {
+  ThroughputResult r = SolveThroughput(Base(App::kIpRouting, 729.6));
+  EXPECT_EQ(r.bottleneck, "nic-input");
+  EXPECT_NEAR(r.bps / 1e9, 24.6, 0.1);
+}
+
+TEST(ThroughputTest, IpsecAbileneIsCpuBound) {
+  ThroughputResult r = SolveThroughput(Base(App::kIpsec, 729.6));
+  EXPECT_EQ(r.bottleneck, "cpu");
+  EXPECT_NEAR(r.bps / 1e9, 4.45, 0.15);
+}
+
+TEST(ThroughputTest, NonBottlenecksStayBelowBounds) {
+  // §5.3 item (3): memory and I/O loads are well under their empirical
+  // upper bounds at the achieved rates.
+  for (App app : {App::kMinimalForwarding, App::kIpRouting, App::kIpsec}) {
+    ThroughputResult r = SolveThroughput(Base(app, 64));
+    EXPECT_GT(r.memory_pps, r.pps);
+    EXPECT_GT(r.io_pps, r.pps);
+    EXPECT_GT(r.inter_socket_pps, r.pps);
+  }
+}
+
+TEST(ThroughputTest, SingleQueueCapsThroughput) {
+  ThroughputConfig cfg = Base(App::kMinimalForwarding, 64);
+  cfg.multi_queue = false;
+  ThroughputResult r = SolveThroughput(cfg);
+  EXPECT_EQ(r.bottleneck, "queue-lock");
+  // Fig 7 middle bar: single queue with batching ~9.5 Mpps.
+  EXPECT_NEAR(r.pps / 1e6, 9.5, 0.5);
+}
+
+TEST(ThroughputTest, SingleQueueNoBatching) {
+  ThroughputConfig cfg = Base(App::kMinimalForwarding, 64);
+  cfg.multi_queue = false;
+  cfg.batching = {1, 1};
+  ThroughputResult r = SolveThroughput(cfg);
+  // Fig 7 / Table 1: 2.83 Mpps (1.46 Gbps).
+  EXPECT_NEAR(r.pps / 1e6, 2.83, 0.15);
+}
+
+TEST(ThroughputTest, XeonIs11xBelowTunedNehalem) {
+  ThroughputConfig nehalem = Base(App::kMinimalForwarding, 64);
+  ThroughputConfig xeon = nehalem;
+  xeon.spec = ServerSpec::SharedBusXeon();
+  xeon.multi_queue = false;
+  xeon.batching = {1, 1};
+  double ratio = SolveThroughput(nehalem).pps / SolveThroughput(xeon).pps;
+  EXPECT_NEAR(ratio, 11.0, 1.5);  // Fig 7: "11-fold improvement"
+}
+
+TEST(ThroughputTest, XeonLargePacketsAreBusBound) {
+  ThroughputConfig cfg = Base(App::kMinimalForwarding, 1024);
+  cfg.spec = ServerSpec::SharedBusXeon();
+  ThroughputResult r = SolveThroughput(cfg);
+  EXPECT_EQ(r.bottleneck, "front-side-bus");
+}
+
+TEST(ThroughputTest, FewerCoresLowerCpuBound) {
+  ThroughputConfig cfg = Base(App::kMinimalForwarding, 64);
+  cfg.cores_used = 4;
+  ThroughputResult half = SolveThroughput(cfg);
+  ThroughputResult full = SolveThroughput(Base(App::kMinimalForwarding, 64));
+  EXPECT_NEAR(half.pps * 2, full.pps, full.pps * 0.01);
+}
+
+TEST(ThroughputTest, LoadsIndependentOfRate) {
+  // §5.3 item (4): per-packet loads are constant in the input rate; our
+  // loads depend only on configuration, which this guards.
+  ComponentLoads a = LoadsFor(Base(App::kIpRouting, 64));
+  ComponentLoads b = LoadsFor(Base(App::kIpRouting, 64));
+  EXPECT_EQ(a.cpu_cycles, b.cpu_cycles);
+  EXPECT_EQ(a.memory_bytes, b.memory_bytes);
+}
+
+TEST(ProjectionTest, NextGen64BMatchesPaper) {
+  auto projections = ProjectNextGen64B();
+  ASSERT_EQ(projections.size(), 3u);
+  // §5.3: 38.8 / 19.9 / 5.8 Gbps.
+  EXPECT_NEAR(projections[0].next_gen.bps / 1e9, 38.8, 1.2);
+  EXPECT_NEAR(projections[1].next_gen.bps / 1e9, 19.9, 1.0);
+  EXPECT_NEAR(projections[2].next_gen.bps / 1e9, 5.8, 0.3);
+  // Forwarding stays CPU-bound; routing flips to memory-bound.
+  EXPECT_EQ(projections[0].next_gen.bottleneck, "cpu");
+  EXPECT_EQ(projections[1].next_gen.bottleneck, "memory");
+}
+
+TEST(ProjectionTest, AbileneUnlimitedNicsNear70G) {
+  ThroughputResult r = ProjectAbileneUnlimitedNics(App::kMinimalForwarding, 729.6);
+  // Paper estimates ~70 Gbps; our socket-I/O-bound estimate lands in the
+  // same band.
+  EXPECT_GT(r.bps / 1e9, 55.0);
+  EXPECT_LT(r.bps / 1e9, 85.0);
+}
+
+}  // namespace
+}  // namespace rb

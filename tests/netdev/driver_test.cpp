@@ -1,0 +1,84 @@
+#include "netdev/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/pool.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+FrameSpec Frame64() {
+  FrameSpec spec;
+  spec.size = 64;
+  spec.flow.src_ip = 1;
+  spec.flow.dst_ip = 2;
+  spec.flow.protocol = 17;
+  return spec;
+}
+
+TEST(DriverTest, PollsUpToKp) {
+  PacketPool pool(256);
+  NicConfig cfg;
+  cfg.kn = 1;
+  NicPort nic(cfg);
+  Driver driver(&nic, 0, DriverConfig{8});
+  for (int i = 0; i < 20; ++i) {
+    nic.Deliver(AllocFrame(Frame64(), &pool), 0.0);
+  }
+  std::vector<Packet*> out;
+  EXPECT_EQ(driver.Poll(&out), 8u);
+  EXPECT_EQ(driver.Poll(&out), 8u);
+  EXPECT_EQ(driver.Poll(&out), 4u);
+  EXPECT_EQ(driver.Poll(&out), 0u);
+  EXPECT_EQ(out.size(), 20u);
+  EXPECT_EQ(driver.packets(), 20u);
+  EXPECT_EQ(driver.polls(), 4u);
+  EXPECT_EQ(driver.empty_polls(), 1u);
+  for (Packet* p : out) {
+    pool.Free(p);
+  }
+}
+
+TEST(DriverTest, MeanBurstReflectsBatching) {
+  PacketPool pool(256);
+  NicConfig cfg;
+  cfg.kn = 1;
+  NicPort nic(cfg);
+  Driver driver(&nic, 0, DriverConfig{32});
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      nic.Deliver(AllocFrame(Frame64(), &pool), 0.0);
+    }
+    std::vector<Packet*> out;
+    driver.Poll(&out);
+    for (Packet* p : out) {
+      pool.Free(p);
+    }
+  }
+  EXPECT_DOUBLE_EQ(driver.mean_burst(), 16.0);
+}
+
+TEST(DriverTest, SendGoesToTxQueue) {
+  PacketPool pool(8);
+  NicConfig cfg;
+  cfg.num_tx_queues = 2;
+  NicPort nic(cfg);
+  Driver driver(&nic, 0, DriverConfig{});
+  EXPECT_TRUE(driver.Send(1, AllocFrame(Frame64(), &pool)));
+  EXPECT_EQ(nic.tx_counters().packets, 1u);
+  Packet* out[2];
+  size_t n = nic.DrainTx(out, 2);
+  ASSERT_EQ(n, 1u);
+  pool.Free(out[0]);
+}
+
+TEST(DriverDeathTest, BadQueueAborts) {
+  NicConfig cfg;
+  cfg.num_rx_queues = 2;
+  NicPort nic(cfg);
+  EXPECT_DEATH(Driver(&nic, 5, DriverConfig{}), "");
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,192 @@
+#include "netdev/nic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/pool.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+FrameSpec UdpFrame(uint32_t size, uint32_t src_ip, uint16_t src_port) {
+  FrameSpec spec;
+  spec.size = size;
+  spec.flow.src_ip = src_ip;
+  spec.flow.dst_ip = 0x0a000002;
+  spec.flow.src_port = src_port;
+  spec.flow.dst_port = 80;
+  spec.flow.protocol = 17;
+  return spec;
+}
+
+class NicTest : public ::testing::Test {
+ protected:
+  PacketPool pool_{1024};
+};
+
+TEST_F(NicTest, DeliverPollRoundTrip) {
+  NicConfig cfg;
+  cfg.num_rx_queues = 1;
+  cfg.kn = 1;
+  NicPort nic(cfg);
+  Packet* p = AllocFrame(UdpFrame(64, 1, 1000), &pool_);
+  nic.Deliver(p, 0.0);
+  Packet* out[4];
+  ASSERT_EQ(nic.PollRx(0, out, 4), 1u);
+  EXPECT_EQ(out[0], p);
+  EXPECT_EQ(nic.rx_counters().packets, 1u);
+  pool_.Free(p);
+}
+
+TEST_F(NicTest, KnBatchingWithholdsUntilBatchFull) {
+  NicConfig cfg;
+  cfg.num_rx_queues = 1;
+  cfg.kn = 4;
+  NicPort nic(cfg);
+  Packet* out[8];
+  for (int i = 0; i < 3; ++i) {
+    nic.Deliver(AllocFrame(UdpFrame(64, 1, 1000), &pool_), 0.0);
+    EXPECT_EQ(nic.PollRx(0, out, 8), 0u) << "staged packets visible too early";
+  }
+  nic.Deliver(AllocFrame(UdpFrame(64, 1, 1000), &pool_), 0.0);
+  size_t n = nic.PollRx(0, out, 8);
+  EXPECT_EQ(n, 4u);
+  for (size_t i = 0; i < n; ++i) {
+    pool_.Free(out[i]);
+  }
+}
+
+TEST_F(NicTest, BatchTimeoutFlushes) {
+  NicConfig cfg;
+  cfg.num_rx_queues = 1;
+  cfg.kn = 16;
+  cfg.batch_timeout = 1e-3;
+  NicPort nic(cfg);
+  nic.Deliver(AllocFrame(UdpFrame(64, 1, 1000), &pool_), 0.0);
+  Packet* out[4];
+  EXPECT_EQ(nic.PollRx(0, out, 4), 0u);
+  nic.FlushStaged(0.5e-3);
+  EXPECT_EQ(nic.PollRx(0, out, 4), 0u) << "flushed before the timeout";
+  nic.FlushStaged(1.5e-3);
+  ASSERT_EQ(nic.PollRx(0, out, 4), 1u);
+  pool_.Free(out[0]);
+}
+
+TEST_F(NicTest, RssSteersSameFlowToSameQueue) {
+  NicConfig cfg;
+  cfg.num_rx_queues = 8;
+  cfg.kn = 1;
+  NicPort nic(cfg);
+  // Two packets of the same flow land in the same queue.
+  Packet* a = AllocFrame(UdpFrame(64, 42, 4242), &pool_);
+  Packet* b = AllocFrame(UdpFrame(128, 42, 4242), &pool_);
+  nic.Deliver(a, 0.0);
+  nic.Deliver(b, 0.0);
+  for (uint16_t q = 0; q < 8; ++q) {
+    uint64_t depth = nic.rx_queue_depth(q);
+    EXPECT_TRUE(depth == 0 || depth == 2) << "flow split across queues";
+    Packet* out[4];
+    size_t n = nic.PollRx(q, out, 4);
+    for (size_t i = 0; i < n; ++i) {
+      pool_.Free(out[i]);
+    }
+  }
+}
+
+TEST_F(NicTest, RxDropWhenRingFull) {
+  NicConfig cfg;
+  cfg.num_rx_queues = 1;
+  cfg.ring_entries = 4;
+  cfg.kn = 1;
+  NicPort nic(cfg);
+  for (int i = 0; i < 6; ++i) {
+    nic.Deliver(AllocFrame(UdpFrame(64, 1, 1000), &pool_), 0.0);
+  }
+  EXPECT_EQ(nic.rx_counters().drops, 2u);
+  EXPECT_EQ(nic.rx_counters().packets, 4u);
+  // Dropped packets were returned to the pool.
+  Packet* out[8];
+  size_t n = nic.PollRx(0, out, 8);
+  EXPECT_EQ(n, 4u);
+  for (size_t i = 0; i < n; ++i) {
+    pool_.Free(out[i]);
+  }
+  EXPECT_EQ(pool_.available(), pool_.capacity());
+}
+
+TEST_F(NicTest, TransmitAndDrain) {
+  NicConfig cfg;
+  cfg.num_tx_queues = 4;
+  NicPort nic(cfg);
+  for (uint16_t q = 0; q < 4; ++q) {
+    EXPECT_TRUE(nic.Transmit(q, AllocFrame(UdpFrame(64, q, 1), &pool_)));
+  }
+  Packet* out[8];
+  size_t n = nic.DrainTx(out, 8);
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(nic.tx_counters().packets, 4u);
+  for (size_t i = 0; i < n; ++i) {
+    pool_.Free(out[i]);
+  }
+}
+
+TEST_F(NicTest, TxDropWhenRingFull) {
+  NicConfig cfg;
+  cfg.num_tx_queues = 1;
+  cfg.ring_entries = 2;
+  NicPort nic(cfg);
+  EXPECT_TRUE(nic.Transmit(0, AllocFrame(UdpFrame(64, 1, 1), &pool_)));
+  EXPECT_TRUE(nic.Transmit(0, AllocFrame(UdpFrame(64, 1, 1), &pool_)));
+  EXPECT_FALSE(nic.Transmit(0, AllocFrame(UdpFrame(64, 1, 1), &pool_)));
+  EXPECT_EQ(nic.tx_counters().drops, 1u);
+  Packet* out[4];
+  size_t n = nic.DrainTx(out, 4);
+  for (size_t i = 0; i < n; ++i) {
+    pool_.Free(out[i]);
+  }
+}
+
+TEST_F(NicTest, PcieDescriptorBatchingReducesTransactions) {
+  // kn=16 packs 16 descriptors into one PCIe transaction; kn=1 pays one
+  // transaction per descriptor (Table 1's mechanism).
+  auto run = [&](uint16_t kn) {
+    NicConfig cfg;
+    cfg.kn = kn;
+    NicPort nic(cfg);
+    for (int i = 0; i < 16; ++i) {
+      nic.Deliver(AllocFrame(UdpFrame(64, 1, 1000), &pool_), 0.0);
+    }
+    nic.FlushAllStaged();
+    Packet* out[32];
+    size_t n = nic.PollRx(0, out, 32);
+    for (size_t i = 0; i < n; ++i) {
+      pool_.Free(out[i]);
+    }
+    return nic.pcie_counters().transactions;
+  };
+  uint64_t txn_kn16 = run(16);
+  uint64_t txn_kn1 = run(1);
+  // Data DMA transactions are equal; descriptor transactions shrink 16x.
+  EXPECT_EQ(txn_kn1 - txn_kn16, 15u);
+}
+
+TEST(PcieCountersTest, DescriptorBatchMath) {
+  PcieCounters c;
+  c.AddDescriptorBatch(16);
+  EXPECT_EQ(c.transactions, 1u);
+  EXPECT_EQ(c.payload_bytes, 256u);
+  c.AddDescriptorBatch(17);
+  EXPECT_EQ(c.transactions, 3u);  // 16 + 1
+}
+
+TEST(PcieCountersTest, PacketDataSplitsAtMaxPayload) {
+  PcieCounters c;
+  c.AddPacketData(64);
+  EXPECT_EQ(c.transactions, 1u);
+  c.AddPacketData(1024);
+  EXPECT_EQ(c.transactions, 1u + 4u);
+  EXPECT_EQ(c.payload_bytes, 64u + 1024u);
+}
+
+}  // namespace
+}  // namespace rb

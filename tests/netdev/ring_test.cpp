@@ -1,0 +1,125 @@
+#include "netdev/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rb {
+namespace {
+
+TEST(SpscRingTest, PushPopFifo) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    int v = -1;
+    EXPECT_TRUE(ring.TryPop(&v));
+    EXPECT_EQ(v, i);
+  }
+}
+
+TEST(SpscRingTest, EmptyPopFails) {
+  SpscRing<int> ring(4);
+  int v;
+  EXPECT_FALSE(ring.TryPop(&v));
+}
+
+TEST(SpscRingTest, FullPushFails) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(ring.TryPush(i));
+  }
+  EXPECT_FALSE(ring.TryPush(99));
+  EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRingTest, WrapAroundPreservesOrder) {
+  SpscRing<int> ring(4);
+  int out;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.TryPush(round * 2));
+    EXPECT_TRUE(ring.TryPush(round * 2 + 1));
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, round * 2);
+    EXPECT_TRUE(ring.TryPop(&out));
+    EXPECT_EQ(out, round * 2 + 1);
+  }
+}
+
+// Concurrency smoke test: one producer, one consumer, every item arrives
+// exactly once, in order.
+TEST(SpscRingTest, ConcurrentProducerConsumer) {
+  SpscRing<uint64_t> ring(1024);
+  constexpr uint64_t kItems = 200000;
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems;) {
+      if (ring.TryPush(i)) {
+        i++;
+      }
+    }
+  });
+  uint64_t expected = 0;
+  while (expected < kItems) {
+    uint64_t v;
+    if (ring.TryPop(&v)) {
+      ASSERT_EQ(v, expected);
+      expected++;
+    }
+  }
+  producer.join();
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(LockedRingTest, FifoAndCapacity) {
+  LockedRing<int> ring(2);
+  EXPECT_TRUE(ring.TryPush(1));
+  EXPECT_TRUE(ring.TryPush(2));
+  EXPECT_FALSE(ring.TryPush(3));
+  int v;
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 1);
+  EXPECT_TRUE(ring.TryPop(&v));
+  EXPECT_EQ(v, 2);
+  EXPECT_FALSE(ring.TryPop(&v));
+}
+
+TEST(LockedRingTest, ManyThreadsNoLossNoDuplication) {
+  LockedRing<uint64_t> ring(4096);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&ring, t] {
+      for (uint64_t i = 0; i < kPerThread;) {
+        if (ring.TryPush(static_cast<uint64_t>(t) * kPerThread + i)) {
+          i++;
+        }
+      }
+    });
+  }
+  std::vector<uint64_t> seen;
+  seen.reserve(kThreads * kPerThread);
+  while (seen.size() < kThreads * kPerThread) {
+    uint64_t v;
+    if (ring.TryPop(&v)) {
+      seen.push_back(v);
+    }
+  }
+  for (auto& p : producers) {
+    p.join();
+  }
+  std::sort(seen.begin(), seen.end());
+  for (uint64_t i = 0; i < seen.size(); ++i) {
+    ASSERT_EQ(seen[i], i);
+  }
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,80 @@
+#include "netdev/steering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/pool.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+Packet* Frame(PacketPool* pool, uint32_t src_ip, uint16_t src_port) {
+  FrameSpec spec;
+  spec.size = 64;
+  spec.flow.src_ip = src_ip;
+  spec.flow.dst_ip = 0x0a000001;
+  spec.flow.src_port = src_port;
+  spec.flow.dst_port = 80;
+  spec.flow.protocol = 17;
+  return AllocFrame(spec, pool);
+}
+
+TEST(SteeringTest, SingleQueueAlwaysZero) {
+  PacketPool pool(8);
+  Steering st(SteeringMode::kSingleQueue, 4);
+  for (int i = 0; i < 4; ++i) {
+    Packet* p = Frame(&pool, 100 + i, 5000 + i);
+    EXPECT_EQ(st.SelectRxQueue(p), 0);
+    pool.Free(p);
+  }
+}
+
+TEST(SteeringTest, RssIsFlowStable) {
+  PacketPool pool(8);
+  Steering st(SteeringMode::kRss, 8);
+  Packet* a = Frame(&pool, 7, 7777);
+  Packet* b = Frame(&pool, 7, 7777);
+  EXPECT_EQ(st.SelectRxQueue(a), st.SelectRxQueue(b));
+  pool.Free(a);
+  pool.Free(b);
+}
+
+TEST(SteeringTest, RssStampsFlowHash) {
+  PacketPool pool(2);
+  Steering st(SteeringMode::kRss, 8);
+  Packet* p = Frame(&pool, 9, 999);
+  p->set_flow_hash(0);
+  st.SelectRxQueue(p);
+  EXPECT_NE(p->flow_hash(), 0u);
+  pool.Free(p);
+}
+
+TEST(SteeringTest, MacTableRoutesByRule) {
+  PacketPool pool(4);
+  Steering st(SteeringMode::kMacTable, 4);
+  st.AddMacRule(MacForNode(2), 2);
+  Packet* p = Frame(&pool, 1, 1);
+  EthernetView eth{p->data()};
+  eth.set_dst(MacForNode(2));
+  EXPECT_EQ(st.SelectRxQueue(p), 2);
+  pool.Free(p);
+}
+
+TEST(SteeringTest, MacTableMissFallsBackToRss) {
+  PacketPool pool(4);
+  Steering st(SteeringMode::kMacTable, 4);
+  st.AddMacRule(MacForNode(1), 1);
+  Packet* p = Frame(&pool, 55, 555);
+  // dst MAC from MaterializeFrame is not in the table.
+  uint16_t q = st.SelectRxQueue(p);
+  EXPECT_EQ(q, p->flow_hash() % 4);
+  pool.Free(p);
+}
+
+TEST(SteeringDeathTest, RuleQueueOutOfRange) {
+  Steering st(SteeringMode::kMacTable, 2);
+  EXPECT_DEATH(st.AddMacRule(MacForNode(0), 5), "");
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,84 @@
+#include "packet/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rb {
+namespace {
+
+// RFC 1071 worked example: the checksum of this sequence is well known.
+TEST(ChecksumTest, Rfc1071Example) {
+  const uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold 0xddf2 ->
+  // checksum = ~0xddf2 = 0x220d.
+  EXPECT_EQ(Checksum(data, sizeof(data)), 0x220d);
+}
+
+TEST(ChecksumTest, OddLengthPadsWithZero) {
+  const uint8_t data[] = {0x12, 0x34, 0x56};
+  // Words: 0x1234, 0x5600. Sum = 0x6834 -> checksum = ~0x6834 = 0x97cb.
+  EXPECT_EQ(Checksum(data, sizeof(data)), 0x97cb);
+}
+
+TEST(ChecksumTest, ZeroBufferChecksumIsAllOnes) {
+  uint8_t data[20] = {0};
+  EXPECT_EQ(Checksum(data, sizeof(data)), 0xffff);
+}
+
+TEST(ChecksumTest, ChecksummedBufferVerifiesToZero) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint8_t buf[20];
+    for (auto& b : buf) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    // Place the checksum in bytes 10-11 (like an IP header).
+    buf[10] = buf[11] = 0;
+    uint16_t sum = Checksum(buf, sizeof(buf));
+    buf[10] = static_cast<uint8_t>(sum >> 8);
+    buf[11] = static_cast<uint8_t>(sum);
+    EXPECT_EQ(Checksum(buf, sizeof(buf)), 0);
+  }
+}
+
+TEST(ChecksumTest, PartialComposition) {
+  Rng rng(2);
+  uint8_t buf[40];
+  for (auto& b : buf) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  // Checksum over split even-sized regions equals checksum over the whole.
+  uint32_t partial = ChecksumPartial(buf, 16);
+  partial = ChecksumPartial(buf + 16, 24, partial);
+  EXPECT_EQ(ChecksumFinish(partial), Checksum(buf, 40));
+}
+
+// Property: RFC 1624 incremental update matches full recompute for any
+// single 16-bit field change.
+TEST(ChecksumTest, IncrementalUpdateMatchesRecompute) {
+  Rng rng(3);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint8_t buf[20];
+    for (auto& b : buf) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    buf[10] = buf[11] = 0;
+    uint16_t sum = Checksum(buf, sizeof(buf));
+    buf[10] = static_cast<uint8_t>(sum >> 8);
+    buf[11] = static_cast<uint8_t>(sum);
+
+    // Mutate the 16-bit word at offset 8 (TTL/protocol in an IP header).
+    uint16_t old_field = static_cast<uint16_t>((buf[8] << 8) | buf[9]);
+    uint16_t new_field = static_cast<uint16_t>(rng.Next());
+    buf[8] = static_cast<uint8_t>(new_field >> 8);
+    buf[9] = static_cast<uint8_t>(new_field);
+    uint16_t updated = ChecksumUpdate16(sum, old_field, new_field);
+    buf[10] = static_cast<uint8_t>(updated >> 8);
+    buf[11] = static_cast<uint8_t>(updated);
+    EXPECT_EQ(Checksum(buf, sizeof(buf)), 0) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace rb

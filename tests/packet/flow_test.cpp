@@ -1,0 +1,130 @@
+#include "packet/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "packet/headers.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+FlowKey MakeKey(uint32_t s, uint32_t d, uint16_t sp, uint16_t dp, uint8_t proto) {
+  FlowKey k;
+  k.src_ip = s;
+  k.dst_ip = d;
+  k.src_port = sp;
+  k.dst_port = dp;
+  k.protocol = proto;
+  return k;
+}
+
+TEST(FlowHashTest, Deterministic) {
+  FlowKey k = MakeKey(1, 2, 3, 4, 6);
+  EXPECT_EQ(FlowHash64(k), FlowHash64(k));
+  EXPECT_EQ(FlowHash32(k), FlowHash32(k));
+}
+
+TEST(FlowHashTest, SensitiveToEveryField) {
+  FlowKey base = MakeKey(10, 20, 30, 40, 6);
+  uint64_t h = FlowHash64(base);
+  FlowKey k = base;
+  k.src_ip++;
+  EXPECT_NE(FlowHash64(k), h);
+  k = base;
+  k.dst_ip++;
+  EXPECT_NE(FlowHash64(k), h);
+  k = base;
+  k.src_port++;
+  EXPECT_NE(FlowHash64(k), h);
+  k = base;
+  k.dst_port++;
+  EXPECT_NE(FlowHash64(k), h);
+  k = base;
+  k.protocol = 17;
+  EXPECT_NE(FlowHash64(k), h);
+}
+
+TEST(FlowHashTest, FewCollisionsOverRandomKeys) {
+  Rng rng(5);
+  std::set<uint64_t> hashes;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    FlowKey k = MakeKey(static_cast<uint32_t>(rng.Next()), static_cast<uint32_t>(rng.Next()),
+                        static_cast<uint16_t>(rng.Next()), static_cast<uint16_t>(rng.Next()), 6);
+    hashes.insert(FlowHash64(k));
+  }
+  // Collisions among 1e5 64-bit hashes should be essentially zero.
+  EXPECT_GE(hashes.size(), static_cast<size_t>(n - 2));
+}
+
+TEST(FlowHashTest, QueueSpreadIsBalanced) {
+  // RSS quality: hashing random flows across 8 queues should be near
+  // uniform — this is what makes "one queue per core" load-balance.
+  Rng rng(6);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) {
+    FlowKey k = MakeKey(static_cast<uint32_t>(rng.Next()), static_cast<uint32_t>(rng.Next()),
+                        static_cast<uint16_t>(rng.Next()), static_cast<uint16_t>(rng.Next()), 17);
+    counts[FlowHash32(k) % 8]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 8, n / 8 * 0.06);
+  }
+}
+
+TEST(ExtractFlowKeyTest, ParsesMaterializedFrame) {
+  PacketPool pool(1);
+  FrameSpec spec;
+  spec.size = 64;
+  spec.flow = MakeKey(0x0a000001, 0x0a000002, 1111, 2222, 17);
+  Packet* p = AllocFrame(spec, &pool);
+  ASSERT_NE(p, nullptr);
+  FlowKey parsed;
+  ASSERT_TRUE(ExtractFlowKey(*p, &parsed));
+  EXPECT_EQ(parsed, spec.flow);
+  pool.Free(p);
+}
+
+TEST(ExtractFlowKeyTest, RejectsTruncated) {
+  Packet p;
+  uint8_t tiny[10] = {0};
+  p.SetPayload(tiny, sizeof(tiny));
+  FlowKey k;
+  EXPECT_FALSE(ExtractFlowKey(p, &k));
+}
+
+TEST(ExtractFlowKeyTest, RejectsNonIpv4) {
+  PacketPool pool(1);
+  FrameSpec spec;
+  spec.size = 64;
+  spec.flow = MakeKey(1, 2, 3, 4, 17);
+  Packet* p = AllocFrame(spec, &pool);
+  ASSERT_NE(p, nullptr);
+  EthernetView eth{p->data()};
+  eth.set_ether_type(EthernetView::kTypeArp);
+  FlowKey k;
+  EXPECT_FALSE(ExtractFlowKey(*p, &k));
+  pool.Free(p);
+}
+
+TEST(ExtractFlowKeyTest, NonTcpUdpHasZeroPorts) {
+  PacketPool pool(1);
+  FrameSpec spec;
+  spec.size = 64;
+  spec.flow = MakeKey(1, 2, 3, 4, Ipv4View::kProtoIcmp);
+  Packet* p = AllocFrame(spec, &pool);
+  ASSERT_NE(p, nullptr);
+  FlowKey k;
+  ASSERT_TRUE(ExtractFlowKey(*p, &k));
+  EXPECT_EQ(k.protocol, Ipv4View::kProtoIcmp);
+  EXPECT_EQ(k.src_port, 0);
+  EXPECT_EQ(k.dst_port, 0);
+  pool.Free(p);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,124 @@
+#include "packet/headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(ByteOrderTest, RoundTrip16) {
+  uint8_t buf[2];
+  StoreBe16(buf, 0xabcd);
+  EXPECT_EQ(buf[0], 0xab);
+  EXPECT_EQ(buf[1], 0xcd);
+  EXPECT_EQ(LoadBe16(buf), 0xabcd);
+}
+
+TEST(ByteOrderTest, RoundTrip32) {
+  uint8_t buf[4];
+  StoreBe32(buf, 0x01020304);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(LoadBe32(buf), 0x01020304u);
+}
+
+TEST(EthernetTest, FieldAccess) {
+  uint8_t buf[14] = {0};
+  EthernetView eth{buf};
+  MacAddress dst = {1, 2, 3, 4, 5, 6};
+  MacAddress src = {7, 8, 9, 10, 11, 12};
+  eth.set_dst(dst);
+  eth.set_src(src);
+  eth.set_ether_type(EthernetView::kTypeIpv4);
+  EXPECT_EQ(eth.dst(), dst);
+  EXPECT_EQ(eth.src(), src);
+  EXPECT_EQ(eth.ether_type(), 0x0800);
+  EXPECT_EQ(buf[0], 1);
+  EXPECT_EQ(buf[6], 7);
+}
+
+TEST(MacNodeTest, EncodeDecodeRoundTrip) {
+  for (uint16_t node : {0, 1, 3, 63, 255, 1024, 65534}) {
+    MacAddress mac = MacForNode(node);
+    EXPECT_EQ(NodeFromMac(mac), node) << node;
+    // Locally administered, unicast.
+    EXPECT_EQ(mac[0] & 0x02, 0x02);
+    EXPECT_EQ(mac[0] & 0x01, 0x00);
+  }
+}
+
+TEST(MacNodeTest, ForeignMacDecodesToNone) {
+  MacAddress mac = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55};
+  EXPECT_EQ(NodeFromMac(mac), 0xffff);
+}
+
+TEST(MacNodeTest, ToString) {
+  EXPECT_EQ(MacToString(MacAddress{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}), "de:ad:be:ef:00:01");
+}
+
+TEST(Ipv4Test, WriteDefaultProducesValidHeader) {
+  uint8_t buf[20];
+  Ipv4View::WriteDefault(buf, 0x0a000001, 0x0a000002, Ipv4View::kProtoUdp, 100);
+  Ipv4View ip{buf};
+  EXPECT_EQ(ip.version(), 4);
+  EXPECT_EQ(ip.ihl(), 5);
+  EXPECT_EQ(ip.header_length(), 20u);
+  EXPECT_EQ(ip.total_length(), 100);
+  EXPECT_EQ(ip.ttl(), 64);
+  EXPECT_EQ(ip.protocol(), Ipv4View::kProtoUdp);
+  EXPECT_EQ(ip.src(), 0x0a000001u);
+  EXPECT_EQ(ip.dst(), 0x0a000002u);
+  EXPECT_TRUE(ip.ChecksumOk());
+}
+
+TEST(Ipv4Test, CorruptionBreaksChecksum) {
+  uint8_t buf[20];
+  Ipv4View::WriteDefault(buf, 1, 2, 6, 40);
+  buf[8] ^= 0xff;  // flip TTL bits
+  Ipv4View ip{buf};
+  EXPECT_FALSE(ip.ChecksumOk());
+  ip.UpdateChecksum();
+  EXPECT_TRUE(ip.ChecksumOk());
+}
+
+TEST(Ipv4Test, FieldSettersReadBack) {
+  uint8_t buf[20] = {0};
+  Ipv4View ip{buf};
+  ip.set_version_ihl(4, 5);
+  ip.set_tos(0x10);
+  ip.set_identification(0x1234);
+  ip.set_flags_fragment(0x4000);
+  ip.set_ttl(9);
+  EXPECT_EQ(ip.tos(), 0x10);
+  EXPECT_EQ(ip.identification(), 0x1234);
+  EXPECT_EQ(ip.flags_fragment(), 0x4000);
+  EXPECT_EQ(ip.ttl(), 9);
+}
+
+TEST(UdpTest, FieldsRoundTrip) {
+  uint8_t buf[8] = {0};
+  UdpView udp{buf};
+  udp.set_src_port(1234);
+  udp.set_dst_port(80);
+  udp.set_length(28);
+  udp.set_checksum(0xaaaa);
+  EXPECT_EQ(udp.src_port(), 1234);
+  EXPECT_EQ(udp.dst_port(), 80);
+  EXPECT_EQ(udp.length(), 28);
+  EXPECT_EQ(udp.checksum(), 0xaaaa);
+}
+
+TEST(TcpTest, FieldsRoundTrip) {
+  uint8_t buf[20] = {0};
+  TcpView tcp{buf};
+  tcp.set_src_port(443);
+  tcp.set_dst_port(59999);
+  tcp.set_seq(0xdeadbeef);
+  tcp.set_ack(0xfeedface);
+  EXPECT_EQ(tcp.src_port(), 443);
+  EXPECT_EQ(tcp.dst_port(), 59999);
+  EXPECT_EQ(tcp.seq(), 0xdeadbeefu);
+  EXPECT_EQ(tcp.ack(), 0xfeedfaceu);
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,85 @@
+#include "packet/pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(PoolTest, AllocFreeCycle) {
+  PacketPool pool(4);
+  EXPECT_EQ(pool.capacity(), 4u);
+  EXPECT_EQ(pool.available(), 4u);
+  Packet* p = pool.Alloc();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(pool.available(), 3u);
+  EXPECT_EQ(pool.in_use(), 1u);
+  pool.Free(p);
+  EXPECT_EQ(pool.available(), 4u);
+}
+
+TEST(PoolTest, ExhaustionReturnsNullAndCounts) {
+  PacketPool pool(2);
+  Packet* a = pool.Alloc();
+  Packet* b = pool.Alloc();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.Alloc(), nullptr);
+  EXPECT_EQ(pool.alloc_failures(), 1u);
+  pool.Free(a);
+  pool.Free(b);
+}
+
+TEST(PoolTest, FreeResetsMetadata) {
+  PacketPool pool(1);
+  Packet* p = pool.Alloc();
+  uint8_t d[4] = {1, 2, 3, 4};
+  p->SetPayload(d, 4);
+  p->set_flow_id(77);
+  pool.Free(p);
+  Packet* q = pool.Alloc();
+  EXPECT_EQ(q, p);  // freelist recycles
+  EXPECT_EQ(q->length(), 0u);
+  EXPECT_EQ(q->flow_id(), 0u);
+  pool.Free(q);
+}
+
+TEST(PoolTest, OriginPoolIsSet) {
+  PacketPool pool(1);
+  Packet* p = pool.Alloc();
+  EXPECT_EQ(p->origin_pool(), &pool);
+  pool.Free(p);
+}
+
+TEST(PoolTest, StaticReleaseRoutesToOrigin) {
+  PacketPool pool(2);
+  Packet* p = pool.Alloc();
+  PacketPool::Release(p);
+  EXPECT_EQ(pool.available(), 2u);
+}
+
+TEST(PoolDeathTest, FreeToWrongPoolAborts) {
+  PacketPool a(1);
+  PacketPool b(1);
+  Packet* p = a.Alloc();
+  EXPECT_DEATH(b.Free(p), "wrong pool");
+  a.Free(p);
+}
+
+TEST(PoolTest, AllPacketsDistinct) {
+  PacketPool pool(16);
+  std::vector<Packet*> all;
+  for (int i = 0; i < 16; ++i) {
+    all.push_back(pool.Alloc());
+  }
+  for (size_t i = 0; i < all.size(); ++i) {
+    for (size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i], all[j]);
+    }
+  }
+  for (Packet* p : all) {
+    pool.Free(p);
+  }
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,83 @@
+#include "workload/abilene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace rb {
+namespace {
+
+TEST(AbileneSizeTest, OnlyTheThreeModes) {
+  AbileneSizeDistribution dist;
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t size = dist.NextSize(&rng);
+    EXPECT_TRUE(size == 64 || size == 576 || size == 1500) << size;
+  }
+}
+
+TEST(AbileneSizeTest, EmpiricalMeanMatchesDeclared) {
+  AbileneSizeDistribution dist;
+  Rng rng(2);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += dist.NextSize(&rng);
+  }
+  EXPECT_NEAR(sum / n, dist.MeanSize(), 5.0);
+}
+
+TEST(AbileneSizeTest, MeanNearCalibrationTarget) {
+  // The model calibrates IPsec-at-Abilene against a ~730 B mean (DESIGN.md
+  // §5); the distribution must stay in that neighbourhood.
+  AbileneSizeDistribution dist;
+  EXPECT_NEAR(dist.MeanSize(), 729.6, 1.0);
+}
+
+TEST(AbileneSizeTest, ModeWeightsRespected) {
+  AbileneSizeDistribution dist;
+  Rng rng(3);
+  std::map<uint32_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[dist.NextSize(&rng)]++;
+  }
+  EXPECT_NEAR(counts[64] / static_cast<double>(n), AbileneSizeDistribution::kSmallWeight, 0.01);
+  EXPECT_NEAR(counts[576] / static_cast<double>(n), AbileneSizeDistribution::kMediumWeight, 0.01);
+  EXPECT_NEAR(counts[1500] / static_cast<double>(n), AbileneSizeDistribution::kLargeWeight, 0.01);
+}
+
+TEST(AbileneGenTest, FlowsAreStableAndSequenced) {
+  AbileneConfig cfg;
+  cfg.num_flows = 16;
+  AbileneGenerator gen(cfg);
+  std::map<uint64_t, FlowKey> keys;
+  std::map<uint64_t, uint64_t> seqs;
+  for (int i = 0; i < 2000; ++i) {
+    FrameSpec spec = gen.Next();
+    auto it = keys.find(spec.flow_id);
+    if (it != keys.end()) {
+      EXPECT_EQ(it->second, spec.flow) << "flow id must map to one 5-tuple";
+      EXPECT_EQ(spec.flow_seq, seqs[spec.flow_id] + 1);
+    }
+    keys[spec.flow_id] = spec.flow;
+    seqs[spec.flow_id] = spec.flow_seq;
+  }
+  EXPECT_EQ(keys.size(), 16u);
+}
+
+TEST(AbileneGenTest, MostlyTcp) {
+  AbileneConfig cfg;
+  cfg.num_flows = 1000;
+  AbileneGenerator gen(cfg);
+  int tcp = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (gen.Next().flow.protocol == 6) {
+      tcp++;
+    }
+  }
+  EXPECT_GT(tcp, 4000);
+}
+
+}  // namespace
+}  // namespace rb

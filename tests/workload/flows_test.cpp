@@ -1,0 +1,119 @@
+#include "workload/flows.hpp"
+
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/abilene.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+FlowTrafficGenerator MakeGen(double flow_rate = 1000, double mean_pkts = 10,
+                             double in_flow_pps = 1000, uint64_t seed = 1) {
+  FlowGenConfig cfg;
+  cfg.flow_arrival_rate = flow_rate;
+  cfg.mean_flow_packets = mean_pkts;
+  cfg.in_flow_pps = in_flow_pps;
+  cfg.seed = seed;
+  return FlowTrafficGenerator(cfg, std::make_unique<FixedSizeDistribution>(64));
+}
+
+TEST(FlowGenTest, TimestampsAreMonotone) {
+  auto gen = MakeGen();
+  SimTime last = -1;
+  for (int i = 0; i < 10000; ++i) {
+    auto item = gen.Next();
+    EXPECT_GE(item.time, last);
+    last = item.time;
+  }
+}
+
+TEST(FlowGenTest, PerFlowSequencesAreContiguous) {
+  auto gen = MakeGen();
+  std::map<uint64_t, uint64_t> next_seq;
+  for (int i = 0; i < 20000; ++i) {
+    auto item = gen.Next();
+    uint64_t expected = next_seq.count(item.spec.flow_id) ? next_seq[item.spec.flow_id] : 0;
+    ASSERT_EQ(item.spec.flow_seq, expected);
+    next_seq[item.spec.flow_id] = expected + 1;
+  }
+}
+
+TEST(FlowGenTest, FlowKeysStablePerFlow) {
+  auto gen = MakeGen();
+  std::map<uint64_t, FlowKey> keys;
+  for (int i = 0; i < 10000; ++i) {
+    auto item = gen.Next();
+    auto it = keys.find(item.spec.flow_id);
+    if (it != keys.end()) {
+      ASSERT_EQ(it->second, item.spec.flow);
+    } else {
+      keys[item.spec.flow_id] = item.spec.flow;
+    }
+  }
+  EXPECT_GT(keys.size(), 100u);
+}
+
+TEST(FlowGenTest, OfferedRateApproximatesTarget) {
+  // Configure for 100 Mbps at 64 B frames and check the empirical rate.
+  FlowGenConfig cfg = FlowTrafficGenerator::ConfigForRate(100e6, 64, 20, 2000, 3);
+  FlowTrafficGenerator gen(cfg, std::make_unique<FixedSizeDistribution>(64));
+  EXPECT_NEAR(gen.OfferedBps(), 100e6, 1e3);
+  uint64_t bytes = 0;
+  SimTime end = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    auto item = gen.Next();
+    bytes += item.spec.size;
+    end = item.time;
+  }
+  double measured = bytes * 8.0 / end;
+  EXPECT_NEAR(measured, 100e6, 25e6);  // heavy-tailed: generous band
+}
+
+TEST(FlowGenTest, HeavyTailProducesElephants) {
+  auto gen = MakeGen(500, 20, 1000, 9);
+  std::map<uint64_t, int> sizes;
+  for (int i = 0; i < 100000; ++i) {
+    sizes[gen.Next().spec.flow_id]++;
+  }
+  int max_size = 0;
+  for (auto& [id, count] : sizes) {
+    max_size = std::max(max_size, count);
+  }
+  // Pareto alpha=1.5, mean 20: the largest of thousands of flows should
+  // far exceed the mean.
+  EXPECT_GT(max_size, 200);
+}
+
+TEST(FlowGenTest, InFlowGapsMatchConfiguredRate) {
+  auto gen = MakeGen(10, 1000, 500, 5);
+  std::map<uint64_t, SimTime> last_time;
+  MeanVar gaps;
+  for (int i = 0; i < 50000; ++i) {
+    auto item = gen.Next();
+    auto it = last_time.find(item.spec.flow_id);
+    if (it != last_time.end()) {
+      gaps.Add(item.time - it->second);
+    }
+    last_time[item.spec.flow_id] = item.time;
+  }
+  EXPECT_NEAR(gaps.mean(), 1.0 / 500, 0.0005);
+}
+
+TEST(FlowGenTest, AbileneSizesWork) {
+  FlowGenConfig cfg;
+  cfg.seed = 8;
+  FlowTrafficGenerator gen(cfg, std::make_unique<AbileneSizeDistribution>());
+  for (int i = 0; i < 100; ++i) {
+    uint32_t s = gen.Next().spec.size;
+    EXPECT_TRUE(s == 64 || s == 576 || s == 1500);
+  }
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,112 @@
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "packet/headers.hpp"
+#include "packet/pool.hpp"
+
+namespace rb {
+namespace {
+
+TEST(MaterializeTest, ProducesValidFrame) {
+  PacketPool pool(2);
+  FrameSpec spec;
+  spec.size = 64;
+  spec.flow.src_ip = 0x01020304;
+  spec.flow.dst_ip = 0x05060708;
+  spec.flow.src_port = 1000;
+  spec.flow.dst_port = 2000;
+  spec.flow.protocol = 17;
+  spec.flow_id = 5;
+  spec.flow_seq = 6;
+  Packet* p = AllocFrame(spec, &pool);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->length(), 64u);
+  EthernetView eth{p->data()};
+  EXPECT_EQ(eth.ether_type(), EthernetView::kTypeIpv4);
+  Ipv4View ip{p->data() + EthernetView::kSize};
+  EXPECT_TRUE(ip.ChecksumOk());
+  EXPECT_EQ(ip.total_length(), 64 - EthernetView::kSize);
+  EXPECT_EQ(ip.src(), spec.flow.src_ip);
+  EXPECT_EQ(ip.dst(), spec.flow.dst_ip);
+  UdpView udp{p->data() + EthernetView::kSize + Ipv4View::kMinSize};
+  EXPECT_EQ(udp.src_port(), 1000);
+  EXPECT_EQ(udp.dst_port(), 2000);
+  EXPECT_EQ(p->flow_id(), 5u);
+  EXPECT_EQ(p->flow_seq(), 6u);
+  EXPECT_NE(p->flow_hash(), 0u);
+  pool.Free(p);
+}
+
+TEST(MaterializeTest, PoolExhaustionReturnsNull) {
+  PacketPool pool(1);
+  FrameSpec spec;
+  spec.size = 64;
+  Packet* a = AllocFrame(spec, &pool);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(AllocFrame(spec, &pool), nullptr);
+  pool.Free(a);
+}
+
+TEST(SyntheticTest, FixedSizeHonored) {
+  SyntheticConfig cfg;
+  cfg.packet_size = 128;
+  SyntheticGenerator gen(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen.Next().size, 128u);
+  }
+}
+
+TEST(SyntheticTest, FlowSequencesIncrease) {
+  SyntheticConfig cfg;
+  cfg.num_flows = 4;
+  cfg.random_dst = false;
+  SyntheticGenerator gen(cfg);
+  std::map<uint64_t, uint64_t> last;
+  for (int i = 0; i < 1000; ++i) {
+    FrameSpec spec = gen.Next();
+    auto it = last.find(spec.flow_id);
+    if (it != last.end()) {
+      EXPECT_EQ(spec.flow_seq, it->second + 1);
+    } else {
+      EXPECT_EQ(spec.flow_seq, 0u);
+    }
+    last[spec.flow_id] = spec.flow_seq;
+  }
+}
+
+TEST(SyntheticTest, RandomDstVariesAddresses) {
+  SyntheticConfig cfg;
+  cfg.num_flows = 1;
+  cfg.random_dst = true;
+  SyntheticGenerator gen(cfg);
+  std::set<uint32_t> dsts;
+  for (int i = 0; i < 200; ++i) {
+    dsts.insert(gen.Next().flow.dst_ip);
+  }
+  EXPECT_GT(dsts.size(), 150u);
+}
+
+TEST(SyntheticTest, DeterministicAcrossInstances) {
+  SyntheticConfig cfg;
+  cfg.seed = 44;
+  SyntheticGenerator a(cfg);
+  SyntheticGenerator b(cfg);
+  for (int i = 0; i < 100; ++i) {
+    FrameSpec sa = a.Next();
+    FrameSpec sb = b.Next();
+    EXPECT_EQ(sa.flow, sb.flow);
+    EXPECT_EQ(sa.flow_id, sb.flow_id);
+  }
+}
+
+TEST(AppNameTest, AllNamesDistinct) {
+  EXPECT_STREQ(AppName(App::kMinimalForwarding), "forwarding");
+  EXPECT_STREQ(AppName(App::kIpRouting), "routing");
+  EXPECT_STREQ(AppName(App::kIpsec), "ipsec");
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,64 @@
+#include "workload/traffic_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(TrafficMatrixTest, UniformShares) {
+  auto tm = TrafficMatrix::Uniform(4);
+  for (uint16_t i = 0; i < 4; ++i) {
+    double row = 0;
+    for (uint16_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(tm.Share(i, j), 0.25);
+      row += tm.Share(i, j);
+    }
+    EXPECT_DOUBLE_EQ(row, 1.0);
+    EXPECT_TRUE(tm.InputActive(i));
+  }
+}
+
+TEST(TrafficMatrixTest, SinglePair) {
+  auto tm = TrafficMatrix::SinglePair(4, 1, 3);
+  EXPECT_DOUBLE_EQ(tm.Share(1, 3), 1.0);
+  EXPECT_DOUBLE_EQ(tm.Share(1, 0), 0.0);
+  EXPECT_TRUE(tm.InputActive(1));
+  EXPECT_FALSE(tm.InputActive(0));
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(tm.SampleOutput(1, &rng), 3);
+  }
+}
+
+TEST(TrafficMatrixTest, HotspotShares) {
+  auto tm = TrafficMatrix::Hotspot(4, 2, 0.7);
+  EXPECT_DOUBLE_EQ(tm.Share(0, 2), 0.7);
+  EXPECT_NEAR(tm.Share(0, 0), 0.1, 1e-12);
+  double row = 0;
+  for (uint16_t j = 0; j < 4; ++j) {
+    row += tm.Share(0, j);
+  }
+  EXPECT_NEAR(row, 1.0, 1e-12);
+}
+
+TEST(TrafficMatrixTest, SamplingMatchesShares) {
+  auto tm = TrafficMatrix::Hotspot(4, 1, 0.5);
+  Rng rng(7);
+  std::vector<int> counts(4, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    counts[tm.SampleOutput(0, &rng)]++;
+  }
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.5, 0.02);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 1.0 / 6, 0.02);
+}
+
+TEST(TrafficMatrixTest, SingleNodeMatrix) {
+  auto tm = TrafficMatrix::Uniform(1);
+  EXPECT_DOUBLE_EQ(tm.Share(0, 0), 1.0);
+  Rng rng(2);
+  EXPECT_EQ(tm.SampleOutput(0, &rng), 0);
+}
+
+}  // namespace
+}  // namespace rb
