@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resequencer.dir/bench_ablation_resequencer.cpp.o"
+  "CMakeFiles/bench_ablation_resequencer.dir/bench_ablation_resequencer.cpp.o.d"
+  "bench_ablation_resequencer"
+  "bench_ablation_resequencer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vlb.dir/bench_ablation_vlb.cpp.o"
+  "CMakeFiles/bench_ablation_vlb.dir/bench_ablation_vlb.cpp.o.d"
+  "bench_ablation_vlb"
+  "bench_ablation_vlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

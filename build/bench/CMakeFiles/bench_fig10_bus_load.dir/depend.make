@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_bus_load.
+# This may be replaced when dependencies are built.

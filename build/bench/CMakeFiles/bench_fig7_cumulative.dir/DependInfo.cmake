@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_cumulative.cpp" "bench/CMakeFiles/bench_fig7_cumulative.dir/bench_fig7_cumulative.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_cumulative.dir/bench_fig7_cumulative.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_netdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_lookup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_workloads.dir/bench_fig8_workloads.cpp.o"
+  "CMakeFiles/bench_fig8_workloads.dir/bench_fig8_workloads.cpp.o.d"
+  "bench_fig8_workloads"
+  "bench_fig8_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_projection_nextgen.dir/bench_projection_nextgen.cpp.o"
+  "CMakeFiles/bench_projection_nextgen.dir/bench_projection_nextgen.cpp.o.d"
+  "bench_projection_nextgen"
+  "bench_projection_nextgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_projection_nextgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rb4_forwarding.dir/bench_rb4_forwarding.cpp.o"
+  "CMakeFiles/bench_rb4_forwarding.dir/bench_rb4_forwarding.cpp.o.d"
+  "bench_rb4_forwarding"
+  "bench_rb4_forwarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rb4_forwarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

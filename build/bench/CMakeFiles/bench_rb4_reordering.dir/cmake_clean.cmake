@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rb4_reordering.dir/bench_rb4_reordering.cpp.o"
+  "CMakeFiles/bench_rb4_reordering.dir/bench_rb4_reordering.cpp.o.d"
+  "bench_rb4_reordering"
+  "bench_rb4_reordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rb4_reordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_ipc.dir/bench_table3_ipc.cpp.o"
+  "CMakeFiles/bench_table3_ipc.dir/bench_table3_ipc.cpp.o.d"
+  "bench_table3_ipc"
+  "bench_table3_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/click_config.dir/click_config.cpp.o"
+  "CMakeFiles/click_config.dir/click_config.cpp.o.d"
+  "click_config"
+  "click_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/click_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

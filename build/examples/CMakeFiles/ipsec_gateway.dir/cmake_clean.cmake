@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipsec_gateway.dir/ipsec_gateway.cpp.o"
+  "CMakeFiles/ipsec_gateway.dir/ipsec_gateway.cpp.o.d"
+  "ipsec_gateway"
+  "ipsec_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipsec_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb4_cluster.dir/rb4_cluster.cpp.o"
+  "CMakeFiles/rb4_cluster.dir/rb4_cluster.cpp.o.d"
+  "rb4_cluster"
+  "rb4_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb4_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/click/config_parser.cpp" "src/CMakeFiles/rb_click.dir/click/config_parser.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/config_parser.cpp.o.d"
+  "/root/repo/src/click/element.cpp" "src/CMakeFiles/rb_click.dir/click/element.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/element.cpp.o.d"
+  "/root/repo/src/click/elements/check_ip_header.cpp" "src/CMakeFiles/rb_click.dir/click/elements/check_ip_header.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/check_ip_header.cpp.o.d"
+  "/root/repo/src/click/elements/classifier.cpp" "src/CMakeFiles/rb_click.dir/click/elements/classifier.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/classifier.cpp.o.d"
+  "/root/repo/src/click/elements/dec_ip_ttl.cpp" "src/CMakeFiles/rb_click.dir/click/elements/dec_ip_ttl.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/dec_ip_ttl.cpp.o.d"
+  "/root/repo/src/click/elements/ether.cpp" "src/CMakeFiles/rb_click.dir/click/elements/ether.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/ether.cpp.o.d"
+  "/root/repo/src/click/elements/from_device.cpp" "src/CMakeFiles/rb_click.dir/click/elements/from_device.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/from_device.cpp.o.d"
+  "/root/repo/src/click/elements/ip_lookup.cpp" "src/CMakeFiles/rb_click.dir/click/elements/ip_lookup.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/ip_lookup.cpp.o.d"
+  "/root/repo/src/click/elements/ipsec.cpp" "src/CMakeFiles/rb_click.dir/click/elements/ipsec.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/ipsec.cpp.o.d"
+  "/root/repo/src/click/elements/misc.cpp" "src/CMakeFiles/rb_click.dir/click/elements/misc.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/misc.cpp.o.d"
+  "/root/repo/src/click/elements/queue.cpp" "src/CMakeFiles/rb_click.dir/click/elements/queue.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/queue.cpp.o.d"
+  "/root/repo/src/click/elements/to_device.cpp" "src/CMakeFiles/rb_click.dir/click/elements/to_device.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/elements/to_device.cpp.o.d"
+  "/root/repo/src/click/router.cpp" "src/CMakeFiles/rb_click.dir/click/router.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/router.cpp.o.d"
+  "/root/repo/src/click/scheduler.cpp" "src/CMakeFiles/rb_click.dir/click/scheduler.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/scheduler.cpp.o.d"
+  "/root/repo/src/click/task.cpp" "src/CMakeFiles/rb_click.dir/click/task.cpp.o" "gcc" "src/CMakeFiles/rb_click.dir/click/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_netdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_lookup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

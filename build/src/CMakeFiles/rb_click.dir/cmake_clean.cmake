@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_click.dir/click/config_parser.cpp.o"
+  "CMakeFiles/rb_click.dir/click/config_parser.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/element.cpp.o"
+  "CMakeFiles/rb_click.dir/click/element.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/check_ip_header.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/check_ip_header.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/classifier.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/classifier.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/dec_ip_ttl.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/dec_ip_ttl.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/ether.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/ether.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/from_device.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/from_device.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/ip_lookup.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/ip_lookup.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/ipsec.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/ipsec.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/misc.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/misc.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/queue.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/queue.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/elements/to_device.cpp.o"
+  "CMakeFiles/rb_click.dir/click/elements/to_device.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/router.cpp.o"
+  "CMakeFiles/rb_click.dir/click/router.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/scheduler.cpp.o"
+  "CMakeFiles/rb_click.dir/click/scheduler.cpp.o.d"
+  "CMakeFiles/rb_click.dir/click/task.cpp.o"
+  "CMakeFiles/rb_click.dir/click/task.cpp.o.d"
+  "librb_click.a"
+  "librb_click.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_click.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

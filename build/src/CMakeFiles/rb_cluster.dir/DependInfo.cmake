@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/des.cpp" "src/CMakeFiles/rb_cluster.dir/cluster/des.cpp.o" "gcc" "src/CMakeFiles/rb_cluster.dir/cluster/des.cpp.o.d"
+  "/root/repo/src/cluster/flowlet.cpp" "src/CMakeFiles/rb_cluster.dir/cluster/flowlet.cpp.o" "gcc" "src/CMakeFiles/rb_cluster.dir/cluster/flowlet.cpp.o.d"
+  "/root/repo/src/cluster/latency.cpp" "src/CMakeFiles/rb_cluster.dir/cluster/latency.cpp.o" "gcc" "src/CMakeFiles/rb_cluster.dir/cluster/latency.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/rb_cluster.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/rb_cluster.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/reorder.cpp" "src/CMakeFiles/rb_cluster.dir/cluster/reorder.cpp.o" "gcc" "src/CMakeFiles/rb_cluster.dir/cluster/reorder.cpp.o.d"
+  "/root/repo/src/cluster/sizing.cpp" "src/CMakeFiles/rb_cluster.dir/cluster/sizing.cpp.o" "gcc" "src/CMakeFiles/rb_cluster.dir/cluster/sizing.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/CMakeFiles/rb_cluster.dir/cluster/topology.cpp.o" "gcc" "src/CMakeFiles/rb_cluster.dir/cluster/topology.cpp.o.d"
+  "/root/repo/src/cluster/vlb.cpp" "src/CMakeFiles/rb_cluster.dir/cluster/vlb.cpp.o" "gcc" "src/CMakeFiles/rb_cluster.dir/cluster/vlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_cluster.dir/cluster/des.cpp.o"
+  "CMakeFiles/rb_cluster.dir/cluster/des.cpp.o.d"
+  "CMakeFiles/rb_cluster.dir/cluster/flowlet.cpp.o"
+  "CMakeFiles/rb_cluster.dir/cluster/flowlet.cpp.o.d"
+  "CMakeFiles/rb_cluster.dir/cluster/latency.cpp.o"
+  "CMakeFiles/rb_cluster.dir/cluster/latency.cpp.o.d"
+  "CMakeFiles/rb_cluster.dir/cluster/node.cpp.o"
+  "CMakeFiles/rb_cluster.dir/cluster/node.cpp.o.d"
+  "CMakeFiles/rb_cluster.dir/cluster/reorder.cpp.o"
+  "CMakeFiles/rb_cluster.dir/cluster/reorder.cpp.o.d"
+  "CMakeFiles/rb_cluster.dir/cluster/sizing.cpp.o"
+  "CMakeFiles/rb_cluster.dir/cluster/sizing.cpp.o.d"
+  "CMakeFiles/rb_cluster.dir/cluster/topology.cpp.o"
+  "CMakeFiles/rb_cluster.dir/cluster/topology.cpp.o.d"
+  "CMakeFiles/rb_cluster.dir/cluster/vlb.cpp.o"
+  "CMakeFiles/rb_cluster.dir/cluster/vlb.cpp.o.d"
+  "librb_cluster.a"
+  "librb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_common.dir/common/flags.cpp.o"
+  "CMakeFiles/rb_common.dir/common/flags.cpp.o.d"
+  "CMakeFiles/rb_common.dir/common/log.cpp.o"
+  "CMakeFiles/rb_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/rb_common.dir/common/rng.cpp.o"
+  "CMakeFiles/rb_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/rb_common.dir/common/stats.cpp.o"
+  "CMakeFiles/rb_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/rb_common.dir/common/strings.cpp.o"
+  "CMakeFiles/rb_common.dir/common/strings.cpp.o.d"
+  "librb_common.a"
+  "librb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

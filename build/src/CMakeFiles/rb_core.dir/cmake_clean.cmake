@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_core.dir/core/cluster_router.cpp.o"
+  "CMakeFiles/rb_core.dir/core/cluster_router.cpp.o.d"
+  "CMakeFiles/rb_core.dir/core/router_config.cpp.o"
+  "CMakeFiles/rb_core.dir/core/router_config.cpp.o.d"
+  "CMakeFiles/rb_core.dir/core/single_server_router.cpp.o"
+  "CMakeFiles/rb_core.dir/core/single_server_router.cpp.o.d"
+  "librb_core.a"
+  "librb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/CMakeFiles/rb_crypto.dir/crypto/aes128.cpp.o" "gcc" "src/CMakeFiles/rb_crypto.dir/crypto/aes128.cpp.o.d"
+  "/root/repo/src/crypto/cbc.cpp" "src/CMakeFiles/rb_crypto.dir/crypto/cbc.cpp.o" "gcc" "src/CMakeFiles/rb_crypto.dir/crypto/cbc.cpp.o.d"
+  "/root/repo/src/crypto/esp.cpp" "src/CMakeFiles/rb_crypto.dir/crypto/esp.cpp.o" "gcc" "src/CMakeFiles/rb_crypto.dir/crypto/esp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

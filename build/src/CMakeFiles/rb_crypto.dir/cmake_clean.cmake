@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_crypto.dir/crypto/aes128.cpp.o"
+  "CMakeFiles/rb_crypto.dir/crypto/aes128.cpp.o.d"
+  "CMakeFiles/rb_crypto.dir/crypto/cbc.cpp.o"
+  "CMakeFiles/rb_crypto.dir/crypto/cbc.cpp.o.d"
+  "CMakeFiles/rb_crypto.dir/crypto/esp.cpp.o"
+  "CMakeFiles/rb_crypto.dir/crypto/esp.cpp.o.d"
+  "librb_crypto.a"
+  "librb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

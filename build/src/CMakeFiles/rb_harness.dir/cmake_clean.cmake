@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/rb_harness.dir/harness/report.cpp.o.d"
+  "librb_harness.a"
+  "librb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lookup/dir24_8.cpp" "src/CMakeFiles/rb_lookup.dir/lookup/dir24_8.cpp.o" "gcc" "src/CMakeFiles/rb_lookup.dir/lookup/dir24_8.cpp.o.d"
+  "/root/repo/src/lookup/radix_trie.cpp" "src/CMakeFiles/rb_lookup.dir/lookup/radix_trie.cpp.o" "gcc" "src/CMakeFiles/rb_lookup.dir/lookup/radix_trie.cpp.o.d"
+  "/root/repo/src/lookup/table_gen.cpp" "src/CMakeFiles/rb_lookup.dir/lookup/table_gen.cpp.o" "gcc" "src/CMakeFiles/rb_lookup.dir/lookup/table_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

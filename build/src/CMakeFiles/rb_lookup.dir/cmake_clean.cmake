@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_lookup.dir/lookup/dir24_8.cpp.o"
+  "CMakeFiles/rb_lookup.dir/lookup/dir24_8.cpp.o.d"
+  "CMakeFiles/rb_lookup.dir/lookup/radix_trie.cpp.o"
+  "CMakeFiles/rb_lookup.dir/lookup/radix_trie.cpp.o.d"
+  "CMakeFiles/rb_lookup.dir/lookup/table_gen.cpp.o"
+  "CMakeFiles/rb_lookup.dir/lookup/table_gen.cpp.o.d"
+  "librb_lookup.a"
+  "librb_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/app_profile.cpp" "src/CMakeFiles/rb_model.dir/model/app_profile.cpp.o" "gcc" "src/CMakeFiles/rb_model.dir/model/app_profile.cpp.o.d"
+  "/root/repo/src/model/batching.cpp" "src/CMakeFiles/rb_model.dir/model/batching.cpp.o" "gcc" "src/CMakeFiles/rb_model.dir/model/batching.cpp.o.d"
+  "/root/repo/src/model/extrapolate.cpp" "src/CMakeFiles/rb_model.dir/model/extrapolate.cpp.o" "gcc" "src/CMakeFiles/rb_model.dir/model/extrapolate.cpp.o.d"
+  "/root/repo/src/model/scenarios.cpp" "src/CMakeFiles/rb_model.dir/model/scenarios.cpp.o" "gcc" "src/CMakeFiles/rb_model.dir/model/scenarios.cpp.o.d"
+  "/root/repo/src/model/server_spec.cpp" "src/CMakeFiles/rb_model.dir/model/server_spec.cpp.o" "gcc" "src/CMakeFiles/rb_model.dir/model/server_spec.cpp.o.d"
+  "/root/repo/src/model/throughput.cpp" "src/CMakeFiles/rb_model.dir/model/throughput.cpp.o" "gcc" "src/CMakeFiles/rb_model.dir/model/throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_model.dir/model/app_profile.cpp.o"
+  "CMakeFiles/rb_model.dir/model/app_profile.cpp.o.d"
+  "CMakeFiles/rb_model.dir/model/batching.cpp.o"
+  "CMakeFiles/rb_model.dir/model/batching.cpp.o.d"
+  "CMakeFiles/rb_model.dir/model/extrapolate.cpp.o"
+  "CMakeFiles/rb_model.dir/model/extrapolate.cpp.o.d"
+  "CMakeFiles/rb_model.dir/model/scenarios.cpp.o"
+  "CMakeFiles/rb_model.dir/model/scenarios.cpp.o.d"
+  "CMakeFiles/rb_model.dir/model/server_spec.cpp.o"
+  "CMakeFiles/rb_model.dir/model/server_spec.cpp.o.d"
+  "CMakeFiles/rb_model.dir/model/throughput.cpp.o"
+  "CMakeFiles/rb_model.dir/model/throughput.cpp.o.d"
+  "librb_model.a"
+  "librb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

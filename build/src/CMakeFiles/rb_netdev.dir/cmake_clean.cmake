@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_netdev.dir/netdev/driver.cpp.o"
+  "CMakeFiles/rb_netdev.dir/netdev/driver.cpp.o.d"
+  "CMakeFiles/rb_netdev.dir/netdev/nic.cpp.o"
+  "CMakeFiles/rb_netdev.dir/netdev/nic.cpp.o.d"
+  "CMakeFiles/rb_netdev.dir/netdev/steering.cpp.o"
+  "CMakeFiles/rb_netdev.dir/netdev/steering.cpp.o.d"
+  "librb_netdev.a"
+  "librb_netdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_netdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packet/checksum.cpp" "src/CMakeFiles/rb_packet.dir/packet/checksum.cpp.o" "gcc" "src/CMakeFiles/rb_packet.dir/packet/checksum.cpp.o.d"
+  "/root/repo/src/packet/flow.cpp" "src/CMakeFiles/rb_packet.dir/packet/flow.cpp.o" "gcc" "src/CMakeFiles/rb_packet.dir/packet/flow.cpp.o.d"
+  "/root/repo/src/packet/headers.cpp" "src/CMakeFiles/rb_packet.dir/packet/headers.cpp.o" "gcc" "src/CMakeFiles/rb_packet.dir/packet/headers.cpp.o.d"
+  "/root/repo/src/packet/packet.cpp" "src/CMakeFiles/rb_packet.dir/packet/packet.cpp.o" "gcc" "src/CMakeFiles/rb_packet.dir/packet/packet.cpp.o.d"
+  "/root/repo/src/packet/pool.cpp" "src/CMakeFiles/rb_packet.dir/packet/pool.cpp.o" "gcc" "src/CMakeFiles/rb_packet.dir/packet/pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_packet.dir/packet/checksum.cpp.o"
+  "CMakeFiles/rb_packet.dir/packet/checksum.cpp.o.d"
+  "CMakeFiles/rb_packet.dir/packet/flow.cpp.o"
+  "CMakeFiles/rb_packet.dir/packet/flow.cpp.o.d"
+  "CMakeFiles/rb_packet.dir/packet/headers.cpp.o"
+  "CMakeFiles/rb_packet.dir/packet/headers.cpp.o.d"
+  "CMakeFiles/rb_packet.dir/packet/packet.cpp.o"
+  "CMakeFiles/rb_packet.dir/packet/packet.cpp.o.d"
+  "CMakeFiles/rb_packet.dir/packet/pool.cpp.o"
+  "CMakeFiles/rb_packet.dir/packet/pool.cpp.o.d"
+  "librb_packet.a"
+  "librb_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

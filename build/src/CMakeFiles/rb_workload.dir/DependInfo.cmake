@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/abilene.cpp" "src/CMakeFiles/rb_workload.dir/workload/abilene.cpp.o" "gcc" "src/CMakeFiles/rb_workload.dir/workload/abilene.cpp.o.d"
+  "/root/repo/src/workload/flows.cpp" "src/CMakeFiles/rb_workload.dir/workload/flows.cpp.o" "gcc" "src/CMakeFiles/rb_workload.dir/workload/flows.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/rb_workload.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/rb_workload.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/traffic_matrix.cpp" "src/CMakeFiles/rb_workload.dir/workload/traffic_matrix.cpp.o" "gcc" "src/CMakeFiles/rb_workload.dir/workload/traffic_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rb_workload.dir/workload/abilene.cpp.o"
+  "CMakeFiles/rb_workload.dir/workload/abilene.cpp.o.d"
+  "CMakeFiles/rb_workload.dir/workload/flows.cpp.o"
+  "CMakeFiles/rb_workload.dir/workload/flows.cpp.o.d"
+  "CMakeFiles/rb_workload.dir/workload/synthetic.cpp.o"
+  "CMakeFiles/rb_workload.dir/workload/synthetic.cpp.o.d"
+  "CMakeFiles/rb_workload.dir/workload/traffic_matrix.cpp.o"
+  "CMakeFiles/rb_workload.dir/workload/traffic_matrix.cpp.o.d"
+  "librb_workload.a"
+  "librb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

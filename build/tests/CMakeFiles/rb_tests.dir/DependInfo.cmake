@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/click/config_parser_test.cpp" "tests/CMakeFiles/rb_tests.dir/click/config_parser_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/click/config_parser_test.cpp.o.d"
+  "/root/repo/tests/click/element_test.cpp" "tests/CMakeFiles/rb_tests.dir/click/element_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/click/element_test.cpp.o.d"
+  "/root/repo/tests/click/elements_test.cpp" "tests/CMakeFiles/rb_tests.dir/click/elements_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/click/elements_test.cpp.o.d"
+  "/root/repo/tests/click/router_test.cpp" "tests/CMakeFiles/rb_tests.dir/click/router_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/click/router_test.cpp.o.d"
+  "/root/repo/tests/click/scheduler_test.cpp" "tests/CMakeFiles/rb_tests.dir/click/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/click/scheduler_test.cpp.o.d"
+  "/root/repo/tests/cluster/des_test.cpp" "tests/CMakeFiles/rb_tests.dir/cluster/des_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/cluster/des_test.cpp.o.d"
+  "/root/repo/tests/cluster/flowlet_test.cpp" "tests/CMakeFiles/rb_tests.dir/cluster/flowlet_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/cluster/flowlet_test.cpp.o.d"
+  "/root/repo/tests/cluster/latency_test.cpp" "tests/CMakeFiles/rb_tests.dir/cluster/latency_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/cluster/latency_test.cpp.o.d"
+  "/root/repo/tests/cluster/node_test.cpp" "tests/CMakeFiles/rb_tests.dir/cluster/node_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/cluster/node_test.cpp.o.d"
+  "/root/repo/tests/cluster/reorder_test.cpp" "tests/CMakeFiles/rb_tests.dir/cluster/reorder_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/cluster/reorder_test.cpp.o.d"
+  "/root/repo/tests/cluster/sizing_test.cpp" "tests/CMakeFiles/rb_tests.dir/cluster/sizing_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/cluster/sizing_test.cpp.o.d"
+  "/root/repo/tests/cluster/topology_test.cpp" "tests/CMakeFiles/rb_tests.dir/cluster/topology_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/cluster/topology_test.cpp.o.d"
+  "/root/repo/tests/cluster/vlb_test.cpp" "tests/CMakeFiles/rb_tests.dir/cluster/vlb_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/cluster/vlb_test.cpp.o.d"
+  "/root/repo/tests/common/flags_test.cpp" "tests/CMakeFiles/rb_tests.dir/common/flags_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/common/flags_test.cpp.o.d"
+  "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/rb_tests.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/common/rng_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/rb_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/rb_tests.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/common/strings_test.cpp.o.d"
+  "/root/repo/tests/core/cluster_router_test.cpp" "tests/CMakeFiles/rb_tests.dir/core/cluster_router_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/core/cluster_router_test.cpp.o.d"
+  "/root/repo/tests/core/single_server_router_test.cpp" "tests/CMakeFiles/rb_tests.dir/core/single_server_router_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/core/single_server_router_test.cpp.o.d"
+  "/root/repo/tests/crypto/aes128_test.cpp" "tests/CMakeFiles/rb_tests.dir/crypto/aes128_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/crypto/aes128_test.cpp.o.d"
+  "/root/repo/tests/crypto/cbc_test.cpp" "tests/CMakeFiles/rb_tests.dir/crypto/cbc_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/crypto/cbc_test.cpp.o.d"
+  "/root/repo/tests/crypto/esp_test.cpp" "tests/CMakeFiles/rb_tests.dir/crypto/esp_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/crypto/esp_test.cpp.o.d"
+  "/root/repo/tests/integration/cluster_integration_test.cpp" "tests/CMakeFiles/rb_tests.dir/integration/cluster_integration_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/integration/cluster_integration_test.cpp.o.d"
+  "/root/repo/tests/integration/paper_numbers_test.cpp" "tests/CMakeFiles/rb_tests.dir/integration/paper_numbers_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/integration/paper_numbers_test.cpp.o.d"
+  "/root/repo/tests/integration/pipeline_integration_test.cpp" "tests/CMakeFiles/rb_tests.dir/integration/pipeline_integration_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/integration/pipeline_integration_test.cpp.o.d"
+  "/root/repo/tests/integration/property_sweep_test.cpp" "tests/CMakeFiles/rb_tests.dir/integration/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/integration/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/lookup/dir24_8_test.cpp" "tests/CMakeFiles/rb_tests.dir/lookup/dir24_8_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/lookup/dir24_8_test.cpp.o.d"
+  "/root/repo/tests/lookup/radix_trie_test.cpp" "tests/CMakeFiles/rb_tests.dir/lookup/radix_trie_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/lookup/radix_trie_test.cpp.o.d"
+  "/root/repo/tests/lookup/table_gen_test.cpp" "tests/CMakeFiles/rb_tests.dir/lookup/table_gen_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/lookup/table_gen_test.cpp.o.d"
+  "/root/repo/tests/model/app_profile_test.cpp" "tests/CMakeFiles/rb_tests.dir/model/app_profile_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/model/app_profile_test.cpp.o.d"
+  "/root/repo/tests/model/batching_test.cpp" "tests/CMakeFiles/rb_tests.dir/model/batching_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/model/batching_test.cpp.o.d"
+  "/root/repo/tests/model/scenarios_test.cpp" "tests/CMakeFiles/rb_tests.dir/model/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/model/scenarios_test.cpp.o.d"
+  "/root/repo/tests/model/server_spec_test.cpp" "tests/CMakeFiles/rb_tests.dir/model/server_spec_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/model/server_spec_test.cpp.o.d"
+  "/root/repo/tests/model/throughput_test.cpp" "tests/CMakeFiles/rb_tests.dir/model/throughput_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/model/throughput_test.cpp.o.d"
+  "/root/repo/tests/netdev/driver_test.cpp" "tests/CMakeFiles/rb_tests.dir/netdev/driver_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/netdev/driver_test.cpp.o.d"
+  "/root/repo/tests/netdev/nic_test.cpp" "tests/CMakeFiles/rb_tests.dir/netdev/nic_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/netdev/nic_test.cpp.o.d"
+  "/root/repo/tests/netdev/ring_test.cpp" "tests/CMakeFiles/rb_tests.dir/netdev/ring_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/netdev/ring_test.cpp.o.d"
+  "/root/repo/tests/netdev/steering_test.cpp" "tests/CMakeFiles/rb_tests.dir/netdev/steering_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/netdev/steering_test.cpp.o.d"
+  "/root/repo/tests/packet/checksum_test.cpp" "tests/CMakeFiles/rb_tests.dir/packet/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/packet/checksum_test.cpp.o.d"
+  "/root/repo/tests/packet/flow_test.cpp" "tests/CMakeFiles/rb_tests.dir/packet/flow_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/packet/flow_test.cpp.o.d"
+  "/root/repo/tests/packet/headers_test.cpp" "tests/CMakeFiles/rb_tests.dir/packet/headers_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/packet/headers_test.cpp.o.d"
+  "/root/repo/tests/packet/packet_test.cpp" "tests/CMakeFiles/rb_tests.dir/packet/packet_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/packet/packet_test.cpp.o.d"
+  "/root/repo/tests/packet/pool_test.cpp" "tests/CMakeFiles/rb_tests.dir/packet/pool_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/packet/pool_test.cpp.o.d"
+  "/root/repo/tests/workload/abilene_test.cpp" "tests/CMakeFiles/rb_tests.dir/workload/abilene_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/workload/abilene_test.cpp.o.d"
+  "/root/repo/tests/workload/flows_test.cpp" "tests/CMakeFiles/rb_tests.dir/workload/flows_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/workload/flows_test.cpp.o.d"
+  "/root/repo/tests/workload/synthetic_test.cpp" "tests/CMakeFiles/rb_tests.dir/workload/synthetic_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/workload/synthetic_test.cpp.o.d"
+  "/root/repo/tests/workload/traffic_matrix_test.cpp" "tests/CMakeFiles/rb_tests.dir/workload/traffic_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/rb_tests.dir/workload/traffic_matrix_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_click.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_netdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_lookup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
