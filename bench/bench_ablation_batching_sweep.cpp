@@ -8,12 +8,14 @@
 #include "cluster/latency.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "model/throughput.hpp"
 
 int main(int argc, char** argv) {
   rb::FlagSet flags("bench_ablation_batching_sweep");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("Ablation: batching", "64 B forwarding rate and per-server latency vs kp, kn");
@@ -38,5 +40,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "cluster/des.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "workload/abilene.hpp"
 
@@ -30,6 +31,7 @@ int main(int argc, char** argv) {
   auto* offered = flags.AddDouble("offered_gbps", 9.0, "offered load on the single pair");
   auto* duration = flags.AddDouble("duration", 0.05, "simulated seconds");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("Ablation: re-sequencer", "single overloaded pair, Abilene-like trace");
@@ -63,5 +65,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "cluster/des.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "workload/synthetic.hpp"
 
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   rb::FlagSet flags("bench_ablation_vlb");
   auto* duration = flags.AddDouble("duration", 0.01, "simulated seconds per point");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("Ablation: VLB mode", "loss vs offered 64 B load, uniform matrix");
@@ -57,5 +59,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

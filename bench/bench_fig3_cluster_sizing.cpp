@@ -6,11 +6,13 @@
 #include "cluster/sizing.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 
 int main(int argc, char** argv) {
   rb::FlagSet flags("bench_fig3_cluster_sizing");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("Figure 3", "servers required vs external ports (R = 10 Gbps)");
@@ -38,5 +40,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

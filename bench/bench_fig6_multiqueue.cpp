@@ -11,12 +11,14 @@
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "model/scenarios.hpp"
 
 int main(int argc, char** argv) {
   rb::FlagSet flags("bench_fig6_multiqueue");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("Figure 6", "forwarding rate per FP, 64 B packets");
@@ -31,5 +33,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "model/throughput.hpp"
 #include "workload/abilene.hpp"
@@ -23,6 +24,7 @@ rb::ThroughputResult Solve(rb::App app, double bytes) {
 int main(int argc, char** argv) {
   rb::FlagSet flags("bench_fig8_workloads");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   double abilene_mean = rb::AbileneSizeDistribution().MeanSize();
@@ -82,5 +84,6 @@ int main(int argc, char** argv) {
       bottom.WriteCsv(*csv + ".bottom.csv");
     }
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

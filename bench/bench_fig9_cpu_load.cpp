@@ -4,29 +4,58 @@
 // §5.3 observation that lets the authors extrapolate — and each
 // application's line intersects the bound exactly at its measured maximum
 // rate, identifying the CPU as the bottleneck.
+//
+// The model loads are published into a telemetry registry
+// ("model/<app>/cycles_per_packet" gauges, "model/<app>/max_mpps" for the
+// bound crossings) and the report table is built from the registry
+// snapshot, so --metrics-out dumps exactly the numbers the table shows.
 #include <cstdio>
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "model/throughput.hpp"
+#include "telemetry/metrics.hpp"
 
 int main(int argc, char** argv) {
   rb::FlagSet flags("bench_fig9_cpu_load");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("Figure 9", "CPU load (cycles/packet) vs input rate, 64 B");
   report.SetColumns({"rate (Mpps)", "available cyc/pkt", "fwd", "rtr", "ipsec", "saturated"});
 
-  double loads[3];
+  const double total_cycles = 8 * 2.8e9;
+  rb::telemetry::MetricRegistry registry;
   for (int a = 0; a < 3; ++a) {
     rb::ThroughputConfig cfg;
     cfg.app = static_cast<rb::App>(a);
     cfg.frame_bytes = 64;
-    loads[a] = rb::LoadsFor(cfg).cpu_cycles;
+    double cycles = rb::LoadsFor(cfg).cpu_cycles;
+    const char* app = rb::AppName(static_cast<rb::App>(a));
+    registry.GetGauge(rb::Format("model/%s/cycles_per_packet", app))->Set(cycles);
+    registry.GetGauge(rb::Format("model/%s/max_mpps", app))->Set(total_cycles / cycles / 1e6);
   }
-  const double total_cycles = 8 * 2.8e9;
+
+  // Read the loads back from the registry — the table reports exactly the
+  // exported metric values.
+  rb::telemetry::RegistrySnapshot snap = registry.Snapshot();
+  auto gauge = [&](const std::string& name) {
+    for (const auto& [n, v] : snap.gauges) {
+      if (n == name) {
+        return v;
+      }
+    }
+    return 0.0;
+  };
+  double loads[3];
+  for (int a = 0; a < 3; ++a) {
+    loads[a] = gauge(rb::Format("model/%s/cycles_per_packet",
+                                rb::AppName(static_cast<rb::App>(a))));
+  }
+
   for (double mpps : {1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 19.0, 20.0}) {
     double available = total_cycles / (mpps * 1e6);
     std::string saturated;
@@ -44,11 +73,14 @@ int main(int argc, char** argv) {
   report.AddNote("constant with increasing input packet rate'); crossings with the available-cycles");
   report.AddNote(rb::Format("curve give max rates: fwd %.1f, rtr %.1f, ipsec %.1f Mpps "
                             "(paper: 18.96, 12.4, 2.7)",
-                            total_cycles / loads[0] / 1e6, total_cycles / loads[1] / 1e6,
-                            total_cycles / loads[2] / 1e6));
+                            gauge("model/forwarding/max_mpps"), gauge("model/routing/max_mpps"),
+                            gauge("model/ipsec/max_mpps")));
   report.Print();
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::telemetry::ExportBundle bundle;
+  bundle.registry = &registry;
+  rb::MaybeWriteMetrics(*metrics_out, bundle);
   return 0;
 }

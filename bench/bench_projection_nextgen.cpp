@@ -5,6 +5,7 @@
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "model/extrapolate.hpp"
 #include "workload/abilene.hpp"
@@ -12,6 +13,7 @@
 int main(int argc, char** argv) {
   rb::FlagSet flags("bench_projection_nextgen");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("§5.3 projection", "next-generation server (4 sockets x 8 cores), 64 B");
@@ -41,5 +43,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

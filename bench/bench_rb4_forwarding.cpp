@@ -10,6 +10,7 @@
 #include "cluster/des.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "workload/abilene.hpp"
 #include "workload/synthetic.hpp"
@@ -47,6 +48,7 @@ int main(int argc, char** argv) {
   auto* duration = flags.AddDouble("duration", 0.02, "simulated seconds per probe");
   auto* loss_budget = flags.AddDouble("loss_budget", 0.005, "max loss fraction for 'loss-free'");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("§6.2 RB4 forwarding", "maximum loss-free rate, 4-node Direct-VLB mesh");
@@ -78,5 +80,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include "cluster/des.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "workload/abilene.hpp"
 
@@ -32,6 +33,7 @@ int main(int argc, char** argv) {
   auto* duration = flags.AddDouble("duration", 0.05, "simulated seconds");
   auto* seed = flags.AddInt64("seed", 7, "RNG seed");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("§6.2 RB4 reordering",
@@ -57,5 +59,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "model/throughput.hpp"
 #include "netdev/nic.hpp"
@@ -45,6 +46,7 @@ uint64_t DescriptorTransactions(uint16_t kn, int packets) {
 int main(int argc, char** argv) {
   rb::FlagSet flags("bench_table1_batching");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   struct Row {
@@ -76,5 +78,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

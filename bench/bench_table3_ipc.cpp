@@ -9,6 +9,7 @@
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "core/single_server_router.hpp"
+#include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
 #include "model/throughput.hpp"
 #include "workload/synthetic.hpp"
@@ -63,6 +64,7 @@ int main(int argc, char** argv) {
   rb::FlagSet flags("bench_table3_ipc");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
   auto* host_packets = flags.AddInt64("host_packets", 200000, "packets for the host-rate column");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::Report report("Table 3", "instructions/packet and cycles/instruction, 64 B workloads");
@@ -91,5 +93,6 @@ int main(int argc, char** argv) {
   if (!csv->empty()) {
     report.WriteCsv(*csv);
   }
+  rb::MaybeWriteMetrics(*metrics_out);
   return 0;
 }

@@ -115,7 +115,7 @@ int main(int argc, char** argv) {
   drain();
 
   auto count = [&](const char* name) {
-    return dynamic_cast<rb::CounterElement*>(parsed.elements.at(name))->counters().packets;
+    return dynamic_cast<rb::CounterElement*>(parsed.elements.at(name))->counters().packets.load();
   };
   printf("injected %d routable packets from the LAN:\n", injected);
   printf("  TCP: %llu   UDP: %llu   other (dropped): %llu\n",

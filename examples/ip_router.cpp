@@ -3,13 +3,19 @@
 // polling cores, and a throughput-model readout of what this
 // configuration would sustain on the paper's hardware.
 //
-//   $ ./ip_router [--packets=N] [--ports=P]
+//   $ ./ip_router [--packets=N] [--ports=P] [--metrics-out=metrics.json]
+//
+// With --metrics-out, the run's full telemetry lands in one JSON document:
+// per-element packet counters, per-queue drop/occupancy stats, NIC port
+// counters, and a sampled per-hop latency histogram from the path tracer.
 #include <cstdio>
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "core/single_server_router.hpp"
+#include "harness/metrics_out.hpp"
 #include "model/throughput.hpp"
+#include "telemetry/trace.hpp"
 #include "workload/abilene.hpp"
 
 int main(int argc, char** argv) {
@@ -17,6 +23,8 @@ int main(int argc, char** argv) {
   auto* packets = flags.AddInt64("packets", 20000, "packets to route");
   auto* ports = flags.AddInt64("ports", 4, "router ports");
   auto* routes = flags.AddInt64("routes", 256 * 1024, "routing-table entries");
+  auto* trace_every = flags.AddInt64("trace-every", 64, "sample 1 in N packet paths");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   flags.Parse(argc, argv);
 
   rb::SingleServerConfig config;
@@ -30,6 +38,12 @@ int main(int argc, char** argv) {
   printf("building IP router: %d ports, %d queues/port, %lld-entry DIR-24-8 table...\n",
          config.num_ports, config.queues_per_port, static_cast<long long>(*routes));
   rb::SingleServerRouter router(config);
+  rb::telemetry::MetricRegistry registry;
+  rb::telemetry::TracerConfig tc;
+  tc.sample_every = static_cast<uint32_t>(*trace_every);
+  tc.max_traces = 4096;
+  rb::telemetry::PathTracer tracer(tc);
+  router.EnableTelemetry(&registry, &tracer);
   router.Initialize();
   printf("  table memory: %.1f MiB (tbl24 + %zu tbl_long segments)\n",
          router.table().memory_bytes() / 1048576.0, router.table().num_long_segments());
@@ -76,6 +90,31 @@ int main(int argc, char** argv) {
   printf("routed %llu / %d packets (%.1f MB, mean %.0f B)\n",
          static_cast<unsigned long long>(forwarded), injected, injected_bytes / 1e6,
          injected ? static_cast<double>(injected_bytes) / injected : 0.0);
+
+  // Telemetry readout: the registry saw every packet the NICs did, and the
+  // tracer timed 1-in-N paths FromDevice -> ... -> ToDevice.
+  rb::telemetry::RegistrySnapshot snap = registry.Snapshot();
+  uint64_t rx = 0;
+  uint64_t drops = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.find("/rx_packets") != std::string::npos) {
+      rx += value;
+    }
+    if (name.find("/drops") != std::string::npos || name.find("_drops") != std::string::npos) {
+      drops += value;
+    }
+  }
+  rb::telemetry::HistogramSnapshot hop = tracer.HopLatencyHistogram();
+  printf("telemetry: %zu metrics, rx %llu, drops %llu; %llu sampled traces, "
+         "per-hop latency p50 %.2f us\n",
+         snap.counters.size() + snap.gauges.size(), static_cast<unsigned long long>(rx),
+         static_cast<unsigned long long>(drops),
+         static_cast<unsigned long long>(tracer.sampled()), hop.Percentile(50) * 1e6);
+
+  rb::telemetry::ExportBundle bundle;
+  bundle.registry = &registry;
+  bundle.tracer = &tracer;
+  rb::MaybeWriteMetrics(*metrics_out, bundle);
 
   // What would this sustain on the paper's server?
   for (double bytes : {64.0, 729.6}) {

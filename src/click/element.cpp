@@ -22,6 +22,18 @@ Packet* Element::Pull(int /*port*/) {
 
 void Element::Initialize(Router* /*router*/) {}
 
+void Element::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                            const std::string& prefix) {
+  if (!telemetry::Enabled()) {
+    return;
+  }
+  if (registry != nullptr) {
+    tele_packets_ = registry->GetCounter(prefix + "elem/" + name_ + "/packets_out");
+    tele_drops_ = registry->GetCounter(prefix + "elem/" + name_ + "/drops");
+  }
+  tracer_ = tracer;
+}
+
 void Element::Output(int port, Packet* p) {
   RB_CHECK(port >= 0 && port < n_outputs());
   PortRef& ref = outputs_[static_cast<size_t>(port)];
@@ -29,7 +41,25 @@ void Element::Output(int port, Packet* p) {
     Drop(p);
     return;
   }
+  if (tele_packets_ != nullptr) {
+    tele_packets_->Inc();
+  }
+  if (tracer_ != nullptr && p->trace_handle() != 0) {
+    // Record the hop at the receiving element, timestamped on handoff.
+    tracer_->Record(p->trace_handle(), ref.element->name(), telemetry::NowSeconds());
+  }
   ref.element->Push(ref.port, p);
+}
+
+void Element::Drop(Packet* p) {
+  drops_++;
+  if (tele_drops_ != nullptr) {
+    tele_drops_->Inc();
+  }
+  if (tracer_ != nullptr && p->trace_handle() != 0) {
+    tracer_->Abandon(p->trace_handle(), name_ + "/drop", telemetry::NowSeconds());
+  }
+  PacketPool::Release(p);
 }
 
 Packet* Element::Input(int port) {

@@ -22,6 +22,8 @@
 
 #include "packet/packet.hpp"
 #include "packet/pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rb {
 
@@ -55,6 +57,15 @@ class Element {
 
   uint64_t drops() const { return drops_; }
 
+  // Attaches this element to a metric registry (per-element packets-out /
+  // drop counters under "<prefix>elem/<name>/") and optionally a path
+  // tracer that records a hop at every push handoff. Call after the name
+  // is final and before traffic flows; when never called, the hot path
+  // pays only null-pointer tests. Overrides must call the base to get the
+  // standard counters, then may register element-specific metrics.
+  virtual void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                             const std::string& prefix = "");
+
  protected:
   // Sends `p` out of output `port` (push). If the port is unconnected the
   // packet is dropped and counted.
@@ -63,10 +74,18 @@ class Element {
   // Pulls a packet from whatever is connected to input `port` (pull path).
   Packet* Input(int port);
 
-  void Drop(Packet* p) {
-    drops_++;
-    PacketPool::Release(p);
+  void Drop(Packet* p);
+
+  // Credits `n` packets to this element's packets_out counter. Output()
+  // does this automatically; sink elements (no downstream push) call it
+  // when they consume a packet, e.g. ToDevice on transmit.
+  void CountPacketsOut(uint64_t n) {
+    if (tele_packets_ != nullptr) {
+      tele_packets_->Add(n);
+    }
   }
+
+  telemetry::PathTracer* tracer() const { return tracer_; }
 
  private:
   friend class Router;
@@ -81,6 +100,11 @@ class Element {
   std::vector<PortRef> outputs_;  // downstream peers (for push)
   std::string name_;
   uint64_t drops_ = 0;
+
+  // Telemetry bindings; null when telemetry is unbound or disabled.
+  telemetry::Counter* tele_packets_ = nullptr;
+  telemetry::Counter* tele_drops_ = nullptr;
+  telemetry::PathTracer* tracer_ = nullptr;
 };
 
 }  // namespace rb

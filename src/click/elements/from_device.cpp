@@ -15,6 +15,10 @@ size_t FromDevice::RunOnce() {
   std::vector<Packet*> burst;
   size_t n = driver_.Poll(&burst);
   for (Packet* p : burst) {
+    if (tracer() != nullptr) {
+      // Trace entry point: the sampling decision for this packet's path.
+      p->set_trace_handle(tracer()->StartTrace(name(), telemetry::NowSeconds()));
+    }
     Output(0, p);
   }
   return n;

@@ -4,6 +4,14 @@ namespace rb {
 
 QueueElement::QueueElement(size_t capacity) : Element(1, 1), ring_(capacity) {}
 
+void QueueElement::BindTelemetry(telemetry::MetricRegistry* registry,
+                                 telemetry::PathTracer* tracer, const std::string& prefix) {
+  Element::BindTelemetry(registry, tracer, prefix);
+  if (telemetry::Enabled() && registry != nullptr) {
+    tele_occupancy_hw_ = registry->GetGauge(prefix + "elem/" + name() + "/occupancy_hw");
+  }
+}
+
 void QueueElement::Push(int /*port*/, Packet* p) {
   if (!ring_.TryPush(p)) {
     Drop(p);
@@ -12,6 +20,9 @@ void QueueElement::Push(int /*port*/, Packet* p) {
   size_t depth = ring_.size();
   if (depth > highwater_) {
     highwater_ = depth;
+    if (tele_occupancy_hw_ != nullptr) {
+      tele_occupancy_hw_->UpdateMax(static_cast<double>(depth));
+    }
   }
 }
 

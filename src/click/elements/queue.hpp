@@ -19,6 +19,11 @@ class QueueElement : public Element {
   void Push(int port, Packet* p) override;
   Packet* Pull(int port) override;
 
+  // Adds an occupancy high-water gauge ("elem/<name>/occupancy_hw") on top
+  // of the standard element counters.
+  void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                     const std::string& prefix = "") override;
+
   size_t size() const { return ring_.size(); }
   size_t capacity() const { return ring_.capacity(); }
   uint64_t highwater() const { return highwater_; }
@@ -26,6 +31,7 @@ class QueueElement : public Element {
  private:
   SpscRing<Packet*> ring_;
   uint64_t highwater_ = 0;
+  telemetry::Gauge* tele_occupancy_hw_ = nullptr;
 };
 
 }  // namespace rb

@@ -16,10 +16,19 @@ void ToDevice::Initialize(Router* router) {
 }
 
 void ToDevice::Push(int /*port*/, Packet* p) {
+  FinishTrace(p);
   // Transmit() owns the packet either way; failures are counted as tx
   // drops by the NIC.
   if (port_->Transmit(tx_queue_, p)) {
     sent_++;
+    CountPacketsOut(1);
+  }
+}
+
+void ToDevice::FinishTrace(Packet* p) {
+  if (tracer() != nullptr && p->trace_handle() != 0) {
+    tracer()->EndTrace(p->trace_handle(), name(), telemetry::NowSeconds());
+    p->set_trace_handle(0);
   }
 }
 
@@ -30,8 +39,10 @@ size_t ToDevice::RunOnce() {
     if (p == nullptr) {
       break;
     }
+    FinishTrace(p);
     if (port_->Transmit(tx_queue_, p)) {
       sent_++;
+      CountPacketsOut(1);
     }
     // Transmit() owns the packet either way (drops are counted by the NIC).
     moved++;

@@ -29,6 +29,8 @@ class ToDevice : public Element {
   uint64_t sent() const { return sent_; }
 
  private:
+  void FinishTrace(Packet* p);
+
   class DrainTask : public Task {
    public:
     DrainTask(ToDevice* td, int home_core) : Task(td, home_core), td_(td) {}

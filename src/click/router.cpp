@@ -48,7 +48,35 @@ void Router::Chain(std::initializer_list<Element*> elements) {
   }
 }
 
-void Router::RegisterTask(std::unique_ptr<Task> task) { tasks_.push_back(std::move(task)); }
+void Router::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                           const std::string& prefix) {
+  if (!telemetry::Enabled()) {
+    return;
+  }
+  tele_registry_ = registry;
+  tele_tracer_ = tracer;
+  tele_prefix_ = prefix;
+  for (auto& e : elements_) {
+    e->BindTelemetry(registry, tracer, prefix);
+  }
+  for (auto& t : tasks_) {
+    BindTask_(t.get());
+  }
+}
+
+void Router::BindTask_(Task* task) {
+  if (tele_registry_ == nullptr || task->element() == nullptr) {
+    return;
+  }
+  const std::string base = tele_prefix_ + "task/" + task->element()->name();
+  task->BindTelemetry(tele_registry_->GetCounter(base + "/runs"),
+                      tele_registry_->GetCounter(base + "/work"));
+}
+
+void Router::RegisterTask(std::unique_ptr<Task> task) {
+  BindTask_(task.get());
+  tasks_.push_back(std::move(task));
+}
 
 void Router::Initialize() {
   RB_CHECK_MSG(!initialized_, "Router::Initialize called twice");

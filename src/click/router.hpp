@@ -39,6 +39,17 @@ class Router {
   // Convenience: connect port 0 -> port 0 along a chain.
   void Chain(std::initializer_list<Element*> elements);
 
+  // Binds every element (and every task registered from now on) to the
+  // registry/tracer. Call after the graph is built and before
+  // Initialize(), so tasks registered during element initialization are
+  // covered. Metric names: "<prefix>elem/<name>/..." and
+  // "<prefix>task/<element-name>/...". No-op when telemetry is disabled.
+  void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                     const std::string& prefix = "");
+
+  telemetry::MetricRegistry* telemetry_registry() const { return tele_registry_; }
+  telemetry::PathTracer* tracer() const { return tele_tracer_; }
+
   // Registers a task (called by elements during Initialize).
   void RegisterTask(std::unique_ptr<Task> task);
 
@@ -62,10 +73,15 @@ class Router {
 
  private:
   static std::string Format_(const char* fmt, const char* a, size_t b);
+  void BindTask_(Task* task);
 
   std::vector<std::unique_ptr<Element>> elements_;
   std::vector<std::unique_ptr<Task>> tasks_;
   bool initialized_ = false;
+
+  telemetry::MetricRegistry* tele_registry_ = nullptr;
+  telemetry::PathTracer* tele_tracer_ = nullptr;
+  std::string tele_prefix_;
 };
 
 }  // namespace rb

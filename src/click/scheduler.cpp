@@ -1,6 +1,7 @@
 #include "click/scheduler.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace rb {
 
@@ -44,21 +45,40 @@ void ThreadScheduler::Stop() {
   threads_.clear();
 }
 
+void ThreadScheduler::SetSampler(std::function<void()> fn, uint64_t every_sweeps) {
+  RB_CHECK_MSG(!running_.load(), "set the sampler before Start()");
+  RB_CHECK(every_sweeps >= 1);
+  sampler_ = std::move(fn);
+  sampler_every_ = every_sweeps;
+}
+
 void ThreadScheduler::WorkerLoop(int core) {
+  // Tag this thread so sharded telemetry writers hit this core's slots.
+  telemetry::SetThisCore(core);
   auto& tasks = per_core_[static_cast<size_t>(core)];
+  uint64_t sweeps = 0;
   while (running_.load(std::memory_order_relaxed)) {
     for (Task* t : tasks) {
       t->RunOnce();
+    }
+    sweeps++;
+    if (core == 0 && sampler_ && sweeps % sampler_every_ == 0) {
+      sampler_();
     }
   }
 }
 
 void ThreadScheduler::RunInline(size_t sweeps) {
   for (size_t i = 0; i < sweeps; ++i) {
-    for (auto& tasks : per_core_) {
-      for (Task* t : tasks) {
+    for (size_t core = 0; core < per_core_.size(); ++core) {
+      telemetry::SetThisCore(static_cast<int>(core));
+      for (Task* t : per_core_[core]) {
         t->RunOnce();
       }
+    }
+    telemetry::SetThisCore(0);
+    if (sampler_ && (i + 1) % sampler_every_ == 0) {
+      sampler_();
     }
   }
 }

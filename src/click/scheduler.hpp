@@ -15,6 +15,8 @@
 #define RB_CLICK_SCHEDULER_HPP_
 
 #include <atomic>
+#include <cstdint>
+#include <functional>
 #include <thread>
 #include <vector>
 
@@ -38,6 +40,13 @@ class ThreadScheduler {
   // deterministic mode with the same task partitioning.
   void RunInline(size_t sweeps);
 
+  // Telemetry sampler hook: `fn` runs on worker 0 every `every_sweeps`
+  // polling sweeps (and at matching strides in RunInline), e.g. to probe
+  // queue depths into gauges or snapshot the registry periodically. `fn`
+  // runs concurrently with the other workers, so it must only touch
+  // thread-safe state (registry metrics are). Set before Start().
+  void SetSampler(std::function<void()> fn, uint64_t every_sweeps);
+
   int num_cores() const { return static_cast<int>(per_core_.size()); }
   const std::vector<Task*>& core_tasks(int core) const {
     return per_core_[static_cast<size_t>(core)];
@@ -52,6 +61,8 @@ class ThreadScheduler {
   std::vector<std::vector<Task*>> per_core_;
   std::vector<std::thread> threads_;
   std::atomic<bool> running_{false};
+  std::function<void()> sampler_;
+  uint64_t sampler_every_ = 0;  // 0 = no sampler
 };
 
 }  // namespace rb

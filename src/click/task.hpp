@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <string>
 
+#include "telemetry/metrics.hpp"
+
 namespace rb {
 
 class Element;
@@ -29,6 +31,15 @@ class Task {
   uint64_t idle_runs() const { return idle_runs_; }
   uint64_t work() const { return work_; }
 
+  // Mirrors the run/work bookkeeping into shared registry counters (the
+  // cycles-proxy: polling iterations and packets moved per task). The
+  // plain members stay single-writer; the registry counters are what
+  // concurrent samplers may read.
+  void BindTelemetry(telemetry::Counter* runs, telemetry::Counter* work) {
+    tele_runs_ = runs;
+    tele_work_ = work;
+  }
+
   // Bookkeeping wrapper used by schedulers.
   size_t RunOnce() {
     size_t n = Run();
@@ -37,6 +48,12 @@ class Task {
       idle_runs_++;
     }
     work_ += n;
+    if (tele_runs_ != nullptr) {
+      tele_runs_->Inc();
+      if (n > 0) {
+        tele_work_->Add(n);
+      }
+    }
     return n;
   }
 
@@ -46,6 +63,8 @@ class Task {
   uint64_t runs_ = 0;
   uint64_t idle_runs_ = 0;
   uint64_t work_ = 0;
+  telemetry::Counter* tele_runs_ = nullptr;
+  telemetry::Counter* tele_work_ = nullptr;
 };
 
 }  // namespace rb

@@ -3,8 +3,31 @@
 #include <limits>
 
 #include "common/log.hpp"
+#include "common/strings.hpp"
 
 namespace rb {
+
+namespace {
+
+const char* ServerKindName(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kExtRxNic:
+      return "ext-rx-nic";
+    case ServerKind::kCpu:
+      return "cpu";
+    case ServerKind::kTxNic:
+      return "tx-nic";
+    case ServerKind::kLink:
+      return "link";
+    case ServerKind::kRxNic:
+      return "rx-nic";
+    case ServerKind::kExtOut:
+      return "ext-out";
+  }
+  return "?";
+}
+
+}  // namespace
 
 ClusterConfig ClusterConfig::Rb4() {
   ClusterConfig c;
@@ -139,7 +162,79 @@ double ClusterSim::ServiceSecondsFor(const FifoServer& server, const InFlight& p
   return 0.0;
 }
 
-void ClusterSim::DropAt(ServerKind kind, uint32_t slot) {
+void ClusterSim::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                               SimTime probe_interval) {
+  RB_CHECK_MSG(stats_.offered_packets == 0, "BindTelemetry must precede Inject");
+  if (!telemetry::Enabled()) {
+    return;
+  }
+  tele_registry_ = registry;
+  tele_tracer_ = tracer;
+  if (registry != nullptr) {
+    // Same range/resolution as ClusterRunStats::latency so both views of
+    // the latency distribution agree bucket-for-bucket.
+    telemetry::HistogramOptions opts;
+    opts.lo = 0;
+    opts.hi = 500e-6;
+    opts.buckets = 250;
+    tele_latency_ = registry->GetHistogram("des/latency_s", opts);
+  }
+  if (probe_interval > 0) {
+    probe_interval_ = probe_interval;
+    next_probe_ = probe_interval;
+    uint16_t n = config_.num_nodes;
+    probe_series_.resize(2 * static_cast<size_t>(n));
+    for (uint16_t i = 0; i < n; ++i) {
+      probe_series_[i].name = Format("des/node%u/cpu_queue_depth", i);
+      probe_series_[n + i].name = Format("des/node%u/ext_out_queue_depth", i);
+    }
+  }
+}
+
+std::string ClusterSim::StageLabel(const InFlight& pkt) const {
+  switch (pkt.stage) {
+    case Stage::kExtRx:
+      return Format("ext-rx@%u", pkt.cur);
+    case Stage::kCpuIngress:
+      return Format("cpu-ingress@%u", pkt.cur);
+    case Stage::kTxNic:
+      return Format("tx-nic@%u", pkt.cur);
+    case Stage::kLink:
+      return Format("link@%u-%u", pkt.cur, pkt.nxt);
+    case Stage::kRxNic:
+      return Format("rx-nic@%u", pkt.nxt);
+    case Stage::kCpuTransit:
+      return Format("cpu-transit@%u", pkt.cur);
+    case Stage::kCpuEgress:
+      return Format("cpu-egress@%u", pkt.cur);
+    case Stage::kExtOut:
+      return Format("ext-out@%u", pkt.dst);
+  }
+  return "?";
+}
+
+void ClusterSim::ProbeQueues(SimTime t) {
+  uint16_t n = config_.num_nodes;
+  for (uint16_t i = 0; i < n; ++i) {
+    probe_series_[i].Record(t, static_cast<double>(servers_[CpuId(i)].queue.size()));
+    probe_series_[n + i].Record(t, static_cast<double>(servers_[ExtOutId(i)].queue.size()));
+  }
+}
+
+void ClusterSim::MaybeProbe() {
+  // Sampled just before the first event at-or-after each probe mark, so
+  // the depths reflect the state as of the mark (no event in between).
+  while (probe_interval_ > 0 && now_ >= next_probe_) {
+    ProbeQueues(next_probe_);
+    next_probe_ += probe_interval_;
+  }
+}
+
+void ClusterSim::DropAt(ServerKind kind, uint32_t slot, SimTime now) {
+  InFlight& pkt = packets_[slot];
+  if (pkt.trace != 0) {
+    tele_tracer_->Abandon(pkt.trace, Format("drop-%s@%u", ServerKindName(kind), pkt.cur), now);
+  }
   switch (kind) {
     case ServerKind::kExtRxNic:
       stats_.drops.ext_rx_nic++;
@@ -172,7 +267,7 @@ void ClusterSim::ArriveAt(uint32_t server_id, uint32_t slot, SimTime now) {
   if (!server.Enqueue(job)) {
     // Distinguish the external-ingress rx drop from internal rx drops for
     // the stats breakdown.
-    DropAt(pkt.stage == Stage::kExtRx ? ServerKind::kExtRxNic : server.kind, slot);
+    DropAt(pkt.stage == Stage::kExtRx ? ServerKind::kExtRxNic : server.kind, slot, now);
     return;
   }
   if (!server.busy) {
@@ -208,6 +303,11 @@ void ClusterSim::OnServiceComplete(uint32_t server_id, SimTime now) {
 
 void ClusterSim::ForwardAfter(uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
+  // A stage's service just completed; stamp the hop (the final ext-out hop
+  // is stamped by EndTrace in Deliver).
+  if (pkt.trace != 0 && pkt.stage != Stage::kExtOut) {
+    tele_tracer_->Record(pkt.trace, StageLabel(pkt), now);
+  }
   auto schedule_arrival = [&](uint32_t server_id, SimTime when) {
     Event ev;
     ev.time = when;
@@ -283,6 +383,9 @@ void ClusterSim::RecordDelivery(const InFlight& pkt, SimTime delivered) {
   delivered_bytes_by_src_[pkt.src] += pkt.bytes;
   delivered_bytes_by_dst_[pkt.dst] += pkt.bytes;
   stats_.latency.Add(delivered - pkt.injected);
+  if (tele_latency_ != nullptr) {
+    tele_latency_->Observe(delivered - pkt.injected);
+  }
   // Deliveries happen in global time order, so feeding the detector here
   // measures true on-the-wire reordering.
   reorder_.Deliver(pkt.flow_id, pkt.flow_seq);
@@ -358,6 +461,9 @@ void ClusterSim::FlushResequencers() {
 
 void ClusterSim::Deliver(uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
+  if (pkt.trace != 0) {
+    tele_tracer_->EndTrace(pkt.trace, Format("ext-out@%u", pkt.dst), now);
+  }
   if (config_.resequence) {
     ResequenceDeliver(pkt, now);
   } else {
@@ -368,6 +474,7 @@ void ClusterSim::Deliver(uint32_t slot, SimTime now) {
 
 void ClusterSim::ProcessEvent(const Event& ev) {
   now_ = ev.time;
+  MaybeProbe();
   if (ev.kind == Event::Kind::kCompletion) {
     OnServiceComplete(ev.server, now_);
   } else {
@@ -383,6 +490,7 @@ void ClusterSim::AdvanceTo(SimTime t) {
   }
   if (t > now_) {
     now_ = t;
+    MaybeProbe();
   }
 }
 
@@ -406,6 +514,9 @@ void ClusterSim::Inject(uint16_t src, uint16_t dst, uint64_t flow_id, uint64_t f
   pkt.injected = t;
   pkt.stage = Stage::kExtRx;
   pkt.active = true;
+  if (tele_tracer_ != nullptr) {
+    pkt.trace = tele_tracer_->StartTrace(Format("inject@%u", src), t);
+  }
   ArriveAt(NicRxId(src, NicIndexForPort(0)), slot, t);
 }
 
@@ -440,7 +551,33 @@ ClusterRunStats ClusterSim::Finish(SimTime duration) {
       total ? static_cast<double>(reorder_.reordered_sequences()) / static_cast<double>(total) : 0;
   stats_.resequencer_added_delay_mean = reseq_delay_.mean();
   stats_.resequencer_timeouts = reseq_timeouts_;
+  if (tele_registry_ != nullptr) {
+    FinishTelemetry(duration);
+  }
   return stats_;
+}
+
+void ClusterSim::FinishTelemetry(SimTime duration) {
+  telemetry::MetricRegistry& r = *tele_registry_;
+  r.GetCounter("des/offered_packets")->Add(stats_.offered_packets);
+  r.GetCounter("des/delivered_packets")->Add(stats_.delivered_packets);
+  r.GetCounter("des/drops/ext_rx_nic")->Add(stats_.drops.ext_rx_nic);
+  r.GetCounter("des/drops/cpu")->Add(stats_.drops.cpu);
+  r.GetCounter("des/drops/tx_nic")->Add(stats_.drops.tx_nic);
+  r.GetCounter("des/drops/link")->Add(stats_.drops.link);
+  r.GetCounter("des/drops/rx_nic")->Add(stats_.drops.rx_nic);
+  r.GetCounter("des/drops/ext_out")->Add(stats_.drops.ext_out);
+  for (uint16_t i = 0; i < config_.num_nodes; ++i) {
+    const FifoServer& cpu = servers_[CpuId(i)];
+    r.GetCounter(Format("des/node%u/cpu/served", i))->Add(cpu.served);
+    r.GetGauge(Format("des/node%u/cpu/utilization", i))
+        ->Set(duration > 0 ? cpu.busy_time / duration : 0);
+    const FifoServer& out = servers_[ExtOutId(i)];
+    r.GetCounter(Format("des/node%u/ext_out/served", i))->Add(out.served);
+    r.GetGauge(Format("des/node%u/ext_out/utilization", i))
+        ->Set(duration > 0 ? out.busy_time / duration : 0);
+    r.GetGauge(Format("des/node%u/delivered_bps", i))->Set(stats_.per_output_bps[i]);
+  }
 }
 
 NodeStats ClusterSim::node_stats(uint16_t i) const {

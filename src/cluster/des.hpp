@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -26,6 +27,8 @@
 #include "cluster/reorder.hpp"
 #include "common/stats.hpp"
 #include "model/app_profile.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "workload/flows.hpp"
 #include "workload/traffic_matrix.hpp"
 #include "workload/workload.hpp"
@@ -154,6 +157,22 @@ class ClusterSim {
   const ClusterConfig& config() const { return config_; }
   NodeStats node_stats(uint16_t i) const;
 
+  // Attaches telemetry sinks; call before any Inject. With a registry, the
+  // delivery-latency histogram accumulates under "des/latency_s" and the
+  // per-node server stats (served, utilization, drops) land in the
+  // registry at Finish(). With a tracer, 1-in-N packets record a
+  // stage-by-stage trace (simulated-time timestamps: ext-rx -> cpu ->
+  // tx-nic -> link -> rx-nic -> ... -> ext-out), Abandon()ed on drop. With
+  // probe_interval > 0, CPU and ext-out queue depths are sampled into
+  // TimeSeries on the simulated clock. Sinks must outlive the sim; either
+  // may be null. No-op while telemetry::Enabled() is false.
+  void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                     SimTime probe_interval = 0);
+
+  // Queue-depth series captured by the simulated-time probe (empty unless
+  // BindTelemetry was given a probe interval).
+  const std::vector<telemetry::TimeSeries>& probe_series() const { return probe_series_; }
+
  private:
   enum class Stage : uint8_t {
     kExtRx,
@@ -177,6 +196,7 @@ class ClusterSim {
     uint64_t flow_id = 0;
     uint64_t flow_seq = 0;
     SimTime injected = 0;
+    uint64_t trace = 0;  // PathTracer handle (0 = unsampled)
     bool active = false;
   };
 
@@ -211,8 +231,14 @@ class ClusterSim {
   void OnServiceComplete(uint32_t server_id, SimTime now);
   void ForwardAfter(uint32_t slot, SimTime now);
   void Deliver(uint32_t slot, SimTime now);
-  void DropAt(ServerKind kind, uint32_t slot);
+  void DropAt(ServerKind kind, uint32_t slot, SimTime now);
   double ServiceSecondsFor(const FifoServer& server, const InFlight& pkt) const;
+
+  // --- telemetry ---
+  std::string StageLabel(const InFlight& pkt) const;
+  void MaybeProbe();
+  void ProbeQueues(SimTime t);
+  void FinishTelemetry(SimTime duration);
 
   uint32_t AllocSlot();
   void ReleaseSlot(uint32_t slot);
@@ -249,6 +275,13 @@ class ClusterSim {
   uint64_t reseq_timeouts_ = 0;
   ClusterRunStats stats_;
   bool finished_ = false;
+
+  telemetry::MetricRegistry* tele_registry_ = nullptr;
+  telemetry::PathTracer* tele_tracer_ = nullptr;
+  telemetry::ShardedHistogram* tele_latency_ = nullptr;
+  SimTime probe_interval_ = 0;
+  SimTime next_probe_ = 0;
+  std::vector<telemetry::TimeSeries> probe_series_;
 };
 
 }  // namespace rb

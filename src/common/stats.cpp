@@ -91,7 +91,9 @@ double Histogram::Percentile(double p) const {
   }
   uint64_t seen = underflow_;
   if (seen >= target) {
-    return lo_;
+    // Target rank lies among the clipped below-range samples; the observed
+    // minimum is the only honest point estimate available.
+    return acc_.min();
   }
   for (size_t i = 0; i < counts_.size(); ++i) {
     if (seen + counts_[i] >= target) {
@@ -101,6 +103,8 @@ double Histogram::Percentile(double p) const {
     }
     seen += counts_[i];
   }
+  // Target rank lies among the clipped above-range samples (overflow
+  // bucket): report the observed maximum.
   return acc_.max();
 }
 
@@ -109,7 +113,13 @@ std::string Histogram::Summary() const {
   snprintf(buf, sizeof(buf), "n=%llu mean=%.3f p50=%.3f p95=%.3f p99=%.3f max=%.3f",
            static_cast<unsigned long long>(count_), mean(), Percentile(50), Percentile(95),
            Percentile(99), max());
-  return buf;
+  std::string out = buf;
+  if (underflow_ > 0 || overflow_ > 0) {
+    snprintf(buf, sizeof(buf), " uf=%llu of=%llu", static_cast<unsigned long long>(underflow_),
+             static_cast<unsigned long long>(overflow_));
+    out += buf;
+  }
+  return out;
 }
 
 Rate Rate::FromCounts(uint64_t packets, uint64_t bytes, double seconds) {

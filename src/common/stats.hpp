@@ -4,6 +4,7 @@
 #ifndef RB_COMMON_STATS_HPP_
 #define RB_COMMON_STATS_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -44,12 +45,27 @@ class Histogram {
   void Reset();
 
   uint64_t count() const { return count_; }
-  double Percentile(double p) const;  // p in [0, 100]
+
+  // p in [0, 100]. Interpolates linearly within the target bucket. Samples
+  // outside [lo, hi) land in the underflow/overflow buckets, which have no
+  // width to interpolate over; a percentile whose target rank falls in the
+  // underflow bucket returns the true observed min() (<= lo), and one that
+  // falls in the overflow bucket returns the true observed max() (>= hi).
+  // The result is therefore always within [min(), max()] but resolves to a
+  // bucket edge value when the histogram range clipped the samples — check
+  // underflow()/overflow() to detect clipping.
+  double Percentile(double p) const;
   double mean() const { return acc_.mean(); }
   double max() const { return acc_.max(); }
   double min() const { return acc_.min(); }
 
-  // Renders "p50=.. p95=.. p99=.. max=.." for logging.
+  // Samples that fell outside [lo, hi) and were clipped to the edge
+  // buckets (not interpolated).
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+
+  // Renders "p50=.. p95=.. p99=.. max=.." for logging; appends
+  // "uf=.. of=.." whenever any sample was clipped to an edge bucket.
   std::string Summary() const;
 
  private:
@@ -64,20 +80,23 @@ class Histogram {
 };
 
 // Simple monotonically increasing counters grouped by name; used for
-// per-element and per-port statistics.
+// per-element and per-port statistics. A NIC port's counters are shared
+// by all of its queues, which ThreadScheduler polls from different
+// cores, so updates use relaxed atomics (reads convert implicitly).
 struct PortCounters {
-  uint64_t packets = 0;
-  uint64_t bytes = 0;
-  uint64_t drops = 0;
+  std::atomic<uint64_t> packets{0};
+  std::atomic<uint64_t> bytes{0};
+  std::atomic<uint64_t> drops{0};
 
   void AddPacket(uint64_t wire_bytes) {
-    packets++;
-    bytes += wire_bytes;
+    packets.fetch_add(1, std::memory_order_relaxed);
+    bytes.fetch_add(wire_bytes, std::memory_order_relaxed);
   }
+  void AddDrop() { drops.fetch_add(1, std::memory_order_relaxed); }
   void Merge(const PortCounters& o) {
-    packets += o.packets;
-    bytes += o.bytes;
-    drops += o.drops;
+    packets.fetch_add(o.packets.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    bytes.fetch_add(o.bytes.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    drops.fetch_add(o.drops.load(std::memory_order_relaxed), std::memory_order_relaxed);
   }
 };
 

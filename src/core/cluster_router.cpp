@@ -6,6 +6,7 @@
 #include "click/elements/queue.hpp"
 #include "click/elements/to_device.hpp"
 #include "common/log.hpp"
+#include "common/strings.hpp"
 #include "packet/headers.hpp"
 
 namespace rb {
@@ -86,7 +87,15 @@ FunctionalCluster::FunctionalCluster(const FunctionalClusterConfig& config) : co
   for (uint16_t i = 0; i < n; ++i) {
     BuildNode(i);
   }
-  for (auto& node : nodes_) {
+  for (uint16_t i = 0; i < n; ++i) {
+    Node& node = nodes_[i];
+    if (config.registry != nullptr || config.tracer != nullptr) {
+      std::string prefix = Format("node%u/", i);
+      node.graph->BindTelemetry(config.registry, config.tracer, prefix);
+      for (size_t p = 0; p < node.ports.size(); ++p) {
+        node.ports[p]->BindTelemetry(config.registry, prefix + Format("nic/port%zu/", p));
+      }
+    }
     node.graph->Initialize();
   }
 }

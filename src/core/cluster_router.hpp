@@ -75,6 +75,13 @@ struct FunctionalClusterConfig {
   size_t routes = 4096;         // per-node routing table entries
   VlbConfig vlb;                // direct VLB + flowlet settings
   uint64_t seed = 5;
+
+  // Optional telemetry sinks (must outlive the cluster). Every node graph
+  // and NIC port is bound under "node<i>/..." names; the tracer records
+  // sampled packet paths across node boundaries (the trace handle rides
+  // the packet over the software wires).
+  telemetry::MetricRegistry* registry = nullptr;
+  telemetry::PathTracer* tracer = nullptr;
 };
 
 class FunctionalCluster {

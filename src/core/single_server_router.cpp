@@ -8,6 +8,7 @@
 #include "click/elements/queue.hpp"
 #include "click/elements/to_device.hpp"
 #include "common/log.hpp"
+#include "common/strings.hpp"
 
 namespace rb {
 
@@ -85,10 +86,23 @@ void SingleServerRouter::BuildGraph() {
   }
 }
 
+void SingleServerRouter::EnableTelemetry(telemetry::MetricRegistry* registry,
+                                         telemetry::PathTracer* tracer) {
+  RB_CHECK_MSG(!initialized_, "EnableTelemetry must precede Initialize");
+  tele_registry_ = registry;
+  tele_tracer_ = tracer;
+  for (size_t i = 0; i < ports_.size(); ++i) {
+    ports_[i]->BindTelemetry(registry, Format("nic/port%zu/", i));
+  }
+}
+
 void SingleServerRouter::Initialize() {
   RB_CHECK_MSG(!initialized_, "Initialize called twice");
   initialized_ = true;
   BuildGraph();
+  if (tele_registry_ != nullptr || tele_tracer_ != nullptr) {
+    router_.BindTelemetry(tele_registry_, tele_tracer_);
+  }
   router_.Initialize();
 }
 

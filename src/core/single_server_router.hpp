@@ -24,6 +24,8 @@
 #include "lookup/dir24_8.hpp"
 #include "netdev/nic.hpp"
 #include "packet/pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rb {
 
@@ -33,6 +35,13 @@ class SingleServerRouter {
 
   // Builds and initializes the element graph. Call once.
   void Initialize();
+
+  // Attaches telemetry before the graph runs: per-element and per-task
+  // registry counters, NIC port counters/ring high-water gauges under
+  // "nic/port<i>/", and (when `tracer` is non-null) sampled packet-path
+  // tracing from FromDevice to ToDevice. Call before Initialize().
+  void EnableTelemetry(telemetry::MetricRegistry* registry,
+                       telemetry::PathTracer* tracer = nullptr);
 
   NicPort& port(int i) { return *ports_[static_cast<size_t>(i)]; }
   PacketPool& pool() { return *pool_; }
@@ -65,6 +74,8 @@ class SingleServerRouter {
   std::unique_ptr<Dir24_8> table_;
   Router router_;
   bool initialized_ = false;
+  telemetry::MetricRegistry* tele_registry_ = nullptr;
+  telemetry::PathTracer* tele_tracer_ = nullptr;
 };
 
 }  // namespace rb

@@ -1,0 +1,29 @@
+#include "harness/metrics_out.hpp"
+
+#include <cstdio>
+
+namespace rb {
+
+std::string* AddMetricsOutFlag(FlagSet* flags) {
+  return flags->AddString("metrics-out", "", "write a telemetry JSON snapshot to this path");
+}
+
+bool MaybeWriteMetrics(const std::string& path, const telemetry::ExportBundle& bundle) {
+  if (path.empty()) {
+    return true;
+  }
+  if (!telemetry::WriteJson(path, bundle)) {
+    fprintf(stderr, "warning: failed to write metrics to %s\n", path.c_str());
+    return false;
+  }
+  printf("metrics written to %s\n", path.c_str());
+  return true;
+}
+
+bool MaybeWriteMetrics(const std::string& path) {
+  telemetry::ExportBundle bundle;
+  bundle.registry = &telemetry::MetricRegistry::Global();
+  return MaybeWriteMetrics(path, bundle);
+}
+
+}  // namespace rb

@@ -1,0 +1,30 @@
+// Shared --metrics-out plumbing for bench and example binaries: every
+// binary registers the flag, and when the user passes a path, the final
+// telemetry state (registry counters/gauges/histograms, traces, probe
+// series — whatever the binary collected) is dumped there as one JSON
+// document (telemetry/export.hpp describes the shape).
+#ifndef RB_HARNESS_METRICS_OUT_HPP_
+#define RB_HARNESS_METRICS_OUT_HPP_
+
+#include <string>
+
+#include "common/flags.hpp"
+#include "telemetry/export.hpp"
+
+namespace rb {
+
+// Registers "--metrics-out" on `flags`; the returned string is owned by
+// the FlagSet and holds the output path after Parse ("" = disabled).
+std::string* AddMetricsOutFlag(FlagSet* flags);
+
+// Writes `bundle` as JSON to `path`; a no-op when `path` is empty.
+// Prints the destination on success, a warning on I/O failure. Returns
+// false only on failure.
+bool MaybeWriteMetrics(const std::string& path, const telemetry::ExportBundle& bundle);
+
+// Convenience overload: dumps the process-global registry.
+bool MaybeWriteMetrics(const std::string& path);
+
+}  // namespace rb
+
+#endif  // RB_HARNESS_METRICS_OUT_HPP_

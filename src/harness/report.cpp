@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/strings.hpp"
+#include "telemetry/json.hpp"
 
 namespace rb {
 
@@ -66,6 +67,48 @@ bool Report::WriteCsv(const std::string& path) const {
   }
   fclose(f);
   return true;
+}
+
+bool Report::WriteJson(const std::string& path) const {
+  telemetry::JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.String(id_);
+  w.Key("title");
+  w.String(title_);
+  w.Key("columns");
+  w.BeginArray();
+  for (const auto& c : columns_) {
+    w.String(c);
+  }
+  w.EndArray();
+  w.Key("rows");
+  w.BeginArray();
+  for (const auto& row : rows_) {
+    w.BeginArray();
+    for (const auto& cell : row) {
+      w.String(cell);
+    }
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Key("notes");
+  w.BeginArray();
+  for (const auto& note : notes_) {
+    w.String(note);
+  }
+  w.EndArray();
+  w.EndObject();
+
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string& text = w.str();
+  bool ok = fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = fputc('\n', f) != EOF && ok;
+  fclose(f);
+  return ok;
 }
 
 std::string RatioCell(double ours, double paper) {

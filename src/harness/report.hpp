@@ -25,6 +25,11 @@ class Report {
   // Writes rows as CSV to `path` (columns header included).
   bool WriteCsv(const std::string& path) const;
 
+  // Writes the table as a JSON document:
+  //   {"id", "title", "columns": [...], "rows": [[...], ...],
+  //    "notes": [...]}
+  bool WriteJson(const std::string& path) const;
+
  private:
   std::string id_;
   std::string title_;

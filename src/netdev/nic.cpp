@@ -1,22 +1,21 @@
 #include "netdev/nic.hpp"
 
 #include "common/log.hpp"
+#include "common/strings.hpp"
 #include "packet/pool.hpp"
 
 namespace rb {
 
 void PcieCounters::AddDescriptorBatch(uint32_t descriptors) {
-  while (descriptors > 0) {
-    uint32_t in_txn = std::min(descriptors, kMaxDescriptorsPerPcieTxn);
-    transactions++;
-    payload_bytes += in_txn * kDescriptorBytes;
-    descriptors -= in_txn;
-  }
+  uint32_t txns = (descriptors + kMaxDescriptorsPerPcieTxn - 1) / kMaxDescriptorsPerPcieTxn;
+  transactions.fetch_add(txns, std::memory_order_relaxed);
+  payload_bytes.fetch_add(uint64_t{descriptors} * kDescriptorBytes, std::memory_order_relaxed);
 }
 
 void PcieCounters::AddPacketData(uint32_t bytes) {
-  transactions += (bytes + kPcieMaxPayload - 1) / kPcieMaxPayload;
-  payload_bytes += bytes;
+  transactions.fetch_add((bytes + kPcieMaxPayload - 1) / kPcieMaxPayload,
+                         std::memory_order_relaxed);
+  payload_bytes.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 NicPort::NicPort(const NicConfig& config)
@@ -30,6 +29,25 @@ NicPort::NicPort(const NicConfig& config)
     tx_rings_.push_back(std::make_unique<SpscRing<Packet*>>(config.ring_entries));
   }
   staged_.resize(config.num_rx_queues);
+}
+
+void NicPort::BindTelemetry(telemetry::MetricRegistry* registry, const std::string& prefix) {
+  if (!telemetry::Enabled() || registry == nullptr) {
+    return;
+  }
+  tele_ = std::make_unique<Telemetry>();
+  tele_->rx_packets = registry->GetCounter(prefix + "rx_packets");
+  tele_->rx_bytes = registry->GetCounter(prefix + "rx_bytes");
+  tele_->rx_drops = registry->GetCounter(prefix + "rx_drops");
+  tele_->tx_packets = registry->GetCounter(prefix + "tx_packets");
+  tele_->tx_bytes = registry->GetCounter(prefix + "tx_bytes");
+  tele_->tx_drops = registry->GetCounter(prefix + "tx_drops");
+  for (uint16_t q = 0; q < config_.num_rx_queues; ++q) {
+    tele_->rx_ring_hw.push_back(registry->GetGauge(Format("%srxq%u/occupancy_hw", prefix.c_str(), q)));
+  }
+  for (uint16_t q = 0; q < config_.num_tx_queues; ++q) {
+    tele_->tx_ring_hw.push_back(registry->GetGauge(Format("%stxq%u/occupancy_hw", prefix.c_str(), q)));
+  }
 }
 
 void NicPort::Deliver(Packet* p, SimTime now) {
@@ -59,8 +77,16 @@ void NicPort::CommitStaged(uint16_t q) {
     pcie_.AddPacketData(p->length());
     if (rx_rings_[q]->TryPush(p)) {
       rx_.AddPacket(p->wire_bytes());
+      if (tele_ != nullptr) {
+        tele_->rx_packets->Inc();
+        tele_->rx_bytes->Add(p->wire_bytes());
+        tele_->rx_ring_hw[q]->UpdateMax(static_cast<double>(rx_rings_[q]->size()));
+      }
     } else {
-      rx_.drops++;
+      rx_.AddDrop();
+      if (tele_ != nullptr) {
+        tele_->rx_drops->Inc();
+      }
       PacketPool::Release(p);
     }
   }
@@ -102,11 +128,19 @@ bool NicPort::Transmit(uint16_t q, Packet* p) {
   // descriptor writebacks per transaction on average).
   pcie_.AddPacketData(p->length());
   if (!tx_rings_[q]->TryPush(p)) {
-    tx_.drops++;
+    tx_.AddDrop();
+    if (tele_ != nullptr) {
+      tele_->tx_drops->Inc();
+    }
     PacketPool::Release(p);
     return false;
   }
   tx_.AddPacket(p->wire_bytes());
+  if (tele_ != nullptr) {
+    tele_->tx_packets->Inc();
+    tele_->tx_bytes->Add(p->wire_bytes());
+    tele_->tx_ring_hw[q]->UpdateMax(static_cast<double>(tx_rings_[q]->size()));
+  }
   return true;
 }
 

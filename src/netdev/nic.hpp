@@ -15,6 +15,7 @@
 #ifndef RB_NETDEV_NIC_HPP_
 #define RB_NETDEV_NIC_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "netdev/ring.hpp"
 #include "netdev/steering.hpp"
 #include "packet/packet.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace rb {
 
@@ -42,15 +44,19 @@ constexpr uint32_t kDescriptorBytes = 16;
 constexpr uint32_t kPcieMaxPayload = 256;
 constexpr uint32_t kMaxDescriptorsPerPcieTxn = kPcieMaxPayload / kDescriptorBytes;  // 16
 
+// Shared by every queue on a port, so the adders use relaxed atomics
+// (queues are polled by different cores under ThreadScheduler).
 struct PcieCounters {
-  uint64_t transactions = 0;
-  uint64_t payload_bytes = 0;
+  std::atomic<uint64_t> transactions{0};
+  std::atomic<uint64_t> payload_bytes{0};
 
   void AddDescriptorBatch(uint32_t descriptors);
   void AddPacketData(uint32_t bytes);
   void Merge(const PcieCounters& o) {
-    transactions += o.transactions;
-    payload_bytes += o.payload_bytes;
+    transactions.fetch_add(o.transactions.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    payload_bytes.fetch_add(o.payload_bytes.load(std::memory_order_relaxed),
+                            std::memory_order_relaxed);
   }
 };
 
@@ -89,6 +95,14 @@ class NicPort {
   // across tx queues, as the hardware scheduler does).
   size_t DrainTx(Packet** out, size_t max);
 
+  // --- telemetry ---
+
+  // Mirrors rx/tx packet/byte/drop counts into registry counters under
+  // "<prefix>nic/..." and tracks per-ring occupancy high-water gauges
+  // ("<prefix>nic/rxq<q>/occupancy_hw", ".../txq<q>/occupancy_hw").
+  // No-op when telemetry is disabled; unbound ports pay only null checks.
+  void BindTelemetry(telemetry::MetricRegistry* registry, const std::string& prefix);
+
   // --- introspection ---
   Steering& steering() { return steering_; }
   const NicConfig& config() const { return config_; }
@@ -118,6 +132,19 @@ class NicPort {
   PortCounters tx_;
   PcieCounters pcie_;
   uint16_t tx_drain_rr_ = 0;
+
+  // Registry mirrors; null when telemetry is unbound.
+  struct Telemetry {
+    telemetry::Counter* rx_packets = nullptr;
+    telemetry::Counter* rx_bytes = nullptr;
+    telemetry::Counter* rx_drops = nullptr;
+    telemetry::Counter* tx_packets = nullptr;
+    telemetry::Counter* tx_bytes = nullptr;
+    telemetry::Counter* tx_drops = nullptr;
+    std::vector<telemetry::Gauge*> rx_ring_hw;  // per rx queue
+    std::vector<telemetry::Gauge*> tx_ring_hw;  // per tx queue
+  };
+  std::unique_ptr<Telemetry> tele_;
 };
 
 }  // namespace rb

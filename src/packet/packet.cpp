@@ -52,6 +52,7 @@ void Packet::ResetMetadata() {
   flow_id_ = 0;
   flow_seq_ = 0;
   paint_ = 0;
+  trace_handle_ = 0;
 }
 
 }  // namespace rb

@@ -92,6 +92,10 @@ class Packet {
   uint8_t paint() const { return paint_; }
   void set_paint(uint8_t c) { paint_ = c; }
 
+  // Telemetry trace handle (telemetry::PathTracer); 0 = not sampled.
+  uint64_t trace_handle() const { return trace_handle_; }
+  void set_trace_handle(uint64_t h) { trace_handle_ = h; }
+
   // Frame bytes as counted on the wire per the paper's convention
   // (no preamble/IFG accounting).
   uint32_t wire_bytes() const { return length_; }
@@ -116,6 +120,7 @@ class Packet {
   uint64_t flow_id_ = 0;
   uint64_t flow_seq_ = 0;
   uint8_t paint_ = 0;
+  uint64_t trace_handle_ = 0;
   PacketPool* origin_pool_ = nullptr;
 };
 

@@ -1,0 +1,207 @@
+#include "telemetry/export.hpp"
+
+#include <cstdio>
+
+#include "telemetry/json.hpp"
+
+namespace rb {
+namespace telemetry {
+
+namespace {
+
+void WriteHistogram(JsonWriter* w, const HistogramSnapshot& h) {
+  w->BeginObject();
+  w->Key("lo");
+  w->Double(h.lo);
+  w->Key("hi");
+  w->Double(h.hi);
+  w->Key("count");
+  w->Uint(h.count);
+  w->Key("underflow");
+  w->Uint(h.underflow);
+  w->Key("overflow");
+  w->Uint(h.overflow);
+  w->Key("mean");
+  w->Double(h.mean());
+  w->Key("min");
+  w->Double(h.min);
+  w->Key("max");
+  w->Double(h.max);
+  w->Key("p50");
+  w->Double(h.Percentile(50));
+  w->Key("p95");
+  w->Double(h.Percentile(95));
+  w->Key("p99");
+  w->Double(h.Percentile(99));
+  w->Key("counts");
+  w->BeginArray();
+  for (uint64_t c : h.counts) {
+    w->Uint(c);
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+void WriteRegistry(JsonWriter* w, const RegistrySnapshot& snap) {
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, v] : snap.counters) {
+    w->Key(name);
+    w->Uint(v);
+  }
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, v] : snap.gauges) {
+    w->Key(name);
+    w->Double(v);
+  }
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, h] : snap.histograms) {
+    w->Key(name);
+    WriteHistogram(w, h);
+  }
+  w->EndObject();
+}
+
+void WriteTraces(JsonWriter* w, const PathTracer& tracer, size_t max_packets) {
+  w->Key("traces");
+  w->BeginObject();
+  w->Key("started");
+  w->Uint(tracer.started());
+  w->Key("sampled");
+  w->Uint(tracer.sampled());
+  w->Key("hop_latency");
+  WriteHistogram(w, tracer.HopLatencyHistogram());
+  w->Key("hops");
+  w->BeginArray();
+  for (const HopLatency& hl : tracer.HopLatencies()) {
+    w->BeginObject();
+    w->Key("from");
+    w->String(hl.from);
+    w->Key("to");
+    w->String(hl.to);
+    w->Key("count");
+    w->Uint(hl.count);
+    w->Key("mean_us");
+    w->Double(hl.mean() * 1e6);
+    w->Key("min_us");
+    w->Double(hl.min * 1e6);
+    w->Key("max_us");
+    w->Double(hl.max * 1e6);
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("packets");
+  w->BeginArray();
+  size_t emitted = 0;
+  for (const PacketTrace& tr : tracer.Traces()) {
+    if (emitted >= max_packets) {
+      break;
+    }
+    emitted++;
+    w->BeginObject();
+    w->Key("id");
+    w->Uint(tr.id);
+    w->Key("complete");
+    w->Bool(tr.complete);
+    w->Key("hops");
+    w->BeginArray();
+    for (const TraceHop& hop : tr.hops) {
+      w->BeginObject();
+      w->Key("point");
+      w->String(hop.point);
+      w->Key("t");
+      w->Double(hop.t);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+}  // namespace
+
+std::string ToJson(const ExportBundle& bundle) {
+  JsonWriter w;
+  w.BeginObject();
+  if (bundle.registry != nullptr) {
+    WriteRegistry(&w, bundle.registry->Snapshot());
+  }
+  if (bundle.tracer != nullptr) {
+    WriteTraces(&w, *bundle.tracer, bundle.max_trace_packets);
+  }
+  if (!bundle.series.empty()) {
+    w.Key("series");
+    w.BeginArray();
+    for (const TimeSeries* ts : bundle.series) {
+      if (ts == nullptr) {
+        continue;
+      }
+      w.BeginObject();
+      w.Key("name");
+      w.String(ts->name);
+      w.Key("points");
+      w.BeginArray();
+      for (const auto& [t, v] : ts->points) {
+        w.BeginArray();
+        w.Double(t);
+        w.Double(v);
+        w.EndArray();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  return w.str();
+}
+
+bool WriteJson(const std::string& path, const ExportBundle& bundle) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string json = ToJson(bundle);
+  size_t written = fwrite(json.data(), 1, json.size(), f);
+  fputc('\n', f);
+  fclose(f);
+  return written == json.size();
+}
+
+std::string RegistryCsv(const RegistrySnapshot& snap) {
+  std::string out = "kind,name,value\n";
+  char buf[64];
+  for (const auto& [name, v] : snap.counters) {
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out += "counter," + name + "," + buf + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    snprintf(buf, sizeof(buf), "%.17g", v);
+    out += "gauge," + name + "," + buf + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(h.count));
+    out += "histogram_count," + name + "," + buf + "\n";
+  }
+  return out;
+}
+
+bool WriteCsv(const std::string& path, const RegistrySnapshot& snap) {
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string csv = RegistryCsv(snap);
+  size_t written = fwrite(csv.data(), 1, csv.size(), f);
+  fclose(f);
+  return written == csv.size();
+}
+
+}  // namespace telemetry
+}  // namespace rb

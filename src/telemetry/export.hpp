@@ -1,0 +1,54 @@
+// Snapshot/export layer: serializes MetricRegistry state, packet traces,
+// and probe time series as JSON (one self-describing document) or CSV
+// (counters/gauges as name,value rows) for offline analysis.
+//
+// JSON document shape:
+//   {
+//     "counters":   { "<name>": <uint>, ... },
+//     "gauges":     { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "lo", "hi", "count", "underflow",
+//                                 "overflow", "mean", "min", "max",
+//                                 "p50", "p95", "p99",
+//                                 "counts": [ ... ] }, ... },
+//     "traces":     { "started", "sampled", "hop_latency": {histogram},
+//                     "hops": [ {"from","to","count","mean_us",...} ],
+//                     "packets": [ {"id","complete",
+//                                   "hops":[{"point","t"}]} ] },
+//     "series":     [ {"name", "points": [[t, v], ...]} ]
+//   }
+// Sections are present only when the corresponding source was supplied.
+#ifndef RB_TELEMETRY_EXPORT_HPP_
+#define RB_TELEMETRY_EXPORT_HPP_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace rb {
+namespace telemetry {
+
+// Everything a metrics dump can carry; null/empty members are omitted.
+struct ExportBundle {
+  const MetricRegistry* registry = nullptr;
+  const PathTracer* tracer = nullptr;
+  std::vector<const TimeSeries*> series;
+  // Cap on full per-packet traces embedded in the JSON (hop latency
+  // aggregates always cover every trace).
+  size_t max_trace_packets = 32;
+};
+
+std::string ToJson(const ExportBundle& bundle);
+
+// Writes ToJson(bundle) to `path`. Returns false on I/O error.
+bool WriteJson(const std::string& path, const ExportBundle& bundle);
+
+// Counters and gauges as "kind,name,value" CSV rows.
+std::string RegistryCsv(const RegistrySnapshot& snap);
+bool WriteCsv(const std::string& path, const RegistrySnapshot& snap);
+
+}  // namespace telemetry
+}  // namespace rb
+
+#endif  // RB_TELEMETRY_EXPORT_HPP_

@@ -1,0 +1,338 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace rb {
+namespace telemetry {
+
+// --- writer ---
+
+void JsonWriter::MaybeComma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) {
+      out_ += ',';
+    }
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  MaybeComma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  needs_comma_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  MaybeComma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  needs_comma_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(const std::string& k) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(k);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& v) {
+  MaybeComma();
+  out_ += '"';
+  out_ += Escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::Uint(uint64_t v) {
+  MaybeComma();
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::Int(int64_t v) {
+  MaybeComma();
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+}
+
+void JsonWriter::Double(double v) {
+  MaybeComma();
+  if (!std::isfinite(v)) {
+    out_ += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool v) {
+  MaybeComma();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  MaybeComma();
+  out_ += "null";
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// --- parser ---
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) {
+    return nullptr;
+  }
+  auto it = obj.find(key);
+  return it == obj.end() ? nullptr : &it->second;
+}
+
+const JsonValue* JsonValue::Find(const std::string& k1, const std::string& k2) const {
+  const JsonValue* v = Find(k1);
+  return v ? v->Find(k2) : nullptr;
+}
+
+namespace {
+
+struct Parser {
+  const char* p;
+  const char* end;
+  std::string error;
+
+  void SkipWs() {
+    while (p < end && (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      p++;
+    }
+  }
+
+  bool Fail(const std::string& msg) {
+    if (error.empty()) {
+      error = msg;
+    }
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (p >= end) {
+      return Fail("unexpected end of input");
+    }
+    switch (*p) {
+      case '{': return ParseObject(out);
+      case '[': return ParseArray(out);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->str);
+      case 't':
+        if (end - p >= 4 && strncmp(p, "true", 4) == 0) {
+          out->type = JsonValue::Type::kBool;
+          out->b = true;
+          p += 4;
+          return true;
+        }
+        return Fail("bad literal");
+      case 'f':
+        if (end - p >= 5 && strncmp(p, "false", 5) == 0) {
+          out->type = JsonValue::Type::kBool;
+          out->b = false;
+          p += 5;
+          return true;
+        }
+        return Fail("bad literal");
+      case 'n':
+        if (end - p >= 4 && strncmp(p, "null", 4) == 0) {
+          out->type = JsonValue::Type::kNull;
+          p += 4;
+          return true;
+        }
+        return Fail("bad literal");
+      default: return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->type = JsonValue::Type::kObject;
+    p++;  // '{'
+    SkipWs();
+    if (p < end && *p == '}') {
+      p++;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (p >= end || *p != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key)) {
+        return false;
+      }
+      SkipWs();
+      if (p >= end || *p != ':') {
+        return Fail("expected ':'");
+      }
+      p++;
+      JsonValue val;
+      if (!ParseValue(&val)) {
+        return false;
+      }
+      out->obj.emplace(std::move(key), std::move(val));
+      SkipWs();
+      if (p < end && *p == ',') {
+        p++;
+        continue;
+      }
+      if (p < end && *p == '}') {
+        p++;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->type = JsonValue::Type::kArray;
+    p++;  // '['
+    SkipWs();
+    if (p < end && *p == ']') {
+      p++;
+      return true;
+    }
+    while (true) {
+      JsonValue val;
+      if (!ParseValue(&val)) {
+        return false;
+      }
+      out->arr.push_back(std::move(val));
+      SkipWs();
+      if (p < end && *p == ',') {
+        p++;
+        continue;
+      }
+      if (p < end && *p == ']') {
+        p++;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    p++;  // opening quote
+    while (p < end && *p != '"') {
+      if (*p == '\\') {
+        p++;
+        if (p >= end) {
+          return Fail("bad escape");
+        }
+        switch (*p) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (end - p < 5) {
+              return Fail("bad \\u escape");
+            }
+            char hex[5] = {p[1], p[2], p[3], p[4], 0};
+            long code = strtol(hex, nullptr, 16);
+            // ASCII only — sufficient for metric names; others become '?'.
+            *out += code < 0x80 ? static_cast<char>(code) : '?';
+            p += 4;
+            break;
+          }
+          default: return Fail("bad escape");
+        }
+        p++;
+      } else {
+        *out += *p++;
+      }
+    }
+    if (p >= end) {
+      return Fail("unterminated string");
+    }
+    p++;  // closing quote
+    return true;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    char* num_end = nullptr;
+    double v = strtod(p, &num_end);
+    if (num_end == p) {
+      return Fail("bad number");
+    }
+    out->type = JsonValue::Type::kNumber;
+    out->num = v;
+    p = num_end;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error) {
+  Parser parser{text.data(), text.data() + text.size(), {}};
+  *out = JsonValue();
+  bool ok = parser.ParseValue(out);
+  if (ok) {
+    parser.SkipWs();
+    if (parser.p != parser.end) {
+      ok = parser.Fail("trailing characters");
+    }
+  }
+  if (!ok && error != nullptr) {
+    *error = parser.error;
+  }
+  return ok;
+}
+
+}  // namespace telemetry
+}  // namespace rb

@@ -1,0 +1,78 @@
+// Minimal JSON support for the telemetry export layer: a streaming writer
+// (objects, arrays, escaped strings, numbers) and a small recursive-descent
+// parser used by round-trip tests and tools. No third-party dependency.
+#ifndef RB_TELEMETRY_JSON_HPP_
+#define RB_TELEMETRY_JSON_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rb {
+namespace telemetry {
+
+// Streaming writer. Nesting is tracked internally; commas and key quoting
+// are emitted automatically. Usage:
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("counters"); w.BeginObject(); w.Key("a"); w.Uint(1); w.EndObject();
+//   w.EndObject();
+//   std::string out = w.str();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(const std::string& k);
+  void String(const std::string& v);
+  void Uint(uint64_t v);
+  void Int(int64_t v);
+  void Double(double v);
+  void Bool(bool v);
+  void Null();
+
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(const std::string& s);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open scope
+  bool after_key_ = false;
+};
+
+// Parsed JSON value (object keys keep insertion-independent map order).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::map<std::string, JsonValue> obj;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  // Object member access; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+  // Chained lookup convenience: Find("a", "b") == Find("a")->Find("b").
+  const JsonValue* Find(const std::string& k1, const std::string& k2) const;
+
+  double NumberOr(double def) const { return is_number() ? num : def; }
+};
+
+// Parses `text`; returns false (and fills *error) on malformed input.
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error = nullptr);
+
+}  // namespace telemetry
+}  // namespace rb
+
+#endif  // RB_TELEMETRY_JSON_HPP_

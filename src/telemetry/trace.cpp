@@ -1,0 +1,141 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "common/log.hpp"
+
+namespace rb {
+namespace telemetry {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+PathTracer::PathTracer(const TracerConfig& config) : config_(config) {
+  RB_CHECK(config.sample_every >= 1);
+  sample_offset_ = config.seed % config.sample_every;
+  traces_.resize(config.max_traces);
+  for (size_t i = 0; i < traces_.size(); ++i) {
+    traces_[i].id = i + 1;
+    traces_[i].hops.reserve(8);
+  }
+}
+
+uint64_t PathTracer::StartTrace(const std::string& point, double t) {
+  uint64_t n = started_.fetch_add(1, std::memory_order_relaxed);
+  if (n % config_.sample_every != sample_offset_) {
+    return 0;
+  }
+  uint64_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= traces_.size()) {
+    // Out of capacity: put the counter back (approximately — concurrent
+    // racers may leave it above max_traces; sampled() clamps on read).
+    next_slot_.store(traces_.size(), std::memory_order_relaxed);
+    return 0;
+  }
+  traces_[slot].hops.push_back({point, t});
+  return slot + 1;
+}
+
+void PathTracer::Record(uint64_t handle, const std::string& point, double t) {
+  if (handle == 0 || handle > traces_.size()) {
+    return;
+  }
+  traces_[handle - 1].hops.push_back({point, t});
+}
+
+void PathTracer::EndTrace(uint64_t handle, const std::string& point, double t) {
+  if (handle == 0 || handle > traces_.size()) {
+    return;
+  }
+  PacketTrace& tr = traces_[handle - 1];
+  tr.hops.push_back({point, t});
+  tr.complete = true;
+}
+
+void PathTracer::Abandon(uint64_t handle, const std::string& point, double t) {
+  Record(handle, point, t);
+}
+
+std::vector<PacketTrace> PathTracer::Traces() const {
+  uint64_t n = std::min<uint64_t>(next_slot_.load(std::memory_order_relaxed), traces_.size());
+  return std::vector<PacketTrace>(traces_.begin(), traces_.begin() + static_cast<long>(n));
+}
+
+std::vector<HopLatency> PathTracer::HopLatencies() const {
+  std::map<std::pair<std::string, std::string>, HopLatency> by_pair;
+  uint64_t n = std::min<uint64_t>(next_slot_.load(std::memory_order_relaxed), traces_.size());
+  for (uint64_t i = 0; i < n; ++i) {
+    const PacketTrace& tr = traces_[i];
+    if (!tr.complete) {
+      continue;
+    }
+    for (size_t h = 1; h < tr.hops.size(); ++h) {
+      double dt = tr.hops[h].t - tr.hops[h - 1].t;
+      auto key = std::make_pair(tr.hops[h - 1].point, tr.hops[h].point);
+      auto [it, inserted] = by_pair.try_emplace(key);
+      HopLatency& hl = it->second;
+      if (inserted) {
+        hl.from = key.first;
+        hl.to = key.second;
+        hl.min = hl.max = dt;
+      } else {
+        hl.min = std::min(hl.min, dt);
+        hl.max = std::max(hl.max, dt);
+      }
+      hl.count++;
+      hl.sum += dt;
+    }
+  }
+  std::vector<HopLatency> out;
+  out.reserve(by_pair.size());
+  for (auto& [key, hl] : by_pair) {
+    out.push_back(std::move(hl));
+  }
+  return out;
+}
+
+HistogramSnapshot PathTracer::HopLatencyHistogram(size_t buckets) const {
+  // Two passes: find the observed range, then bucket.
+  uint64_t n = std::min<uint64_t>(next_slot_.load(std::memory_order_relaxed), traces_.size());
+  double lo = 0, hi = 0;
+  bool first = true;
+  for (uint64_t i = 0; i < n; ++i) {
+    const PacketTrace& tr = traces_[i];
+    if (!tr.complete) {
+      continue;
+    }
+    for (size_t h = 1; h < tr.hops.size(); ++h) {
+      double dt = tr.hops[h].t - tr.hops[h - 1].t;
+      if (first) {
+        lo = hi = dt;
+        first = false;
+      } else {
+        lo = std::min(lo, dt);
+        hi = std::max(hi, dt);
+      }
+    }
+  }
+  if (first || hi <= lo) {
+    hi = lo + 1e-9;  // degenerate range: single-point histogram
+  }
+  // Nudge the upper edge so the observed max lands in-range, not overflow.
+  hi += (hi - lo) * 1e-6;
+  ShardedHistogram hist(HistogramOptions{lo, hi, buckets});
+  for (uint64_t i = 0; i < n; ++i) {
+    const PacketTrace& tr = traces_[i];
+    if (!tr.complete) {
+      continue;
+    }
+    for (size_t h = 1; h < tr.hops.size(); ++h) {
+      hist.Observe(tr.hops[h].t - tr.hops[h - 1].t);
+    }
+  }
+  return hist.Snapshot();
+}
+
+}  // namespace telemetry
+}  // namespace rb

@@ -1,0 +1,111 @@
+// Sampled packet-path tracing.
+//
+// A PathTracer records, for 1-in-N packets, a timestamped hop at every
+// point the packet touches: FromDevice -> elements -> Queue -> ToDevice in
+// the Click graph (wall-clock timestamps — real execution), or
+// ext-rx -> CPU -> NIC -> link -> ... -> ext-out in the cluster DES
+// (simulated-time timestamps — fully deterministic). Consecutive-hop
+// deltas give the per-hop latency breakdown that reproduces the paper's
+// §4.3 "where do the cycles go" and §6.2 per-server latency decomposition
+// from our own measurements.
+//
+// Concurrency: the sampling decision is an atomic packet counter, so it is
+// cheap on the hot path and deterministic for a fixed seed when execution
+// is deterministic (RunInline / the DES). A sampled packet's trace slot is
+// touched by exactly one thread at a time — the packet's owning core —
+// and ownership handoffs ride the SPSC rings' release/acquire edges, so
+// recording needs no locks. Reading traces (Drain, HopLatencies) is only
+// valid once the packets have left the data path.
+#ifndef RB_TELEMETRY_TRACE_HPP_
+#define RB_TELEMETRY_TRACE_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace rb {
+namespace telemetry {
+
+// Monotonic wall-clock seconds for timestamping Click-graph hops.
+double NowSeconds();
+
+struct TraceHop {
+  std::string point;  // element / server name, e.g. "IPLookup@3", "cpu@2"
+  double t = 0;       // seconds (wall-clock or simulated, per data path)
+};
+
+struct PacketTrace {
+  uint64_t id = 0;  // 1-based handle
+  std::vector<TraceHop> hops;
+  bool complete = false;  // EndTrace reached (packet left the data path)
+};
+
+struct TracerConfig {
+  uint32_t sample_every = 64;  // sample 1 of N trace starts (>= 1)
+  size_t max_traces = 1024;    // stop sampling once this many are taken
+  uint64_t seed = 1;           // offsets which of each N packets is taken
+};
+
+// Mean/min/max latency between a consecutive pair of hop points, across
+// all completed traces.
+struct HopLatency {
+  std::string from;
+  std::string to;
+  uint64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+
+  double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+class PathTracer {
+ public:
+  explicit PathTracer(const TracerConfig& config);
+
+  // Sampling decision + first hop. Returns a handle > 0 when this packet
+  // is sampled, 0 otherwise (callers store the handle on the packet).
+  uint64_t StartTrace(const std::string& point, double t);
+
+  // Appends a hop to a sampled packet's trace. handle == 0 is a no-op.
+  void Record(uint64_t handle, const std::string& point, double t);
+
+  // Final hop; marks the trace complete.
+  void EndTrace(uint64_t handle, const std::string& point, double t);
+
+  // Terminal hop for a packet that left the path abnormally (drop): the
+  // hop is recorded but the trace stays incomplete, so it is excluded from
+  // hop-latency aggregates while remaining visible in the raw trace dump.
+  void Abandon(uint64_t handle, const std::string& point, double t);
+
+  uint64_t started() const { return started_.load(std::memory_order_relaxed); }
+  uint64_t sampled() const { return next_slot_.load(std::memory_order_relaxed); }
+  const TracerConfig& config() const { return config_; }
+
+  // --- read side (call after the data path has quiesced) ---
+
+  // All traces taken so far, in sampling order.
+  std::vector<PacketTrace> Traces() const;
+
+  // Per-(from, to) hop-pair latency stats over completed traces.
+  std::vector<HopLatency> HopLatencies() const;
+
+  // One histogram over every consecutive-hop latency in every completed
+  // trace (range picked from the observed spread).
+  HistogramSnapshot HopLatencyHistogram(size_t buckets = 64) const;
+
+ private:
+  TracerConfig config_;
+  uint64_t sample_offset_;
+  std::atomic<uint64_t> started_{0};
+  std::atomic<uint64_t> next_slot_{0};
+  std::vector<PacketTrace> traces_;  // preallocated [max_traces]
+};
+
+}  // namespace telemetry
+}  // namespace rb
+
+#endif  // RB_TELEMETRY_TRACE_HPP_

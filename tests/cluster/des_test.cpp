@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/strings.hpp"
 #include "workload/abilene.hpp"
 #include "workload/synthetic.hpp"
 
@@ -162,6 +163,58 @@ TEST(ClusterSimTest, DropsAreCategorized) {
   EXPECT_GT(stats.drops.cpu + stats.drops.ext_rx_nic, 0u);
   EXPECT_EQ(stats.offered_packets,
             stats.delivered_packets + stats.drops.total());
+}
+
+TEST(ClusterSimTest, TelemetryTracksDeliveriesAndTracesDeterministically) {
+  auto run = [](telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer) {
+    ClusterSim sim(FastRb4());
+    sim.BindTelemetry(registry, tracer, /*probe_interval=*/1e-4);
+    FixedSizeDistribution sizes(64);
+    auto tm = TrafficMatrix::Uniform(4);
+    ClusterRunStats stats = sim.RunUniform(tm, 1e9, &sizes, 0.002);
+    EXPECT_EQ(sim.probe_series().size(), 8u);  // cpu + ext-out per node
+    EXPECT_FALSE(sim.probe_series()[0].points.empty());
+    return stats;
+  };
+
+  telemetry::MetricRegistry registry;
+  telemetry::TracerConfig tc;
+  tc.sample_every = 32;
+  tc.max_traces = 2048;
+  telemetry::PathTracer tracer_a(tc);
+  ClusterRunStats stats = run(&registry, &tracer_a);
+
+  // Registry totals mirror the run stats exactly.
+  telemetry::RegistrySnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("des/offered_packets"), stats.offered_packets);
+  EXPECT_EQ(snap.CounterValue("des/delivered_packets"), stats.delivered_packets);
+  const telemetry::HistogramSnapshot* lat = snap.FindHistogram("des/latency_s");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->count, stats.delivered_packets);  // count includes clipped samples
+  uint64_t cpu_served = 0;
+  for (uint16_t i = 0; i < 4; ++i) {
+    cpu_served += snap.CounterValue(Format("des/node%u/cpu/served", i));
+  }
+  EXPECT_GE(cpu_served, stats.delivered_packets);  // transit CPU visits too
+
+  // Traces end at ext-out for delivered packets and are identical across
+  // two runs with the same seed and tracer config (full determinism).
+  telemetry::PathTracer tracer_b(tc);
+  run(nullptr, &tracer_b);
+  std::vector<telemetry::PacketTrace> ta = tracer_a.Traces();
+  std::vector<telemetry::PacketTrace> tb = tracer_b.Traces();
+  ASSERT_FALSE(ta.empty());
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    ASSERT_EQ(ta[i].hops.size(), tb[i].hops.size());
+    for (size_t h = 0; h < ta[i].hops.size(); ++h) {
+      EXPECT_EQ(ta[i].hops[h].point, tb[i].hops[h].point);
+      EXPECT_DOUBLE_EQ(ta[i].hops[h].t, tb[i].hops[h].t);
+    }
+    if (ta[i].complete) {
+      EXPECT_EQ(ta[i].hops.back().point.rfind("ext-out@", 0), 0u);
+    }
+  }
 }
 
 TEST(ClusterSimTest, TwoNodeClusterIsAllDirect) {

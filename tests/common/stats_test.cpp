@@ -72,7 +72,46 @@ TEST(HistogramTest, OverflowAndUnderflowCounted) {
   h.Add(100);
   h.Add(5);
   EXPECT_EQ(h.count(), 3u);
-  EXPECT_LE(h.Percentile(10), 0.001);  // underflow clamps to lo
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  // A rank in the underflow bucket reports the observed min, not lo.
+  EXPECT_DOUBLE_EQ(h.Percentile(10), -5.0);
+}
+
+TEST(HistogramTest, AllSamplesInUnderflowBucket) {
+  Histogram h(0, 10, 10);
+  h.Add(-3);
+  h.Add(-7);
+  h.Add(-1);
+  EXPECT_EQ(h.underflow(), 3u);
+  // Every rank is clipped below range: all percentiles report min().
+  EXPECT_DOUBLE_EQ(h.Percentile(1), -7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), -7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), -7.0);
+}
+
+TEST(HistogramTest, AllSamplesInOverflowBucket) {
+  Histogram h(0, 10, 10);
+  h.Add(20);
+  h.Add(50);
+  h.Add(30);
+  EXPECT_EQ(h.overflow(), 3u);
+  // Every rank is clipped above range: all percentiles report max().
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 50.0);
+}
+
+TEST(HistogramTest, SummaryReportsClippedCounts) {
+  Histogram h(0, 10, 10);
+  h.Add(5);
+  EXPECT_EQ(h.Summary().find("uf="), std::string::npos);
+  h.Add(-1);
+  h.Add(100);
+  h.Add(200);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("uf=1"), std::string::npos);
+  EXPECT_NE(s.find("of=2"), std::string::npos);
 }
 
 TEST(HistogramTest, EmptyPercentileIsZero) {

@@ -1,0 +1,63 @@
+#include "harness/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "telemetry/json.hpp"
+
+namespace rb {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "r");
+  EXPECT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t got;
+  while ((got = fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, got);
+  }
+  fclose(f);
+  return text;
+}
+
+TEST(ReportTest, WriteJsonRoundTrips) {
+  Report report("Figure 1", "a \"test\" table");
+  report.SetColumns({"x", "y"});
+  report.AddRow({"1", "2"});
+  report.AddRow({"3", "4"});
+  report.AddNote("a note");
+
+  std::string path = testing::TempDir() + "/rb_report_test.json";
+  ASSERT_TRUE(report.WriteJson(path));
+  std::string text = ReadFile(path);
+  remove(path.c_str());
+
+  telemetry::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(telemetry::ParseJson(text, &doc, &error)) << error;
+  EXPECT_EQ(doc.Find("id")->str, "Figure 1");
+  EXPECT_EQ(doc.Find("title")->str, "a \"test\" table");
+  ASSERT_EQ(doc.Find("columns")->arr.size(), 2u);
+  EXPECT_EQ(doc.Find("columns")->arr[1].str, "y");
+  ASSERT_EQ(doc.Find("rows")->arr.size(), 2u);
+  EXPECT_EQ(doc.Find("rows")->arr[1].arr[0].str, "3");
+  ASSERT_EQ(doc.Find("notes")->arr.size(), 1u);
+  EXPECT_EQ(doc.Find("notes")->arr[0].str, "a note");
+}
+
+TEST(ReportTest, WriteCsvMatchesRows) {
+  Report report("T", "t");
+  report.SetColumns({"a", "b"});
+  report.AddRow({"1", "2"});
+  std::string path = testing::TempDir() + "/rb_report_test.csv";
+  ASSERT_TRUE(report.WriteCsv(path));
+  std::string text = ReadFile(path);
+  remove(path.c_str());
+  EXPECT_EQ(text, "a,b\n1,2\n");
+}
+
+}  // namespace
+}  // namespace rb

@@ -162,7 +162,7 @@ TEST_F(NicTest, PcieDescriptorBatchingReducesTransactions) {
     for (size_t i = 0; i < n; ++i) {
       pool_.Free(out[i]);
     }
-    return nic.pcie_counters().transactions;
+    return nic.pcie_counters().transactions.load();
   };
   uint64_t txn_kn16 = run(16);
   uint64_t txn_kn1 = run(1);

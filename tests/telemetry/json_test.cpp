@@ -1,0 +1,124 @@
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rb {
+namespace {
+
+using telemetry::JsonValue;
+using telemetry::JsonWriter;
+using telemetry::ParseJson;
+
+TEST(JsonWriterTest, NestedStructureWithAutomaticCommas) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String("rb");
+  w.Key("counts");
+  w.BeginArray();
+  w.Uint(1);
+  w.Uint(2);
+  w.Uint(3);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("pi");
+  w.Double(3.25);
+  w.Key("on");
+  w.Bool(true);
+  w.Key("none");
+  w.Null();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"rb\",\"counts\":[1,2,3],"
+            "\"nested\":{\"pi\":3.25,\"on\":true,\"none\":null}}");
+}
+
+TEST(JsonWriterTest, EscapesControlAndQuoteCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\n\t\x01"), "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::infinity());
+  w.Double(std::nan(""));
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesBackToSameValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  w.Key("elem/FromDevice@1/packets_out");
+  w.Uint(12345);
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  w.Key("q/occupancy");
+  w.Double(0.75);
+  w.EndObject();
+  w.Key("points");
+  w.BeginArray();
+  w.BeginArray();
+  w.Double(0.5);
+  w.Double(-2.0);
+  w.EndArray();
+  w.EndArray();
+  w.Key("label");
+  w.String("a \"quoted\" name\n");
+  w.EndObject();
+
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(ParseJson(w.str(), &v, &error)) << error;
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* counter = v.Find("counters", "elem/FromDevice@1/packets_out");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_DOUBLE_EQ(counter->NumberOr(0), 12345.0);
+  EXPECT_DOUBLE_EQ(v.Find("gauges", "q/occupancy")->NumberOr(0), 0.75);
+  const JsonValue* points = v.Find("points");
+  ASSERT_TRUE(points->is_array());
+  ASSERT_EQ(points->arr.size(), 1u);
+  ASSERT_EQ(points->arr[0].arr.size(), 2u);
+  EXPECT_DOUBLE_EQ(points->arr[0].arr[1].NumberOr(0), -2.0);
+  EXPECT_EQ(v.Find("label")->str, "a \"quoted\" name\n");
+}
+
+TEST(JsonParseTest, ParsesScalarsAndSkipsWhitespace) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson(" { \"a\" : [ 1 , -2.5e2 , true , false , null ] } ", &v));
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->arr.size(), 5u);
+  EXPECT_DOUBLE_EQ(a->arr[0].NumberOr(0), 1.0);
+  EXPECT_DOUBLE_EQ(a->arr[1].NumberOr(0), -250.0);
+  EXPECT_TRUE(a->arr[2].b);
+  EXPECT_FALSE(a->arr[3].b);
+  EXPECT_EQ(a->arr[4].type, JsonValue::Type::kNull);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson("{\"a\": }", &v, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(ParseJson("[1, 2", &v));
+  EXPECT_FALSE(ParseJson("{\"a\": 1} trailing", &v));
+  EXPECT_FALSE(ParseJson("", &v));
+}
+
+TEST(JsonParseTest, DecodesEscapes) {
+  JsonValue v;
+  ASSERT_TRUE(ParseJson("\"line\\nquote\\\" slash\\\\ u\\u0041\"", &v));
+  EXPECT_EQ(v.str, "line\nquote\" slash\\ uA");
+}
+
+}  // namespace
+}  // namespace rb

@@ -1,0 +1,168 @@
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rb {
+namespace {
+
+using telemetry::HopLatency;
+using telemetry::PacketTrace;
+using telemetry::PathTracer;
+using telemetry::TracerConfig;
+
+TEST(PathTracerTest, SamplesOneInNDeterministically) {
+  TracerConfig cfg;
+  cfg.sample_every = 4;
+  cfg.seed = 1;
+  PathTracer a(cfg);
+  PathTracer b(cfg);
+  std::vector<bool> sampled_a;
+  std::vector<bool> sampled_b;
+  for (int i = 0; i < 32; ++i) {
+    sampled_a.push_back(a.StartTrace("rx", i) != 0);
+    sampled_b.push_back(b.StartTrace("rx", i) != 0);
+  }
+  // Identical configs sample identical packet indices.
+  EXPECT_EQ(sampled_a, sampled_b);
+  EXPECT_EQ(a.sampled(), 8u);  // 1 in 4 of 32
+  // Exactly one in every consecutive window of 4.
+  for (size_t w = 0; w + 4 <= sampled_a.size(); w += 4) {
+    int hits = sampled_a[w] + sampled_a[w + 1] + sampled_a[w + 2] + sampled_a[w + 3];
+    EXPECT_EQ(hits, 1);
+  }
+}
+
+TEST(PathTracerTest, SeedShiftsWhichPacketsAreSampled) {
+  TracerConfig a_cfg;
+  a_cfg.sample_every = 8;
+  a_cfg.seed = 0;
+  TracerConfig b_cfg = a_cfg;
+  b_cfg.seed = 3;
+  PathTracer a(a_cfg);
+  PathTracer b(b_cfg);
+  std::vector<size_t> a_idx;
+  std::vector<size_t> b_idx;
+  for (size_t i = 0; i < 32; ++i) {
+    if (a.StartTrace("rx", 0) != 0) {
+      a_idx.push_back(i);
+    }
+    if (b.StartTrace("rx", 0) != 0) {
+      b_idx.push_back(i);
+    }
+  }
+  ASSERT_EQ(a_idx.size(), 4u);
+  ASSERT_EQ(b_idx.size(), 4u);
+  for (size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(b_idx[k], a_idx[k] + 3);
+  }
+}
+
+TEST(PathTracerTest, RecordsHopsInOrderAndEndCompletes) {
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  PathTracer tracer(cfg);
+  uint64_t h = tracer.StartTrace("from", 1.0);
+  ASSERT_NE(h, 0u);
+  tracer.Record(h, "lookup", 1.5);
+  tracer.EndTrace(h, "to", 2.0);
+
+  std::vector<PacketTrace> traces = tracer.Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_TRUE(traces[0].complete);
+  ASSERT_EQ(traces[0].hops.size(), 3u);
+  EXPECT_EQ(traces[0].hops[0].point, "from");
+  EXPECT_EQ(traces[0].hops[2].point, "to");
+  EXPECT_DOUBLE_EQ(traces[0].hops[2].t, 2.0);
+}
+
+TEST(PathTracerTest, HandleZeroIsNoOp) {
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  PathTracer tracer(cfg);
+  tracer.Record(0, "x", 1.0);
+  tracer.EndTrace(0, "x", 1.0);
+  tracer.Abandon(0, "x", 1.0);
+  EXPECT_TRUE(tracer.Traces().empty());
+}
+
+TEST(PathTracerTest, HopLatenciesAggregatePerPair) {
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  PathTracer tracer(cfg);
+  for (int i = 0; i < 3; ++i) {
+    uint64_t h = tracer.StartTrace("a", i * 10.0);
+    tracer.Record(h, "b", i * 10.0 + 1.0 + i);  // a->b: 1, 2, 3
+    tracer.EndTrace(h, "c", i * 10.0 + 5.0);
+  }
+  std::vector<HopLatency> hops = tracer.HopLatencies();
+  ASSERT_EQ(hops.size(), 2u);
+  const HopLatency* ab = nullptr;
+  for (const auto& hl : hops) {
+    if (hl.from == "a" && hl.to == "b") {
+      ab = &hl;
+    }
+  }
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->count, 3u);
+  EXPECT_DOUBLE_EQ(ab->min, 1.0);
+  EXPECT_DOUBLE_EQ(ab->max, 3.0);
+  EXPECT_DOUBLE_EQ(ab->mean(), 2.0);
+}
+
+TEST(PathTracerTest, AbandonedTracesExcludedFromAggregates) {
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  PathTracer tracer(cfg);
+  uint64_t ok = tracer.StartTrace("a", 0.0);
+  tracer.EndTrace(ok, "b", 1.0);
+  uint64_t dropped = tracer.StartTrace("a", 0.0);
+  tracer.Abandon(dropped, "drop", 0.5);
+
+  // The drop hop is visible in the raw trace...
+  std::vector<PacketTrace> traces = tracer.Traces();
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_FALSE(traces[1].complete);
+  EXPECT_EQ(traces[1].hops.back().point, "drop");
+  // ...but only the completed trace contributes latency stats.
+  std::vector<HopLatency> hops = tracer.HopLatencies();
+  ASSERT_EQ(hops.size(), 1u);
+  EXPECT_EQ(hops[0].count, 1u);
+}
+
+TEST(PathTracerTest, StopsSamplingAtMaxTraces) {
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  cfg.max_traces = 5;
+  PathTracer tracer(cfg);
+  size_t taken = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (tracer.StartTrace("x", i) != 0) {
+      taken++;
+    }
+  }
+  EXPECT_EQ(taken, 5u);
+  EXPECT_EQ(tracer.Traces().size(), 5u);
+  EXPECT_EQ(tracer.started(), 100u);
+}
+
+TEST(PathTracerTest, HopLatencyHistogramCoversEveryDelta) {
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  PathTracer tracer(cfg);
+  for (int i = 0; i < 10; ++i) {
+    uint64_t h = tracer.StartTrace("a", 0.0);
+    tracer.Record(h, "b", 1.0);
+    tracer.EndTrace(h, "c", 3.0);
+  }
+  telemetry::HistogramSnapshot hist = tracer.HopLatencyHistogram(16);
+  EXPECT_EQ(hist.count, 20u);  // two deltas per trace
+  EXPECT_DOUBLE_EQ(hist.min, 1.0);
+  EXPECT_DOUBLE_EQ(hist.max, 2.0);
+  EXPECT_EQ(hist.underflow, 0u);
+  EXPECT_EQ(hist.overflow, 0u);
+}
+
+}  // namespace
+}  // namespace rb
