@@ -78,10 +78,12 @@ uint32_t ClusterSim::LinkId(uint16_t from, uint16_t to) const {
   return base + from * config_.num_nodes + to;
 }
 
-ClusterSim::ClusterSim(const ClusterConfig& config) : config_(config) {
+ClusterSim::ClusterSim(const ClusterConfig& config)
+    : config_(config), health_(config.num_nodes) {
   RB_CHECK(config.num_nodes >= 2);
   uint16_t n = config.num_nodes;
   int nics = num_nics_per_node();
+  node_alive_.assign(n, 1);
 
   servers_.resize(n * (2 + 2 * static_cast<size_t>(nics)) + static_cast<size_t>(n) * n);
   for (uint16_t i = 0; i < n; ++i) {
@@ -116,11 +118,119 @@ ClusterSim::ClusterSim(const ClusterConfig& config) : config_(config) {
     vc.num_nodes = n;
     vc.seed = config.seed ^ (i * 0x51ed2705ULL);
     vlb_.push_back(std::make_unique<DirectVlbRouter>(vc, i));
+    vlb_.back()->set_health(&health_);
   }
   delivered_by_src_.assign(n, 0);
   delivered_by_dst_.assign(n, 0);
   delivered_bytes_by_src_.assign(n, 0);
   delivered_bytes_by_dst_.assign(n, 0);
+  ScheduleFailures();
+}
+
+void ClusterSim::ScheduleFailures() {
+  for (const FailureEvent& fe : config_.failures.events()) {
+    bool node_ev = fe.kind == FailureKind::kNodeDown || fe.kind == FailureKind::kNodeUp;
+    RB_CHECK_MSG(fe.node < config_.num_nodes && (node_ev || fe.peer < config_.num_nodes),
+                 "failure event references a node outside the cluster");
+    Event ev;
+    ev.time = fe.time;
+    ev.kind = Event::Kind::kFail;
+    ev.fail_index = static_cast<uint32_t>(failure_log_.size());
+    failure_log_.push_back(FailureLogEntry{fe, fe.time, fe.time + config_.failure_detection_delay});
+    events_.push(ev);
+  }
+}
+
+TimelineBucket* ClusterSim::BucketFor(SimTime t) {
+  if (config_.timeline_window <= 0) {
+    return nullptr;
+  }
+  size_t idx = static_cast<size_t>(t / config_.timeline_window);
+  if (idx >= timeline_.size()) {
+    timeline_.resize(idx + 1);
+  }
+  return &timeline_[idx];
+}
+
+void ClusterSim::DisableServer(uint32_t server_id, bool disabled, SimTime now) {
+  FifoServer& server = servers_[server_id];
+  server.disabled = disabled;
+  if (!disabled) {
+    return;
+  }
+  // Blackhole everything queued behind the job in service. The in-service
+  // job stays (its completion event is already scheduled) and is
+  // blackholed when that completion fires on the still-disabled server.
+  size_t keep = server.busy ? 1 : 0;
+  while (server.queue.size() > keep) {
+    ServerJob job = server.queue.back();
+    server.queue.pop_back();
+    DropFailed(job.packet_slot, server.kind == ServerKind::kLink, now);
+  }
+}
+
+void ClusterSim::SetNodeServersDisabled(uint16_t node, bool disabled, SimTime now) {
+  DisableServer(CpuId(node), disabled, now);
+  DisableServer(ExtOutId(node), disabled, now);
+  for (int k = 0; k < num_nics_per_node(); ++k) {
+    DisableServer(NicRxId(node, k), disabled, now);
+    DisableServer(NicTxId(node, k), disabled, now);
+  }
+}
+
+void ClusterSim::ApplyFailure(uint32_t fail_index, SimTime now) {
+  FailureLogEntry& log = failure_log_[fail_index];
+  log.applied = now;
+  const FailureEvent& fe = log.event;
+  switch (fe.kind) {
+    case FailureKind::kNodeDown:
+      node_alive_[fe.node] = 0;
+      SetNodeServersDisabled(fe.node, true, now);
+      break;
+    case FailureKind::kNodeUp:
+      node_alive_[fe.node] = 1;
+      SetNodeServersDisabled(fe.node, false, now);
+      break;
+    case FailureKind::kLinkDown:
+      DisableServer(LinkId(fe.node, fe.peer), true, now);
+      break;
+    case FailureKind::kLinkUp:
+      DisableServer(LinkId(fe.node, fe.peer), false, now);
+      break;
+  }
+  stats_.failure_events_applied++;
+  // Routing reacts only when the detector fires.
+  Event ev;
+  ev.time = now + config_.failure_detection_delay;
+  ev.kind = Event::Kind::kDetect;
+  ev.fail_index = fail_index;
+  events_.push(ev);
+}
+
+void ClusterSim::ApplyDetection(uint32_t fail_index, SimTime now) {
+  FailureLogEntry& log = failure_log_[fail_index];
+  log.detected = now;
+  const FailureEvent& fe = log.event;
+  switch (fe.kind) {
+    case FailureKind::kNodeDown:
+      health_.SetNodeAlive(fe.node, false);
+      for (auto& vlb : vlb_) {
+        vlb->OnNodeUnhealthy(fe.node);
+      }
+      break;
+    case FailureKind::kNodeUp:
+      health_.SetNodeAlive(fe.node, true);
+      break;
+    case FailureKind::kLinkDown:
+      health_.SetLinkUp(fe.node, fe.peer, false);
+      for (auto& vlb : vlb_) {
+        vlb->OnLinkUnhealthy(fe.node, fe.peer);
+      }
+      break;
+    case FailureKind::kLinkUp:
+      health_.SetLinkUp(fe.node, fe.peer, true);
+      break;
+  }
 }
 
 uint32_t ClusterSim::AllocSlot() {
@@ -230,10 +340,31 @@ void ClusterSim::MaybeProbe() {
   }
 }
 
+void ClusterSim::DropFailed(uint32_t slot, bool link, SimTime now) {
+  InFlight& pkt = packets_[slot];
+  if (pkt.trace != 0) {
+    tele_tracer_->Abandon(
+        pkt.trace, Format("drop-%s@%u", link ? "link-fail" : "node-fail", pkt.cur), now);
+  }
+  if (link) {
+    stats_.drops.failed_link++;
+  } else {
+    stats_.drops.failed_node++;
+  }
+  if (TimelineBucket* b = BucketFor(now)) {
+    b->dropped++;
+    b->failed_dropped++;
+  }
+  ReleaseSlot(slot);
+}
+
 void ClusterSim::DropAt(ServerKind kind, uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
   if (pkt.trace != 0) {
     tele_tracer_->Abandon(pkt.trace, Format("drop-%s@%u", ServerKindName(kind), pkt.cur), now);
+  }
+  if (TimelineBucket* b = BucketFor(now)) {
+    b->dropped++;
   }
   switch (kind) {
     case ServerKind::kExtRxNic:
@@ -261,6 +392,11 @@ void ClusterSim::DropAt(ServerKind kind, uint32_t slot, SimTime now) {
 void ClusterSim::ArriveAt(uint32_t server_id, uint32_t slot, SimTime now) {
   FifoServer& server = servers_[server_id];
   InFlight& pkt = packets_[slot];
+  if (server.disabled) {
+    // The node (or directed link) is down: the packet vanishes into it.
+    DropFailed(slot, server.kind == ServerKind::kLink, now);
+    return;
+  }
   ServerJob job;
   job.packet_slot = slot;
   job.service_seconds = ServiceSecondsFor(server, pkt);
@@ -289,6 +425,16 @@ void ClusterSim::StartService(uint32_t server_id, SimTime now) {
 void ClusterSim::OnServiceComplete(uint32_t server_id, SimTime now) {
   FifoServer& server = servers_[server_id];
   RB_CHECK(server.busy && !server.queue.empty());
+  if (server.disabled) {
+    // The server died while this job was in service: the packet is lost
+    // with it. (Anything queued behind it was already blackholed when the
+    // server was disabled.)
+    ServerJob job = server.queue.front();
+    server.queue.pop_front();
+    server.busy = false;
+    DropFailed(job.packet_slot, server.kind == ServerKind::kLink, now);
+    return;
+  }
   ServerJob job = server.queue.front();
   server.queue.pop_front();
   server.busy = false;
@@ -378,6 +524,10 @@ void ClusterSim::ForwardAfter(uint32_t slot, SimTime now) {
 void ClusterSim::RecordDelivery(const InFlight& pkt, SimTime delivered) {
   stats_.delivered_packets++;
   stats_.delivered_bytes += pkt.bytes;
+  if (TimelineBucket* b = BucketFor(delivered)) {
+    b->delivered++;
+    b->latency_sum += delivered - pkt.injected;
+  }
   delivered_by_src_[pkt.src]++;
   delivered_by_dst_[pkt.dst]++;
   delivered_bytes_by_src_[pkt.src] += pkt.bytes;
@@ -475,10 +625,19 @@ void ClusterSim::Deliver(uint32_t slot, SimTime now) {
 void ClusterSim::ProcessEvent(const Event& ev) {
   now_ = ev.time;
   MaybeProbe();
-  if (ev.kind == Event::Kind::kCompletion) {
-    OnServiceComplete(ev.server, now_);
-  } else {
-    ArriveAt(ev.arrival_server, ev.packet_slot, now_);
+  switch (ev.kind) {
+    case Event::Kind::kCompletion:
+      OnServiceComplete(ev.server, now_);
+      break;
+    case Event::Kind::kArrival:
+      ArriveAt(ev.arrival_server, ev.packet_slot, now_);
+      break;
+    case Event::Kind::kFail:
+      ApplyFailure(ev.fail_index, now_);
+      break;
+    case Event::Kind::kDetect:
+      ApplyDetection(ev.fail_index, now_);
+      break;
   }
 }
 
@@ -501,6 +660,9 @@ void ClusterSim::Inject(uint16_t src, uint16_t dst, uint64_t flow_id, uint64_t f
   AdvanceTo(t);
   stats_.offered_packets++;
   stats_.offered_bytes += bytes;
+  if (TimelineBucket* b = BucketFor(t)) {
+    b->offered++;
+  }
   uint32_t slot = AllocSlot();
   InFlight& pkt = packets_[slot];
   pkt = InFlight{};
@@ -543,7 +705,12 @@ ClusterRunStats ClusterSim::Finish(SimTime duration) {
         duration > 0 ? static_cast<double>(delivered_bytes_by_src_[i]) * 8.0 / duration : 0;
     stats_.direct_packets += vlb_[i]->direct_packets();
     stats_.balanced_packets += vlb_[i]->balanced_packets();
+    stats_.failover_reroutes += vlb_[i]->failover_reroutes();
+    stats_.flowlet_repins += vlb_[i]->flowlet_repins();
+    stats_.flowlets_invalidated += vlb_[i]->flowlets_invalidated();
   }
+  stats_.failure_log = failure_log_;
+  stats_.timeline = std::move(timeline_);
   uint64_t total = reorder_.total_packets();
   stats_.reorder_packet_fraction =
       total ? static_cast<double>(reorder_.reordered_packets()) / static_cast<double>(total) : 0;
@@ -567,6 +734,22 @@ void ClusterSim::FinishTelemetry(SimTime duration) {
   r.GetCounter("des/drops/link")->Add(stats_.drops.link);
   r.GetCounter("des/drops/rx_nic")->Add(stats_.drops.rx_nic);
   r.GetCounter("des/drops/ext_out")->Add(stats_.drops.ext_out);
+  r.GetCounter("des/drops/failed_node")->Add(stats_.drops.failed_node);
+  r.GetCounter("des/drops/failed_link")->Add(stats_.drops.failed_link);
+  if (!failure_log_.empty()) {
+    r.GetCounter("des/failures/events")->Add(stats_.failure_events_applied);
+    r.GetCounter("des/failures/rerouted_packets")->Add(stats_.failover_reroutes);
+    r.GetCounter("des/failures/flowlet_repins")->Add(stats_.flowlet_repins);
+    r.GetCounter("des/failures/flowlets_invalidated")->Add(stats_.flowlets_invalidated);
+    r.GetGauge("des/failures/detection_delay_s")->Set(config_.failure_detection_delay);
+    // Time from the last recovery (node/link up) to its detection — the
+    // interval during which capacity was back but routing still avoided it.
+    for (const FailureLogEntry& log : failure_log_) {
+      if (log.event.kind == FailureKind::kNodeUp || log.event.kind == FailureKind::kLinkUp) {
+        r.GetGauge("des/failures/last_recovery_detect_s")->Set(log.detected);
+      }
+    }
+  }
   for (uint16_t i = 0; i < config_.num_nodes; ++i) {
     const FifoServer& cpu = servers_[CpuId(i)];
     r.GetCounter(Format("des/node%u/cpu/served", i))->Add(cpu.served);
@@ -587,6 +770,7 @@ NodeStats ClusterSim::node_stats(uint16_t i) const {
   ns.cpu_busy_seconds = cpu.busy_time;
   ns.delivered = delivered_by_dst_[i];
   ns.delivered_bytes = delivered_bytes_by_dst_[i];
+  ns.alive = node_alive_[i] != 0;
   return ns;
 }
 

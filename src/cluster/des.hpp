@@ -16,6 +16,7 @@
 #ifndef RB_CLUSTER_DES_HPP_
 #define RB_CLUSTER_DES_HPP_
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <queue>
@@ -23,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/failure.hpp"
 #include "cluster/node.hpp"
 #include "cluster/reorder.hpp"
 #include "common/stats.hpp"
@@ -81,6 +83,19 @@ struct ClusterConfig {
 
   uint64_t seed = 2024;
 
+  // Failure injection: scripted node/link down/up events applied at their
+  // scheduled (ground-truth) times. Routing reacts only once the failure
+  // detector fires, `failure_detection_delay` later (the heartbeat
+  // timeout: interval x missed-beat threshold); until then peers keep
+  // sending into the failed element and those packets are blackholed.
+  FailureSchedule failures;
+  SimTime failure_detection_delay = 200e-6;
+
+  // With a window > 0, Finish() returns a per-window timeline of offered /
+  // delivered / dropped packets and latency (bucketed by event time) — the
+  // before/during/after view the failover bench plots.
+  SimTime timeline_window = 0;
+
   // The paper's prototype: 4 Nehalem nodes, full mesh, Direct VLB with
   // flowlets, calibrated application costs.
   static ClusterConfig Rb4();
@@ -93,8 +108,40 @@ struct ClusterDrops {
   uint64_t link = 0;
   uint64_t rx_nic = 0;
   uint64_t ext_out = 0;
+  // Failure taxonomy: blackholed by a down node (arrivals at, queued in,
+  // or in service at any of its servers) / by a disabled directed link.
+  uint64_t failed_node = 0;
+  uint64_t failed_link = 0;
 
-  uint64_t total() const { return ext_rx_nic + cpu + tx_nic + link + rx_nic + ext_out; }
+  uint64_t total() const {
+    return ext_rx_nic + cpu + tx_nic + link + rx_nic + ext_out + failed_node + failed_link;
+  }
+  uint64_t failed() const { return failed_node + failed_link; }
+};
+
+// One timeline_window's worth of activity (ClusterConfig::timeline_window).
+struct TimelineBucket {
+  uint64_t offered = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;         // all causes, including failures
+  uint64_t failed_dropped = 0;  // failure-taxonomy subset of dropped
+  double latency_sum = 0;       // seconds, over delivered
+
+  double mean_latency() const {
+    return delivered ? latency_sum / static_cast<double>(delivered) : 0;
+  }
+  double loss_fraction() const {
+    return offered ? static_cast<double>(offered - std::min(offered, delivered)) /
+                         static_cast<double>(offered)
+                   : 0;
+  }
+};
+
+// An applied failure event with its ground-truth and detection times.
+struct FailureLogEntry {
+  FailureEvent event;
+  SimTime applied = 0;
+  SimTime detected = 0;
 };
 
 struct ClusterRunStats {
@@ -126,6 +173,14 @@ struct ClusterRunStats {
   uint64_t balanced_packets = 0;
   double resequencer_added_delay_mean = 0;
   uint64_t resequencer_timeouts = 0;
+
+  // Failure-injection outcomes (zero when no schedule was configured).
+  uint64_t failure_events_applied = 0;
+  uint64_t failover_reroutes = 0;      // direct-preferring decisions pushed to via
+  uint64_t flowlet_repins = 0;         // flowlets re-pinned off a dead path
+  uint64_t flowlets_invalidated = 0;   // flowlets erased at detection time
+  std::vector<FailureLogEntry> failure_log;
+  std::vector<TimelineBucket> timeline;  // empty unless timeline_window > 0
 };
 
 class ClusterSim {
@@ -156,6 +211,15 @@ class ClusterSim {
 
   const ClusterConfig& config() const { return config_; }
   NodeStats node_stats(uint16_t i) const;
+
+  // Believed liveness as of the last processed event (transitions lag
+  // ground truth by failure_detection_delay).
+  const HealthView& health() const { return health_; }
+  // Running drop taxonomy; usable mid-run (tests snapshot it between
+  // Inject calls to pin down when blackholing stops).
+  const ClusterDrops& current_drops() const { return stats_.drops; }
+  // Applied failure events so far, with apply/detect timestamps.
+  const std::vector<FailureLogEntry>& failure_log() const { return failure_log_; }
 
   // Attaches telemetry sinks; call before any Inject. With a registry, the
   // delivery-latency histogram accumulates under "des/latency_s" and the
@@ -202,10 +266,11 @@ class ClusterSim {
 
   struct Event {
     SimTime time = 0;
-    enum class Kind : uint8_t { kCompletion, kArrival } kind = Kind::kArrival;
+    enum class Kind : uint8_t { kCompletion, kArrival, kFail, kDetect } kind = Kind::kArrival;
     uint32_t server = 0;       // completion: which server finished
     uint32_t packet_slot = 0;  // arrival: which packet arrives
     uint32_t arrival_server = 0;
+    uint32_t fail_index = 0;   // kFail/kDetect: index into failure_log_
 
     bool operator>(const Event& o) const { return time > o.time; }
   };
@@ -233,6 +298,16 @@ class ClusterSim {
   void Deliver(uint32_t slot, SimTime now);
   void DropAt(ServerKind kind, uint32_t slot, SimTime now);
   double ServiceSecondsFor(const FifoServer& server, const InFlight& pkt) const;
+
+  // --- failure injection ---
+  void ScheduleFailures();
+  void ApplyFailure(uint32_t fail_index, SimTime now);
+  void ApplyDetection(uint32_t fail_index, SimTime now);
+  void SetNodeServersDisabled(uint16_t node, bool disabled, SimTime now);
+  void DisableServer(uint32_t server_id, bool disabled, SimTime now);
+  // Blackhole drop (failure taxonomy); `link` selects failed_link.
+  void DropFailed(uint32_t slot, bool link, SimTime now);
+  TimelineBucket* BucketFor(SimTime t);
 
   // --- telemetry ---
   std::string StageLabel(const InFlight& pkt) const;
@@ -264,6 +339,13 @@ class ClusterSim {
   std::vector<InFlight> packets_;
   std::vector<uint32_t> free_slots_;
   SimTime now_ = 0;
+
+  // Failure injection: ground-truth node liveness, believed liveness, and
+  // the applied-event log (kFail/kDetect events index into it).
+  std::vector<uint8_t> node_alive_;
+  HealthView health_;
+  std::vector<FailureLogEntry> failure_log_;
+  std::vector<TimelineBucket> timeline_;
 
   std::vector<uint64_t> delivered_by_src_;
   std::vector<uint64_t> delivered_by_dst_;

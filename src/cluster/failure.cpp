@@ -1,0 +1,202 @@
+#include "cluster/failure.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace rb {
+
+const char* FailureKindName(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNodeDown:
+      return "node-down";
+    case FailureKind::kNodeUp:
+      return "node-up";
+    case FailureKind::kLinkDown:
+      return "link-down";
+    case FailureKind::kLinkUp:
+      return "link-up";
+  }
+  return "?";
+}
+
+FailureSchedule& FailureSchedule::Add(const FailureEvent& ev) {
+  RB_CHECK_MSG(ev.time >= 0, "failure events need non-negative times");
+  if (!events_.empty() && ev.time < events_.back().time) {
+    sorted_ = false;
+  }
+  events_.push_back(ev);
+  return *this;
+}
+
+FailureSchedule& FailureSchedule::NodeDown(uint16_t node, SimTime t) {
+  return Add(FailureEvent{t, FailureKind::kNodeDown, node, 0});
+}
+
+FailureSchedule& FailureSchedule::NodeUp(uint16_t node, SimTime t) {
+  return Add(FailureEvent{t, FailureKind::kNodeUp, node, 0});
+}
+
+FailureSchedule& FailureSchedule::LinkDown(uint16_t from, uint16_t to, SimTime t) {
+  return Add(FailureEvent{t, FailureKind::kLinkDown, from, to});
+}
+
+FailureSchedule& FailureSchedule::LinkUp(uint16_t from, uint16_t to, SimTime t) {
+  return Add(FailureEvent{t, FailureKind::kLinkUp, from, to});
+}
+
+const std::vector<FailureEvent>& FailureSchedule::events() const {
+  if (!sorted_) {
+    std::stable_sort(events_.begin(), events_.end(),
+                     [](const FailureEvent& a, const FailureEvent& b) { return a.time < b.time; });
+    sorted_ = true;
+  }
+  return events_;
+}
+
+namespace {
+
+bool ParseEntry(const std::string& entry, FailureEvent* ev) {
+  std::vector<std::string> parts = Split(entry, ':');
+  if (parts.size() != 3) {
+    return false;
+  }
+  char* end = nullptr;
+  ev->time = std::strtod(parts[0].c_str(), &end);
+  if (end == parts[0].c_str() || *end != '\0' || ev->time < 0) {
+    return false;
+  }
+  const std::string& kind = parts[1];
+  bool link = kind == "link-down" || kind == "link-up";
+  if (kind == "node-down") {
+    ev->kind = FailureKind::kNodeDown;
+  } else if (kind == "node-up") {
+    ev->kind = FailureKind::kNodeUp;
+  } else if (kind == "link-down") {
+    ev->kind = FailureKind::kLinkDown;
+  } else if (kind == "link-up") {
+    ev->kind = FailureKind::kLinkUp;
+  } else {
+    return false;
+  }
+  if (link) {
+    std::vector<std::string> ends = Split(parts[2], '-');
+    if (ends.size() != 2) {
+      return false;
+    }
+    ev->node = static_cast<uint16_t>(std::strtoul(ends[0].c_str(), &end, 10));
+    if (end == ends[0].c_str() || *end != '\0') {
+      return false;
+    }
+    ev->peer = static_cast<uint16_t>(std::strtoul(ends[1].c_str(), &end, 10));
+    if (end == ends[1].c_str() || *end != '\0' || ev->node == ev->peer) {
+      return false;
+    }
+  } else {
+    ev->node = static_cast<uint16_t>(std::strtoul(parts[2].c_str(), &end, 10));
+    if (end == parts[2].c_str() || *end != '\0') {
+      return false;
+    }
+    ev->peer = 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FailureSchedule::Parse(const std::string& spec, FailureSchedule* out) {
+  FailureSchedule parsed;
+  std::string normalized = spec;
+  std::replace(normalized.begin(), normalized.end(), ';', ',');
+  for (const std::string& raw : Split(normalized, ',')) {
+    std::string entry = Trim(raw);
+    if (entry.empty()) {
+      continue;
+    }
+    FailureEvent ev;
+    if (!ParseEntry(entry, &ev)) {
+      return false;
+    }
+    parsed.Add(ev);
+  }
+  *out = std::move(parsed);
+  return true;
+}
+
+FailureSchedule FailureSchedule::RandomNodeFailures(uint16_t num_nodes, SimTime mtbf, SimTime mttr,
+                                                    SimTime horizon, uint64_t seed) {
+  RB_CHECK(mtbf > 0 && mttr > 0 && horizon > 0);
+  FailureSchedule sched;
+  for (uint16_t node = 0; node < num_nodes; ++node) {
+    // Per-node generator so adding nodes does not perturb earlier nodes'
+    // draws.
+    Rng rng(seed ^ (0xf00dULL + node * 0x9e3779b97f4a7c15ULL));
+    SimTime t = 0;
+    while (true) {
+      t += rng.NextExponential(mtbf);
+      if (t >= horizon) {
+        break;
+      }
+      sched.NodeDown(node, t);
+      t += rng.NextExponential(mttr);
+      if (t >= horizon) {
+        break;  // stays down past the horizon
+      }
+      sched.NodeUp(node, t);
+    }
+  }
+  return sched;
+}
+
+HealthView::HealthView(uint16_t num_nodes) : n_(num_nodes) {
+  RB_CHECK(num_nodes >= 1);
+  node_alive_.assign(n_, 1);
+  link_up_.assign(static_cast<size_t>(n_) * n_, 1);
+}
+
+void HealthView::SetNodeAlive(uint16_t node, bool alive) {
+  RB_CHECK(node < n_);
+  uint8_t v = alive ? 1 : 0;
+  if (node_alive_[node] != v) {
+    node_alive_[node] = v;
+    version_++;
+  }
+}
+
+void HealthView::SetLinkUp(uint16_t from, uint16_t to, bool up) {
+  RB_CHECK(from < n_ && to < n_);
+  uint8_t v = up ? 1 : 0;
+  uint8_t& slot = link_up_[static_cast<size_t>(from) * n_ + to];
+  if (slot != v) {
+    slot = v;
+    version_++;
+  }
+}
+
+bool HealthView::NodeAlive(uint16_t node) const {
+  RB_CHECK(node < n_);
+  return node_alive_[node] != 0;
+}
+
+bool HealthView::LinkUp(uint16_t from, uint16_t to) const {
+  RB_CHECK(from < n_ && to < n_);
+  // A link to or from a dead node is unusable regardless of the edge's own
+  // state.
+  if (node_alive_[from] == 0 || node_alive_[to] == 0) {
+    return false;
+  }
+  return link_up_[static_cast<size_t>(from) * n_ + to] != 0;
+}
+
+uint16_t HealthView::alive_nodes() const {
+  uint16_t alive = 0;
+  for (uint8_t a : node_alive_) {
+    alive = static_cast<uint16_t>(alive + (a != 0 ? 1 : 0));
+  }
+  return alive;
+}
+
+}  // namespace rb

@@ -1,0 +1,103 @@
+// Failure injection and failure detection for the cluster (§3 robustness).
+//
+// The VLB mesh's selling point is graceful degradation: when a server or an
+// internal link dies, uniform spreading lets the survivors keep serving at
+// the degraded-mesh bound instead of collapsing. This header provides the
+// two pieces the DES needs to exercise that claim:
+//
+//  * FailureSchedule — a time-ordered script of node-down/up and directed
+//    link-down/up events, built explicitly, parsed from a compact text
+//    spec, or generated randomly from seeded MTBF/MTTR draws.
+//  * HealthView — the *believed* liveness of nodes and directed links, as
+//    seen by the routing layer. Ground truth changes at the scheduled
+//    event time; beliefs change only after the detection delay (the
+//    heartbeat timeout), which is exactly the window during which routers
+//    keep blackholing traffic into a dead peer.
+#ifndef RB_CLUSTER_FAILURE_HPP_
+#define RB_CLUSTER_FAILURE_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rb {
+
+enum class FailureKind : uint8_t { kNodeDown, kNodeUp, kLinkDown, kLinkUp };
+
+const char* FailureKindName(FailureKind kind);
+
+struct FailureEvent {
+  SimTime time = 0;
+  FailureKind kind = FailureKind::kNodeDown;
+  uint16_t node = 0;  // node events: the node; link events: the source
+  uint16_t peer = 0;  // link events: the destination of the directed edge
+};
+
+// A scripted sequence of failure/recovery events. Events may be added in
+// any order; events() returns them sorted by time (stable for ties, so a
+// down and an up scripted at the same instant apply in insertion order).
+class FailureSchedule {
+ public:
+  FailureSchedule& NodeDown(uint16_t node, SimTime t);
+  FailureSchedule& NodeUp(uint16_t node, SimTime t);
+  FailureSchedule& LinkDown(uint16_t from, uint16_t to, SimTime t);
+  FailureSchedule& LinkUp(uint16_t from, uint16_t to, SimTime t);
+  FailureSchedule& Add(const FailureEvent& ev);
+
+  // Parses a comma/semicolon-separated spec, each entry
+  //   <time>:<kind>:<node>            kind in {node-down, node-up}
+  //   <time>:<kind>:<from>-<to>       kind in {link-down, link-up}
+  // e.g. "0.01:node-down:2,0.02:node-up:2,0.015:link-down:0-3".
+  // Returns false (leaving *out* untouched) on malformed input.
+  static bool Parse(const std::string& spec, FailureSchedule* out);
+
+  // Seeded random mode: each node independently alternates up -> down ->
+  // up with exponential time-to-failure (mean `mtbf`) and exponential
+  // repair time (mean `mttr`), over [0, horizon). Deterministic in `seed`.
+  static FailureSchedule RandomNodeFailures(uint16_t num_nodes, SimTime mtbf, SimTime mttr,
+                                            SimTime horizon, uint64_t seed);
+
+  // Sorted by time (stable).
+  const std::vector<FailureEvent>& events() const;
+
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+ private:
+  mutable std::vector<FailureEvent> events_;
+  mutable bool sorted_ = true;
+};
+
+// Believed liveness of nodes and directed links, updated by the failure
+// detector (in the DES: a scheduled event `detection_delay` after the
+// ground-truth transition). Everything starts alive/up. A dead node also
+// reports every adjacent link as down, so callers only need the two
+// queries below. version() bumps on every transition; cached routing
+// decisions can compare it to notice that beliefs changed.
+class HealthView {
+ public:
+  explicit HealthView(uint16_t num_nodes);
+
+  void SetNodeAlive(uint16_t node, bool alive);
+  void SetLinkUp(uint16_t from, uint16_t to, bool up);
+
+  bool NodeAlive(uint16_t node) const;
+  bool LinkUp(uint16_t from, uint16_t to) const;
+
+  uint16_t num_nodes() const { return n_; }
+  uint64_t version() const { return version_; }
+  // Nodes currently believed alive.
+  uint16_t alive_nodes() const;
+
+ private:
+  uint16_t n_;
+  std::vector<uint8_t> node_alive_;
+  std::vector<uint8_t> link_up_;  // [from * n_ + to]
+  uint64_t version_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_FAILURE_HPP_

@@ -10,10 +10,26 @@ FlowletPath FlowletTable::Lookup(uint64_t flow_id, SimTime now) {
   return it->second.path;
 }
 
-void FlowletTable::Commit(uint64_t flow_id, SimTime now, FlowletPath path) {
+void FlowletTable::Commit(uint64_t flow_id, SimTime now, FlowletPath path, uint16_t dst) {
   Entry& e = entries_[flow_id];
   e.last_seen = now;
   e.path = path;
+  e.dst = dst;
+}
+
+size_t FlowletTable::Invalidate(uint16_t via, uint16_t dst) {
+  size_t erased = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool via_match = via == kAny || it->second.path.via == via;
+    bool dst_match = dst == kAny || it->second.dst == dst;
+    if (via_match && dst_match) {
+      it = entries_.erase(it);
+      erased++;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
 }
 
 void FlowletTable::Expire(SimTime now) {

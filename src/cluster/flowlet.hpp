@@ -30,6 +30,9 @@ struct FlowletPath {
 
 class FlowletTable {
  public:
+  // Wildcard for Invalidate(): matches any via / any destination.
+  static constexpr uint16_t kAny = 0xfffd;
+
   explicit FlowletTable(SimTime delta) : delta_(delta) {}
 
   // Returns the current path for `flow_id` if the flowlet is still live
@@ -37,8 +40,16 @@ class FlowletTable {
   // the last-seen time afterwards via Commit().
   FlowletPath Lookup(uint64_t flow_id, SimTime now);
 
-  // Records the path chosen for this packet.
-  void Commit(uint64_t flow_id, SimTime now, FlowletPath path);
+  // Records the path chosen for this packet. `dst` (the flowlet's output
+  // node) keys path invalidation on failures; kAny if unknown.
+  void Commit(uint64_t flow_id, SimTime now, FlowletPath path, uint16_t dst = kAny);
+
+  // Path invalidation on failure detection: erases every entry whose
+  // pinned path matches (via, dst), so the flow re-pins on its next packet
+  // instead of blackholing for the rest of δ. `via` is a node id,
+  // FlowletPath::kDirect, or kAny; `dst` is a node id or kAny. Returns the
+  // number of flowlets invalidated.
+  size_t Invalidate(uint16_t via, uint16_t dst);
 
   // Drops entries idle for more than δ (bounds memory in long runs).
   void Expire(SimTime now);
@@ -50,6 +61,7 @@ class FlowletTable {
   struct Entry {
     SimTime last_seen = 0;
     FlowletPath path;
+    uint16_t dst = kAny;
   };
 
   SimTime delta_;

@@ -46,6 +46,11 @@ struct FifoServer {
 
   std::deque<ServerJob> queue;
   bool busy = false;
+  // Failure injection: a disabled server accepts nothing (arrivals are
+  // blackholed by the simulator) and blackholes the job in service when
+  // its completion fires. Set while the owning node (or this directed
+  // link) is down.
+  bool disabled = false;
   uint64_t served = 0;
   uint64_t drops = 0;
   uint64_t bytes = 0;
@@ -71,6 +76,7 @@ struct NodeStats {
   double cpu_busy_seconds = 0;
   uint64_t delivered = 0;
   uint64_t delivered_bytes = 0;
+  bool alive = true;  // ground-truth liveness (failure injection)
 };
 
 }  // namespace rb

@@ -15,6 +15,13 @@ void ReorderDetector::Deliver(uint64_t flow_id, uint64_t flow_seq) {
     st.in_reordered_run = false;
     return;
   }
+  if (flow_seq == st.max_seq) {
+    // A duplicate delivery of the newest packet is not a reordering: no
+    // earlier packet overtook it. Counting it as reordered (and opening a
+    // reordered run) inflated the Fig-style percentages.
+    duplicate_packets_++;
+    return;
+  }
   // Late packet: part of a reordered sequence. A contiguous run of late
   // packets counts once.
   reordered_packets_++;

@@ -24,6 +24,9 @@ class ReorderDetector {
   uint64_t total_packets() const { return total_; }
   uint64_t reordered_packets() const { return reordered_packets_; }
   uint64_t reordered_sequences() const { return reordered_sequences_; }
+  // Re-deliveries of a flow's newest sequence number; tracked separately
+  // so duplicates do not inflate the reordering fractions.
+  uint64_t duplicate_packets() const { return duplicate_packets_; }
   uint64_t flows() const { return flows_.size(); }
 
   // Fraction of reordered sequences over delivered packets (the paper's
@@ -46,6 +49,7 @@ class ReorderDetector {
   uint64_t total_ = 0;
   uint64_t reordered_packets_ = 0;
   uint64_t reordered_sequences_ = 0;
+  uint64_t duplicate_packets_ = 0;
 };
 
 }  // namespace rb

@@ -8,6 +8,12 @@ FullMeshTopology::FullMeshTopology(uint16_t num_nodes) : n_(num_nodes) {
   RB_CHECK(num_nodes >= 2);
 }
 
+double FullMeshTopology::DegradedUniformDeliveredFraction(uint16_t n, uint16_t failed) {
+  RB_CHECK(n >= 1 && failed <= n);
+  double alive = static_cast<double>(n - failed) / static_cast<double>(n);
+  return alive * alive;
+}
+
 KAryNFlyTopology::KAryNFlyTopology(uint32_t k, uint32_t n) : k_(k), n_(n) {
   RB_CHECK(k >= 2);
   RB_CHECK(n >= 1);

@@ -27,6 +27,15 @@ class FullMeshTopology {
   static constexpr int kDirectHops = 1;
   static constexpr int kBalancedHops = 2;
 
+  // Analytic degraded-mesh bound: with `failed` of `n` nodes down under a
+  // uniform all-to-all traffic matrix, the fraction of total offered load
+  // that is still deliverable — alive inputs ((n-f)/n) times the fraction
+  // of their traffic addressed to alive outputs ((n-f)/n). The VLB mesh
+  // meets this bound as long as the survivors have the 2R-3R headroom of
+  // §3.2; the failover bench checks the DES settles here rather than
+  // collapsing.
+  static double DegradedUniformDeliveredFraction(uint16_t n, uint16_t failed);
+
  private:
   uint16_t n_;
 };

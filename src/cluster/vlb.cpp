@@ -34,20 +34,82 @@ double DirectVlbRouter::EstimatedRate(uint16_t dst, uint16_t via, SimTime now) c
   return Read(via_rate_[via], now);
 }
 
+bool DirectVlbRouter::NodeUp(uint16_t node) const {
+  return health_ == nullptr || health_->NodeAlive(node);
+}
+
+bool DirectVlbRouter::LinkOk(uint16_t from, uint16_t to) const {
+  return health_ == nullptr || health_->LinkUp(from, to);
+}
+
+bool DirectVlbRouter::PathHealthy(const FlowletPath& path, uint16_t dst) const {
+  if (health_ == nullptr) {
+    return true;
+  }
+  if (path.direct()) {
+    return LinkOk(self_, dst);
+  }
+  return LinkOk(self_, path.via) && LinkOk(path.via, dst);
+}
+
+size_t DirectVlbRouter::OnNodeUnhealthy(uint16_t node) {
+  // Flowlets balanced via the node, plus every flowlet (direct or via)
+  // destined to it.
+  size_t erased = flowlets_.Invalidate(node, FlowletTable::kAny);
+  erased += flowlets_.Invalidate(FlowletTable::kAny, node);
+  invalidated_ += erased;
+  return erased;
+}
+
+size_t DirectVlbRouter::OnLinkUnhealthy(uint16_t from, uint16_t to) {
+  size_t erased = 0;
+  if (from == self_) {
+    // First-hop edge: direct flowlets to `to`, and via-flowlets whose
+    // intermediate is `to`.
+    erased += flowlets_.Invalidate(FlowletPath::kDirect, to);
+    erased += flowlets_.Invalidate(to, FlowletTable::kAny);
+  } else {
+    // Second-hop edge from -> to: via-flowlets through `from` destined to
+    // `to`.
+    erased += flowlets_.Invalidate(from, to);
+  }
+  invalidated_ += erased;
+  return erased;
+}
+
 uint16_t DirectVlbRouter::PickIntermediate(uint16_t dst, Rng* rng) {
   // Uniform over nodes other than self and dst (those two would not be
-  // load-balancing). num_nodes >= 3 is required to balance at all; in a
-  // 2-node cluster everything is direct.
+  // load-balancing) that are believed alive with both hops of the two-hop
+  // path self -> v -> dst believed up. In a ≤2-node cluster, or when every
+  // candidate is believed unreachable, there is nothing to balance
+  // through: kNoVia, and the caller takes the direct link.
   uint16_t n = config_.num_nodes;
-  if (n <= 2) {
-    return dst;
-  }
-  while (true) {
-    uint16_t v = static_cast<uint16_t>(rng->NextBounded(n));
-    if (v != self_ && v != dst) {
-      return v;
+  pick_scratch_.clear();
+  for (uint16_t v = 0; v < n; ++v) {
+    if (v == self_ || v == dst) {
+      continue;
     }
+    if (!NodeUp(v) || !LinkOk(self_, v) || !LinkOk(v, dst)) {
+      continue;
+    }
+    pick_scratch_.push_back(v);
   }
+  if (pick_scratch_.empty()) {
+    return kNoVia;
+  }
+  return pick_scratch_[rng->NextBounded(pick_scratch_.size())];
+}
+
+VlbDecision DirectVlbRouter::TakeDirect(uint16_t dst, uint64_t flow_id, uint32_t bytes,
+                                        SimTime now) {
+  Charge(&direct_rate_[dst], bytes, now);
+  if (config_.flowlets) {
+    flowlets_.Commit(flow_id, now, FlowletPath{FlowletPath::kDirect}, dst);
+  }
+  direct_packets_++;
+  VlbDecision d;
+  d.direct = true;
+  return d;
 }
 
 VlbDecision DirectVlbRouter::Route(uint16_t dst, uint64_t flow_id, uint32_t bytes, SimTime now) {
@@ -56,11 +118,27 @@ VlbDecision DirectVlbRouter::Route(uint16_t dst, uint64_t flow_id, uint32_t byte
       config_.port_rate_bps / config_.num_nodes * 1.0;  // R/N (Direct VLB rule)
   const double link_budget = config_.internal_link_bps * config_.overload_threshold;
 
+  // A destination believed dead has no deliverable path at all: send
+  // direct rather than burn an intermediate's capacity on a doomed packet.
+  // (Checked before the flowlet logic so such flows do not churn the
+  // re-pin counters every packet.)
+  if (!NodeUp(dst)) {
+    return TakeDirect(dst, flow_id, bytes, now);
+  }
+  const bool direct_link_ok = LinkOk(self_, dst);
+
   VlbDecision d;
 
   if (config_.flowlets) {
     flowlets_.Expire(now);
     FlowletPath path = flowlets_.Lookup(flow_id, now);
+    if (path.assigned() && !PathHealthy(path, dst)) {
+      // The pinned path died: re-pin now via a fresh decision below
+      // (which Commits the replacement) instead of blackholing until δ
+      // expires.
+      repins_++;
+      path = FlowletPath{};
+    }
     if (path.assigned()) {
       if (path.direct()) {
         // A flowlet assigned to the direct path stays there: revoking it
@@ -69,14 +147,14 @@ VlbDecision DirectVlbRouter::Route(uint16_t dst, uint64_t flow_id, uint32_t byte
         // flowlets are assigned — and the EWMA charge here is what that
         // admission check reads.
         Charge(&direct_rate_[dst], bytes, now);
-        flowlets_.Commit(flow_id, now, path);
+        flowlets_.Commit(flow_id, now, path, dst);
         direct_packets_++;
         d.direct = true;
         return d;
       }
       if (Read(via_rate_[path.via], now) <= link_budget) {
         Charge(&via_rate_[path.via], bytes, now);
-        flowlets_.Commit(flow_id, now, path);
+        flowlets_.Commit(flow_id, now, path, dst);
         balanced_packets_++;
         d.via = path.via;
         return d;
@@ -84,30 +162,46 @@ VlbDecision DirectVlbRouter::Route(uint16_t dst, uint64_t flow_id, uint32_t byte
       // The flowlet's path is overloaded: spill to per-packet balancing
       // (classic VLB) for this packet; the flowlet keeps its assignment
       // so later packets retry it.
-      spilled_++;
-      d.spilled = true;
-      d.via = PickIntermediate(dst, &rng_);
-      Charge(&via_rate_[d.via], bytes, now);
+      uint16_t via = PickIntermediate(dst, &rng_);
+      if (via != kNoVia) {
+        spilled_++;
+        d.spilled = true;
+        d.via = via;
+        Charge(&via_rate_[d.via], bytes, now);
+        balanced_packets_++;
+        return d;
+      }
+      // No alternative intermediate: stay on the (overloaded but healthy)
+      // assigned path.
+      Charge(&via_rate_[path.via], bytes, now);
+      flowlets_.Commit(flow_id, now, path, dst);
       balanced_packets_++;
+      d.via = path.via;
       return d;
     }
   }
 
-  // Fresh decision: direct when Direct VLB is on and within budget.
-  if (config_.direct_vlb && Read(direct_rate_[dst], now) < direct_budget) {
-    Charge(&direct_rate_[dst], bytes, now);
-    if (config_.flowlets) {
-      flowlets_.Commit(flow_id, now, FlowletPath{FlowletPath::kDirect});
-    }
-    direct_packets_++;
-    d.direct = true;
-    return d;
+  // Fresh decision: direct when Direct VLB is on, the direct link is
+  // believed up, and the R/N budget has room.
+  if (config_.direct_vlb && direct_link_ok && Read(direct_rate_[dst], now) < direct_budget) {
+    return TakeDirect(dst, flow_id, bytes, now);
   }
 
   d.via = PickIntermediate(dst, &rng_);
+  if (d.via == kNoVia) {
+    // Nothing to balance through (≤2 nodes, or every intermediate is
+    // believed dead): the direct link is the only path. Classified and
+    // charged as direct — it traverses the direct link.
+    return TakeDirect(dst, flow_id, bytes, now);
+  }
+  if (config_.direct_vlb && !direct_link_ok) {
+    // Direct was the preferred path but its link is believed down:
+    // failure-driven fallback to via-routing.
+    failover_reroutes_++;
+  }
   Charge(&via_rate_[d.via], bytes, now);
   if (config_.flowlets) {
-    flowlets_.Commit(flow_id, now, FlowletPath{d.via});
+    flowlets_.Commit(flow_id, now, FlowletPath{d.via}, dst);
   }
   balanced_packets_++;
   return d;

@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/failure.hpp"
 #include "cluster/flowlet.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -45,9 +46,17 @@ struct VlbDecision {
   bool spilled = false;  // flowlet overflowed to per-packet balancing
 };
 
-// Path selector for one input node.
+// Path selector for one input node. Optionally failure-aware: bind a
+// HealthView and the router excludes nodes/links believed dead, falls back
+// to via-routing when the direct link to the destination is down, and
+// re-pins flowlets whose path died (instead of blackholing for δ).
 class DirectVlbRouter {
  public:
+  // Sentinel returned by PickIntermediate when no load-balancing
+  // intermediate exists (≤2-node cluster, or every candidate is believed
+  // dead/unreachable): the packet must take the direct link.
+  static constexpr uint16_t kNoVia = 0xffff;
+
   DirectVlbRouter(const VlbConfig& config, uint16_t self);
 
   // Chooses the path for a packet of `bytes` bytes of flow `flow_id`
@@ -58,9 +67,27 @@ class DirectVlbRouter {
   // direct path. Exposed for tests.
   double EstimatedRate(uint16_t dst, uint16_t via, SimTime now) const;
 
+  // Binds the believed-liveness view consulted on every decision. The view
+  // must outlive the router; nullptr (the default) disables failure
+  // awareness.
+  void set_health(const HealthView* health) { health_ = health; }
+
+  // Failure-detection hooks: erase flowlets pinned to paths that traverse
+  // the failed element, so affected flows re-pin on their next packet.
+  // Return the number of flowlets invalidated.
+  size_t OnNodeUnhealthy(uint16_t node);
+  size_t OnLinkUnhealthy(uint16_t from, uint16_t to);
+
   uint64_t direct_packets() const { return direct_packets_; }
   uint64_t balanced_packets() const { return balanced_packets_; }
   uint64_t spilled_flowlets() const { return spilled_; }
+  // Packets sent via an intermediate because the direct link (or the
+  // destination-facing path) was believed down.
+  uint64_t failover_reroutes() const { return failover_reroutes_; }
+  // Flowlets re-pinned at routing time because their pinned path died.
+  uint64_t flowlet_repins() const { return repins_; }
+  // Flowlets erased eagerly by the OnNodeUnhealthy/OnLinkUnhealthy hooks.
+  uint64_t flowlets_invalidated() const { return invalidated_; }
 
  private:
   // Token bucket + EWMA rate tracker per path.
@@ -72,18 +99,27 @@ class DirectVlbRouter {
   void Charge(PathRate* pr, uint32_t bytes, SimTime now) const;
   double Read(const PathRate& pr, SimTime now) const;
   uint16_t PickIntermediate(uint16_t dst, Rng* rng);
+  bool NodeUp(uint16_t node) const;
+  bool LinkOk(uint16_t from, uint16_t to) const;
+  bool PathHealthy(const FlowletPath& path, uint16_t dst) const;
+  VlbDecision TakeDirect(uint16_t dst, uint64_t flow_id, uint32_t bytes, SimTime now);
 
   VlbConfig config_;
   uint16_t self_;
   FlowletTable flowlets_;
   Rng rng_;
+  const HealthView* health_ = nullptr;
   // direct_rate_[dst]: rate sent directly to dst (budget R/N each).
   std::vector<PathRate> direct_rate_;
   // via_rate_[via]: phase-1 rate sent through each neighbor link.
   std::vector<PathRate> via_rate_;
+  std::vector<uint16_t> pick_scratch_;  // candidate buffer, no per-call alloc
   uint64_t direct_packets_ = 0;
   uint64_t balanced_packets_ = 0;
   uint64_t spilled_ = 0;
+  uint64_t failover_reroutes_ = 0;
+  uint64_t repins_ = 0;
+  uint64_t invalidated_ = 0;
 };
 
 }  // namespace rb

@@ -72,7 +72,8 @@ void VlbSteer::Push(int /*port*/, Packet* p) {
   }
 }
 
-FunctionalCluster::FunctionalCluster(const FunctionalClusterConfig& config) : config_(config) {
+FunctionalCluster::FunctionalCluster(const FunctionalClusterConfig& config)
+    : config_(config), health_(config.num_nodes) {
   RB_CHECK(config.num_nodes >= 2);
   pool_ = std::make_unique<PacketPool>(config.pool_packets);
   uint16_t n = config.num_nodes;
@@ -83,6 +84,7 @@ FunctionalCluster::FunctionalCluster(const FunctionalClusterConfig& config) : co
     vc.num_nodes = n;
     vc.seed = config.seed ^ (0xabcdULL * (i + 1));
     vlb_.push_back(std::make_unique<DirectVlbRouter>(vc, i));
+    vlb_.back()->set_health(&health_);
   }
   for (uint16_t i = 0; i < n; ++i) {
     BuildNode(i);

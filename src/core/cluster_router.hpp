@@ -108,6 +108,13 @@ class FunctionalCluster {
   DirectVlbRouter& vlb(uint16_t node) { return *vlb_[node]; }
   uint64_t wire_packets() const { return wire_packets_; }
 
+  // Believed node/link liveness, shared by every node's VLB router. The
+  // functional cluster has no failure mechanics of its own (the DES
+  // models those); flipping beliefs here exercises failure-aware path
+  // selection on the real Click graphs. Invalidate pinned flowlets via
+  // DirectVlbRouter::OnNodeUnhealthy/OnLinkUnhealthy per node.
+  HealthView& health() { return health_; }
+
  private:
   struct Node {
     std::unique_ptr<Router> graph;
@@ -120,6 +127,7 @@ class FunctionalCluster {
   size_t PumpWires();
 
   FunctionalClusterConfig config_;
+  HealthView health_;
   std::unique_ptr<PacketPool> pool_;
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<DirectVlbRouter>> vlb_;

@@ -58,7 +58,18 @@ class SpscRing {
   }
 
   size_t size() const {
-    return head_.load(std::memory_order_acquire) - tail_.load(std::memory_order_acquire);
+    // Read tail before head: the producer only advances head_, so a head
+    // sampled after tail can never be older than it and the difference
+    // cannot underflow. (Reading head first let a concurrent consumer
+    // advance tail_ past the stale head, wrapping size() to ~SIZE_MAX and
+    // poisoning occupancy gauges.) Churn between the two loads can still
+    // inflate the difference past the ring size, so clamp into
+    // [0, capacity] — size() is approximate under concurrency, but always
+    // a plausible occupancy.
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    const size_t diff = head > tail ? head - tail : 0;
+    return diff > mask_ + 1 ? mask_ + 1 : diff;
   }
   bool empty() const { return size() == 0; }
   size_t capacity() const { return mask_ + 1; }

@@ -122,6 +122,9 @@ class Packet {
   uint8_t paint_ = 0;
   uint64_t trace_handle_ = 0;
   PacketPool* origin_pool_ = nullptr;
+  // Maintained by PacketPool to reject double-frees (two owners aliasing
+  // one buffer).
+  bool in_pool_ = false;
 };
 
 }  // namespace rb

@@ -9,6 +9,7 @@ PacketPool::PacketPool(size_t capacity)
   free_.reserve(capacity);
   for (size_t i = 0; i < capacity; ++i) {
     storage_[i].origin_pool_ = this;
+    storage_[i].in_pool_ = true;
     free_.push_back(&storage_[i]);
   }
 }
@@ -26,13 +27,18 @@ Packet* PacketPool::Alloc() {
   }
   Packet* p = free_.back();
   free_.pop_back();
+  p->in_pool_ = false;
   return p;
 }
 
 void PacketPool::Free(Packet* p) {
   RB_CHECK_MSG(p != nullptr, "freeing null packet");
   RB_CHECK_MSG(p->origin_pool_ == this, "packet returned to the wrong pool");
+  // A second Free() would push the packet onto the freelist twice, letting
+  // two later Alloc() calls hand out the same buffer.
+  RB_CHECK_MSG(!p->in_pool_, "double free: packet is already in the pool");
   p->ResetMetadata();
+  p->in_pool_ = true;
   free_.push_back(p);
 }
 

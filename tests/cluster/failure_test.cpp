@@ -1,0 +1,169 @@
+#include "cluster/failure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rb {
+namespace {
+
+TEST(FailureScheduleTest, EventsSortByTimeStably) {
+  FailureSchedule sched;
+  sched.NodeDown(2, 0.5);
+  sched.LinkDown(0, 3, 0.1);
+  sched.NodeUp(2, 0.5);  // same instant as the down: insertion order wins
+  const auto& evs = sched.events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].kind, FailureKind::kLinkDown);
+  EXPECT_EQ(evs[1].kind, FailureKind::kNodeDown);
+  EXPECT_EQ(evs[2].kind, FailureKind::kNodeUp);
+}
+
+TEST(FailureScheduleTest, FluentBuilderRecordsFields) {
+  FailureSchedule sched;
+  sched.LinkDown(1, 4, 0.25).LinkUp(1, 4, 0.75);
+  const auto& evs = sched.events();
+  ASSERT_EQ(evs.size(), 2u);
+  EXPECT_DOUBLE_EQ(evs[0].time, 0.25);
+  EXPECT_EQ(evs[0].node, 1);
+  EXPECT_EQ(evs[0].peer, 4);
+  EXPECT_EQ(evs[1].kind, FailureKind::kLinkUp);
+}
+
+TEST(FailureScheduleTest, ParsesNodeAndLinkEntries) {
+  FailureSchedule sched;
+  ASSERT_TRUE(FailureSchedule::Parse(
+      "0.01:node-down:2, 0.02:node-up:2; 0.015:link-down:0-3", &sched));
+  const auto& evs = sched.events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].kind, FailureKind::kNodeDown);
+  EXPECT_EQ(evs[0].node, 2);
+  EXPECT_DOUBLE_EQ(evs[0].time, 0.01);
+  EXPECT_EQ(evs[1].kind, FailureKind::kLinkDown);
+  EXPECT_EQ(evs[1].node, 0);
+  EXPECT_EQ(evs[1].peer, 3);
+  EXPECT_EQ(evs[2].kind, FailureKind::kNodeUp);
+}
+
+TEST(FailureScheduleTest, ParseEmptySpecYieldsEmptySchedule) {
+  FailureSchedule sched;
+  EXPECT_TRUE(FailureSchedule::Parse("", &sched));
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(FailureScheduleTest, ParseRejectsMalformedInput) {
+  FailureSchedule sched;
+  sched.NodeDown(1, 1.0);  // must be left untouched by failed parses
+  EXPECT_FALSE(FailureSchedule::Parse("0.01:node-sideways:2", &sched));
+  EXPECT_FALSE(FailureSchedule::Parse("abc:node-down:2", &sched));
+  EXPECT_FALSE(FailureSchedule::Parse("-1:node-down:2", &sched));
+  EXPECT_FALSE(FailureSchedule::Parse("0.01:node-down:", &sched));
+  EXPECT_FALSE(FailureSchedule::Parse("0.01:link-down:3", &sched));
+  EXPECT_FALSE(FailureSchedule::Parse("0.01:link-down:3-3", &sched));
+  EXPECT_FALSE(FailureSchedule::Parse("0.01:link-down:3-x", &sched));
+  EXPECT_FALSE(FailureSchedule::Parse("0.01:node-down:2:junk", &sched));
+  ASSERT_EQ(sched.size(), 1u);
+  EXPECT_EQ(sched.events()[0].node, 1);
+}
+
+TEST(FailureScheduleTest, RandomModeIsDeterministicInSeed) {
+  auto a = FailureSchedule::RandomNodeFailures(8, 0.05, 0.01, 1.0, 7);
+  auto b = FailureSchedule::RandomNodeFailures(8, 0.05, 0.01, 1.0, 7);
+  auto c = FailureSchedule::RandomNodeFailures(8, 0.05, 0.01, 1.0, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+  }
+  // A different seed gives a different draw (overwhelmingly likely).
+  bool differs = a.size() != c.size();
+  for (size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = a.events()[i].time != c.events()[i].time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FailureScheduleTest, RandomModeAlternatesDownUpPerNode) {
+  auto sched = FailureSchedule::RandomNodeFailures(4, 0.02, 0.005, 1.0, 42);
+  ASSERT_FALSE(sched.empty());
+  // Per node, events must alternate down, up, down, ... in time order.
+  for (uint16_t node = 0; node < 4; ++node) {
+    FailureKind expected = FailureKind::kNodeDown;
+    for (const FailureEvent& ev : sched.events()) {
+      if (ev.node != node) {
+        continue;
+      }
+      EXPECT_EQ(ev.kind, expected);
+      EXPECT_LT(ev.time, 1.0);
+      expected = expected == FailureKind::kNodeDown ? FailureKind::kNodeUp
+                                                    : FailureKind::kNodeDown;
+    }
+  }
+}
+
+TEST(FailureScheduleTest, RandomModeAddingNodesKeepsEarlierDraws) {
+  auto small = FailureSchedule::RandomNodeFailures(2, 0.05, 0.01, 1.0, 7);
+  auto big = FailureSchedule::RandomNodeFailures(4, 0.05, 0.01, 1.0, 7);
+  // Node 0's and node 1's events are identical in both schedules.
+  for (uint16_t node = 0; node < 2; ++node) {
+    std::vector<SimTime> ts_small;
+    std::vector<SimTime> ts_big;
+    for (const FailureEvent& ev : small.events()) {
+      if (ev.node == node) ts_small.push_back(ev.time);
+    }
+    for (const FailureEvent& ev : big.events()) {
+      if (ev.node == node) ts_big.push_back(ev.time);
+    }
+    EXPECT_EQ(ts_small, ts_big) << "node " << node;
+  }
+}
+
+TEST(HealthViewTest, EverythingStartsAlive) {
+  HealthView h(4);
+  EXPECT_EQ(h.alive_nodes(), 4);
+  EXPECT_EQ(h.version(), 0u);
+  for (uint16_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(h.NodeAlive(i));
+    for (uint16_t j = 0; j < 4; ++j) {
+      if (i != j) {
+        EXPECT_TRUE(h.LinkUp(i, j));
+      }
+    }
+  }
+}
+
+TEST(HealthViewTest, DeadNodeKillsAdjacentLinks) {
+  HealthView h(4);
+  h.SetNodeAlive(2, false);
+  EXPECT_FALSE(h.NodeAlive(2));
+  EXPECT_EQ(h.alive_nodes(), 3);
+  EXPECT_FALSE(h.LinkUp(0, 2));
+  EXPECT_FALSE(h.LinkUp(2, 0));
+  EXPECT_TRUE(h.LinkUp(0, 1));
+  // Revival restores the links (their own state was never down).
+  h.SetNodeAlive(2, true);
+  EXPECT_TRUE(h.LinkUp(0, 2));
+}
+
+TEST(HealthViewTest, LinkStateIsDirected) {
+  HealthView h(4);
+  h.SetLinkUp(0, 3, false);
+  EXPECT_FALSE(h.LinkUp(0, 3));
+  EXPECT_TRUE(h.LinkUp(3, 0));
+}
+
+TEST(HealthViewTest, VersionBumpsOnlyOnTransitions) {
+  HealthView h(4);
+  h.SetNodeAlive(1, true);  // no-op: already alive
+  EXPECT_EQ(h.version(), 0u);
+  h.SetNodeAlive(1, false);
+  EXPECT_EQ(h.version(), 1u);
+  h.SetNodeAlive(1, false);  // no-op
+  EXPECT_EQ(h.version(), 1u);
+  h.SetLinkUp(0, 2, false);
+  EXPECT_EQ(h.version(), 2u);
+  h.SetLinkUp(0, 2, false);  // no-op
+  EXPECT_EQ(h.version(), 2u);
+}
+
+}  // namespace
+}  // namespace rb

@@ -78,5 +78,54 @@ TEST(FlowletTest, IndependentFlows) {
   EXPECT_EQ(table.Lookup(2, 0.01).via, 5);
 }
 
+TEST(FlowletTest, InvalidateByViaErasesOnlyMatchingEntries) {
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{3}, /*dst=*/6);
+  table.Commit(2, 0.0, FlowletPath{3}, /*dst=*/7);
+  table.Commit(3, 0.0, FlowletPath{4}, /*dst=*/6);
+  EXPECT_EQ(table.Invalidate(3, FlowletTable::kAny), 2u);
+  EXPECT_FALSE(table.Lookup(1, 0.01).assigned());
+  EXPECT_FALSE(table.Lookup(2, 0.01).assigned());
+  EXPECT_EQ(table.Lookup(3, 0.01).via, 4);
+}
+
+TEST(FlowletTest, InvalidateByDstErasesAllPathsToThatNode) {
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{2}, /*dst=*/6);
+  table.Commit(2, 0.0, FlowletPath{FlowletPath::kDirect}, /*dst=*/6);
+  table.Commit(3, 0.0, FlowletPath{2}, /*dst=*/7);
+  EXPECT_EQ(table.Invalidate(FlowletTable::kAny, 6), 2u);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Lookup(3, 0.01).via, 2);
+}
+
+TEST(FlowletTest, InvalidateDirectToOneDstSparesViaPaths) {
+  // A single link (self -> dst) dying kills only direct flowlets to dst;
+  // via-routed flowlets to the same dst still work.
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{FlowletPath::kDirect}, /*dst=*/6);
+  table.Commit(2, 0.0, FlowletPath{4}, /*dst=*/6);
+  EXPECT_EQ(table.Invalidate(FlowletPath::kDirect, 6), 1u);
+  EXPECT_FALSE(table.Lookup(1, 0.01).assigned());
+  EXPECT_EQ(table.Lookup(2, 0.01).via, 4);
+}
+
+TEST(FlowletTest, InvalidateAnyAnyClearsTable) {
+  FlowletTable table(0.1);
+  for (uint64_t f = 0; f < 10; ++f) {
+    table.Commit(f, 0.0, FlowletPath{static_cast<uint16_t>(f % 3)}, /*dst=*/5);
+  }
+  EXPECT_EQ(table.Invalidate(FlowletTable::kAny, FlowletTable::kAny), 10u);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowletTest, InvalidateUnknownDstIsNoOp) {
+  // Entries committed without a dst (kAny) only match dst-wildcard queries.
+  FlowletTable table(0.1);
+  table.Commit(1, 0.0, FlowletPath{2});
+  EXPECT_EQ(table.Invalidate(FlowletTable::kAny, 6), 0u);
+  EXPECT_EQ(table.Invalidate(2, FlowletTable::kAny), 1u);
+}
+
 }  // namespace
 }  // namespace rb

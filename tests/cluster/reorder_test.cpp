@@ -59,11 +59,39 @@ TEST(ReorderTest, FractionsNormalizeByTotal) {
   EXPECT_DOUBLE_EQ(det.SequenceFraction(), 0.25);
 }
 
-TEST(ReorderTest, DuplicateSeqCountsAsLate) {
+TEST(ReorderTest, DuplicateOfNewestIsNotReordered) {
+  // A duplicate delivery of the flow's newest packet is not a reordering —
+  // nothing overtook it. It lands in its own counter instead of inflating
+  // the Fig-style percentages.
   ReorderDetector det;
   det.Deliver(1, 1);
   det.Deliver(1, 1);
-  EXPECT_EQ(det.reordered_packets(), 1u);
+  EXPECT_EQ(det.reordered_packets(), 0u);
+  EXPECT_EQ(det.reordered_sequences(), 0u);
+  EXPECT_EQ(det.duplicate_packets(), 1u);
+  EXPECT_EQ(det.total_packets(), 2u);
+}
+
+TEST(ReorderTest, DuplicateDoesNotOpenAReorderedRun) {
+  ReorderDetector det;
+  det.Deliver(1, 5);
+  det.Deliver(1, 5);  // duplicate: must not open a run
+  det.Deliver(1, 3);  // genuinely late: opens the one and only run
+  det.Deliver(1, 4);  // same contiguous run
+  EXPECT_EQ(det.duplicate_packets(), 1u);
+  EXPECT_EQ(det.reordered_packets(), 2u);
+  EXPECT_EQ(det.reordered_sequences(), 1u);
+}
+
+TEST(ReorderTest, DuplicateInsideRunLeavesRunStateAlone) {
+  ReorderDetector det;
+  det.Deliver(2, 5);
+  det.Deliver(2, 3);  // opens a run
+  det.Deliver(2, 5);  // duplicate of the max mid-run
+  det.Deliver(2, 4);  // still the same run
+  EXPECT_EQ(det.reordered_sequences(), 1u);
+  EXPECT_EQ(det.reordered_packets(), 2u);
+  EXPECT_EQ(det.duplicate_packets(), 1u);
 }
 
 TEST(ReorderTest, FirstPacketNeverLate) {

@@ -139,6 +139,145 @@ TEST(VlbTest, EstimatedRateTracksOfferedLoad) {
   EXPECT_NEAR(router.EstimatedRate(1, FlowletPath::kDirect, t), target_bps, target_bps * 0.2);
 }
 
+TEST(VlbTest, TwoNodeClusterAlwaysDirectEvenOverBudget) {
+  // Regression: with N=2 there is no intermediate, so PickIntermediate used
+  // to return dst itself and the packet was miscounted as balanced (and
+  // charged to via_rate_). Everything must classify as direct, even far
+  // over the R/N budget.
+  VlbConfig cfg = BaseConfig();
+  cfg.num_nodes = 2;
+  DirectVlbRouter router(cfg, 0);
+  double pkt_gap = 64.0 * 8.0 / 10e9;  // full R toward node 1 (budget R/2)
+  SimTime t = 0;
+  for (int i = 0; i < 50000; ++i) {
+    VlbDecision d = router.Route(1, static_cast<uint64_t>(i), 64, t);
+    EXPECT_TRUE(d.direct);
+    t += pkt_gap;
+  }
+  EXPECT_EQ(router.balanced_packets(), 0u);
+  EXPECT_EQ(router.direct_packets(), 50000u);
+  // And the direct path, not a phantom via link, carried the charge.
+  EXPECT_GT(router.EstimatedRate(1, FlowletPath::kDirect, t), 1e9);
+  EXPECT_EQ(router.EstimatedRate(1, 1, t), 0.0);
+}
+
+TEST(VlbTest, TwoNodeClassicVlbAlsoDirect) {
+  // Classic VLB has no direct budget, but with no intermediate available
+  // the only correct path is still the direct link.
+  VlbConfig cfg = BaseConfig(/*direct=*/false);
+  cfg.num_nodes = 2;
+  DirectVlbRouter router(cfg, 0);
+  for (int i = 0; i < 1000; ++i) {
+    VlbDecision d = router.Route(1, static_cast<uint64_t>(i), 64, i * 1e-6);
+    EXPECT_TRUE(d.direct);
+  }
+  EXPECT_EQ(router.balanced_packets(), 0u);
+}
+
+TEST(VlbTest, PickIntermediateExcludesBelievedDeadNodes) {
+  VlbConfig cfg = BaseConfig(/*direct=*/false);
+  HealthView health(8);
+  health.SetNodeAlive(3, false);
+  health.SetNodeAlive(4, false);
+  DirectVlbRouter router(cfg, 0);
+  router.set_health(&health);
+  for (int i = 0; i < 5000; ++i) {
+    VlbDecision d = router.Route(6, static_cast<uint64_t>(i), 64, i * 1e-6);
+    EXPECT_NE(d.via, 3);
+    EXPECT_NE(d.via, 4);
+  }
+}
+
+TEST(VlbTest, PickIntermediateExcludesDownLinks) {
+  VlbConfig cfg = BaseConfig(/*direct=*/false);
+  HealthView health(8);
+  health.SetLinkUp(0, 2, false);  // can't reach intermediate 2
+  health.SetLinkUp(5, 6, false);  // intermediate 5 can't reach dst 6
+  DirectVlbRouter router(cfg, 0);
+  router.set_health(&health);
+  for (int i = 0; i < 5000; ++i) {
+    VlbDecision d = router.Route(6, static_cast<uint64_t>(i), 64, i * 1e-6);
+    EXPECT_NE(d.via, 2);
+    EXPECT_NE(d.via, 5);
+  }
+}
+
+TEST(VlbTest, DirectLinkDownFallsBackToVia) {
+  // Direct VLB under budget would go direct, but the direct link is
+  // believed down: traffic must via-route and count a failover reroute.
+  VlbConfig cfg = BaseConfig();
+  cfg.flowlets = false;
+  HealthView health(8);
+  health.SetLinkUp(0, 5, false);
+  DirectVlbRouter router(cfg, 0);
+  router.set_health(&health);
+  double pkt_gap = 64.0 * 8.0 / 1e9;  // well under the R/N budget
+  SimTime t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    VlbDecision d = router.Route(5, static_cast<uint64_t>(i), 64, t);
+    EXPECT_FALSE(d.direct);
+    EXPECT_NE(d.via, 5);
+    t += pkt_gap;
+  }
+  EXPECT_EQ(router.direct_packets(), 0u);
+  EXPECT_EQ(router.failover_reroutes(), 2000u);
+}
+
+TEST(VlbTest, DeadDestinationStillRoutesDirect) {
+  // No intermediate can help when the destination itself is believed dead;
+  // the router sends direct (the DES blackholes it into the failed-node
+  // drop bucket) rather than wasting a via hop.
+  VlbConfig cfg = BaseConfig();
+  HealthView health(8);
+  health.SetNodeAlive(5, false);
+  DirectVlbRouter router(cfg, 0);
+  router.set_health(&health);
+  double pkt_gap = 64.0 * 8.0 / 10e9;  // over budget: would normally spill
+  SimTime t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    VlbDecision d = router.Route(5, static_cast<uint64_t>(i), 64, t);
+    EXPECT_TRUE(d.direct);
+    t += pkt_gap;
+  }
+  EXPECT_EQ(router.balanced_packets(), 0u);
+}
+
+TEST(VlbTest, OnNodeUnhealthyRepinsFlowlets) {
+  // A flowlet pinned via node 3 must re-pin (not blackhole for δ) once the
+  // detector reports node 3 dead.
+  VlbConfig cfg = BaseConfig(/*direct=*/false, /*flowlets=*/true);
+  cfg.flowlet_delta = 10.0;  // long δ so only invalidation can move it
+  HealthView health(8);
+  DirectVlbRouter router(cfg, 0);
+  router.set_health(&health);
+  VlbDecision first = router.Route(6, 42, 64, 0.0);
+  ASSERT_FALSE(first.direct);
+  uint16_t dead = first.via;
+  health.SetNodeAlive(dead, false);
+  EXPECT_GE(router.OnNodeUnhealthy(dead), 1u);
+  EXPECT_GE(router.flowlets_invalidated(), 1u);
+  for (int i = 1; i < 100; ++i) {
+    VlbDecision d = router.Route(6, 42, 64, i * 1e-3);
+    EXPECT_NE(d.via, dead) << "flowlet must not stay pinned through a dead node";
+  }
+}
+
+TEST(VlbTest, RouteTimeRepinWhenPathDiesWithoutHook) {
+  // Even without the eager invalidation hook, Route() itself must notice a
+  // pinned path that the health view now reports dead and re-pin.
+  VlbConfig cfg = BaseConfig(/*direct=*/false, /*flowlets=*/true);
+  cfg.flowlet_delta = 10.0;
+  HealthView health(8);
+  DirectVlbRouter router(cfg, 0);
+  router.set_health(&health);
+  VlbDecision first = router.Route(6, 42, 64, 0.0);
+  uint16_t dead = first.via;
+  health.SetNodeAlive(dead, false);  // belief flips; no OnNodeUnhealthy call
+  VlbDecision d = router.Route(6, 42, 64, 1e-3);
+  EXPECT_NE(d.via, dead);
+  EXPECT_GE(router.flowlet_repins(), 1u);
+}
+
 TEST(VlbDeathTest, BadDestinationAborts) {
   DirectVlbRouter router(BaseConfig(), 0);
   EXPECT_DEATH(router.Route(99, 1, 64, 0.0), "");

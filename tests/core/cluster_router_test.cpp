@@ -136,6 +136,42 @@ TEST(FunctionalClusterTest, FlowletKeepsFlowInOrder) {
   EXPECT_EQ(det.reordered_packets(), 0u);
 }
 
+TEST(FunctionalClusterTest, SharedHealthViewGuidesEveryNodesVlb) {
+  // The cluster-wide HealthView is bound to every node's VLB router at
+  // construction: flipping a belief steers all path selection at once.
+  FunctionalCluster cluster(SmallCluster(/*direct=*/false, /*flowlets=*/false));
+  cluster.health().SetNodeAlive(2, false);
+  for (uint16_t self = 0; self < 4; ++self) {
+    if (self == 2) {
+      continue;
+    }
+    uint16_t dst = self == 1 ? 3 : 1;
+    for (int i = 0; i < 200; ++i) {
+      VlbDecision d = cluster.vlb(self).Route(dst, static_cast<uint64_t>(i), 64, i * 1e-6);
+      EXPECT_NE(d.via, 2) << "node " << self;
+    }
+  }
+}
+
+TEST(FunctionalClusterTest, TrafficAvoidsBelievedDeadNodeEndToEnd) {
+  FunctionalCluster cluster(SmallCluster(/*direct=*/false, /*flowlets=*/false));
+  cluster.health().SetNodeAlive(2, false);
+  const int kPackets = 100;
+  for (int i = 0; i < kPackets; ++i) {
+    cluster.InjectExternal(0, FrameTo(&cluster, 1, static_cast<uint64_t>(i), 0), i * 1e-6);
+  }
+  cluster.RunUntilIdle();
+  // Two-phase VLB with the only other intermediate (3): everything still
+  // delivers in two hops.
+  EXPECT_EQ(cluster.wire_packets(), static_cast<uint64_t>(2 * kPackets));
+  Packet* out[128];
+  size_t n = cluster.DrainExternal(1, out, 128);
+  EXPECT_EQ(n, static_cast<size_t>(kPackets));
+  for (size_t i = 0; i < n; ++i) {
+    cluster.pool().Free(out[i]);
+  }
+}
+
 TEST(FunctionalClusterTest, NoPacketsLeakFromPool) {
   FunctionalCluster cluster(SmallCluster());
   size_t cap = cluster.pool().capacity();

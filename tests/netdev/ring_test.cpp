@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -75,6 +76,45 @@ TEST(SpscRingTest, ConcurrentProducerConsumer) {
   }
   producer.join();
   EXPECT_TRUE(ring.empty());
+}
+
+// Regression test for the size() underflow: a third thread samples size()
+// while producer and consumer run. With the old load order (head before
+// tail) the sampler could read a stale head and a fresh tail, computing
+// head - tail as a huge unsigned value. Run under TSan/stress; the name
+// matches the CI thread-test filter (*Ring*).
+TEST(SpscRingTest, ConcurrentSizeNeverExceedsCapacity) {
+  SpscRing<uint64_t> ring(256);
+  constexpr uint64_t kItems = 50000;
+  std::atomic<bool> done{false};
+  std::atomic<bool> size_ok{true};
+  std::thread sampler([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      size_t s = ring.size();
+      if (s > ring.capacity()) {
+        size_ok.store(false, std::memory_order_release);
+      }
+    }
+  });
+  std::thread producer([&] {
+    for (uint64_t i = 0; i < kItems;) {
+      if (ring.TryPush(i)) {
+        i++;
+      }
+    }
+  });
+  uint64_t popped = 0;
+  while (popped < kItems) {
+    uint64_t v;
+    if (ring.TryPop(&v)) {
+      popped++;
+    }
+  }
+  producer.join();
+  done.store(true, std::memory_order_release);
+  sampler.join();
+  EXPECT_TRUE(size_ok.load());
+  EXPECT_EQ(ring.size(), 0u);
 }
 
 TEST(LockedRingTest, FifoAndCapacity) {

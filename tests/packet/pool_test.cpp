@@ -65,6 +65,33 @@ TEST(PoolDeathTest, FreeToWrongPoolAborts) {
   a.Free(p);
 }
 
+TEST(PoolDeathTest, DoubleFreeAborts) {
+  PacketPool pool(2);
+  Packet* p = pool.Alloc();
+  pool.Free(p);
+  EXPECT_DEATH(pool.Free(p), "double free");
+}
+
+TEST(PoolDeathTest, FreeOfNeverAllocatedPacketAborts) {
+  // Every packet starts life on the freelist; freeing one that was never
+  // handed out is also a double-free.
+  PacketPool pool(1);
+  Packet* p = pool.Alloc();
+  pool.Free(p);
+  EXPECT_DEATH(pool.Free(p), "already in the pool");
+}
+
+TEST(PoolTest, ReallocAfterFreeIsLegalAgain) {
+  // The in-pool flag must clear on Alloc so the normal cycle keeps working.
+  PacketPool pool(1);
+  for (int i = 0; i < 3; ++i) {
+    Packet* p = pool.Alloc();
+    ASSERT_NE(p, nullptr);
+    pool.Free(p);
+  }
+  EXPECT_EQ(pool.available(), 1u);
+}
+
 TEST(PoolTest, AllPacketsDistinct) {
   PacketPool pool(16);
   std::vector<Packet*> all;
