@@ -1,0 +1,305 @@
+// Figure 9-style per-element cycle breakdown, measured (not modeled): runs
+// the four Figure 8 workloads (fwd/64B, rtr/64B, ipsec/64B, fwd/Abilene)
+// through the real Click pipeline with the cycle-accounting profiler
+// installed, prints where the cycles/packet go (task -> element -> phase),
+// and emits the paper's CPU/memory/NIC bottleneck verdict per workload
+// from the measured cycles plus the model's bus loads.
+//
+//   $ ./bench_fig9_breakdown [--packets=N] [--smoke] [--json=BENCH_profile.json]
+//                            [--profile-out=full_tree.json]
+//
+// --json writes the flat regression-tracked document (the committed
+// baseline lives at bench/baselines/BENCH_profile.json and is checked by
+// tools/check_bench_regression.py); --profile-out writes the full scope
+// tree of the last workload for ad-hoc inspection.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "core/single_server_router.hpp"
+#include "harness/metrics_out.hpp"
+#include "harness/report.hpp"
+#include "model/throughput.hpp"
+#include "telemetry/bottleneck.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/perf_counters.hpp"
+#include "telemetry/profiler.hpp"
+#include "workload/abilene.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+struct Workload {
+  const char* key;      // stable JSON key tracked by the regression checker
+  const char* label;    // table label
+  rb::App app;
+  bool abilene;
+};
+
+struct WorkloadResult {
+  const Workload* w = nullptr;
+  uint64_t packets = 0;
+  uint64_t bytes = 0;
+  double pipeline_cycles_per_packet = 0;  // profiled roots / packets
+  double wall_mpps = 0;
+  double attribution_coverage = 0;  // profiled root cycles / raw tsc delta
+  rb::telemetry::PerfSample perf;
+  rb::telemetry::ProfileSnapshot profile;
+  rb::telemetry::BottleneckVerdict verdict;
+};
+
+// Drives `packets` 64 B (or Abilene-mix) frames through a 2-port,
+// single-core router with the profiler installed. The three harness scopes
+// (inject / run / drain) make the profiled roots cover the whole drive
+// loop, so attribution_coverage measures what the scope tree explains of
+// the raw cycle delta around the loop.
+WorkloadResult RunWorkload(const Workload& w, int packets) {
+  namespace tele = rb::telemetry;
+
+  rb::SingleServerConfig cfg;
+  cfg.num_ports = 2;
+  cfg.queues_per_port = 1;
+  cfg.cores = 1;
+  cfg.app = w.app;
+  cfg.pool_packets = 16384;
+  cfg.table.num_routes = 65536;
+  rb::SingleServerRouter router(cfg);
+  router.Initialize();
+
+  rb::SyntheticConfig syn_cfg;
+  syn_cfg.packet_size = 64;
+  syn_cfg.random_dst = w.app == rb::App::kIpRouting;
+  rb::SyntheticGenerator syn(syn_cfg);
+  rb::AbileneGenerator abilene(rb::AbileneConfig{1024, 3});
+
+  [[maybe_unused]] const tele::ScopeId inject_scope = tele::InternScopeName("harness/inject");
+  [[maybe_unused]] const tele::ScopeId run_scope = tele::InternScopeName("harness/run");
+  [[maybe_unused]] const tele::ScopeId drain_scope = tele::InternScopeName("harness/drain");
+
+  tele::Profiler profiler;
+  tele::SetProfiler(&profiler);
+  tele::PerfCounterGroup perf;
+
+  WorkloadResult out;
+  out.w = &w;
+  rb::Packet* burst[64];
+  auto drain = [&] {
+    RB_PROF_SCOPE(drain_scope);
+    for (int port = 0; port < cfg.num_ports; ++port) {
+      size_t n;
+      while ((n = router.DrainPort(port, burst, std::size(burst))) > 0) {
+        for (size_t i = 0; i < n; ++i) {
+          router.pool().Free(burst[i]);
+        }
+        out.packets += n;
+      }
+    }
+  };
+
+  perf.Start();
+  const uint64_t t0 = tele::ReadCycles();
+  int done = 0;
+  while (done < packets) {
+    {
+      RB_PROF_SCOPE(inject_scope);
+      int batch = std::min(1024, packets - done);
+      for (int i = 0; i < batch; ++i) {
+        rb::FrameSpec spec = w.abilene ? abilene.Next() : syn.Next();
+        if (w.app == rb::App::kIpRouting &&
+            router.table().Lookup(spec.flow.dst_ip) == rb::LpmTable::kNoRoute) {
+          continue;
+        }
+        rb::Packet* p = rb::AllocFrame(spec, &router.pool());
+        if (p == nullptr) {
+          break;
+        }
+        router.DeliverFrame(done % cfg.num_ports, p, 0.0);
+        out.bytes += spec.size;
+        done++;
+      }
+    }
+    {
+      RB_PROF_SCOPE(run_scope);
+      router.RunUntilIdle();
+    }
+    drain();
+  }
+  const uint64_t raw_cycles = tele::ReadCycles() - t0;
+  out.perf = perf.Stop();
+  tele::SetProfiler(nullptr);
+
+  out.profile = profiler.Snapshot();
+  const uint64_t profiled = out.profile.TotalCycles();
+  if (out.packets > 0) {
+    out.pipeline_cycles_per_packet =
+        static_cast<double>(profiled) / static_cast<double>(out.packets);
+  }
+  if (raw_cycles > 0) {
+    out.attribution_coverage = static_cast<double>(profiled) / static_cast<double>(raw_cycles);
+  }
+  if (out.profile.cycles_per_sec > 0 && out.packets > 0) {
+    out.wall_mpps = static_cast<double>(out.packets) /
+                    (static_cast<double>(raw_cycles) / out.profile.cycles_per_sec) / 1e6;
+  }
+
+  // Bottleneck verdict: measured cycles/packet, model bus loads for the
+  // same app/frame size, against the paper's Nehalem capacities.
+  rb::ThroughputConfig model;
+  model.app = w.app;
+  model.frame_bytes = out.packets > 0
+                          ? static_cast<double>(out.bytes) / static_cast<double>(out.packets)
+                          : 64.0;
+  tele::MeasuredWorkload mw;
+  mw.name = w.key;
+  mw.frame_bytes = model.frame_bytes;
+  mw.cycles_per_packet = out.pipeline_cycles_per_packet;
+  mw.per_packet = rb::LoadsFor(model);
+  out.verdict = tele::AnalyzeBottleneck(mw, model.spec);
+  return out;
+}
+
+void WriteBenchJson(const std::string& path, const std::vector<WorkloadResult>& results) {
+  namespace tele = rb::telemetry;
+  tele::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("rb.bench_fig9_breakdown.v1");
+  w.Key("cycle_source");
+  w.String(tele::CycleSourceName());
+  w.Key("cycles_per_sec");
+  w.Double(tele::CyclesPerSecond());
+  w.Key("workloads");
+  w.BeginObject();
+  for (const WorkloadResult& r : results) {
+    w.Key(r.w->key);
+    w.BeginObject();
+    w.Key("app");
+    w.String(rb::AppName(r.w->app));
+    w.Key("packets");
+    w.Uint(r.packets);
+    w.Key("mean_frame_bytes");
+    w.Double(r.packets ? static_cast<double>(r.bytes) / static_cast<double>(r.packets) : 0);
+    w.Key("pipeline_cycles_per_packet");
+    w.Double(r.pipeline_cycles_per_packet);
+    w.Key("attribution_coverage");
+    w.Double(r.attribution_coverage);
+    w.Key("wall_mpps");
+    w.Double(r.wall_mpps);
+    w.Key("ipc");
+    w.Double(r.perf.ipc());
+    w.Key("hw_counters");
+    w.Bool(r.perf.hw);
+    w.Key("bottleneck");
+    w.BeginObject();
+    w.Key("verdict");
+    w.String(r.verdict.verdict);
+    w.Key("resource");
+    w.String(tele::ResourceName(r.verdict.bottleneck));
+    w.Key("max_pps");
+    w.Double(r.verdict.max_pps);
+    w.Key("max_payload_gbps");
+    w.Double(r.verdict.max_payload_gbps);
+    w.EndObject();
+    w.Key("scopes");
+    w.BeginObject();
+    const uint64_t total = r.profile.TotalCycles();
+    for (const tele::ScopeTotals& s : r.profile.AggregateByName()) {
+      w.Key(s.name);
+      w.BeginObject();
+      w.Key("calls");
+      w.Uint(s.calls);
+      w.Key("cycles_per_packet");
+      w.Double(r.packets ? static_cast<double>(s.cycles) / static_cast<double>(r.packets) : 0);
+      w.Key("self_cycles_per_packet");
+      w.Double(r.packets ? static_cast<double>(s.self_cycles) / static_cast<double>(r.packets)
+                         : 0);
+      w.Key("share");
+      w.Double(total ? static_cast<double>(s.self_cycles) / static_cast<double>(total) : 0);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+
+  FILE* f = fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "warning: failed to write %s\n", path.c_str());
+    return;
+  }
+  fprintf(f, "%s\n", w.str().c_str());
+  fclose(f);
+  printf("breakdown JSON written to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_fig9_breakdown");
+  auto* packets = flags.AddInt64("packets", 200000, "packets per workload");
+  auto* smoke = flags.AddBool("smoke", false, "tiny run for CI (overrides --packets)");
+  auto* json = flags.AddString("json", "", "write the regression-tracked flat JSON here");
+  auto* csv = flags.AddString("csv", "", "optional CSV output path");
+  auto* profile_out = rb::AddProfileOutFlag(&flags);
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
+  flags.Parse(argc, argv);
+  int n = *smoke ? 8000 : static_cast<int>(*packets);
+
+  const Workload workloads[] = {
+      {"fwd_64", "fwd, 64 B", rb::App::kMinimalForwarding, false},
+      {"rtr_64", "rtr, 64 B", rb::App::kIpRouting, false},
+      {"ipsec_64", "ipsec, 64 B", rb::App::kIpsec, false},
+      {"fwd_abilene", "fwd, Abilene", rb::App::kMinimalForwarding, true},
+  };
+
+  std::vector<WorkloadResult> results;
+  for (const Workload& w : workloads) {
+    results.push_back(RunWorkload(w, n));
+  }
+
+  rb::Report report("Figure 9 (measured)", "per-element cycles/packet by workload");
+  report.SetColumns({"workload", "cyc/pkt", "coverage", "IPC", "top scopes (self cyc/pkt)",
+                     "bottleneck"});
+  for (const WorkloadResult& r : results) {
+    std::string top;
+    int shown = 0;
+    for (const rb::telemetry::ScopeTotals& s : r.profile.AggregateByName()) {
+      if (s.self_cycles == 0 || shown == 3) {
+        continue;
+      }
+      if (!top.empty()) {
+        top += ", ";
+      }
+      top += rb::Format("%s %.0f", s.name.c_str(),
+                        r.packets ? static_cast<double>(s.self_cycles) / r.packets : 0.0);
+      shown++;
+    }
+    report.AddRow({r.w->label, rb::Format("%.0f", r.pipeline_cycles_per_packet),
+                   rb::Format("%.1f%%", 100 * r.attribution_coverage),
+                   r.perf.hw ? rb::Format("%.2f", r.perf.ipc()) : std::string("n/a"),
+                   top, r.verdict.verdict});
+  }
+  report.AddNote(rb::Format("cycle source: %s; paper Fig. 9: CPU is the bottleneck for all",
+                            rb::telemetry::CycleSourceName()));
+  report.AddNote("64 B workloads, with rtr dominated by DIR-24-8 lookups and ipsec by AES.");
+  report.Print();
+  if (!csv->empty()) {
+    report.WriteCsv(*csv);
+  }
+
+  for (const WorkloadResult& r : results) {
+    printf("%-12s %s\n", r.w->key, r.verdict.Summary().c_str());
+  }
+
+  if (!json->empty()) {
+    WriteBenchJson(*json, results);
+  }
+  if (!profile_out->empty() && !results.empty()) {
+    rb::MaybeWriteProfile(*profile_out, results.back().profile);
+  }
+  rb::MaybeWriteMetrics(*metrics_out);
+  return 0;
+}

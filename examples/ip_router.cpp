@@ -4,10 +4,13 @@
 // configuration would sustain on the paper's hardware.
 //
 //   $ ./ip_router [--packets=N] [--ports=P] [--metrics-out=metrics.json]
+//                 [--profile-out=profile.json]
 //
 // With --metrics-out, the run's full telemetry lands in one JSON document:
 // per-element packet counters, per-queue drop/occupancy stats, NIC port
 // counters, and a sampled per-hop latency histogram from the path tracer.
+// With --profile-out, a cycle-accounting profile (task -> element -> phase
+// scope tree with cycles/packet) is written alongside.
 #include <cstdio>
 
 #include "common/flags.hpp"
@@ -15,6 +18,7 @@
 #include "core/single_server_router.hpp"
 #include "harness/metrics_out.hpp"
 #include "model/throughput.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/abilene.hpp"
 
@@ -25,7 +29,15 @@ int main(int argc, char** argv) {
   auto* routes = flags.AddInt64("routes", 256 * 1024, "routing-table entries");
   auto* trace_every = flags.AddInt64("trace-every", 64, "sample 1 in N packet paths");
   auto* metrics_out = rb::AddMetricsOutFlag(&flags);
+  auto* profile_out = rb::AddProfileOutFlag(&flags);
   flags.Parse(argc, argv);
+
+  // Install the cycle profiler before any traffic flows so every scope
+  // (task -> element -> phase) is captured from the first packet.
+  rb::telemetry::Profiler profiler;
+  if (!profile_out->empty()) {
+    rb::telemetry::SetProfiler(&profiler);
+  }
 
   rb::SingleServerConfig config;
   config.num_ports = static_cast<int>(*ports);
@@ -115,6 +127,22 @@ int main(int argc, char** argv) {
   bundle.registry = &registry;
   bundle.tracer = &tracer;
   rb::MaybeWriteMetrics(*metrics_out, bundle);
+
+  if (!profile_out->empty()) {
+    rb::telemetry::SetProfiler(nullptr);
+    rb::telemetry::ProfileSnapshot prof = profiler.Snapshot();
+    int shown = 0;
+    for (const auto& scope : prof.AggregateByName()) {  // sorted by self cycles
+      if (scope.packets == 0 || shown == 10) {
+        continue;
+      }
+      printf("  profile: %-24s %8.1f cycles/pkt (%5.1f self)\n", scope.name.c_str(),
+             scope.packets ? static_cast<double>(scope.cycles) / scope.packets : 0.0,
+             scope.packets ? static_cast<double>(scope.self_cycles) / scope.packets : 0.0);
+      shown++;
+    }
+    rb::MaybeWriteProfile(*profile_out, prof);
+  }
 
   // What would this sustain on the paper's server?
   for (double bytes : {64.0, 729.6}) {

@@ -48,6 +48,11 @@ void Element::Output(int port, Packet* p) {
     // Record the hop at the receiving element, timestamped on handoff.
     tracer_->Record(p->trace_handle(), ref.element->name(), telemetry::NowSeconds());
   }
+  // Cycle attribution: the downstream Push (and everything it pushes in
+  // turn) runs under the receiving element's scope, so nested handoffs
+  // build the pipeline -> element hierarchy automatically.
+  RB_PROF_SCOPE(ref.element->profile_scope());
+  RB_PROF_WORK(1, p->length());
   ref.element->Push(ref.port, p);
 }
 
@@ -68,6 +73,9 @@ Packet* Element::Input(int port) {
   if (!ref.connected()) {
     return nullptr;
   }
+  // Pull-side cycles are charged to the upstream element being drained
+  // (packets are counted on the push side only, to avoid double counting).
+  RB_PROF_SCOPE(ref.element->profile_scope());
   return ref.element->Pull(ref.port);
 }
 

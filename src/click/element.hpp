@@ -23,6 +23,7 @@
 #include "packet/packet.hpp"
 #include "packet/pool.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 
 namespace rb {
@@ -53,7 +54,16 @@ class Element {
   int n_outputs() const { return static_cast<int>(outputs_.size()); }
 
   const std::string& name() const { return name_; }
-  void set_name(std::string n) { name_ = std::move(n); }
+  void set_name(std::string n) {
+    name_ = std::move(n);
+    // Interned eagerly (setup time) so profiled hot paths carry a 32-bit
+    // id; the table is process-global and cheap even when unprofiled.
+    prof_scope_ = telemetry::InternScopeName(name_);
+  }
+
+  // Cycle-accounting scope for this element (profiler.hpp); follows the
+  // element's name.
+  telemetry::ScopeId profile_scope() const { return prof_scope_; }
 
   uint64_t drops() const { return drops_; }
 
@@ -99,6 +109,7 @@ class Element {
   std::vector<PortRef> inputs_;   // upstream peers (for pull)
   std::vector<PortRef> outputs_;  // downstream peers (for push)
   std::string name_;
+  telemetry::ScopeId prof_scope_ = telemetry::kInvalidScope;
   uint64_t drops_ = 0;
 
   // Telemetry bindings; null when telemetry is unbound or disabled.

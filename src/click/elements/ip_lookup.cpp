@@ -17,7 +17,16 @@ void IpLookup::Push(int /*port*/, Packet* p) {
     return;
   }
   Ipv4View ip{p->data() + EthernetView::kSize};
-  uint32_t hop = table_->Lookup(ip.dst());
+  uint32_t hop;
+  {
+#if defined(RB_PROFILE) && RB_PROFILE
+    // Phase scope: the LPM table walk alone (random-destination lookups
+    // are the memory-bound core of the routing application).
+    static const telemetry::ScopeId kLpmPhase = telemetry::InternScopeName("phase/lpm_lookup");
+    RB_PROF_SCOPE(kLpmPhase);
+#endif
+    hop = table_->Lookup(ip.dst());
+  }
   if (hop == LpmTable::kNoRoute) {
     no_route_++;
     Drop(p);

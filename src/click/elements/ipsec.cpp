@@ -2,10 +2,33 @@
 
 namespace rb {
 
+#if defined(RB_PROFILE) && RB_PROFILE
+namespace {
+// Phase scopes (pipeline -> element -> phase): the AES/ESP work split out
+// from the element's handoff overhead — the §4.3 "app vs packet handling"
+// decomposition for the IPsec application.
+telemetry::ScopeId EncryptPhase() {
+  static const telemetry::ScopeId id = telemetry::InternScopeName("phase/esp_encrypt");
+  return id;
+}
+telemetry::ScopeId DecryptPhase() {
+  static const telemetry::ScopeId id = telemetry::InternScopeName("phase/esp_decrypt");
+  return id;
+}
+}  // namespace
+#endif
+
 IpsecEncrypt::IpsecEncrypt(const EspConfig& config) : Element(1, 2), tunnel_(config) {}
 
 void IpsecEncrypt::Push(int /*port*/, Packet* p) {
-  if (tunnel_.Encapsulate(p)) {
+  bool ok;
+  {
+#if defined(RB_PROFILE) && RB_PROFILE
+    RB_PROF_SCOPE(EncryptPhase());
+#endif
+    ok = tunnel_.Encapsulate(p);
+  }
+  if (ok) {
     encrypted_++;
     Output(0, p);
   } else {
@@ -16,7 +39,14 @@ void IpsecEncrypt::Push(int /*port*/, Packet* p) {
 IpsecDecrypt::IpsecDecrypt(const EspConfig& config) : Element(1, 2), tunnel_(config) {}
 
 void IpsecDecrypt::Push(int /*port*/, Packet* p) {
-  if (tunnel_.Decapsulate(p)) {
+  bool ok;
+  {
+#if defined(RB_PROFILE) && RB_PROFILE
+    RB_PROF_SCOPE(DecryptPhase());
+#endif
+    ok = tunnel_.Decapsulate(p);
+  }
+  if (ok) {
     decrypted_++;
     Output(0, p);
   } else {

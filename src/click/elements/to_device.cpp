@@ -40,7 +40,20 @@ size_t ToDevice::RunOnce() {
       break;
     }
     FinishTrace(p);
-    if (port_->Transmit(tx_queue_, p)) {
+    [[maybe_unused]] uint32_t bytes = p->length();
+    bool sent;
+    {
+#if defined(RB_PROFILE) && RB_PROFILE
+      // The tx half of the driver batch loop (rx is netdev/rx_poll).
+      static const telemetry::ScopeId kTxScope = telemetry::InternScopeName("netdev/tx");
+      RB_PROF_SCOPE(kTxScope);
+#endif
+      sent = port_->Transmit(tx_queue_, p);
+      if (sent) {
+        RB_PROF_WORK(1, bytes);
+      }
+    }
+    if (sent) {
       sent_++;
       CountPacketsOut(1);
     }

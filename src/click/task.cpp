@@ -1,7 +1,13 @@
 #include "click/task.hpp"
 
+#include "click/element.hpp"
+
 namespace rb {
 
-Task::Task(Element* element, int home_core) : element_(element), home_core_(home_core) {}
+Task::Task(Element* element, int home_core)
+    : element_(element),
+      home_core_(home_core),
+      prof_scope_(telemetry::InternScopeName(
+          element != nullptr ? "task/" + element->name() : std::string("task/anon"))) {}
 
 }  // namespace rb

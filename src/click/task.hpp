@@ -9,6 +9,7 @@
 #include <string>
 
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace rb {
 
@@ -42,7 +43,14 @@ class Task {
 
   // Bookkeeping wrapper used by schedulers.
   size_t RunOnce() {
-    size_t n = Run();
+    size_t n;
+    {
+      // Top-level cycle scope: one per polling task ("task/<element>"),
+      // the pipeline roots of the profiler's hierarchy.
+      RB_PROF_SCOPE(prof_scope_);
+      n = Run();
+      RB_PROF_WORK(n, 0);
+    }
     runs_++;
     if (n == 0) {
       idle_runs_++;
@@ -60,6 +68,7 @@ class Task {
  private:
   Element* element_;
   int home_core_;
+  telemetry::ScopeId prof_scope_ = telemetry::kInvalidScope;
   uint64_t runs_ = 0;
   uint64_t idle_runs_ = 0;
   uint64_t work_ = 0;

@@ -4,10 +4,37 @@
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace rb {
 
 namespace {
+
+#if defined(RB_PROFILE) && RB_PROFILE
+// Cycle scopes for the DES service path: real host cycles spent per event
+// class (simulated time is untouched). Attribution answers "where does the
+// simulator spend its cycles" — arrival handling vs per-server-kind
+// service completions — which is what bounds the DES's packets/sec.
+struct DesProfScopes {
+  telemetry::ScopeId arrival;
+  telemetry::ScopeId completion[6];  // indexed by ServerKind
+  telemetry::ScopeId failure;
+
+  DesProfScopes() {
+    arrival = telemetry::InternScopeName("des/arrival");
+    const char* kinds[6] = {"ext-rx-nic", "cpu", "tx-nic", "link", "rx-nic", "ext-out"};
+    for (int k = 0; k < 6; ++k) {
+      completion[k] = telemetry::InternScopeName(std::string("des/service/") + kinds[k]);
+    }
+    failure = telemetry::InternScopeName("des/failure");
+  }
+};
+
+const DesProfScopes& DesScopes() {
+  static const DesProfScopes scopes;
+  return scopes;
+}
+#endif
 
 const char* ServerKindName(ServerKind kind) {
   switch (kind) {
@@ -611,6 +638,7 @@ void ClusterSim::FlushResequencers() {
 
 void ClusterSim::Deliver(uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
+  RB_PROF_WORK(1, pkt.bytes);
   if (pkt.trace != 0) {
     tele_tracer_->EndTrace(pkt.trace, Format("ext-out@%u", pkt.dst), now);
   }
@@ -626,18 +654,33 @@ void ClusterSim::ProcessEvent(const Event& ev) {
   now_ = ev.time;
   MaybeProbe();
   switch (ev.kind) {
-    case Event::Kind::kCompletion:
+    case Event::Kind::kCompletion: {
+#if defined(RB_PROFILE) && RB_PROFILE
+      RB_PROF_SCOPE(
+          DesScopes().completion[static_cast<size_t>(servers_[ev.server].kind) % 6]);
+#endif
       OnServiceComplete(ev.server, now_);
       break;
-    case Event::Kind::kArrival:
+    }
+    case Event::Kind::kArrival: {
+#if defined(RB_PROFILE) && RB_PROFILE
+      RB_PROF_SCOPE(DesScopes().arrival);
+#endif
       ArriveAt(ev.arrival_server, ev.packet_slot, now_);
       break;
+    }
     case Event::Kind::kFail:
-      ApplyFailure(ev.fail_index, now_);
+    case Event::Kind::kDetect: {
+#if defined(RB_PROFILE) && RB_PROFILE
+      RB_PROF_SCOPE(DesScopes().failure);
+#endif
+      if (ev.kind == Event::Kind::kFail) {
+        ApplyFailure(ev.fail_index, now_);
+      } else {
+        ApplyDetection(ev.fail_index, now_);
+      }
       break;
-    case Event::Kind::kDetect:
-      ApplyDetection(ev.fail_index, now_);
-      break;
+    }
   }
 }
 

@@ -1,6 +1,7 @@
 #include "harness/metrics_out.hpp"
 
 #include <cstdio>
+#include <fstream>
 
 namespace rb {
 
@@ -24,6 +25,29 @@ bool MaybeWriteMetrics(const std::string& path) {
   telemetry::ExportBundle bundle;
   bundle.registry = &telemetry::MetricRegistry::Global();
   return MaybeWriteMetrics(path, bundle);
+}
+
+std::string* AddProfileOutFlag(FlagSet* flags) {
+  return flags->AddString("profile-out", "",
+                          "write a cycle-accounting profile JSON to this path");
+}
+
+bool MaybeWriteProfile(const std::string& path, const telemetry::ProfileSnapshot& snapshot) {
+  if (path.empty()) {
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    fprintf(stderr, "warning: failed to write profile to %s\n", path.c_str());
+    return false;
+  }
+  out << snapshot.ToJson() << "\n";
+  if (!out.good()) {
+    fprintf(stderr, "warning: failed to write profile to %s\n", path.c_str());
+    return false;
+  }
+  printf("profile written to %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace rb

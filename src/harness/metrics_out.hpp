@@ -10,12 +10,17 @@
 
 #include "common/flags.hpp"
 #include "telemetry/export.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace rb {
 
 // Registers "--metrics-out" on `flags`; the returned string is owned by
 // the FlagSet and holds the output path after Parse ("" = disabled).
 std::string* AddMetricsOutFlag(FlagSet* flags);
+
+// Registers "--profile-out" on `flags`: where to write the cycle-accounting
+// profile (ProfileSnapshot::ToJson) collected when a Profiler is installed.
+std::string* AddProfileOutFlag(FlagSet* flags);
 
 // Writes `bundle` as JSON to `path`; a no-op when `path` is empty.
 // Prints the destination on success, a warning on I/O failure. Returns
@@ -24,6 +29,10 @@ bool MaybeWriteMetrics(const std::string& path, const telemetry::ExportBundle& b
 
 // Convenience overload: dumps the process-global registry.
 bool MaybeWriteMetrics(const std::string& path);
+
+// Writes `snapshot` as JSON to `path`; a no-op when `path` is empty.
+// Same reporting contract as MaybeWriteMetrics.
+bool MaybeWriteProfile(const std::string& path, const telemetry::ProfileSnapshot& snapshot);
 
 }  // namespace rb
 

@@ -1,8 +1,20 @@
 #include "netdev/driver.hpp"
 
 #include "common/log.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace rb {
+
+namespace {
+#if defined(RB_PROFILE) && RB_PROFILE
+// One shared scope for all rx polling loops: the per-(port,queue) split is
+// already visible through the enclosing task/FromDevice@N scopes.
+telemetry::ScopeId RxPollScope() {
+  static const telemetry::ScopeId id = telemetry::InternScopeName("netdev/rx_poll");
+  return id;
+}
+#endif
+}  // namespace
 
 Driver::Driver(NicPort* port, uint16_t rx_queue, const DriverConfig& config)
     : port_(port), rx_queue_(rx_queue), config_(config) {
@@ -12,6 +24,9 @@ Driver::Driver(NicPort* port, uint16_t rx_queue, const DriverConfig& config)
 }
 
 size_t Driver::Poll(std::vector<Packet*>* out) {
+#if defined(RB_PROFILE) && RB_PROFILE
+  RB_PROF_SCOPE(RxPollScope());
+#endif
   polls_++;
   Packet* burst[256];
   size_t want = std::min<size_t>(config_.kp, std::size(burst));
@@ -21,6 +36,15 @@ size_t Driver::Poll(std::vector<Packet*>* out) {
     return 0;
   }
   packets_ += n;
+#if defined(RB_PROFILE) && RB_PROFILE
+  if (telemetry::Profiler* prof = telemetry::CurrentProfiler()) {
+    uint64_t bytes = 0;
+    for (size_t i = 0; i < n; ++i) {
+      bytes += burst[i]->length();
+    }
+    prof->AddWork(n, bytes);
+  }
+#endif
   out->insert(out->end(), burst, burst + n);
   return n;
 }

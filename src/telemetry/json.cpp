@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/log.hpp"
+
 namespace rb {
 namespace telemetry {
 
@@ -31,6 +33,7 @@ void JsonWriter::BeginObject() {
 }
 
 void JsonWriter::EndObject() {
+  RB_CHECK_MSG(!needs_comma_.empty(), "JsonWriter::EndObject with no open scope");
   needs_comma_.pop_back();
   out_ += '}';
 }
@@ -42,6 +45,7 @@ void JsonWriter::BeginArray() {
 }
 
 void JsonWriter::EndArray() {
+  RB_CHECK_MSG(!needs_comma_.empty(), "JsonWriter::EndArray with no open scope");
   needs_comma_.pop_back();
   out_ += ']';
 }

@@ -1,0 +1,176 @@
+#include "telemetry/perf_counters.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include "telemetry/profiler.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define RB_HAVE_PERF_EVENT 1
+#else
+#define RB_HAVE_PERF_EVENT 0
+#endif
+
+namespace rb {
+namespace telemetry {
+
+#if RB_HAVE_PERF_EVENT
+
+namespace {
+
+// The six events of the group, leader first. Order matters: Stop() maps
+// read-buffer slots back to these indices.
+enum EventIndex {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranches,
+  kBranchMisses,
+};
+
+constexpr uint64_t kEventConfigs[] = {
+    PERF_COUNT_HW_CPU_CYCLES,       PERF_COUNT_HW_INSTRUCTIONS,
+    PERF_COUNT_HW_CACHE_REFERENCES, PERF_COUNT_HW_CACHE_MISSES,
+    PERF_COUNT_HW_BRANCH_INSTRUCTIONS, PERF_COUNT_HW_BRANCH_MISSES,
+};
+
+int OpenEvent(uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  memset(&attr, 0, sizeof(attr));
+  attr.type = PERF_TYPE_HARDWARE;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // group starts disabled via leader
+  attr.exclude_kernel = 1;               // user space only: no privileges needed
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, any CPU.
+  return static_cast<int>(syscall(__NR_perf_event_open, &attr, 0, -1, group_fd, 0));
+}
+
+}  // namespace
+
+PerfCounterGroup::PerfCounterGroup(const PerfCounterConfig& config) {
+  for (int i = 0; i < kMaxEvents; ++i) {
+    fds_[i] = -1;
+    slot_of_event_[i] = -1;
+  }
+  if (config.force_fallback) {
+    error_ = "hardware counters disabled (force_fallback)";
+    return;
+  }
+  leader_fd_ = OpenEvent(kEventConfigs[kCycles], -1);
+  if (leader_fd_ < 0) {
+    error_ = std::string("perf_event_open unavailable: ") + strerror(errno);
+    return;
+  }
+  fds_[kCycles] = leader_fd_;
+  slot_of_event_[kCycles] = 0;
+  num_events_ = 1;
+  for (int e = kCycles + 1; e < kMaxEvents; ++e) {
+    int fd = OpenEvent(kEventConfigs[e], leader_fd_);
+    if (fd >= 0) {
+      fds_[e] = fd;
+      slot_of_event_[e] = num_events_;
+      num_events_++;
+    }
+    // A sibling failing (e.g. no cache events in a VM) is fine: the group
+    // simply carries fewer counters.
+  }
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int i = 0; i < kMaxEvents; ++i) {
+    if (fds_[i] >= 0) {
+      close(fds_[i]);
+    }
+  }
+}
+
+void PerfCounterGroup::Start() {
+  started_ = true;
+  start_cycles_ = ReadCycles();
+  if (leader_fd_ >= 0) {
+    ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+  }
+}
+
+PerfSample PerfCounterGroup::Stop() {
+  PerfSample sample;
+  if (!started_) {
+    return sample;
+  }
+  sample.fallback_cycles = ReadCycles() - start_cycles_;
+  started_ = false;
+  if (leader_fd_ < 0) {
+    return sample;
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_DISABLE, PERF_IOC_FLAG_GROUP);
+  // PERF_FORMAT_GROUP layout: { nr, time_enabled, time_running, value[nr] }.
+  uint64_t buf[3 + kMaxEvents] = {0};
+  ssize_t n = read(leader_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(3 * sizeof(uint64_t))) {
+    return sample;
+  }
+  const uint64_t nr = buf[0];
+  const uint64_t time_enabled = buf[1];
+  const uint64_t time_running = buf[2];
+  auto value = [&](int event) -> uint64_t {
+    int slot = slot_of_event_[event];
+    if (slot < 0 || static_cast<uint64_t>(slot) >= nr) {
+      return 0;
+    }
+    return buf[3 + slot];
+  };
+  sample.hw = true;
+  sample.running_fraction =
+      time_enabled > 0 ? static_cast<double>(time_running) / static_cast<double>(time_enabled)
+                       : 1.0;
+  sample.cycles = value(kCycles);
+  sample.instructions = value(kInstructions);
+  sample.cache_references = value(kCacheReferences);
+  sample.cache_misses = value(kCacheMisses);
+  sample.branches = value(kBranches);
+  sample.branch_misses = value(kBranchMisses);
+  return sample;
+}
+
+#else  // !RB_HAVE_PERF_EVENT
+
+PerfCounterGroup::PerfCounterGroup(const PerfCounterConfig& config) {
+  for (int i = 0; i < kMaxEvents; ++i) {
+    fds_[i] = -1;
+    slot_of_event_[i] = -1;
+  }
+  (void)config;
+  error_ = "perf_event_open not supported on this platform";
+}
+
+PerfCounterGroup::~PerfCounterGroup() = default;
+
+void PerfCounterGroup::Start() {
+  started_ = true;
+  start_cycles_ = ReadCycles();
+}
+
+PerfSample PerfCounterGroup::Stop() {
+  PerfSample sample;
+  if (!started_) {
+    return sample;
+  }
+  sample.fallback_cycles = ReadCycles() - start_cycles_;
+  started_ = false;
+  return sample;
+}
+
+#endif  // RB_HAVE_PERF_EVENT
+
+}  // namespace telemetry
+}  // namespace rb

@@ -1,0 +1,97 @@
+// Hardware performance-counter group: cycles, instructions, cache and
+// branch events read through perf_event_open — the measurements behind the
+// paper's Table 3 (instructions/packet, cycles/instruction) and its
+// CPU-vs-memory efficiency argument (CPI 0.4-0.7 = CPU-efficient,
+// 1.0-2.0 = memory-bound).
+//
+// perf_event_open is frequently unavailable (containers without
+// CAP_PERFMON, kernel.perf_event_paranoid, non-Linux hosts); the group
+// degrades gracefully: hw_available() turns false, Start/Stop keep
+// working, and samples carry tsc-derived cycle counts only (instructions
+// etc. zero). Callers branch on PerfSample::hw to decide what to report.
+#ifndef RB_TELEMETRY_PERF_COUNTERS_HPP_
+#define RB_TELEMETRY_PERF_COUNTERS_HPP_
+
+#include <cstdint>
+#include <string>
+
+namespace rb {
+namespace telemetry {
+
+struct PerfCounterConfig {
+  // Forces the no-perf_event_open fallback path (tests exercise it on any
+  // machine; also useful to benchmark the tsc-only cost).
+  bool force_fallback = false;
+};
+
+struct PerfSample {
+  bool hw = false;            // hardware counters valid below
+  double running_fraction = 1.0;  // time scheduled / time enabled (multiplexing)
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t cache_references = 0;
+  uint64_t cache_misses = 0;
+  uint64_t branches = 0;
+  uint64_t branch_misses = 0;
+  uint64_t fallback_cycles = 0;  // tsc (or pseudo-cycle) delta, always set
+
+  // Hardware cycles when measured, tsc cycles otherwise.
+  uint64_t best_cycles() const { return hw && cycles > 0 ? cycles : fallback_cycles; }
+  double ipc() const {
+    return hw && cycles > 0 ? static_cast<double>(instructions) / static_cast<double>(cycles)
+                            : 0.0;
+  }
+  double cpi() const {
+    return hw && instructions > 0
+               ? static_cast<double>(cycles) / static_cast<double>(instructions)
+               : 0.0;
+  }
+  double cache_miss_rate() const {
+    return hw && cache_references > 0
+               ? static_cast<double>(cache_misses) / static_cast<double>(cache_references)
+               : 0.0;
+  }
+};
+
+// One counter group bound to the calling thread (counts this process only,
+// user space only — no privileges needed on most configurations). Usage:
+//   PerfCounterGroup group;
+//   group.Start();
+//   ... workload ...
+//   PerfSample s = group.Stop();
+// Start/Stop may be repeated; each Stop returns the delta since the
+// matching Start.
+class PerfCounterGroup {
+ public:
+  explicit PerfCounterGroup(const PerfCounterConfig& config = {});
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  // True when at least the cycle counter opened.
+  bool hw_available() const { return leader_fd_ >= 0; }
+  // Why hardware counters are unavailable ("" when hw_available()).
+  const std::string& error() const { return error_; }
+  // Number of hardware events in the group (0 when unavailable).
+  int num_events() const { return num_events_; }
+
+  void Start();
+  PerfSample Stop();
+
+ private:
+  static constexpr int kMaxEvents = 6;
+
+  int leader_fd_ = -1;
+  int fds_[kMaxEvents];
+  int slot_of_event_[kMaxEvents];  // event index -> position in read buffer
+  int num_events_ = 0;
+  bool started_ = false;
+  uint64_t start_cycles_ = 0;
+  std::string error_;
+};
+
+}  // namespace telemetry
+}  // namespace rb
+
+#endif  // RB_TELEMETRY_PERF_COUNTERS_HPP_

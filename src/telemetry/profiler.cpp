@@ -1,0 +1,355 @@
+#include "telemetry/profiler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "common/log.hpp"
+#include "telemetry/json.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define RB_HAVE_RDTSC 1
+#else
+#define RB_HAVE_RDTSC 0
+#endif
+
+namespace rb {
+namespace telemetry {
+
+// --- cycle clock ---
+
+namespace {
+
+uint64_t SteadyNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#if RB_HAVE_RDTSC
+// Calibrates the tsc against steady_clock over a short window. Modern
+// x86 tscs are invariant (constant rate, monotone across cores), which is
+// the only property we rely on; a 2 ms window gives ~0.1% accuracy.
+double CalibrateTscHz() {
+  const uint64_t t0 = SteadyNanos();
+  const uint64_t c0 = __rdtsc();
+  uint64_t t1 = t0;
+  while (t1 - t0 < 2'000'000) {  // 2 ms
+    t1 = SteadyNanos();
+  }
+  const uint64_t c1 = __rdtsc();
+  const double secs = static_cast<double>(t1 - t0) * 1e-9;
+  return secs > 0 ? static_cast<double>(c1 - c0) / secs : 1e9;
+}
+#endif
+
+struct CycleClock {
+  bool tsc;
+  double hz;
+};
+
+const CycleClock& Clock() {
+  static const CycleClock clock = [] {
+#if RB_HAVE_RDTSC
+    return CycleClock{true, CalibrateTscHz()};
+#else
+    // Pseudo-cycles: steady_clock nanoseconds, i.e. a 1 GHz "cycle".
+    return CycleClock{false, 1e9};
+#endif
+  }();
+  return clock;
+}
+
+}  // namespace
+
+uint64_t ReadCycles() {
+#if RB_HAVE_RDTSC
+  return __rdtsc();
+#else
+  return SteadyNanos();
+#endif
+}
+
+bool CycleSourceIsTsc() { return Clock().tsc; }
+
+const char* CycleSourceName() { return Clock().tsc ? "tsc" : "steady_clock"; }
+
+double CyclesPerSecond() { return Clock().hz; }
+
+// --- scope-name interning ---
+
+namespace {
+
+struct NameTable {
+  std::mutex mu;
+  std::vector<std::string> names;
+};
+
+NameTable& Names() {
+  static NameTable* table = new NameTable();  // leaked: outlives all statics
+  return *table;
+}
+
+const std::string& InvalidName() {
+  static const std::string name = "<invalid-scope>";
+  return name;
+}
+
+}  // namespace
+
+ScopeId InternScopeName(const std::string& name) {
+  NameTable& table = Names();
+  std::lock_guard<std::mutex> lock(table.mu);
+  for (size_t i = 0; i < table.names.size(); ++i) {
+    if (table.names[i] == name) {
+      return static_cast<ScopeId>(i);
+    }
+  }
+  table.names.push_back(name);
+  return static_cast<ScopeId>(table.names.size() - 1);
+}
+
+const std::string& ScopeName(ScopeId id) {
+  NameTable& table = Names();
+  std::lock_guard<std::mutex> lock(table.mu);
+  if (id >= table.names.size()) {
+    return InvalidName();
+  }
+  return table.names[id];
+}
+
+// --- profiler ---
+
+void Profiler::Begin(ScopeId id) {
+  Shard& s = shard();
+  if (s.stack.size() >= kMaxDepth) {
+    // Too deep: keep nesting balanced but attribute nothing new; the
+    // cycles land in the kMaxDepth-level ancestor's inclusive time.
+    s.stack.push_back(Frame{-1, 0});
+    return;
+  }
+  Node& cur = s.nodes[static_cast<size_t>(s.current)];
+  int32_t child = -1;
+  for (const auto& [cid, idx] : cur.children) {
+    if (cid == id) {
+      child = idx;
+      break;
+    }
+  }
+  if (child < 0) {
+    child = static_cast<int32_t>(s.nodes.size());
+    Node node;
+    node.id = id;
+    node.parent = s.current;
+    s.nodes.push_back(std::move(node));
+    // `cur` may dangle after push_back; re-index.
+    s.nodes[static_cast<size_t>(s.current)].children.emplace_back(id, child);
+  }
+  s.stack.push_back(Frame{child, ReadCycles()});
+  s.current = child;
+}
+
+void Profiler::End() {
+  const uint64_t now = ReadCycles();
+  Shard& s = shard();
+  RB_CHECK_MSG(!s.stack.empty(), "Profiler::End without matching Begin");
+  Frame f = s.stack.back();
+  s.stack.pop_back();
+  if (f.node < 0) {
+    return;  // overflow frame
+  }
+  Node& n = s.nodes[static_cast<size_t>(f.node)];
+  n.cycles += now - f.start;
+  n.calls++;
+  s.current = n.parent;
+}
+
+void Profiler::AddWork(uint64_t packets, uint64_t bytes) {
+  Shard& s = shard();
+  Node& n = s.nodes[static_cast<size_t>(s.current)];
+  n.packets += packets;
+  n.bytes += bytes;
+}
+
+ProfileSnapshot Profiler::Snapshot() const {
+  ProfileSnapshot snap;
+  snap.cycles_per_sec = CyclesPerSecond();
+  snap.tsc = CycleSourceIsTsc();
+
+  // Recursive merge: walk each shard's tree, accumulating into the output
+  // tree by scope id path.
+  struct Merger {
+    static ProfileNode* FindOrAdd(std::vector<ProfileNode>* out, const std::string& name) {
+      for (ProfileNode& n : *out) {
+        if (n.name == name) {
+          return &n;
+        }
+      }
+      out->emplace_back();
+      out->back().name = name;
+      return &out->back();
+    }
+    static void Merge(const std::vector<Node>& nodes, int32_t idx,
+                      std::vector<ProfileNode>* out) {
+      const Node& src = nodes[static_cast<size_t>(idx)];
+      ProfileNode* dst = FindOrAdd(out, ScopeName(src.id));
+      dst->calls += src.calls;
+      dst->cycles += src.cycles;
+      dst->packets += src.packets;
+      dst->bytes += src.bytes;
+      for (const auto& [cid, cidx] : src.children) {
+        (void)cid;
+        Merge(nodes, cidx, &dst->children);
+      }
+    }
+    static void FillSelf(ProfileNode* n) {
+      uint64_t child_cycles = 0;
+      for (ProfileNode& c : n->children) {
+        FillSelf(&c);
+        child_cycles += c.cycles;
+      }
+      n->self_cycles = n->cycles > child_cycles ? n->cycles - child_cycles : 0;
+    }
+  };
+
+  for (const Shard& s : shards_) {
+    const Node& root = s.nodes[0];
+    for (const auto& [cid, cidx] : root.children) {
+      (void)cid;
+      Merger::Merge(s.nodes, cidx, &snap.roots);
+    }
+  }
+  for (ProfileNode& n : snap.roots) {
+    Merger::FillSelf(&n);
+  }
+  return snap;
+}
+
+void Profiler::Reset() {
+  for (Shard& s : shards_) {
+    s.nodes.clear();
+    s.nodes.emplace_back();
+    s.stack.clear();
+    s.current = 0;
+  }
+}
+
+// --- global install ---
+
+namespace {
+std::atomic<Profiler*> g_profiler{nullptr};
+}  // namespace
+
+void SetProfiler(Profiler* p) { g_profiler.store(p, std::memory_order_release); }
+
+Profiler* CurrentProfiler() { return g_profiler.load(std::memory_order_acquire); }
+
+// --- snapshot helpers ---
+
+uint64_t ProfileSnapshot::TotalCycles() const {
+  uint64_t total = 0;
+  for (const ProfileNode& n : roots) {
+    total += n.cycles;
+  }
+  return total;
+}
+
+namespace {
+
+const ProfileNode* FindIn(const std::vector<ProfileNode>& nodes, const std::string& name) {
+  for (const ProfileNode& n : nodes) {
+    if (n.name == name) {
+      return &n;
+    }
+    if (const ProfileNode* hit = FindIn(n.children, name)) {
+      return hit;
+    }
+  }
+  return nullptr;
+}
+
+void AggregateInto(const std::vector<ProfileNode>& nodes, std::vector<ScopeTotals>* out) {
+  for (const ProfileNode& n : nodes) {
+    ScopeTotals* t = nullptr;
+    for (ScopeTotals& cand : *out) {
+      if (cand.name == n.name) {
+        t = &cand;
+        break;
+      }
+    }
+    if (t == nullptr) {
+      out->emplace_back();
+      t = &out->back();
+      t->name = n.name;
+    }
+    t->calls += n.calls;
+    t->cycles += n.cycles;
+    t->self_cycles += n.self_cycles;
+    t->packets += n.packets;
+    t->bytes += n.bytes;
+    AggregateInto(n.children, out);
+  }
+}
+
+void WriteNode(JsonWriter* w, const ProfileNode& n) {
+  w->BeginObject();
+  w->Key("name");
+  w->String(n.name);
+  w->Key("calls");
+  w->Uint(n.calls);
+  w->Key("cycles");
+  w->Uint(n.cycles);
+  w->Key("self_cycles");
+  w->Uint(n.self_cycles);
+  w->Key("packets");
+  w->Uint(n.packets);
+  w->Key("bytes");
+  w->Uint(n.bytes);
+  if (!n.children.empty()) {
+    w->Key("children");
+    w->BeginArray();
+    for (const ProfileNode& c : n.children) {
+      WriteNode(w, c);
+    }
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+const ProfileNode* ProfileSnapshot::Find(const std::string& name) const {
+  return FindIn(roots, name);
+}
+
+std::vector<ScopeTotals> ProfileSnapshot::AggregateByName() const {
+  std::vector<ScopeTotals> out;
+  AggregateInto(roots, &out);
+  std::sort(out.begin(), out.end(), [](const ScopeTotals& a, const ScopeTotals& b) {
+    return a.self_cycles > b.self_cycles;
+  });
+  return out;
+}
+
+std::string ProfileSnapshot::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cycles_per_sec");
+  w.Double(cycles_per_sec);
+  w.Key("cycle_source");
+  w.String(tsc ? "tsc" : "steady_clock");
+  w.Key("scopes");
+  w.BeginArray();
+  for (const ProfileNode& n : roots) {
+    WriteNode(&w, n);
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace telemetry
+}  // namespace rb

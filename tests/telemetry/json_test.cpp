@@ -120,5 +120,62 @@ TEST(JsonParseTest, DecodesEscapes) {
   EXPECT_EQ(v.str, "line\nquote\" slash\\ uA");
 }
 
+// Regression: End{Object,Array} used to pop needs_comma_ unconditionally;
+// an unbalanced End on an empty writer underflowed the vector (UB). They
+// now abort with a diagnostic instead.
+TEST(JsonWriterDeathTest, EndObjectWithoutBeginAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.EndObject();
+      },
+      "EndObject with no open scope");
+}
+
+TEST(JsonWriterDeathTest, EndArrayBeyondNestingAborts) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginArray();
+        w.EndArray();
+        w.EndArray();  // one too many
+      },
+      "EndArray with no open scope");
+}
+
+// Every escapable class round-trips Writer -> text -> Parser unchanged:
+// control characters (both the named \n\t\r... escapes and the \u00XX
+// form), quotes, backslashes, and embedded already-escaped-looking text.
+TEST(JsonRoundTripTest, EscapedStringsSurviveWriterParserRoundTrip) {
+  std::string all_controls;
+  for (char c = 1; c < 0x20; ++c) {
+    all_controls.push_back(c);
+  }
+  const std::string cases[] = {
+      all_controls,
+      "\"\"\"",                      // only quotes
+      "\\\\",                        // only backslashes
+      "\\n is not a newline",        // literal backslash-n must not decode
+      "mixed \"q\\u\" \n\t\r\f\b end",
+      std::string("embedded\0nul", 12),
+      "trailing backslash \\",
+  };
+  for (const std::string& original : cases) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key(original);  // keys go through the same escaping
+    w.String(original);
+    w.EndObject();
+
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(ParseJson(w.str(), &v, &error))
+        << "case failed to parse: " << w.str() << " (" << error << ")";
+    const JsonValue* member = v.Find(original);
+    ASSERT_NE(member, nullptr) << "key lost in round trip: " << w.str();
+    EXPECT_EQ(member->str, original) << "value mangled: " << w.str();
+  }
+}
+
 }  // namespace
 }  // namespace rb

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Diff a bench_fig9_breakdown JSON run against the committed baseline.
+
+Usage:
+    check_bench_regression.py --baseline bench/baselines/BENCH_profile.json \
+        --current BENCH_profile.json [--cycles-tolerance 3.0]
+    check_bench_regression.py --self-test
+
+Cycle counts move a lot across machines (CI runners, laptops, the paper's
+Nehalem), so the default tolerances are deliberately loose: a metric fails
+only when the current run is worse than the baseline by the per-metric
+ratio/absolute bound below. Structural checks (a workload or scope
+disappearing, attribution coverage collapsing) are strict.
+
+Exit status: 0 = within tolerance, 1 = regression(s), 2 = bad input.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+# Per-metric rules. "ratio" metrics fail when current > baseline * tol
+# (only regressions fail -- getting faster is fine). "abs" metrics fail
+# when |current - baseline| > tol. "floor" metrics fail when current < tol,
+# independent of the baseline. Everything else is informational.
+RULES = {
+    "pipeline_cycles_per_packet": ("ratio", None),  # tol filled from args
+    "scope_cycles_per_packet": ("ratio", None),
+    "scope_share": ("abs", 0.35),
+    "attribution_coverage": ("floor", 0.95),
+}
+
+STRUCTURAL_SCOPE_MIN_SHARE = 0.05  # only sizeable scopes must persist
+
+
+def flatten(doc):
+    """bench_fig9_breakdown.v1 document -> {dot.path: value} metrics."""
+    out = {}
+    for wname, w in doc.get("workloads", {}).items():
+        base = f"workloads.{wname}"
+        for key in ("pipeline_cycles_per_packet", "attribution_coverage"):
+            if key in w:
+                out[f"{base}.{key}"] = (key, float(w[key]))
+        for sname, s in w.get("scopes", {}).items():
+            sbase = f"{base}.scopes.{sname}"
+            if "cycles_per_packet" in s:
+                out[f"{sbase}.cycles_per_packet"] = (
+                    "scope_cycles_per_packet",
+                    float(s["cycles_per_packet"]),
+                )
+            if "share" in s:
+                out[f"{sbase}.share"] = ("scope_share", float(s["share"]))
+    return out
+
+
+def baseline_share(doc, path):
+    """share value of the scope owning metric `path` in `doc` (or 0)."""
+    parts = path.split(".")
+    try:
+        return float(doc["workloads"][parts[1]]["scopes"][parts[3]]["share"])
+    except (KeyError, IndexError, TypeError, ValueError):
+        return 0.0
+
+
+def compare(baseline, current, cycles_tol):
+    failures = []
+    infos = []
+    base_metrics = flatten(baseline)
+    cur_metrics = flatten(current)
+
+    for wname in baseline.get("workloads", {}):
+        if wname not in current.get("workloads", {}):
+            failures.append(f"workload '{wname}' missing from current run")
+
+    for path, (kind, base_val) in sorted(base_metrics.items()):
+        rule = RULES.get(kind)
+        if rule is None:
+            continue
+        mode, tol = rule
+        if tol is None:
+            tol = cycles_tol
+        if path not in cur_metrics:
+            # A scope vanishing usually means instrumentation was removed;
+            # only flag scopes that actually mattered in the baseline.
+            if kind == "scope_cycles_per_packet":
+                if baseline_share(baseline, path) >= STRUCTURAL_SCOPE_MIN_SHARE:
+                    failures.append(f"{path}: present in baseline, missing from current run")
+            else:
+                failures.append(f"{path}: present in baseline, missing from current run")
+            continue
+        cur_val = cur_metrics[path][1]
+        if mode == "ratio":
+            # Scope-level cycle checks only bind for scopes that mattered in
+            # the baseline; sub-5%-share scopes are cache-noise-dominated
+            # (cold-start lookups, first-touch allocations) and tracked via
+            # the workload-level pipeline_cycles_per_packet instead.
+            if (
+                kind == "scope_cycles_per_packet"
+                and baseline_share(baseline, path) < STRUCTURAL_SCOPE_MIN_SHARE
+            ):
+                continue
+            if base_val > 0 and cur_val > base_val * tol:
+                failures.append(
+                    f"{path}: {cur_val:.1f} vs baseline {base_val:.1f} "
+                    f"(x{cur_val / base_val:.2f} > x{tol:.2f} allowed)"
+                )
+            elif base_val > 0:
+                infos.append(f"{path}: x{cur_val / base_val:.2f} of baseline (ok)")
+        elif mode == "abs":
+            if abs(cur_val - base_val) > tol:
+                failures.append(
+                    f"{path}: {cur_val:.3f} vs baseline {base_val:.3f} "
+                    f"(|delta| {abs(cur_val - base_val):.3f} > {tol:.3f})"
+                )
+        elif mode == "floor":
+            if cur_val < tol:
+                failures.append(f"{path}: {cur_val:.3f} below required floor {tol:.3f}")
+    return failures, infos
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "rb.bench_fig9_breakdown.v1":
+        print(f"error: {path}: unexpected schema {doc.get('schema')!r}", file=sys.stderr)
+        sys.exit(2)
+    return doc
+
+
+def self_test():
+    """Verifies the checker passes an identical run and fails a 2x slowdown."""
+    base = {
+        "schema": "rb.bench_fig9_breakdown.v1",
+        "workloads": {
+            "fwd_64": {
+                "pipeline_cycles_per_packet": 800.0,
+                "attribution_coverage": 0.99,
+                "scopes": {
+                    "netdev/tx": {"cycles_per_packet": 115.0, "share": 0.14},
+                    "phase/lpm_lookup": {"cycles_per_packet": 100.0, "share": 0.12},
+                    "tiny/noise": {"cycles_per_packet": 10.0, "share": 0.01},
+                },
+            }
+        },
+    }
+    # 1. identical run passes
+    f, _ = compare(base, base, cycles_tol=1.5)
+    assert not f, f"identical run flagged: {f}"
+    # 2. injected 2x slowdown fails under the self-test tolerance of 1.5x
+    slow = json.loads(json.dumps(base))
+    slow["workloads"]["fwd_64"]["pipeline_cycles_per_packet"] = 1600.0
+    f, _ = compare(base, slow, cycles_tol=1.5)
+    assert any("pipeline_cycles_per_packet" in x for x in f), f"2x slowdown not caught: {f}"
+    # 3. coverage collapse fails regardless of tolerance
+    bad_cov = json.loads(json.dumps(base))
+    bad_cov["workloads"]["fwd_64"]["attribution_coverage"] = 0.5
+    f, _ = compare(base, bad_cov, cycles_tol=10.0)
+    assert any("attribution_coverage" in x for x in f), f"coverage collapse not caught: {f}"
+    # 4. a dominant scope disappearing fails; a tiny one may come and go
+    missing = json.loads(json.dumps(base))
+    del missing["workloads"]["fwd_64"]["scopes"]["netdev/tx"]
+    f, _ = compare(base, missing, cycles_tol=1.5)
+    assert any("netdev/tx" in x for x in f), f"missing scope not caught: {f}"
+    # 5. a missing workload fails
+    empty = {"schema": base["schema"], "workloads": {}}
+    f, _ = compare(base, empty, cycles_tol=1.5)
+    assert any("fwd_64" in x for x in f), f"missing workload not caught: {f}"
+    # 6. getting faster is never a failure
+    fast = json.loads(json.dumps(base))
+    fast["workloads"]["fwd_64"]["pipeline_cycles_per_packet"] = 400.0
+    f, _ = compare(base, fast, cycles_tol=1.5)
+    assert not f, f"speedup flagged as regression: {f}"
+    # 7. a dominant scope slowing down fails; a sub-threshold-share scope
+    # slowing down is noise and passes
+    scope_slow = json.loads(json.dumps(base))
+    scope_slow["workloads"]["fwd_64"]["scopes"]["netdev/tx"]["cycles_per_packet"] = 500.0
+    f, _ = compare(base, scope_slow, cycles_tol=1.5)
+    assert any("netdev/tx" in x for x in f), f"dominant scope slowdown not caught: {f}"
+    noise_slow = json.loads(json.dumps(base))
+    noise_slow["workloads"]["fwd_64"]["scopes"]["tiny/noise"]["cycles_per_packet"] = 500.0
+    f, _ = compare(base, noise_slow, cycles_tol=1.5)
+    assert not f, f"sub-share scope noise flagged: {f}"
+    print("self-test: 8/8 checks passed")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="committed baseline JSON")
+    ap.add_argument("--current", help="freshly produced JSON")
+    ap.add_argument(
+        "--cycles-tolerance",
+        type=float,
+        default=3.0,
+        help="allowed cycles/packet growth ratio (default 3.0: cross-machine safe)",
+    )
+    ap.add_argument("--self-test", action="store_true", help="run the built-in checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required (or use --self-test)")
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    failures, infos = compare(baseline, current, args.cycles_tolerance)
+
+    for line in infos:
+        print(f"  ok: {line}")
+    if failures:
+        print(f"\n{len(failures)} regression(s) vs {args.baseline}:")
+        for line in failures:
+            print(f"  FAIL: {line}")
+        return 1
+    print(f"\nno regressions vs {args.baseline} (tolerance x{args.cycles_tolerance:.1f})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
