@@ -20,6 +20,32 @@ Packet* Element::Pull(int /*port*/) {
   return nullptr;
 }
 
+void Element::PushBatch(int port, PacketBatch& batch) {
+  // Per-packet fallback: a legacy element only overrides Push, so a batch
+  // arriving from a batch-native upstream is drained one virtual call at a
+  // time. Ownership of each packet transfers on the call, so the batch is
+  // cleared first and iterated from a snapshot index.
+  const uint32_t n = batch.size();
+  for (uint32_t i = 0; i < n; ++i) {
+    Push(port, batch[i]);
+  }
+  batch.Clear();
+}
+
+size_t Element::PullBatch(int port, PacketBatch* out, int max) {
+  // Per-packet fallback for legacy pull elements.
+  size_t moved = 0;
+  while (moved < static_cast<size_t>(max) && !out->full()) {
+    Packet* p = Pull(port);
+    if (p == nullptr) {
+      break;
+    }
+    out->PushBack(p);
+    moved++;
+  }
+  return moved;
+}
+
 void Element::Initialize(Router* /*router*/) {}
 
 void Element::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
@@ -30,6 +56,9 @@ void Element::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::Path
   if (registry != nullptr) {
     tele_packets_ = registry->GetCounter(prefix + "elem/" + name_ + "/packets_out");
     tele_drops_ = registry->GetCounter(prefix + "elem/" + name_ + "/drops");
+    tele_batch_ = registry->GetHistogram(
+        prefix + "elem/" + name_ + "/batch_size",
+        telemetry::HistogramOptions{0, static_cast<double>(PacketBatch::kCapacity), 64});
   }
   tracer_ = tracer;
 }
@@ -56,6 +85,42 @@ void Element::Output(int port, Packet* p) {
   ref.element->Push(ref.port, p);
 }
 
+void Element::OutputBatch(int port, PacketBatch& batch) {
+  if (batch.empty()) {
+    return;
+  }
+  RB_CHECK(port >= 0 && port < n_outputs());
+  PortRef& ref = outputs_[static_cast<size_t>(port)];
+  if (!ref.connected()) {
+    DropBatch(batch);
+    return;
+  }
+  const uint32_t n = batch.size();
+  if (tele_packets_ != nullptr) {
+    tele_packets_->Add(n);
+  }
+  if (ref.element->tele_batch_ != nullptr) {
+    // Attributed to the receiver: "elem/<name>/batch_size" is the
+    // distribution of burst sizes each element sees arrive.
+    ref.element->tele_batch_->Observe(static_cast<double>(n));
+  }
+  if (tracer_ != nullptr) {
+    // Hops stay per-packet: each sampled path records its own handoff even
+    // though the batch moves in one call.
+    const double now = telemetry::NowSeconds();
+    for (Packet* p : batch) {
+      if (p->trace_handle() != 0) {
+        tracer_->Record(p->trace_handle(), ref.element->name(), now);
+      }
+    }
+  }
+  // One profiler scope entry covers the whole burst — the per-batch
+  // amortization the refactor exists for.
+  RB_PROF_SCOPE(ref.element->profile_scope());
+  RB_PROF_WORK(n, batch.TotalBytes());
+  ref.element->PushBatch(ref.port, batch);
+}
+
 void Element::Drop(Packet* p) {
   drops_++;
   if (tele_drops_ != nullptr) {
@@ -65,6 +130,26 @@ void Element::Drop(Packet* p) {
     tracer_->Abandon(p->trace_handle(), name_ + "/drop", telemetry::NowSeconds());
   }
   PacketPool::Release(p);
+}
+
+void Element::DropBatch(PacketBatch& batch) {
+  const uint32_t n = batch.size();
+  if (n == 0) {
+    return;
+  }
+  drops_ += n;
+  if (tele_drops_ != nullptr) {
+    tele_drops_->Add(n);
+  }
+  if (tracer_ != nullptr) {
+    const double now = telemetry::NowSeconds();
+    for (Packet* p : batch) {
+      if (p->trace_handle() != 0) {
+        tracer_->Abandon(p->trace_handle(), name_ + "/drop", now);
+      }
+    }
+  }
+  batch.ReleaseAll();
 }
 
 Packet* Element::Input(int port) {
@@ -78,5 +163,17 @@ Packet* Element::Input(int port) {
   RB_PROF_SCOPE(ref.element->profile_scope());
   return ref.element->Pull(ref.port);
 }
+
+size_t Element::InputBatch(int port, PacketBatch* out, int max) {
+  RB_CHECK(port >= 0 && port < n_inputs());
+  PortRef& ref = inputs_[static_cast<size_t>(port)];
+  if (!ref.connected()) {
+    return 0;
+  }
+  RB_PROF_SCOPE(ref.element->profile_scope());
+  return ref.element->PullBatch(ref.port, out, max);
+}
+
+void BatchElement::PushBatch(int /*port*/, PacketBatch& batch) { DropBatch(batch); }
 
 }  // namespace rb

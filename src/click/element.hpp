@@ -3,16 +3,26 @@
 //
 // An Element is a packet-processing stage with numbered input and output
 // ports. Packets move through the graph by *push* (upstream calls
-// Push(port, p) downstream) or *pull* (downstream asks upstream for a
-// packet, typically ToDevice pulling from a Queue). Elements that need CPU
-// time outside of packet handoff (FromDevice polling a NIC queue,
-// ToDevice draining one) register a Task with the router's scheduler; the
-// RouteBricks rule that every queue and every packet is handled by a
-// single core is enforced by statically assigning tasks to cores
-// (scheduler.hpp).
+// downstream) or *pull* (downstream asks upstream for packets, typically
+// ToDevice pulling from a Queue). Elements that need CPU time outside of
+// packet handoff (FromDevice polling a NIC queue, ToDevice draining one)
+// register a Task with the router's scheduler; the RouteBricks rule that
+// every queue and every packet is handled by a single core is enforced by
+// statically assigning tasks to cores (scheduler.hpp).
 //
-// Ownership: a pushed packet belongs to the callee; an element that drops
-// a packet returns it to its pool via PacketPool::Release.
+// Dataflow is batch-native (FastClick-style): the primary handoff is
+// PushBatch/PullBatch moving a whole PacketBatch per virtual call, so the
+// driver's kp-packet poll burst traverses the graph without being
+// serialized back into per-packet calls. Per-packet Push/Pull remain as a
+// compatibility surface: a legacy element that only overrides Push keeps
+// working (the base PushBatch loops over it), and a batch-native element
+// fed by a legacy upstream receives one-packet batches (BatchElement
+// wraps). See DESIGN.md §11 for the API and ownership rules.
+//
+// Ownership: a pushed packet (or batch of packets) belongs to the callee;
+// an element that drops packets returns them to their pool via
+// PacketPool::Release / PacketBatch::ReleaseAll. A PushBatch callee must
+// leave the batch empty on return.
 #ifndef RB_CLICK_ELEMENT_HPP_
 #define RB_CLICK_ELEMENT_HPP_
 
@@ -20,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "packet/batch.hpp"
 #include "packet/packet.hpp"
 #include "packet/pool.hpp"
 #include "telemetry/metrics.hpp"
@@ -40,12 +51,34 @@ class Element {
 
   virtual const char* class_name() const = 0;
 
+  // --- per-packet compatibility API ---
+
   // Push processing: receives a packet on input `port`. Default: drop.
   virtual void Push(int port, Packet* p);
 
   // Pull processing: downstream requests a packet from output `port`.
   // Default: pulls from input 0 (pass-through) or returns nullptr.
   virtual Packet* Pull(int port);
+
+  // --- batch-native primary API ---
+
+  // Receives a whole batch on input `port`, taking ownership of every
+  // packet in it; must leave `batch` empty on return. Default: per-packet
+  // fallback — drains the batch through virtual Push(port, p), which keeps
+  // unported (legacy) elements working when fed by a batch-native
+  // upstream.
+  virtual void PushBatch(int port, PacketBatch& batch);
+
+  // Downstream requests up to `max` packets from output `port`, appended
+  // to `out`. Returns the number appended; the caller owns them. Default:
+  // per-packet fallback — loops virtual Pull(port).
+  virtual size_t PullBatch(int port, PacketBatch* out, int max);
+
+  // True when this element's hot path handles whole batches in one
+  // virtual call (i.e. it is not relying on the per-packet fallback).
+  // The graph-walk test asserts this for every element in the standard
+  // router graphs.
+  virtual bool batch_native() const { return false; }
 
   // Called once by Router::Initialize after the graph is wired.
   virtual void Initialize(Router* router);
@@ -68,23 +101,38 @@ class Element {
   uint64_t drops() const { return drops_; }
 
   // Attaches this element to a metric registry (per-element packets-out /
-  // drop counters under "<prefix>elem/<name>/") and optionally a path
-  // tracer that records a hop at every push handoff. Call after the name
-  // is final and before traffic flows; when never called, the hot path
-  // pays only null-pointer tests. Overrides must call the base to get the
-  // standard counters, then may register element-specific metrics.
+  // drop counters and a batch-size histogram under "<prefix>elem/<name>/")
+  // and optionally a path tracer that records a hop at every push handoff.
+  // Call after the name is final and before traffic flows; when never
+  // called, the hot path pays only null-pointer tests. Overrides must call
+  // the base to get the standard counters, then may register
+  // element-specific metrics.
   virtual void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
                              const std::string& prefix = "");
 
  protected:
-  // Sends `p` out of output `port` (push). If the port is unconnected the
-  // packet is dropped and counted.
+  // Sends `p` out of output `port` (per-packet push). If the port is
+  // unconnected the packet is dropped and counted.
   void Output(int port, Packet* p);
+
+  // Sends a whole batch out of output `port` in one downstream PushBatch
+  // call: telemetry counters and the profiler handoff scope are paid once
+  // per batch, tracer hops are recorded per packet. `batch` is empty on
+  // return (consumed downstream, or dropped if the port is unconnected).
+  void OutputBatch(int port, PacketBatch& batch);
 
   // Pulls a packet from whatever is connected to input `port` (pull path).
   Packet* Input(int port);
 
+  // Pulls up to `max` packets from input `port` into `out` in one upstream
+  // PullBatch call. Returns the number appended.
+  size_t InputBatch(int port, PacketBatch* out, int max);
+
   void Drop(Packet* p);
+
+  // Drops every packet in `batch` (counted per packet, traced per packet,
+  // released to their pools exactly once); empties the batch.
+  void DropBatch(PacketBatch& batch);
 
   // Credits `n` packets to this element's packets_out counter. Output()
   // does this automatically; sink elements (no downstream push) call it
@@ -115,7 +163,32 @@ class Element {
   // Telemetry bindings; null when telemetry is unbound or disabled.
   telemetry::Counter* tele_packets_ = nullptr;
   telemetry::Counter* tele_drops_ = nullptr;
+  telemetry::ShardedHistogram* tele_batch_ = nullptr;
   telemetry::PathTracer* tracer_ = nullptr;
+};
+
+// Base class for batch-native elements: the element implements PushBatch
+// as its one processing routine, and per-packet Push (the legacy-upstream
+// interop path) wraps the packet into a one-element batch. PushBatch's
+// default mirrors Element::Push's default (drop), so a subclass that
+// forgets to override it degrades to the old drop semantics instead of
+// recursing.
+class BatchElement : public Element {
+ public:
+  using Element::Element;
+
+  bool batch_native() const final { return true; }
+
+  // Interop with legacy per-packet upstreams: one-packet batch.
+  void Push(int port, Packet* p) final {
+    PacketBatch b;
+    b.PushBack(p);
+    PushBatch(port, b);
+  }
+
+  // Default: drop the whole batch (the batch analogue of Element::Push's
+  // default). Every concrete batch element overrides this.
+  void PushBatch(int port, PacketBatch& batch) override;
 };
 
 }  // namespace rb

@@ -4,22 +4,35 @@
 
 namespace rb {
 
-void CheckIpHeader::Push(int /*port*/, Packet* p) {
-  bool ok = false;
-  if (p->length() >= EthernetView::kSize + Ipv4View::kMinSize &&
-      EthernetView{p->data()}.ether_type() == EthernetView::kTypeIpv4) {
-    Ipv4View ip{p->data() + EthernetView::kSize};
-    ok = ip.version() == 4 && ip.ihl() >= 5 &&
-         ip.total_length() >= ip.header_length() &&
+namespace {
+
+bool HeaderOk(Packet* p) {
+  if (p->length() < EthernetView::kSize + Ipv4View::kMinSize ||
+      EthernetView{p->data()}.ether_type() != EthernetView::kTypeIpv4) {
+    return false;
+  }
+  Ipv4View ip{p->data() + EthernetView::kSize};
+  return ip.version() == 4 && ip.ihl() >= 5 && ip.total_length() >= ip.header_length() &&
          ip.total_length() <= p->length() - EthernetView::kSize &&
          p->length() >= EthernetView::kSize + ip.header_length() && ip.ChecksumOk();
+}
+
+}  // namespace
+
+void CheckIpHeader::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch ok;
+  PacketBatch bad;
+  for (Packet* p : batch) {
+    if (HeaderOk(p)) {
+      ok.PushBack(p);
+    } else {
+      bad.PushBack(p);
+    }
   }
-  if (ok) {
-    Output(0, p);
-    return;
-  }
-  bad_++;
-  Output(1, p);  // drops (counted) if output 1 is unwired
+  batch.Clear();
+  bad_ += bad.size();
+  OutputBatch(0, ok);
+  OutputBatch(1, bad);  // drops (counted) if output 1 is unwired
 }
 
 }  // namespace rb

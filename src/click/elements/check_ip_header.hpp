@@ -1,7 +1,8 @@
 // CheckIPHeader: validates the IPv4 header of an Ethernet frame — version,
 // IHL, total length vs frame length, and the header checksum. Valid
 // packets exit output 0; invalid ones exit output 1 if wired, else are
-// dropped and counted.
+// dropped and counted. Batch-native: one PushBatch validates the whole
+// burst and emits it as (up to) two batches.
 #ifndef RB_CLICK_ELEMENTS_CHECK_IP_HEADER_HPP_
 #define RB_CLICK_ELEMENTS_CHECK_IP_HEADER_HPP_
 
@@ -9,11 +10,11 @@
 
 namespace rb {
 
-class CheckIpHeader : public Element {
+class CheckIpHeader : public BatchElement {
  public:
-  CheckIpHeader() : Element(1, 2) {}
+  CheckIpHeader() : BatchElement(1, 2) {}
   const char* class_name() const override { return "CheckIPHeader"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
   uint64_t bad() const { return bad_; }
 

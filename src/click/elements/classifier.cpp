@@ -2,40 +2,67 @@
 
 namespace rb {
 
-void EtherClassifier::Push(int /*port*/, Packet* p) {
-  if (p->length() >= EthernetView::kSize) {
-    EthernetView eth{p->data()};
-    if (eth.ether_type() == EthernetView::kTypeIpv4) {
-      Output(0, p);
-      return;
+void EtherClassifier::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch ipv4;
+  PacketBatch other;
+  for (Packet* p : batch) {
+    if (p->length() >= EthernetView::kSize &&
+        EthernetView{p->data()}.ether_type() == EthernetView::kTypeIpv4) {
+      ipv4.PushBack(p);
+    } else {
+      other.PushBack(p);
     }
   }
-  Output(1, p);
+  batch.Clear();
+  OutputBatch(0, ipv4);
+  OutputBatch(1, other);
 }
 
 IpProtoClassifier::IpProtoClassifier(std::vector<uint8_t> protos)
-    : Element(1, static_cast<int>(protos.size()) + 1), protos_(std::move(protos)) {}
+    : BatchElement(1, static_cast<int>(protos.size()) + 1),
+      protos_(std::move(protos)),
+      lanes_(protos_.size() + 1) {}
 
-void IpProtoClassifier::Push(int /*port*/, Packet* p) {
-  if (p->length() >= EthernetView::kSize + Ipv4View::kMinSize) {
-    Ipv4View ip{p->data() + EthernetView::kSize};
-    for (size_t i = 0; i < protos_.size(); ++i) {
-      if (ip.protocol() == protos_[i]) {
-        Output(static_cast<int>(i), p);
-        return;
+void IpProtoClassifier::PushBatch(int /*port*/, PacketBatch& batch) {
+  const size_t no_match = protos_.size();
+  for (Packet* p : batch) {
+    size_t out = no_match;
+    if (p->length() >= EthernetView::kSize + Ipv4View::kMinSize) {
+      Ipv4View ip{p->data() + EthernetView::kSize};
+      for (size_t i = 0; i < protos_.size(); ++i) {
+        if (ip.protocol() == protos_[i]) {
+          out = i;
+          break;
+        }
       }
     }
+    lanes_[out].PushBack(p);
   }
-  Output(static_cast<int>(protos_.size()), p);
+  batch.Clear();
+  for (int out = 0; out < n_outputs(); ++out) {
+    OutputBatch(out, lanes_[static_cast<size_t>(out)]);
+  }
 }
 
-void HashSwitch::Push(int /*port*/, Packet* p) {
-  Output(static_cast<int>(p->flow_hash() % static_cast<uint32_t>(n_outputs())), p);
+void HashSwitch::PushBatch(int /*port*/, PacketBatch& batch) {
+  for (Packet* p : batch) {
+    lanes_[p->flow_hash() % static_cast<uint32_t>(n_outputs())].PushBack(p);
+  }
+  batch.Clear();
+  for (int out = 0; out < n_outputs(); ++out) {
+    OutputBatch(out, lanes_[static_cast<size_t>(out)]);
+  }
 }
 
-void RoundRobinSwitch::Push(int /*port*/, Packet* p) {
-  Output(next_, p);
-  next_ = (next_ + 1) % n_outputs();
+void RoundRobinSwitch::PushBatch(int /*port*/, PacketBatch& batch) {
+  for (Packet* p : batch) {
+    lanes_[static_cast<size_t>(next_)].PushBack(p);
+    next_ = (next_ + 1) % n_outputs();
+  }
+  batch.Clear();
+  for (int out = 0; out < n_outputs(); ++out) {
+    OutputBatch(out, lanes_[static_cast<size_t>(out)]);
+  }
 }
 
 }  // namespace rb

@@ -8,6 +8,9 @@
 // analogue of RSS, useful for building scenario (c) of Fig 6 where one
 // core splits traffic for others).
 // RoundRobinSwitch: spreads packets across outputs in rotation.
+//
+// All four are batch-native: a burst is partitioned into per-output lanes
+// in one virtual call, then each lane is forwarded as a batch.
 #ifndef RB_CLICK_ELEMENTS_CLASSIFIER_HPP_
 #define RB_CLICK_ELEMENTS_CLASSIFIER_HPP_
 
@@ -18,39 +21,46 @@
 
 namespace rb {
 
-class EtherClassifier : public Element {
+class EtherClassifier : public BatchElement {
  public:
-  EtherClassifier() : Element(1, 2) {}
+  EtherClassifier() : BatchElement(1, 2) {}
   const char* class_name() const override { return "EtherClassifier"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 };
 
-class IpProtoClassifier : public Element {
+class IpProtoClassifier : public BatchElement {
  public:
   // One output per protocol in `protos`, plus a final "no match" output.
   explicit IpProtoClassifier(std::vector<uint8_t> protos);
   const char* class_name() const override { return "IpProtoClassifier"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
  private:
   std::vector<uint8_t> protos_;
+  std::vector<PacketBatch> lanes_;  // one-core-per-element scratch
 };
 
-class HashSwitch : public Element {
+class HashSwitch : public BatchElement {
  public:
-  explicit HashSwitch(int n_outputs) : Element(1, n_outputs) {}
+  explicit HashSwitch(int n_outputs)
+      : BatchElement(1, n_outputs), lanes_(static_cast<size_t>(n_outputs)) {}
   const char* class_name() const override { return "HashSwitch"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
+
+ private:
+  std::vector<PacketBatch> lanes_;
 };
 
-class RoundRobinSwitch : public Element {
+class RoundRobinSwitch : public BatchElement {
  public:
-  explicit RoundRobinSwitch(int n_outputs) : Element(1, n_outputs) {}
+  explicit RoundRobinSwitch(int n_outputs)
+      : BatchElement(1, n_outputs), lanes_(static_cast<size_t>(n_outputs)) {}
   const char* class_name() const override { return "RoundRobinSwitch"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
  private:
   int next_ = 0;
+  std::vector<PacketBatch> lanes_;
 };
 
 }  // namespace rb

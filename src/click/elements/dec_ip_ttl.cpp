@@ -5,24 +5,33 @@
 
 namespace rb {
 
-void DecIpTtl::Push(int /*port*/, Packet* p) {
-  if (p->length() < EthernetView::kSize + Ipv4View::kMinSize) {
-    Drop(p);
-    return;
+void DecIpTtl::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch ok;
+  PacketBatch expired;
+  PacketBatch runts;
+  for (Packet* p : batch) {
+    if (p->length() < EthernetView::kSize + Ipv4View::kMinSize) {
+      runts.PushBack(p);
+      continue;
+    }
+    Ipv4View ip{p->data() + EthernetView::kSize};
+    if (ip.ttl() <= 1) {
+      expired.PushBack(p);
+      continue;
+    }
+    // TTL and protocol share a 16-bit checksum word: old = (ttl << 8) |
+    // proto. Update the checksum incrementally instead of recomputing.
+    uint16_t old_word = static_cast<uint16_t>((ip.ttl() << 8) | ip.protocol());
+    ip.set_ttl(ip.ttl() - 1);
+    uint16_t new_word = static_cast<uint16_t>((ip.ttl() << 8) | ip.protocol());
+    ip.set_checksum(ChecksumUpdate16(ip.checksum(), old_word, new_word));
+    ok.PushBack(p);
   }
-  Ipv4View ip{p->data() + EthernetView::kSize};
-  if (ip.ttl() <= 1) {
-    expired_++;
-    Output(1, p);
-    return;
-  }
-  // TTL and protocol share a 16-bit checksum word: old = (ttl << 8) |
-  // proto. Update the checksum incrementally instead of recomputing.
-  uint16_t old_word = static_cast<uint16_t>((ip.ttl() << 8) | ip.protocol());
-  ip.set_ttl(ip.ttl() - 1);
-  uint16_t new_word = static_cast<uint16_t>((ip.ttl() << 8) | ip.protocol());
-  ip.set_checksum(ChecksumUpdate16(ip.checksum(), old_word, new_word));
-  Output(0, p);
+  batch.Clear();
+  expired_ += expired.size();
+  DropBatch(runts);
+  OutputBatch(0, ok);
+  OutputBatch(1, expired);
 }
 
 }  // namespace rb

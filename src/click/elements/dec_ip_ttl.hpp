@@ -2,7 +2,7 @@
 // incrementally (RFC 1624) — part of "full IP routing including checksum
 // calculations, updating headers" (§5.1). Packets whose TTL would reach
 // zero exit output 1 (ICMP-time-exceeded territory; we count and drop if
-// unwired).
+// unwired). Batch-native: the whole burst is rewritten in one call.
 #ifndef RB_CLICK_ELEMENTS_DEC_IP_TTL_HPP_
 #define RB_CLICK_ELEMENTS_DEC_IP_TTL_HPP_
 
@@ -10,11 +10,11 @@
 
 namespace rb {
 
-class DecIpTtl : public Element {
+class DecIpTtl : public BatchElement {
  public:
-  DecIpTtl() : Element(1, 2) {}
+  DecIpTtl() : BatchElement(1, 2) {}
   const char* class_name() const override { return "DecIPTTL"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
   uint64_t expired() const { return expired_; }
 

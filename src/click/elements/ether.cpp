@@ -3,51 +3,73 @@
 namespace rb {
 
 EtherEncap::EtherEncap(const MacAddress& src, const MacAddress& dst, uint16_t ether_type)
-    : Element(1, 1), src_(src), dst_(dst), ether_type_(ether_type) {}
+    : BatchElement(1, 1), src_(src), dst_(dst), ether_type_(ether_type) {}
 
-void EtherEncap::Push(int /*port*/, Packet* p) {
-  uint8_t* hdr = p->Push(EthernetView::kSize);
-  EthernetView eth{hdr};
-  eth.set_dst(dst_);
-  eth.set_src(src_);
-  eth.set_ether_type(ether_type_);
-  Output(0, p);
+void EtherEncap::PushBatch(int /*port*/, PacketBatch& batch) {
+  for (Packet* p : batch) {
+    EthernetView eth{p->Push(EthernetView::kSize)};
+    eth.set_dst(dst_);
+    eth.set_src(src_);
+    eth.set_ether_type(ether_type_);
+  }
+  OutputBatch(0, batch);
 }
 
-void StripEther::Push(int /*port*/, Packet* p) {
-  if (p->length() < EthernetView::kSize) {
-    Drop(p);
-    return;
+void StripEther::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch ok;
+  PacketBatch runts;
+  for (Packet* p : batch) {
+    if (p->length() < EthernetView::kSize) {
+      runts.PushBack(p);
+      continue;
+    }
+    p->Pull(EthernetView::kSize);
+    ok.PushBack(p);
   }
-  p->Pull(EthernetView::kSize);
-  Output(0, p);
+  batch.Clear();
+  DropBatch(runts);
+  OutputBatch(0, ok);
 }
 
 EtherRewrite::EtherRewrite(const MacAddress& src, const MacAddress& dst)
-    : Element(1, 1), src_(src), dst_(dst) {}
+    : BatchElement(1, 1), src_(src), dst_(dst) {}
 
-void EtherRewrite::Push(int /*port*/, Packet* p) {
-  if (p->length() < EthernetView::kSize) {
-    Drop(p);
-    return;
+void EtherRewrite::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch ok;
+  PacketBatch runts;
+  for (Packet* p : batch) {
+    if (p->length() < EthernetView::kSize) {
+      runts.PushBack(p);
+      continue;
+    }
+    EthernetView eth{p->data()};
+    eth.set_src(src_);
+    eth.set_dst(dst_);
+    ok.PushBack(p);
   }
-  EthernetView eth{p->data()};
-  eth.set_src(src_);
-  eth.set_dst(dst_);
-  Output(0, p);
+  batch.Clear();
+  DropBatch(runts);
+  OutputBatch(0, ok);
 }
 
-VlbEncap::VlbEncap(const MacAddress& src) : Element(1, 1), src_(src) {}
+VlbEncap::VlbEncap(const MacAddress& src) : BatchElement(1, 1), src_(src) {}
 
-void VlbEncap::Push(int /*port*/, Packet* p) {
-  if (p->length() < EthernetView::kSize || p->output_node() == Packet::kNoNode) {
-    Drop(p);
-    return;
+void VlbEncap::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch ok;
+  PacketBatch bad;
+  for (Packet* p : batch) {
+    if (p->length() < EthernetView::kSize || p->output_node() == Packet::kNoNode) {
+      bad.PushBack(p);
+      continue;
+    }
+    EthernetView eth{p->data()};
+    eth.set_src(src_);
+    eth.set_dst(MacForNode(p->output_node()));
+    ok.PushBack(p);
   }
-  EthernetView eth{p->data()};
-  eth.set_src(src_);
-  eth.set_dst(MacForNode(p->output_node()));
-  Output(0, p);
+  batch.Clear();
+  DropBatch(bad);
+  OutputBatch(0, ok);
 }
 
 }  // namespace rb

@@ -1,7 +1,8 @@
 // Ethernet framing elements: EtherEncap prepends a header, StripEther
 // removes one, EtherRewrite swaps addresses in place (what a forwarding
 // hop actually does), and VlbEncap writes the cluster-internal destination
-// MAC that encodes the output node (§6.1).
+// MAC that encodes the output node (§6.1). All batch-native: one virtual
+// call rewrites the whole burst.
 #ifndef RB_CLICK_ELEMENTS_ETHER_HPP_
 #define RB_CLICK_ELEMENTS_ETHER_HPP_
 
@@ -10,11 +11,11 @@
 
 namespace rb {
 
-class EtherEncap : public Element {
+class EtherEncap : public BatchElement {
  public:
   EtherEncap(const MacAddress& src, const MacAddress& dst, uint16_t ether_type);
   const char* class_name() const override { return "EtherEncap"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
  private:
   MacAddress src_;
@@ -22,18 +23,18 @@ class EtherEncap : public Element {
   uint16_t ether_type_;
 };
 
-class StripEther : public Element {
+class StripEther : public BatchElement {
  public:
-  StripEther() : Element(1, 1) {}
+  StripEther() : BatchElement(1, 1) {}
   const char* class_name() const override { return "StripEther"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 };
 
-class EtherRewrite : public Element {
+class EtherRewrite : public BatchElement {
  public:
   EtherRewrite(const MacAddress& src, const MacAddress& dst);
   const char* class_name() const override { return "EtherRewrite"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
  private:
   MacAddress src_;
@@ -43,11 +44,11 @@ class EtherRewrite : public Element {
 // Writes dst MAC = MacForNode(p->output_node()) and stamps the VLB phase.
 // The input node runs this once after routing; downstream cluster nodes
 // then steer by MAC without touching IP headers.
-class VlbEncap : public Element {
+class VlbEncap : public BatchElement {
  public:
   explicit VlbEncap(const MacAddress& src);
   const char* class_name() const override { return "VlbEncap"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
  private:
   MacAddress src_;

@@ -3,6 +3,12 @@
 // This is the multi-queue-aware version the paper built (§4.2): the
 // element binds to a *queue*, not a port, so each queue can be polled by
 // exactly one core. kp (poll-driven batching) is the Driver's burst size.
+//
+// Batch-native: the whole kp-packet poll burst leaves output 0 as one
+// PacketBatch, so downstream elements see the driver's burst size (the
+// graph-level batch). `graph_batch` can cap the batch size pushed into
+// the graph below kp (the Table 1 third-axis sweep); 0 means "the full
+// poll burst".
 #ifndef RB_CLICK_ELEMENTS_FROM_DEVICE_HPP_
 #define RB_CLICK_ELEMENTS_FROM_DEVICE_HPP_
 
@@ -14,19 +20,22 @@
 
 namespace rb {
 
-class FromDevice : public Element {
+class FromDevice : public BatchElement {
  public:
   // home_core: the core this queue's polling is pinned to (-1 = any).
-  FromDevice(NicPort* port, uint16_t rx_queue, uint16_t kp = 32, int home_core = -1);
+  // graph_batch: max packets per downstream PushBatch (0 = whole burst).
+  FromDevice(NicPort* port, uint16_t rx_queue, uint16_t kp = 32, int home_core = -1,
+             uint16_t graph_batch = 0);
 
   const char* class_name() const override { return "FromDevice"; }
   void Initialize(Router* router) override;
 
-  // One poll iteration: retrieves up to kp packets and pushes each out of
-  // output 0. Returns packets moved.
+  // One poll iteration: retrieves up to kp packets and pushes them out of
+  // output 0 as (a) batch(es). Returns packets moved.
   size_t RunOnce();
 
   Driver& driver() { return driver_; }
+  uint16_t graph_batch() const { return graph_batch_; }
 
  private:
   class PollTask : public Task {
@@ -40,6 +49,7 @@ class FromDevice : public Element {
 
   Driver driver_;
   int home_core_;
+  uint16_t graph_batch_;
 };
 
 }  // namespace rb

@@ -2,27 +2,33 @@
 // port per next hop (next_hop value h exits output (h - 1) % n_outputs).
 // The paper's IP-routing application uses the D-lookup structure
 // (Dir24_8) over a 256 K-entry table; the element accepts any LpmTable so
-// tests can swap in the reference trie.
+// tests can swap in the reference trie. Batch-native: one lpm_lookup
+// profiler scope covers the whole burst of table walks.
 #ifndef RB_CLICK_ELEMENTS_IP_LOOKUP_HPP_
 #define RB_CLICK_ELEMENTS_IP_LOOKUP_HPP_
+
+#include <vector>
 
 #include "click/element.hpp"
 #include "lookup/lpm.hpp"
 
 namespace rb {
 
-class IpLookup : public Element {
+class IpLookup : public BatchElement {
  public:
   // `table` is borrowed and must outlive the element.
   IpLookup(const LpmTable* table, int n_next_hops);
   const char* class_name() const override { return "IPLookup"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
   uint64_t no_route() const { return no_route_; }
 
  private:
   const LpmTable* table_;
   uint64_t no_route_ = 0;
+  // Per-output fan-out lanes. Member scratch is safe: an element runs on
+  // exactly one core and the graph is acyclic (no re-entrant PushBatch).
+  std::vector<PacketBatch> lanes_;
 };
 
 }  // namespace rb

@@ -18,40 +18,50 @@ telemetry::ScopeId DecryptPhase() {
 }  // namespace
 #endif
 
-IpsecEncrypt::IpsecEncrypt(const EspConfig& config) : Element(1, 2), tunnel_(config) {}
+IpsecEncrypt::IpsecEncrypt(const EspConfig& config) : BatchElement(1, 2), tunnel_(config) {}
 
-void IpsecEncrypt::Push(int /*port*/, Packet* p) {
-  bool ok;
+void IpsecEncrypt::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch ok;
+  PacketBatch fail;
   {
 #if defined(RB_PROFILE) && RB_PROFILE
     RB_PROF_SCOPE(EncryptPhase());
 #endif
-    ok = tunnel_.Encapsulate(p);
+    for (Packet* p : batch) {
+      if (tunnel_.Encapsulate(p)) {
+        ok.PushBack(p);
+      } else {
+        fail.PushBack(p);
+      }
+    }
   }
-  if (ok) {
-    encrypted_++;
-    Output(0, p);
-  } else {
-    Output(1, p);
-  }
+  batch.Clear();
+  encrypted_ += ok.size();
+  OutputBatch(0, ok);
+  OutputBatch(1, fail);
 }
 
-IpsecDecrypt::IpsecDecrypt(const EspConfig& config) : Element(1, 2), tunnel_(config) {}
+IpsecDecrypt::IpsecDecrypt(const EspConfig& config) : BatchElement(1, 2), tunnel_(config) {}
 
-void IpsecDecrypt::Push(int /*port*/, Packet* p) {
-  bool ok;
+void IpsecDecrypt::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch ok;
+  PacketBatch fail;
   {
 #if defined(RB_PROFILE) && RB_PROFILE
     RB_PROF_SCOPE(DecryptPhase());
 #endif
-    ok = tunnel_.Decapsulate(p);
+    for (Packet* p : batch) {
+      if (tunnel_.Decapsulate(p)) {
+        ok.PushBack(p);
+      } else {
+        fail.PushBack(p);
+      }
+    }
   }
-  if (ok) {
-    decrypted_++;
-    Output(0, p);
-  } else {
-    Output(1, p);
-  }
+  batch.Clear();
+  decrypted_ += ok.size();
+  OutputBatch(0, ok);
+  OutputBatch(1, fail);
 }
 
 }  // namespace rb

@@ -1,6 +1,7 @@
 // IPsec elements: IpsecEncrypt wraps frames in an ESP tunnel (the §5.1
 // IPsec application — AES-128 on every packet); IpsecDecrypt reverses it.
 // Encapsulation failures (non-IPv4, no room) exit output 1 when wired.
+// Batch-native: one ESP phase scope covers the whole burst of crypto.
 #ifndef RB_CLICK_ELEMENTS_IPSEC_HPP_
 #define RB_CLICK_ELEMENTS_IPSEC_HPP_
 
@@ -9,11 +10,11 @@
 
 namespace rb {
 
-class IpsecEncrypt : public Element {
+class IpsecEncrypt : public BatchElement {
  public:
   explicit IpsecEncrypt(const EspConfig& config);
   const char* class_name() const override { return "IPsecEncrypt"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
   uint64_t encrypted() const { return encrypted_; }
 
@@ -22,11 +23,11 @@ class IpsecEncrypt : public Element {
   uint64_t encrypted_ = 0;
 };
 
-class IpsecDecrypt : public Element {
+class IpsecDecrypt : public BatchElement {
  public:
   explicit IpsecDecrypt(const EspConfig& config);
   const char* class_name() const override { return "IPsecDecrypt"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
   uint64_t decrypted() const { return decrypted_; }
 

@@ -1,9 +1,12 @@
 // Small utility elements: Counter, Discard, Tee, Paint/PaintSwitch,
-// SetFlowHash, SetOutputNode, and InfiniteSource/TimedSink for tests.
+// SetFlowHash, and ForEach glue for tests. All batch-native; Counter also
+// forwards batch pulls so it can sit on a pull path without degrading the
+// downstream puller to per-packet transfers.
 #ifndef RB_CLICK_ELEMENTS_MISC_HPP_
 #define RB_CLICK_ELEMENTS_MISC_HPP_
 
 #include <functional>
+#include <vector>
 
 #include "click/element.hpp"
 #include "common/stats.hpp"
@@ -12,12 +15,13 @@
 namespace rb {
 
 // Counts packets and bytes, passes through.
-class CounterElement : public Element {
+class CounterElement : public BatchElement {
  public:
-  CounterElement() : Element(1, 1) {}
+  CounterElement() : BatchElement(1, 1) {}
   const char* class_name() const override { return "Counter"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
   Packet* Pull(int port) override;
+  size_t PullBatch(int port, PacketBatch* out, int max) override;
 
   const PortCounters& counters() const { return counters_; }
 
@@ -26,11 +30,11 @@ class CounterElement : public Element {
 };
 
 // Frees every packet it receives.
-class Discard : public Element {
+class Discard : public BatchElement {
  public:
-  Discard() : Element(1, 0) {}
+  Discard() : BatchElement(1, 0) {}
   const char* class_name() const override { return "Discard"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
   uint64_t count() const { return count_; }
 
@@ -40,49 +44,59 @@ class Discard : public Element {
 
 // Copies each packet to all outputs (allocating the copies from the
 // original packet's pool; drops copies when the pool is exhausted).
-class Tee : public Element {
+class Tee : public BatchElement {
  public:
-  explicit Tee(int n_outputs) : Element(1, n_outputs) {}
+  explicit Tee(int n_outputs)
+      : BatchElement(1, n_outputs), lanes_(static_cast<size_t>(n_outputs)) {}
   const char* class_name() const override { return "Tee"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
+
+ private:
+  std::vector<PacketBatch> lanes_;
 };
 
 // Stamps the paint annotation.
-class Paint : public Element {
+class Paint : public BatchElement {
  public:
-  explicit Paint(uint8_t color) : Element(1, 1), color_(color) {}
+  explicit Paint(uint8_t color) : BatchElement(1, 1), color_(color) {}
   const char* class_name() const override { return "Paint"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
  private:
   uint8_t color_;
 };
 
 // Demuxes on the paint annotation: paint c exits output min(c, n-1).
-class PaintSwitch : public Element {
+class PaintSwitch : public BatchElement {
  public:
-  explicit PaintSwitch(int n_outputs) : Element(1, n_outputs) {}
+  explicit PaintSwitch(int n_outputs)
+      : BatchElement(1, n_outputs), lanes_(static_cast<size_t>(n_outputs)) {}
   const char* class_name() const override { return "PaintSwitch"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
+
+ private:
+  std::vector<PacketBatch> lanes_;
 };
 
 // Recomputes the flow-hash annotation from the 5-tuple (for paths where
 // headers were rewritten after NIC RSS stamped the hash).
-class SetFlowHash : public Element {
+class SetFlowHash : public BatchElement {
  public:
-  SetFlowHash() : Element(1, 1) {}
+  SetFlowHash() : BatchElement(1, 1) {}
   const char* class_name() const override { return "SetFlowHash"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 };
 
 // Applies a user function to each packet (glue for tests and experiments).
-class ForEach : public Element {
+class ForEach : public BatchElement {
  public:
-  explicit ForEach(std::function<void(Packet*)> fn) : Element(1, 1), fn_(std::move(fn)) {}
+  explicit ForEach(std::function<void(Packet*)> fn) : BatchElement(1, 1), fn_(std::move(fn)) {}
   const char* class_name() const override { return "ForEach"; }
-  void Push(int /*port*/, Packet* p) override {
-    fn_(p);
-    Output(0, p);
+  void PushBatch(int /*port*/, PacketBatch& batch) override {
+    for (Packet* p : batch) {
+      fn_(p);
+    }
+    OutputBatch(0, batch);
   }
 
  private:

@@ -2,7 +2,7 @@
 
 namespace rb {
 
-QueueElement::QueueElement(size_t capacity) : Element(1, 1), ring_(capacity) {}
+QueueElement::QueueElement(size_t capacity) : BatchElement(1, 1), ring_(capacity) {}
 
 void QueueElement::BindTelemetry(telemetry::MetricRegistry* registry,
                                  telemetry::PathTracer* tracer, const std::string& prefix) {
@@ -12,11 +12,7 @@ void QueueElement::BindTelemetry(telemetry::MetricRegistry* registry,
   }
 }
 
-void QueueElement::Push(int /*port*/, Packet* p) {
-  if (!ring_.TryPush(p)) {
-    Drop(p);
-    return;
-  }
+void QueueElement::NoteDepth() {
   size_t depth = ring_.size();
   if (depth > highwater_) {
     highwater_ = depth;
@@ -26,10 +22,39 @@ void QueueElement::Push(int /*port*/, Packet* p) {
   }
 }
 
+void QueueElement::PushBatch(int /*port*/, PacketBatch& batch) {
+  // Drop-tail per packet: a burst that straddles capacity enqueues its
+  // prefix and drops exactly the overflow — each overflowed packet is
+  // counted once and released to its pool once (DropBatch), never
+  // double-released with the enqueued prefix.
+  const uint32_t n = batch.size();
+  uint32_t accepted = 0;
+  while (accepted < n && ring_.TryPush(batch[accepted])) {
+    accepted++;
+  }
+  if (accepted < n) {
+    PacketBatch overflow;
+    batch.SplitAfter(accepted, &overflow);
+    DropBatch(overflow);
+  }
+  batch.Clear();  // enqueued prefix now belongs to the ring
+  NoteDepth();
+}
+
 Packet* QueueElement::Pull(int /*port*/) {
   Packet* p = nullptr;
   ring_.TryPop(&p);
   return p;
+}
+
+size_t QueueElement::PullBatch(int /*port*/, PacketBatch* out, int max) {
+  size_t moved = 0;
+  Packet* p = nullptr;
+  while (moved < static_cast<size_t>(max) && !out->full() && ring_.TryPop(&p)) {
+    out->PushBack(p);
+    moved++;
+  }
+  return moved;
 }
 
 }  // namespace rb

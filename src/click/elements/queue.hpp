@@ -2,6 +2,11 @@
 // Click's Queue element. Uses the lock-free SPSC ring, which is safe under
 // RouteBricks' scheduling discipline (a queue sits between exactly one
 // pushing core and one pulling core).
+//
+// Batch-native on both sides: PushBatch enqueues a whole burst (packets
+// that do not fit are the *only* ones counted and released as drops), and
+// PullBatch dequeues up to the caller's burst in one call — the handoff
+// between a kp-sized poll burst and a kn-sized transmit burst.
 #ifndef RB_CLICK_ELEMENTS_QUEUE_HPP_
 #define RB_CLICK_ELEMENTS_QUEUE_HPP_
 
@@ -10,14 +15,15 @@
 
 namespace rb {
 
-class QueueElement : public Element {
+class QueueElement : public BatchElement {
  public:
   explicit QueueElement(size_t capacity = 1024);
 
   const char* class_name() const override { return "Queue"; }
 
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
   Packet* Pull(int port) override;
+  size_t PullBatch(int port, PacketBatch* out, int max) override;
 
   // Adds an occupancy high-water gauge ("elem/<name>/occupancy_hw") on top
   // of the standard element counters.
@@ -29,6 +35,8 @@ class QueueElement : public Element {
   uint64_t highwater() const { return highwater_; }
 
  private:
+  void NoteDepth();
+
   SpscRing<Packet*> ring_;
   uint64_t highwater_ = 0;
   telemetry::Gauge* tele_occupancy_hw_ = nullptr;

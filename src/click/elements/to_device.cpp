@@ -6,8 +6,9 @@
 namespace rb {
 
 ToDevice::ToDevice(NicPort* port, uint16_t tx_queue, uint16_t burst, int home_core)
-    : Element(1, 0), port_(port), tx_queue_(tx_queue), burst_(burst), home_core_(home_core) {
+    : BatchElement(1, 0), port_(port), tx_queue_(tx_queue), burst_(burst), home_core_(home_core) {
   RB_CHECK(port != nullptr);
+  RB_CHECK(burst >= 1);
   RB_CHECK(tx_queue < port->num_tx_queues());
 }
 
@@ -15,51 +16,50 @@ void ToDevice::Initialize(Router* router) {
   router->RegisterTask(std::make_unique<DrainTask>(this, home_core_));
 }
 
-void ToDevice::Push(int /*port*/, Packet* p) {
-  FinishTrace(p);
-  // Transmit() owns the packet either way; failures are counted as tx
-  // drops by the NIC.
-  if (port_->Transmit(tx_queue_, p)) {
-    sent_++;
-    CountPacketsOut(1);
-  }
-}
-
-void ToDevice::FinishTrace(Packet* p) {
-  if (tracer() != nullptr && p->trace_handle() != 0) {
-    tracer()->EndTrace(p->trace_handle(), name(), telemetry::NowSeconds());
-    p->set_trace_handle(0);
-  }
-}
-
-size_t ToDevice::RunOnce() {
-  size_t moved = 0;
-  for (uint16_t i = 0; i < burst_; ++i) {
-    Packet* p = Input(0);
-    if (p == nullptr) {
-      break;
-    }
-    FinishTrace(p);
-    [[maybe_unused]] uint32_t bytes = p->length();
-    bool sent;
-    {
-#if defined(RB_PROFILE) && RB_PROFILE
-      // The tx half of the driver batch loop (rx is netdev/rx_poll).
-      static const telemetry::ScopeId kTxScope = telemetry::InternScopeName("netdev/tx");
-      RB_PROF_SCOPE(kTxScope);
-#endif
-      sent = port_->Transmit(tx_queue_, p);
-      if (sent) {
-        RB_PROF_WORK(1, bytes);
+void ToDevice::TransmitBatch(PacketBatch& batch) {
+  if (tracer() != nullptr) {
+    const double now = telemetry::NowSeconds();
+    for (Packet* p : batch) {
+      if (p->trace_handle() != 0) {
+        tracer()->EndTrace(p->trace_handle(), name(), now);
+        p->set_trace_handle(0);
       }
     }
-    if (sent) {
-      sent_++;
-      CountPacketsOut(1);
-    }
-    // Transmit() owns the packet either way (drops are counted by the NIC).
-    moved++;
   }
+  uint64_t ok = 0;
+  [[maybe_unused]] uint64_t ok_bytes = 0;
+  {
+#if defined(RB_PROFILE) && RB_PROFILE
+    // The tx half of the driver batch loop (rx is netdev/rx_poll) — one
+    // scope entry per transmit burst.
+    static const telemetry::ScopeId kTxScope = telemetry::InternScopeName("netdev/tx");
+    RB_PROF_SCOPE(kTxScope);
+#endif
+    for (Packet* p : batch) {
+      [[maybe_unused]] uint32_t bytes = p->length();
+      // Transmit() owns the packet either way; failures are counted as tx
+      // drops by the NIC.
+      if (port_->Transmit(tx_queue_, p)) {
+        ok++;
+        ok_bytes += bytes;
+      }
+    }
+    RB_PROF_WORK(ok, ok_bytes);
+  }
+  sent_ += ok;
+  CountPacketsOut(ok);
+  batch.Clear();
+}
+
+void ToDevice::PushBatch(int /*port*/, PacketBatch& batch) { TransmitBatch(batch); }
+
+size_t ToDevice::RunOnce() {
+  PacketBatch batch;
+  size_t moved = InputBatch(0, &batch, burst_);
+  if (moved == 0) {
+    return 0;
+  }
+  TransmitBatch(batch);
   return moved;
 }
 

@@ -1,6 +1,10 @@
 // ToDevice: drains an upstream pull path (normally a Queue) into one NIC
 // tx queue. Like FromDevice, it binds to a queue so that the "one core per
 // queue" rule holds on the transmit side too.
+//
+// Batch-native: each drain iteration pulls up to `burst` packets (the
+// transmit-side batch, kn in the standard graphs) in one PullBatch call
+// and transmits them under a single profiler scope.
 #ifndef RB_CLICK_ELEMENTS_TO_DEVICE_HPP_
 #define RB_CLICK_ELEMENTS_TO_DEVICE_HPP_
 
@@ -12,15 +16,15 @@
 
 namespace rb {
 
-class ToDevice : public Element {
+class ToDevice : public BatchElement {
  public:
   ToDevice(NicPort* port, uint16_t tx_queue, uint16_t burst = 32, int home_core = -1);
 
   const char* class_name() const override { return "ToDevice"; }
   void Initialize(Router* router) override;
 
-  // Also usable in push mode: a pushed packet is transmitted immediately.
-  void Push(int port, Packet* p) override;
+  // Also usable in push mode: a pushed batch is transmitted immediately.
+  void PushBatch(int port, PacketBatch& batch) override;
 
   // One drain iteration: pulls up to `burst` packets from input 0 and
   // transmits them. Returns packets moved.
@@ -29,7 +33,9 @@ class ToDevice : public Element {
   uint64_t sent() const { return sent_; }
 
  private:
-  void FinishTrace(Packet* p);
+  // Transmits every packet in `batch` (Transmit owns each packet either
+  // way; failures are counted as tx drops by the NIC). Empties the batch.
+  void TransmitBatch(PacketBatch& batch);
 
   class DrainTask : public Task {
    public:

@@ -70,7 +70,11 @@ void Router::BindTask_(Task* task) {
   }
   const std::string base = tele_prefix_ + "task/" + task->element()->name();
   task->BindTelemetry(tele_registry_->GetCounter(base + "/runs"),
-                      tele_registry_->GetCounter(base + "/work"));
+                      tele_registry_->GetCounter(base + "/work"),
+                      tele_registry_->GetHistogram(
+                          base + "/burst",
+                          telemetry::HistogramOptions{0.0, static_cast<double>(PacketBatch::kCapacity),
+                                                      64}));
 }
 
 void Router::RegisterTask(std::unique_ptr<Task> task) {

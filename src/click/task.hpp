@@ -35,10 +35,13 @@ class Task {
   // Mirrors the run/work bookkeeping into shared registry counters (the
   // cycles-proxy: polling iterations and packets moved per task). The
   // plain members stay single-writer; the registry counters are what
-  // concurrent samplers may read.
-  void BindTelemetry(telemetry::Counter* runs, telemetry::Counter* work) {
+  // concurrent samplers may read. `burst` (optional) observes the batch
+  // size of every non-idle run — the distribution of poll/drain bursts.
+  void BindTelemetry(telemetry::Counter* runs, telemetry::Counter* work,
+                     telemetry::ShardedHistogram* burst = nullptr) {
     tele_runs_ = runs;
     tele_work_ = work;
+    tele_burst_ = burst;
   }
 
   // Bookkeeping wrapper used by schedulers.
@@ -60,6 +63,9 @@ class Task {
       tele_runs_->Inc();
       if (n > 0) {
         tele_work_->Add(n);
+        if (tele_burst_ != nullptr) {
+          tele_burst_->Observe(static_cast<double>(n));
+        }
       }
     }
     return n;
@@ -74,6 +80,7 @@ class Task {
   uint64_t work_ = 0;
   telemetry::Counter* tele_runs_ = nullptr;
   telemetry::Counter* tele_work_ = nullptr;
+  telemetry::ShardedHistogram* tele_burst_ = nullptr;
 };
 
 }  // namespace rb

@@ -12,64 +12,77 @@
 namespace rb {
 
 VlbRoute::VlbRoute(const LpmTable* table, DirectVlbRouter* vlb, uint16_t self, uint16_t num_nodes)
-    : Element(1, num_nodes), table_(table), vlb_(vlb), self_(self), num_nodes_(num_nodes) {
+    : BatchElement(1, num_nodes),
+      table_(table),
+      vlb_(vlb),
+      self_(self),
+      num_nodes_(num_nodes),
+      lanes_(num_nodes) {
   RB_CHECK(table != nullptr && vlb != nullptr);
   RB_CHECK(self < num_nodes);
 }
 
-void VlbRoute::Push(int /*port*/, Packet* p) {
-  if (p->length() < EthernetView::kSize + Ipv4View::kMinSize) {
-    Drop(p);
-    return;
-  }
-  Ipv4View ip{p->data() + EthernetView::kSize};
-  uint32_t hop = table_->Lookup(ip.dst());
-  if (hop == LpmTable::kNoRoute || hop > num_nodes_) {
-    Drop(p);
-    return;
-  }
-  headers_processed_++;
-  uint16_t dst_node = static_cast<uint16_t>(hop - 1);
-  p->set_output_node(dst_node);
+void VlbRoute::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch bad;
+  for (Packet* p : batch) {
+    if (p->length() < EthernetView::kSize + Ipv4View::kMinSize) {
+      bad.PushBack(p);
+      continue;
+    }
+    Ipv4View ip{p->data() + EthernetView::kSize};
+    uint32_t hop = table_->Lookup(ip.dst());
+    if (hop == LpmTable::kNoRoute || hop > num_nodes_) {
+      bad.PushBack(p);
+      continue;
+    }
+    headers_processed_++;
+    uint16_t dst_node = static_cast<uint16_t>(hop - 1);
+    p->set_output_node(dst_node);
 
-  // Encode the output node in the destination MAC so no later CPU has to
-  // read the IP header (§6.1).
-  EthernetView eth{p->data()};
-  eth.set_dst(MacForNode(dst_node));
+    // Encode the output node in the destination MAC so no later CPU has
+    // to read the IP header (§6.1).
+    EthernetView eth{p->data()};
+    eth.set_dst(MacForNode(dst_node));
 
-  if (dst_node == self_) {
-    p->set_vlb_phase(VlbPhase::kDirect);
-    Output(self_, p);
-    return;
-  }
+    if (dst_node == self_) {
+      p->set_vlb_phase(VlbPhase::kDirect);
+      lanes_[self_].PushBack(p);
+      continue;
+    }
 
-  uint64_t flow_id = p->flow_id() != 0 ? p->flow_id() : p->flow_hash();
-  VlbDecision decision = vlb_->Route(dst_node, flow_id, p->length(), p->arrival_time());
-  uint16_t wire_to;
-  if (decision.direct) {
-    p->set_vlb_phase(VlbPhase::kDirect);
-    wire_to = dst_node;
-  } else {
-    p->set_vlb_phase(VlbPhase::kPhase1);
-    wire_to = decision.via;
+    uint64_t flow_id = p->flow_id() != 0 ? p->flow_id() : p->flow_hash();
+    VlbDecision decision = vlb_->Route(dst_node, flow_id, p->length(), p->arrival_time());
+    uint16_t wire_to;
+    if (decision.direct) {
+      p->set_vlb_phase(VlbPhase::kDirect);
+      wire_to = dst_node;
+    } else {
+      p->set_vlb_phase(VlbPhase::kPhase1);
+      wire_to = decision.via;
+    }
+    lanes_[wire_to].PushBack(p);
   }
-  Output(wire_to, p);
+  batch.Clear();
+  DropBatch(bad);
+  for (uint16_t j = 0; j < num_nodes_; ++j) {
+    OutputBatch(j, lanes_[j]);
+  }
 }
 
 VlbSteer::VlbSteer(uint16_t self, uint16_t queue_node)
-    : Element(1, 2), self_(self), queue_node_(queue_node) {}
+    : BatchElement(1, 2), self_(self), queue_node_(queue_node) {}
 
-void VlbSteer::Push(int /*port*/, Packet* p) {
-  steered_++;
-  // The rx queue index IS the output node — no header access needed.
-  p->set_output_node(queue_node_);
-  if (queue_node_ == self_) {
-    p->set_vlb_phase(VlbPhase::kDirect);
-    Output(0, p);
-  } else {
-    p->set_vlb_phase(VlbPhase::kPhase2);
-    Output(1, p);
+void VlbSteer::PushBatch(int /*port*/, PacketBatch& batch) {
+  steered_ += batch.size();
+  // The rx queue index IS the output node — no header access needed, and
+  // the whole burst shares one phase because the queue decides it.
+  const bool local = queue_node_ == self_;
+  const VlbPhase phase = local ? VlbPhase::kDirect : VlbPhase::kPhase2;
+  for (Packet* p : batch) {
+    p->set_output_node(queue_node_);
+    p->set_vlb_phase(phase);
   }
+  OutputBatch(local ? 0 : 1, batch);
 }
 
 FunctionalCluster::FunctionalCluster(const FunctionalClusterConfig& config)

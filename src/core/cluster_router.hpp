@@ -35,11 +35,11 @@ namespace rb {
 // Input-node element: full header processing + VLB path choice + MAC
 // encoding. Output j sends toward node j (the wire port); output self
 // delivers locally.
-class VlbRoute : public Element {
+class VlbRoute : public BatchElement {
  public:
   VlbRoute(const LpmTable* table, DirectVlbRouter* vlb, uint16_t self, uint16_t num_nodes);
   const char* class_name() const override { return "VlbRoute"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
   uint64_t headers_processed() const { return headers_processed_; }
 
@@ -49,16 +49,17 @@ class VlbRoute : public Element {
   uint16_t self_;
   uint16_t num_nodes_;
   uint64_t headers_processed_ = 0;
+  std::vector<PacketBatch> lanes_;  // per-wire fan-out scratch
 };
 
 // Transit/output-node element for one MAC-steered rx queue: stamps the
 // output node implied by the queue and forwards without header reads.
 // Output 0: local external delivery; output 1: toward the output node.
-class VlbSteer : public Element {
+class VlbSteer : public BatchElement {
  public:
   VlbSteer(uint16_t self, uint16_t queue_node);
   const char* class_name() const override { return "VlbSteer"; }
-  void Push(int port, Packet* p) override;
+  void PushBatch(int port, PacketBatch& batch) override;
 
   uint64_t steered() const { return steered_; }
 
@@ -106,6 +107,8 @@ class FunctionalCluster {
 
   const VlbRoute& vlb_route(uint16_t node) const { return *vlb_route_[node]; }
   DirectVlbRouter& vlb(uint16_t node) { return *vlb_[node]; }
+  // The node's Click graph (for inspection, e.g. walking elements).
+  Router& node_graph(uint16_t node) { return *nodes_[node].graph; }
   uint64_t wire_packets() const { return wire_packets_; }
 
   // Believed node/link liveness, shared by every node's VLB router. The

@@ -1,6 +1,7 @@
 #include "core/router_config.hpp"
 
 #include "common/log.hpp"
+#include "packet/batch.hpp"
 
 namespace rb {
 
@@ -17,6 +18,8 @@ void ValidateConfig(const SingleServerConfig& config) {
                 config.queues_per_port, config.cores);
   }
   RB_CHECK_MSG(config.kp >= 1 && config.kn >= 1, "batch factors must be >= 1");
+  RB_CHECK_MSG(config.graph_batch <= PacketBatch::kCapacity,
+               "graph_batch exceeds PacketBatch capacity");
   RB_CHECK_MSG(config.pool_packets >= 1024, "packet pool too small");
 }
 

@@ -19,6 +19,11 @@ struct SingleServerConfig {
   App app = App::kIpRouting;  // packet-processing application
   uint16_t kp = 32;           // poll-driven batch
   uint16_t kn = 16;           // NIC-driven batch
+  // Graph-level batch: the largest PacketBatch FromDevice pushes into the
+  // element chain. 0 (default) = no extra split, the whole kp poll burst
+  // travels as one batch. Smaller values re-chunk the burst — the knob the
+  // Table 1 batching sweep varies independently of kp/kn.
+  uint16_t graph_batch = 0;
   size_t pool_packets = 65536;
   size_t queue_capacity = 1024;
   // IP routing.

@@ -41,7 +41,7 @@ void SingleServerRouter::BuildGraph() {
       // the static thread-to-core mapping of §4.2.
       int core = q % config_.cores;
       auto* from = router_.Add<FromDevice>(&port(in_port), static_cast<uint16_t>(q), config_.kp,
-                                           core);
+                                           core, config_.graph_batch);
       auto* check = router_.Add<CheckIpHeader>();
       router_.Connect(from, 0, check, 0);
 
@@ -52,8 +52,10 @@ void SingleServerRouter::BuildGraph() {
       std::vector<Element*> legs;
       for (int out_port = 0; out_port < num_ports; ++out_port) {
         auto* queue = router_.Add<QueueElement>(config_.queue_capacity);
+        // ToDevice drains up to kn per transmit — the NIC-driven batch
+        // size, matching the descriptor-batching axis of Table 1.
         auto* to = router_.Add<ToDevice>(&port(out_port), static_cast<uint16_t>(q),
-                                         config_.kp, core);
+                                         config_.kn, core);
         router_.Connect(queue, 0, to, 0);
         legs.push_back(queue);
       }

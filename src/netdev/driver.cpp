@@ -23,29 +23,37 @@ Driver::Driver(NicPort* port, uint16_t rx_queue, const DriverConfig& config)
   RB_CHECK(rx_queue < port->num_rx_queues());
 }
 
-size_t Driver::Poll(std::vector<Packet*>* out) {
+size_t Driver::Poll(PacketBatch* out) {
 #if defined(RB_PROFILE) && RB_PROFILE
   RB_PROF_SCOPE(RxPollScope());
 #endif
   polls_++;
-  Packet* burst[256];
-  size_t want = std::min<size_t>(config_.kp, std::size(burst));
-  size_t n = port_->PollRx(rx_queue_, burst, want);
+  size_t want = std::min<size_t>(config_.kp, out->room());
+  Packet** fill = out->tail();
+  size_t n = port_->PollRx(rx_queue_, fill, want);
   if (n == 0) {
     empty_polls_++;
     return 0;
   }
+  out->CommitAppended(static_cast<uint32_t>(n));
   packets_ += n;
 #if defined(RB_PROFILE) && RB_PROFILE
   if (telemetry::Profiler* prof = telemetry::CurrentProfiler()) {
     uint64_t bytes = 0;
     for (size_t i = 0; i < n; ++i) {
-      bytes += burst[i]->length();
+      bytes += fill[i]->length();
     }
     prof->AddWork(n, bytes);
   }
 #endif
-  out->insert(out->end(), burst, burst + n);
+  return n;
+}
+
+size_t Driver::Poll(std::vector<Packet*>* out) {
+  PacketBatch burst;
+  size_t n = Poll(&burst);
+  out->insert(out->end(), burst.begin(), burst.end());
+  burst.Clear();
   return n;
 }
 

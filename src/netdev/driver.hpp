@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "netdev/nic.hpp"
+#include "packet/batch.hpp"
 
 namespace rb {
 
@@ -25,7 +26,10 @@ class Driver {
   Driver(NicPort* port, uint16_t rx_queue, const DriverConfig& config);
 
   // Polls the bound rx queue; appends up to kp packets to `out`.
-  // Returns the number retrieved (0 counts as an empty poll).
+  // Returns the number retrieved (0 counts as an empty poll). The batch
+  // overload is the hot path (no heap traffic); the vector overload
+  // remains for harness code.
+  size_t Poll(PacketBatch* out);
   size_t Poll(std::vector<Packet*>* out);
 
   // Sends on the bound port's tx queue `q`.

@@ -1,0 +1,58 @@
+#include "packet/batch.hpp"
+
+#include <cstring>
+
+#include "packet/pool.hpp"
+
+namespace rb {
+
+void PacketBatch::Append(PacketBatch* other) {
+  RB_CHECK_MSG(size_ + other->size_ <= kCapacity, "PacketBatch::Append overflow");
+  std::memcpy(pkts_ + size_, other->pkts_, other->size_ * sizeof(Packet*));
+  size_ += other->size_;
+  other->size_ = 0;
+}
+
+uint32_t PacketBatch::AppendUpTo(PacketBatch* other, uint32_t max) {
+  uint32_t n = other->size_ < max ? other->size_ : max;
+  if (n > room()) {
+    n = room();
+  }
+  if (n == 0) {
+    return 0;
+  }
+  std::memcpy(pkts_ + size_, other->pkts_, n * sizeof(Packet*));
+  size_ += n;
+  // Close the gap at the front of `other` so arrival order survives.
+  std::memmove(other->pkts_, other->pkts_ + n, (other->size_ - n) * sizeof(Packet*));
+  other->size_ -= n;
+  return n;
+}
+
+void PacketBatch::SplitAfter(uint32_t n, PacketBatch* tail) {
+  if (n >= size_) {
+    return;
+  }
+  const uint32_t moving = size_ - n;
+  RB_CHECK_MSG(tail->size_ + moving <= kCapacity, "PacketBatch::SplitAfter overflow");
+  std::memcpy(tail->pkts_ + tail->size_, pkts_ + n, moving * sizeof(Packet*));
+  tail->size_ += moving;
+  size_ = n;
+}
+
+void PacketBatch::ReleaseAll() {
+  for (uint32_t i = 0; i < size_; ++i) {
+    PacketPool::Release(pkts_[i]);
+  }
+  size_ = 0;
+}
+
+uint64_t PacketBatch::TotalBytes() const {
+  uint64_t bytes = 0;
+  for (uint32_t i = 0; i < size_; ++i) {
+    bytes += pkts_[i]->length();
+  }
+  return bytes;
+}
+
+}  // namespace rb

@@ -1,0 +1,112 @@
+// PacketBatch: the unit of dataflow in the batch-native element graph.
+//
+// RouteBricks' within-server scaling rests on batching (§4.2, Table 1):
+// the driver polls kp packets per iteration and the NIC batches kn
+// descriptors per PCIe transaction. A PacketBatch carries that burst
+// *through the element graph* instead of serializing it back into
+// per-packet virtual calls at the FromDevice boundary: one
+// Element::PushBatch call moves the whole burst, so per-hop bookkeeping
+// (virtual dispatch, profiler scopes, telemetry counters, LPM/ESP setup)
+// is paid once per batch instead of once per packet.
+//
+// Representation: a fixed-capacity array of Packet* (no allocation, lives
+// on the stack or inline in an element). kCapacity bounds the largest
+// burst the graph ever moves — the driver's poll limit (256) — so a batch
+// can always absorb a full kp poll.
+//
+// Ownership: a batch does not own its packets; it is a carrier. The
+// convention mirrors the per-packet rule ("a pushed packet belongs to the
+// callee"): PushBatch(port, batch) transfers ownership of every packet in
+// `batch` to the callee, which must leave the batch empty on return
+// (forward, enqueue, or release each packet — never silently keep the
+// array populated). ReleaseAll() is the batch analogue of
+// PacketPool::Release for drops.
+#ifndef RB_PACKET_BATCH_HPP_
+#define RB_PACKET_BATCH_HPP_
+
+#include <cstdint>
+
+#include "common/log.hpp"
+#include "packet/packet.hpp"
+
+namespace rb {
+
+class PacketBatch {
+ public:
+  // Largest burst the dataflow ever carries: the driver's poll ceiling.
+  static constexpr uint32_t kCapacity = 256;
+
+  PacketBatch() = default;
+  // Batches are carriers, not owners; copying one would alias raw packet
+  // pointers and invite double-release.
+  PacketBatch(const PacketBatch&) = delete;
+  PacketBatch& operator=(const PacketBatch&) = delete;
+
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == kCapacity; }
+  uint32_t room() const { return kCapacity - size_; }
+
+  // Unchecked on purpose: indexing is the innermost loop of every
+  // batch-native element.
+  Packet* operator[](uint32_t i) const { return pkts_[i]; }
+
+  Packet** begin() { return pkts_; }
+  Packet** end() { return pkts_ + size_; }
+  Packet* const* begin() const { return pkts_; }
+  Packet* const* end() const { return pkts_ + size_; }
+
+  void PushBack(Packet* p) {
+    RB_CHECK_MSG(size_ < kCapacity, "PacketBatch overflow");
+    pkts_[size_++] = p;
+  }
+
+  bool TryPushBack(Packet* p) {
+    if (size_ == kCapacity) {
+      return false;
+    }
+    pkts_[size_++] = p;
+    return true;
+  }
+
+  // Forgets the packets without releasing them (ownership was transferred
+  // elsewhere, e.g. into a ring or downstream element).
+  void Clear() { size_ = 0; }
+
+  // Raw tail access for bulk fills: a producer (NicPort::PollRx) writes up
+  // to room() pointers at tail(), then the caller commits them. Avoids a
+  // staging copy on the rx hot path.
+  Packet** tail() { return pkts_ + size_; }
+  void CommitAppended(uint32_t n) {
+    RB_CHECK_MSG(size_ + n <= kCapacity, "PacketBatch commit overflow");
+    size_ += n;
+  }
+
+  // Moves every packet from `other` onto the tail of this batch; `other`
+  // is left empty. RB_CHECKs that the combined size fits.
+  void Append(PacketBatch* other);
+
+  // Moves up to `max` packets from the *front* of `other` (preserving
+  // arrival order) onto the tail of this batch; returns how many moved.
+  uint32_t AppendUpTo(PacketBatch* other, uint32_t max);
+
+  // Splits this batch after the first `n` packets: [0, n) stay here,
+  // [n, size) move to `tail` (appended, order preserved). n > size is a
+  // no-op. The classifier-style inverse of Append.
+  void SplitAfter(uint32_t n, PacketBatch* tail);
+
+  // Returns every packet to its origin pool and empties the batch — the
+  // batch-granular drop path.
+  void ReleaseAll();
+
+  // Sum of Packet::length() over the batch (profiler work accounting).
+  uint64_t TotalBytes() const;
+
+ private:
+  uint32_t size_ = 0;
+  Packet* pkts_[kCapacity];
+};
+
+}  // namespace rb
+
+#endif  // RB_PACKET_BATCH_HPP_

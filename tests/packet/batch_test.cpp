@@ -1,0 +1,162 @@
+#include "packet/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "packet/pool.hpp"
+
+namespace rb {
+namespace {
+
+TEST(PacketBatchTest, StartsEmptyAndPushBackGrows) {
+  PacketPool pool(8);
+  PacketBatch b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.room(), PacketBatch::kCapacity);
+
+  Packet* p0 = pool.Alloc();
+  Packet* p1 = pool.Alloc();
+  b.PushBack(p0);
+  b.PushBack(p1);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], p0);
+  EXPECT_EQ(b[1], p1);
+
+  // Range-for iterates in insertion order.
+  std::vector<Packet*> seen(b.begin(), b.end());
+  EXPECT_EQ(seen, (std::vector<Packet*>{p0, p1}));
+
+  b.ReleaseAll();
+  EXPECT_EQ(pool.available(), 8u);
+}
+
+TEST(PacketBatchTest, CapacityEdge) {
+  PacketBatch b;
+  // Fill to capacity with dummy distinct pointers (never dereferenced).
+  Packet* fake = reinterpret_cast<Packet*>(0x1000);
+  for (uint32_t i = 0; i < PacketBatch::kCapacity; ++i) {
+    EXPECT_TRUE(b.TryPushBack(fake));
+  }
+  EXPECT_TRUE(b.full());
+  EXPECT_EQ(b.room(), 0u);
+  EXPECT_FALSE(b.TryPushBack(fake));
+  EXPECT_EQ(b.size(), PacketBatch::kCapacity);
+  b.Clear();
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(PacketBatchDeathTest, PushBackBeyondCapacityChecks) {
+  PacketBatch b;
+  Packet* fake = reinterpret_cast<Packet*>(0x1000);
+  for (uint32_t i = 0; i < PacketBatch::kCapacity; ++i) {
+    b.PushBack(fake);
+  }
+  EXPECT_DEATH(b.PushBack(fake), "overflow");
+}
+
+TEST(PacketBatchTest, AppendMovesEverythingAndEmptiesSource) {
+  PacketPool pool(8);
+  PacketBatch a;
+  PacketBatch b;
+  Packet* p0 = pool.Alloc();
+  Packet* p1 = pool.Alloc();
+  Packet* p2 = pool.Alloc();
+  a.PushBack(p0);
+  b.PushBack(p1);
+  b.PushBack(p2);
+  a.Append(&b);
+  EXPECT_TRUE(b.empty());
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0], p0);
+  EXPECT_EQ(a[1], p1);
+  EXPECT_EQ(a[2], p2);
+  a.ReleaseAll();
+}
+
+TEST(PacketBatchTest, AppendUpToTakesFromFrontPreservingOrder) {
+  PacketPool pool(8);
+  PacketBatch src;
+  Packet* pkts[5];
+  for (auto& p : pkts) {
+    p = pool.Alloc();
+    src.PushBack(p);
+  }
+  PacketBatch dst;
+  EXPECT_EQ(dst.AppendUpTo(&src, 2), 2u);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst[0], pkts[0]);
+  EXPECT_EQ(dst[1], pkts[1]);
+  // Source keeps the remainder, still in arrival order.
+  ASSERT_EQ(src.size(), 3u);
+  EXPECT_EQ(src[0], pkts[2]);
+  EXPECT_EQ(src[2], pkts[4]);
+  // Asking for more than available moves only what is there.
+  EXPECT_EQ(dst.AppendUpTo(&src, 99), 3u);
+  EXPECT_TRUE(src.empty());
+  EXPECT_EQ(dst.size(), 5u);
+  dst.ReleaseAll();
+}
+
+TEST(PacketBatchTest, SplitAfterMovesTail) {
+  PacketPool pool(8);
+  PacketBatch b;
+  Packet* pkts[4];
+  for (auto& p : pkts) {
+    p = pool.Alloc();
+    b.PushBack(p);
+  }
+  PacketBatch tail;
+  b.SplitAfter(3, &tail);
+  ASSERT_EQ(b.size(), 3u);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0], pkts[3]);
+  // n >= size is a no-op.
+  b.SplitAfter(10, &tail);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(tail.size(), 1u);
+  b.ReleaseAll();
+  tail.ReleaseAll();
+}
+
+TEST(PacketBatchTest, ReleaseAllRoundTripsThroughPool) {
+  PacketPool pool(4);
+  PacketBatch b;
+  for (int i = 0; i < 4; ++i) {
+    b.PushBack(pool.Alloc());
+  }
+  EXPECT_EQ(pool.available(), 0u);
+  b.ReleaseAll();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(pool.available(), 4u) << "every packet must return to its origin pool exactly once";
+}
+
+TEST(PacketBatchTest, TailCommitAppendedBulkFill) {
+  PacketPool pool(4);
+  PacketBatch b;
+  b.PushBack(pool.Alloc());
+  // Bulk-fill the way Driver::Poll does: write raw pointers at tail(),
+  // then commit.
+  Packet** t = b.tail();
+  t[0] = pool.Alloc();
+  t[1] = pool.Alloc();
+  b.CommitAppended(2);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b[1], t[0]);
+  b.ReleaseAll();
+}
+
+TEST(PacketBatchTest, TotalBytesSumsLengths) {
+  PacketPool pool(4);
+  PacketBatch b;
+  Packet* p0 = pool.Alloc();
+  Packet* p1 = pool.Alloc();
+  p0->SetLength(64);
+  p1->SetLength(1500);
+  b.PushBack(p0);
+  b.PushBack(p1);
+  EXPECT_EQ(b.TotalBytes(), 1564u);
+  b.ReleaseAll();
+}
+
+}  // namespace
+}  // namespace rb

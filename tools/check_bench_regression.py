@@ -12,6 +12,13 @@ only when the current run is worse than the baseline by the per-metric
 ratio/absolute bound below. Structural checks (a workload or scope
 disappearing, attribution coverage collapsing) are strict.
 
+A workload-level cycles/packet *improvement* beyond
+--improvement-tolerance also fails, as "baseline stale": a large genuine
+speedup must be accompanied by a refreshed committed baseline in the same
+change, or every later regression up to the stale baseline goes unseen.
+Scope-level metrics are exempt (single scopes are too noisy to gate on
+getting faster).
+
 Exit status: 0 = within tolerance, 1 = regression(s), 2 = bad input.
 """
 
@@ -63,7 +70,7 @@ def baseline_share(doc, path):
         return 0.0
 
 
-def compare(baseline, current, cycles_tol):
+def compare(baseline, current, cycles_tol, improvement_tol=4.0):
     failures = []
     infos = []
     base_metrics = flatten(baseline)
@@ -104,6 +111,17 @@ def compare(baseline, current, cycles_tol):
                 failures.append(
                     f"{path}: {cur_val:.1f} vs baseline {base_val:.1f} "
                     f"(x{cur_val / base_val:.2f} > x{tol:.2f} allowed)"
+                )
+            elif (
+                kind == "pipeline_cycles_per_packet"
+                and base_val > 0
+                and cur_val > 0
+                and cur_val * improvement_tol < base_val
+            ):
+                failures.append(
+                    f"{path}: baseline stale: {cur_val:.1f} vs baseline {base_val:.1f} "
+                    f"(x{base_val / cur_val:.2f} faster > x{improvement_tol:.2f} allowed; "
+                    f"refresh the committed baseline)"
                 )
             elif base_val > 0:
                 infos.append(f"{path}: x{cur_val / base_val:.2f} of baseline (ok)")
@@ -170,11 +188,20 @@ def self_test():
     empty = {"schema": base["schema"], "workloads": {}}
     f, _ = compare(base, empty, cycles_tol=1.5)
     assert any("fwd_64" in x for x in f), f"missing workload not caught: {f}"
-    # 6. getting faster is never a failure
+    # 6. a modest speedup passes; an extreme one fails as "baseline stale"
     fast = json.loads(json.dumps(base))
     fast["workloads"]["fwd_64"]["pipeline_cycles_per_packet"] = 400.0
     f, _ = compare(base, fast, cycles_tol=1.5)
-    assert not f, f"speedup flagged as regression: {f}"
+    assert not f, f"modest speedup flagged: {f}"
+    very_fast = json.loads(json.dumps(base))
+    very_fast["workloads"]["fwd_64"]["pipeline_cycles_per_packet"] = 100.0
+    f, _ = compare(base, very_fast, cycles_tol=1.5, improvement_tol=4.0)
+    assert any("baseline stale" in x for x in f), f"stale baseline not caught: {f}"
+    # Scope-level speedups never fail, no matter how large.
+    scope_fast = json.loads(json.dumps(base))
+    scope_fast["workloads"]["fwd_64"]["scopes"]["netdev/tx"]["cycles_per_packet"] = 1.0
+    f, _ = compare(base, scope_fast, cycles_tol=1.5, improvement_tol=4.0)
+    assert not f, f"scope speedup flagged: {f}"
     # 7. a dominant scope slowing down fails; a sub-threshold-share scope
     # slowing down is noise and passes
     scope_slow = json.loads(json.dumps(base))
@@ -185,7 +212,7 @@ def self_test():
     noise_slow["workloads"]["fwd_64"]["scopes"]["tiny/noise"]["cycles_per_packet"] = 500.0
     f, _ = compare(base, noise_slow, cycles_tol=1.5)
     assert not f, f"sub-share scope noise flagged: {f}"
-    print("self-test: 8/8 checks passed")
+    print("self-test: 10/10 checks passed")
     return 0
 
 
@@ -199,6 +226,13 @@ def main():
         default=3.0,
         help="allowed cycles/packet growth ratio (default 3.0: cross-machine safe)",
     )
+    ap.add_argument(
+        "--improvement-tolerance",
+        type=float,
+        default=4.0,
+        help="allowed workload cycles/packet shrink ratio before the committed "
+        "baseline is declared stale (default 4.0)",
+    )
     ap.add_argument("--self-test", action="store_true", help="run the built-in checks and exit")
     args = ap.parse_args()
 
@@ -209,7 +243,8 @@ def main():
 
     baseline = load(args.baseline)
     current = load(args.current)
-    failures, infos = compare(baseline, current, args.cycles_tolerance)
+    failures, infos = compare(baseline, current, args.cycles_tolerance,
+                              args.improvement_tolerance)
 
     for line in infos:
         print(f"  ok: {line}")
