@@ -213,6 +213,12 @@ int main(int argc, char** argv) {
     check(recovered_at >= 0, "throughput never returned to >=97% after node-up");
   }
 
+  if (rb::telemetry::Enabled()) {
+    // The seed rides along in the metrics dump so a failing soak/CI run
+    // can be replayed exactly.
+    rb::telemetry::MetricRegistry::Global().GetGauge("bench/seed")->Set(
+        static_cast<double>(*seed));
+  }
   rb::MaybeWriteMetrics(*metrics_out);
   return failures_found == 0 ? 0 : 1;
 }

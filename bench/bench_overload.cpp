@@ -1,0 +1,263 @@
+// Overload experiment on the N-node Direct-VLB mesh: the §3 claim that a
+// VLB cluster degrades *fairly* when offered more than it can carry. One
+// external port is driven at --overload-factor x its line rate R with a
+// deliberately skewed destination mix (weights 3:2:...:2, so every output
+// port demands more than its fair share and the demands are unequal), and
+// the run is repeated with fair ingress admission (cluster/admission.hpp)
+// ON and OFF:
+//
+//   * admission ON: the deficit-round-robin allocator clips every output
+//     port to its fair share of the believed ingress capacity, so
+//     per-port goodput equalizes (max/min <= 1.1) and aggregate goodput
+//     stays at the believed capacity;
+//   * admission OFF: the excess is shed wherever the ingress CPU queue
+//     happens to overflow, which is destination-blind tail drop — per-port
+//     goodput inherits the demand skew (max/min ~ 3/2), i.e. an
+//     overloaded output steals goodput from the others.
+//
+// A second scenario offers uniform traffic from every port at the same
+// overload factor and checks aggregate goodput holds >= 85% of the
+// believed capacity (no congestion collapse inside the mesh). Every run
+// must pass the drop-accounting audit (AuditConservation): each offered
+// packet lands in delivered or exactly one drop bucket.
+//
+// The CPU service rate is sized from the config's own ingress cost curve
+// so the ingress CPU (not the NICs, which are unmodeled here) is the
+// contended resource, with --headroom x R of packet headroom.
+//
+// --json writes a machine-readable summary (schema rb.bench_overload.v1,
+// seed included) checked structurally by tools/check_bench_regression.py.
+// Any failed check exits nonzero.
+#include <cmath>
+#include <cstdio>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "cluster/des.hpp"
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+#include "harness/metrics_out.hpp"
+#include "harness/report.hpp"
+#include "telemetry/json.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+struct RunResult {
+  rb::ClusterRunStats stats;
+  std::string audit;               // "" = conservation holds
+  std::vector<double> port_gbps;   // per-output goodput
+  double ratio = 0;                // max/min over per-output goodput
+  uint64_t admission_drops = 0;
+};
+
+RunResult RunScenario(rb::ClusterConfig cfg, const rb::TrafficMatrix& tm, double per_input_bps,
+                      uint32_t pkt_bytes, double duration, bool bind_telemetry) {
+  rb::ClusterSim sim(cfg);
+  if (bind_telemetry) {
+    sim.BindTelemetry(&rb::telemetry::MetricRegistry::Global(), nullptr);
+  }
+  rb::FixedSizeDistribution sizes(pkt_bytes);
+  RunResult r;
+  r.stats = sim.RunUniform(tm, per_input_bps, &sizes, duration);
+  r.audit = rb::AuditConservation(r.stats);
+  double lo = 0;
+  double hi = 0;
+  for (double bps : r.stats.per_output_bps) {
+    double gbps = bps / 1e9;
+    r.port_gbps.push_back(gbps);
+    hi = std::max(hi, gbps);
+    lo = (lo == 0) ? gbps : std::min(lo, gbps);
+  }
+  r.ratio = lo > 0 ? hi / lo : std::numeric_limits<double>::infinity();
+  r.admission_drops = r.stats.drops.admission;
+  return r;
+}
+
+void JsonPorts(rb::telemetry::JsonWriter* w, const std::vector<double>& ports) {
+  w->BeginArray();
+  for (double g : ports) {
+    w->Double(g);
+  }
+  w->EndArray();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("bench_overload");
+  auto* nodes = flags.AddInt64("nodes", 4, "mesh size N");
+  auto* rate_gbps = flags.AddDouble("rate-gbps", 2.4, "external line rate R per port (Gbps)");
+  auto* factor = flags.AddDouble("overload-factor", 2.0, "offered load as a multiple of R");
+  auto* pkt_bytes = flags.AddInt64("pkt-bytes", 300, "packet size");
+  auto* duration = flags.AddDouble("duration", 0.05, "simulated seconds");
+  auto* headroom =
+      flags.AddDouble("headroom", 1.3, "ingress CPU packet capacity as a multiple of R");
+  auto* seed = flags.AddInt64("seed", 7, "RNG seed");
+  auto* smoke = flags.AddBool("smoke", false, "small fast preset (overrides sizing flags)");
+  auto* json = flags.AddString("json", "", "write the machine-readable summary here");
+  auto* metrics_out = rb::AddMetricsOutFlag(&flags);
+  flags.Parse(argc, argv);
+
+  if (*smoke) {
+    *nodes = 4;
+    *duration = 0.02;
+  }
+
+  uint16_t n = static_cast<uint16_t>(*nodes);
+  double r_bps = *rate_gbps * 1e9;
+  double pkt_bits = static_cast<double>(*pkt_bytes) * 8.0;
+  double r_pps = r_bps / pkt_bits;
+
+  rb::ClusterConfig cfg = rb::ClusterConfig::Rb4();
+  cfg.num_nodes = n;
+  cfg.seed = static_cast<uint64_t>(*seed);
+  cfg.ext_rate_bps = r_bps;
+  cfg.vlb.num_nodes = n;
+  cfg.vlb.port_rate_bps = r_bps;
+  // NICs out of the picture: the contended resource is the ingress CPU,
+  // sized from the config's own per-packet cost so its packet capacity is
+  // exactly headroom x R. Overload past R then lands either on the
+  // admission allocator (ON) or the CPU FIFO (OFF).
+  cfg.model_nics = false;
+  double ingress_cycles = cfg.ingress_cycles.At(static_cast<double>(*pkt_bytes)) +
+                          (cfg.vlb.flowlets ? cfg.reorder_avoidance_cycles : 0);
+  cfg.node_cycles_per_sec = *headroom * r_pps * ingress_cycles;
+  cfg.admission.capacity_bps = r_bps;
+
+  double offered_bps = *factor * r_bps;
+  // Skewed single-ingress matrix: port 0 wants 3 shares, everyone else 2.
+  std::vector<double> weights(n, 2.0);
+  weights[0] = 3.0;
+  auto hot_tm = rb::TrafficMatrix::SingleInputWeighted(n, 0, weights);
+
+  cfg.admission.enabled = true;
+  RunResult hot_on = RunScenario(cfg, hot_tm, offered_bps, static_cast<uint32_t>(*pkt_bytes),
+                                 *duration, true);
+  cfg.admission.enabled = false;
+  RunResult hot_off = RunScenario(cfg, hot_tm, offered_bps, static_cast<uint32_t>(*pkt_bytes),
+                                  *duration, false);
+  cfg.admission.enabled = true;
+  RunResult uni_on = RunScenario(cfg, rb::TrafficMatrix::Uniform(n), offered_bps,
+                                 static_cast<uint32_t>(*pkt_bytes), *duration, false);
+
+  // --- report ---
+  rb::Report fairness(
+      "§3 overload fairness",
+      rb::Format("N=%u mesh, ingress 0 at %.1fx R=%.1f Gbps, dst weights 3:2 skew, seed %llu",
+                 n, *factor, *rate_gbps, static_cast<unsigned long long>(*seed)));
+  fairness.SetColumns({"admission", "per-port goodput (Gbps)", "max/min", "aggregate Gbps",
+                       "admission drops", "cpu drops"});
+  auto ports_str = [](const RunResult& r) {
+    std::string s;
+    for (size_t i = 0; i < r.port_gbps.size(); ++i) {
+      s += rb::Format(i ? " %.2f" : "%.2f", r.port_gbps[i]);
+    }
+    return s;
+  };
+  fairness.AddRow({"on", ports_str(hot_on), rb::Format("%.3f", hot_on.ratio),
+                   rb::Format("%.2f", hot_on.stats.delivered_bps() / 1e9),
+                   rb::Format("%llu", static_cast<unsigned long long>(hot_on.admission_drops)),
+                   rb::Format("%llu", static_cast<unsigned long long>(hot_on.stats.drops.cpu))});
+  fairness.AddRow({"off", ports_str(hot_off), rb::Format("%.3f", hot_off.ratio),
+                   rb::Format("%.2f", hot_off.stats.delivered_bps() / 1e9),
+                   rb::Format("%llu", static_cast<unsigned long long>(hot_off.admission_drops)),
+                   rb::Format("%llu", static_cast<unsigned long long>(hot_off.stats.drops.cpu))});
+  fairness.AddNote(rb::Format(
+      "uniform all-ports at %.1fx: aggregate %.2f Gbps vs believed capacity %.2f Gbps", *factor,
+      uni_on.stats.delivered_bps() / 1e9, n * r_bps / 1e9));
+  fairness.Print();
+
+  int failures_found = 0;
+  auto check = [&failures_found](bool ok, const std::string& what) {
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: %s\n", what.c_str());
+      failures_found++;
+    }
+  };
+  for (const RunResult* r : {&hot_on, &hot_off, &uni_on}) {
+    check(r->audit.empty(), rb::Format("drop accounting: %s", r->audit.c_str()));
+  }
+  check(hot_on.ratio <= 1.1,
+        rb::Format("admission ON per-port goodput skewed: max/min %.3f > 1.1", hot_on.ratio));
+  check(hot_off.ratio >= 1.3,
+        rb::Format("admission OFF unexpectedly fair: max/min %.3f < 1.3 (bench not measuring "
+                   "the unfairness it claims to fix)",
+                   hot_off.ratio));
+  // Aggregate goodput under admission must hold the believed capacity:
+  // one overloaded ingress delivers >= 85% of R; a uniformly overloaded
+  // mesh delivers >= 85% of N*R (the healthy-cluster degraded bound).
+  check(hot_on.stats.delivered_bps() >= 0.85 * r_bps,
+        rb::Format("hot-ingress aggregate %.2f Gbps < 85%% of believed capacity %.2f Gbps",
+                   hot_on.stats.delivered_bps() / 1e9, r_bps / 1e9));
+  check(uni_on.stats.delivered_bps() >= 0.85 * n * r_bps,
+        rb::Format("uniform-overload aggregate %.2f Gbps < 85%% of believed capacity %.2f Gbps",
+                   uni_on.stats.delivered_bps() / 1e9, n * r_bps / 1e9));
+  check(hot_on.admission_drops > 0, "admission ON shed nothing at 2x overload");
+  check(hot_off.admission_drops == 0, "admission OFF still counted admission drops");
+
+  if (!json->empty()) {
+    namespace tele = rb::telemetry;
+    tele::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema");
+    w.String("rb.bench_overload.v1");
+    w.Key("seed");
+    w.Uint(static_cast<uint64_t>(*seed));
+    w.Key("nodes");
+    w.Uint(n);
+    w.Key("overload_factor");
+    w.Double(*factor);
+    w.Key("rate_gbps");
+    w.Double(*rate_gbps);
+    w.Key("pkt_bytes");
+    w.Uint(static_cast<uint64_t>(*pkt_bytes));
+    w.Key("fairness");
+    w.BeginObject();
+    w.Key("ratio_admission_on");
+    w.Double(hot_on.ratio);
+    w.Key("ratio_admission_off");
+    w.Double(hot_off.ratio);
+    w.Key("per_port_gbps_on");
+    JsonPorts(&w, hot_on.port_gbps);
+    w.Key("per_port_gbps_off");
+    JsonPorts(&w, hot_off.port_gbps);
+    w.EndObject();
+    w.Key("goodput");
+    w.BeginObject();
+    w.Key("hot_on_gbps");
+    w.Double(hot_on.stats.delivered_bps() / 1e9);
+    w.Key("hot_off_gbps");
+    w.Double(hot_off.stats.delivered_bps() / 1e9);
+    w.Key("uniform_on_gbps");
+    w.Double(uni_on.stats.delivered_bps() / 1e9);
+    w.Key("believed_capacity_gbps");
+    w.Double(n * r_bps / 1e9);
+    w.EndObject();
+    w.Key("admission_drops");
+    w.Uint(hot_on.admission_drops);
+    w.Key("conservation_ok");
+    w.Bool(hot_on.audit.empty() && hot_off.audit.empty() && uni_on.audit.empty());
+    w.Key("checks_failed");
+    w.Uint(static_cast<uint64_t>(failures_found));
+    w.EndObject();
+    FILE* f = fopen(json->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: failed to write %s\n", json->c_str());
+    } else {
+      std::fprintf(f, "%s\n", w.str().c_str());
+      fclose(f);
+      std::printf("overload JSON written to %s\n", json->c_str());
+    }
+  }
+
+  if (rb::telemetry::Enabled()) {
+    rb::telemetry::MetricRegistry::Global().GetGauge("bench/seed")->Set(
+        static_cast<double>(*seed));
+  }
+  rb::MaybeWriteMetrics(*metrics_out);
+  return failures_found == 0 ? 0 : 1;
+}

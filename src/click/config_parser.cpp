@@ -164,10 +164,82 @@ struct Builder {
                                    static_cast<int>(a3));
     }
     if (class_name == "Queue") {
-      if (!IntArg(args, 0, 1024, &a0)) {
+      // Queue([capacity][, KEY value ...]) — Click-style keyword args:
+      //   Queue(1024, HI 768, LO 384)            watermark backpressure
+      //   Queue(CAPACITY 512, AQM codel, TARGET_US 500, INTERVAL_US 10000)
+      QueueOptions opt;
+      for (size_t i = 0; i < args.size(); ++i) {
+        const std::string& arg = args[i];
+        size_t sp = arg.find_first_of(" \t");
+        if (sp == std::string::npos) {
+          if (i != 0) {
+            Fail(Format("Queue: positional arg '%s' must come first", arg.c_str()));
+            return nullptr;
+          }
+          if (!IntArg(args, 0, 1024, &a0)) {
+            return nullptr;
+          }
+          opt.capacity = static_cast<size_t>(a0);
+          continue;
+        }
+        std::string key = Trim(arg.substr(0, sp));
+        std::string val = Trim(arg.substr(sp));
+        long num = 0;
+        if (key == "AQM") {
+          std::string mode;
+          for (char c : val) {
+            mode.push_back(static_cast<char>(tolower(static_cast<unsigned char>(c))));
+          }
+          if (mode == "codel") {
+            opt.aqm = AqmMode::kCoDel;
+          } else if (mode == "droptail") {
+            opt.aqm = AqmMode::kTailDrop;
+          } else {
+            Fail(Format("Queue: unknown AQM mode '%s'", val.c_str()));
+            return nullptr;
+          }
+          continue;
+        }
+        char* end = nullptr;
+        num = strtol(val.c_str(), &end, 0);
+        if (end == val.c_str() || *end != '\0' || num < 0) {
+          Fail(Format("Queue: bad value '%s' for %s", val.c_str(), key.c_str()));
+          return nullptr;
+        }
+        if (key == "CAPACITY") {
+          opt.capacity = static_cast<size_t>(num);
+        } else if (key == "HI") {
+          opt.hi_watermark = static_cast<size_t>(num);
+        } else if (key == "LO") {
+          opt.lo_watermark = static_cast<size_t>(num);
+        } else if (key == "TARGET_US") {
+          opt.codel_target_s = static_cast<double>(num) * 1e-6;
+        } else if (key == "INTERVAL_US") {
+          opt.codel_interval_s = static_cast<double>(num) * 1e-6;
+        } else {
+          Fail(Format("Queue: unknown keyword '%s'", key.c_str()));
+          return nullptr;
+        }
+      }
+      // Validate here (Fail, not RB_CHECK) so a bad config file reports an
+      // error instead of aborting the process.
+      if (opt.hi_watermark > opt.capacity) {
+        Fail("Queue: HI watermark above capacity");
         return nullptr;
       }
-      return router->Add<QueueElement>(static_cast<size_t>(a0));
+      if (opt.hi_watermark > 0 && opt.lo_watermark >= opt.hi_watermark) {
+        Fail("Queue: LO watermark must be below HI");
+        return nullptr;
+      }
+      if (opt.hi_watermark == 0 && opt.lo_watermark > 0) {
+        Fail("Queue: LO watermark requires HI");
+        return nullptr;
+      }
+      if (opt.aqm == AqmMode::kCoDel && (opt.codel_target_s <= 0 || opt.codel_interval_s <= 0)) {
+        Fail("Queue: CoDel TARGET_US/INTERVAL_US must be positive");
+        return nullptr;
+      }
+      return router->Add<QueueElement>(opt);
     }
     if (class_name == "CheckIPHeader") {
       return router->Add<CheckIpHeader>();

@@ -80,6 +80,22 @@ class Element {
   // router graphs.
   virtual bool batch_native() const { return false; }
 
+  // --- backpressure ---
+
+  // How many more pushed packets this element can absorb before it starts
+  // dropping. SIZE_MAX = unbounded (the default for pass-through
+  // elements). A watermarked Queue reports 0 while blocked (high watermark
+  // crossed, low watermark not yet reached on the pull side); pollers like
+  // FromDevice shrink their burst to the minimum headroom over the queues
+  // they feed. Must be safe to call from the pushing core while the
+  // pulling core drains (single-writer per side, like the ring itself).
+  virtual size_t PushHeadroom() const { return SIZE_MAX; }
+
+  // True for elements that terminate a push path (the push-to-pull
+  // boundary, i.e. queues). Router::DownstreamBlockers stops its graph
+  // walk at boundaries and returns them as the backpressure points.
+  virtual bool backpressure_boundary() const { return false; }
+
   // Called once by Router::Initialize after the graph is wired.
   virtual void Initialize(Router* router);
 

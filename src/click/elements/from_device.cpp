@@ -12,12 +12,49 @@ FromDevice::FromDevice(NicPort* port, uint16_t rx_queue, uint16_t kp, int home_c
       graph_batch_(graph_batch) {}
 
 void FromDevice::Initialize(Router* router) {
+  // Cache the watermarked queues this poller can reach: only boundaries
+  // that can actually block (PushHeadroom below SIZE_MAX) are kept, so
+  // legacy tail-drop graphs pay nothing per poll.
+  for (Element* b : router->DownstreamBlockers(this)) {
+    if (b->PushHeadroom() != SIZE_MAX) {
+      blockers_.push_back(b);
+    }
+  }
   router->RegisterTask(std::make_unique<PollTask>(this, home_core_));
 }
 
+void FromDevice::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                               const std::string& prefix) {
+  Element::BindTelemetry(registry, tracer, prefix);
+  if (telemetry::Enabled() && registry != nullptr) {
+    tele_throttled_ = registry->GetCounter(prefix + "elem/" + name() + "/throttled_polls");
+  }
+}
+
+size_t FromDevice::PollAllowance() const {
+  size_t allowance = SIZE_MAX;
+  for (Element* b : blockers_) {
+    size_t h = b->PushHeadroom();
+    if (h < allowance) {
+      allowance = h;
+    }
+  }
+  return allowance;
+}
+
 size_t FromDevice::RunOnce() {
+  size_t allowance = PollAllowance();
+  if (allowance < driver_.config().kp) {
+    throttled_polls_++;
+    if (tele_throttled_ != nullptr) {
+      tele_throttled_->Inc();
+    }
+    if (allowance == 0) {
+      return 0;
+    }
+  }
   PacketBatch burst;
-  size_t n = driver_.Poll(&burst);
+  size_t n = driver_.Poll(&burst, allowance);
   if (n == 0) {
     return 0;
   }

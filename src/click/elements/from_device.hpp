@@ -9,6 +9,12 @@
 // graph-level batch). `graph_batch` can cap the batch size pushed into
 // the graph below kp (the Table 1 third-axis sweep); 0 means "the full
 // poll burst".
+//
+// Backpressure-aware: at Initialize the element caches the watermarked
+// queues reachable downstream (Router::DownstreamBlockers) and each poll
+// shrinks its burst to the minimum PushHeadroom() over them — a blocked
+// queue (high watermark crossed) throttles the poll to zero, leaving
+// packets in the NIC ring instead of tail-dropping them at the queue.
 #ifndef RB_CLICK_ELEMENTS_FROM_DEVICE_HPP_
 #define RB_CLICK_ELEMENTS_FROM_DEVICE_HPP_
 
@@ -30,12 +36,19 @@ class FromDevice : public BatchElement {
   const char* class_name() const override { return "FromDevice"; }
   void Initialize(Router* router) override;
 
+  // Adds a throttled-poll counter ("elem/<name>/throttled_polls": polls
+  // skipped or shrunk because a downstream queue was blocked).
+  void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                     const std::string& prefix = "") override;
+
   // One poll iteration: retrieves up to kp packets and pushes them out of
   // output 0 as (a) batch(es). Returns packets moved.
   size_t RunOnce();
 
   Driver& driver() { return driver_; }
   uint16_t graph_batch() const { return graph_batch_; }
+  uint64_t throttled_polls() const { return throttled_polls_; }
+  const std::vector<Element*>& downstream_blockers() const { return blockers_; }
 
  private:
   class PollTask : public Task {
@@ -47,9 +60,16 @@ class FromDevice : public BatchElement {
     FromDevice* fd_;
   };
 
+  // Minimum downstream headroom this poll may fill (SIZE_MAX = no
+  // watermarked queue downstream).
+  size_t PollAllowance() const;
+
   Driver driver_;
   int home_core_;
   uint16_t graph_batch_;
+  std::vector<Element*> blockers_;
+  uint64_t throttled_polls_ = 0;
+  telemetry::Counter* tele_throttled_ = nullptr;
 };
 
 }  // namespace rb

@@ -1,14 +1,55 @@
 #include "click/elements/queue.hpp"
 
+#include <cmath>
+
+#include "common/log.hpp"
+#include "telemetry/trace.hpp"
+
 namespace rb {
 
-QueueElement::QueueElement(size_t capacity) : BatchElement(1, 1), ring_(capacity) {}
+namespace {
+QueueOptions Normalize(QueueOptions opt) {
+  if (opt.hi_watermark > 0) {
+    RB_CHECK_MSG(opt.hi_watermark <= opt.capacity, "Queue hi watermark above capacity");
+    if (opt.lo_watermark == 0) {
+      opt.lo_watermark = opt.hi_watermark / 2;
+    }
+    RB_CHECK_MSG(opt.lo_watermark < opt.hi_watermark, "Queue lo watermark must be below hi");
+  }
+  if (opt.aqm == AqmMode::kCoDel) {
+    RB_CHECK_MSG(opt.codel_target_s > 0 && opt.codel_interval_s > 0,
+                 "CoDel target/interval must be positive");
+  }
+  return opt;
+}
+}  // namespace
+
+QueueElement::QueueElement(size_t capacity) : QueueElement(QueueOptions{.capacity = capacity}) {}
+
+QueueElement::QueueElement(const QueueOptions& options)
+    : BatchElement(1, 1),
+      opt_(Normalize(options)),
+      ring_(opt_.capacity),
+      clock_(&telemetry::NowSeconds) {}
+
+void QueueElement::set_clock(ClockFn clock) {
+  RB_CHECK(clock != nullptr);
+  clock_ = clock;
+}
 
 void QueueElement::BindTelemetry(telemetry::MetricRegistry* registry,
                                  telemetry::PathTracer* tracer, const std::string& prefix) {
   Element::BindTelemetry(registry, tracer, prefix);
   if (telemetry::Enabled() && registry != nullptr) {
-    tele_occupancy_hw_ = registry->GetGauge(prefix + "elem/" + name() + "/occupancy_hw");
+    const std::string base = prefix + "elem/" + name();
+    tele_occupancy_hw_ = registry->GetGauge(base + "/occupancy_hw");
+    tele_overflow_drops_ = registry->GetCounter(base + "/drops/queue_overflow");
+    if (opt_.aqm == AqmMode::kCoDel) {
+      tele_aqm_drops_ = registry->GetCounter(base + "/drops/aqm");
+    }
+    if (opt_.hi_watermark > 0) {
+      tele_blocked_events_ = registry->GetCounter(base + "/blocked_events");
+    }
   }
 }
 
@@ -22,38 +63,164 @@ void QueueElement::NoteDepth() {
   }
 }
 
+size_t QueueElement::PushHeadroom() const {
+  if (opt_.hi_watermark == 0) {
+    return SIZE_MAX;
+  }
+  if (blocked_.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  size_t depth = ring_.size();
+  return depth >= opt_.hi_watermark ? 0 : opt_.hi_watermark - depth;
+}
+
+void QueueElement::MaybeBlock() {
+  if (opt_.hi_watermark == 0 || blocked_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (ring_.size() >= opt_.hi_watermark) {
+    blocked_.store(true, std::memory_order_release);
+    blocked_events_++;
+    if (tele_blocked_events_ != nullptr) {
+      tele_blocked_events_->Inc();
+    }
+  }
+}
+
+void QueueElement::MaybeUnblock() {
+  if (opt_.hi_watermark == 0 || !blocked_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  if (ring_.size() <= opt_.lo_watermark) {
+    blocked_.store(false, std::memory_order_release);
+  }
+}
+
+void QueueElement::DropOne(Packet* p, bool aqm) {
+  if (aqm) {
+    aqm_drops_++;
+    if (tele_aqm_drops_ != nullptr) {
+      tele_aqm_drops_->Inc();
+    }
+  } else {
+    overflow_drops_++;
+    if (tele_overflow_drops_ != nullptr) {
+      tele_overflow_drops_->Inc();
+    }
+  }
+  Drop(p);
+}
+
 void QueueElement::PushBatch(int /*port*/, PacketBatch& batch) {
   // Drop-tail per packet: a burst that straddles capacity enqueues its
   // prefix and drops exactly the overflow — each overflowed packet is
-  // counted once and released to its pool once (DropBatch), never
-  // double-released with the enqueued prefix.
+  // counted once and released to its pool once, never double-released
+  // with the enqueued prefix.
+  const bool stamp = opt_.aqm == AqmMode::kCoDel;
+  const double now = stamp ? clock_() : 0;
   const uint32_t n = batch.size();
   uint32_t accepted = 0;
-  while (accepted < n && ring_.TryPush(batch[accepted])) {
+  while (accepted < n) {
+    Packet* p = batch[accepted];
+    if (stamp) {
+      p->set_enqueue_time(now);
+    }
+    if (!ring_.TryPush(p)) {
+      break;
+    }
     accepted++;
   }
   if (accepted < n) {
     PacketBatch overflow;
     batch.SplitAfter(accepted, &overflow);
+    overflow_drops_ += overflow.size();
+    if (tele_overflow_drops_ != nullptr) {
+      tele_overflow_drops_->Add(overflow.size());
+    }
     DropBatch(overflow);
   }
   batch.Clear();  // enqueued prefix now belongs to the ring
   NoteDepth();
+  MaybeBlock();
+}
+
+bool QueueElement::CodelShouldDrop(double sojourn, double now) {
+  const double target = opt_.codel_target_s;
+  const double interval = opt_.codel_interval_s;
+  if (sojourn < target) {
+    // Back under control: leave the dropping state and forget the
+    // above-target episode.
+    codel_first_above_ = 0;
+    codel_dropping_ = false;
+    return false;
+  }
+  if (!codel_dropping_) {
+    if (codel_first_above_ == 0) {
+      // Sojourn just crossed target; give the queue one full interval to
+      // drain on its own before the first drop.
+      codel_first_above_ = now + interval;
+      return false;
+    }
+    if (now < codel_first_above_) {
+      return false;
+    }
+    // Enter the dropping state. If the last episode ended recently,
+    // resume near its drop rate instead of restarting from 1 (the CoDel
+    // pseudocode's count - 2 re-entry rule).
+    codel_dropping_ = true;
+    codel_count_ = (codel_count_ > 2 && now - codel_drop_next_ < interval) ? codel_count_ - 2 : 1;
+    codel_drop_next_ = now + interval / std::sqrt(static_cast<double>(codel_count_));
+    return true;
+  }
+  if (now >= codel_drop_next_) {
+    // Control law: each successive drop comes interval/sqrt(count) after
+    // the previous, steadily increasing the drop rate until sojourn
+    // falls back under target.
+    codel_count_++;
+    codel_drop_next_ += interval / std::sqrt(static_cast<double>(codel_count_));
+    return true;
+  }
+  return false;
 }
 
 Packet* QueueElement::Pull(int /*port*/) {
+  const bool codel = opt_.aqm == AqmMode::kCoDel;
   Packet* p = nullptr;
-  ring_.TryPop(&p);
-  return p;
+  while (ring_.TryPop(&p)) {
+    if (codel) {
+      const double now = clock_();
+      if (CodelShouldDrop(now - p->enqueue_time(), now)) {
+        DropOne(p, /*aqm=*/true);
+        p = nullptr;
+        continue;
+      }
+    }
+    MaybeUnblock();
+    return p;
+  }
+  MaybeUnblock();
+  return nullptr;
 }
 
 size_t QueueElement::PullBatch(int /*port*/, PacketBatch* out, int max) {
+  const bool codel = opt_.aqm == AqmMode::kCoDel;
   size_t moved = 0;
   Packet* p = nullptr;
   while (moved < static_cast<size_t>(max) && !out->full() && ring_.TryPop(&p)) {
+    if (codel) {
+      const double now = clock_();
+      if (CodelShouldDrop(now - p->enqueue_time(), now)) {
+        DropOne(p, /*aqm=*/true);
+        continue;
+      }
+    }
     out->PushBack(p);
     moved++;
   }
+  // Low-watermark unblock must fire on the pull side even when the batch
+  // fills up (partial consumption of the ring) or the consumer drained
+  // via AQM drops only — the push side never clears the sticky flag.
+  MaybeUnblock();
   return moved;
 }
 

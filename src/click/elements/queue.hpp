@@ -7,17 +7,48 @@
 // that do not fit are the *only* ones counted and released as drops), and
 // PullBatch dequeues up to the caller's burst in one call — the handoff
 // between a kp-sized poll burst and a kn-sized transmit burst.
+//
+// Overload control (DESIGN.md §12):
+//  - High/low watermarks: when occupancy reaches `hi_watermark` the queue
+//    raises a sticky Blocked() signal (PushHeadroom() == 0) that upstream
+//    pollers (FromDevice) observe to shrink their poll burst; the signal
+//    clears only when the *pull* side drains occupancy to `lo_watermark`,
+//    giving hysteresis instead of flapping at the brim.
+//  - CoDel AQM (Nichols & Jacobson, CACM 2012): instead of waiting for
+//    tail-drop, the dequeue side measures per-packet sojourn time and
+//    drops at an escalating rate (interval/sqrt(count)) while sojourn
+//    stays above `target` for a full `interval`. The clock is injectable
+//    so tests and the DES drive it deterministically.
 #ifndef RB_CLICK_ELEMENTS_QUEUE_HPP_
 #define RB_CLICK_ELEMENTS_QUEUE_HPP_
+
+#include <atomic>
 
 #include "click/element.hpp"
 #include "netdev/ring.hpp"
 
 namespace rb {
 
+enum class AqmMode : uint8_t {
+  kTailDrop,  // classic Click Queue: drop arrivals once full
+  kCoDel,     // sojourn-time controlled drops on the dequeue side
+};
+
+struct QueueOptions {
+  size_t capacity = 1024;
+  // 0 disables watermarks (legacy behavior: never Blocked). When
+  // hi_watermark > 0 and lo_watermark == 0, lo defaults to hi / 2.
+  size_t hi_watermark = 0;
+  size_t lo_watermark = 0;
+  AqmMode aqm = AqmMode::kTailDrop;
+  double codel_target_s = 5e-3;      // acceptable standing sojourn
+  double codel_interval_s = 100e-3;  // how long above target before drops
+};
+
 class QueueElement : public BatchElement {
  public:
   explicit QueueElement(size_t capacity = 1024);
+  explicit QueueElement(const QueueOptions& options);
 
   const char* class_name() const override { return "Queue"; }
 
@@ -25,21 +56,64 @@ class QueueElement : public BatchElement {
   Packet* Pull(int port) override;
   size_t PullBatch(int port, PacketBatch* out, int max) override;
 
-  // Adds an occupancy high-water gauge ("elem/<name>/occupancy_hw") on top
-  // of the standard element counters.
+  // Adds an occupancy high-water gauge ("elem/<name>/occupancy_hw") and
+  // per-cause drop counters ("elem/<name>/drops/{queue_overflow,aqm}") on
+  // top of the standard element counters.
   void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
                      const std::string& prefix = "") override;
+
+  // --- backpressure ---
+  bool backpressure_boundary() const override { return true; }
+  // Blocked -> 0. Unblocked with watermarks -> packets until hi. No
+  // watermarks -> SIZE_MAX (legacy tail-drop queues exert no pressure).
+  size_t PushHeadroom() const override;
+  bool Blocked() const { return blocked_.load(std::memory_order_acquire); }
+
+  // Clock used for CoDel sojourn measurement; defaults to
+  // telemetry::NowSeconds (steady clock). Tests and DES-driven graphs
+  // inject a deterministic source. Call before traffic flows.
+  using ClockFn = double (*)();
+  void set_clock(ClockFn clock);
 
   size_t size() const { return ring_.size(); }
   size_t capacity() const { return ring_.capacity(); }
   uint64_t highwater() const { return highwater_; }
+  const QueueOptions& options() const { return opt_; }
+  uint64_t overflow_drops() const { return overflow_drops_; }
+  uint64_t aqm_drops() const { return aqm_drops_; }
+  uint64_t blocked_events() const { return blocked_events_; }
 
  private:
   void NoteDepth();
+  void MaybeBlock();    // push side: raise Blocked at hi
+  void MaybeUnblock();  // pull side: clear Blocked at lo
+  // CoDel control law applied to one dequeued packet; true = drop it.
+  bool CodelShouldDrop(double sojourn, double now);
+  void DropOne(Packet* p, bool aqm);
 
+  QueueOptions opt_;
   SpscRing<Packet*> ring_;
+  ClockFn clock_;
+  // Sticky watermark state: set by the pushing core (release) once
+  // occupancy reaches hi, cleared by the pulling core (release) once it
+  // drains to lo; pollers read with acquire. Both transitions are
+  // single-writer on their own side.
+  std::atomic<bool> blocked_{false};
+
+  // CoDel state (pull-side only, single-writer).
+  bool codel_dropping_ = false;
+  double codel_first_above_ = 0;  // when sojourn first exceeded target
+  double codel_drop_next_ = 0;    // next scheduled drop while in dropping
+  uint32_t codel_count_ = 0;      // drops this dropping episode
+
   uint64_t highwater_ = 0;
+  uint64_t overflow_drops_ = 0;
+  uint64_t aqm_drops_ = 0;
+  uint64_t blocked_events_ = 0;
   telemetry::Gauge* tele_occupancy_hw_ = nullptr;
+  telemetry::Counter* tele_overflow_drops_ = nullptr;
+  telemetry::Counter* tele_aqm_drops_ = nullptr;
+  telemetry::Counter* tele_blocked_events_ = nullptr;
 };
 
 }  // namespace rb

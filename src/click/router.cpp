@@ -1,5 +1,7 @@
 #include "click/router.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "common/strings.hpp"
 
@@ -80,6 +82,35 @@ void Router::BindTask_(Task* task) {
 void Router::RegisterTask(std::unique_ptr<Task> task) {
   BindTask_(task.get());
   tasks_.push_back(std::move(task));
+}
+
+std::vector<Element*> Router::DownstreamBlockers(Element* root) const {
+  RB_CHECK(root != nullptr);
+  std::vector<Element*> boundaries;
+  std::vector<Element*> frontier{root};
+  std::vector<Element*> visited;
+  while (!frontier.empty()) {
+    Element* e = frontier.back();
+    frontier.pop_back();
+    if (std::find(visited.begin(), visited.end(), e) != visited.end()) {
+      continue;
+    }
+    visited.push_back(e);
+    for (const auto& ref : e->outputs_) {
+      if (!ref.connected()) {
+        continue;
+      }
+      Element* next = ref.element;
+      if (next->backpressure_boundary()) {
+        if (std::find(boundaries.begin(), boundaries.end(), next) == boundaries.end()) {
+          boundaries.push_back(next);
+        }
+        continue;  // beyond the boundary is the pull side
+      }
+      frontier.push_back(next);
+    }
+  }
+  return boundaries;
 }
 
 void Router::Initialize() {

@@ -67,6 +67,13 @@ class Router {
   // reached. Returns total packets moved.
   size_t RunUntilIdle(size_t max_sweeps = 1'000'000);
 
+  // Backpressure discovery: every push-to-pull boundary element (queue)
+  // reachable from `root` by following push edges, stopping at each
+  // boundary (what lies beyond it is the pull side, another core's
+  // problem). Pollers call this once at Initialize time and consult the
+  // cached boundaries' PushHeadroom() per poll.
+  std::vector<Element*> DownstreamBlockers(Element* root) const;
+
   const std::vector<std::unique_ptr<Task>>& tasks() const { return tasks_; }
   const std::vector<std::unique_ptr<Element>>& elements() const { return elements_; }
   bool initialized() const { return initialized_; }

@@ -1,7 +1,11 @@
 #include "click/scheduler.hpp"
 
+#include <chrono>
+#include <cstdio>
+
 #include "common/log.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace rb {
 
@@ -30,6 +34,17 @@ ThreadScheduler::~ThreadScheduler() {
 void ThreadScheduler::Start() {
   RB_CHECK_MSG(!running_.load(), "scheduler already running");
   running_.store(true);
+  if (wd_enabled_) {
+    // Re-stamp baselines at start so setup time between EnableWatchdog
+    // and Start is not charged as a stall.
+    const double now = WatchdogNow();
+    for (auto& w : wd_tasks_) {
+      w.last_progress = w.task->progress();
+      w.last_change = now;
+      w.stalled = false;
+    }
+    wd_thread_ = std::thread([this] { WatchdogLoop(); });
+  }
   for (int core = 0; core < num_cores(); ++core) {
     threads_.emplace_back([this, core] { WorkerLoop(core); });
   }
@@ -37,6 +52,9 @@ void ThreadScheduler::Start() {
 
 void ThreadScheduler::Stop() {
   running_.store(false);
+  if (wd_thread_.joinable()) {
+    wd_thread_.join();
+  }
   for (auto& t : threads_) {
     if (t.joinable()) {
       t.join();
@@ -50,6 +68,83 @@ void ThreadScheduler::SetSampler(std::function<void()> fn, uint64_t every_sweeps
   RB_CHECK(every_sweeps >= 1);
   sampler_ = std::move(fn);
   sampler_every_ = every_sweeps;
+}
+
+double ThreadScheduler::WatchdogNow() const {
+  return wd_cfg_.clock != nullptr ? wd_cfg_.clock() : telemetry::NowSeconds();
+}
+
+void ThreadScheduler::EnableWatchdog(const WatchdogConfig& config) {
+  RB_CHECK_MSG(!running_.load(), "enable the watchdog before Start()");
+  RB_CHECK(config.max_stall_s > 0 && config.check_interval_s > 0);
+  wd_cfg_ = config;
+  wd_enabled_ = true;
+  wd_tasks_.clear();
+  const double now = WatchdogNow();
+  for (const auto& tasks : per_core_) {
+    for (Task* t : tasks) {
+      wd_tasks_.push_back({t, t->progress(), now, false});
+    }
+  }
+  if (telemetry::MetricRegistry* reg =
+          router_ != nullptr ? router_->telemetry_registry() : nullptr) {
+    wd_tele_checks_ = reg->GetCounter("sched/watchdog/checks");
+    wd_tele_stalls_ = reg->GetCounter("sched/watchdog/stall_events");
+    wd_tele_max_stall_ = reg->GetGauge("sched/watchdog/max_stall_s");
+  }
+}
+
+size_t ThreadScheduler::WatchdogCheckNow() {
+  RB_CHECK_MSG(wd_enabled_, "watchdog not enabled");
+  const double now = WatchdogNow();
+  size_t stalled = 0;
+  for (auto& w : wd_tasks_) {
+    const uint64_t p = w.task->progress();
+    if (p != w.last_progress) {
+      w.last_progress = p;
+      w.last_change = now;
+      w.stalled = false;
+      continue;
+    }
+    const double stall = now - w.last_change;
+    if (wd_tele_max_stall_ != nullptr) {
+      wd_tele_max_stall_->UpdateMax(stall);
+    }
+    if (stall < wd_cfg_.max_stall_s) {
+      continue;
+    }
+    stalled++;
+    if (!w.stalled) {
+      // Edge: report each stall episode once, not once per scan.
+      w.stalled = true;
+      wd_stall_events_++;
+      if (wd_tele_stalls_ != nullptr) {
+        wd_tele_stalls_->Inc();
+      }
+      const char* name =
+          w.task->element() != nullptr ? w.task->element()->name().c_str() : "<unnamed>";
+      std::fprintf(stderr, "[watchdog] task '%s' made no progress for %.3fs (limit %.3fs)\n",
+                   name, stall, wd_cfg_.max_stall_s);
+      RB_CHECK_MSG(!wd_cfg_.fatal, "watchdog: stuck or starved task (fatal mode)");
+    }
+  }
+  if (wd_tele_checks_ != nullptr) {
+    wd_tele_checks_->Inc();
+  }
+  return stalled;
+}
+
+void ThreadScheduler::WatchdogLoop() {
+  telemetry::SetThisCore(num_cores());  // own shard, off the worker cores
+  const auto period =
+      std::chrono::duration<double>(wd_cfg_.check_interval_s);
+  while (running_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(period);
+    if (!running_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    WatchdogCheckNow();
+  }
 }
 
 void ThreadScheduler::WorkerLoop(int core) {

@@ -24,6 +24,21 @@
 
 namespace rb {
 
+// Stuck-task / starvation detector. A task is "stalled" when its progress
+// heartbeat (Task::progress, bumped on every RunOnce) has not moved for
+// max_stall_s — which catches both a Run() that never returns and a task
+// its worker never schedules. Non-fatal mode logs and counts; fatal mode
+// RB_CHECK-aborts (tests run fatal so a hung pipeline fails loudly instead
+// of timing out).
+struct WatchdogConfig {
+  double max_stall_s = 1.0;        // no-progress time before "stalled"
+  double check_interval_s = 0.05;  // monitor thread scan period
+  bool fatal = false;              // abort on the first stalled task
+  // Injectable clock (seconds); nullptr = telemetry::NowSeconds. Tests
+  // drive a fake clock and call WatchdogCheckNow() inline.
+  double (*clock)() = nullptr;
+};
+
 class ThreadScheduler {
  public:
   // Distributes the router's tasks across `num_cores` workers: tasks with
@@ -47,6 +62,22 @@ class ThreadScheduler {
   // thread-safe state (registry metrics are). Set before Start().
   void SetSampler(std::function<void()> fn, uint64_t every_sweeps);
 
+  // Arms the watchdog over every task the scheduler owns. Call before
+  // Start(); Start() then spawns a monitor thread scanning at
+  // check_interval_s. Telemetry (when the router has a bound registry):
+  // "sched/watchdog/checks", "sched/watchdog/stall_events" (transitions
+  // into stalled) and "sched/watchdog/max_stall_s" (worst observed
+  // no-progress gap).
+  void EnableWatchdog(const WatchdogConfig& config);
+
+  // One watchdog scan, callable inline (no monitor thread needed) —
+  // deterministic-test entry point. Returns the number of tasks currently
+  // stalled. Safe only when the monitor thread is not running.
+  size_t WatchdogCheckNow();
+
+  uint64_t watchdog_stall_events() const { return wd_stall_events_; }
+  bool watchdog_enabled() const { return wd_enabled_; }
+
   int num_cores() const { return static_cast<int>(per_core_.size()); }
   const std::vector<Task*>& core_tasks(int core) const {
     return per_core_[static_cast<size_t>(core)];
@@ -55,7 +86,16 @@ class ThreadScheduler {
   ~ThreadScheduler();
 
  private:
+  struct WatchedTask {
+    Task* task = nullptr;
+    uint64_t last_progress = 0;
+    double last_change = 0;  // clock time of the last progress change
+    bool stalled = false;    // currently past max_stall (edge-detected)
+  };
+
   void WorkerLoop(int core);
+  void WatchdogLoop();
+  double WatchdogNow() const;
 
   Router* router_;
   std::vector<std::vector<Task*>> per_core_;
@@ -63,6 +103,15 @@ class ThreadScheduler {
   std::atomic<bool> running_{false};
   std::function<void()> sampler_;
   uint64_t sampler_every_ = 0;  // 0 = no sampler
+
+  bool wd_enabled_ = false;
+  WatchdogConfig wd_cfg_;
+  std::vector<WatchedTask> wd_tasks_;
+  std::thread wd_thread_;
+  uint64_t wd_stall_events_ = 0;
+  telemetry::Counter* wd_tele_checks_ = nullptr;
+  telemetry::Counter* wd_tele_stalls_ = nullptr;
+  telemetry::Gauge* wd_tele_max_stall_ = nullptr;
 };
 
 }  // namespace rb

@@ -5,6 +5,7 @@
 #ifndef RB_CLICK_TASK_HPP_
 #define RB_CLICK_TASK_HPP_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -32,6 +33,14 @@ class Task {
   uint64_t idle_runs() const { return idle_runs_; }
   uint64_t work() const { return work_; }
 
+  // Scheduling-progress heartbeat for the watchdog: bumped on every
+  // RunOnce, idle or not — a scheduled-but-idle task is making progress,
+  // while a starved task (never scheduled) or one stuck inside Run()
+  // is not. The plain runs_ counter stays single-writer; this atomic is
+  // what the watchdog thread samples (relaxed: a stale read only delays
+  // detection by one check interval).
+  uint64_t progress() const { return progress_.load(std::memory_order_relaxed); }
+
   // Mirrors the run/work bookkeeping into shared registry counters (the
   // cycles-proxy: polling iterations and packets moved per task). The
   // plain members stay single-writer; the registry counters are what
@@ -55,6 +64,7 @@ class Task {
       RB_PROF_WORK(n, 0);
     }
     runs_++;
+    progress_.fetch_add(1, std::memory_order_relaxed);
     if (n == 0) {
       idle_runs_++;
     }
@@ -78,6 +88,7 @@ class Task {
   uint64_t runs_ = 0;
   uint64_t idle_runs_ = 0;
   uint64_t work_ = 0;
+  std::atomic<uint64_t> progress_{0};
   telemetry::Counter* tele_runs_ = nullptr;
   telemetry::Counter* tele_work_ = nullptr;
   telemetry::ShardedHistogram* tele_burst_ = nullptr;

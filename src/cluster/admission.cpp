@@ -1,0 +1,112 @@
+#include "cluster/admission.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace rb {
+
+AdmissionDrr::AdmissionDrr(const AdmissionConfig& config, uint16_t num_ports)
+    : cfg_(config),
+      deficit_(num_ports, 0.0),
+      admitted_bytes_(num_ports, 0),
+      dropped_bytes_(num_ports, 0) {
+  RB_CHECK(num_ports >= 1);
+  RB_CHECK(cfg_.capacity_bps > 0);
+  RB_CHECK(cfg_.quantum_bytes >= 1 && cfg_.burst_quanta >= 1.0);
+  RB_CHECK(cfg_.rate_tau_s > 0);
+  RB_CHECK(cfg_.release_depth <= cfg_.engage_depth);
+  RB_CHECK(cfg_.release_margin <= cfg_.engage_margin);
+}
+
+bool AdmissionDrr::PortAlive(uint16_t port) const {
+  return health_ == nullptr || health_->NodeAlive(port);
+}
+
+void AdmissionDrr::UpdateRate(uint32_t bytes, SimTime now) {
+  if (window_start_ == 0) {
+    window_start_ = now;
+  }
+  window_bytes_ += bytes;
+  const SimTime elapsed = now - window_start_;
+  if (elapsed >= cfg_.rate_tau_s) {
+    rate_bps_ = static_cast<double>(window_bytes_) * 8.0 / elapsed;
+    window_start_ = now;
+    window_bytes_ = 0;
+  }
+}
+
+void AdmissionDrr::UpdateEngagement(size_t depth, SimTime now) {
+  const bool rate_over = rate_bps_ > cfg_.capacity_bps * cfg_.engage_margin;
+  if (!engaged_) {
+    if (rate_over || depth >= cfg_.engage_depth) {
+      engaged_ = true;
+      engage_events_++;
+      // Fresh episode: every live port starts with one burst of credit
+      // and refill accrues from now, not from the idle stretch before.
+      const double cap = static_cast<double>(cfg_.quantum_bytes) * cfg_.burst_quanta;
+      std::fill(deficit_.begin(), deficit_.end(), cap);
+      last_refill_ = now;
+    }
+    return;
+  }
+  const bool rate_under = rate_bps_ < cfg_.capacity_bps * cfg_.release_margin;
+  if (rate_under && depth <= cfg_.release_depth) {
+    engaged_ = false;
+  }
+}
+
+void AdmissionDrr::Refill(SimTime now) {
+  const SimTime elapsed = now - last_refill_;
+  if (elapsed <= 0) {
+    return;
+  }
+  last_refill_ = now;
+  uint16_t live = 0;
+  for (uint16_t j = 0; j < num_ports(); ++j) {
+    live += PortAlive(j) ? 1 : 0;
+  }
+  if (live == 0) {
+    return;
+  }
+  // The believed-deliverable byte budget for this elapsed slice, split
+  // evenly over live ports (the DRR quantum, time-based): dead ports earn
+  // nothing, so capacity freed by a failure flows to the survivors.
+  const double per_port = cfg_.capacity_bps / 8.0 * elapsed / live;
+  const double cap = static_cast<double>(cfg_.quantum_bytes) * cfg_.burst_quanta;
+  for (uint16_t j = 0; j < num_ports(); ++j) {
+    if (!PortAlive(j)) {
+      continue;
+    }
+    deficit_[j] = std::min(deficit_[j] + per_port, cap);
+  }
+}
+
+bool AdmissionDrr::Admit(uint16_t dst, uint32_t bytes, SimTime now, size_t monitored_depth) {
+  RB_CHECK(dst < num_ports());
+  offered_packets_++;
+  UpdateRate(bytes, now);
+  UpdateEngagement(monitored_depth, now);
+  if (!PortAlive(dst)) {
+    dropped_dead_++;
+    dropped_bytes_[dst] += bytes;
+    return false;
+  }
+  if (!engaged_) {
+    admitted_packets_++;
+    admitted_bytes_[dst] += bytes;
+    return true;
+  }
+  Refill(now);
+  if (deficit_[dst] >= static_cast<double>(bytes)) {
+    deficit_[dst] -= static_cast<double>(bytes);
+    admitted_packets_++;
+    admitted_bytes_[dst] += bytes;
+    return true;
+  }
+  dropped_packets_++;
+  dropped_bytes_[dst] += bytes;
+  return false;
+}
+
+}  // namespace rb

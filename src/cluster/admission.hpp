@@ -1,0 +1,103 @@
+// Fair ingress admission under overload (the paper's §3 overload story):
+// when an ingress server's offered load exceeds the rate it can actually
+// deliver into the VLB mesh (believed capacity, shrunk by failures), the
+// excess must be dropped *at the ingress VLB stage, fairly per output
+// port* — not wherever an internal queue happens to overflow first, which
+// would let one output's overload steal goodput from the others.
+//
+// The dropper is a deficit-round-robin allocator over output ports with a
+// time-based quantum refill: every live output port earns
+// capacity/live_ports bytes of deficit per second (capped at a small
+// burst), and a packet for port j is admitted iff j's deficit covers it.
+// Ports whose demand stays under their share never hit the deficit floor;
+// ports over their share are clipped to it, so per-port goodput converges
+// to min(demand, fair share). Unused share of an under-loaded port is not
+// redistributed (non-work-conserving) — acceptable at the bench's
+// operating point where every port is overloaded, and strictly fair.
+//
+// Engagement is hysteretic so the allocator stays out of the way at
+// normal load: it engages when the offered-rate estimate exceeds believed
+// capacity (windowed byte-rate estimator) OR the monitored ingress queue
+// depth passes engage_depth, and releases only when both signals clear.
+// Destinations believed dead (HealthView) are dropped at ingress
+// regardless — VLB would only burn mesh capacity carrying them inward.
+#ifndef RB_CLUSTER_ADMISSION_HPP_
+#define RB_CLUSTER_ADMISSION_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/failure.hpp"
+#include "common/time.hpp"
+
+namespace rb {
+
+struct AdmissionConfig {
+  bool enabled = false;
+  double capacity_bps = 10e9;  // believed deliverable ingress rate
+  uint32_t quantum_bytes = 1514;
+  double burst_quanta = 8.0;  // per-port deficit cap, in quanta
+  double rate_tau_s = 1e-3;   // offered-rate estimator window
+  size_t engage_depth = 512;  // monitored queue depth forcing engagement
+  size_t release_depth = 128;
+  double engage_margin = 1.0;   // engage when offered > capacity * this
+  double release_margin = 0.9;  // release when offered < capacity * this
+};
+
+class AdmissionDrr {
+ public:
+  AdmissionDrr(const AdmissionConfig& config, uint16_t num_ports);
+
+  // Believed liveness source for dead-destination drops and the live-port
+  // count in the fair share; nullptr = all ports believed alive.
+  void set_health(const HealthView* health) { health_ = health; }
+
+  // Verdict for one packet of `bytes` headed to output port `dst` at time
+  // `now`; `monitored_depth` is the ingress queue depth backing the
+  // depth-based engagement signal. False = drop at ingress (the caller
+  // accounts it in the `admission` drop bucket).
+  bool Admit(uint16_t dst, uint32_t bytes, SimTime now, size_t monitored_depth);
+
+  bool engaged() const { return engaged_; }
+  double offered_bps() const { return rate_bps_; }
+  uint16_t num_ports() const { return static_cast<uint16_t>(deficit_.size()); }
+
+  uint64_t offered_packets() const { return offered_packets_; }
+  uint64_t admitted_packets() const { return admitted_packets_; }
+  uint64_t dropped_packets() const { return dropped_packets_; }  // deficit drops
+  uint64_t dropped_dead() const { return dropped_dead_; }
+  uint64_t engage_events() const { return engage_events_; }
+  uint64_t admitted_bytes(uint16_t port) const { return admitted_bytes_[port]; }
+  uint64_t dropped_bytes(uint16_t port) const { return dropped_bytes_[port]; }
+
+ private:
+  bool PortAlive(uint16_t port) const;
+  void UpdateRate(uint32_t bytes, SimTime now);
+  void UpdateEngagement(size_t depth, SimTime now);
+  void Refill(SimTime now);
+
+  AdmissionConfig cfg_;
+  const HealthView* health_ = nullptr;
+  std::vector<double> deficit_;  // bytes of credit per output port
+
+  bool engaged_ = false;
+  SimTime last_refill_ = 0;
+
+  // Windowed offered-rate estimator: accumulate bytes for rate_tau_s,
+  // then publish bytes*8/elapsed. Deterministic and branch-cheap.
+  double rate_bps_ = 0;
+  SimTime window_start_ = 0;
+  uint64_t window_bytes_ = 0;
+
+  uint64_t offered_packets_ = 0;
+  uint64_t admitted_packets_ = 0;
+  uint64_t dropped_packets_ = 0;
+  uint64_t dropped_dead_ = 0;
+  uint64_t engage_events_ = 0;
+  std::vector<uint64_t> admitted_bytes_;
+  std::vector<uint64_t> dropped_bytes_;
+};
+
+}  // namespace rb
+
+#endif  // RB_CLUSTER_ADMISSION_HPP_

@@ -146,6 +146,11 @@ ClusterSim::ClusterSim(const ClusterConfig& config)
     vc.seed = config.seed ^ (i * 0x51ed2705ULL);
     vlb_.push_back(std::make_unique<DirectVlbRouter>(vc, i));
     vlb_.back()->set_health(&health_);
+
+    if (config.admission.enabled) {
+      admission_.push_back(std::make_unique<AdmissionDrr>(config.admission, n));
+      admission_.back()->set_health(&health_);
+    }
   }
   delivered_by_src_.assign(n, 0);
   delivered_by_dst_.assign(n, 0);
@@ -385,6 +390,18 @@ void ClusterSim::DropFailed(uint32_t slot, bool link, SimTime now) {
   ReleaseSlot(slot);
 }
 
+void ClusterSim::DropAdmission(uint32_t slot, SimTime now) {
+  InFlight& pkt = packets_[slot];
+  if (pkt.trace != 0) {
+    tele_tracer_->Abandon(pkt.trace, Format("drop-admission@%u", pkt.cur), now);
+  }
+  stats_.drops.admission++;
+  if (TimelineBucket* b = BucketFor(now)) {
+    b->dropped++;
+  }
+  ReleaseSlot(slot);
+}
+
 void ClusterSim::DropAt(ServerKind kind, uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
   if (pkt.trace != 0) {
@@ -492,6 +509,16 @@ void ClusterSim::ForwardAfter(uint32_t slot, SimTime now) {
 
   switch (pkt.stage) {
     case Stage::kExtRx:
+      // Fair ingress admission sits between the ext-rx NIC and the
+      // ingress CPU: the monitored depth is the CPU queue this packet is
+      // about to join (the first queue overload actually fills).
+      if (!admission_.empty()) {
+        AdmissionDrr& adm = *admission_[pkt.cur];
+        if (!adm.Admit(pkt.dst, pkt.bytes, now, servers_[CpuId(pkt.cur)].queue.size())) {
+          DropAdmission(slot, now);
+          break;
+        }
+      }
       pkt.stage = Stage::kCpuIngress;
       ArriveAt(CpuId(pkt.cur), slot, now);
       break;
@@ -779,6 +806,17 @@ void ClusterSim::FinishTelemetry(SimTime duration) {
   r.GetCounter("des/drops/ext_out")->Add(stats_.drops.ext_out);
   r.GetCounter("des/drops/failed_node")->Add(stats_.drops.failed_node);
   r.GetCounter("des/drops/failed_link")->Add(stats_.drops.failed_link);
+  r.GetCounter("des/drops/admission")->Add(stats_.drops.admission);
+  if (!admission_.empty()) {
+    uint64_t engage_events = 0;
+    uint64_t dropped_dead = 0;
+    for (const auto& adm : admission_) {
+      engage_events += adm->engage_events();
+      dropped_dead += adm->dropped_dead();
+    }
+    r.GetCounter("des/admission/engage_events")->Add(engage_events);
+    r.GetCounter("des/admission/dropped_dead")->Add(dropped_dead);
+  }
   if (!failure_log_.empty()) {
     r.GetCounter("des/failures/events")->Add(stats_.failure_events_applied);
     r.GetCounter("des/failures/rerouted_packets")->Add(stats_.failover_reroutes);
@@ -804,6 +842,54 @@ void ClusterSim::FinishTelemetry(SimTime duration) {
         ->Set(duration > 0 ? out.busy_time / duration : 0);
     r.GetGauge(Format("des/node%u/delivered_bps", i))->Set(stats_.per_output_bps[i]);
   }
+}
+
+size_t ClusterSim::resequencer_held() const {
+  size_t held = 0;
+  for (const auto& [flow_id, fr] : reseq_) {
+    held += fr.held.size();
+  }
+  return held;
+}
+
+std::string AuditConservation(const ClusterRunStats& stats) {
+  const ClusterDrops& d = stats.drops;
+  const uint64_t accounted = stats.delivered_packets + d.total();
+  if (accounted != stats.offered_packets) {
+    return Format("conservation violated: offered %llu != delivered %llu + drops %llu",
+                  static_cast<unsigned long long>(stats.offered_packets),
+                  static_cast<unsigned long long>(stats.delivered_packets),
+                  static_cast<unsigned long long>(d.total()));
+  }
+  // Cross-check the per-window timeline against the aggregate counters:
+  // every offered/delivered/dropped packet must land in exactly one
+  // bucket, so the bucket sums reproduce the totals exactly.
+  if (!stats.timeline.empty()) {
+    uint64_t offered = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    for (const TimelineBucket& b : stats.timeline) {
+      offered += b.offered;
+      delivered += b.delivered;
+      dropped += b.dropped;
+    }
+    if (offered != stats.offered_packets) {
+      return Format("timeline offered sum %llu != offered %llu",
+                    static_cast<unsigned long long>(offered),
+                    static_cast<unsigned long long>(stats.offered_packets));
+    }
+    if (delivered != stats.delivered_packets) {
+      return Format("timeline delivered sum %llu != delivered %llu",
+                    static_cast<unsigned long long>(delivered),
+                    static_cast<unsigned long long>(stats.delivered_packets));
+    }
+    if (dropped != d.total()) {
+      return Format("timeline dropped sum %llu != drops total %llu",
+                    static_cast<unsigned long long>(dropped),
+                    static_cast<unsigned long long>(d.total()));
+    }
+  }
+  return "";
 }
 
 NodeStats ClusterSim::node_stats(uint16_t i) const {

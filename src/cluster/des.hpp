@@ -24,6 +24,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/admission.hpp"
 #include "cluster/failure.hpp"
 #include "cluster/node.hpp"
 #include "cluster/reorder.hpp"
@@ -91,6 +92,13 @@ struct ClusterConfig {
   FailureSchedule failures;
   SimTime failure_detection_delay = 200e-6;
 
+  // Fair ingress admission (admission.hpp): when enabled, every external
+  // packet passes the input node's deficit-round-robin allocator between
+  // the ext-rx NIC and the ingress CPU; rejects land in the `admission`
+  // drop bucket. capacity_bps should be the believed per-ingress
+  // deliverable rate (≈ ext_rate_bps for a healthy cluster).
+  AdmissionConfig admission;
+
   // With a window > 0, Finish() returns a per-window timeline of offered /
   // delivered / dropped packets and latency (bucketed by event time) — the
   // before/during/after view the failover bench plots.
@@ -112,9 +120,13 @@ struct ClusterDrops {
   // or in service at any of its servers) / by a disabled directed link.
   uint64_t failed_node = 0;
   uint64_t failed_link = 0;
+  // Rejected by fair ingress admission (AdmissionDrr) — overload shed at
+  // the VLB input stage instead of inside the mesh.
+  uint64_t admission = 0;
 
   uint64_t total() const {
-    return ext_rx_nic + cpu + tx_nic + link + rx_nic + ext_out + failed_node + failed_link;
+    return ext_rx_nic + cpu + tx_nic + link + rx_nic + ext_out + failed_node + failed_link +
+           admission;
   }
   uint64_t failed() const { return failed_node + failed_link; }
 };
@@ -218,6 +230,19 @@ class ClusterSim {
   // Running drop taxonomy; usable mid-run (tests snapshot it between
   // Inject calls to pin down when blackholing stops).
   const ClusterDrops& current_drops() const { return stats_.drops; }
+  // Mid-run conservation accessors (rb_chaos checks after every window):
+  // offered == delivered + drops.total() + in_flight at any event
+  // boundary.
+  uint64_t current_offered() const { return stats_.offered_packets; }
+  uint64_t current_delivered() const { return stats_.delivered_packets; }
+  size_t in_flight() const { return packets_.size() - free_slots_.size(); }
+  // Packets parked inside resequencer hold buffers (a second in-flight
+  // population: their DES slots are already released).
+  size_t resequencer_held() const;
+  // Per-ingress fair-admission state; null when admission is disabled.
+  const AdmissionDrr* admission(uint16_t node) const {
+    return admission_.empty() ? nullptr : admission_[node].get();
+  }
   // Applied failure events so far, with apply/detect timestamps.
   const std::vector<FailureLogEntry>& failure_log() const { return failure_log_; }
 
@@ -307,6 +332,8 @@ class ClusterSim {
   void DisableServer(uint32_t server_id, bool disabled, SimTime now);
   // Blackhole drop (failure taxonomy); `link` selects failed_link.
   void DropFailed(uint32_t slot, bool link, SimTime now);
+  // Fair-admission reject (admission bucket).
+  void DropAdmission(uint32_t slot, SimTime now);
   TimelineBucket* BucketFor(SimTime t);
 
   // --- telemetry ---
@@ -335,6 +362,7 @@ class ClusterSim {
   ClusterConfig config_;
   std::vector<FifoServer> servers_;
   std::vector<std::unique_ptr<DirectVlbRouter>> vlb_;
+  std::vector<std::unique_ptr<AdmissionDrr>> admission_;  // empty = disabled
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<InFlight> packets_;
   std::vector<uint32_t> free_slots_;
@@ -365,6 +393,14 @@ class ClusterSim {
   SimTime next_probe_ = 0;
   std::vector<telemetry::TimeSeries> probe_series_;
 };
+
+// Drop-accounting audit over a finished run: returns "" when every
+// offered packet is accounted exactly once across delivered + the drop
+// taxonomy (arrivals == delivered + Σ drops), otherwise a human-readable
+// description of the imbalance. The satellite invariant every DES
+// scenario must satisfy; rb_chaos and the conservation tests call it
+// after each run.
+std::string AuditConservation(const ClusterRunStats& stats);
 
 }  // namespace rb
 

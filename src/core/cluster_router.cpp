@@ -1,5 +1,7 @@
 #include "core/cluster_router.hpp"
 
+#include <algorithm>
+
 #include "click/elements/check_ip_header.hpp"
 #include "click/elements/dec_ip_ttl.hpp"
 #include "click/elements/from_device.hpp"
@@ -69,6 +71,61 @@ void VlbRoute::PushBatch(int /*port*/, PacketBatch& batch) {
   }
 }
 
+VlbAdmission::VlbAdmission(const LpmTable* table, AdmissionDrr* drr, uint16_t num_nodes)
+    : BatchElement(1, 1), table_(table), drr_(drr), num_nodes_(num_nodes) {
+  RB_CHECK(table != nullptr && drr != nullptr);
+}
+
+void VlbAdmission::BindTelemetry(telemetry::MetricRegistry* registry,
+                                 telemetry::PathTracer* tracer, const std::string& prefix) {
+  Element::BindTelemetry(registry, tracer, prefix);
+  if (telemetry::Enabled() && registry != nullptr) {
+    tele_admission_drops_ =
+        registry->GetCounter(prefix + "elem/" + name() + "/drops/admission");
+  }
+}
+
+size_t VlbAdmission::MonitoredDepth() const {
+  size_t depth = 0;
+  for (const QueueElement* q : watched_) {
+    depth = std::max(depth, q->size());
+  }
+  return depth;
+}
+
+void VlbAdmission::PushBatch(int /*port*/, PacketBatch& batch) {
+  PacketBatch pass;
+  PacketBatch deny;
+  const size_t depth = MonitoredDepth();
+  for (Packet* p : batch) {
+    // Resolve the output node the same way VlbRoute will; packets it
+    // cannot resolve pass through so VlbRoute's bad-packet path (not the
+    // admission bucket) accounts them.
+    uint16_t dst = num_nodes_;
+    if (p->length() >= EthernetView::kSize + Ipv4View::kMinSize) {
+      Ipv4View ip{p->data() + EthernetView::kSize};
+      uint32_t hop = table_->Lookup(ip.dst());
+      if (hop != LpmTable::kNoRoute && hop <= num_nodes_) {
+        dst = static_cast<uint16_t>(hop - 1);
+      }
+    }
+    if (dst < num_nodes_ && !drr_->Admit(dst, p->length(), p->arrival_time(), depth)) {
+      deny.PushBack(p);
+    } else {
+      pass.PushBack(p);
+    }
+  }
+  batch.Clear();
+  if (!deny.empty()) {
+    admission_drops_ += deny.size();
+    if (tele_admission_drops_ != nullptr) {
+      tele_admission_drops_->Add(deny.size());
+    }
+    DropBatch(deny);
+  }
+  OutputBatch(0, pass);
+}
+
 VlbSteer::VlbSteer(uint16_t self, uint16_t queue_node)
     : BatchElement(1, 2), self_(self), queue_node_(queue_node) {}
 
@@ -98,6 +155,13 @@ FunctionalCluster::FunctionalCluster(const FunctionalClusterConfig& config)
     vc.seed = config.seed ^ (0xabcdULL * (i + 1));
     vlb_.push_back(std::make_unique<DirectVlbRouter>(vc, i));
     vlb_.back()->set_health(&health_);
+    if (config.admission.enabled) {
+      admission_.push_back(std::make_unique<AdmissionDrr>(config.admission, n));
+      admission_.back()->set_health(&health_);
+    }
+  }
+  if (config.admission.enabled) {
+    vlb_admission_.resize(n);
   }
   for (uint16_t i = 0; i < n; ++i) {
     BuildNode(i);
@@ -171,7 +235,7 @@ void FunctionalCluster::BuildNode(uint16_t self) {
   Router& g = *node.graph;
 
   // Helper lambdas to build transmit legs.
-  auto make_leg = [&](NicPort* out_port) -> Element* {
+  auto make_leg = [&](NicPort* out_port) -> QueueElement* {
     auto* queue = g.Add<QueueElement>(config_.queue_capacity);
     auto* to = g.Add<ToDevice>(out_port, 0, 32, -1);
     g.Connect(queue, 0, to, 0);
@@ -185,12 +249,23 @@ void FunctionalCluster::BuildNode(uint16_t self) {
   auto* route = g.Add<VlbRoute>(node.table.get(), vlb_[self].get(), self, n);
   g.Connect(from_ext, 0, check, 0);
   g.Connect(check, 0, ttl, 0);
-  g.Connect(ttl, 0, route, 0);
+  if (config_.admission.enabled) {
+    auto* adm = g.Add<VlbAdmission>(node.table.get(), admission_[self].get(), n);
+    g.Connect(ttl, 0, adm, 0);
+    g.Connect(adm, 0, route, 0);
+    vlb_admission_[self] = adm;
+  } else {
+    g.Connect(ttl, 0, route, 0);
+  }
   vlb_route_[self] = route;
   for (uint16_t j = 0; j < n; ++j) {
     NicPort* out = j == self ? node.ports[0].get()
                              : node.ports[static_cast<size_t>(PortIndexFor(self, j))].get();
-    g.Connect(route, j, make_leg(out), 0);
+    QueueElement* leg = make_leg(out);
+    g.Connect(route, j, leg, 0);
+    if (config_.admission.enabled) {
+      vlb_admission_[self]->WatchQueue(leg);
+    }
   }
 
   // Internal ingress: per (port, MAC-steered queue) forwarding without

@@ -23,6 +23,7 @@
 
 #include "click/element.hpp"
 #include "click/router.hpp"
+#include "cluster/admission.hpp"
 #include "cluster/reorder.hpp"
 #include "cluster/vlb.hpp"
 #include "core/router_config.hpp"
@@ -52,6 +53,44 @@ class VlbRoute : public BatchElement {
   std::vector<PacketBatch> lanes_;  // per-wire fan-out scratch
 };
 
+class QueueElement;
+
+// Fair ingress admission on the Click graph (the element-graph twin of
+// the DES integration): sits between header processing and VlbRoute at
+// the external ingress, resolves each packet's output node with the same
+// LPM table VlbRoute uses, and asks the node's AdmissionDrr for a
+// verdict. The believed-capacity signal combines HealthView (via the
+// DRR's live-port shares) with queue-depth telemetry from the transmit
+// legs it watches (WatchQueue). Rejects are counted under
+// "elem/<name>/drops/admission" and dropped here, so the mesh never
+// carries them.
+class VlbAdmission : public BatchElement {
+ public:
+  VlbAdmission(const LpmTable* table, AdmissionDrr* drr, uint16_t num_nodes);
+  const char* class_name() const override { return "VlbAdmission"; }
+  void PushBatch(int port, PacketBatch& batch) override;
+
+  // Adds `q` to the depth-monitored set (the ingress transmit legs); the
+  // max depth over the set is the DRR's engagement signal.
+  void WatchQueue(const QueueElement* q) { watched_.push_back(q); }
+
+  void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                     const std::string& prefix = "") override;
+
+  uint64_t admission_drops() const { return admission_drops_; }
+  const AdmissionDrr& drr() const { return *drr_; }
+
+ private:
+  size_t MonitoredDepth() const;
+
+  const LpmTable* table_;
+  AdmissionDrr* drr_;
+  uint16_t num_nodes_;
+  std::vector<const QueueElement*> watched_;
+  uint64_t admission_drops_ = 0;
+  telemetry::Counter* tele_admission_drops_ = nullptr;
+};
+
 // Transit/output-node element for one MAC-steered rx queue: stamps the
 // output node implied by the queue and forwards without header reads.
 // Output 0: local external delivery; output 1: toward the output node.
@@ -76,6 +115,11 @@ struct FunctionalClusterConfig {
   size_t routes = 4096;         // per-node routing table entries
   VlbConfig vlb;                // direct VLB + flowlet settings
   uint64_t seed = 5;
+
+  // Fair ingress admission (admission.hpp): when enabled, each node gets
+  // a VlbAdmission element between header processing and VlbRoute,
+  // watching that node's external-ingress transmit-leg queues.
+  AdmissionConfig admission;
 
   // Optional telemetry sinks (must outlive the cluster). Every node graph
   // and NIC port is bound under "node<i>/..." names; the tracer records
@@ -107,6 +151,10 @@ class FunctionalCluster {
 
   const VlbRoute& vlb_route(uint16_t node) const { return *vlb_route_[node]; }
   DirectVlbRouter& vlb(uint16_t node) { return *vlb_[node]; }
+  // Ingress admission state; null unless config.admission.enabled.
+  const VlbAdmission* vlb_admission(uint16_t node) const {
+    return vlb_admission_.empty() ? nullptr : vlb_admission_[node];
+  }
   // The node's Click graph (for inspection, e.g. walking elements).
   Router& node_graph(uint16_t node) { return *nodes_[node].graph; }
   uint64_t wire_packets() const { return wire_packets_; }
@@ -134,7 +182,9 @@ class FunctionalCluster {
   std::unique_ptr<PacketPool> pool_;
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<DirectVlbRouter>> vlb_;
+  std::vector<std::unique_ptr<AdmissionDrr>> admission_;  // empty = disabled
   std::vector<VlbRoute*> vlb_route_;
+  std::vector<VlbAdmission*> vlb_admission_;
   SimTime now_ = 0;
   uint64_t wire_packets_ = 0;
 };

@@ -23,12 +23,16 @@ Driver::Driver(NicPort* port, uint16_t rx_queue, const DriverConfig& config)
   RB_CHECK(rx_queue < port->num_rx_queues());
 }
 
-size_t Driver::Poll(PacketBatch* out) {
+size_t Driver::Poll(PacketBatch* out, size_t max) {
 #if defined(RB_PROFILE) && RB_PROFILE
   RB_PROF_SCOPE(RxPollScope());
 #endif
   polls_++;
-  size_t want = std::min<size_t>(config_.kp, out->room());
+  size_t want = std::min<size_t>(std::min<size_t>(config_.kp, max), out->room());
+  if (want == 0) {
+    empty_polls_++;
+    return 0;
+  }
   Packet** fill = out->tail();
   size_t n = port_->PollRx(rx_queue_, fill, want);
   if (n == 0) {

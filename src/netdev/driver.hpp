@@ -28,8 +28,12 @@ class Driver {
   // Polls the bound rx queue; appends up to kp packets to `out`.
   // Returns the number retrieved (0 counts as an empty poll). The batch
   // overload is the hot path (no heap traffic); the vector overload
-  // remains for harness code.
-  size_t Poll(PacketBatch* out);
+  // remains for harness code. `max` further caps the burst below kp —
+  // backpressure-aware pollers (FromDevice) pass the downstream headroom
+  // so overflow packets stay in the NIC ring instead of being retrieved
+  // only to be tail-dropped at a full queue.
+  size_t Poll(PacketBatch* out) { return Poll(out, config_.kp); }
+  size_t Poll(PacketBatch* out, size_t max);
   size_t Poll(std::vector<Packet*>* out);
 
   // Sends on the bound port's tx queue `q`.

@@ -96,6 +96,12 @@ class Packet {
   uint64_t trace_handle() const { return trace_handle_; }
   void set_trace_handle(uint64_t h) { trace_handle_ = h; }
 
+  // Queue-enqueue timestamp (seconds; steady clock in the threaded graph,
+  // SimTime in the DES) stamped by AQM-enabled queues so the dequeue side
+  // can measure sojourn time (CoDel). 0 = never enqueued.
+  double enqueue_time() const { return enqueue_time_; }
+  void set_enqueue_time(double t) { enqueue_time_ = t; }
+
   // Frame bytes as counted on the wire per the paper's convention
   // (no preamble/IFG accounting).
   uint32_t wire_bytes() const { return length_; }
@@ -121,6 +127,7 @@ class Packet {
   uint64_t flow_seq_ = 0;
   uint8_t paint_ = 0;
   uint64_t trace_handle_ = 0;
+  double enqueue_time_ = 0;
   PacketPool* origin_pool_ = nullptr;
   // Maintained by PacketPool to reject double-frees (two owners aliasing
   // one buffer).

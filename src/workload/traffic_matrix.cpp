@@ -38,6 +38,23 @@ TrafficMatrix TrafficMatrix::Hotspot(uint16_t n, uint16_t hot_dst, double hot_fr
   return tm;
 }
 
+TrafficMatrix TrafficMatrix::SingleInputWeighted(uint16_t n, uint16_t src,
+                                                 const std::vector<double>& weights) {
+  TrafficMatrix tm(n);
+  RB_CHECK(src < n);
+  RB_CHECK(weights.size() == n);
+  double sum = 0;
+  for (double w : weights) {
+    RB_CHECK(w >= 0);
+    sum += w;
+  }
+  RB_CHECK(sum > 0);
+  for (uint16_t j = 0; j < n; ++j) {
+    tm.shares_[src][j] = weights[j] / sum;
+  }
+  return tm;
+}
+
 bool TrafficMatrix::InputActive(uint16_t src) const {
   for (double s : shares_[src]) {
     if (s > 0) {

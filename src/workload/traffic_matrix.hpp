@@ -29,6 +29,14 @@ class TrafficMatrix {
   // spreads the rest uniformly: an adversarial, non-uniform matrix.
   static TrafficMatrix Hotspot(uint16_t n, uint16_t hot_dst, double hot_fraction);
 
+  // All traffic enters at `src`, split across outputs proportionally to
+  // `weights` (size n, non-negative, positive sum; normalized here). The
+  // overload bench's skewed single-ingress pattern: with weights [3,2,2,2]
+  // every output's demand exceeds its fair share once the input is driven
+  // past capacity, and the demands are deliberately unequal.
+  static TrafficMatrix SingleInputWeighted(uint16_t n, uint16_t src,
+                                           const std::vector<double>& weights);
+
   uint16_t num_nodes() const { return n_; }
 
   // Share of input `src`'s traffic destined to output `dst` (rows sum to 1

@@ -1,0 +1,133 @@
+// AdmissionDrr: fair per-output-port overload shedding, hysteretic
+// engagement, dead-destination drops, and pass-through at normal load.
+#include "cluster/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/failure.hpp"
+
+namespace rb {
+namespace {
+
+// Drives a deterministic arrival process: packets of `bytes` arrive
+// back-to-back at `offered_bps` aggregate, destinations cycling through
+// `weights` proportionally (port j gets weights[j] shares per cycle).
+struct Driver {
+  AdmissionDrr* drr;
+  uint32_t bytes;
+  double offered_bps;
+  SimTime now = 0;
+
+  void Run(const std::vector<int>& weights, int cycles, size_t depth = 0) {
+    double gap = static_cast<double>(bytes) * 8.0 / offered_bps;
+    for (int c = 0; c < cycles; ++c) {
+      for (uint16_t port = 0; port < weights.size(); ++port) {
+        for (int k = 0; k < weights[port]; ++k) {
+          drr->Admit(port, bytes, now, depth);
+          now += gap;
+        }
+      }
+    }
+  }
+};
+
+TEST(AdmissionTest, PassThroughUnderCapacity) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity_bps = 1e9;
+  AdmissionDrr drr(cfg, 4);
+  Driver d{&drr, 1250, 0.5e9};  // half of capacity
+  d.Run({1, 1, 1, 1}, 500);
+  EXPECT_FALSE(drr.engaged());
+  EXPECT_EQ(drr.dropped_packets(), 0u) << "no drops while disengaged";
+  EXPECT_EQ(drr.admitted_packets(), drr.offered_packets());
+}
+
+TEST(AdmissionTest, FairShareUnderSkewedOverload) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity_bps = 1e9;
+  AdmissionDrr drr(cfg, 4);
+  // 2x overload, port 0 demanding 3 shares vs 2:2:2 — every port's demand
+  // exceeds the fair share capacity/4, so admitted bytes must equalize.
+  Driver d{&drr, 1250, 2e9};
+  d.Run({3, 2, 2, 2}, 2000);
+  EXPECT_TRUE(drr.engaged());
+  EXPECT_GT(drr.dropped_packets(), 0u);
+
+  uint64_t lo = UINT64_MAX;
+  uint64_t hi = 0;
+  uint64_t total = 0;
+  for (uint16_t p = 0; p < 4; ++p) {
+    uint64_t b = drr.admitted_bytes(p);
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+    total += b;
+  }
+  ASSERT_GT(lo, 0u);
+  EXPECT_LE(static_cast<double>(hi) / static_cast<double>(lo), 1.05)
+      << "DRR must clip every overloaded port to the same share";
+  // Aggregate admitted rate ~ capacity (non-work-conserving cap).
+  double admitted_bps = static_cast<double>(total) * 8.0 / d.now;
+  EXPECT_GT(admitted_bps, 0.85 * cfg.capacity_bps);
+  EXPECT_LT(admitted_bps, 1.15 * cfg.capacity_bps);
+}
+
+TEST(AdmissionTest, UnderloadedPortKeepsItsDemand) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity_bps = 1e9;
+  AdmissionDrr drr(cfg, 4);
+  // Port 3 wants well under its fair share; ports 0-2 are overloaded.
+  // min(demand, fair share): port 3 loses (almost) nothing.
+  Driver d{&drr, 1250, 2e9};
+  d.Run({5, 5, 5, 1}, 2000);
+  EXPECT_TRUE(drr.engaged());
+  uint64_t offered3 = 2000ull * 1250;
+  EXPECT_GT(drr.admitted_bytes(3), static_cast<uint64_t>(0.95 * offered3));
+}
+
+TEST(AdmissionTest, DeadDestinationsDroppedRegardless) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity_bps = 10e9;
+  AdmissionDrr drr(cfg, 4);
+  HealthView health(4);
+  drr.set_health(&health);
+  health.SetNodeAlive(2, false);
+
+  Driver d{&drr, 1250, 1e9};  // light load: disengaged
+  d.Run({1, 1, 1, 1}, 100);
+  EXPECT_EQ(drr.dropped_dead(), 100u) << "dead-port packets drop even while disengaged";
+  EXPECT_EQ(drr.admitted_bytes(2), 0u);
+  EXPECT_EQ(drr.dropped_packets(), 0u) << "dead drops are not deficit drops";
+}
+
+TEST(AdmissionTest, EngagementHysteresis) {
+  AdmissionConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity_bps = 1e9;
+  cfg.rate_tau_s = 1e-3;
+  AdmissionDrr drr(cfg, 2);
+  Driver d{&drr, 1250, 2e9};
+  d.Run({1, 1}, 400);  // several rate windows at 2x
+  EXPECT_TRUE(drr.engaged());
+  EXPECT_EQ(drr.engage_events(), 1u);
+
+  // Drop to well under the release margin: disengages after the
+  // estimator window turns over, and stays disengaged (no flapping).
+  d.offered_bps = 0.3e9;
+  d.Run({1, 1}, 400);
+  EXPECT_FALSE(drr.engaged());
+  EXPECT_EQ(drr.engage_events(), 1u);
+
+  // Depth signal alone forces engagement even at low offered rate.
+  d.Run({1, 1}, 50, /*depth=*/cfg.engage_depth + 1);
+  EXPECT_TRUE(drr.engaged());
+  EXPECT_EQ(drr.engage_events(), 2u);
+}
+
+}  // namespace
+}  // namespace rb

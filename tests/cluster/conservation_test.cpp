@@ -1,0 +1,130 @@
+// Drop-accounting audit: every DES scenario must satisfy
+// AuditConservation — arrivals == delivered + Σ drop-taxonomy buckets,
+// with the per-window timeline reproducing the totals exactly — and each
+// drop must land in the bucket naming its actual cause.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/des.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/traffic_matrix.hpp"
+
+namespace rb {
+namespace {
+
+ClusterRunStats RunScenario(ClusterConfig cfg, const TrafficMatrix& tm, double per_input_bps,
+                    double duration = 0.01, uint32_t pkt_bytes = 300) {
+  cfg.timeline_window = duration / 5;  // arm the timeline cross-check too
+  ClusterSim sim(cfg);
+  FixedSizeDistribution sizes(pkt_bytes);
+  return sim.RunUniform(tm, per_input_bps, &sizes, duration);
+}
+
+void ExpectConserved(const ClusterRunStats& stats, const std::string& scenario) {
+  std::string audit = AuditConservation(stats);
+  EXPECT_TRUE(audit.empty()) << scenario << ": " << audit;
+  EXPECT_GT(stats.offered_packets, 0u) << scenario << " offered nothing";
+}
+
+TEST(ConservationTest, UniformNominalLoad) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Uniform(4), 5e9);
+  ExpectConserved(s, "uniform 0.5x");
+  EXPECT_EQ(s.drops.total(), 0u) << "nominal load should be loss-free";
+}
+
+TEST(ConservationTest, OverloadWithoutAdmission) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.cpu_queue_pkts = 512;  // force queue-overflow drops
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Uniform(4), 25e9);
+  ExpectConserved(s, "uniform 2.5x no admission");
+  EXPECT_GT(s.drops.total(), 0u);
+  EXPECT_EQ(s.drops.admission, 0u) << "admission disabled must never fill its bucket";
+}
+
+TEST(ConservationTest, OverloadWithAdmission) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.admission.enabled = true;
+  cfg.admission.capacity_bps = cfg.ext_rate_bps;
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Uniform(4), 25e9);
+  ExpectConserved(s, "uniform 2.5x admission on");
+  EXPECT_GT(s.drops.admission, 0u) << "2.5x overload must shed at the admission stage";
+}
+
+TEST(ConservationTest, NodeFailureMidRun) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.failures.NodeDown(2, 0.003).NodeUp(2, 0.007);
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Uniform(4), 8e9);
+  ExpectConserved(s, "node 2 down/up");
+  EXPECT_GT(s.drops.failed_node, 0u);
+}
+
+TEST(ConservationTest, LinkFailure) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.failures.LinkDown(0, 3, 0.002);
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Uniform(4), 8e9);
+  ExpectConserved(s, "link 0->3 down");
+}
+
+TEST(ConservationTest, ResequencerHoldsAreNotLeaks) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.resequence = true;
+  cfg.resequence_timeout = 5e-4;
+  cfg.vlb.flowlets = false;  // maximize reordering -> resequencer work
+  cfg.cpu_queue_pkts = 512;
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Uniform(4), 15e9);
+  ExpectConserved(s, "resequencer under loss");
+}
+
+TEST(ConservationTest, HotspotMatrix) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Hotspot(4, 1, 0.7), 12e9);
+  ExpectConserved(s, "hotspot 70% to node 1");
+}
+
+TEST(ConservationTest, TwoNodeMesh) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.num_nodes = 2;
+  cfg.vlb.num_nodes = 2;
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Uniform(2), 8e9);
+  ExpectConserved(s, "2-node mesh");
+}
+
+TEST(ConservationTest, AdmissionPlusFailures) {
+  // The interaction case: dead-destination traffic must land in the
+  // admission bucket (dropped at ingress), not double-count with the
+  // failed_node bucket, and the audit must still balance.
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.admission.enabled = true;
+  cfg.admission.capacity_bps = cfg.ext_rate_bps;
+  cfg.failures.NodeDown(1, 0.002);
+  ClusterRunStats s = RunScenario(cfg, TrafficMatrix::Uniform(4), 12e9);
+  ExpectConserved(s, "admission + node failure");
+  EXPECT_GT(s.drops.admission, 0u)
+      << "post-detection dead-destination traffic sheds at ingress";
+}
+
+TEST(ConservationTest, MidRunIdentityHoldsBetweenInjections) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.cpu_queue_pkts = 256;
+  ClusterSim sim(cfg);
+  Rng rng(11);
+  uint64_t seq = 0;
+  for (int i = 0; i < 5000; ++i) {
+    SimTime t = static_cast<SimTime>(i) * 2e-7;
+    sim.Inject(static_cast<uint16_t>(rng.NextBounded(4)),
+               static_cast<uint16_t>(rng.NextBounded(4)), 1, seq++, 300, t);
+    if (i % 500 == 0) {
+      uint64_t accounted = sim.current_delivered() + sim.current_drops().total() +
+                           sim.in_flight() + sim.resequencer_held();
+      ASSERT_EQ(sim.current_offered(), accounted)
+          << "conservation identity must hold at every event boundary";
+    }
+  }
+  ClusterRunStats s = sim.Finish(5000 * 2e-7);
+  ExpectConserved(s, "mid-run identity scenario");
+}
+
+}  // namespace
+}  // namespace rb

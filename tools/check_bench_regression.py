@@ -4,7 +4,15 @@
 Usage:
     check_bench_regression.py --baseline bench/baselines/BENCH_profile.json \
         --current BENCH_profile.json [--cycles-tolerance 3.0]
+    check_bench_regression.py --overload OVERLOAD.json
     check_bench_regression.py --self-test
+
+--overload validates a bench_overload JSON dump structurally: schema,
+required fields, conservation, and the paper-§3 fairness contract
+(admission ON keeps the per-port max/min ratio near 1; OFF must be
+demonstrably less fair than ON). These are machine-independent
+invariants, not cycle counts, so there is no committed baseline and no
+tolerance flag — the bound is the same one bench_overload enforces.
 
 Cycle counts move a lot across machines (CI runners, laptops, the paper's
 Nehalem), so the default tolerances are deliberately loose: a metric fails
@@ -137,13 +145,78 @@ def compare(baseline, current, cycles_tol, improvement_tol=4.0):
     return failures, infos
 
 
-def load(path):
+# bench_overload structural contract: every dump must carry these fields
+# (a bench refactor that drops one silently blinds the soak job).
+OVERLOAD_SCHEMA = "rb.bench_overload.v1"
+OVERLOAD_REQUIRED = ("seed", "nodes", "fairness", "goodput", "conservation_ok", "checks_failed")
+OVERLOAD_FAIRNESS_REQUIRED = (
+    "ratio_admission_on",
+    "ratio_admission_off",
+    "per_port_gbps_on",
+    "per_port_gbps_off",
+)
+OVERLOAD_GOODPUT_REQUIRED = ("hot_on_gbps", "hot_off_gbps", "uniform_on_gbps")
+OVERLOAD_MAX_FAIR_RATIO = 1.1  # same bound bench_overload enforces
+
+
+def check_overload(doc):
+    """Structural + invariant checks for one bench_overload JSON document."""
+    failures = []
+    if doc.get("schema") != OVERLOAD_SCHEMA:
+        return [f"unexpected schema {doc.get('schema')!r} (want {OVERLOAD_SCHEMA!r})"]
+    for key in OVERLOAD_REQUIRED:
+        if key not in doc:
+            failures.append(f"required field '{key}' missing")
+    fairness = doc.get("fairness", {})
+    for key in OVERLOAD_FAIRNESS_REQUIRED:
+        if key not in fairness:
+            failures.append(f"required field 'fairness.{key}' missing")
+    goodput = doc.get("goodput", {})
+    for key in OVERLOAD_GOODPUT_REQUIRED:
+        if key not in goodput:
+            failures.append(f"required field 'goodput.{key}' missing")
+    if failures:
+        return failures  # value checks below assume the fields exist
+
+    if doc["conservation_ok"] is not True:
+        failures.append("conservation_ok is not true: packets were leaked or double-counted")
+    if doc["checks_failed"] != 0:
+        failures.append(f"bench reported {doc['checks_failed']} failed internal check(s)")
+    nodes = int(doc["nodes"])
+    for key in ("per_port_gbps_on", "per_port_gbps_off"):
+        ports = fairness[key]
+        if len(ports) != nodes:
+            failures.append(f"fairness.{key} has {len(ports)} entries for {nodes} nodes")
+        elif min(ports) <= 0:
+            failures.append(f"fairness.{key} contains a starved (<= 0 Gbps) port")
+    ratio_on = float(fairness["ratio_admission_on"])
+    ratio_off = float(fairness["ratio_admission_off"])
+    if ratio_on > OVERLOAD_MAX_FAIR_RATIO:
+        failures.append(
+            f"fairness.ratio_admission_on {ratio_on:.3f} > {OVERLOAD_MAX_FAIR_RATIO} "
+            "(admission failed to equalize per-port goodput)"
+        )
+    if ratio_off <= ratio_on:
+        failures.append(
+            f"ratio_admission_off {ratio_off:.3f} <= ratio_admission_on {ratio_on:.3f} "
+            "(the no-admission run must be demonstrably less fair)"
+        )
+    if float(goodput["hot_on_gbps"]) <= 0:
+        failures.append("goodput.hot_on_gbps is not positive")
+    return failures
+
+
+def load_json(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load(path):
+    doc = load_json(path)
     if doc.get("schema") != "rb.bench_fig9_breakdown.v1":
         print(f"error: {path}: unexpected schema {doc.get('schema')!r}", file=sys.stderr)
         sys.exit(2)
@@ -212,7 +285,44 @@ def self_test():
     noise_slow["workloads"]["fwd_64"]["scopes"]["tiny/noise"]["cycles_per_packet"] = 500.0
     f, _ = compare(base, noise_slow, cycles_tol=1.5)
     assert not f, f"sub-share scope noise flagged: {f}"
-    print("self-test: 10/10 checks passed")
+    # 8. bench_overload structural checks: a healthy dump passes; broken
+    # conservation, an unfair admission run, an inverted on/off ordering,
+    # and a dropped required field each fail.
+    overload = {
+        "schema": OVERLOAD_SCHEMA,
+        "seed": 7,
+        "nodes": 4,
+        "fairness": {
+            "ratio_admission_on": 1.04,
+            "ratio_admission_off": 1.53,
+            "per_port_gbps_on": [0.64, 0.62, 0.62, 0.62],
+            "per_port_gbps_off": [1.36, 0.89, 0.94, 0.91],
+        },
+        "goodput": {"hot_on_gbps": 2.5, "hot_off_gbps": 4.1, "uniform_on_gbps": 9.9},
+        "conservation_ok": True,
+        "checks_failed": 0,
+    }
+    assert not check_overload(overload), f"healthy overload dump flagged: {check_overload(overload)}"
+    leaky = json.loads(json.dumps(overload))
+    leaky["conservation_ok"] = False
+    f = check_overload(leaky)
+    assert any("conservation" in x for x in f), f"conservation break not caught: {f}"
+    unfair = json.loads(json.dumps(overload))
+    unfair["fairness"]["ratio_admission_on"] = 1.5
+    f = check_overload(unfair)
+    assert any("ratio_admission_on" in x for x in f), f"unfair admission not caught: {f}"
+    inverted = json.loads(json.dumps(overload))
+    inverted["fairness"]["ratio_admission_off"] = 1.0
+    f = check_overload(inverted)
+    assert any("less fair" in x for x in f), f"inverted on/off fairness not caught: {f}"
+    gutted = json.loads(json.dumps(overload))
+    del gutted["goodput"]["uniform_on_gbps"]
+    f = check_overload(gutted)
+    assert any("uniform_on_gbps" in x for x in f), f"missing goodput field not caught: {f}"
+    wrong_schema = {"schema": "rb.bench_failover.v1"}
+    f = check_overload(wrong_schema)
+    assert any("schema" in x for x in f), f"wrong schema not caught: {f}"
+    print("self-test: 16/16 checks passed")
     return 0
 
 
@@ -234,10 +344,24 @@ def main():
         "baseline is declared stale (default 4.0)",
     )
     ap.add_argument("--self-test", action="store_true", help="run the built-in checks and exit")
+    ap.add_argument(
+        "--overload",
+        metavar="FILE",
+        help="validate a bench_overload JSON dump structurally and exit",
+    )
     args = ap.parse_args()
 
     if args.self_test:
         return self_test()
+    if args.overload:
+        failures = check_overload(load_json(args.overload))
+        if failures:
+            print(f"{len(failures)} problem(s) in {args.overload}:")
+            for line in failures:
+                print(f"  FAIL: {line}")
+            return 1
+        print(f"{args.overload}: bench_overload structure and fairness contract ok")
+        return 0
     if not args.baseline or not args.current:
         ap.error("--baseline and --current are required (or use --self-test)")
 
