@@ -39,8 +39,10 @@
 #include "cluster/des.hpp"
 #include "common/flags.hpp"
 #include "common/strings.hpp"
+#include "harness/control.hpp"
 #include "harness/metrics_out.hpp"
 #include "harness/report.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/json.hpp"
 #include "workload/synthetic.hpp"
 
@@ -100,11 +102,26 @@ int main(int argc, char** argv) {
   auto* smoke = flags.AddBool("smoke", false, "small fast preset (overrides sizing flags)");
   auto* json = flags.AddString("json", "", "write the machine-readable summary here");
   auto* metrics_out = rb::AddMetricsOutFlag(&flags);
+  auto* control_addr = rb::AddControlSocketFlag(&flags);
   flags.Parse(argc, argv);
 
   if (*smoke) {
     *nodes = 4;
     *duration = 0.02;
+  }
+
+  // Black box for the admission/failover events the scenarios generate,
+  // readable live through fr.dump.
+  rb::telemetry::FlightRecorder recorder;
+  rb::telemetry::FlightRecorder::Install(&recorder);
+
+  // Live observation point (EXPERIMENTS.md): the global registry the
+  // telemetry-bound scenario fills is scrapeable while the DES runs. Only
+  // registry/recorder-backed endpoints are exposed — the single-threaded
+  // sims themselves come and go per scenario.
+  rb::ControlPlane ctl(&rb::telemetry::MetricRegistry::Global());
+  if (!ctl.MaybeStart(*control_addr)) {
+    return 1;
   }
 
   uint16_t n = static_cast<uint16_t>(*nodes);
@@ -259,5 +276,7 @@ int main(int argc, char** argv) {
         static_cast<double>(*seed));
   }
   rb::MaybeWriteMetrics(*metrics_out);
+  ctl.Stop();
+  rb::telemetry::FlightRecorder::Install(nullptr);
   return failures_found == 0 ? 0 : 1;
 }

@@ -4,20 +4,28 @@
 // configuration would sustain on the paper's hardware.
 //
 //   $ ./ip_router [--packets=N] [--ports=P] [--metrics-out=metrics.json]
-//                 [--profile-out=profile.json]
+//                 [--profile-out=profile.json] [--control-socket=ADDR]
 //
 // With --metrics-out, the run's full telemetry lands in one JSON document:
 // per-element packet counters, per-queue drop/occupancy stats, NIC port
 // counters, and a sampled per-hop latency histogram from the path tracer.
 // With --profile-out, a cycle-accounting profile (task -> element -> phase
 // scope tree with cycles/packet) is written alongside.
+//
+// With --control-socket (TCP port or Unix-socket path), the run serves the
+// live introspection plane (DESIGN.md §13) and keeps re-running the
+// workload — injecting --packets per pass — until a client writes
+// `ctl.stop`. Poke it with rb_top, curl (GET /metrics), or the raw line
+// protocol (READ Queue@4.occupancy, WRITE Queue@4.codel_target_us 500).
 #include <cstdio>
 
 #include "common/flags.hpp"
 #include "common/strings.hpp"
 #include "core/single_server_router.hpp"
+#include "harness/control.hpp"
 #include "harness/metrics_out.hpp"
 #include "model/throughput.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/abilene.hpp"
@@ -30,7 +38,13 @@ int main(int argc, char** argv) {
   auto* trace_every = flags.AddInt64("trace-every", 64, "sample 1 in N packet paths");
   auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   auto* profile_out = rb::AddProfileOutFlag(&flags);
+  auto* control_addr = rb::AddControlSocketFlag(&flags);
   flags.Parse(argc, argv);
+
+  // Always-on black box: drop/blocked/throttle events land in per-core
+  // rings, dumped by the fr.dump handler or a fatal RB_CHECK.
+  rb::telemetry::FlightRecorder recorder;
+  rb::telemetry::FlightRecorder::Install(&recorder);
 
   // Install the cycle profiler before any traffic flows so every scope
   // (task -> element -> phase) is captured from the first packet.
@@ -60,8 +74,17 @@ int main(int argc, char** argv) {
   printf("  table memory: %.1f MiB (tbl24 + %zu tbl_long segments)\n",
          router.table().memory_bytes() / 1048576.0, router.table().num_long_segments());
 
+  // Live control plane: element/queue handlers plus the tracer knobs and
+  // ctl.stop, served off the data path's thread.
+  rb::ControlPlane ctl(&registry, &tracer);
+  router.graph().AddHandlers(ctl.handlers());
+  if (!ctl.MaybeStart(*control_addr)) {
+    return 1;
+  }
+  const bool serving = ctl.running();
+
   rb::AbileneGenerator gen(rb::AbileneConfig{4096, 3});
-  int injected = 0;
+  long long injected = 0;
   uint64_t injected_bytes = 0;
   uint64_t forwarded = 0;
   rb::Packet* burst[64];
@@ -76,32 +99,39 @@ int main(int argc, char** argv) {
       }
     }
   };
-  int attempts = 0;
-  while (injected < *packets && attempts < 50 * *packets) {
-    attempts++;
-    rb::FrameSpec spec = gen.Next();
-    if (router.table().Lookup(spec.flow.dst_ip) == rb::LpmTable::kNoRoute) {
-      continue;
+  // One pass injects --packets frames; with a control socket the workload
+  // repeats pass after pass until a client writes ctl.stop, so there is
+  // always live traffic to observe.
+  do {
+    long long pass_target = injected + *packets;
+    long long attempts = 0;
+    while (injected < pass_target && attempts < 50 * *packets && !ctl.stop_requested()) {
+      attempts++;
+      rb::FrameSpec spec = gen.Next();
+      if (router.table().Lookup(spec.flow.dst_ip) == rb::LpmTable::kNoRoute) {
+        continue;
+      }
+      rb::Packet* p = rb::AllocFrame(spec, &router.pool());
+      if (p == nullptr) {
+        router.RunUntilIdle();  // recycle buffers
+        drain();
+        continue;
+      }
+      router.DeliverFrame(static_cast<int>(injected % config.num_ports), p, 0.0);
+      injected_bytes += spec.size;
+      injected++;
+      if (injected % 2048 == 0) {
+        router.RunUntilIdle();
+        drain();
+      }
     }
-    rb::Packet* p = rb::AllocFrame(spec, &router.pool());
-    if (p == nullptr) {
-      router.RunUntilIdle();  // recycle buffers
-      drain();
-      continue;
-    }
-    router.DeliverFrame(injected % config.num_ports, p, 0.0);
-    injected_bytes += spec.size;
-    injected++;
-    if (injected % 2048 == 0) {
-      router.RunUntilIdle();
-      drain();
-    }
-  }
+  } while (serving && !ctl.stop_requested());
   router.RunUntilIdle();
   drain();
-  printf("routed %llu / %d packets (%.1f MB, mean %.0f B)\n",
+  ctl.Stop();
+  printf("routed %llu / %lld packets (%.1f MB, mean %.0f B)\n",
          static_cast<unsigned long long>(forwarded), injected, injected_bytes / 1e6,
-         injected ? static_cast<double>(injected_bytes) / injected : 0.0);
+         injected ? static_cast<double>(injected_bytes) / static_cast<double>(injected) : 0.0);
 
   // Telemetry readout: the registry saw every packet the NICs did, and the
   // tracer timed 1-in-N paths FromDevice -> ... -> ToDevice.
@@ -154,5 +184,6 @@ int main(int argc, char** argv) {
            bytes < 100 ? "64 B" : "Abilene mix", rb::HumanBitRate(r.bps).c_str(),
            r.bottleneck.c_str());
   }
+  rb::telemetry::FlightRecorder::Install(nullptr);
   return 0;
 }

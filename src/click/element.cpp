@@ -1,6 +1,8 @@
 #include "click/element.hpp"
 
 #include "common/log.hpp"
+#include "common/strings.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace rb {
 
@@ -63,6 +65,33 @@ void Element::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::Path
   tracer_ = tracer;
 }
 
+void Element::AddHandlers(telemetry::HandlerRegistry* handlers) {
+  RB_CHECK(handlers != nullptr);
+  const std::string base = name_ + ".";
+  handlers->AddRead(base + "config", [this] {
+    return Format("class %s in %d out %d batch_native %d", class_name(), n_inputs(), n_outputs(),
+                  batch_native() ? 1 : 0);
+  });
+  handlers->AddRead(base + "counts", [this] {
+    // Packets out is only counted when telemetry is bound (the hot path
+    // pays nothing otherwise); unbound reads report 0.
+    const uint64_t v = tele_packets_ != nullptr ? tele_packets_->Value() : 0;
+    return Format("%llu", static_cast<unsigned long long>(v));
+  });
+  handlers->AddRead(base + "drops", [this] {
+    return Format("%llu", static_cast<unsigned long long>(drops()));
+  });
+  handlers->AddRead(base + "batch_size", [this] {
+    if (tele_batch_ == nullptr) {
+      return std::string("count=0");
+    }
+    telemetry::HistogramSnapshot s = tele_batch_->Snapshot();
+    return Format("count=%llu mean=%.2f p50=%.1f p95=%.1f",
+                  static_cast<unsigned long long>(s.count), s.mean(), s.Percentile(50),
+                  s.Percentile(95));
+  });
+}
+
 void Element::Output(int port, Packet* p) {
   RB_CHECK(port >= 0 && port < n_outputs());
   PortRef& ref = outputs_[static_cast<size_t>(port)];
@@ -122,7 +151,8 @@ void Element::OutputBatch(int port, PacketBatch& batch) {
 }
 
 void Element::Drop(Packet* p) {
-  drops_++;
+  drops_.fetch_add(1, std::memory_order_relaxed);
+  telemetry::FrRecord(telemetry::FrEvent::kDrop, prof_scope_, 1);
   if (tele_drops_ != nullptr) {
     tele_drops_->Inc();
   }
@@ -137,7 +167,8 @@ void Element::DropBatch(PacketBatch& batch) {
   if (n == 0) {
     return;
   }
-  drops_ += n;
+  drops_.fetch_add(n, std::memory_order_relaxed);
+  telemetry::FrRecord(telemetry::FrEvent::kDrop, prof_scope_, n);
   if (tele_drops_ != nullptr) {
     tele_drops_->Add(n);
   }

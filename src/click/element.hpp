@@ -30,9 +30,12 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "packet/batch.hpp"
 #include "packet/packet.hpp"
 #include "packet/pool.hpp"
+#include "telemetry/handler.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
@@ -114,7 +117,7 @@ class Element {
   // element's name.
   telemetry::ScopeId profile_scope() const { return prof_scope_; }
 
-  uint64_t drops() const { return drops_; }
+  uint64_t drops() const { return drops_.load(std::memory_order_relaxed); }
 
   // Attaches this element to a metric registry (per-element packets-out /
   // drop counters and a batch-size histogram under "<prefix>elem/<name>/")
@@ -125,6 +128,16 @@ class Element {
   // element-specific metrics.
   virtual void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
                              const std::string& prefix = "");
+
+  // Registers this element's live-introspection handlers (DESIGN.md §13)
+  // under "<element-name>.<handler>". The base exports `config`, `counts`
+  // (packets out — live when telemetry is bound, else 0), `drops`, and
+  // `batch_size`; overrides call the base, then add element-specific or
+  // writable handlers (Queue: occupancy/hi/lo/aqm/codel_*). Handler
+  // bodies may run on a control thread while traffic flows, so they must
+  // only touch atomics and registry metrics. `this` must outlive the
+  // registry's use (the Router owns both lifetimes in practice).
+  virtual void AddHandlers(telemetry::HandlerRegistry* handlers);
 
  protected:
   // Sends `p` out of output `port` (per-packet push). If the port is
@@ -174,7 +187,9 @@ class Element {
   std::vector<PortRef> outputs_;  // downstream peers (for push)
   std::string name_;
   telemetry::ScopeId prof_scope_ = telemetry::kInvalidScope;
-  uint64_t drops_ = 0;
+  // Relaxed atomic: bumped on the (rare) drop path by the owning core,
+  // read live by control-socket handlers.
+  std::atomic<uint64_t> drops_{0};
 
   // Telemetry bindings; null when telemetry is unbound or disabled.
   telemetry::Counter* tele_packets_ = nullptr;

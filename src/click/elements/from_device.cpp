@@ -1,6 +1,8 @@
 #include "click/elements/from_device.hpp"
 
 #include "click/router.hpp"
+#include "common/strings.hpp"
+#include "telemetry/flight_recorder.hpp"
 
 namespace rb {
 
@@ -42,16 +44,34 @@ size_t FromDevice::PollAllowance() const {
   return allowance;
 }
 
+void FromDevice::AddHandlers(telemetry::HandlerRegistry* handlers) {
+  Element::AddHandlers(handlers);
+  const std::string base = name() + ".";
+  handlers->AddRead(base + "throttled_polls", [this] {
+    return Format("%llu", static_cast<unsigned long long>(throttled_polls()));
+  });
+  handlers->AddRead(base + "kp",
+                    [this] { return Format("%u", static_cast<unsigned>(driver_.config().kp)); });
+}
+
 size_t FromDevice::RunOnce() {
   size_t allowance = PollAllowance();
-  if (allowance < driver_.config().kp) {
-    throttled_polls_++;
+  const bool throttled = allowance < driver_.config().kp;
+  if (throttled) {
+    throttled_polls_.fetch_add(1, std::memory_order_relaxed);
+    if (!throttled_state_) {
+      // Edge, not level: one black-box event per throttle episode, even
+      // when a blocked downstream holds the poller at zero for thousands
+      // of consecutive polls.
+      telemetry::FrRecord(telemetry::FrEvent::kThrottled, profile_scope(), allowance);
+    }
     if (tele_throttled_ != nullptr) {
       tele_throttled_->Inc();
     }
-    if (allowance == 0) {
-      return 0;
-    }
+  }
+  throttled_state_ = throttled;
+  if (throttled && allowance == 0) {
+    return 0;
   }
   PacketBatch burst;
   size_t n = driver_.Poll(&burst, allowance);

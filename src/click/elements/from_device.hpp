@@ -41,13 +41,16 @@ class FromDevice : public BatchElement {
   void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
                      const std::string& prefix = "") override;
 
+  // Adds `throttled_polls` and `kp` reads on top of the element defaults.
+  void AddHandlers(telemetry::HandlerRegistry* handlers) override;
+
   // One poll iteration: retrieves up to kp packets and pushes them out of
   // output 0 as (a) batch(es). Returns packets moved.
   size_t RunOnce();
 
   Driver& driver() { return driver_; }
   uint16_t graph_batch() const { return graph_batch_; }
-  uint64_t throttled_polls() const { return throttled_polls_; }
+  uint64_t throttled_polls() const { return throttled_polls_.load(std::memory_order_relaxed); }
   const std::vector<Element*>& downstream_blockers() const { return blockers_; }
 
  private:
@@ -68,7 +71,10 @@ class FromDevice : public BatchElement {
   int home_core_;
   uint16_t graph_batch_;
   std::vector<Element*> blockers_;
-  uint64_t throttled_polls_ = 0;
+  // Relaxed atomic (single-writer: the polling core); read live by
+  // control-socket handlers.
+  std::atomic<uint64_t> throttled_polls_{0};
+  bool throttled_state_ = false;  // edge detector for flight-recorder events
   telemetry::Counter* tele_throttled_ = nullptr;
 };
 

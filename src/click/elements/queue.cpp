@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "common/strings.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/trace.hpp"
 
 namespace rb {
@@ -30,7 +32,12 @@ QueueElement::QueueElement(const QueueOptions& options)
     : BatchElement(1, 1),
       opt_(Normalize(options)),
       ring_(opt_.capacity),
-      clock_(&telemetry::NowSeconds) {}
+      clock_(&telemetry::NowSeconds) {
+  hi_wm_.store(opt_.hi_watermark, std::memory_order_relaxed);
+  lo_wm_.store(opt_.lo_watermark, std::memory_order_relaxed);
+  codel_target_.store(opt_.codel_target_s, std::memory_order_relaxed);
+  codel_interval_.store(opt_.codel_interval_s, std::memory_order_relaxed);
+}
 
 void QueueElement::set_clock(ClockFn clock) {
   RB_CHECK(clock != nullptr);
@@ -53,10 +60,89 @@ void QueueElement::BindTelemetry(telemetry::MetricRegistry* registry,
   }
 }
 
+void QueueElement::AddHandlers(telemetry::HandlerRegistry* handlers) {
+  Element::AddHandlers(handlers);
+  const std::string base = name() + ".";
+  handlers->AddRead(base + "occupancy",
+                    [this] { return Format("%zu", ring_.size()); });
+  handlers->AddRead(base + "capacity", [this] { return Format("%zu", ring_.capacity()); });
+  handlers->AddRead(base + "highwater", [this] {
+    return Format("%llu", static_cast<unsigned long long>(highwater()));
+  });
+  handlers->AddRead(base + "blocked", [this] { return std::string(Blocked() ? "1" : "0"); });
+  handlers->AddRead(base + "aqm", [this] {
+    return std::string(opt_.aqm == AqmMode::kCoDel ? "codel" : "tail_drop");
+  });
+  handlers->AddRead(base + "hi", [this] { return Format("%zu", hi_watermark()); });
+  handlers->AddWrite(base + "hi", [this](const std::string& value) {
+    uint64_t v = 0;
+    if (!telemetry::ParseHandlerU64(value, &v)) {
+      return telemetry::HandlerResult::Error("hi expects a non-negative integer, got '" + value +
+                                             "'");
+    }
+    if (v > ring_.capacity()) {
+      return telemetry::HandlerResult::Error(
+          Format("hi %llu above capacity %zu", static_cast<unsigned long long>(v),
+                 ring_.capacity()));
+    }
+    if (v == 0) {
+      // Disabling watermarks also clears any sticky blocked state, else a
+      // later re-enable would inherit a stale Blocked() signal.
+      hi_wm_.store(0, std::memory_order_relaxed);
+      blocked_.store(false, std::memory_order_release);
+      return telemetry::HandlerResult::Ok();
+    }
+    const size_t lo = lo_wm_.load(std::memory_order_relaxed);
+    if (lo >= v) {
+      // Keep the invariant lo < hi the same way construction does.
+      lo_wm_.store(static_cast<size_t>(v) / 2, std::memory_order_relaxed);
+    }
+    hi_wm_.store(static_cast<size_t>(v), std::memory_order_relaxed);
+    return telemetry::HandlerResult::Ok();
+  });
+  handlers->AddRead(base + "lo", [this] { return Format("%zu", lo_watermark()); });
+  handlers->AddWrite(base + "lo", [this](const std::string& value) {
+    uint64_t v = 0;
+    if (!telemetry::ParseHandlerU64(value, &v)) {
+      return telemetry::HandlerResult::Error("lo expects a non-negative integer, got '" + value +
+                                             "'");
+    }
+    const size_t hi = hi_wm_.load(std::memory_order_relaxed);
+    if (hi > 0 && v >= hi) {
+      return telemetry::HandlerResult::Error(
+          Format("lo %llu must be below hi %zu", static_cast<unsigned long long>(v), hi));
+    }
+    lo_wm_.store(static_cast<size_t>(v), std::memory_order_relaxed);
+    return telemetry::HandlerResult::Ok();
+  });
+  handlers->AddRead(base + "codel_target_us",
+                    [this] { return Format("%.1f", codel_target_s() * 1e6); });
+  handlers->AddWrite(base + "codel_target_us", [this](const std::string& value) {
+    double v = 0;
+    if (!telemetry::ParseHandlerDouble(value, &v) || v <= 0) {
+      return telemetry::HandlerResult::Error("codel_target_us expects a positive number, got '" +
+                                             value + "'");
+    }
+    codel_target_.store(v * 1e-6, std::memory_order_relaxed);
+    return telemetry::HandlerResult::Ok();
+  });
+  handlers->AddRead(base + "codel_interval_us",
+                    [this] { return Format("%.1f", codel_interval_s() * 1e6); });
+  handlers->AddWrite(base + "codel_interval_us", [this](const std::string& value) {
+    double v = 0;
+    if (!telemetry::ParseHandlerDouble(value, &v) || v <= 0) {
+      return telemetry::HandlerResult::Error("codel_interval_us expects a positive number, got '" +
+                                             value + "'");
+    }
+    codel_interval_.store(v * 1e-6, std::memory_order_relaxed);
+    return telemetry::HandlerResult::Ok();
+  });
+}
+
 void QueueElement::NoteDepth() {
   size_t depth = ring_.size();
-  if (depth > highwater_) {
-    highwater_ = depth;
+  if (depth > highwater_.load(std::memory_order_relaxed)) {
+    highwater_.store(depth, std::memory_order_relaxed);
     if (tele_occupancy_hw_ != nullptr) {
       tele_occupancy_hw_->UpdateMax(static_cast<double>(depth));
     }
@@ -64,23 +150,27 @@ void QueueElement::NoteDepth() {
 }
 
 size_t QueueElement::PushHeadroom() const {
-  if (opt_.hi_watermark == 0) {
+  const size_t hi = hi_wm_.load(std::memory_order_relaxed);
+  if (hi == 0) {
     return SIZE_MAX;
   }
   if (blocked_.load(std::memory_order_acquire)) {
     return 0;
   }
   size_t depth = ring_.size();
-  return depth >= opt_.hi_watermark ? 0 : opt_.hi_watermark - depth;
+  return depth >= hi ? 0 : hi - depth;
 }
 
 void QueueElement::MaybeBlock() {
-  if (opt_.hi_watermark == 0 || blocked_.load(std::memory_order_relaxed)) {
+  const size_t hi = hi_wm_.load(std::memory_order_relaxed);
+  if (hi == 0 || blocked_.load(std::memory_order_relaxed)) {
     return;
   }
-  if (ring_.size() >= opt_.hi_watermark) {
+  const size_t depth = ring_.size();
+  if (depth >= hi) {
     blocked_.store(true, std::memory_order_release);
-    blocked_events_++;
+    blocked_events_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::FrRecord(telemetry::FrEvent::kBlocked, profile_scope(), depth);
     if (tele_blocked_events_ != nullptr) {
       tele_blocked_events_->Inc();
     }
@@ -88,22 +178,26 @@ void QueueElement::MaybeBlock() {
 }
 
 void QueueElement::MaybeUnblock() {
-  if (opt_.hi_watermark == 0 || !blocked_.load(std::memory_order_relaxed)) {
+  const size_t hi = hi_wm_.load(std::memory_order_relaxed);
+  if (hi == 0 || !blocked_.load(std::memory_order_relaxed)) {
     return;
   }
-  if (ring_.size() <= opt_.lo_watermark) {
+  const size_t depth = ring_.size();
+  if (depth <= lo_wm_.load(std::memory_order_relaxed)) {
     blocked_.store(false, std::memory_order_release);
+    telemetry::FrRecord(telemetry::FrEvent::kUnblocked, profile_scope(), depth);
   }
 }
 
 void QueueElement::DropOne(Packet* p, bool aqm) {
   if (aqm) {
-    aqm_drops_++;
+    aqm_drops_.fetch_add(1, std::memory_order_relaxed);
+    telemetry::FrRecord(telemetry::FrEvent::kAqmDrop, profile_scope(), codel_count_);
     if (tele_aqm_drops_ != nullptr) {
       tele_aqm_drops_->Inc();
     }
   } else {
-    overflow_drops_++;
+    overflow_drops_.fetch_add(1, std::memory_order_relaxed);
     if (tele_overflow_drops_ != nullptr) {
       tele_overflow_drops_->Inc();
     }
@@ -133,7 +227,7 @@ void QueueElement::PushBatch(int /*port*/, PacketBatch& batch) {
   if (accepted < n) {
     PacketBatch overflow;
     batch.SplitAfter(accepted, &overflow);
-    overflow_drops_ += overflow.size();
+    overflow_drops_.fetch_add(overflow.size(), std::memory_order_relaxed);
     if (tele_overflow_drops_ != nullptr) {
       tele_overflow_drops_->Add(overflow.size());
     }
@@ -145,8 +239,8 @@ void QueueElement::PushBatch(int /*port*/, PacketBatch& batch) {
 }
 
 bool QueueElement::CodelShouldDrop(double sojourn, double now) {
-  const double target = opt_.codel_target_s;
-  const double interval = opt_.codel_interval_s;
+  const double target = codel_target_.load(std::memory_order_relaxed);
+  const double interval = codel_interval_.load(std::memory_order_relaxed);
   if (sojourn < target) {
     // Back under control: leave the dropping state and forget the
     // above-target episode.

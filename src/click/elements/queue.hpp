@@ -62,6 +62,14 @@ class QueueElement : public BatchElement {
   void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
                      const std::string& prefix = "") override;
 
+  // Queue introspection handlers (DESIGN.md §13) on top of the element
+  // defaults: reads `occupancy`/`capacity`/`highwater`/`blocked`/`aqm`,
+  // read-write `hi`/`lo` (watermarks; 0 disables) and
+  // `codel_target_us`/`codel_interval_us` — the live-tuning surface for
+  // an operator chasing a CoDel storm or a watermark misconfiguration
+  // while traffic flows.
+  void AddHandlers(telemetry::HandlerRegistry* handlers) override;
+
   // --- backpressure ---
   bool backpressure_boundary() const override { return true; }
   // Blocked -> 0. Unblocked with watermarks -> packets until hi. No
@@ -77,11 +85,17 @@ class QueueElement : public BatchElement {
 
   size_t size() const { return ring_.size(); }
   size_t capacity() const { return ring_.capacity(); }
-  uint64_t highwater() const { return highwater_; }
+  uint64_t highwater() const { return highwater_.load(std::memory_order_relaxed); }
+  // The configuration the queue was built with; the watermark and CoDel
+  // knobs may have been live-tuned since (see the live accessors below).
   const QueueOptions& options() const { return opt_; }
-  uint64_t overflow_drops() const { return overflow_drops_; }
-  uint64_t aqm_drops() const { return aqm_drops_; }
-  uint64_t blocked_events() const { return blocked_events_; }
+  size_t hi_watermark() const { return hi_wm_.load(std::memory_order_relaxed); }
+  size_t lo_watermark() const { return lo_wm_.load(std::memory_order_relaxed); }
+  double codel_target_s() const { return codel_target_.load(std::memory_order_relaxed); }
+  double codel_interval_s() const { return codel_interval_.load(std::memory_order_relaxed); }
+  uint64_t overflow_drops() const { return overflow_drops_.load(std::memory_order_relaxed); }
+  uint64_t aqm_drops() const { return aqm_drops_.load(std::memory_order_relaxed); }
+  uint64_t blocked_events() const { return blocked_events_.load(std::memory_order_relaxed); }
 
  private:
   void NoteDepth();
@@ -94,6 +108,14 @@ class QueueElement : public BatchElement {
   QueueOptions opt_;
   SpscRing<Packet*> ring_;
   ClockFn clock_;
+  // Live-tunable copies of the watermark/CoDel knobs: written by control
+  // handlers, read (relaxed) by the push/pull hot paths. The AQM *mode*
+  // stays fixed — switching tail-drop to CoDel mid-run would dequeue
+  // packets that were never sojourn-stamped.
+  std::atomic<size_t> hi_wm_{0};
+  std::atomic<size_t> lo_wm_{0};
+  std::atomic<double> codel_target_{0};
+  std::atomic<double> codel_interval_{0};
   // Sticky watermark state: set by the pushing core (release) once
   // occupancy reaches hi, cleared by the pulling core (release) once it
   // drains to lo; pollers read with acquire. Both transitions are
@@ -106,10 +128,12 @@ class QueueElement : public BatchElement {
   double codel_drop_next_ = 0;    // next scheduled drop while in dropping
   uint32_t codel_count_ = 0;      // drops this dropping episode
 
-  uint64_t highwater_ = 0;
-  uint64_t overflow_drops_ = 0;
-  uint64_t aqm_drops_ = 0;
-  uint64_t blocked_events_ = 0;
+  // Relaxed atomics: single-writer on their own side of the queue, read
+  // live by control-socket handlers.
+  std::atomic<uint64_t> highwater_{0};
+  std::atomic<uint64_t> overflow_drops_{0};
+  std::atomic<uint64_t> aqm_drops_{0};
+  std::atomic<uint64_t> blocked_events_{0};
   telemetry::Gauge* tele_occupancy_hw_ = nullptr;
   telemetry::Counter* tele_overflow_drops_ = nullptr;
   telemetry::Counter* tele_aqm_drops_ = nullptr;

@@ -66,6 +66,29 @@ void Router::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathT
   }
 }
 
+void Router::AddHandlers(telemetry::HandlerRegistry* handlers) {
+  RB_CHECK(handlers != nullptr);
+  for (auto& e : elements_) {
+    e->AddHandlers(handlers);
+  }
+  handlers->AddRead("router.elements", [this] {
+    std::string out;
+    for (const auto& e : elements_) {
+      out += Format("%s %s\n", e->name().c_str(), e->class_name());
+    }
+    return out;
+  });
+  handlers->AddRead("router.tasks", [this] {
+    std::string out;
+    for (const auto& t : tasks_) {
+      out += Format("%s home_core=%d progress=%llu\n",
+                    t->element() != nullptr ? t->element()->name().c_str() : "-", t->home_core(),
+                    static_cast<unsigned long long>(t->progress()));
+    }
+    return out;
+  });
+}
+
 void Router::BindTask_(Task* task) {
   if (tele_registry_ == nullptr || task->element() == nullptr) {
     return;

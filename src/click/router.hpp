@@ -50,6 +50,12 @@ class Router {
   telemetry::MetricRegistry* telemetry_registry() const { return tele_registry_; }
   telemetry::PathTracer* tracer() const { return tele_tracer_; }
 
+  // Registers every element's handlers plus router-level reads
+  // (`router.elements`, `router.tasks`) with the control-plane registry
+  // (DESIGN.md §13). Call after the graph is built; the router and its
+  // elements must outlive `handlers`.
+  void AddHandlers(telemetry::HandlerRegistry* handlers);
+
   // Registers a task (called by elements during Initialize).
   void RegisterTask(std::unique_ptr<Task> task);
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "common/log.hpp"
+#include "common/strings.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -117,7 +119,7 @@ size_t ThreadScheduler::WatchdogCheckNow() {
     if (!w.stalled) {
       // Edge: report each stall episode once, not once per scan.
       w.stalled = true;
-      wd_stall_events_++;
+      wd_stall_events_.fetch_add(1, std::memory_order_relaxed);
       if (wd_tele_stalls_ != nullptr) {
         wd_tele_stalls_->Inc();
       }
@@ -125,13 +127,44 @@ size_t ThreadScheduler::WatchdogCheckNow() {
           w.task->element() != nullptr ? w.task->element()->name().c_str() : "<unnamed>";
       std::fprintf(stderr, "[watchdog] task '%s' made no progress for %.3fs (limit %.3fs)\n",
                    name, stall, wd_cfg_.max_stall_s);
+      telemetry::FrRecord(
+          telemetry::FrEvent::kWatchdogStall,
+          w.task->element() != nullptr ? w.task->element()->profile_scope()
+                                       : telemetry::kInvalidScope,
+          static_cast<uint64_t>(stall * 1e3), static_cast<uint64_t>(wd_cfg_.max_stall_s * 1e3));
+      // Black-box dump before any fatal abort: the tail of recent events
+      // (drops, blocked edges, reroutes) is the triage record for *why*
+      // the task stopped making progress.
+      if (telemetry::FlightRecorder* fr = telemetry::FlightRecorder::Installed()) {
+        std::fprintf(stderr, "--- flight recorder (watchdog stall: %s) ---\n", name);
+        fr->DumpTo(stderr, 64);
+        std::fprintf(stderr, "--- end flight recorder ---\n");
+        if (!wd_cfg_.flight_dump_path.empty()) {
+          if (fr->DumpToFile(wd_cfg_.flight_dump_path)) {
+            std::fprintf(stderr, "[watchdog] flight recorder dumped to %s\n",
+                         wd_cfg_.flight_dump_path.c_str());
+          }
+        }
+      }
       RB_CHECK_MSG(!wd_cfg_.fatal, "watchdog: stuck or starved task (fatal mode)");
     }
   }
+  telemetry::FrRecord(telemetry::FrEvent::kWatchdogStamp, telemetry::kInvalidScope,
+                      static_cast<uint64_t>(stalled));
   if (wd_tele_checks_ != nullptr) {
     wd_tele_checks_->Inc();
   }
   return stalled;
+}
+
+void ThreadScheduler::AddHandlers(telemetry::HandlerRegistry* handlers) {
+  RB_CHECK(handlers != nullptr);
+  handlers->AddRead("sched.cores", [this] { return Format("%d", num_cores()); });
+  handlers->AddRead("sched.running",
+                    [this] { return std::string(running_.load(std::memory_order_relaxed) ? "1" : "0"); });
+  handlers->AddRead("sched.watchdog_stalls", [this] {
+    return Format("%llu", static_cast<unsigned long long>(watchdog_stall_events()));
+  });
 }
 
 void ThreadScheduler::WatchdogLoop() {

@@ -37,6 +37,10 @@ struct WatchdogConfig {
   // Injectable clock (seconds); nullptr = telemetry::NowSeconds. Tests
   // drive a fake clock and call WatchdogCheckNow() inline.
   double (*clock)() = nullptr;
+  // Where the flight-recorder dump lands when a stall is detected (in
+  // addition to stderr). Empty = stderr only. Only used when a
+  // FlightRecorder is installed.
+  std::string flight_dump_path;
 };
 
 class ThreadScheduler {
@@ -75,8 +79,15 @@ class ThreadScheduler {
   // stalled. Safe only when the monitor thread is not running.
   size_t WatchdogCheckNow();
 
-  uint64_t watchdog_stall_events() const { return wd_stall_events_; }
+  uint64_t watchdog_stall_events() const {
+    return wd_stall_events_.load(std::memory_order_relaxed);
+  }
   bool watchdog_enabled() const { return wd_enabled_; }
+
+  // Scheduler introspection handlers (DESIGN.md §13): reads `sched.cores`,
+  // `sched.running`, `sched.watchdog_stalls`. The scheduler must outlive
+  // `handlers`.
+  void AddHandlers(telemetry::HandlerRegistry* handlers);
 
   int num_cores() const { return static_cast<int>(per_core_.size()); }
   const std::vector<Task*>& core_tasks(int core) const {
@@ -108,7 +119,9 @@ class ThreadScheduler {
   WatchdogConfig wd_cfg_;
   std::vector<WatchedTask> wd_tasks_;
   std::thread wd_thread_;
-  uint64_t wd_stall_events_ = 0;
+  // Relaxed atomic: written by the monitor thread, read live by
+  // control-socket handlers.
+  std::atomic<uint64_t> wd_stall_events_{0};
   telemetry::Counter* wd_tele_checks_ = nullptr;
   telemetry::Counter* wd_tele_stalls_ = nullptr;
   telemetry::Gauge* wd_tele_max_stall_ = nullptr;

@@ -36,17 +36,31 @@ void AdmissionDrr::UpdateRate(uint32_t bytes, SimTime now) {
   }
 }
 
+void AdmissionDrr::Engage(SimTime now) {
+  engaged_ = true;
+  engage_events_++;
+  // Fresh episode: every live port starts with one burst of credit
+  // and refill accrues from now, not from the idle stretch before.
+  const double cap = static_cast<double>(cfg_.quantum_bytes) * cfg_.burst_quanta;
+  std::fill(deficit_.begin(), deficit_.end(), cap);
+  last_refill_ = now;
+}
+
 void AdmissionDrr::UpdateEngagement(size_t depth, SimTime now) {
+  if (force_ == AdmissionForce::kOn) {
+    if (!engaged_) {
+      Engage(now);
+    }
+    return;
+  }
+  if (force_ == AdmissionForce::kOff) {
+    engaged_ = false;
+    return;
+  }
   const bool rate_over = rate_bps_ > cfg_.capacity_bps * cfg_.engage_margin;
   if (!engaged_) {
     if (rate_over || depth >= cfg_.engage_depth) {
-      engaged_ = true;
-      engage_events_++;
-      // Fresh episode: every live port starts with one burst of credit
-      // and refill accrues from now, not from the idle stretch before.
-      const double cap = static_cast<double>(cfg_.quantum_bytes) * cfg_.burst_quanta;
-      std::fill(deficit_.begin(), deficit_.end(), cap);
-      last_refill_ = now;
+      Engage(now);
     }
     return;
   }

@@ -44,6 +44,12 @@ struct AdmissionConfig {
   double release_margin = 0.9;  // release when offered < capacity * this
 };
 
+// Operator override for the hysteretic engagement logic (control-socket
+// write handler): kAuto follows the rate/depth signals, kOn pins the
+// allocator engaged, kOff pins it released (dead-destination drops still
+// apply — they are a correctness rule, not an overload response).
+enum class AdmissionForce : uint8_t { kAuto, kOn, kOff };
+
 class AdmissionDrr {
  public:
   AdmissionDrr(const AdmissionConfig& config, uint16_t num_ports);
@@ -59,6 +65,8 @@ class AdmissionDrr {
   bool Admit(uint16_t dst, uint32_t bytes, SimTime now, size_t monitored_depth);
 
   bool engaged() const { return engaged_; }
+  AdmissionForce force() const { return force_; }
+  void set_force(AdmissionForce f) { force_ = f; }
   double offered_bps() const { return rate_bps_; }
   uint16_t num_ports() const { return static_cast<uint16_t>(deficit_.size()); }
 
@@ -74,6 +82,7 @@ class AdmissionDrr {
   bool PortAlive(uint16_t port) const;
   void UpdateRate(uint32_t bytes, SimTime now);
   void UpdateEngagement(size_t depth, SimTime now);
+  void Engage(SimTime now);  // fresh episode: reset deficits, stamp refill
   void Refill(SimTime now);
 
   AdmissionConfig cfg_;
@@ -81,6 +90,7 @@ class AdmissionDrr {
   std::vector<double> deficit_;  // bytes of credit per output port
 
   bool engaged_ = false;
+  AdmissionForce force_ = AdmissionForce::kAuto;
   SimTime last_refill_ = 0;
 
   // Windowed offered-rate estimator: accumulate bytes for rate_tau_s,

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/profiler.hpp"
 
 namespace rb {
@@ -395,6 +396,8 @@ void ClusterSim::DropAdmission(uint32_t slot, SimTime now) {
   if (pkt.trace != 0) {
     tele_tracer_->Abandon(pkt.trace, Format("drop-admission@%u", pkt.cur), now);
   }
+  static const telemetry::ScopeId kAdmScope = telemetry::InternScopeName("admission");
+  telemetry::FrRecord(telemetry::FrEvent::kAdmissionDrop, kAdmScope, pkt.dst, pkt.bytes);
   stats_.drops.admission++;
   if (TimelineBucket* b = BucketFor(now)) {
     b->dropped++;
@@ -890,6 +893,93 @@ std::string AuditConservation(const ClusterRunStats& stats) {
     }
   }
   return "";
+}
+
+void ClusterSim::AddHandlers(telemetry::HandlerRegistry* handlers) {
+  RB_CHECK(handlers != nullptr);
+  handlers->AddRead("cluster.nodes",
+                    [this] { return Format("%u", static_cast<unsigned>(config_.num_nodes)); });
+  handlers->AddRead("cluster.offered", [this] {
+    return Format("%llu", static_cast<unsigned long long>(current_offered()));
+  });
+  handlers->AddRead("cluster.delivered", [this] {
+    return Format("%llu", static_cast<unsigned long long>(current_delivered()));
+  });
+  handlers->AddRead("cluster.in_flight", [this] {
+    return Format("%zu", in_flight());
+  });
+  handlers->AddRead("cluster.drops", [this] {
+    const ClusterDrops& d = stats_.drops;
+    return Format(
+        "ext_rx_nic=%llu cpu=%llu tx_nic=%llu link=%llu rx_nic=%llu ext_out=%llu "
+        "failed_node=%llu failed_link=%llu admission=%llu total=%llu",
+        static_cast<unsigned long long>(d.ext_rx_nic), static_cast<unsigned long long>(d.cpu),
+        static_cast<unsigned long long>(d.tx_nic), static_cast<unsigned long long>(d.link),
+        static_cast<unsigned long long>(d.rx_nic), static_cast<unsigned long long>(d.ext_out),
+        static_cast<unsigned long long>(d.failed_node),
+        static_cast<unsigned long long>(d.failed_link),
+        static_cast<unsigned long long>(d.admission),
+        static_cast<unsigned long long>(d.total()));
+  });
+  handlers->AddRead("cluster.node_loads", [this] {
+    // One line per node: CPU queue depth and delivered count — the live
+    // imbalance view rb_top renders.
+    std::string out;
+    for (uint16_t i = 0; i < config_.num_nodes; ++i) {
+      out += Format("node=%u cpu_queue=%zu served=%llu delivered=%llu alive=%d\n", i,
+                    servers_[CpuId(i)].queue.size(),
+                    static_cast<unsigned long long>(servers_[CpuId(i)].served),
+                    static_cast<unsigned long long>(delivered_by_dst_[i]),
+                    node_alive_[i] != 0 ? 1 : 0);
+    }
+    return out;
+  });
+  handlers->AddRead("cluster.health", [this] {
+    std::string out;
+    for (uint16_t i = 0; i < config_.num_nodes; ++i) {
+      out += Format("node=%u believed_alive=%d\n", i, health_.NodeAlive(i) ? 1 : 0);
+    }
+    return out;
+  });
+  if (!admission_.empty()) {
+    handlers->AddRead("admission.engaged", [this] {
+      std::string out;
+      for (uint16_t i = 0; i < config_.num_nodes; ++i) {
+        const AdmissionDrr& a = *admission_[i];
+        out += Format("node=%u engaged=%d offered_bps=%.3e dropped=%llu\n", i,
+                      a.engaged() ? 1 : 0, a.offered_bps(),
+                      static_cast<unsigned long long>(a.dropped_packets()));
+      }
+      return out;
+    });
+    handlers->AddRead("admission.force", [this] {
+      switch (admission_[0]->force()) {
+        case AdmissionForce::kOn:
+          return std::string("on");
+        case AdmissionForce::kOff:
+          return std::string("off");
+        case AdmissionForce::kAuto:
+          break;
+      }
+      return std::string("auto");
+    });
+    handlers->AddWrite("admission.force", [this](const std::string& value) {
+      AdmissionForce f;
+      if (value == "auto") {
+        f = AdmissionForce::kAuto;
+      } else if (value == "on") {
+        f = AdmissionForce::kOn;
+      } else if (value == "off") {
+        f = AdmissionForce::kOff;
+      } else {
+        return telemetry::HandlerResult::Error("expected auto|on|off");
+      }
+      for (auto& a : admission_) {
+        a->set_force(f);
+      }
+      return telemetry::HandlerResult::Ok();
+    });
+  }
 }
 
 NodeStats ClusterSim::node_stats(uint16_t i) const {

@@ -262,6 +262,16 @@ class ClusterSim {
   // BindTelemetry was given a probe interval).
   const std::vector<telemetry::TimeSeries>& probe_series() const { return probe_series_; }
 
+  // Cluster introspection handlers (DESIGN.md §13): reads
+  // `cluster.nodes`/`cluster.offered`/`cluster.delivered`/
+  // `cluster.in_flight`/`cluster.drops`/`cluster.node_loads`/
+  // `cluster.health`, plus `admission.engaged` (per ingress) and
+  // read-write `admission.force` (auto/on/off, applied to every ingress)
+  // when fair admission is enabled. The DES is single-threaded, so these
+  // handlers are for in-process use between events (the driver's
+  // inter-window control point), not for a concurrent control thread.
+  void AddHandlers(telemetry::HandlerRegistry* handlers);
+
  private:
   enum class Stage : uint8_t {
     kExtRx,

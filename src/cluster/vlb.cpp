@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace rb {
 
@@ -198,6 +200,10 @@ VlbDecision DirectVlbRouter::Route(uint16_t dst, uint64_t flow_id, uint32_t byte
     // Direct was the preferred path but its link is believed down:
     // failure-driven fallback to via-routing.
     failover_reroutes_++;
+    // Interned once: failovers repeat per-packet for the whole outage.
+    static const telemetry::ScopeId kVlbScope = telemetry::InternScopeName("vlb");
+    telemetry::FrRecord(telemetry::FrEvent::kFailover, kVlbScope,
+                        (static_cast<uint64_t>(self_) << 16) | dst, d.via);
   }
   Charge(&via_rate_[d.via], bytes, now);
   if (config_.flowlets) {

@@ -46,9 +46,21 @@ void Logf(LogLevel level, const char* fmt, ...) {
   fprintf(stderr, "[%s] %s\n", LevelName(level), buf);
 }
 
+namespace {
+std::atomic<void (*)()> g_check_hook{nullptr};
+}  // namespace
+
+void SetCheckFailureHook(void (*hook)()) { g_check_hook.store(hook, std::memory_order_release); }
+
 void CheckFailed(const char* file, int line, const char* expr, const char* msg) {
   fprintf(stderr, "RB_CHECK failed at %s:%d: %s %s\n", file, line, expr, msg);
   fflush(stderr);
+  // Last-words hook (the flight recorder's crash dump) runs after the
+  // failure report so the dump can't obscure what failed. A hook that
+  // itself fails a check would recurse; disarm first.
+  if (void (*hook)() = g_check_hook.exchange(nullptr, std::memory_order_acq_rel)) {
+    hook();
+  }
   abort();
 }
 

@@ -38,6 +38,12 @@ void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2,
 // never for data-plane conditions.
 [[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const char* msg);
 
+// Optional last-words hook invoked (once) by CheckFailed between the
+// failure report and abort(). Installed by the flight recorder so a fatal
+// check ships a black-box dump; nullptr disarms. Must not fail a check
+// itself (it is disarmed before invocation, so recursion aborts plainly).
+void SetCheckFailureHook(void (*hook)());
+
 #define RB_CHECK(expr)                                            \
   do {                                                            \
     if (!(expr)) {                                                \

@@ -1,0 +1,67 @@
+#include "harness/control.hpp"
+
+#include <cstdio>
+
+#include "common/strings.hpp"
+#include "telemetry/flight_recorder.hpp"
+
+namespace rb {
+
+std::string* AddControlSocketFlag(FlagSet* flags) {
+  return flags->AddString("control-socket", "",
+                          "serve live handlers/metrics on this TCP port (digits; 0 = "
+                          "ephemeral) or Unix socket path; empty = disabled");
+}
+
+ControlPlane::ControlPlane(const telemetry::MetricRegistry* registry,
+                           telemetry::PathTracer* tracer)
+    : server_(&handlers_, registry, tracer) {
+  handlers_.AddRead("ctl.status", [this] {
+    return Format("running addr=%s handlers=%zu", server_.address().c_str(), handlers_.size());
+  });
+  handlers_.AddWrite("ctl.stop", [this](const std::string&) {
+    stop_.store(true, std::memory_order_relaxed);
+    return telemetry::HandlerResult::Ok();
+  });
+  if (telemetry::FlightRecorder* fr = telemetry::FlightRecorder::Installed()) {
+    handlers_.AddRead("fr.recorded", [fr] {
+      return Format("%llu", static_cast<unsigned long long>(fr->recorded()));
+    });
+    handlers_.AddRead("fr.dump", [fr] { return fr->Dump(); });
+    handlers_.AddWrite("fr.dump", [fr](const std::string& path) {
+      if (path.empty()) {
+        return telemetry::HandlerResult::Error("expected a file path");
+      }
+      if (!fr->DumpToFile(path)) {
+        return telemetry::HandlerResult::Error("cannot write " + path);
+      }
+      return telemetry::HandlerResult::Ok();
+    });
+  }
+  if (tracer != nullptr) {
+    tracer->AddHandlers(&handlers_);
+  }
+}
+
+bool ControlPlane::MaybeStart(const std::string& address) {
+  if (address.empty()) {
+    return true;
+  }
+  std::string error;
+  if (!server_.Start(address, &error)) {
+    std::fprintf(stderr, "control socket: %s\n", error.c_str());
+    return false;
+  }
+  if (server_.port() != 0) {
+    std::fprintf(stderr, "control socket on 127.0.0.1:%d\n", server_.port());
+  } else {
+    std::fprintf(stderr, "control socket on %s\n", server_.address().c_str());
+  }
+  return true;
+}
+
+void ControlPlane::Stop() { server_.Stop(); }
+
+ControlPlane::~ControlPlane() { Stop(); }
+
+}  // namespace rb

@@ -1,0 +1,78 @@
+// Shared --control-socket plumbing for bench and example binaries
+// (DESIGN.md §13): one ControlPlane per process bundles the handler
+// registry, the control-socket server, and the built-in process handlers
+// (`ctl.status`, `ctl.stop`, `fr.dump`, `fr.recorded`), so a binary adds
+// live introspection with three lines:
+//
+//   rb::FlagSet flags("ip_router");
+//   std::string* addr = rb::AddControlSocketFlag(&flags);
+//   ...
+//   rb::ControlPlane ctl(&registry, &tracer);
+//   router.graph().AddHandlers(ctl.handlers());
+//   if (!ctl.MaybeStart(*addr)) return 1;
+//   while (!ctl.stop_requested() && ...) { workload }
+//
+// The address is either an all-digits TCP port on 127.0.0.1 (0 =
+// ephemeral, printed at start) or a Unix-socket path. Scripts talk the
+// line protocol (READ/WRITE/LIST) or scrape GET /metrics — see
+// tools/rb_top.cpp and tools/control_socket_smoke.py.
+#ifndef RB_HARNESS_CONTROL_HPP_
+#define RB_HARNESS_CONTROL_HPP_
+
+#include <atomic>
+#include <string>
+
+#include "common/flags.hpp"
+#include "telemetry/control_socket.hpp"
+#include "telemetry/handler.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+namespace rb {
+
+// Registers "--control-socket" on `flags`; the returned string is owned
+// by the FlagSet and holds the address after Parse ("" = disabled).
+std::string* AddControlSocketFlag(FlagSet* flags);
+
+class ControlPlane {
+ public:
+  // `registry` backs GET /metrics[.json]; `tracer` (optional) adds the
+  // tracer handlers and its traces to /metrics.json. Both must outlive
+  // the plane. Built-in handlers registered here:
+  //   ctl.status (r): "running addr=<addr> handlers=<n>"
+  //   ctl.stop   (w): any value; flips stop_requested() — the workload
+  //                   loop's cooperative shutdown signal
+  //   fr.recorded(r): events ever recorded (when a FlightRecorder is
+  //                   installed at construction time)
+  //   fr.dump   (r/w): read returns the current tail; write "<path>"
+  //                   dumps it to a file
+  ControlPlane(const telemetry::MetricRegistry* registry,
+               telemetry::PathTracer* tracer = nullptr);
+
+  // Starts the server when `address` is non-empty; prints the resolved
+  // endpoint ("control socket on 127.0.0.1:<port>" / "<path>"). Returns
+  // false (with a message on stderr) only on bind/listen failure.
+  bool MaybeStart(const std::string& address);
+  void Stop();
+
+  telemetry::HandlerRegistry* handlers() { return &handlers_; }
+  telemetry::ControlSocketServer* server() { return &server_; }
+  bool running() const { return server_.running(); }
+  // TCP port when started on a numeric address (useful with port 0).
+  int port() const { return server_.port(); }
+
+  // Set by the ctl.stop write handler (relaxed: polled by the workload
+  // loop at its own pace).
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+  ~ControlPlane();
+
+ private:
+  telemetry::HandlerRegistry handlers_;
+  telemetry::ControlSocketServer server_;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace rb
+
+#endif  // RB_HARNESS_CONTROL_HPP_

@@ -3,6 +3,8 @@
 #include "common/log.hpp"
 #include "common/strings.hpp"
 #include "packet/pool.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace rb {
 
@@ -84,6 +86,10 @@ void NicPort::CommitStaged(uint16_t q) {
       }
     } else {
       rx_.AddDrop();
+      // NIC had no free rx descriptors — the event the paper's loss-free
+      // envelope is defined against; a = rx queue index.
+      static const telemetry::ScopeId kNicScope = telemetry::InternScopeName("nic/rx");
+      telemetry::FrRecord(telemetry::FrEvent::kRxOverflow, kNicScope, q, 1);
       if (tele_ != nullptr) {
         tele_->rx_drops->Inc();
       }

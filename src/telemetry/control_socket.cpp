@@ -1,0 +1,387 @@
+#include "telemetry/control_socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+
+namespace rb {
+namespace telemetry {
+
+namespace {
+
+bool IsNumericAddress(const std::string& address) {
+  if (address.empty()) {
+    return false;
+  }
+  for (char c : address) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) {
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  }
+}
+
+std::string Framed(const std::string& payload) {
+  return Format("200 DATA %zu\n", payload.size()) + payload + "\n";
+}
+
+// Splits "VERB rest" on the first run of whitespace.
+void SplitVerb(const std::string& line, std::string* verb, std::string* rest) {
+  size_t i = 0;
+  while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) {
+    i++;
+  }
+  *verb = line.substr(0, i);
+  while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+    i++;
+  }
+  *rest = line.substr(i);
+  for (char& c : *verb) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+}
+
+}  // namespace
+
+ControlSocketServer::ControlSocketServer(HandlerRegistry* handlers, const MetricRegistry* registry,
+                                         const PathTracer* tracer)
+    : handlers_(handlers), registry_(registry), tracer_(tracer) {}
+
+ControlSocketServer::~ControlSocketServer() { Stop(); }
+
+bool ControlSocketServer::Start(const std::string& address, std::string* error) {
+  RB_CHECK_MSG(!running_.load(), "control socket already running");
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why + ": " + std::strerror(errno);
+    }
+    if (listen_fd_ >= 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  if (IsNumericAddress(address)) {
+    listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return fail("socket");
+    }
+    int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(std::stoul(address)));
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return fail("bind 127.0.0.1:" + address);
+    }
+    socklen_t len = sizeof(addr);
+    getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    address_ = "127.0.0.1:" + Format("%d", port_);
+  } else {
+    listen_fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return fail("socket");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (address.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) {
+        *error = "unix socket path too long: " + address;
+      }
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    std::strncpy(addr.sun_path, address.c_str(), sizeof(addr.sun_path) - 1);
+    unlink(address.c_str());  // stale socket from a previous run
+    if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return fail("bind " + address);
+    }
+    unix_path_ = address;
+    address_ = address;
+  }
+  if (listen(listen_fd_, 8) != 0) {
+    return fail("listen");
+  }
+  SetNonBlocking(listen_fd_);
+  if (pipe(wake_fds_) != 0) {
+    return fail("pipe");
+  }
+  SetNonBlocking(wake_fds_[0]);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return true;
+}
+
+void ControlSocketServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) {
+      thread_.join();
+    }
+    return;
+  }
+  // Wake the poll loop so it observes running_ == false promptly.
+  if (wake_fds_[1] >= 0) {
+    char b = 1;
+    ssize_t ignored = write(wake_fds_[1], &b, 1);
+    (void)ignored;
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_fds_[i] >= 0) {
+      close(wake_fds_[i]);
+      wake_fds_[i] = -1;
+    }
+  }
+  if (!unix_path_.empty()) {
+    unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+std::string ControlSocketServer::HttpResponse(const std::string& target) const {
+  std::string body;
+  std::string content_type;
+  if (target == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = registry_ != nullptr ? PrometheusText(registry_->Snapshot()) : "";
+  } else if (target == "/metrics.json") {
+    content_type = "application/json";
+    ExportBundle bundle;
+    bundle.registry = registry_;
+    bundle.tracer = tracer_;
+    body = ToJson(bundle);
+    body += "\n";
+  } else {
+    body = "not found: " + target + "\n";
+    return "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: " +
+           Format("%zu", body.size()) + "\r\nConnection: close\r\n\r\n" + body;
+  }
+  return "HTTP/1.0 200 OK\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + Format("%zu", body.size()) + "\r\nConnection: close\r\n\r\n" +
+         body;
+}
+
+std::string ControlSocketServer::HandleLine(const std::string& line, bool* close_after) {
+  *close_after = false;
+  commands_.fetch_add(1, std::memory_order_relaxed);
+  std::string verb;
+  std::string rest;
+  SplitVerb(line, &verb, &rest);
+  if (verb.empty()) {
+    return "";  // blank line (e.g. trailing HTTP header terminator) — ignore
+  }
+  if (verb == "GET") {
+    // HTTP compatibility: answer the request target and close; any header
+    // lines the client is still sending die with the connection.
+    std::string target = rest.substr(0, rest.find(' '));
+    *close_after = true;
+    return HttpResponse(target);
+  }
+  if (verb == "QUIT") {
+    *close_after = true;
+    return "200 bye\n";
+  }
+  if (verb == "LIST") {
+    if (handlers_ == nullptr) {
+      return "510 no handlers registered\n";
+    }
+    std::string payload;
+    for (const HandlerRegistry::Entry& e : handlers_->List(rest)) {
+      payload += (e.readable && e.writable ? "rw " : (e.writable ? "w  " : "r  ")) + e.path + "\n";
+    }
+    return Framed(payload);
+  }
+  if (verb == "READ") {
+    if (handlers_ == nullptr) {
+      return "510 no handlers registered\n";
+    }
+    if (rest.empty()) {
+      return "500 malformed command: READ <path>\n";
+    }
+    HandlerResult r = handlers_->Read(rest);
+    if (!r.ok) {
+      return "510 " + r.text + "\n";
+    }
+    return Framed(r.text);
+  }
+  if (verb == "WRITE") {
+    if (handlers_ == nullptr) {
+      return "510 no handlers registered\n";
+    }
+    // Split "path value..." by hand (case-preserving): the value is the
+    // rest of the line, so written text may itself contain spaces.
+    size_t sp = rest.find_first_of(" \t");
+    std::string path = rest.substr(0, sp);
+    std::string value;
+    if (sp != std::string::npos) {
+      size_t vstart = rest.find_first_not_of(" \t", sp);
+      value = vstart == std::string::npos ? "" : rest.substr(vstart);
+    }
+    if (path.empty()) {
+      return "500 malformed command: WRITE <path> <value>\n";
+    }
+    HandlerResult r = handlers_->Write(path, value);
+    if (!r.ok) {
+      if (r.text.rfind("no such handler", 0) == 0 || r.text.rfind("handler is", 0) == 0) {
+        return "510 " + r.text + "\n";
+      }
+      return "540 write rejected: " + r.text + "\n";
+    }
+    return "200 OK\n";
+  }
+  return "500 unknown command: " + verb + "\n";
+}
+
+void ControlSocketServer::HandleReadable(Client* client) {
+  char buf[4096];
+  for (;;) {
+    ssize_t n = recv(client->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      client->in.append(buf, static_cast<size_t>(n));
+      if (client->in.size() > (1u << 20)) {
+        client->close_after_flush = true;  // runaway client
+        return;
+      }
+      continue;
+    }
+    if (n == 0) {
+      client->close_after_flush = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
+    }
+    client->close_after_flush = true;
+    break;
+  }
+  size_t nl;
+  while (!client->close_after_flush && (nl = client->in.find('\n')) != std::string::npos) {
+    std::string line = client->in.substr(0, nl);
+    client->in.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    bool close_after = false;
+    client->out += HandleLine(line, &close_after);
+    if (close_after) {
+      client->close_after_flush = true;
+    }
+  }
+}
+
+bool ControlSocketServer::FlushWrites(Client* client) {
+  while (!client->out.empty()) {
+    ssize_t n = send(client->fd, client->out.data(), client->out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      client->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return true;  // poll will tell us when writable again
+    }
+    return false;
+  }
+  return !client->close_after_flush;
+}
+
+void ControlSocketServer::ServeLoop() {
+  std::vector<Client> clients;
+  while (running_.load(std::memory_order_acquire)) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const Client& c : clients) {
+      short events = POLLIN;
+      if (!c.out.empty()) {
+        events |= POLLOUT;
+      }
+      fds.push_back({c.fd, events, 0});
+    }
+    int rc = poll(fds.data(), fds.size(), 200);
+    if (rc < 0 && errno != EINTR) {
+      break;
+    }
+    if (!running_.load(std::memory_order_acquire)) {
+      break;
+    }
+    if (rc <= 0) {
+      continue;
+    }
+    if (fds[1].revents & POLLIN) {
+      char drain[64];
+      while (read(wake_fds_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        int fd = accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) {
+          break;
+        }
+        SetNonBlocking(fd);
+        Client c;
+        c.fd = fd;
+        clients.push_back(std::move(c));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    // Only walk the clients that were present when fds was built —
+    // just-accepted ones have no pollfd yet and get service next loop.
+    const size_t polled = fds.size() - 2;
+    for (size_t i = 0; i < polled && i < clients.size();) {
+      Client& c = clients[i];
+      // Find this client's pollfd (offset by listener + wake pipe).
+      const pollfd& pf = fds[2 + i];
+      bool alive = true;
+      if (pf.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // Drain what we can, then drop below.
+        c.close_after_flush = true;
+      }
+      if (pf.revents & POLLIN) {
+        HandleReadable(&c);
+      }
+      alive = FlushWrites(&c) && !(c.out.empty() && c.close_after_flush);
+      if (!alive) {
+        close(c.fd);
+        clients.erase(clients.begin() + static_cast<long>(i));
+        // fds no longer lines up past this point; re-poll rather than
+        // risk pairing the wrong revents with a shifted client.
+        break;
+      }
+      ++i;
+    }
+  }
+  for (Client& c : clients) {
+    close(c.fd);
+  }
+}
+
+}  // namespace telemetry
+}  // namespace rb

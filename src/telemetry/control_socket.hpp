@@ -1,0 +1,108 @@
+// Live control socket (DESIGN.md §13): a small line-protocol server that
+// exposes the handler registry and the metric registry of a running
+// router without ever touching the hot path's locks.
+//
+// Wire protocol — one command per line ("\n" or "\r\n" terminated):
+//
+//   LIST [prefix]          enumerate handlers ("r|w|rw <path>" per line)
+//   READ <path>            read a handler
+//   WRITE <path> <value>   write a handler (value = rest of line)
+//   QUIT                   close this connection
+//   GET /metrics           Prometheus text exposition (HTTP response)
+//   GET /metrics.json      full telemetry JSON (HTTP response)
+//
+// Responses for LIST/READ carry framed payloads:
+//   200 DATA <n>\n<exactly n bytes>\n
+// WRITE acknowledges with "200 OK"; errors are one line:
+//   500 malformed command | 510 no such handler / not readable /
+//   not writable | 540 write rejected: <reason>
+// GET requests are answered as a complete HTTP/1.0 response and the
+// connection closes afterwards, so `curl` and a Prometheus scraper work
+// against the same port as the scripted line protocol.
+//
+// The address argument is either a TCP port on 127.0.0.1 ("0" binds an
+// ephemeral port, reported by port()) or a filesystem path for a Unix
+// domain socket (anything non-numeric).
+//
+// Threading: Start() spawns one serving thread multiplexing the listener
+// and all client connections with poll(2). Handler reads/writes and
+// registry snapshots run on that thread; per-core sharded metrics merge
+// on read with relaxed atomics, so workers never block on a scrape.
+#ifndef RB_TELEMETRY_CONTROL_SOCKET_HPP_
+#define RB_TELEMETRY_CONTROL_SOCKET_HPP_
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/export.hpp"
+#include "telemetry/handler.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rb {
+namespace telemetry {
+
+class ControlSocketServer {
+ public:
+  // `handlers` may be null (metrics endpoints only). `registry`/`tracer`
+  // back GET /metrics and /metrics.json; registry may be null too.
+  ControlSocketServer(HandlerRegistry* handlers, const MetricRegistry* registry,
+                      const PathTracer* tracer = nullptr);
+  ~ControlSocketServer();
+
+  ControlSocketServer(const ControlSocketServer&) = delete;
+  ControlSocketServer& operator=(const ControlSocketServer&) = delete;
+
+  // Binds `address` (TCP port number or Unix socket path) and spawns the
+  // serving thread. Returns false and fills *error on bind failure.
+  bool Start(const std::string& address, std::string* error = nullptr);
+
+  // Stops the serving thread and closes all connections. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Bound TCP port (ephemeral resolved); 0 for Unix sockets.
+  int port() const { return port_; }
+  const std::string& address() const { return address_; }
+
+  uint64_t connections_accepted() const { return accepted_.load(std::memory_order_relaxed); }
+  uint64_t commands_served() const { return commands_.load(std::memory_order_relaxed); }
+
+  // Protocol core, exposed for tests and in-process scripting: executes
+  // one command line, returns the full wire response (without doing any
+  // socket I/O). *close_after is set for QUIT and HTTP GETs.
+  std::string HandleLine(const std::string& line, bool* close_after);
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string in;   // bytes received, not yet parsed into lines
+    std::string out;  // bytes queued to send
+    bool close_after_flush = false;
+  };
+
+  void ServeLoop();
+  void HandleReadable(Client* client);
+  bool FlushWrites(Client* client);  // false = connection is dead
+  std::string HttpResponse(const std::string& target) const;
+
+  HandlerRegistry* handlers_;
+  const MetricRegistry* registry_;
+  const PathTracer* tracer_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe to interrupt poll() on Stop
+  int port_ = 0;
+  std::string address_;
+  std::string unix_path_;  // unlinked on Stop when non-empty
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> commands_{0};
+};
+
+}  // namespace telemetry
+}  // namespace rb
+
+#endif  // RB_TELEMETRY_CONTROL_SOCKET_HPP_

@@ -39,6 +39,19 @@ void WriteHistogram(JsonWriter* w, const HistogramSnapshot& h) {
     w->Uint(c);
   }
   w->EndArray();
+  // Cumulative counts with Prometheus `_bucket` semantics: cum[i] is the
+  // number of observations <= the bucket's upper edge, so underflow
+  // (observations below `lo`) is folded into every bucket and the +Inf
+  // bucket equals `count` (cum.back() + overflow) — consumers can emit
+  // exposition-format histograms without re-deriving the prefix sum.
+  w->Key("cum_counts");
+  w->BeginArray();
+  uint64_t cum = h.underflow;
+  for (uint64_t c : h.counts) {
+    cum += c;
+    w->Uint(cum);
+  }
+  w->EndArray();
   w->EndObject();
 }
 
@@ -188,6 +201,88 @@ std::string RegistryCsv(const RegistrySnapshot& snap) {
   for (const auto& [name, h] : snap.histograms) {
     snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(h.count));
     out += "histogram_count," + name + "," + buf + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+// Prometheus label-value escaping: backslash, double quote, newline.
+std::string PromLabelEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void PromNumber(std::string* out, double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusText(const RegistrySnapshot& snap) {
+  std::string out;
+  char buf[64];
+  out += "# HELP rb_counter RouteBricks monotonic counters, keyed by registry name.\n";
+  out += "# TYPE rb_counter counter\n";
+  for (const auto& [name, v] : snap.counters) {
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+    out += "rb_counter{name=\"" + PromLabelEscape(name) + "\"} ";
+    out += buf;
+    out += "\n";
+  }
+  out += "# HELP rb_gauge RouteBricks gauges, keyed by registry name.\n";
+  out += "# TYPE rb_gauge gauge\n";
+  for (const auto& [name, v] : snap.gauges) {
+    out += "rb_gauge{name=\"" + PromLabelEscape(name) + "\"} ";
+    PromNumber(&out, v);
+    out += "\n";
+  }
+  out += "# HELP rb_histogram RouteBricks histograms, keyed by registry name.\n";
+  out += "# TYPE rb_histogram histogram\n";
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string label = PromLabelEscape(name);
+    const double width = h.counts.empty() ? 0 : (h.hi - h.lo) / static_cast<double>(h.counts.size());
+    // Cumulative buckets: observations <= le. Underflow (below `lo`) is
+    // <= every finite edge; overflow appears only at +Inf, which must
+    // equal the total observation count.
+    uint64_t cum = h.underflow;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cum += h.counts[i];
+      out += "rb_histogram_bucket{name=\"" + label + "\",le=\"";
+      PromNumber(&out, h.lo + width * static_cast<double>(i + 1));
+      out += "\"} ";
+      snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(cum));
+      out += buf;
+      out += "\n";
+    }
+    snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(h.count));
+    out += "rb_histogram_bucket{name=\"" + label + "\",le=\"+Inf\"} ";
+    out += buf;
+    out += "\n";
+    out += "rb_histogram_sum{name=\"" + label + "\"} ";
+    PromNumber(&out, h.sum);
+    out += "\n";
+    out += "rb_histogram_count{name=\"" + label + "\"} ";
+    out += buf;
+    out += "\n";
   }
   return out;
 }

@@ -48,6 +48,17 @@ bool WriteJson(const std::string& path, const ExportBundle& bundle);
 std::string RegistryCsv(const RegistrySnapshot& snap);
 bool WriteCsv(const std::string& path, const RegistrySnapshot& snap);
 
+// Prometheus text exposition (format 0.0.4) of a registry snapshot,
+// served by the control socket's `GET /metrics`. Registry names keep
+// their hierarchical form as a `name` label on three metric families —
+// `rb_counter`, `rb_gauge`, and `rb_histogram` — so scrape configs need
+// no per-metric mapping:
+//   rb_counter{name="elem/Queue@4/drops"} 12
+//   rb_histogram_bucket{name="des/latency_s",le="+Inf"} 1000
+// Histogram buckets are cumulative (observations <= le, underflow
+// included; le="+Inf" equals the observation count).
+std::string PrometheusText(const RegistrySnapshot& snap);
+
 }  // namespace telemetry
 }  // namespace rb
 

@@ -1,0 +1,170 @@
+#include "telemetry/flight_recorder.hpp"
+
+#include <bit>
+#include <algorithm>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "telemetry/profiler.hpp"
+#include "telemetry/trace.hpp"
+
+namespace rb {
+namespace telemetry {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+// Guarded by the process-global nature of Install (setup-time only).
+std::string g_crash_dump_path;  // NOLINT(runtime/string)
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+void CrashDumpHook() {
+  FlightRecorder* fr = g_recorder.load(std::memory_order_acquire);
+  if (fr == nullptr) {
+    return;
+  }
+  fr->Record(FrEvent::kCheckFail, kInvalidScope);
+  std::fprintf(stderr, "--- flight recorder (fatal check) ---\n");
+  fr->DumpTo(stderr, 64);
+  std::fprintf(stderr, "--- end flight recorder ---\n");
+  if (!g_crash_dump_path.empty()) {
+    fr->DumpToFile(g_crash_dump_path);
+  }
+}
+
+}  // namespace
+
+const char* FrEventName(FrEvent e) {
+  switch (e) {
+    case FrEvent::kDrop:
+      return "drop";
+    case FrEvent::kAqmDrop:
+      return "aqm_drop";
+    case FrEvent::kBlocked:
+      return "blocked";
+    case FrEvent::kUnblocked:
+      return "unblocked";
+    case FrEvent::kThrottled:
+      return "throttled";
+    case FrEvent::kFailover:
+      return "failover_reroute";
+    case FrEvent::kAdmissionDrop:
+      return "admission_drop";
+    case FrEvent::kWatchdogStamp:
+      return "watchdog_stamp";
+    case FrEvent::kWatchdogStall:
+      return "watchdog_stall";
+    case FrEvent::kCheckFail:
+      return "check_fail";
+    case FrEvent::kRxOverflow:
+      return "rx_overflow";
+    case FrEvent::kUser:
+      return "user";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(size_t events_per_core) {
+  RB_CHECK(events_per_core >= 2);
+  const size_t n = RoundUpPow2(events_per_core);
+  mask_ = n - 1;
+  for (Ring& ring : rings_) {
+    ring.slots = std::make_unique<Slot[]>(n);
+  }
+}
+
+void FlightRecorder::Record(FrEvent type, uint32_t where, uint64_t a, uint64_t b) {
+  Ring& ring = rings_[static_cast<size_t>(ThisCore()) % kMaxShards];
+  const uint64_t ticket = ring.head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring.slots[ticket & mask_];
+  // Invalidate first so a concurrent reader can't match a half-new slot
+  // against the old generation's ticket, then publish the payload with a
+  // release store of the new sequence.
+  slot.seq.store(0, std::memory_order_relaxed);
+  slot.time_bits.store(std::bit_cast<uint64_t>(NowSeconds()), std::memory_order_relaxed);
+  slot.type_where.store((static_cast<uint64_t>(type) << 32) | where, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.seq.store(ticket + 1, std::memory_order_release);
+}
+
+uint64_t FlightRecorder::recorded() const {
+  uint64_t total = 0;
+  for (const Ring& ring : rings_) {
+    total += ring.head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string FlightRecorder::Dump(size_t max_per_core) const {
+  std::string out;
+  for (size_t core = 0; core < kMaxShards; ++core) {
+    const Ring& ring = rings_[core];
+    const uint64_t head = ring.head.load(std::memory_order_acquire);
+    if (head == 0) {
+      continue;
+    }
+    const uint64_t window = std::min<uint64_t>(head, mask_ + 1);
+    const uint64_t first =
+        head - std::min<uint64_t>(window, max_per_core == SIZE_MAX ? window : max_per_core);
+    for (uint64_t ticket = first; ticket < head; ++ticket) {
+      const Slot& slot = ring.slots[ticket & mask_];
+      if (slot.seq.load(std::memory_order_acquire) != ticket + 1) {
+        continue;  // overwritten or mid-write
+      }
+      const double t = std::bit_cast<double>(slot.time_bits.load(std::memory_order_relaxed));
+      const uint64_t tw = slot.type_where.load(std::memory_order_relaxed);
+      const uint64_t a = slot.a.load(std::memory_order_relaxed);
+      const uint64_t b = slot.b.load(std::memory_order_relaxed);
+      if (slot.seq.load(std::memory_order_acquire) != ticket + 1) {
+        continue;  // torn: writer lapped us mid-read
+      }
+      const auto type = static_cast<FrEvent>(tw >> 32);
+      const auto where = static_cast<uint32_t>(tw & 0xffffffffu);
+      const std::string& name =
+          where == kInvalidScope ? std::string("-") : ScopeName(where);
+      out += Format("core=%zu seq=%llu t=%.6f %s where=%s a=%llu b=%llu\n", core,
+                    static_cast<unsigned long long>(ticket), t, FrEventName(type), name.c_str(),
+                    static_cast<unsigned long long>(a), static_cast<unsigned long long>(b));
+    }
+  }
+  return out;
+}
+
+void FlightRecorder::DumpTo(std::FILE* f, size_t max_per_core) const {
+  const std::string text = Dump(max_per_core);
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fflush(f);
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path, size_t max_per_core) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  DumpTo(f, max_per_core);
+  std::fclose(f);
+  return true;
+}
+
+void FlightRecorder::Install(FlightRecorder* fr) {
+  g_recorder.store(fr, std::memory_order_release);
+  SetCheckFailureHook(fr != nullptr ? &CrashDumpHook : nullptr);
+}
+
+FlightRecorder* FlightRecorder::Installed() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::SetCrashDumpPath(const std::string& path) { g_crash_dump_path = path; }
+
+}  // namespace telemetry
+}  // namespace rb

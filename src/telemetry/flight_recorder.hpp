@@ -1,0 +1,122 @@
+// Flight recorder: an always-on, per-core black box of recent data-plane
+// events (DESIGN.md §13).
+//
+// The chaos-soak and watchdog experience from PR 5 showed the missing
+// piece for triage: when a nightly run trips an invariant or a task
+// stalls, the counters say *how many* drops/blocks happened but not *what
+// happened last*. The flight recorder keeps the last N events per core in
+// lock-free rings so that a watchdog stall, a fatal RB_CHECK, or an
+// explicit `fr.dump` handler read can produce an ordered tail of recent
+// history: drops (with element), blocked/unblocked queue edges, CoDel
+// drops, failover reroutes, admission rejects, watchdog stamps.
+//
+// Cost contract: when no recorder is installed, a record site is one
+// relaxed atomic load + branch. When installed, a record is one relaxed
+// fetch_add plus five relaxed/release stores into this core's ring
+// (~tens of cycles) — cheap enough to leave on in production benches; the
+// instrumented events are rare (drop/edge events, not per packet).
+//
+// Concurrency: each core writes its own ring (cores beyond kMaxShards
+// wrap, like metric counters — then the fetch_add keeps slots disjoint).
+// Dump() may run concurrently with writers: every slot is published
+// seqlock-style (sequence word stored last, release), and the reader
+// discards slots whose sequence doesn't match the claimed generation —
+// a torn slot near the write head is dropped, never misreported.
+#ifndef RB_TELEMETRY_FLIGHT_RECORDER_HPP_
+#define RB_TELEMETRY_FLIGHT_RECORDER_HPP_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace rb {
+namespace telemetry {
+
+enum class FrEvent : uint32_t {
+  kDrop = 1,           // element dropped packets; a = count
+  kAqmDrop = 2,        // CoDel drop; a = sojourn us, b = drop count this episode
+  kBlocked = 3,        // queue crossed hi watermark; a = occupancy
+  kUnblocked = 4,      // queue drained to lo watermark; a = occupancy
+  kThrottled = 5,      // poller entered throttled state (downstream blocked)
+  kFailover = 6,       // VLB rerouted around a believed-dead node; a=(src<<16)|dst, b=via
+  kAdmissionDrop = 7,  // fair-admission reject at ingress; a = dst port, b = bytes
+  kWatchdogStamp = 8,  // watchdog scan completed; a = stalled tasks
+  kWatchdogStall = 9,  // task entered stalled state; a = stall seconds (x1e3)
+  kCheckFail = 10,     // fatal RB_CHECK fired (recorded by the dump hook)
+  kRxOverflow = 11,    // NIC rx ring had no free descriptors; a = port, b = count
+  kUser = 12,          // free-form (tests, tools)
+};
+
+const char* FrEventName(FrEvent e);
+
+class FlightRecorder {
+ public:
+  // `events_per_core` is rounded up to a power of two (default 1024 ≈
+  // 40 KiB/core).
+  explicit FlightRecorder(size_t events_per_core = 1024);
+
+  // Records one event on the calling core's ring. `where` is an interned
+  // scope id (telemetry::InternScopeName) naming the source element or
+  // component; kInvalidScope is allowed.
+  void Record(FrEvent type, uint32_t where, uint64_t a = 0, uint64_t b = 0);
+
+  // Text dump: per core, oldest-to-newest surviving events, one per line:
+  //   core=<c> seq=<s> t=<seconds> <event> where=<name> a=<a> b=<b>
+  // Safe concurrently with writers (torn slots are skipped).
+  std::string Dump(size_t max_per_core = SIZE_MAX) const;
+  void DumpTo(std::FILE* f, size_t max_per_core = SIZE_MAX) const;
+  bool DumpToFile(const std::string& path, size_t max_per_core = SIZE_MAX) const;
+
+  // Total events ever recorded (across cores; rings keep only the tail).
+  uint64_t recorded() const;
+  size_t events_per_core() const { return mask_ + 1; }
+
+  // --- process-global installation (mirrors SetProfiler) ---
+  // Install also arms the RB_CHECK failure hook: a fatal check dumps the
+  // recorder to stderr (and to the path set with SetCrashDumpPath) before
+  // aborting. Install(nullptr) disarms.
+  static void Install(FlightRecorder* fr);
+  static FlightRecorder* Installed();
+
+  // Where crash-triggered dumps (fatal RB_CHECK) land, in addition to
+  // stderr. Empty disables the file copy. Process-global.
+  static void SetCrashDumpPath(const std::string& path);
+
+ private:
+  struct Slot {
+    // Seqlock per slot: `seq` holds 1 + the fetch_add ticket, stored with
+    // release order after the payload; 0 = never written. The reader
+    // recomputes the expected ticket from the slot index and generation
+    // and discards mismatches.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> time_bits{0};  // bit_cast'ed NowSeconds()
+    std::atomic<uint64_t> type_where{0};
+    std::atomic<uint64_t> a{0};
+    std::atomic<uint64_t> b{0};
+  };
+
+  struct Ring {
+    std::unique_ptr<Slot[]> slots;
+    alignas(64) std::atomic<uint64_t> head{0};  // next ticket
+  };
+
+  size_t mask_ = 0;
+  Ring rings_[kMaxShards];
+};
+
+// Hot-path record helper: one relaxed load when no recorder is installed.
+inline void FrRecord(FrEvent type, uint32_t where, uint64_t a = 0, uint64_t b = 0) {
+  FlightRecorder* fr = FlightRecorder::Installed();
+  if (fr != nullptr) {
+    fr->Record(type, where, a, b);
+  }
+}
+
+}  // namespace telemetry
+}  // namespace rb
+
+#endif  // RB_TELEMETRY_FLIGHT_RECORDER_HPP_

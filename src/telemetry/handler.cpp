@@ -1,0 +1,144 @@
+#include "telemetry/handler.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace rb {
+namespace telemetry {
+
+void HandlerRegistry::AddRead(const std::string& path, ReadFn fn) {
+  RB_CHECK_MSG(!path.empty(), "handler path must be non-empty");
+  RB_CHECK(fn != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[path].read = std::move(fn);
+}
+
+void HandlerRegistry::AddWrite(const std::string& path, WriteFn fn) {
+  RB_CHECK_MSG(!path.empty(), "handler path must be non-empty");
+  RB_CHECK(fn != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  handlers_[path].write = std::move(fn);
+}
+
+HandlerResult HandlerRegistry::Read(const std::string& path) const {
+  ReadFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      return HandlerResult::Error("no such handler: " + path);
+    }
+    if (it->second.read == nullptr) {
+      return HandlerResult::Error("handler is write-only: " + path);
+    }
+    fn = it->second.read;
+  }
+  // Invoked outside the registry lock: a slow read handler must not block
+  // concurrent List/Write calls.
+  return HandlerResult::Ok(fn());
+}
+
+HandlerResult HandlerRegistry::Write(const std::string& path, const std::string& value) {
+  WriteFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      return HandlerResult::Error("no such handler: " + path);
+    }
+    if (it->second.write == nullptr) {
+      return HandlerResult::Error("handler is read-only: " + path);
+    }
+    fn = it->second.write;
+  }
+  return fn(value);
+}
+
+std::vector<HandlerRegistry::Entry> HandlerRegistry::List(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(handlers_.size());
+  for (const auto& [path, hooks] : handlers_) {
+    if (path.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    out.push_back({path, hooks.read != nullptr, hooks.write != nullptr});
+  }
+  return out;
+}
+
+bool HandlerRegistry::Has(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handlers_.count(path) != 0;
+}
+
+size_t HandlerRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return handlers_.size();
+}
+
+namespace {
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) {
+    b++;
+  }
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) {
+    e--;
+  }
+  return s.substr(b, e - b);
+}
+}  // namespace
+
+bool ParseHandlerU64(const std::string& value, uint64_t* out) {
+  const std::string t = Trim(value);
+  if (t.empty() || t[0] == '-') {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+  if (errno != 0 || end != t.c_str() + t.size()) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseHandlerDouble(const std::string& value, double* out) {
+  const std::string t = Trim(value);
+  if (t.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(t.c_str(), &end);
+  if (errno != 0 || end != t.c_str() + t.size()) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseHandlerBool(const std::string& value, bool* out) {
+  std::string t = Trim(value);
+  for (char& c : t) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (t == "1" || t == "true" || t == "on") {
+    *out = true;
+    return true;
+  }
+  if (t == "0" || t == "false" || t == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace telemetry
+}  // namespace rb

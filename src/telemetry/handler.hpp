@@ -1,0 +1,95 @@
+// Click-style live-introspection handlers (DESIGN.md §13).
+//
+// A handler is a named read and/or write hook on a running component:
+// every Element exports `counts`/`drops`/`config`/`batch_size`, a Queue
+// adds `occupancy`/`hi`/`lo`/`aqm`, the scheduler exports watchdog state,
+// and write handlers live-tune knobs (CoDel target, watermarks, tracer
+// sample rate) while traffic flows. Handler paths follow Click's
+// "<element>.<handler>" scheme — the owner is an element name
+// ("Queue@4.occupancy") or a component name ("sched.watchdog_stalls",
+// "tracer.sample_every", "ctl.stop").
+//
+// Concurrency contract: registration happens at setup time (single
+// threaded); Read/Write/List may then be called from a control thread
+// (the control socket) while worker cores run the data path. A handler
+// body therefore must only touch state that is safe against concurrent
+// hot-path writers — registry metrics, atomics, SPSC ring size probes.
+// The registry's own map is mutex-protected, but that mutex is never
+// taken by the data path, so a scrape can never stall a worker.
+#ifndef RB_TELEMETRY_HANDLER_HPP_
+#define RB_TELEMETRY_HANDLER_HPP_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace rb {
+namespace telemetry {
+
+// Outcome of a handler invocation. For reads, `text` is the value; for
+// failed calls it is a human-readable error.
+struct HandlerResult {
+  bool ok = false;
+  std::string text;
+
+  static HandlerResult Ok(std::string value = "") { return {true, std::move(value)}; }
+  static HandlerResult Error(std::string why) { return {false, std::move(why)}; }
+};
+
+class HandlerRegistry {
+ public:
+  using ReadFn = std::function<std::string()>;
+  // Receives the raw value text; returns ok or an error message.
+  using WriteFn = std::function<HandlerResult(const std::string& value)>;
+
+  HandlerRegistry() = default;
+  HandlerRegistry(const HandlerRegistry&) = delete;
+  HandlerRegistry& operator=(const HandlerRegistry&) = delete;
+
+  // Registers "<owner>.<name>". Re-registering the same path replaces the
+  // matching direction (so a component can upgrade a read handler to
+  // read/write).
+  void AddRead(const std::string& path, ReadFn fn);
+  void AddWrite(const std::string& path, WriteFn fn);
+
+  // READ <path>: Ok(value), or Error for unknown / write-only paths.
+  HandlerResult Read(const std::string& path) const;
+  // WRITE <path> <value>: Ok(), or Error for unknown / read-only paths or
+  // a rejected value.
+  HandlerResult Write(const std::string& path, const std::string& value);
+
+  struct Entry {
+    std::string path;
+    bool readable = false;
+    bool writable = false;
+  };
+  // All handlers whose path starts with `prefix`, sorted by path.
+  std::vector<Entry> List(const std::string& prefix = "") const;
+
+  bool Has(const std::string& path) const;
+  size_t size() const;
+
+ private:
+  struct Hooks {
+    ReadFn read;
+    WriteFn write;
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Hooks> handlers_;
+};
+
+// --- write-handler parsing helpers ---
+// Strict numeric parsing for write handlers: the whole (whitespace
+// trimmed) value must be consumed. Returns false without touching *out on
+// malformed input.
+bool ParseHandlerU64(const std::string& value, uint64_t* out);
+bool ParseHandlerDouble(const std::string& value, double* out);
+bool ParseHandlerBool(const std::string& value, bool* out);  // 0/1/true/false/on/off
+
+}  // namespace telemetry
+}  // namespace rb
+
+#endif  // RB_TELEMETRY_HANDLER_HPP_

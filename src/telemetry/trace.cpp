@@ -16,7 +16,8 @@ double NowSeconds() {
 
 PathTracer::PathTracer(const TracerConfig& config) : config_(config) {
   RB_CHECK(config.sample_every >= 1);
-  sample_offset_ = config.seed % config.sample_every;
+  sample_every_.store(config.sample_every, std::memory_order_relaxed);
+  sample_offset_.store(config.seed % config.sample_every, std::memory_order_relaxed);
   traces_.resize(config.max_traces);
   for (size_t i = 0; i < traces_.size(); ++i) {
     traces_[i].id = i + 1;
@@ -24,9 +25,38 @@ PathTracer::PathTracer(const TracerConfig& config) : config_(config) {
   }
 }
 
+void PathTracer::set_sample_every(uint32_t n) {
+  RB_CHECK(n >= 1);
+  // Two relaxed stores: a racing StartTrace may briefly pair the new rate
+  // with the old offset, which only shifts which packet of the next N is
+  // taken — sampling stays 1-in-N throughout.
+  sample_every_.store(n, std::memory_order_relaxed);
+  sample_offset_.store(config_.seed % n, std::memory_order_relaxed);
+}
+
+void PathTracer::AddHandlers(HandlerRegistry* handlers) {
+  handlers->AddRead("tracer.started",
+                    [this] { return std::to_string(started()); });
+  handlers->AddRead("tracer.sampled",
+                    [this] { return std::to_string(sampled()); });
+  handlers->AddRead("tracer.max_traces",
+                    [this] { return std::to_string(config_.max_traces); });
+  handlers->AddRead("tracer.sample_every",
+                    [this] { return std::to_string(sample_every()); });
+  handlers->AddWrite("tracer.sample_every", [this](const std::string& value) {
+    uint64_t n = 0;
+    if (!ParseHandlerU64(value, &n) || n < 1 || n > UINT32_MAX) {
+      return HandlerResult::Error("expected integer in [1, 2^32)");
+    }
+    set_sample_every(static_cast<uint32_t>(n));
+    return HandlerResult::Ok();
+  });
+}
+
 uint64_t PathTracer::StartTrace(const std::string& point, double t) {
   uint64_t n = started_.fetch_add(1, std::memory_order_relaxed);
-  if (n % config_.sample_every != sample_offset_) {
+  if (n % sample_every_.load(std::memory_order_relaxed) !=
+      sample_offset_.load(std::memory_order_relaxed)) {
     return 0;
   }
   uint64_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);

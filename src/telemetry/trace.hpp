@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/handler.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace rb {
@@ -83,7 +84,20 @@ class PathTracer {
 
   uint64_t started() const { return started_.load(std::memory_order_relaxed); }
   uint64_t sampled() const { return next_slot_.load(std::memory_order_relaxed); }
+  // The configuration the tracer was built with; sample_every may have
+  // been live-tuned since (see sample_every()).
   const TracerConfig& config() const { return config_; }
+
+  // Live sampling rate: 1-in-N trace starts are sampled. Writable at
+  // runtime (control-socket handler) — the sampling offset is re-derived
+  // from the seed, and in-flight traces are unaffected.
+  uint32_t sample_every() const { return sample_every_.load(std::memory_order_relaxed); }
+  void set_sample_every(uint32_t n);
+
+  // Tracer introspection handlers (DESIGN.md §13): reads
+  // `tracer.started`/`tracer.sampled`/`tracer.max_traces`, read-write
+  // `tracer.sample_every`. The tracer must outlive `handlers`.
+  void AddHandlers(HandlerRegistry* handlers);
 
   // --- read side (call after the data path has quiesced) ---
 
@@ -99,7 +113,9 @@ class PathTracer {
 
  private:
   TracerConfig config_;
-  uint64_t sample_offset_;
+  // Live-tunable sampling knobs, read (relaxed) by every StartTrace.
+  std::atomic<uint32_t> sample_every_{1};
+  std::atomic<uint64_t> sample_offset_{0};
   std::atomic<uint64_t> started_{0};
   std::atomic<uint64_t> next_slot_{0};
   std::vector<PacketTrace> traces_;  // preallocated [max_traces]

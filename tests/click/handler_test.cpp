@@ -1,0 +1,270 @@
+// Handler-registry tests (DESIGN.md §13): registration and lookup
+// mechanics, the strict write-value parsers, and the element/queue
+// handler surfaces — including the live-tuning write handlers whose
+// effects must be observable through a subsequent read.
+#include "telemetry/handler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "click/elements/queue.hpp"
+#include "click/router.hpp"
+#include "packet/pool.hpp"
+
+namespace rb {
+namespace {
+
+using telemetry::HandlerRegistry;
+using telemetry::HandlerResult;
+
+TEST(HandlerRegistryTest, ReadWriteRoundTrip) {
+  HandlerRegistry reg;
+  int knob = 7;
+  reg.AddRead("x.knob", [&] { return std::to_string(knob); });
+  reg.AddWrite("x.knob", [&](const std::string& v) {
+    uint64_t parsed = 0;
+    if (!telemetry::ParseHandlerU64(v, &parsed)) {
+      return HandlerResult::Error("want integer");
+    }
+    knob = static_cast<int>(parsed);
+    return HandlerResult::Ok();
+  });
+
+  HandlerResult r = reg.Read("x.knob");
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.text, "7");
+  EXPECT_TRUE(reg.Write("x.knob", "42").ok);
+  EXPECT_EQ(reg.Read("x.knob").text, "42");
+  EXPECT_EQ(knob, 42);
+}
+
+TEST(HandlerRegistryTest, ErrorsForUnknownAndWrongDirection) {
+  HandlerRegistry reg;
+  reg.AddRead("a.ro", [] { return std::string("1"); });
+  reg.AddWrite("a.wo", [](const std::string&) { return HandlerResult::Ok(); });
+
+  HandlerResult r = reg.Read("a.missing");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.text.find("no such handler"), std::string::npos);
+  EXPECT_FALSE(reg.Write("a.missing", "1").ok);
+
+  EXPECT_FALSE(reg.Write("a.ro", "1").ok) << "read-only path must reject writes";
+  EXPECT_FALSE(reg.Read("a.wo").ok) << "write-only path must reject reads";
+  EXPECT_TRUE(reg.Write("a.wo", "anything").ok);
+}
+
+TEST(HandlerRegistryTest, WriteErrorPropagatesHandlerMessage) {
+  HandlerRegistry reg;
+  reg.AddWrite("q.hi", [](const std::string& v) {
+    return HandlerResult::Error("hi rejects '" + v + "'");
+  });
+  HandlerResult r = reg.Write("q.hi", "banana");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.text, "hi rejects 'banana'");
+}
+
+TEST(HandlerRegistryTest, ListFiltersByPrefixSorted) {
+  HandlerRegistry reg;
+  reg.AddRead("b.two", [] { return std::string(); });
+  reg.AddRead("a.one", [] { return std::string(); });
+  reg.AddWrite("a.one", [](const std::string&) { return HandlerResult::Ok(); });
+  reg.AddWrite("a.zzz", [](const std::string&) { return HandlerResult::Ok(); });
+
+  auto all = reg.List();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].path, "a.one");
+  EXPECT_TRUE(all[0].readable);
+  EXPECT_TRUE(all[0].writable);
+  EXPECT_EQ(all[1].path, "a.zzz");
+  EXPECT_FALSE(all[1].readable);
+  EXPECT_TRUE(all[1].writable);
+  EXPECT_EQ(all[2].path, "b.two");
+
+  auto filtered = reg.List("a.");
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].path, "a.one");
+  EXPECT_TRUE(reg.Has("b.two"));
+  EXPECT_FALSE(reg.Has("b.t"));
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(HandlerRegistryTest, ReRegisteringReplacesOneDirection) {
+  HandlerRegistry reg;
+  reg.AddRead("x.v", [] { return std::string("old"); });
+  reg.AddRead("x.v", [] { return std::string("new"); });
+  EXPECT_EQ(reg.Read("x.v").text, "new");
+  EXPECT_EQ(reg.size(), 1u) << "same path must not duplicate";
+}
+
+TEST(HandlerParseTest, U64Strict) {
+  uint64_t v = 99;
+  EXPECT_TRUE(telemetry::ParseHandlerU64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(telemetry::ParseHandlerU64(" 123 ", &v)) << "surrounding whitespace is trimmed";
+  EXPECT_EQ(v, 123u);
+  for (const char* bad : {"", "  ", "12x", "x12", "1 2", "-1", "1.5"}) {
+    v = 77;
+    EXPECT_FALSE(telemetry::ParseHandlerU64(bad, &v)) << "input: '" << bad << "'";
+    EXPECT_EQ(v, 77u) << "failed parse must not touch *out";
+  }
+}
+
+TEST(HandlerParseTest, DoubleStrict) {
+  double d = 0;
+  EXPECT_TRUE(telemetry::ParseHandlerDouble("2.5", &d));
+  EXPECT_DOUBLE_EQ(d, 2.5);
+  EXPECT_TRUE(telemetry::ParseHandlerDouble("-1e3", &d));
+  EXPECT_DOUBLE_EQ(d, -1000.0);
+  EXPECT_FALSE(telemetry::ParseHandlerDouble("2.5.6", &d));
+  EXPECT_FALSE(telemetry::ParseHandlerDouble("", &d));
+  EXPECT_FALSE(telemetry::ParseHandlerDouble("12 monkeys", &d));
+}
+
+TEST(HandlerParseTest, BoolForms) {
+  bool b = false;
+  for (const char* t : {"1", "true", "on", "TRUE", "On"}) {
+    b = false;
+    EXPECT_TRUE(telemetry::ParseHandlerBool(t, &b)) << t;
+    EXPECT_TRUE(b) << t;
+  }
+  for (const char* f : {"0", "false", "off"}) {
+    b = true;
+    EXPECT_TRUE(telemetry::ParseHandlerBool(f, &b)) << f;
+    EXPECT_FALSE(b) << f;
+  }
+  EXPECT_FALSE(telemetry::ParseHandlerBool("yes?", &b));
+}
+
+// --- element / queue handler surfaces ---
+
+TEST(ElementHandlerTest, BaseHandlersExported) {
+  Router router;
+  auto* q = router.Add<QueueElement>(64);
+  router.Initialize();
+  HandlerRegistry reg;
+  q->AddHandlers(&reg);
+
+  const std::string base = q->name() + ".";
+  for (const char* h : {"config", "counts", "drops", "batch_size", "occupancy", "capacity",
+                        "highwater", "blocked", "aqm", "hi", "lo", "codel_target_us",
+                        "codel_interval_us"}) {
+    EXPECT_TRUE(reg.Has(base + h)) << base << h;
+  }
+  HandlerResult cfg = reg.Read(base + "config");
+  EXPECT_TRUE(cfg.ok);
+  EXPECT_NE(cfg.text.find("class Queue"), std::string::npos);
+  EXPECT_EQ(reg.Read(base + "drops").text, "0");
+}
+
+TEST(QueueHandlerTest, OccupancyTracksTraffic) {
+  QueueOptions opt;
+  opt.capacity = 32;
+  QueueElement q(opt);
+  q.set_name("Queue@0");
+  HandlerRegistry reg;
+  q.AddHandlers(&reg);
+
+  EXPECT_EQ(reg.Read("Queue@0.occupancy").text, "0");
+  EXPECT_EQ(reg.Read("Queue@0.capacity").text, "32");
+
+  PacketPool pool(64);
+  PacketBatch batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.PushBack(pool.Alloc());
+  }
+  q.PushBatch(0, batch);
+  EXPECT_EQ(reg.Read("Queue@0.occupancy").text, "5");
+  EXPECT_EQ(reg.Read("Queue@0.highwater").text, "5");
+
+  PacketBatch out;
+  q.PullBatch(0, &out, 8);
+  EXPECT_EQ(reg.Read("Queue@0.occupancy").text, "0");
+  for (Packet* p : out) {
+    pool.Free(p);
+  }
+}
+
+TEST(QueueHandlerTest, WatermarkWritesValidateAndApply) {
+  QueueOptions opt;
+  opt.capacity = 64;
+  opt.hi_watermark = 48;
+  opt.lo_watermark = 16;
+  QueueElement q(opt);
+  q.set_name("Q");
+  HandlerRegistry reg;
+  q.AddHandlers(&reg);
+
+  EXPECT_EQ(reg.Read("Q.hi").text, "48");
+  EXPECT_EQ(reg.Read("Q.lo").text, "16");
+
+  EXPECT_TRUE(reg.Write("Q.hi", "32").ok);
+  EXPECT_EQ(q.hi_watermark(), 32u);
+  EXPECT_EQ(q.lo_watermark(), 16u) << "lo < hi still holds, lo untouched";
+
+  // lo >= hi is the misconfiguration the constructor also rejects.
+  HandlerResult r = reg.Write("Q.lo", "32");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.text.find("must be below hi"), std::string::npos);
+  EXPECT_EQ(q.lo_watermark(), 16u);
+
+  // Shrinking hi below lo auto-derives lo = hi/2 (construction's rule).
+  EXPECT_TRUE(reg.Write("Q.hi", "8").ok);
+  EXPECT_EQ(q.hi_watermark(), 8u);
+  EXPECT_EQ(q.lo_watermark(), 4u);
+
+  r = reg.Write("Q.hi", "65");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.text.find("above capacity"), std::string::npos);
+
+  EXPECT_FALSE(reg.Write("Q.hi", "many").ok);
+
+  // hi = 0 disables watermarks entirely (and clears sticky blocked).
+  EXPECT_TRUE(reg.Write("Q.hi", "0").ok);
+  EXPECT_EQ(q.hi_watermark(), 0u);
+  EXPECT_FALSE(q.Blocked());
+  EXPECT_EQ(q.PushHeadroom(), SIZE_MAX);
+}
+
+TEST(QueueHandlerTest, CodelKnobsLiveTuneWithReadBack) {
+  QueueOptions opt;
+  opt.capacity = 64;
+  opt.aqm = AqmMode::kCoDel;
+  QueueElement q(opt);
+  q.set_name("Q");
+  HandlerRegistry reg;
+  q.AddHandlers(&reg);
+
+  EXPECT_EQ(reg.Read("Q.aqm").text, "codel");
+  EXPECT_EQ(reg.Read("Q.codel_target_us").text, "5000.0");
+
+  // The acceptance round trip: write mid-run, observe via read.
+  EXPECT_TRUE(reg.Write("Q.codel_target_us", "750").ok);
+  EXPECT_EQ(reg.Read("Q.codel_target_us").text, "750.0");
+  EXPECT_NEAR(q.codel_target_s(), 750e-6, 1e-12);
+
+  EXPECT_TRUE(reg.Write("Q.codel_interval_us", "20000").ok);
+  EXPECT_NEAR(q.codel_interval_s(), 20e-3, 1e-12);
+
+  for (const char* bad : {"0", "-5", "fast"}) {
+    HandlerResult r = reg.Write("Q.codel_target_us", bad);
+    EXPECT_FALSE(r.ok) << bad;
+    EXPECT_NE(r.text.find("positive number"), std::string::npos);
+  }
+  EXPECT_EQ(reg.Read("Q.codel_target_us").text, "750.0") << "rejected writes change nothing";
+}
+
+TEST(RouterHandlerTest, GraphExportsEveryElementPlusTopology) {
+  Router router;
+  auto* q = router.Add<QueueElement>(16);
+  router.Initialize();
+  HandlerRegistry reg;
+  router.AddHandlers(&reg);
+
+  EXPECT_TRUE(reg.Has(q->name() + ".occupancy"));
+  HandlerResult elements = reg.Read("router.elements");
+  ASSERT_TRUE(elements.ok);
+  EXPECT_NE(elements.text.find("Queue"), std::string::npos);
+  EXPECT_TRUE(reg.Has("router.tasks"));
+}
+
+}  // namespace
+}  // namespace rb

@@ -7,6 +7,8 @@
 #include "click/elements/queue.hpp"
 #include "click/elements/to_device.hpp"
 #include "packet/pool.hpp"
+#include "telemetry/flight_recorder.hpp"
+#include "telemetry/profiler.hpp"
 #include "workload/synthetic.hpp"
 
 namespace rb {
@@ -190,6 +192,42 @@ TEST(SchedulerTest, WatchdogThreadRunsAlongsideWorkers) {
   for (size_t i = 0; i < n; ++i) {
     setup.pool.Free(burst[i]);
   }
+}
+
+TEST(SchedulerTest, WatchdogStallDumpsFlightRecorder) {
+  // Satellite of DESIGN.md §13: a watchdog stall must dump the flight
+  // recorder (stderr + the configured file) before any fatal abort, so
+  // the black box survives even when the process does not.
+  TwoPortSetup setup;
+  telemetry::SetThisCore(0);
+  telemetry::FlightRecorder recorder(64);
+  telemetry::FlightRecorder::Install(&recorder);
+  telemetry::FrRecord(telemetry::FrEvent::kUser, telemetry::InternScopeName("pre_stall_marker"),
+                      7);
+
+  ThreadScheduler sched(&setup.router, 2);
+  g_wd_now = 0;
+  WatchdogConfig wc;
+  wc.max_stall_s = 1.0;
+  wc.clock = &WdClock;
+  wc.flight_dump_path = ::testing::TempDir() + "wd_flight_dump.txt";
+  sched.EnableWatchdog(wc);
+  sched.WatchdogCheckNow();  // baseline
+  g_wd_now = 5.0;
+  EXPECT_EQ(sched.WatchdogCheckNow(), 4u);
+
+  FILE* f = fopen(wc.flight_dump_path.c_str(), "r");
+  ASSERT_NE(f, nullptr) << "stall must write " << wc.flight_dump_path;
+  char buf[4096] = {0};
+  size_t n = fread(buf, 1, sizeof(buf) - 1, f);
+  fclose(f);
+  remove(wc.flight_dump_path.c_str());
+  std::string dump(buf, n);
+  EXPECT_NE(dump.find("where=pre_stall_marker"), std::string::npos)
+      << "events from before the stall are the point of the black box";
+  EXPECT_NE(dump.find("watchdog_stall"), std::string::npos)
+      << "the stall itself is recorded before dumping";
+  telemetry::FlightRecorder::Install(nullptr);
 }
 
 TEST(SchedulerDeathTest, WatchdogFatalModeAborts) {

@@ -176,6 +176,67 @@ TEST(ExportTest, RegistryCsvListsCountersAndGauges) {
   EXPECT_NE(csv.find("gauge,b/depth,1.5"), std::string::npos);
 }
 
+TEST(ExportTest, HistogramJsonEmitsCumulativeBuckets) {
+  MetricRegistry registry;
+  telemetry::HistogramOptions opts;
+  opts.lo = 0;
+  opts.hi = 10;
+  opts.buckets = 5;  // edges at 2,4,6,8,10
+  auto* h = registry.GetHistogram("lat", opts);
+  h->Observe(-1);  // underflow
+  h->Observe(1);
+  h->Observe(3);
+  h->Observe(3);
+  h->Observe(9);
+  h->Observe(99);  // overflow
+
+  ExportBundle bundle;
+  bundle.registry = &registry;
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(telemetry::ToJson(bundle), &doc));
+  const JsonValue* hist = doc.Find("histograms")->Find("lat");
+  ASSERT_NE(hist, nullptr);
+  const JsonValue& raw = *hist->Find("counts");
+  const JsonValue& cum = *hist->Find("cum_counts");
+  ASSERT_EQ(raw.arr.size(), 5u);
+  ASSERT_EQ(cum.arr.size(), 5u);
+  // Raw per-bucket: [1, 2, 0, 0, 1]; cumulative folds underflow in and
+  // is monotone: [2, 4, 4, 4, 5] (Prometheus `_bucket` semantics).
+  const double want_raw[] = {1, 2, 0, 0, 1};
+  const double want_cum[] = {2, 4, 4, 4, 5};
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(raw.arr[i].num, want_raw[i]) << "bucket " << i;
+    EXPECT_EQ(cum.arr[i].num, want_cum[i]) << "bucket " << i;
+  }
+  // +Inf (cum.back() + overflow) must equal the total observation count.
+  EXPECT_EQ(cum.arr.back().num + hist->Find("overflow")->num, hist->Find("count")->num);
+}
+
+TEST(ExportTest, PrometheusTextExposition) {
+  MetricRegistry registry;
+  registry.GetCounter("nic/rx_packets")->Add(12);
+  registry.GetGauge("queue/depth")->Set(7.5);
+  telemetry::HistogramOptions opts;
+  opts.lo = 0;
+  opts.hi = 4;
+  opts.buckets = 2;
+  auto* h = registry.GetHistogram("hop_us", opts);
+  h->Observe(1);
+  h->Observe(3);
+  h->Observe(100);  // overflow: appears only in the +Inf bucket
+
+  std::string text = telemetry::PrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE rb_counter counter"), std::string::npos);
+  EXPECT_NE(text.find("rb_counter{name=\"nic/rx_packets\"} 12"), std::string::npos);
+  EXPECT_NE(text.find("rb_gauge{name=\"queue/depth\"} 7.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rb_histogram histogram"), std::string::npos);
+  EXPECT_NE(text.find("rb_histogram_bucket{name=\"hop_us\",le=\"2\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("rb_histogram_bucket{name=\"hop_us\",le=\"4\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("rb_histogram_bucket{name=\"hop_us\",le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("rb_histogram_count{name=\"hop_us\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("rb_histogram_sum{name=\"hop_us\"} 104"), std::string::npos);
+}
+
 TEST(ExportTest, EmptyBundleYieldsEmptySections) {
   MetricRegistry registry;
   ExportBundle bundle;

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate Prometheus text exposition produced by the control socket.
+
+Usage: check_prometheus.py [file]        (reads stdin when no file given)
+
+Checks, per the exposition-format spec:
+  - every line is a comment (# HELP / # TYPE), blank, or a sample line
+  - sample lines parse as  name{labels} value  with legal metric/label names
+  - every sampled family has a preceding # TYPE (histogram families may use
+    the _bucket/_sum/_count suffixes of a `histogram`-typed base name)
+  - histogram buckets: each series has a le label, cumulative counts are
+    monotonically non-decreasing in le order, and the +Inf bucket equals
+    the family's _count sample
+
+Exits 0 when clean; prints each violation and exits 1 otherwise.
+"""
+import re
+import sys
+
+METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)(?: \d+)?$"  # optional timestamp
+)
+LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def main():
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "r", encoding="utf-8") as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+
+    errors = []
+    types = {}  # family name -> declared type
+    # histogram state: base name -> {"buckets": [(le, count)], "count": int}
+    histograms = {}
+    samples = 0
+
+    for lineno, line in enumerate(text.split("\n"), 1):
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                    continue
+                if not METRIC_RE.match(parts[2]):
+                    errors.append(f"line {lineno}: bad metric name {parts[2]!r}")
+                types[parts[2]] = parts[3]
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        samples += 1
+        name = m.group("name")
+        labels = {}
+        raw_labels = m.group("labels")
+        if raw_labels:
+            consumed = LABEL_PAIR_RE.findall(raw_labels)
+            rebuilt = ",".join(f'{k}="{v}"' for k, v in consumed)
+            if rebuilt != raw_labels:
+                errors.append(f"line {lineno}: malformed labels: {{{raw_labels}}}")
+                continue
+            for k, v in consumed:
+                if not LABEL_RE.match(k):
+                    errors.append(f"line {lineno}: bad label name {k!r}")
+                labels[k] = v
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {m.group('value')!r}")
+            continue
+
+        # Resolve the family: exact TYPE, or histogram suffixes.
+        family = None
+        if name in types:
+            family = name
+        else:
+            for suffix in ("_bucket", "_sum", "_count"):
+                base = name[: -len(suffix)] if name.endswith(suffix) else None
+                if base and types.get(base) == "histogram":
+                    family = base
+                    break
+        if family is None:
+            errors.append(f"line {lineno}: sample {name!r} has no preceding # TYPE")
+            continue
+
+        if types[family] == "histogram":
+            series = labels.get("name", "")  # our exposition keys series by name=
+            hist = histograms.setdefault((family, series), {"buckets": [], "count": None})
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"line {lineno}: histogram bucket without le label")
+                    continue
+                try:
+                    le = parse_value(labels["le"])
+                except ValueError:
+                    errors.append(f"line {lineno}: bad le value {labels['le']!r}")
+                    continue
+                hist["buckets"].append((lineno, le, value))
+            elif name.endswith("_count"):
+                hist["count"] = (lineno, value)
+
+    for (family, series), hist in histograms.items():
+        label = f"{family}{{name={series!r}}}"
+        prev = None
+        for lineno, le, count in sorted(hist["buckets"], key=lambda b: b[1]):
+            if prev is not None and count < prev:
+                errors.append(
+                    f"line {lineno}: {label} bucket le={le} count {count} "
+                    f"below previous bucket's {prev} (not cumulative)"
+                )
+            prev = count
+        infs = [b for b in hist["buckets"] if b[1] == float("inf")]
+        if not infs:
+            errors.append(f"{label}: missing +Inf bucket")
+        elif hist["count"] is not None and infs[-1][2] != hist["count"][1]:
+            errors.append(
+                f"line {infs[-1][0]}: {label} +Inf bucket {infs[-1][2]} "
+                f"!= _count {hist['count'][1]}"
+            )
+
+    if errors:
+        for e in errors:
+            print(f"check_prometheus: {e}", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_prometheus: OK ({samples} samples, {len(types)} families, "
+          f"{len(histograms)} histogram series)")
+
+
+if __name__ == "__main__":
+    main()

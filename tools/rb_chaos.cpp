@@ -44,6 +44,7 @@
 #include "common/strings.hpp"
 #include "netdev/nic.hpp"
 #include "packet/pool.hpp"
+#include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
 #include "workload/traffic_matrix.hpp"
 
@@ -372,7 +373,18 @@ int main(int argc, char** argv) {
   auto* duration = flags.AddDouble("duration", 0.02, "simulated seconds per DES episode");
   auto* smoke = flags.AddBool("smoke", false, "fixed small preset for CI (<5s)");
   auto* verbose = flags.AddBool("verbose", false, "per-episode detail");
+  auto* flight_dump = flags.AddString(
+      "flight-dump", "", "write the flight-recorder tail here after the run (always on failure; "
+                         "a fatal invariant also dumps here via the crash hook)");
   flags.Parse(argc, argv);
+
+  // Black box over every episode: the chaos runs are exactly where a
+  // post-hoc "what happened right before the violation" tail pays off.
+  rb::telemetry::FlightRecorder recorder(4096);
+  rb::telemetry::FlightRecorder::Install(&recorder);
+  if (!flight_dump->empty()) {
+    rb::telemetry::FlightRecorder::SetCrashDumpPath(*flight_dump);
+  }
 
   if (*smoke) {
     *episodes = 4;
@@ -395,13 +407,26 @@ int main(int argc, char** argv) {
     RunGraphEpisode(static_cast<uint64_t>(*seed), e, *verbose);
   }
 
+  if (!flight_dump->empty()) {
+    if (recorder.DumpToFile(*flight_dump)) {
+      std::printf("flight recorder (%llu events) dumped to %s\n",
+                  static_cast<unsigned long long>(recorder.recorded()), flight_dump->c_str());
+    } else {
+      std::fprintf(stderr, "warning: failed to write %s\n", flight_dump->c_str());
+    }
+  }
   if (g_violations == 0) {
     std::printf("rb_chaos OK: %lld DES + %lld graph episodes, 0 violations (seed %llu)\n",
                 static_cast<long long>(*episodes), static_cast<long long>(*graph_episodes),
                 static_cast<unsigned long long>(*seed));
+    rb::telemetry::FlightRecorder::Install(nullptr);
     return 0;
   }
   std::fprintf(stderr, "rb_chaos FAILED: %d violation(s); replay with --seed %llu\n",
                g_violations, static_cast<unsigned long long>(*seed));
+  std::fprintf(stderr, "--- flight recorder (violations) ---\n");
+  recorder.DumpTo(stderr, 64);
+  std::fprintf(stderr, "--- end flight recorder ---\n");
+  rb::telemetry::FlightRecorder::Install(nullptr);
   return 1;
 }

@@ -1,0 +1,354 @@
+// rb_top: live terminal view of a running router's introspection plane
+// (DESIGN.md §13). Connects to a --control-socket endpoint, discovers the
+// handler surface with LIST, and renders per-element packet/drop rates,
+// queue occupancy sparklines, drop-bucket deltas, and (when the target is
+// a cluster bench) per-node load imbalance, refreshing in place.
+//
+//   $ ./ip_router --control-socket=7777 &
+//   $ ./rb_top --connect=7777
+//   $ ./rb_top --connect=/tmp/ctl.sock --once     # one frame, no ANSI
+//
+// --once / --frames=N bound the run for scripts and CI; the interactive
+// mode redraws every --interval-ms until the peer goes away or ^C.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "common/strings.hpp"
+
+namespace {
+
+// Blocking line-protocol client over the control socket.
+class ControlClient {
+ public:
+  ~ControlClient() { Close(); }
+
+  bool Connect(const std::string& address, std::string* error) {
+    Close();
+    bool numeric = !address.empty();
+    for (char c : address) {
+      numeric = numeric && c >= '0' && c <= '9';
+    }
+    if (numeric) {
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      sockaddr_in sa{};
+      sa.sin_family = AF_INET;
+      sa.sin_port = htons(static_cast<uint16_t>(std::atoi(address.c_str())));
+      sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+        *error = rb::Format("connect 127.0.0.1:%s: %s", address.c_str(), std::strerror(errno));
+        Close();
+        return false;
+      }
+    } else {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un sa{};
+      sa.sun_family = AF_UNIX;
+      if (address.size() >= sizeof(sa.sun_path)) {
+        *error = "unix socket path too long";
+        Close();
+        return false;
+      }
+      std::memcpy(sa.sun_path, address.c_str(), address.size() + 1);
+      if (fd_ < 0 || ::connect(fd_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+        *error = rb::Format("connect %s: %s", address.c_str(), std::strerror(errno));
+        Close();
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Sends one command; returns true and fills *payload on 200, false on
+  // any error response or a dead connection (*payload = the error line).
+  bool Command(const std::string& line, std::string* payload) {
+    payload->clear();
+    if (fd_ < 0) {
+      *payload = "not connected";
+      return false;
+    }
+    std::string out = line + "\n";
+    if (!WriteAll(out)) {
+      *payload = "peer went away";
+      return false;
+    }
+    std::string status;
+    if (!ReadLine(&status)) {
+      *payload = "peer went away";
+      return false;
+    }
+    if (status.rfind("200 DATA ", 0) == 0) {
+      size_t n = std::strtoull(status.c_str() + 9, nullptr, 10);
+      if (!ReadExact(n + 1, payload)) {  // +1: trailing newline
+        *payload = "short framed payload";
+        return false;
+      }
+      payload->resize(n);
+      return true;
+    }
+    if (status.rfind("200", 0) == 0) {
+      *payload = status;
+      return true;
+    }
+    *payload = status;
+    return false;
+  }
+
+  void Close() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    buf_.clear();
+  }
+
+ private:
+  bool WriteAll(const std::string& data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      ssize_t n = ::write(fd_, data.data() + off, data.size() - off);
+      if (n <= 0) {
+        return false;
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  bool Fill() {
+    char tmp[4096];
+    ssize_t n = ::read(fd_, tmp, sizeof(tmp));
+    if (n <= 0) {
+      return false;
+    }
+    buf_.append(tmp, static_cast<size_t>(n));
+    return true;
+  }
+
+  bool ReadLine(std::string* line) {
+    for (;;) {
+      size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *line = buf_.substr(0, nl);
+        if (!line->empty() && line->back() == '\r') {
+          line->pop_back();
+        }
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      if (!Fill()) {
+        return false;
+      }
+    }
+  }
+
+  bool ReadExact(size_t n, std::string* out) {
+    while (buf_.size() < n) {
+      if (!Fill()) {
+        return false;
+      }
+    }
+    *out = buf_.substr(0, n);
+    buf_.erase(0, n);
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+struct QueueRow {
+  std::string name;           // element name ("Queue@4")
+  size_t capacity = 0;
+  std::vector<size_t> hist;   // recent occupancy samples (sparkline)
+};
+
+struct ElementRow {
+  std::string name;
+  uint64_t counts = 0;
+  uint64_t drops = 0;
+  double count_rate = 0;  // per second, since last frame
+  uint64_t drop_delta = 0;
+};
+
+uint64_t ParseU64(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); }
+
+// Unicode block sparkline over the tail of `hist`, scaled to `cap`.
+std::string Sparkline(const std::vector<size_t>& hist, size_t cap, size_t width) {
+  static const char* kBlocks[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇", "█"};
+  std::string out;
+  size_t start = hist.size() > width ? hist.size() - width : 0;
+  for (size_t i = start; i < hist.size(); ++i) {
+    size_t level = 0;
+    if (cap > 0 && hist[i] > 0) {
+      level = 1 + (hist[i] * 7) / cap;  // occupied -> at least one bar
+      if (level > 8) {
+        level = 8;
+      }
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rb::FlagSet flags("rb_top");
+  auto* connect_to = flags.AddString("connect", "7777", "TCP port (digits) or Unix socket path");
+  auto* interval_ms = flags.AddInt64("interval-ms", 500, "refresh period");
+  auto* frames = flags.AddInt64("frames", 0, "stop after N frames (0 = until ^C / peer exit)");
+  auto* once = flags.AddBool("once", false, "render a single frame without ANSI control");
+  flags.Parse(argc, argv);
+  if (*once) {
+    *frames = 1;
+  }
+
+  ControlClient client;
+  std::string err;
+  if (!client.Connect(*connect_to, &err)) {
+    std::fprintf(stderr, "rb_top: %s\n", err.c_str());
+    return 1;
+  }
+
+  // Discover the surface once: queues are the elements exporting
+  // `.occupancy`, elements are everything exporting `.counts`.
+  std::string listing;
+  if (!client.Command("LIST", &listing)) {
+    std::fprintf(stderr, "rb_top: LIST failed: %s\n", listing.c_str());
+    return 1;
+  }
+  std::vector<QueueRow> queues;
+  std::vector<ElementRow> elements;
+  bool have_cluster = false;
+  bool have_fr = false;
+  bool have_sched = false;
+  for (const std::string& line : rb::Split(listing, '\n')) {
+    // "r  <path>" / "w  <path>" / "rw <path>"
+    size_t sp = line.find(' ');
+    if (sp == std::string::npos) {
+      continue;
+    }
+    size_t start = line.find_first_not_of(' ', sp);
+    if (start == std::string::npos) {
+      continue;
+    }
+    std::string path = line.substr(start);
+    if (path.size() > 10 && path.rfind(".occupancy") == path.size() - 10) {
+      queues.push_back(QueueRow{path.substr(0, path.size() - 10), 0, {}});
+    } else if (path.size() > 7 && path.rfind(".counts") == path.size() - 7) {
+      elements.push_back(ElementRow{path.substr(0, path.size() - 7), 0, 0, 0, 0});
+    } else if (path == "cluster.node_loads") {
+      have_cluster = true;
+    } else if (path == "fr.recorded") {
+      have_fr = true;
+    } else if (path == "sched.watchdog_stalls") {
+      have_sched = true;
+    }
+  }
+  std::string payload;
+  for (auto& q : queues) {
+    if (client.Command("READ " + q.name + ".capacity", &payload)) {
+      q.capacity = static_cast<size_t>(ParseU64(payload));
+    }
+  }
+
+  uint64_t prev_total_drops = 0;
+  bool first = true;
+  for (long long frame = 0; *frames == 0 || frame < *frames; ++frame) {
+    if (!first) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(*interval_ms));
+    }
+    const double dt = first ? 1.0 : static_cast<double>(*interval_ms) / 1e3;
+
+    uint64_t total_drops = 0;
+    bool lost = false;
+    for (auto& e : elements) {
+      if (!client.Command("READ " + e.name + ".counts", &payload)) {
+        lost = true;
+        break;
+      }
+      uint64_t counts = ParseU64(payload);
+      e.count_rate = first ? 0 : static_cast<double>(counts - e.counts) / dt;
+      e.counts = counts;
+      if (!client.Command("READ " + e.name + ".drops", &payload)) {
+        lost = true;
+        break;
+      }
+      uint64_t drops = ParseU64(payload);
+      e.drop_delta = first ? 0 : drops - e.drops;
+      e.drops = drops;
+      total_drops += drops;
+    }
+    for (auto& q : queues) {
+      if (lost || !client.Command("READ " + q.name + ".occupancy", &payload)) {
+        lost = true;
+        break;
+      }
+      q.hist.push_back(static_cast<size_t>(ParseU64(payload)));
+      if (q.hist.size() > 64) {
+        q.hist.erase(q.hist.begin());
+      }
+    }
+    if (lost) {
+      std::fprintf(stderr, "rb_top: peer went away\n");
+      return 0;  // a finished router is a normal way for a session to end
+    }
+
+    if (!*once) {
+      std::printf("\x1b[H\x1b[2J");  // home + clear
+    }
+    std::printf("rb_top — %s  (frame %lld, every %lldms)\n", connect_to->c_str(), frame + 1,
+                static_cast<long long>(*interval_ms));
+    if (have_sched && client.Command("READ sched.watchdog_stalls", &payload)) {
+      std::printf("watchdog stalls: %s", payload.c_str());
+    }
+    if (have_fr && client.Command("READ fr.recorded", &payload)) {
+      std::printf("  flight-recorder events: %s", payload.c_str());
+    }
+    std::printf("\n\nELEMENTS%44s%12s%10s\n", "pkts", "pkts/s", "drops+");
+    for (const auto& e : elements) {
+      if (e.counts == 0 && e.drops == 0) {
+        continue;  // keep the screen to elements that saw traffic
+      }
+      std::printf("  %-40s %11llu %11.0f %9llu\n", e.name.c_str(),
+                  static_cast<unsigned long long>(e.counts), e.count_rate,
+                  static_cast<unsigned long long>(e.drop_delta));
+    }
+    if (!queues.empty()) {
+      std::printf("\nQUEUES%30s  occupancy (last %d samples)\n", "now/cap", 32);
+      for (const auto& q : queues) {
+        size_t now = q.hist.empty() ? 0 : q.hist.back();
+        std::printf("  %-24s %5zu/%-5zu  |%s|\n", q.name.c_str(), now, q.capacity,
+                    Sparkline(q.hist, q.capacity, 32).c_str());
+      }
+    }
+    uint64_t drop_delta = first ? 0 : total_drops - prev_total_drops;
+    prev_total_drops = total_drops;
+    std::printf("\nDROPS total=%llu (+%llu this frame)\n",
+                static_cast<unsigned long long>(total_drops),
+                static_cast<unsigned long long>(drop_delta));
+    if (have_cluster && client.Command("READ cluster.node_loads", &payload)) {
+      std::printf("\nCLUSTER\n%s", payload.c_str());
+      if (client.Command("READ cluster.drops", &payload)) {
+        std::printf("  drops: %s\n", payload.c_str());
+      }
+    }
+    std::fflush(stdout);
+    first = false;
+  }
+  return 0;
+}
