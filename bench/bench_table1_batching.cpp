@@ -22,6 +22,7 @@
 #include "netdev/nic.hpp"
 #include "packet/pool.hpp"
 #include "telemetry/profiler.hpp"
+#include "workload/injector.hpp"
 #include "workload/synthetic.hpp"
 
 namespace {
@@ -66,24 +67,32 @@ double GraphBatchCyclesPerPacket(uint16_t graph_batch, int packets) {
   rb::SingleServerRouter router(cfg);
   router.Initialize();
 
-  rb::SyntheticConfig syn_cfg;
-  syn_cfg.packet_size = 64;
-  rb::SyntheticGenerator syn(syn_cfg);
+  // Bulk injection so the sweep measures the graph, not per-packet frame
+  // construction (the same switch bench_fig9_breakdown made).
+  rb::InjectorConfig inj_cfg;
+  inj_cfg.synthetic.packet_size = 64;
+  inj_cfg.recycled_payload_is_clean = true;  // minimal forwarding: payload untouched
+  rb::BulkInjector injector(inj_cfg, &router.pool());
+  injector.PrecomputePlan(static_cast<size_t>(packets));
+  {
+    rb::PacketBatch warm;
+    injector.NextBurst(rb::PacketBatch::kCapacity, &warm);
+    warm.ReleaseAll();
+  }
 
   uint64_t forwarded = 0;
   rb::Packet* burst[64];
+  rb::PacketBatch inject_batch;
   const uint64_t t0 = tele::ReadCycles();
   int done = 0;
+  int burst_idx = 0;
   while (done < packets) {
-    int chunk = std::min(1024, packets - done);
-    for (int i = 0; i < chunk; ++i) {
-      rb::Packet* p = rb::AllocFrame(syn.Next(), &router.pool());
-      if (p == nullptr) {
-        break;
-      }
-      router.DeliverFrame(done % cfg.num_ports, p, 0.0);
-      done++;
-    }
+    uint32_t want = static_cast<uint32_t>(
+        std::min<int>(static_cast<int>(rb::PacketBatch::kCapacity), packets - done));
+    uint32_t got = injector.NextBurst(want, &inject_batch);
+    router.DeliverBatch(burst_idx % cfg.num_ports, &inject_batch, 0.0);
+    done += static_cast<int>(got);
+    burst_idx++;
     router.RunUntilIdle();
     for (int port = 0; port < cfg.num_ports; ++port) {
       size_t n;

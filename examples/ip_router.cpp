@@ -17,6 +17,7 @@
 // workload — injecting --packets per pass — until a client writes
 // `ctl.stop`. Poke it with rb_top, curl (GET /metrics), or the raw line
 // protocol (READ Queue@4.occupancy, WRITE Queue@4.codel_target_us 500).
+#include <algorithm>
 #include <cstdio>
 
 #include "common/flags.hpp"
@@ -29,6 +30,7 @@
 #include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "workload/abilene.hpp"
+#include "workload/injector.hpp"
 
 int main(int argc, char** argv) {
   rb::FlagSet flags("ip_router");
@@ -78,14 +80,27 @@ int main(int argc, char** argv) {
   // ctl.stop, served off the data path's thread.
   rb::ControlPlane ctl(&registry, &tracer);
   router.graph().AddHandlers(ctl.handlers());
+  router.AddHandlers(ctl.handlers());
+
+  // Abilene mix, destinations drawn from the installed prefix set (every
+  // frame routable by construction — no reject-sampling against the live
+  // table), bulk-carved from the pool and template-filled.
+  rb::TableGenConfig sampler_cfg = config.table;
+  sampler_cfg.num_next_hops = static_cast<uint32_t>(config.num_ports);
+  rb::PrefixSampler sampler(sampler_cfg);
+  rb::InjectorConfig inj_cfg;
+  inj_cfg.abilene = true;
+  inj_cfg.abilene_cfg = rb::AbileneConfig{4096, 3};
+  inj_cfg.dst_sampler = &sampler;
+  rb::BulkInjector injector(inj_cfg, &router.pool());
+  injector.AddHandlers(ctl.handlers());
+
   if (!ctl.MaybeStart(*control_addr)) {
     return 1;
   }
   const bool serving = ctl.running();
 
-  rb::AbileneGenerator gen(rb::AbileneConfig{4096, 3});
   long long injected = 0;
-  uint64_t injected_bytes = 0;
   uint64_t forwarded = 0;
   rb::Packet* burst[64];
   auto drain = [&] {
@@ -102,25 +117,19 @@ int main(int argc, char** argv) {
   // One pass injects --packets frames; with a control socket the workload
   // repeats pass after pass until a client writes ctl.stop, so there is
   // always live traffic to observe.
+  rb::PacketBatch inject_batch;
   do {
     long long pass_target = injected + *packets;
-    long long attempts = 0;
-    while (injected < pass_target && attempts < 50 * *packets && !ctl.stop_requested()) {
-      attempts++;
-      rb::FrameSpec spec = gen.Next();
-      if (router.table().Lookup(spec.flow.dst_ip) == rb::LpmTable::kNoRoute) {
-        continue;
-      }
-      rb::Packet* p = rb::AllocFrame(spec, &router.pool());
-      if (p == nullptr) {
-        router.RunUntilIdle();  // recycle buffers
-        drain();
-        continue;
-      }
-      router.DeliverFrame(static_cast<int>(injected % config.num_ports), p, 0.0);
-      injected_bytes += spec.size;
-      injected++;
-      if (injected % 2048 == 0) {
+    long long burst_idx = 0;
+    while (injected < pass_target && !ctl.stop_requested()) {
+      uint32_t want = static_cast<uint32_t>(std::min<long long>(
+          static_cast<long long>(rb::PacketBatch::kCapacity), pass_target - injected));
+      uint32_t got = injector.NextBurst(want, &inject_batch);
+      router.DeliverBatch(static_cast<int>(burst_idx % config.num_ports), &inject_batch, 0.0);
+      injected += got;
+      burst_idx++;
+      if (got < want || burst_idx % 8 == 0) {
+        // Pool pressure or a periodic tick: run the graph and recycle.
         router.RunUntilIdle();
         drain();
       }
@@ -129,9 +138,13 @@ int main(int argc, char** argv) {
   router.RunUntilIdle();
   drain();
   ctl.Stop();
-  printf("routed %llu / %lld packets (%.1f MB, mean %.0f B)\n",
-         static_cast<unsigned long long>(forwarded), injected, injected_bytes / 1e6,
-         injected ? static_cast<double>(injected_bytes) / static_cast<double>(injected) : 0.0);
+  printf("routed %llu / %lld packets (%.1f MB, mean %.0f B; pool_exhausted %llu)\n",
+         static_cast<unsigned long long>(forwarded), injected,
+         static_cast<double>(injector.injected_bytes()) / 1e6,
+         injected ? static_cast<double>(injector.injected_bytes()) /
+                        static_cast<double>(injected)
+                  : 0.0,
+         static_cast<unsigned long long>(injector.pool_exhausted()));
 
   // Telemetry readout: the registry saw every packet the NICs did, and the
   // tracer timed 1-in-N paths FromDevice -> ... -> ToDevice.

@@ -22,7 +22,15 @@ bool HeaderOk(Packet* p) {
 void CheckIpHeader::PushBatch(int /*port*/, PacketBatch& batch) {
   PacketBatch ok;
   PacketBatch bad;
-  for (Packet* p : batch) {
+  const uint32_t n = batch.size();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i + 1 < n) {
+      // Pull the next packet's annotation line and header bytes while this
+      // one is validated — the batch walks pool-order packets whose lines
+      // are rarely still resident after a full graph traversal.
+      PrefetchPacketHeaders(batch[i + 1]);
+    }
+    Packet* p = batch[i];
     if (HeaderOk(p)) {
       ok.PushBack(p);
     } else {

@@ -9,7 +9,14 @@ void DecIpTtl::PushBatch(int /*port*/, PacketBatch& batch) {
   PacketBatch ok;
   PacketBatch expired;
   PacketBatch runts;
-  for (Packet* p : batch) {
+  const uint32_t n = batch.size();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i + 1 < n) {
+      // The TTL rewrite dirties the header line; prefetch the next one so
+      // the read-modify-write doesn't serialize on a miss per packet.
+      PrefetchPacketHeaders(batch[i + 1]);
+    }
+    Packet* p = batch[i];
     if (p->length() < EthernetView::kSize + Ipv4View::kMinSize) {
       runts.PushBack(p);
       continue;

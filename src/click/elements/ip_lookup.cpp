@@ -21,7 +21,15 @@ void IpLookup::PushBatch(int /*port*/, PacketBatch& batch) {
     static const telemetry::ScopeId kLpmPhase = telemetry::InternScopeName("phase/lpm_lookup");
     RB_PROF_SCOPE(kLpmPhase);
 #endif
-    for (Packet* p : batch) {
+    const uint32_t n = batch.size();
+    for (uint32_t i = 0; i < n; ++i) {
+      if (i + 1 < n) {
+        // Overlap the next packet's header fetch with this packet's table
+        // walk — the lookup is the memory-bound step, so there is latency
+        // to hide.
+        PrefetchPacketHeaders(batch[i + 1]);
+      }
+      Packet* p = batch[i];
       if (p->length() < EthernetView::kSize + Ipv4View::kMinSize) {
         bad.PushBack(p);
         continue;

@@ -299,6 +299,17 @@ Packet* QueueElement::Pull(int /*port*/) {
 size_t QueueElement::PullBatch(int /*port*/, PacketBatch* out, int max) {
   const bool codel = opt_.aqm == AqmMode::kCoDel;
   size_t moved = 0;
+  if (!codel) {
+    // No per-packet sojourn check to run: pop the whole burst under one
+    // ring head/tail synchronization straight into the batch tail.
+    size_t want = static_cast<size_t>(max) < out->room()
+                      ? static_cast<size_t>(max)
+                      : out->room();
+    moved = ring_.TryPopBurst(out->tail(), want);
+    out->CommitAppended(static_cast<uint32_t>(moved));
+    MaybeUnblock();
+    return moved;
+  }
   Packet* p = nullptr;
   while (moved < static_cast<size_t>(max) && !out->full() && ring_.TryPop(&p)) {
     if (codel) {

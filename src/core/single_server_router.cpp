@@ -1,5 +1,7 @@
 #include "core/single_server_router.hpp"
 
+#include <string>
+
 #include "click/elements/check_ip_header.hpp"
 #include "click/elements/dec_ip_ttl.hpp"
 #include "click/elements/from_device.hpp"
@@ -112,6 +114,23 @@ void SingleServerRouter::DeliverFrame(int p, Packet* frame, SimTime t) {
   RB_CHECK(p >= 0 && p < config_.num_ports);
   frame->set_input_port(static_cast<uint16_t>(p));
   port(p).Deliver(frame, t);
+}
+
+void SingleServerRouter::DeliverBatch(int p, PacketBatch* batch, SimTime t) {
+  RB_CHECK(p >= 0 && p < config_.num_ports);
+  for (Packet* frame : *batch) {
+    frame->set_input_port(static_cast<uint16_t>(p));
+  }
+  port(p).DeliverBatch(batch, t);
+}
+
+void SingleServerRouter::AddHandlers(telemetry::HandlerRegistry* handlers) {
+  PacketPool* pool = pool_.get();
+  handlers->AddRead("pool.capacity", [pool] { return std::to_string(pool->capacity()); });
+  handlers->AddRead("pool.available", [pool] { return std::to_string(pool->available()); });
+  handlers->AddRead("pool.in_use", [pool] { return std::to_string(pool->in_use()); });
+  handlers->AddRead("pool.alloc_failures",
+                    [pool] { return std::to_string(pool->alloc_failures()); });
 }
 
 size_t SingleServerRouter::Step() {

@@ -24,6 +24,7 @@
 #include "lookup/dir24_8.hpp"
 #include "netdev/nic.hpp"
 #include "packet/pool.hpp"
+#include "telemetry/handler.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -50,6 +51,17 @@ class SingleServerRouter {
 
   // Injects a frame into `port` (as the wire would) at simulated time t.
   void DeliverFrame(int port, Packet* p, SimTime t);
+
+  // Batch variant: injects every packet in `batch` into `port` (ownership
+  // transfers; the batch is left empty). The bulk-injection entry point —
+  // a whole burst crosses into the NIC without re-entering the per-packet
+  // path.
+  void DeliverBatch(int port, PacketBatch* batch, SimTime t);
+
+  // Exports the shared packet pool's state as read handlers
+  // ("pool.capacity/available/in_use/alloc_failures"), so pool pressure is
+  // visible through the control socket alongside the element handlers.
+  void AddHandlers(telemetry::HandlerRegistry* handlers);
 
   // Runs every polling task once (single-threaded deterministic mode).
   size_t Step();

@@ -53,4 +53,23 @@ std::vector<RouteEntry> GenerateRoutingTable(const TableGenConfig& config) {
   return routes;
 }
 
+PrefixSampler::PrefixSampler(const std::vector<RouteEntry>& routes) {
+  RB_CHECK_MSG(!routes.empty(), "PrefixSampler needs at least one route");
+  prefixes_.reserve(routes.size());
+  for (const RouteEntry& r : routes) {
+    MaskedPrefix mp;
+    mp.prefix = NormalizePrefix(r.prefix, r.length);
+    mp.host_mask = r.length >= 32 ? 0 : (r.length == 0 ? 0xffffffffu : (1u << (32 - r.length)) - 1);
+    prefixes_.push_back(mp);
+  }
+}
+
+PrefixSampler::PrefixSampler(const TableGenConfig& config)
+    : PrefixSampler(GenerateRoutingTable(config)) {}
+
+uint32_t PrefixSampler::NextDst(Rng* rng) const {
+  const MaskedPrefix& mp = prefixes_[rng->NextBounded(prefixes_.size())];
+  return mp.prefix | (static_cast<uint32_t>(rng->Next()) & mp.host_mask);
+}
+
 }  // namespace rb

@@ -30,6 +30,37 @@ std::vector<RouteEntry> GenerateRoutingTable(const TableGenConfig& config);
 // pairs). Exposed for tests.
 std::vector<std::pair<uint8_t, double>> DefaultPrefixLengthWeights();
 
+// Samples destination addresses *covered by an installed prefix set*: a
+// uniformly random route, then uniformly random host bits under its
+// prefix. Every sampled address is guaranteed to match at least that
+// route in any LPM structure built from the same table, so a workload
+// generator can produce routable random destinations without consulting
+// the lookup structure it is about to stress — the harness-side
+// reject-sampling loop (router.table().Lookup() per candidate inside the
+// measured inject scope) both misattributed router cycles to the harness
+// and pre-warmed the exact cache lines `random_dst` exists to thrash.
+class PrefixSampler {
+ public:
+  // Keeps (prefix, host-bit mask) pairs; `routes` can be discarded after.
+  explicit PrefixSampler(const std::vector<RouteEntry>& routes);
+
+  // Convenience: regenerates the table from `config` (same seed => the
+  // same routes a router built from `config` installed).
+  explicit PrefixSampler(const TableGenConfig& config);
+
+  // A random address covered by a random installed route.
+  uint32_t NextDst(Rng* rng) const;
+
+  size_t num_prefixes() const { return prefixes_.size(); }
+
+ private:
+  struct MaskedPrefix {
+    uint32_t prefix = 0;     // normalized (host bits zero)
+    uint32_t host_mask = 0;  // bits free to randomize
+  };
+  std::vector<MaskedPrefix> prefixes_;
+};
+
 }  // namespace rb
 
 #endif  // RB_LOOKUP_TABLE_GEN_HPP_

@@ -67,6 +67,19 @@ void NicPort::Deliver(Packet* p, SimTime now) {
   }
 }
 
+void NicPort::DeliverBatch(PacketBatch* batch, SimTime now) {
+  const uint32_t n = batch->size();
+  for (uint32_t i = 0; i < n; ++i) {
+    if (i + 1 < n) {
+      // Steering reads the flow-hash annotation of the next packet; its
+      // metadata line may have been evicted by this packet's DMA modeling.
+      PrefetchForRead((*batch)[i + 1]);
+    }
+    Deliver((*batch)[i], now);
+  }
+  batch->Clear();
+}
+
 void NicPort::CommitStaged(uint16_t q) {
   Staged& st = staged_[q];
   if (st.pkts.empty()) {
@@ -119,11 +132,7 @@ void NicPort::FlushAllStaged() {
 
 size_t NicPort::PollRx(uint16_t q, Packet** out, size_t max) {
   RB_CHECK(q < config_.num_rx_queues);
-  size_t n = 0;
-  while (n < max && rx_rings_[q]->TryPop(&out[n])) {
-    n++;
-  }
-  return n;
+  return rx_rings_[q]->TryPopBurst(out, max);
 }
 
 bool NicPort::Transmit(uint16_t q, Packet* p) {
@@ -151,16 +160,17 @@ bool NicPort::Transmit(uint16_t q, Packet* p) {
 }
 
 size_t NicPort::DrainTx(Packet** out, size_t max) {
+  // One TryPopBurst per ring drains a queue's whole backlog under a single
+  // head/tail synchronization, instead of two atomics per packet while
+  // ping-ponging between rings. Fairness is per-queue rather than
+  // per-packet: the starting ring rotates across calls.
   size_t n = 0;
-  uint16_t attempts = 0;
-  while (n < max && attempts < config_.num_tx_queues) {
-    if (tx_rings_[tx_drain_rr_]->TryPop(&out[n])) {
-      n++;
-      attempts = 0;
-    } else {
-      attempts++;
-    }
-    tx_drain_rr_ = static_cast<uint16_t>((tx_drain_rr_ + 1) % config_.num_tx_queues);
+  for (uint16_t visited = 0; visited < config_.num_tx_queues && n < max;
+       ++visited) {
+    n += tx_rings_[tx_drain_rr_]->TryPopBurst(&out[n], max - n);
+    // Wrap without the integer divide a runtime '%' would cost.
+    tx_drain_rr_ = static_cast<uint16_t>(
+        tx_drain_rr_ + 1 == config_.num_tx_queues ? 0 : tx_drain_rr_ + 1);
   }
   return n;
 }

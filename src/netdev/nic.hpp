@@ -24,6 +24,7 @@
 #include "common/time.hpp"
 #include "netdev/ring.hpp"
 #include "netdev/steering.hpp"
+#include "packet/batch.hpp"
 #include "packet/packet.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -72,6 +73,13 @@ class NicPort {
   // rx_counters().drops (as a NIC with no free descriptors would).
   // Always takes ownership of `p`.
   void Deliver(Packet* p, SimTime now);
+
+  // Batch variant: steers and stages every packet in `batch` (ownership
+  // transfers; the batch is left empty). Semantically identical to calling
+  // Deliver per packet — the same staging thresholds fire at the same
+  // points — but lets a bulk injector hand a whole burst across without
+  // re-entering the per-packet path.
+  void DeliverBatch(PacketBatch* batch, SimTime now);
 
   // Flushes any staged descriptors whose timeout expired (no-op when
   // batch_timeout == 0). Called periodically by the simulation loop.

@@ -57,6 +57,25 @@ class SpscRing {
     return true;
   }
 
+  // Pops up to `max` items with one head/tail synchronization: a single
+  // acquire of head_, a straight copy of the available slots, one release
+  // of tail_ — instead of two atomics per item through TryPop.
+  size_t TryPopBurst(T* out, size_t max) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_acquire);
+    size_t avail = head - tail;
+    if (avail > max) {
+      avail = max;
+    }
+    for (size_t i = 0; i < avail; ++i) {
+      out[i] = std::move(slots_[(tail + i) & mask_]);
+    }
+    if (avail > 0) {
+      tail_.store(tail + avail, std::memory_order_release);
+    }
+    return avail;
+  }
+
   size_t size() const {
     // Read tail before head: the producer only advances head_, so a head
     // sampled after tail can never be older than it and the difference

@@ -10,12 +10,23 @@
 //
 // The buffer keeps headroom at the front so that encapsulating elements
 // (EtherEncap, ESP) can prepend headers without copying the payload.
+//
+// Layout (cache-honest, pinned by static_asserts below): the hot
+// annotations — length/offset, the flow fields, the VLB phase, the pool
+// back-pointer — occupy the *first* cache line of the object, so touching
+// a packet's metadata costs one line, not one line 2 KiB past the object
+// start. The buffer itself is cache-line aligned, and the object is padded
+// so the pool stride is an odd number of cache lines: consecutive packets
+// in a pool therefore map their data() bytes to different L1/L2 sets
+// instead of aliasing on a power-of-two stride.
 #ifndef RB_PACKET_PACKET_HPP_
 #define RB_PACKET_PACKET_HPP_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 
+#include "common/prefetch.hpp"
 #include "common/time.hpp"
 
 namespace rb {
@@ -111,28 +122,81 @@ class Packet {
 
   PacketPool* origin_pool() const { return origin_pool_; }
 
+  // Frame start assuming the default headroom. Forms the address from
+  // `this` plus compile-time constants — no metadata load — so it is safe
+  // to use as a software-prefetch target for a packet that is not in cache
+  // yet. Every generator materializes frames at the default headroom;
+  // encapsulation changes offset_ only after the headers have been
+  // touched (and thus cached) anyway.
+  const void* default_data() const { return buf_ + kDefaultHeadroom; }
+
  private:
   friend class PacketPool;
+  friend struct PacketLayoutCheck;
 
-  uint8_t buf_[kMaxCapacity];
+  // --- hot annotation line (first cache line of the object) ---
+  // Everything the forwarding path reads or writes per packet outside the
+  // payload bytes lives here: buffer geometry, steering/flow fields, the
+  // VLB phase, and the pool back-pointer for Free().
   uint32_t length_ = 0;
   uint32_t offset_ = kDefaultHeadroom;
-
-  SimTime arrival_time_ = 0;
-  uint16_t input_port_ = 0;
   uint32_t flow_hash_ = 0;
-  VlbPhase vlb_phase_ = VlbPhase::kNone;
+  uint16_t input_port_ = 0;
   uint16_t output_node_ = kNoNode;
-  uint64_t flow_id_ = 0;
-  uint64_t flow_seq_ = 0;
+  VlbPhase vlb_phase_ = VlbPhase::kNone;
   uint8_t paint_ = 0;
-  uint64_t trace_handle_ = 0;
-  double enqueue_time_ = 0;
-  PacketPool* origin_pool_ = nullptr;
   // Maintained by PacketPool to reject double-frees (two owners aliasing
   // one buffer).
   bool in_pool_ = false;
+  uint64_t flow_id_ = 0;
+  uint64_t flow_seq_ = 0;
+  PacketPool* origin_pool_ = nullptr;
+  SimTime arrival_time_ = 0;
+  double enqueue_time_ = 0;
+
+  // --- cold annotations (second line) ---
+  uint64_t trace_handle_ = 0;
+
+  // Cache-line-aligned so header accesses never straddle lines; the
+  // alignment also pads the cold annotation area to a full line.
+  alignas(kCacheLineBytes) uint8_t buf_[kMaxCapacity];
+
+  // Stride pad: with the two metadata lines plus the 2 KiB buffer the
+  // object would span an even number of cache lines (and the buffer alone
+  // a power of two), so packets carved back-to-back from a pool would put
+  // their headers in the same handful of cache sets. One extra line makes
+  // the stride an odd line count — gcd(stride_lines, num_sets) == 1 — so
+  // consecutive packets walk every set.
+  [[maybe_unused]] uint8_t stride_pad_[kCacheLineBytes];
 };
+
+// Pins the cache-honest layout at compile time; a field added or moved
+// carelessly fails the build, not a perf bisect three PRs later.
+struct PacketLayoutCheck {
+  static_assert(offsetof(Packet, length_) < kCacheLineBytes);
+  static_assert(offsetof(Packet, offset_) < kCacheLineBytes);
+  static_assert(offsetof(Packet, flow_hash_) < kCacheLineBytes);
+  static_assert(offsetof(Packet, input_port_) < kCacheLineBytes);
+  static_assert(offsetof(Packet, output_node_) < kCacheLineBytes);
+  static_assert(offsetof(Packet, vlb_phase_) < kCacheLineBytes);
+  static_assert(offsetof(Packet, paint_) < kCacheLineBytes);
+  static_assert(offsetof(Packet, flow_id_) + sizeof(uint64_t) <= kCacheLineBytes);
+  static_assert(offsetof(Packet, flow_seq_) + sizeof(uint64_t) <= kCacheLineBytes);
+  static_assert(offsetof(Packet, origin_pool_) + sizeof(void*) <= kCacheLineBytes);
+  // The buffer starts on a cache line of its own.
+  static_assert(offsetof(Packet, buf_) % kCacheLineBytes == 0);
+  // Pool stride: whole cache lines, an odd number of them.
+  static_assert(sizeof(Packet) % kCacheLineBytes == 0);
+  static_assert((sizeof(Packet) / kCacheLineBytes) % 2 == 1,
+                "pool stride must be an odd cache-line count to avoid set aliasing");
+};
+
+// Prefetches the two lines the batch elements touch per packet: the hot
+// annotation line and the (default-headroom) header bytes.
+inline void PrefetchPacketHeaders(const Packet* p) {
+  PrefetchForRead(p);
+  PrefetchForRead(p->default_data());
+}
 
 }  // namespace rb
 

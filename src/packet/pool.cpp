@@ -1,6 +1,7 @@
 #include "packet/pool.hpp"
 
 #include "common/log.hpp"
+#include "common/prefetch.hpp"
 
 namespace rb {
 
@@ -31,6 +32,25 @@ Packet* PacketPool::Alloc() {
   return p;
 }
 
+size_t PacketPool::AllocBulk(Packet** out, size_t n) {
+  size_t got = n < free_.size() ? n : free_.size();
+  // Carve from the freelist tail in one splice instead of n pop_backs.
+  size_t base = free_.size() - got;
+  for (size_t i = 0; i < got; ++i) {
+    if (i + 4 < got) {
+      // Clearing in_pool_ is the first touch of a long-evicted metadata
+      // line; ask for ownership a few packets ahead of the store.
+      PrefetchForWrite(free_[base + i + 4]);
+    }
+    Packet* p = free_[base + i];
+    p->in_pool_ = false;
+    out[i] = p;
+  }
+  free_.resize(base);
+  alloc_failures_ += n - got;
+  return got;
+}
+
 void PacketPool::Free(Packet* p) {
   RB_CHECK_MSG(p != nullptr, "freeing null packet");
   RB_CHECK_MSG(p->origin_pool_ == this, "packet returned to the wrong pool");
@@ -40,6 +60,24 @@ void PacketPool::Free(Packet* p) {
   p->ResetMetadata();
   p->in_pool_ = true;
   free_.push_back(p);
+}
+
+void PacketPool::FreeBulk(Packet* const* pkts, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) {
+      // Free() writes the packet's metadata line (ResetMetadata + the
+      // in_pool_ flag); by drain time that line has long been evicted, so
+      // hide the read-for-ownership behind the current packet's free.
+      PrefetchForWrite(pkts[i + 1]);
+    }
+    Free(pkts[i]);
+  }
+}
+
+size_t PacketPool::SlotIndex(const Packet* p) const {
+  RB_CHECK_MSG(p != nullptr && p->origin_pool() == this,
+               "slot index asked for a foreign packet");
+  return static_cast<size_t>(p - storage_.get());
 }
 
 void PacketPool::Release(Packet* p) {

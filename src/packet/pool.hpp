@@ -31,11 +31,28 @@ class PacketPool {
   // drop, as a NIC would when it has no free descriptors).
   Packet* Alloc();
 
+  // Bulk freelist carve: pops up to `n` packets into `out` in one pass and
+  // returns how many were carved. A partial carve (return < n) means the
+  // pool ran dry mid-burst; the shortfall is counted into
+  // alloc_failures(), one per missing packet, so bulk and per-packet
+  // accounting agree. The caller owns the carved packets.
+  size_t AllocBulk(Packet** out, size_t n);
+
   // Returns a packet to this pool. The packet must have come from here.
   void Free(Packet* p);
 
+  // Bulk return of `n` packets. Each packet gets the same origin-pool and
+  // double-free checks as Free(); the freelist grows by exactly n.
+  void FreeBulk(Packet* const* pkts, size_t n);
+
   // Returns `p` to whichever pool allocated it.
   static void Release(Packet* p);
+
+  // Index of `p` in this pool's backing array (0 .. capacity-1). The
+  // packet must belong to this pool. Lets callers keep side-car state per
+  // buffer (e.g. the injector's zero-extent watermark) without widening
+  // Packet itself.
+  size_t SlotIndex(const Packet* p) const;
 
   size_t capacity() const { return capacity_; }
   size_t available() const { return free_.size(); }

@@ -1,0 +1,212 @@
+#include "workload/injector.hpp"
+
+#include <cstring>
+
+#include "common/log.hpp"
+#include "common/prefetch.hpp"
+#include "packet/checksum.hpp"
+#include "packet/headers.hpp"
+
+namespace rb {
+
+BulkInjector::BulkInjector(const InjectorConfig& config, PacketPool* pool)
+    : config_(config), pool_(pool), sampler_rng_(config.sampler_seed) {
+  RB_CHECK(pool_ != nullptr);
+  if (config_.abilene) {
+    abilene_ = std::make_unique<AbileneGenerator>(config_.abilene_cfg);
+  } else {
+    SyntheticConfig synth = config_.synthetic;
+    if (config_.dst_sampler != nullptr) {
+      // Addresses are randomized exactly once, by the sampler; leaving the
+      // generator's uniform randomization on would draw unroutable dsts
+      // that the sampler then overwrites anyway.
+      synth.random_dst = false;
+    }
+    synthetic_ = std::make_unique<SyntheticGenerator>(synth);
+  }
+  if (config_.recycled_payload_is_clean) {
+    zeroed_to_.assign(pool_->capacity(), 0);
+  }
+}
+
+FrameSpec BulkInjector::NextSpec() {
+  FrameSpec spec = config_.abilene ? abilene_->Next() : synthetic_->Next();
+  if (config_.dst_sampler != nullptr) {
+    spec.flow.dst_ip = config_.dst_sampler->NextDst(&sampler_rng_);
+  }
+  return spec;
+}
+
+const BulkInjector::Template& BulkInjector::TemplateFor(uint32_t size) {
+  if (last_template_ != nullptr && last_template_->size == size) {
+    return *last_template_;
+  }
+  for (const auto& t : templates_) {
+    if (t->size == size) {
+      last_template_ = t.get();
+      return *t;
+    }
+  }
+  // First frame of this size: materialize the canonical template once. The
+  // all-zero flow (src=dst=0, ports 0, UDP) makes the per-packet patch a
+  // pure "add the real field" checksum update with old halves of zero.
+  auto t = std::make_unique<Template>();
+  t->size = size;
+  FrameSpec canon;
+  canon.size = size;
+  canon.flow = FlowKey{};
+  canon.flow.protocol = Ipv4View::kProtoUdp;
+  auto scratch = std::make_unique<Packet>();
+  MaterializeFrame(canon, scratch.get());
+  std::memcpy(t->bytes.data(), scratch->data(), size);
+  t->ip_checksum = Ipv4View{scratch->data() + EthernetView::kSize}.checksum();
+  templates_.push_back(std::move(t));
+  last_template_ = templates_.back().get();
+  return *last_template_;
+}
+
+BulkInjector::PatchRecord BulkInjector::BuildRecord(const FrameSpec& spec) {
+  // Resolve everything that varies across packets of one size — including
+  // the final header checksum (an RFC 1624 incremental update from the
+  // template's checksum: bit-identical to MaterializeFrame's full
+  // recompute, since both arithmetics represent every nonzero
+  // one's-complement residue the same way and the header sum is never
+  // zero) and the flow hash — so the fill loop is pure stores.
+  const Template& tmpl = TemplateFor(spec.size);
+  PatchRecord r;
+  r.size = static_cast<uint16_t>(spec.size);
+  r.src_ip = spec.flow.src_ip;
+  r.dst_ip = spec.flow.dst_ip;
+  r.src_port = spec.flow.src_port;
+  r.dst_port = spec.flow.dst_port;
+  r.protocol = spec.flow.protocol ? spec.flow.protocol : Ipv4View::kProtoUdp;
+  uint16_t csum = tmpl.ip_checksum;
+  if (r.protocol != Ipv4View::kProtoUdp) {
+    csum = ChecksumUpdate16(csum, static_cast<uint16_t>((64u << 8) | Ipv4View::kProtoUdp),
+                            static_cast<uint16_t>((64u << 8) | r.protocol));
+  }
+  if (r.src_ip != 0) {
+    csum = ChecksumUpdate16(csum, 0, static_cast<uint16_t>(r.src_ip >> 16));
+    csum = ChecksumUpdate16(csum, 0, static_cast<uint16_t>(r.src_ip));
+  }
+  if (r.dst_ip != 0) {
+    csum = ChecksumUpdate16(csum, 0, static_cast<uint16_t>(r.dst_ip >> 16));
+    csum = ChecksumUpdate16(csum, 0, static_cast<uint16_t>(r.dst_ip));
+  }
+  r.ip_checksum = csum;
+  r.flow_id = spec.flow_id;
+  r.flow_seq = spec.flow_seq;
+  r.flow_hash = FlowHash32(spec.flow);
+  return r;
+}
+
+void BulkInjector::FillFromRecord(const PatchRecord& r, Packet* p) {
+  const Template& tmpl = TemplateFor(r.size);
+  p->SetLength(r.size);
+  // Every template byte past the first two cache lines (Ethernet + IP +
+  // UDP and the whole patch area sit inside 128 B) is zero payload. When
+  // the caller has declared the pipeline payload-clean
+  // (recycled_payload_is_clean), a recycled buffer whose previous fill
+  // already zeroed at least r.size bytes needs only the 128 B head copied
+  // — the rest is still zero from the last pass, because nothing between
+  // fills wrote past the headers. The watermark tracks the high-water
+  // zero extent per pool slot. Frames that fit inside the head are copied
+  // in full either way, and writing [0, 128) never disturbs the zero
+  // extent at [128, W), so they skip the slot bookkeeping entirely —
+  // which keeps the dominant 64 B workloads off the SlotIndex divide.
+  uint32_t copy = r.size;
+  if (r.size > kFillHeadBytes && !zeroed_to_.empty()) {
+    const size_t slot = pool_->SlotIndex(p);
+    if (zeroed_to_[slot] >= r.size) {
+      copy = kFillHeadBytes;
+    } else {
+      zeroed_to_[slot] = r.size;
+    }
+  }
+  std::memcpy(p->data(), tmpl.bytes.data(), copy);
+  // Unconditional stores: the template holds zeros for every patched
+  // field, so storing a zero is a no-op by value and cheaper than a
+  // branch per field.
+  uint8_t* ip = p->data() + EthernetView::kSize;
+  ip[9] = r.protocol;
+  StoreBe16(ip + 10, r.ip_checksum);
+  StoreBe32(ip + 12, r.src_ip);
+  StoreBe32(ip + 16, r.dst_ip);
+  uint8_t* udp = ip + Ipv4View::kMinSize;
+  StoreBe16(udp, r.src_port);
+  StoreBe16(udp + 2, r.dst_port);
+  p->set_flow_id(r.flow_id);
+  p->set_flow_seq(r.flow_seq);
+  p->set_flow_hash(r.flow_hash);
+}
+
+void BulkInjector::FillFrame(const FrameSpec& spec, Packet* p) {
+  FillFromRecord(BuildRecord(spec), p);
+}
+
+void BulkInjector::PrecomputePlan(size_t n) {
+  RB_CHECK_MSG(n > 0, "empty injection plan");
+  plan_.clear();
+  plan_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    plan_.push_back(BuildRecord(NextSpec()));
+  }
+  plan_pos_ = 0;
+}
+
+uint32_t BulkInjector::NextBurst(uint32_t n, PacketBatch* out) {
+  RB_CHECK_MSG(n <= out->room(), "burst larger than batch room");
+  Packet** slots = out->tail();
+  uint32_t got = static_cast<uint32_t>(pool_->AllocBulk(slots, n));
+  pool_exhausted_ += n - got;
+  const bool use_plan = !plan_.empty();
+  for (uint32_t i = 0; i < got; ++i) {
+    if (use_plan) {
+      const PatchRecord& r = plan_[plan_pos_];
+      plan_pos_ = plan_pos_ + 1 == plan_.size() ? 0 : plan_pos_ + 1;
+      if (i + 1 < got) {
+        // The next packet's metadata line and the buffer lines its fill
+        // will store to are written next; freelist neighbours are not
+        // address-adjacent, so ask for them early. The upcoming record
+        // gives the exact frame size; clean-recycled fills only write the
+        // 128 B head.
+        PrefetchForWrite(slots[i + 1]);
+        auto* next = static_cast<char*>(
+            const_cast<void*>(slots[i + 1]->default_data()));
+        uint32_t span = plan_[plan_pos_].size;
+        if (!zeroed_to_.empty() && span > kFillHeadBytes) {
+          span = kFillHeadBytes;
+        }
+        for (uint32_t off = 0; off < span; off += kCacheLineBytes) {
+          PrefetchForWrite(next + off);
+        }
+      }
+      FillFromRecord(r, slots[i]);
+      injected_bytes_ += r.size;
+    } else {
+      if (i + 1 < got) {
+        PrefetchForWrite(slots[i + 1]);
+        PrefetchForWrite(const_cast<void*>(slots[i + 1]->default_data()));
+      }
+      FrameSpec spec = NextSpec();
+      FillFrame(spec, slots[i]);
+      injected_bytes_ += spec.size;
+    }
+  }
+  injected_packets_ += got;
+  out->CommitAppended(got);
+  return got;
+}
+
+double BulkInjector::mean_size() const {
+  return config_.abilene ? abilene_->mean_size() : synthetic_->mean_size();
+}
+
+void BulkInjector::AddHandlers(telemetry::HandlerRegistry* handlers, const std::string& owner) {
+  handlers->AddRead(owner + ".packets", [this] { return std::to_string(injected_packets_); });
+  handlers->AddRead(owner + ".bytes", [this] { return std::to_string(injected_bytes_); });
+  handlers->AddRead(owner + ".pool_exhausted",
+                    [this] { return std::to_string(pool_exhausted_); });
+}
+
+}  // namespace rb

@@ -1,0 +1,171 @@
+// Zero-copy bulk frame injection for the measured pipelines.
+//
+// The benches used to pay a full AllocFrame per injected packet inside
+// their measured loops: a pool pop, a whole-frame memset, three header
+// writers, and a from-scratch IP checksum — 47-72% of "pipeline"
+// cycles/packet in the committed Fig. 9 baseline was this harness
+// scaffolding, not the router. BulkInjector moves frame construction off
+// the per-packet path:
+//
+//   * setup: one immutable frame template per distinct frame size is
+//     materialized once (headers + zeroed payload + a valid checksum);
+//   * per burst: a PacketBatch is carved from the pool in one
+//     PacketPool::AllocBulk call, the template is memcpy'd once per
+//     packet, and only the varying fields are patched — IP src/dst (with
+//     an RFC 1624 incremental checksum update, bit-identical to the full
+//     recompute), UDP ports, the protocol byte, and the flow_id/seq/hash
+//     annotations.
+//
+// The patched output is byte-identical to MaterializeFrame for the same
+// FrameSpec (asserted by tests/workload/injector_test.cpp), so switching a
+// bench to the injector changes *what is measured*, not what the router
+// sees.
+//
+// Routing workloads draw destination addresses from a PrefixSampler
+// (lookup/table_gen.hpp) — random addresses *covered by the installed
+// table* — instead of reject-sampling uniform addresses against
+// router.table().Lookup() inside the measured scope, which both charged
+// router lookup cycles to the harness and pre-warmed the lookup caches
+// the random-destination workload exists to defeat.
+//
+// Pool exhaustion mid-burst is not silent truncation: the shortfall is
+// counted in pool_exhausted() (and exported as a handler), so a bench that
+// outruns its drain loop sees an explicit drop bucket.
+#ifndef RB_WORKLOAD_INJECTOR_HPP_
+#define RB_WORKLOAD_INJECTOR_HPP_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "common/prefetch.hpp"
+#include "lookup/table_gen.hpp"
+#include "packet/batch.hpp"
+#include "telemetry/handler.hpp"
+#include "workload/abilene.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+
+struct InjectorConfig {
+  // Workload source: the synthetic fixed-size generator or the
+  // Abilene-like trimodal mix.
+  bool abilene = false;
+  SyntheticConfig synthetic;
+  AbileneConfig abilene_cfg;
+
+  // When non-null, every spec's destination address is re-drawn from the
+  // installed prefix set (rtr workloads). Overrides synthetic.random_dst
+  // (the generator's own uniform randomization is disabled so addresses
+  // are randomized exactly once, and are always routable). Must outlive
+  // the injector.
+  const PrefixSampler* dst_sampler = nullptr;
+  uint64_t sampler_seed = 0x5eedd57;
+
+  // Caller's promise that nothing downstream writes frame bytes past the
+  // first two cache lines (headers + patch area) between fills — true for
+  // forwarding/routing pipelines, which only touch TTL/checksum, and
+  // false for IPsec, which rewrites the payload. When set, a recycled
+  // buffer keeps its zero payload from the previous fill and NextBurst
+  // copies only the 128 B head, independent of frame size.
+  bool recycled_payload_is_clean = false;
+};
+
+// Ethernet + IPv4 + UDP headers and every field FillFrame patches sit
+// inside the first two cache lines of a frame.
+inline constexpr uint32_t kFillHeadBytes = 2 * kCacheLineBytes;
+
+class BulkInjector {
+ public:
+  // Templates are materialized lazily, one per distinct frame size (the
+  // synthetic generator uses one; Abilene uses its three modes).
+  BulkInjector(const InjectorConfig& config, PacketPool* pool);
+
+  // Next logical frame from the configured generator, with the
+  // destination re-drawn from the prefix sampler when configured.
+  FrameSpec NextSpec();
+
+  // Template-fills an already-allocated packet; byte-identical to
+  // MaterializeFrame(spec, p) including annotations. Exposed for the
+  // equivalence tests and for callers that manage their own allocation.
+  void FillFrame(const FrameSpec& spec, Packet* p);
+
+  // Carves up to `n` packets from the pool in one bulk call, fills each
+  // from its size's template, and appends them to `out`. Returns the
+  // number injected; a shortfall (pool dry) is counted in
+  // pool_exhausted() rather than silently truncating the burst.
+  // n must fit in out->room().
+  uint32_t NextBurst(uint32_t n, PacketBatch* out);
+
+  // Pre-draws `n` frames' varying fields — addresses, ports, protocol,
+  // size, flow annotations, and the *final* header checksum — into a flat
+  // setup-time plan. A planned injector's NextBurst cycles through the
+  // records and skips all per-packet generator, hash, and checksum
+  // arithmetic: the measured loop is one template memcpy plus a dozen
+  // scalar stores. Records are drawn through NextSpec(), so the frame
+  // stream is identical to the unplanned one.
+  void PrecomputePlan(size_t n);
+  bool planned() const { return !plan_.empty(); }
+
+  uint64_t injected_packets() const { return injected_packets_; }
+  uint64_t injected_bytes() const { return injected_bytes_; }
+  // Explicit drop bucket: packets a burst asked for that the pool could
+  // not supply.
+  uint64_t pool_exhausted() const { return pool_exhausted_; }
+
+  double mean_size() const;
+
+  // Exports "<owner>.packets/bytes/pool_exhausted" read handlers
+  // (DESIGN.md §13/§14).
+  void AddHandlers(telemetry::HandlerRegistry* handlers, const std::string& owner = "injector");
+
+ private:
+  struct Template {
+    uint32_t size = 0;
+    uint16_t ip_checksum = 0;  // checksum over the template's header (src=dst=0, UDP)
+    std::array<uint8_t, Packet::kMaxCapacity> bytes{};
+  };
+
+  // One frame's varying fields, fully resolved (checksum included) so the
+  // fill loop does no arithmetic. 28 bytes: the plan streams sequentially
+  // through the hardware prefetcher.
+  struct PatchRecord {
+    uint32_t src_ip = 0;
+    uint32_t dst_ip = 0;
+    uint32_t flow_id = 0;
+    uint32_t flow_seq = 0;
+    uint32_t flow_hash = 0;
+    uint16_t src_port = 0;
+    uint16_t dst_port = 0;
+    uint16_t ip_checksum = 0;
+    uint16_t size = 0;
+    uint8_t protocol = 0;
+  };
+
+  const Template& TemplateFor(uint32_t size);
+  PatchRecord BuildRecord(const FrameSpec& spec);
+  void FillFromRecord(const PatchRecord& r, Packet* p);
+
+  InjectorConfig config_;
+  PacketPool* pool_;
+  std::unique_ptr<SyntheticGenerator> synthetic_;
+  std::unique_ptr<AbileneGenerator> abilene_;
+  Rng sampler_rng_;
+  // A handful of entries (one per frame size); linear scan with a
+  // last-used cache beats any map on the hot path.
+  std::vector<std::unique_ptr<Template>> templates_;
+  const Template* last_template_ = nullptr;
+  std::vector<PatchRecord> plan_;
+  size_t plan_pos_ = 0;
+  // Per pool slot: bytes from frame start known to be zero (empty when
+  // recycled_payload_is_clean is off).
+  std::vector<uint16_t> zeroed_to_;
+
+  uint64_t injected_packets_ = 0;
+  uint64_t injected_bytes_ = 0;
+  uint64_t pool_exhausted_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_WORKLOAD_INJECTOR_HPP_

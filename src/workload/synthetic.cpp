@@ -18,10 +18,15 @@ const char* AppName(App app) {
 }
 
 void MaterializeFrame(const FrameSpec& spec, Packet* p) {
-  RB_CHECK(spec.size >= EthernetView::kSize + Ipv4View::kMinSize + UdpView::kSize);
+  constexpr uint32_t kHeaderBytes = EthernetView::kSize + Ipv4View::kMinSize + UdpView::kSize;
+  RB_CHECK(spec.size >= kHeaderBytes);
   RB_CHECK(spec.size + Packet::kDefaultHeadroom <= Packet::kMaxCapacity);
   p->SetLength(spec.size);
-  memset(p->data(), 0, spec.size);
+
+  // Every header byte is written exactly once below, so only the payload
+  // tail past the headers needs zeroing — a 64 B frame zeroes 22 bytes,
+  // not 64, and a 1500 B frame skips re-writing the 42 header bytes.
+  memset(p->data() + kHeaderBytes, 0, spec.size - kHeaderBytes);
 
   EthernetView eth{p->data()};
   eth.set_dst(MacAddress{0x02, 0x00, 0x00, 0x00, 0x00, 0x01});
@@ -32,10 +37,15 @@ void MaterializeFrame(const FrameSpec& spec, Packet* p) {
   Ipv4View::WriteDefault(p->data() + EthernetView::kSize, spec.flow.src_ip, spec.flow.dst_ip,
                          spec.flow.protocol ? spec.flow.protocol : Ipv4View::kProtoUdp, ip_total);
 
+  // The transport header is written UDP-shaped regardless of the flow's
+  // protocol annotation (the datagram length field must describe a real
+  // UDP payload for the smallest Abilene frames too).
+  uint16_t udp_len = static_cast<uint16_t>(ip_total - Ipv4View::kMinSize);
+  RB_CHECK_MSG(udp_len >= UdpView::kSize, "frame too small to carry a UDP datagram");
   UdpView udp{p->data() + EthernetView::kSize + Ipv4View::kMinSize};
   udp.set_src_port(spec.flow.src_port);
   udp.set_dst_port(spec.flow.dst_port);
-  udp.set_length(static_cast<uint16_t>(ip_total - Ipv4View::kMinSize));
+  udp.set_length(udp_len);
   udp.set_checksum(0);
 
   p->set_flow_id(spec.flow_id);

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "packet/headers.hpp"
+#include "workload/injector.hpp"
 #include "workload/synthetic.hpp"
 
 namespace rb {
@@ -59,6 +60,51 @@ TEST(SingleServerTest, MinimalForwardingMovesEverything) {
   for (uint64_t count : per_port) {
     EXPECT_EQ(count, static_cast<uint64_t>(kPackets) / 4);
   }
+}
+
+TEST(SingleServerTest, BulkInjectedBatchForwardsEndToEnd) {
+  // The zero-copy injection path: AllocBulk -> template fill ->
+  // DeliverBatch, then everything forwards exactly as per-packet delivery
+  // would.
+  SingleServerRouter router(SmallConfig(App::kMinimalForwarding));
+  router.Initialize();
+  InjectorConfig inj_cfg;
+  inj_cfg.synthetic.packet_size = 64;
+  BulkInjector injector(inj_cfg, &router.pool());
+  const uint32_t kBurst = 125;
+  size_t forwarded = 0;
+  for (int port = 0; port < 4; ++port) {
+    PacketBatch batch;
+    ASSERT_EQ(injector.NextBurst(kBurst, &batch), kBurst);
+    router.DeliverBatch(port, &batch, 0.0);
+    EXPECT_TRUE(batch.empty());
+  }
+  router.RunUntilIdle();
+  forwarded = DrainAll(&router);
+  EXPECT_EQ(forwarded, static_cast<size_t>(4 * kBurst));
+  EXPECT_EQ(injector.pool_exhausted(), 0u);
+  EXPECT_EQ(router.pool().available(), router.pool().capacity());
+}
+
+TEST(SingleServerTest, PoolHandlersExposeOccupancy) {
+  SingleServerRouter router(SmallConfig(App::kMinimalForwarding));
+  router.Initialize();
+  telemetry::HandlerRegistry handlers;
+  router.AddHandlers(&handlers);
+  EXPECT_EQ(handlers.Read("pool.capacity").text, std::to_string(router.pool().capacity()));
+  EXPECT_EQ(handlers.Read("pool.in_use").text, "0");
+  Packet* p = router.pool().Alloc();
+  EXPECT_EQ(handlers.Read("pool.in_use").text, "1");
+  EXPECT_EQ(handlers.Read("pool.available").text,
+            std::to_string(router.pool().capacity() - 1));
+  router.pool().Free(p);
+  // Exhaust the pool: alloc_failures must show through the handler plane.
+  std::vector<Packet*> all(router.pool().capacity() + 3);
+  size_t got = router.pool().AllocBulk(all.data(), all.size());
+  EXPECT_EQ(got, router.pool().capacity());
+  EXPECT_EQ(handlers.Read("pool.alloc_failures").text, "3");
+  EXPECT_EQ(handlers.Read("pool.available").text, "0");
+  router.pool().FreeBulk(all.data(), got);
 }
 
 TEST(SingleServerTest, IpRoutingFollowsTable) {

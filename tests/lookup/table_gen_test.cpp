@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "lookup/dir24_8.hpp"
+
 namespace rb {
 namespace {
 
@@ -92,6 +94,71 @@ TEST(TableGenTest, WeightsCoverDocumentedLengths) {
   EXPECT_EQ(weights.front().first, 8);
   EXPECT_EQ(weights.back().first, 32);
   EXPECT_EQ(weights.size(), 25u);
+}
+
+TEST(PrefixSamplerTest, EveryDstMatchesItsTable) {
+  // The whole point: sampled addresses are routable in an LPM built from
+  // the same table, with no reject-sampling against that LPM.
+  TableGenConfig cfg;
+  cfg.num_routes = 4096;
+  auto routes = GenerateRoutingTable(cfg);
+  Dir24_8 table;
+  table.InsertAll(routes);
+  PrefixSampler sampler(routes);
+  EXPECT_EQ(sampler.num_prefixes(), routes.size());
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_NE(table.Lookup(sampler.NextDst(&rng)), LpmTable::kNoRoute);
+  }
+}
+
+TEST(PrefixSamplerTest, ConfigConstructorMatchesRouterTable) {
+  // Same config + seed => the sampler covers exactly the routes a router
+  // built from that config installed.
+  TableGenConfig cfg;
+  cfg.num_routes = 2048;
+  cfg.seed = 1234;
+  Dir24_8 table;
+  table.InsertAll(GenerateRoutingTable(cfg));
+  PrefixSampler sampler(cfg);
+  Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(table.Lookup(sampler.NextDst(&rng)), LpmTable::kNoRoute);
+  }
+}
+
+TEST(PrefixSamplerTest, RandomizesHostBits) {
+  // A /8 route leaves 24 host bits free; the sampler must actually spread
+  // over them (cache-thrash workloads depend on destination entropy).
+  std::vector<RouteEntry> routes;
+  RouteEntry r;
+  r.prefix = 0x0a000000;
+  r.length = 8;
+  r.next_hop = 1;
+  routes.push_back(r);
+  PrefixSampler sampler(routes);
+  Rng rng(7);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t dst = sampler.NextDst(&rng);
+    EXPECT_EQ(dst >> 24, 0x0au);
+    seen.insert(dst);
+  }
+  EXPECT_GT(seen.size(), 900u);
+}
+
+TEST(PrefixSamplerTest, HostRouteIsExact) {
+  std::vector<RouteEntry> routes;
+  RouteEntry r;
+  r.prefix = 0xc0a80101;
+  r.length = 32;
+  r.next_hop = 2;
+  routes.push_back(r);
+  PrefixSampler sampler(routes);
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(sampler.NextDst(&rng), 0xc0a80101u);
+  }
 }
 
 }  // namespace

@@ -115,5 +115,43 @@ TEST(PacketTest, TailroomAccounting) {
   EXPECT_EQ(p.tailroom(), Packet::kMaxCapacity - Packet::kDefaultHeadroom - 100);
 }
 
+TEST(PacketTest, CacheLayoutPinned) {
+  // The compile-time contract lives in PacketLayoutCheck (packet.hpp);
+  // these runtime pins catch what static_asserts on private members can't
+  // express from outside the class, and document the intent: hot
+  // annotations in the object's first cache line, a 64-aligned frame
+  // buffer, and an odd-cache-line stride so consecutive pool packets don't
+  // alias the same cache sets.
+  EXPECT_EQ(sizeof(Packet) % kCacheLineBytes, 0u);
+  EXPECT_EQ((sizeof(Packet) / kCacheLineBytes) % 2, 1u);
+  EXPECT_GE(alignof(Packet), kCacheLineBytes);
+
+  Packet p;
+  auto base = reinterpret_cast<uintptr_t>(&p);
+  // default_data() must be computable from `this` + constants alone (no
+  // metadata load) and land 64-aligned, so header prefetches hit the line
+  // that actually holds the Ethernet/IP headers.
+  auto data = reinterpret_cast<uintptr_t>(p.default_data());
+  EXPECT_EQ(data % kCacheLineBytes, 0u);
+  EXPECT_EQ(data, reinterpret_cast<uintptr_t>(p.data()));
+  EXPECT_LT(data - base, sizeof(Packet));
+}
+
+TEST(PacketTest, PoolStorageKeepsAlignment) {
+  // Pool storage is a contiguous Packet[], so the odd-line stride is what
+  // spreads consecutive packets across cache sets.
+  PacketPool pool(4);
+  Packet* pkts[4];
+  ASSERT_EQ(pool.AllocBulk(pkts, 4), 4u);
+  for (int i = 1; i < 4; ++i) {
+    auto a = reinterpret_cast<uintptr_t>(pkts[i - 1]);
+    auto b = reinterpret_cast<uintptr_t>(pkts[i]);
+    EXPECT_EQ(a % kCacheLineBytes, 0u);
+    uintptr_t stride = a > b ? a - b : b - a;
+    EXPECT_EQ(stride % sizeof(Packet), 0u);
+  }
+  pool.FreeBulk(pkts, 4);
+}
+
 }  // namespace
 }  // namespace rb

@@ -92,6 +92,96 @@ TEST(PoolTest, ReallocAfterFreeIsLegalAgain) {
   EXPECT_EQ(pool.available(), 1u);
 }
 
+TEST(PoolTest, AllocBulkCarvesDistinctPackets) {
+  PacketPool pool(16);
+  Packet* pkts[16];
+  EXPECT_EQ(pool.AllocBulk(pkts, 16), 16u);
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.in_use(), 16u);
+  for (size_t i = 0; i < 16; ++i) {
+    ASSERT_NE(pkts[i], nullptr);
+    EXPECT_EQ(pkts[i]->origin_pool(), &pool);
+    for (size_t j = i + 1; j < 16; ++j) {
+      EXPECT_NE(pkts[i], pkts[j]);
+    }
+  }
+  pool.FreeBulk(pkts, 16);
+  EXPECT_EQ(pool.available(), 16u);
+  EXPECT_EQ(pool.alloc_failures(), 0u);
+}
+
+TEST(PoolTest, AllocBulkPartialCarveCountsShortfall) {
+  PacketPool pool(4);
+  Packet* pkts[8];
+  EXPECT_EQ(pool.AllocBulk(pkts, 8), 4u);
+  // One failure per missing packet, same accounting as 8 Alloc() calls.
+  EXPECT_EQ(pool.alloc_failures(), 4u);
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_EQ(pool.AllocBulk(pkts + 4, 2), 0u);
+  EXPECT_EQ(pool.alloc_failures(), 6u);
+  pool.FreeBulk(pkts, 4);
+  EXPECT_EQ(pool.available(), 4u);
+}
+
+TEST(PoolTest, AllocBulkMatchesSingleAllocSequence) {
+  // Bulk and single alloc drain the same freelist; a bulk carve of n must
+  // leave the pool in the same state n pops would.
+  PacketPool a(8);
+  PacketPool b(8);
+  Packet* bulk[5];
+  ASSERT_EQ(a.AllocBulk(bulk, 5), 5u);
+  Packet* single[5];
+  for (auto& p : single) {
+    p = b.Alloc();
+  }
+  EXPECT_EQ(a.available(), b.available());
+  EXPECT_EQ(a.in_use(), b.in_use());
+  a.FreeBulk(bulk, 5);
+  for (Packet* p : single) {
+    b.Free(p);
+  }
+  EXPECT_EQ(a.available(), 8u);
+  EXPECT_EQ(b.available(), 8u);
+}
+
+TEST(PoolTest, BulkAndSingleInterleave) {
+  PacketPool pool(8);
+  Packet* bulk[4];
+  ASSERT_EQ(pool.AllocBulk(bulk, 4), 4u);
+  Packet* s = pool.Alloc();
+  ASSERT_NE(s, nullptr);
+  pool.FreeBulk(bulk, 4);
+  EXPECT_EQ(pool.available(), 7u);  // 8 - the one single alloc still out
+  Packet* again[7];
+  EXPECT_EQ(pool.AllocBulk(again, 7), 7u);
+  pool.Free(s);
+  pool.FreeBulk(again, 7);
+  EXPECT_EQ(pool.available(), 8u);
+}
+
+TEST(PoolDeathTest, FreeBulkDetectsDoubleFree) {
+  PacketPool pool(2);
+  Packet* pkts[2];
+  ASSERT_EQ(pool.AllocBulk(pkts, 2), 2u);
+  pool.Free(pkts[0]);
+  // pkts[0] is already back in the pool; the bulk return must still trip
+  // the per-packet double-free check.
+  EXPECT_DEATH(pool.FreeBulk(pkts, 2), "double free");
+  pool.Free(pkts[1]);
+}
+
+TEST(PoolTest, AllocBulkClearsInPoolFlag) {
+  // A bulk-carved packet must be freeable exactly once, like Alloc'd ones.
+  PacketPool pool(2);
+  Packet* pkts[2];
+  ASSERT_EQ(pool.AllocBulk(pkts, 2), 2u);
+  pool.FreeBulk(pkts, 2);
+  Packet* again[2];
+  ASSERT_EQ(pool.AllocBulk(again, 2), 2u);
+  pool.FreeBulk(again, 2);
+  EXPECT_EQ(pool.available(), 2u);
+}
+
 TEST(PoolTest, AllPacketsDistinct) {
   PacketPool pool(16);
   std::vector<Packet*> all;
