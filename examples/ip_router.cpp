@@ -4,13 +4,17 @@
 // configuration would sustain on the paper's hardware.
 //
 //   $ ./ip_router [--packets=N] [--ports=P] [--metrics-out=metrics.json]
-//                 [--profile-out=profile.json] [--control-socket=ADDR]
+//                 [--profile-out=profile.json] [--trace-out=trace.json]
+//                 [--control-socket=ADDR]
 //
 // With --metrics-out, the run's full telemetry lands in one JSON document:
 // per-element packet counters, per-queue drop/occupancy stats, NIC port
 // counters, and a sampled per-hop latency histogram from the path tracer.
 // With --profile-out, a cycle-accounting profile (task -> element -> phase
-// scope tree with cycles/packet) is written alongside.
+// scope tree with cycles/packet) is written alongside. With --trace-out,
+// the sampled packet paths land as Chrome/Perfetto trace-event JSON —
+// load in ui.perfetto.dev to see each packet's span tree with
+// queueing-wait vs service-time args per hop.
 //
 // With --control-socket (TCP port or Unix-socket path), the run serves the
 // live introspection plane (DESIGN.md §13) and keeps re-running the
@@ -40,6 +44,7 @@ int main(int argc, char** argv) {
   auto* trace_every = flags.AddInt64("trace-every", 64, "sample 1 in N packet paths");
   auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   auto* profile_out = rb::AddProfileOutFlag(&flags);
+  auto* trace_out = rb::AddTraceOutFlag(&flags);
   auto* control_addr = rb::AddControlSocketFlag(&flags);
   flags.Parse(argc, argv);
 
@@ -165,11 +170,21 @@ int main(int argc, char** argv) {
          snap.counters.size() + snap.gauges.size(), static_cast<unsigned long long>(rx),
          static_cast<unsigned long long>(drops),
          static_cast<unsigned long long>(tracer.sampled()), hop.Percentile(50) * 1e6);
+  // Measured ingress-to-egress tails from the always-on latency plane
+  // (cycle stamps at FromDevice, read out at each ToDevice): one line per
+  // egress port, synthesized into the same snapshot's gauges.
+  for (const auto& lat : snap.latency) {
+    printf("latency %-12s count %8llu  p50 %7.2f us  p99 %7.2f us  p999 %7.2f us\n",
+           lat.first.c_str(), static_cast<unsigned long long>(lat.second.count),
+           lat.second.PercentileNs(50) / 1e3, lat.second.PercentileNs(99) / 1e3,
+           lat.second.PercentileNs(99.9) / 1e3);
+  }
 
   rb::telemetry::ExportBundle bundle;
   bundle.registry = &registry;
   bundle.tracer = &tracer;
   rb::MaybeWriteMetrics(*metrics_out, bundle);
+  rb::MaybeWriteTrace(*trace_out, tracer);
 
   if (!profile_out->empty()) {
     rb::telemetry::SetProfiler(nullptr);

@@ -61,6 +61,8 @@ void Element::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::Path
     tele_batch_ = registry->GetHistogram(
         prefix + "elem/" + name_ + "/batch_size",
         telemetry::HistogramOptions{0, static_cast<double>(PacketBatch::kCapacity), 64});
+    tele_lat_drop_ = registry->GetLatencyHistogram(prefix + "lat/drop");
+    ns_per_cycle_ = 1e9 / telemetry::CyclesPerSecond();
   }
   tracer_ = tracer;
 }
@@ -104,7 +106,8 @@ void Element::Output(int port, Packet* p) {
   }
   if (tracer_ != nullptr && p->trace_handle() != 0) {
     // Record the hop at the receiving element, timestamped on handoff.
-    tracer_->Record(p->trace_handle(), ref.element->name(), telemetry::NowSeconds());
+    tracer_->Record(p->trace_handle(), ref.element->profile_scope(),
+                    telemetry::NowSeconds());
   }
   // Cycle attribution: the downstream Push (and everything it pushes in
   // turn) runs under the receiving element's scope, so nested handoffs
@@ -137,9 +140,10 @@ void Element::OutputBatch(int port, PacketBatch& batch) {
     // Hops stay per-packet: each sampled path records its own handoff even
     // though the batch moves in one call.
     const double now = telemetry::NowSeconds();
+    const telemetry::ScopeId to = ref.element->profile_scope();
     for (Packet* p : batch) {
       if (p->trace_handle() != 0) {
-        tracer_->Record(p->trace_handle(), ref.element->name(), now);
+        tracer_->Record(p->trace_handle(), to, now);
       }
     }
   }
@@ -156,8 +160,15 @@ void Element::Drop(Packet* p) {
   if (tele_drops_ != nullptr) {
     tele_drops_->Inc();
   }
+  if (tele_lat_drop_ != nullptr && p->ingress_cycles() != 0) {
+    // Ingress-to-drop latency: without this, drops fall out of the
+    // latency plane and the egress percentiles look better under loss.
+    uint64_t dc = telemetry::ReadCycles() - p->ingress_cycles();
+    tele_lat_drop_->ObserveNs(
+        static_cast<uint64_t>(static_cast<double>(dc) * ns_per_cycle_));
+  }
   if (tracer_ != nullptr && p->trace_handle() != 0) {
-    tracer_->Abandon(p->trace_handle(), name_ + "/drop", telemetry::NowSeconds());
+    tracer_->Abandon(p->trace_handle(), drop_scope_, telemetry::NowSeconds());
   }
   PacketPool::Release(p);
 }
@@ -172,11 +183,21 @@ void Element::DropBatch(PacketBatch& batch) {
   if (tele_drops_ != nullptr) {
     tele_drops_->Add(n);
   }
+  if (tele_lat_drop_ != nullptr) {
+    const uint64_t now_cycles = telemetry::ReadCycles();  // once per batch
+    for (Packet* p : batch) {
+      if (p->ingress_cycles() != 0) {
+        uint64_t dc = now_cycles - p->ingress_cycles();
+        tele_lat_drop_->ObserveNs(
+            static_cast<uint64_t>(static_cast<double>(dc) * ns_per_cycle_));
+      }
+    }
+  }
   if (tracer_ != nullptr) {
     const double now = telemetry::NowSeconds();
     for (Packet* p : batch) {
       if (p->trace_handle() != 0) {
-        tracer_->Abandon(p->trace_handle(), name_ + "/drop", now);
+        tracer_->Abandon(p->trace_handle(), drop_scope_, now);
       }
     }
   }

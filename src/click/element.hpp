@@ -109,8 +109,11 @@ class Element {
   void set_name(std::string n) {
     name_ = std::move(n);
     // Interned eagerly (setup time) so profiled hot paths carry a 32-bit
-    // id; the table is process-global and cheap even when unprofiled.
+    // id; the table is process-global and cheap even when unprofiled. The
+    // drop point is interned here too, so tracing a dropped packet never
+    // builds a "<name>/drop" string on the data path.
     prof_scope_ = telemetry::InternScopeName(name_);
+    drop_scope_ = telemetry::InternScopeName(name_ + "/drop");
   }
 
   // Cycle-accounting scope for this element (profiler.hpp); follows the
@@ -187,6 +190,7 @@ class Element {
   std::vector<PortRef> outputs_;  // downstream peers (for push)
   std::string name_;
   telemetry::ScopeId prof_scope_ = telemetry::kInvalidScope;
+  telemetry::ScopeId drop_scope_ = telemetry::kInvalidScope;
   // Relaxed atomic: bumped on the (rare) drop path by the owning core,
   // read live by control-socket handlers.
   std::atomic<uint64_t> drops_{0};
@@ -195,6 +199,11 @@ class Element {
   telemetry::Counter* tele_packets_ = nullptr;
   telemetry::Counter* tele_drops_ = nullptr;
   telemetry::ShardedHistogram* tele_batch_ = nullptr;
+  // Shared "lat/drop" ingress-to-drop latency histogram (every element
+  // resolves the same registry entry), so dropped packets still land in
+  // the measured latency plane instead of silently vanishing from it.
+  telemetry::LatencyHistogram* tele_lat_drop_ = nullptr;
+  double ns_per_cycle_ = 0;
   telemetry::PathTracer* tracer_ = nullptr;
 };
 

@@ -80,9 +80,11 @@ size_t FromDevice::RunOnce() {
   }
   if (tracer() != nullptr) {
     // Trace entry point: the sampling decision for each packet's path.
+    // The interned scope keeps the unsampled majority allocation-free.
     const double now = telemetry::NowSeconds();
+    const telemetry::ScopeId here = profile_scope();
     for (Packet* p : burst) {
-      p->set_trace_handle(tracer()->StartTrace(name(), now));
+      p->set_trace_handle(tracer()->StartTrace(here, now));
     }
   }
   if (graph_batch_ == 0 || burst.size() <= graph_batch_) {

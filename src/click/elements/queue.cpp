@@ -37,6 +37,7 @@ QueueElement::QueueElement(const QueueOptions& options)
   lo_wm_.store(opt_.lo_watermark, std::memory_order_relaxed);
   codel_target_.store(opt_.codel_target_s, std::memory_order_relaxed);
   codel_interval_.store(opt_.codel_interval_s, std::memory_order_relaxed);
+  stamp_sojourn_ = opt_.aqm == AqmMode::kCoDel;
 }
 
 void QueueElement::set_clock(ClockFn clock) {
@@ -47,9 +48,17 @@ void QueueElement::set_clock(ClockFn clock) {
 void QueueElement::BindTelemetry(telemetry::MetricRegistry* registry,
                                  telemetry::PathTracer* tracer, const std::string& prefix) {
   Element::BindTelemetry(registry, tracer, prefix);
+  if (this->tracer() != nullptr) {
+    // Wait decomposition needs every arrival stamped, not just CoDel's;
+    // the dequeue hop point is interned now so the pull path stays
+    // string-free.
+    stamp_sojourn_ = true;
+    deq_scope_ = telemetry::InternScopeName(name() + "/deq");
+  }
   if (telemetry::Enabled() && registry != nullptr) {
     const std::string base = prefix + "elem/" + name();
     tele_occupancy_hw_ = registry->GetGauge(base + "/occupancy_hw");
+    tele_wait_ = registry->GetGauge(base + "/wait_s");
     tele_overflow_drops_ = registry->GetCounter(base + "/drops/queue_overflow");
     if (opt_.aqm == AqmMode::kCoDel) {
       tele_aqm_drops_ = registry->GetCounter(base + "/drops/aqm");
@@ -72,6 +81,11 @@ void QueueElement::AddHandlers(telemetry::HandlerRegistry* handlers) {
   handlers->AddRead(base + "blocked", [this] { return std::string(Blocked() ? "1" : "0"); });
   handlers->AddRead(base + "aqm", [this] {
     return std::string(opt_.aqm == AqmMode::kCoDel ? "codel" : "tail_drop");
+  });
+  handlers->AddRead(base + "wait_us", [this] {
+    // Sojourn of the most recently dequeued stamped packet — rb_top polls
+    // this for the per-queue wait sparkline. 0 until stamping is active.
+    return Format("%.3f", last_wait_s() * 1e6);
   });
   handlers->AddRead(base + "hi", [this] { return Format("%zu", hi_watermark()); });
   handlers->AddWrite(base + "hi", [this](const std::string& value) {
@@ -205,12 +219,32 @@ void QueueElement::DropOne(Packet* p, bool aqm) {
   Drop(p);
 }
 
+void QueueElement::NoteDequeue(Packet* p, double now) {
+  const double wait = now - p->enqueue_time();
+  last_wait_s_.store(wait, std::memory_order_relaxed);
+  if (tele_wait_ != nullptr) {
+    tele_wait_->Set(wait);
+  }
+  if (tracer() != nullptr && p->trace_handle() != 0) {
+    // The dequeue hop carries the queueing wait; the span from here to
+    // the next hop is pure service time.
+    tracer()->Record(p->trace_handle(), deq_scope_, now, wait);
+  }
+}
+
+void QueueElement::NoteDequeueBurst(Packet* const* popped, size_t n) {
+  const double now = clock_();
+  for (size_t i = 0; i < n; ++i) {
+    NoteDequeue(popped[i], now);
+  }
+}
+
 void QueueElement::PushBatch(int /*port*/, PacketBatch& batch) {
   // Drop-tail per packet: a burst that straddles capacity enqueues its
   // prefix and drops exactly the overflow — each overflowed packet is
   // counted once and released to its pool once, never double-released
   // with the enqueued prefix.
-  const bool stamp = opt_.aqm == AqmMode::kCoDel;
+  const bool stamp = stamp_sojourn_;
   const double now = stamp ? clock_() : 0;
   const uint32_t n = batch.size();
   uint32_t accepted = 0;
@@ -279,15 +313,17 @@ bool QueueElement::CodelShouldDrop(double sojourn, double now) {
 
 Packet* QueueElement::Pull(int /*port*/) {
   const bool codel = opt_.aqm == AqmMode::kCoDel;
+  const bool note = codel || tracer() != nullptr;
   Packet* p = nullptr;
   while (ring_.TryPop(&p)) {
-    if (codel) {
+    if (note) {
       const double now = clock_();
-      if (CodelShouldDrop(now - p->enqueue_time(), now)) {
+      if (codel && CodelShouldDrop(now - p->enqueue_time(), now)) {
         DropOne(p, /*aqm=*/true);
         p = nullptr;
         continue;
       }
+      NoteDequeue(p, now);
     }
     MaybeUnblock();
     return p;
@@ -301,24 +337,29 @@ size_t QueueElement::PullBatch(int /*port*/, PacketBatch* out, int max) {
   size_t moved = 0;
   if (!codel) {
     // No per-packet sojourn check to run: pop the whole burst under one
-    // ring head/tail synchronization straight into the batch tail.
+    // ring head/tail synchronization straight into the batch tail. With a
+    // tracer bound, the wait/hop pass runs over the already-popped burst
+    // so the ring synchronization stays a single head/tail exchange.
     size_t want = static_cast<size_t>(max) < out->room()
                       ? static_cast<size_t>(max)
                       : out->room();
-    moved = ring_.TryPopBurst(out->tail(), want);
+    Packet** popped = out->tail();
+    moved = ring_.TryPopBurst(popped, want);
     out->CommitAppended(static_cast<uint32_t>(moved));
+    if (tracer() != nullptr && moved > 0) {
+      NoteDequeueBurst(popped, moved);
+    }
     MaybeUnblock();
     return moved;
   }
   Packet* p = nullptr;
   while (moved < static_cast<size_t>(max) && !out->full() && ring_.TryPop(&p)) {
-    if (codel) {
-      const double now = clock_();
-      if (CodelShouldDrop(now - p->enqueue_time(), now)) {
-        DropOne(p, /*aqm=*/true);
-        continue;
-      }
+    const double now = clock_();
+    if (CodelShouldDrop(now - p->enqueue_time(), now)) {
+      DropOne(p, /*aqm=*/true);
+      continue;
     }
+    NoteDequeue(p, now);
     out->PushBack(p);
     moved++;
   }

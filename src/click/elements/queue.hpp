@@ -19,6 +19,14 @@
 //    drops at an escalating rate (interval/sqrt(count)) while sojourn
 //    stays above `target` for a full `interval`. The clock is injectable
 //    so tests and the DES drive it deterministically.
+//
+// Latency plane (DESIGN.md §15): when a PathTracer is bound the queue
+// stamps enqueue time for every packet (the same field CoDel uses) and, on
+// dequeue, records a "<name>/deq" hop for sampled packets carrying the
+// measured queueing wait — this is what splits per-hop residency into
+// queueing wait vs downstream service time in exported traces. The
+// last-dequeued sojourn is also published as "elem/<name>/wait_s" and the
+// "<name>.wait" handler, the live feed for rb_top's wait sparkline.
 #ifndef RB_CLICK_ELEMENTS_QUEUE_HPP_
 #define RB_CLICK_ELEMENTS_QUEUE_HPP_
 
@@ -56,9 +64,11 @@ class QueueElement : public BatchElement {
   Packet* Pull(int port) override;
   size_t PullBatch(int port, PacketBatch* out, int max) override;
 
-  // Adds an occupancy high-water gauge ("elem/<name>/occupancy_hw") and
-  // per-cause drop counters ("elem/<name>/drops/{queue_overflow,aqm}") on
-  // top of the standard element counters.
+  // Adds an occupancy high-water gauge ("elem/<name>/occupancy_hw"),
+  // per-cause drop counters ("elem/<name>/drops/{queue_overflow,aqm}"),
+  // and the "elem/<name>/wait_s" last-sojourn gauge on top of the
+  // standard element counters. Binding a tracer turns on enqueue
+  // stamping (see header comment).
   void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
                      const std::string& prefix = "") override;
 
@@ -96,6 +106,8 @@ class QueueElement : public BatchElement {
   uint64_t overflow_drops() const { return overflow_drops_.load(std::memory_order_relaxed); }
   uint64_t aqm_drops() const { return aqm_drops_.load(std::memory_order_relaxed); }
   uint64_t blocked_events() const { return blocked_events_.load(std::memory_order_relaxed); }
+  // Sojourn of the most recently dequeued (stamped) packet, seconds.
+  double last_wait_s() const { return last_wait_s_.load(std::memory_order_relaxed); }
 
  private:
   void NoteDepth();
@@ -104,6 +116,13 @@ class QueueElement : public BatchElement {
   // CoDel control law applied to one dequeued packet; true = drop it.
   bool CodelShouldDrop(double sojourn, double now);
   void DropOne(Packet* p, bool aqm);
+  // Publishes one dequeued packet's sojourn (wait gauge + sparkline feed)
+  // and, when sampled, its "<name>/deq" trace hop. Pull-side only.
+  void NoteDequeue(Packet* p, double now);
+  // Trace-hop pass over a burst that was popped via TryPopBurst (the
+  // tail-drop fast path keeps its single ring synchronization; this runs
+  // only when a tracer is bound).
+  void NoteDequeueBurst(Packet* const* popped, size_t n);
 
   QueueOptions opt_;
   SpscRing<Packet*> ring_;
@@ -122,6 +141,13 @@ class QueueElement : public BatchElement {
   // single-writer on their own side.
   std::atomic<bool> blocked_{false};
 
+  // True when arrivals get enqueue-time stamps: CoDel always, or any
+  // queue with a bound tracer (wait decomposition needs the stamp).
+  bool stamp_sojourn_ = false;
+  // "<name>/deq" hop point, interned at BindTelemetry time (the name is
+  // final by then) so the dequeue path never builds strings.
+  telemetry::ScopeId deq_scope_ = telemetry::kInvalidScope;
+
   // CoDel state (pull-side only, single-writer).
   bool codel_dropping_ = false;
   double codel_first_above_ = 0;  // when sojourn first exceeded target
@@ -134,7 +160,9 @@ class QueueElement : public BatchElement {
   std::atomic<uint64_t> overflow_drops_{0};
   std::atomic<uint64_t> aqm_drops_{0};
   std::atomic<uint64_t> blocked_events_{0};
+  std::atomic<double> last_wait_s_{0};
   telemetry::Gauge* tele_occupancy_hw_ = nullptr;
+  telemetry::Gauge* tele_wait_ = nullptr;
   telemetry::Counter* tele_overflow_drops_ = nullptr;
   telemetry::Counter* tele_aqm_drops_ = nullptr;
   telemetry::Counter* tele_blocked_events_ = nullptr;

@@ -32,6 +32,19 @@ class ToDevice : public BatchElement {
 
   uint64_t sent() const { return sent_; }
 
+  // Latency-plane keying: stamped packets transmitted here are observed
+  // into "lat/port<label>" (or "lat/<name>" when unset). Set before
+  // BindTelemetry; SingleServerRouter labels each egress leg with its
+  // output port.
+  void set_port_label(int label) { port_label_ = label; }
+
+  // Binds the base element metrics plus the egress latency histogram.
+  void BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
+                     const std::string& prefix = "") override;
+
+  // Adds "<name>.latency": live ingress-to-egress percentile readout.
+  void AddHandlers(telemetry::HandlerRegistry* handlers) override;
+
  private:
   // Transmits every packet in `batch` (Transmit owns each packet either
   // way; failures are counted as tx drops by the NIC). Empties the batch.
@@ -51,6 +64,13 @@ class ToDevice : public BatchElement {
   uint16_t burst_;
   int home_core_;
   uint64_t sent_ = 0;
+  int port_label_ = -1;
+  // Egress latency histogram + cycle->ns conversion as a Q32.32 fixed-point
+  // multiplier (ns = cycles * mult >> 32), so the per-packet conversion is
+  // one integer multiply-shift instead of int<->double round trips.
+  // Null/0 when unbound.
+  telemetry::LatencyHistogram* tele_lat_ = nullptr;
+  uint64_t ns_per_cycle_q32_ = 0;
 };
 
 }  // namespace rb

@@ -322,6 +322,9 @@ void ClusterSim::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::P
     opts.buckets = 250;
     tele_latency_ = registry->GetHistogram("des/latency_s", opts);
   }
+  if (tracer != nullptr) {
+    BuildTraceScopes();
+  }
   if (probe_interval > 0) {
     probe_interval_ = probe_interval;
     next_probe_ = probe_interval;
@@ -334,26 +337,57 @@ void ClusterSim::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::P
   }
 }
 
-std::string ClusterSim::StageLabel(const InFlight& pkt) const {
-  switch (pkt.stage) {
-    case Stage::kExtRx:
-      return Format("ext-rx@%u", pkt.cur);
-    case Stage::kCpuIngress:
-      return Format("cpu-ingress@%u", pkt.cur);
-    case Stage::kTxNic:
-      return Format("tx-nic@%u", pkt.cur);
-    case Stage::kLink:
-      return Format("link@%u-%u", pkt.cur, pkt.nxt);
-    case Stage::kRxNic:
-      return Format("rx-nic@%u", pkt.nxt);
-    case Stage::kCpuTransit:
-      return Format("cpu-transit@%u", pkt.cur);
-    case Stage::kCpuEgress:
-      return Format("cpu-egress@%u", pkt.cur);
-    case Stage::kExtOut:
-      return Format("ext-out@%u", pkt.dst);
+void ClusterSim::BuildTraceScopes() {
+  // One interning pass at bind time covers every hop label a packet can
+  // ever record; the event loop then deals only in 32-bit ScopeIds.
+  trace_scopes_ = std::make_unique<TraceScopes>();
+  TraceScopes& s = *trace_scopes_;
+  const uint16_t n = config_.num_nodes;
+  const char* stage_fmt[8] = {"ext-rx@%u",  "cpu-ingress@%u", "tx-nic@%u",      nullptr,
+                              "rx-nic@%u",  "cpu-transit@%u", "cpu-egress@%u",  "ext-out@%u"};
+  for (int st = 0; st < 8; ++st) {
+    if (stage_fmt[st] == nullptr) {
+      continue;
+    }
+    s.stage[st].resize(n);
+    for (uint16_t i = 0; i < n; ++i) {
+      s.stage[st][i] = telemetry::InternScopeName(Format(stage_fmt[st], i));
+    }
   }
-  return "?";
+  s.inject.resize(n);
+  s.drop_node_fail.resize(n);
+  s.drop_link_fail.resize(n);
+  s.drop_admission.resize(n);
+  s.link.resize(static_cast<size_t>(n) * n);
+  s.drop.resize(6 * static_cast<size_t>(n));
+  for (uint16_t i = 0; i < n; ++i) {
+    s.inject[i] = telemetry::InternScopeName(Format("inject@%u", i));
+    s.drop_node_fail[i] = telemetry::InternScopeName(Format("drop-node-fail@%u", i));
+    s.drop_link_fail[i] = telemetry::InternScopeName(Format("drop-link-fail@%u", i));
+    s.drop_admission[i] = telemetry::InternScopeName(Format("drop-admission@%u", i));
+    for (uint16_t j = 0; j < n; ++j) {
+      s.link[static_cast<size_t>(i) * n + j] =
+          telemetry::InternScopeName(Format("link@%u-%u", i, j));
+    }
+    for (int k = 0; k < 6; ++k) {
+      s.drop[static_cast<size_t>(k) * n + i] = telemetry::InternScopeName(
+          Format("drop-%s@%u", ServerKindName(static_cast<ServerKind>(k)), i));
+    }
+  }
+}
+
+telemetry::ScopeId ClusterSim::StageScope(const InFlight& pkt) const {
+  const TraceScopes& s = *trace_scopes_;
+  switch (pkt.stage) {
+    case Stage::kLink:
+      return s.link[static_cast<size_t>(pkt.cur) * config_.num_nodes + pkt.nxt];
+    case Stage::kRxNic:
+      return s.stage[static_cast<size_t>(Stage::kRxNic)][pkt.nxt];
+    case Stage::kExtOut:
+      return s.stage[static_cast<size_t>(Stage::kExtOut)][pkt.dst];
+    default:
+      return s.stage[static_cast<size_t>(pkt.stage)][pkt.cur];
+  }
 }
 
 void ClusterSim::ProbeQueues(SimTime t) {
@@ -377,7 +411,9 @@ void ClusterSim::DropFailed(uint32_t slot, bool link, SimTime now) {
   InFlight& pkt = packets_[slot];
   if (pkt.trace != 0) {
     tele_tracer_->Abandon(
-        pkt.trace, Format("drop-%s@%u", link ? "link-fail" : "node-fail", pkt.cur), now);
+        pkt.trace,
+        link ? trace_scopes_->drop_link_fail[pkt.cur] : trace_scopes_->drop_node_fail[pkt.cur],
+        now);
   }
   if (link) {
     stats_.drops.failed_link++;
@@ -394,7 +430,7 @@ void ClusterSim::DropFailed(uint32_t slot, bool link, SimTime now) {
 void ClusterSim::DropAdmission(uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
   if (pkt.trace != 0) {
-    tele_tracer_->Abandon(pkt.trace, Format("drop-admission@%u", pkt.cur), now);
+    tele_tracer_->Abandon(pkt.trace, trace_scopes_->drop_admission[pkt.cur], now);
   }
   static const telemetry::ScopeId kAdmScope = telemetry::InternScopeName("admission");
   telemetry::FrRecord(telemetry::FrEvent::kAdmissionDrop, kAdmScope, pkt.dst, pkt.bytes);
@@ -408,7 +444,9 @@ void ClusterSim::DropAdmission(uint32_t slot, SimTime now) {
 void ClusterSim::DropAt(ServerKind kind, uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
   if (pkt.trace != 0) {
-    tele_tracer_->Abandon(pkt.trace, Format("drop-%s@%u", ServerKindName(kind), pkt.cur), now);
+    tele_tracer_->Abandon(
+        pkt.trace,
+        trace_scopes_->drop[static_cast<size_t>(kind) * config_.num_nodes + pkt.cur], now);
   }
   if (TimelineBucket* b = BucketFor(now)) {
     b->dropped++;
@@ -447,6 +485,7 @@ void ClusterSim::ArriveAt(uint32_t server_id, uint32_t slot, SimTime now) {
   ServerJob job;
   job.packet_slot = slot;
   job.service_seconds = ServiceSecondsFor(server, pkt);
+  job.arrival = now;
   if (!server.Enqueue(job)) {
     // Distinguish the external-ingress rx drop from internal rx drops for
     // the stats breakdown.
@@ -462,6 +501,9 @@ void ClusterSim::StartService(uint32_t server_id, SimTime now) {
   FifoServer& server = servers_[server_id];
   RB_CHECK(!server.busy && !server.queue.empty());
   server.busy = true;
+  // Queueing wait at this server, kept with the packet until its hop is
+  // stamped at service completion (ForwardAfter / Deliver).
+  packets_[server.queue.front().packet_slot].wait = now - server.queue.front().arrival;
   Event ev;
   ev.time = now + server.queue.front().service_seconds;
   ev.kind = Event::Kind::kCompletion;
@@ -496,10 +538,10 @@ void ClusterSim::OnServiceComplete(uint32_t server_id, SimTime now) {
 
 void ClusterSim::ForwardAfter(uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
-  // A stage's service just completed; stamp the hop (the final ext-out hop
-  // is stamped by EndTrace in Deliver).
+  // A stage's service just completed; stamp the hop with its queueing
+  // wait (the final ext-out hop is stamped by EndTrace in Deliver).
   if (pkt.trace != 0 && pkt.stage != Stage::kExtOut) {
-    tele_tracer_->Record(pkt.trace, StageLabel(pkt), now);
+    tele_tracer_->Record(pkt.trace, StageScope(pkt), now, pkt.wait);
   }
   auto schedule_arrival = [&](uint32_t server_id, SimTime when) {
     Event ev;
@@ -670,7 +712,7 @@ void ClusterSim::Deliver(uint32_t slot, SimTime now) {
   InFlight& pkt = packets_[slot];
   RB_PROF_WORK(1, pkt.bytes);
   if (pkt.trace != 0) {
-    tele_tracer_->EndTrace(pkt.trace, Format("ext-out@%u", pkt.dst), now);
+    tele_tracer_->EndTrace(pkt.trace, StageScope(pkt), now, pkt.wait);
   }
   if (config_.resequence) {
     ResequenceDeliver(pkt, now);
@@ -750,7 +792,7 @@ void ClusterSim::Inject(uint16_t src, uint16_t dst, uint64_t flow_id, uint64_t f
   pkt.stage = Stage::kExtRx;
   pkt.active = true;
   if (tele_tracer_ != nullptr) {
-    pkt.trace = tele_tracer_->StartTrace(Format("inject@%u", src), t);
+    pkt.trace = tele_tracer_->StartTrace(trace_scopes_->inject[src], t);
   }
   ArriveAt(NicRxId(src, NicIndexForPort(0)), slot, t);
 }

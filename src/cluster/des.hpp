@@ -295,6 +295,10 @@ class ClusterSim {
     uint64_t flow_id = 0;
     uint64_t flow_seq = 0;
     SimTime injected = 0;
+    // Queueing wait at the server whose service most recently completed
+    // (service start - queue arrival), attached to that stage's trace hop
+    // so exported spans decompose into wait vs service.
+    SimTime wait = 0;
     uint64_t trace = 0;  // PathTracer handle (0 = unsampled)
     bool active = false;
   };
@@ -347,7 +351,20 @@ class ClusterSim {
   TimelineBucket* BucketFor(SimTime t);
 
   // --- telemetry ---
-  std::string StageLabel(const InFlight& pkt) const;
+  // Interned hop-point labels, built once at BindTelemetry time so the
+  // per-hop trace path never formats a string. Indexed by node (links by
+  // from * n + to, drops by kind * n + node).
+  struct TraceScopes {
+    std::vector<telemetry::ScopeId> inject;
+    std::vector<telemetry::ScopeId> stage[8];  // indexed by Stage; kLink unused
+    std::vector<telemetry::ScopeId> link;
+    std::vector<telemetry::ScopeId> drop;  // ServerKind * n + node
+    std::vector<telemetry::ScopeId> drop_node_fail;
+    std::vector<telemetry::ScopeId> drop_link_fail;
+    std::vector<telemetry::ScopeId> drop_admission;
+  };
+  void BuildTraceScopes();
+  telemetry::ScopeId StageScope(const InFlight& pkt) const;
   void MaybeProbe();
   void ProbeQueues(SimTime t);
   void FinishTelemetry(SimTime duration);
@@ -399,6 +416,7 @@ class ClusterSim {
   telemetry::MetricRegistry* tele_registry_ = nullptr;
   telemetry::PathTracer* tele_tracer_ = nullptr;
   telemetry::ShardedHistogram* tele_latency_ = nullptr;
+  std::unique_ptr<TraceScopes> trace_scopes_;  // non-null iff tracer bound
   SimTime probe_interval_ = 0;
   SimTime next_probe_ = 0;
   std::vector<telemetry::TimeSeries> probe_series_;

@@ -29,11 +29,14 @@ enum class ServerKind : uint8_t {
   kExtOut,
 };
 
-// A unit of work queued at a server: which in-flight packet, and its
-// service time (precomputed from the packet size / role).
+// A unit of work queued at a server: which in-flight packet, its
+// service time (precomputed from the packet size / role), and when it
+// joined the queue — service start minus arrival is the queueing wait the
+// latency plane attributes to this server.
 struct ServerJob {
   uint32_t packet_slot = 0;
   double service_seconds = 0;
+  SimTime arrival = 0;
 };
 
 struct FifoServer {

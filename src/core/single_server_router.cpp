@@ -58,6 +58,11 @@ void SingleServerRouter::BuildGraph() {
         // size, matching the descriptor-batching axis of Table 1.
         auto* to = router_.Add<ToDevice>(&port(out_port), static_cast<uint16_t>(q),
                                          config_.kn, core);
+        // All legs draining to the same output port share one
+        // "lat/port<N>" latency histogram — per-port ingress-to-egress
+        // percentiles regardless of which (in_port, q) chain carried the
+        // packet.
+        to->set_port_label(out_port);
         router_.Connect(queue, 0, to, 0);
         legs.push_back(queue);
       }

@@ -32,6 +32,23 @@ std::string* AddProfileOutFlag(FlagSet* flags) {
                           "write a cycle-accounting profile JSON to this path");
 }
 
+std::string* AddTraceOutFlag(FlagSet* flags) {
+  return flags->AddString("trace-out", "",
+                          "write sampled path traces as Perfetto trace-event JSON to this path");
+}
+
+bool MaybeWriteTrace(const std::string& path, const telemetry::PathTracer& tracer) {
+  if (path.empty()) {
+    return true;
+  }
+  if (!telemetry::WriteTraceEventFile(tracer, path)) {
+    fprintf(stderr, "warning: failed to write trace to %s\n", path.c_str());
+    return false;
+  }
+  printf("trace written to %s (open in ui.perfetto.dev)\n", path.c_str());
+  return true;
+}
+
 bool MaybeWriteProfile(const std::string& path, const telemetry::ProfileSnapshot& snapshot) {
   if (path.empty()) {
     return true;

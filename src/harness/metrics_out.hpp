@@ -11,6 +11,7 @@
 #include "common/flags.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/profiler.hpp"
+#include "telemetry/trace_export.hpp"
 
 namespace rb {
 
@@ -21,6 +22,11 @@ std::string* AddMetricsOutFlag(FlagSet* flags);
 // Registers "--profile-out" on `flags`: where to write the cycle-accounting
 // profile (ProfileSnapshot::ToJson) collected when a Profiler is installed.
 std::string* AddProfileOutFlag(FlagSet* flags);
+
+// Registers "--trace-out" on `flags`: where to write the sampled path
+// traces as Chrome/Perfetto trace-event JSON (telemetry/trace_export.hpp).
+// Load the file in ui.perfetto.dev or chrome://tracing.
+std::string* AddTraceOutFlag(FlagSet* flags);
 
 // Writes `bundle` as JSON to `path`; a no-op when `path` is empty.
 // Prints the destination on success, a warning on I/O failure. Returns
@@ -33,6 +39,10 @@ bool MaybeWriteMetrics(const std::string& path);
 // Writes `snapshot` as JSON to `path`; a no-op when `path` is empty.
 // Same reporting contract as MaybeWriteMetrics.
 bool MaybeWriteProfile(const std::string& path, const telemetry::ProfileSnapshot& snapshot);
+
+// Writes `tracer`'s sampled spans as trace-event JSON to `path`; a no-op
+// when `path` is empty. Same reporting contract as MaybeWriteMetrics.
+bool MaybeWriteTrace(const std::string& path, const telemetry::PathTracer& tracer);
 
 }  // namespace rb
 

@@ -53,7 +53,13 @@ void NicPort::BindTelemetry(telemetry::MetricRegistry* registry, const std::stri
 }
 
 void NicPort::Deliver(Packet* p, SimTime now) {
+  DeliverStamped(p, now,
+                 telemetry::IngressStampEnabled() ? telemetry::ReadCycles() : 0);
+}
+
+void NicPort::DeliverStamped(Packet* p, SimTime now, uint64_t ingress_cycles) {
   p->set_arrival_time(now);
+  p->set_ingress_cycles(ingress_cycles);
   uint16_t q = steering_.SelectRxQueue(p);
   Staged& st = staged_[q];
   if (st.pkts.empty()) {
@@ -69,13 +75,18 @@ void NicPort::Deliver(Packet* p, SimTime now) {
 
 void NicPort::DeliverBatch(PacketBatch* batch, SimTime now) {
   const uint32_t n = batch->size();
+  // One cycle read covers the whole burst: the frames of one wire batch
+  // arrive back-to-back, so per-packet rdtsc would only measure the
+  // stamping loop itself.
+  const uint64_t ingress_cycles =
+      telemetry::IngressStampEnabled() ? telemetry::ReadCycles() : 0;
   for (uint32_t i = 0; i < n; ++i) {
     if (i + 1 < n) {
       // Steering reads the flow-hash annotation of the next packet; its
       // metadata line may have been evicted by this packet's DMA modeling.
       PrefetchForRead((*batch)[i + 1]);
     }
-    Deliver((*batch)[i], now);
+    DeliverStamped((*batch)[i], now, ingress_cycles);
   }
   batch->Clear();
 }

@@ -71,7 +71,9 @@ class NicPort {
   // Steers it to an rx queue and stages it for NIC-driven batching; a
   // frame whose ring is full at commit time is dropped and counted in
   // rx_counters().drops (as a NIC with no free descriptors would).
-  // Always takes ownership of `p`.
+  // Always takes ownership of `p`. Stamps the ingress cycle count
+  // (telemetry::ReadCycles) for the measured latency plane unless
+  // telemetry::SetIngressStampEnabled(false) has shed the stamp.
   void Deliver(Packet* p, SimTime now);
 
   // Batch variant: steers and stages every packet in `batch` (ownership
@@ -129,6 +131,9 @@ class NicPort {
     SimTime oldest = 0;
   };
 
+  // Deliver with the ingress cycle stamp hoisted out (DeliverBatch reads
+  // the cycle counter once per burst, not once per frame).
+  void DeliverStamped(Packet* p, SimTime now, uint64_t ingress_cycles);
   void CommitStaged(uint16_t q);
 
   NicConfig config_;

@@ -53,6 +53,7 @@ void Packet::ResetMetadata() {
   flow_seq_ = 0;
   paint_ = 0;
   trace_handle_ = 0;
+  ingress_cycles_ = 0;
   enqueue_time_ = 0;
 }
 

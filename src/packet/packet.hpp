@@ -107,6 +107,12 @@ class Packet {
   uint64_t trace_handle() const { return trace_handle_; }
   void set_trace_handle(uint64_t h) { trace_handle_ = h; }
 
+  // Ingress cycle stamp (telemetry::ReadCycles at NicPort delivery);
+  // 0 = not stamped. Read out at ToDevice/drop to feed the measured
+  // latency plane's log-bucketed histograms.
+  uint64_t ingress_cycles() const { return ingress_cycles_; }
+  void set_ingress_cycles(uint64_t c) { ingress_cycles_ = c; }
+
   // Queue-enqueue timestamp (seconds; steady clock in the threaded graph,
   // SimTime in the DES) stamped by AQM-enabled queues so the dequeue side
   // can measure sojourn time (CoDel). 0 = never enqueued.
@@ -155,7 +161,11 @@ class Packet {
   double enqueue_time_ = 0;
 
   // --- cold annotations (second line) ---
+  // "Cold" here means cold for the forwarding fast path: the latency
+  // plane touches these once at ingress (stamp) and once at egress/drop
+  // (readout), never per element.
   uint64_t trace_handle_ = 0;
+  uint64_t ingress_cycles_ = 0;
 
   // Cache-line-aligned so header accesses never straddle lines; the
   // alignment also pads the cold annotation area to a full line.
@@ -183,6 +193,11 @@ struct PacketLayoutCheck {
   static_assert(offsetof(Packet, flow_id_) + sizeof(uint64_t) <= kCacheLineBytes);
   static_assert(offsetof(Packet, flow_seq_) + sizeof(uint64_t) <= kCacheLineBytes);
   static_assert(offsetof(Packet, origin_pool_) + sizeof(void*) <= kCacheLineBytes);
+  // The latency-plane annotations stay off the hot line (stamped once at
+  // ingress, read once at egress) but within the second line.
+  static_assert(offsetof(Packet, trace_handle_) >= kCacheLineBytes);
+  static_assert(offsetof(Packet, ingress_cycles_) + sizeof(uint64_t) <=
+                2 * kCacheLineBytes);
   // The buffer starts on a cache line of its own.
   static_assert(offsetof(Packet, buf_) % kCacheLineBytes == 0);
   // Pool stride: whole cache lines, an odd number of them.

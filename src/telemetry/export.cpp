@@ -55,6 +55,41 @@ void WriteHistogram(JsonWriter* w, const HistogramSnapshot& h) {
   w->EndObject();
 }
 
+void WriteLatency(JsonWriter* w, const LatencySnapshot& h) {
+  w->BeginObject();
+  w->Key("count");
+  w->Uint(h.count);
+  w->Key("mean_us");
+  w->Double(h.mean_ns() / 1e3);
+  w->Key("min_us");
+  w->Double(static_cast<double>(h.min_ns) / 1e3);
+  w->Key("max_us");
+  w->Double(static_cast<double>(h.max_ns) / 1e3);
+  w->Key("p50_us");
+  w->Double(h.PercentileNs(50) / 1e3);
+  w->Key("p90_us");
+  w->Double(h.PercentileNs(90) / 1e3);
+  w->Key("p99_us");
+  w->Double(h.PercentileNs(99) / 1e3);
+  w->Key("p999_us");
+  w->Double(h.PercentileNs(99.9) / 1e3);
+  // Sparse bucket dump: [lower_ns, count] for occupied buckets only (the
+  // full log-bucket array is ~650 entries, nearly all zero).
+  w->Key("buckets_ns");
+  w->BeginArray();
+  for (size_t i = 0; i < h.counts.size(); ++i) {
+    if (h.counts[i] == 0) {
+      continue;
+    }
+    w->BeginArray();
+    w->Uint(LatencyBuckets::LowerNs(i));
+    w->Uint(h.counts[i]);
+    w->EndArray();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
 void WriteRegistry(JsonWriter* w, const RegistrySnapshot& snap) {
   w->Key("counters");
   w->BeginObject();
@@ -77,6 +112,15 @@ void WriteRegistry(JsonWriter* w, const RegistrySnapshot& snap) {
     WriteHistogram(w, h);
   }
   w->EndObject();
+  if (!snap.latency.empty()) {
+    w->Key("latency");
+    w->BeginObject();
+    for (const auto& [name, h] : snap.latency) {
+      w->Key(name);
+      WriteLatency(w, h);
+    }
+    w->EndObject();
+  }
 }
 
 void WriteTraces(JsonWriter* w, const PathTracer& tracer, size_t max_packets) {
@@ -104,6 +148,8 @@ void WriteTraces(JsonWriter* w, const PathTracer& tracer, size_t max_packets) {
     w->Double(hl.min * 1e6);
     w->Key("max_us");
     w->Double(hl.max * 1e6);
+    w->Key("mean_wait_us");
+    w->Double(hl.mean_wait() * 1e6);
     w->EndObject();
   }
   w->EndArray();
@@ -118,6 +164,8 @@ void WriteTraces(JsonWriter* w, const PathTracer& tracer, size_t max_packets) {
     w->BeginObject();
     w->Key("id");
     w->Uint(tr.id);
+    w->Key("candidate");
+    w->Uint(tr.candidate);
     w->Key("complete");
     w->Bool(tr.complete);
     w->Key("hops");
@@ -125,9 +173,11 @@ void WriteTraces(JsonWriter* w, const PathTracer& tracer, size_t max_packets) {
     for (const TraceHop& hop : tr.hops) {
       w->BeginObject();
       w->Key("point");
-      w->String(hop.point);
+      w->String(HopPointName(hop));
       w->Key("t");
       w->Double(hop.t);
+      w->Key("wait");
+      w->Double(hop.wait);
       w->EndObject();
     }
     w->EndArray();
@@ -283,6 +333,39 @@ std::string PrometheusText(const RegistrySnapshot& snap) {
     out += "rb_histogram_count{name=\"" + label + "\"} ";
     out += buf;
     out += "\n";
+  }
+  if (!snap.latency.empty()) {
+    out += "# HELP rb_latency RouteBricks log-bucketed latency histograms, "
+           "keyed by registry name; le edges in seconds.\n";
+    out += "# TYPE rb_latency histogram\n";
+    for (const auto& [name, h] : snap.latency) {
+      const std::string label = PromLabelEscape(name);
+      // Sparse cumulative buckets: one le per occupied log bucket (the
+      // exposition format permits any monotone le set), plus +Inf.
+      uint64_t cum = 0;
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        if (h.counts[i] == 0) {
+          continue;
+        }
+        cum += h.counts[i];
+        out += "rb_latency_bucket{name=\"" + label + "\",le=\"";
+        PromNumber(&out, static_cast<double>(LatencyBuckets::UpperNs(i)) / 1e9);
+        out += "\"} ";
+        snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(cum));
+        out += buf;
+        out += "\n";
+      }
+      snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(h.count));
+      out += "rb_latency_bucket{name=\"" + label + "\",le=\"+Inf\"} ";
+      out += buf;
+      out += "\n";
+      out += "rb_latency_sum{name=\"" + label + "\"} ";
+      PromNumber(&out, h.sum_ns / 1e9);
+      out += "\n";
+      out += "rb_latency_count{name=\"" + label + "\"} ";
+      out += buf;
+      out += "\n";
+    }
   }
   return out;
 }

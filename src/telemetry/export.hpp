@@ -10,10 +10,14 @@
 //                                 "overflow", "mean", "min", "max",
 //                                 "p50", "p95", "p99",
 //                                 "counts": [ ... ] }, ... },
+//     "latency":    { "<name>": { "count", "mean_us", "min_us", "max_us",
+//                                 "p50_us", "p90_us", "p99_us", "p999_us",
+//                                 "buckets_ns": [[lower_ns, n], ...] } },
 //     "traces":     { "started", "sampled", "hop_latency": {histogram},
-//                     "hops": [ {"from","to","count","mean_us",...} ],
-//                     "packets": [ {"id","complete",
-//                                   "hops":[{"point","t"}]} ] },
+//                     "hops": [ {"from","to","count","mean_us",...,
+//                                "mean_wait_us"} ],
+//                     "packets": [ {"id","candidate","complete",
+//                                   "hops":[{"point","t","wait"}]} ] },
 //     "series":     [ {"name", "points": [[t, v], ...]} ]
 //   }
 // Sections are present only when the corresponding source was supplied.

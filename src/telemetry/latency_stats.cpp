@@ -1,0 +1,110 @@
+#include "telemetry/latency_stats.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "telemetry/metrics.hpp"
+
+namespace rb {
+namespace telemetry {
+
+static_assert(kMaxShards == 16,
+              "LatencyHistogram hardcodes the shard count to avoid a header "
+              "cycle with metrics.hpp; keep it in sync with kMaxShards");
+
+namespace {
+std::atomic<bool> g_stamp_enabled{true};
+}  // namespace
+
+void SetIngressStampEnabled(bool on) {
+  g_stamp_enabled.store(on, std::memory_order_relaxed);
+}
+bool IngressStampEnabled() {
+  return g_stamp_enabled.load(std::memory_order_relaxed);
+}
+
+uint64_t LatencyBuckets::LowerNs(size_t idx) {
+  constexpr uint64_t kSubCount = uint64_t{1} << kSubBits;
+  if (idx < kSubCount) {
+    return idx;
+  }
+  int e = static_cast<int>(idx >> kSubBits) + kSubBits - 1;
+  uint64_t sub = idx & (kSubCount - 1);
+  return (uint64_t{1} << e) + (sub << (e - kSubBits));
+}
+
+uint64_t LatencyBuckets::UpperNs(size_t idx) {
+  return idx + 1 < kCount ? LowerNs(idx + 1) : LowerNs(kCount - 1) * 2;
+}
+
+LatencyHistogram::LatencyHistogram() {
+  for (Shard& s : shards_) {
+    s.counts = std::make_unique<std::atomic<uint64_t>[]>(LatencyBuckets::kCount);
+    for (size_t b = 0; b < LatencyBuckets::kCount; ++b) {
+      s.counts[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+LatencySnapshot LatencyHistogram::Snapshot() const {
+  LatencySnapshot snap;
+  snap.counts.assign(LatencyBuckets::kCount, 0);
+  for (const Shard& s : shards_) {
+    for (size_t b = 0; b < LatencyBuckets::kCount; ++b) {
+      snap.counts[b] += s.counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  // Reconstruct the derived stats from occupancy: exact for unit buckets
+  // (values < 2^kSubBits ns), within one ~6% sub-bucket above that.
+  bool first = true;
+  for (size_t b = 0; b < LatencyBuckets::kCount; ++b) {
+    uint64_t c = snap.counts[b];
+    if (c == 0) {
+      continue;
+    }
+    uint64_t lo = LatencyBuckets::LowerNs(b);
+    uint64_t hi = LatencyBuckets::UpperNs(b);
+    snap.count += c;
+    snap.sum_ns += static_cast<double>(c) * (static_cast<double>(lo + hi - 1) / 2.0);
+    if (first) {
+      snap.min_ns = lo;
+      first = false;
+    }
+    snap.max_ns = hi - 1;
+  }
+  return snap;
+}
+
+double LatencySnapshot::PercentileNs(double p) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count)));
+  if (target == 0) {
+    target = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    if (seen + counts[i] >= target) {
+      double lo = static_cast<double>(LatencyBuckets::LowerNs(i));
+      double hi = static_cast<double>(LatencyBuckets::UpperNs(i));
+      double frac =
+          static_cast<double>(target - seen) / static_cast<double>(counts[i]);
+      double v = lo + frac * (hi - lo);
+      // Clip to the observed envelope: the bucket edges overstate spread
+      // when all of a bucket's samples share one value (min/max are exact).
+      return std::clamp(v, static_cast<double>(min_ns), static_cast<double>(max_ns));
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(max_ns);
+}
+
+}  // namespace telemetry
+}  // namespace rb

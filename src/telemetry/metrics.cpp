@@ -139,6 +139,24 @@ const HistogramSnapshot* RegistrySnapshot::FindHistogram(const std::string& name
   return nullptr;
 }
 
+const LatencySnapshot* RegistrySnapshot::FindLatency(const std::string& name) const {
+  for (const auto& [n, h] : latency) {
+    if (n == name) {
+      return &h;
+    }
+  }
+  return nullptr;
+}
+
+double RegistrySnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) {
+      return v;
+    }
+  }
+  return 0.0;
+}
+
 Counter* MetricRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
@@ -167,6 +185,15 @@ ShardedHistogram* MetricRegistry::GetHistogram(const std::string& name,
   return slot.get();
 }
 
+LatencyHistogram* MetricRegistry::GetLatencyHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = latency_[name];
+  if (!slot) {
+    slot = std::make_unique<LatencyHistogram>();
+  }
+  return slot.get();
+}
+
 RegistrySnapshot MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   RegistrySnapshot snap;
@@ -182,6 +209,26 @@ RegistrySnapshot MetricRegistry::Snapshot() const {
   for (const auto& [name, h] : histograms_) {
     snap.histograms.emplace_back(name, h->Snapshot());
   }
+  snap.latency.reserve(latency_.size());
+  for (const auto& [name, h] : latency_) {
+    LatencySnapshot ls = h->Snapshot();
+    if (ls.count > 0) {
+      // Synthesized tail gauges, in microseconds. Emitted into the plain
+      // gauge list so every existing export surface carries them.
+      static constexpr struct {
+        const char* suffix;
+        double p;
+      } kTails[] = {{"/p50_us", 50.0}, {"/p90_us", 90.0},
+                    {"/p99_us", 99.0}, {"/p999_us", 99.9}};
+      for (const auto& t : kTails) {
+        snap.gauges.emplace_back(name + t.suffix, ls.PercentileNs(t.p) / 1e3);
+      }
+      snap.gauges.emplace_back(name + "/mean_us", ls.mean_ns() / 1e3);
+      snap.gauges.emplace_back(name + "/count", static_cast<double>(ls.count));
+    }
+    snap.latency.emplace_back(name, std::move(ls));
+  }
+  std::sort(snap.gauges.begin(), snap.gauges.end());
   return snap;
 }
 

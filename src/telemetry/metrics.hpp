@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "telemetry/latency_stats.hpp"
+
 namespace rb {
 namespace telemetry {
 
@@ -154,10 +156,13 @@ struct RegistrySnapshot {
   std::vector<std::pair<std::string, uint64_t>> counters;    // sorted by name
   std::vector<std::pair<std::string, double>> gauges;        // sorted by name
   std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, LatencySnapshot>> latency;  // sorted
 
   // Convenience lookups for tests; returns 0 / nullptr when absent.
   uint64_t CounterValue(const std::string& name) const;
   const HistogramSnapshot* FindHistogram(const std::string& name) const;
+  const LatencySnapshot* FindLatency(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;  // 0 when absent
 };
 
 class MetricRegistry {
@@ -171,7 +176,14 @@ class MetricRegistry {
   Counter* GetCounter(const std::string& name);
   Gauge* GetGauge(const std::string& name);
   ShardedHistogram* GetHistogram(const std::string& name, const HistogramOptions& opts);
+  // Log-bucketed latency histogram (fixed geometry — no options to apply).
+  LatencyHistogram* GetLatencyHistogram(const std::string& name);
 
+  // Snapshot also synthesizes, for every latency histogram with samples,
+  // p50/p90/p99/p999 + mean gauges named "<hist>/p50_us" etc. (values in
+  // microseconds), so the gauges flow through every existing export path
+  // (handler plane, Prometheus exposition, --metrics-out JSON, CSV)
+  // without those layers learning a new metric kind.
   RegistrySnapshot Snapshot() const;
 
   // Process-wide default instance, for binaries that don't want to thread
@@ -183,6 +195,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<ShardedHistogram>> histograms_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> latency_;
 };
 
 }  // namespace telemetry

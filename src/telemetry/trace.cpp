@@ -14,15 +14,29 @@ double NowSeconds() {
       .count();
 }
 
+const std::string& HopPointName(const TraceHop& hop) {
+  static const std::string kEmpty;
+  return hop.point == kInvalidScope ? kEmpty : ScopeName(hop.point);
+}
+
+namespace {
+// Deterministic 64-bit mix (splitmix64 finalizer): the reservoir's coin.
+// Seeded per-candidate so replacement decisions are a pure function of
+// (seed, candidate index) — replayable across runs and thread schedules.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 PathTracer::PathTracer(const TracerConfig& config) : config_(config) {
   RB_CHECK(config.sample_every >= 1);
+  RB_CHECK(config.max_traces >= 1);
   sample_every_.store(config.sample_every, std::memory_order_relaxed);
   sample_offset_.store(config.seed % config.sample_every, std::memory_order_relaxed);
-  traces_.resize(config.max_traces);
-  for (size_t i = 0; i < traces_.size(); ++i) {
-    traces_[i].id = i + 1;
-    traces_[i].hops.reserve(8);
-  }
+  slots_ = std::make_unique<Slot[]>(config.max_traces);
 }
 
 void PathTracer::set_sample_every(uint32_t n) {
@@ -34,11 +48,18 @@ void PathTracer::set_sample_every(uint32_t n) {
   sample_offset_.store(config_.seed % n, std::memory_order_relaxed);
 }
 
+uint64_t PathTracer::sampled() const {
+  return std::min<uint64_t>(next_candidate_.load(std::memory_order_relaxed),
+                            config_.max_traces);
+}
+
 void PathTracer::AddHandlers(HandlerRegistry* handlers) {
   handlers->AddRead("tracer.started",
                     [this] { return std::to_string(started()); });
   handlers->AddRead("tracer.sampled",
                     [this] { return std::to_string(sampled()); });
+  handlers->AddRead("tracer.candidates",
+                    [this] { return std::to_string(candidates()); });
   handlers->AddRead("tracer.max_traces",
                     [this] { return std::to_string(config_.max_traces); });
   handlers->AddRead("tracer.sample_every",
@@ -53,53 +74,121 @@ void PathTracer::AddHandlers(HandlerRegistry* handlers) {
   });
 }
 
-uint64_t PathTracer::StartTrace(const std::string& point, double t) {
+PathTracer::Slot* PathTracer::LockSlot(uint64_t handle) {
+  uint64_t idx = (handle & 0xffffffffull);
+  if (idx == 0 || idx > config_.max_traces) {
+    return nullptr;
+  }
+  Slot& s = slots_[idx - 1];
+  uint32_t gen = static_cast<uint32_t>(handle >> 32);
+  while (s.lock.test_and_set(std::memory_order_acquire)) {
+  }
+  if (s.gen.load(std::memory_order_relaxed) != gen) {
+    Unlock(&s);  // slot was reclaimed by a later candidate: handle stale
+    return nullptr;
+  }
+  return &s;
+}
+
+uint64_t PathTracer::StartTrace(ScopeId point, double t) {
   uint64_t n = started_.fetch_add(1, std::memory_order_relaxed);
   if (n % sample_every_.load(std::memory_order_relaxed) !=
       sample_offset_.load(std::memory_order_relaxed)) {
     return 0;
   }
-  uint64_t slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
-  if (slot >= traces_.size()) {
-    // Out of capacity: put the counter back (approximately — concurrent
-    // racers may leave it above max_traces; sampled() clamps on read).
-    next_slot_.store(traces_.size(), std::memory_order_relaxed);
-    return 0;
+  uint64_t k = next_candidate_.fetch_add(1, std::memory_order_relaxed);
+  size_t slot;
+  if (k < config_.max_traces) {
+    slot = static_cast<size_t>(k);  // reservoir still filling
+  } else {
+    // Algorithm R: candidate k replaces a uniform slot with probability
+    // max_traces / (k + 1); otherwise it is not traced at all.
+    uint64_t j = Mix64(config_.seed ^ k) % (k + 1);
+    if (j >= config_.max_traces) {
+      return 0;
+    }
+    slot = static_cast<size_t>(j);
   }
-  traces_[slot].hops.push_back({point, t});
-  return slot + 1;
+  Slot& s = slots_[slot];
+  while (s.lock.test_and_set(std::memory_order_acquire)) {
+  }
+  uint32_t gen = s.gen.load(std::memory_order_relaxed) + 1;
+  s.gen.store(gen, std::memory_order_relaxed);
+  s.trace.id = slot + 1;
+  s.trace.candidate = k;
+  s.trace.complete = false;
+  s.trace.hops.clear();
+  if (s.trace.hops.capacity() < 8) {
+    s.trace.hops.reserve(8);
+  }
+  s.trace.hops.push_back({point, t, 0});
+  Unlock(&s);
+  return MakeHandle(gen, slot);
 }
 
-void PathTracer::Record(uint64_t handle, const std::string& point, double t) {
-  if (handle == 0 || handle > traces_.size()) {
+void PathTracer::Record(uint64_t handle, ScopeId point, double t, double wait) {
+  if (handle == 0) {
     return;
   }
-  traces_[handle - 1].hops.push_back({point, t});
-}
-
-void PathTracer::EndTrace(uint64_t handle, const std::string& point, double t) {
-  if (handle == 0 || handle > traces_.size()) {
+  Slot* s = LockSlot(handle);
+  if (s == nullptr) {
     return;
   }
-  PacketTrace& tr = traces_[handle - 1];
-  tr.hops.push_back({point, t});
-  tr.complete = true;
+  s->trace.hops.push_back({point, t, wait});
+  Unlock(s);
 }
 
-void PathTracer::Abandon(uint64_t handle, const std::string& point, double t) {
+void PathTracer::EndTrace(uint64_t handle, ScopeId point, double t, double wait) {
+  if (handle == 0) {
+    return;
+  }
+  Slot* s = LockSlot(handle);
+  if (s == nullptr) {
+    return;
+  }
+  s->trace.hops.push_back({point, t, wait});
+  s->trace.complete = true;
+  Unlock(s);
+}
+
+void PathTracer::Abandon(uint64_t handle, ScopeId point, double t) {
   Record(handle, point, t);
 }
 
+uint64_t PathTracer::StartTrace(const std::string& point, double t) {
+  return StartTrace(InternScopeName(point), t);
+}
+void PathTracer::Record(uint64_t handle, const std::string& point, double t,
+                        double wait) {
+  Record(handle, InternScopeName(point), t, wait);
+}
+void PathTracer::EndTrace(uint64_t handle, const std::string& point, double t,
+                          double wait) {
+  EndTrace(handle, InternScopeName(point), t, wait);
+}
+void PathTracer::Abandon(uint64_t handle, const std::string& point, double t) {
+  Abandon(handle, InternScopeName(point), t);
+}
+
 std::vector<PacketTrace> PathTracer::Traces() const {
-  uint64_t n = std::min<uint64_t>(next_slot_.load(std::memory_order_relaxed), traces_.size());
-  return std::vector<PacketTrace>(traces_.begin(), traces_.begin() + static_cast<long>(n));
+  uint64_t n = sampled();
+  std::vector<PacketTrace> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Slot& s = slots_[i];
+    while (s.lock.test_and_set(std::memory_order_acquire)) {
+    }
+    out.push_back(s.trace);
+    s.lock.clear(std::memory_order_release);
+  }
+  return out;
 }
 
 std::vector<HopLatency> PathTracer::HopLatencies() const {
-  std::map<std::pair<std::string, std::string>, HopLatency> by_pair;
-  uint64_t n = std::min<uint64_t>(next_slot_.load(std::memory_order_relaxed), traces_.size());
+  std::map<std::pair<ScopeId, ScopeId>, HopLatency> by_pair;
+  uint64_t n = sampled();
   for (uint64_t i = 0; i < n; ++i) {
-    const PacketTrace& tr = traces_[i];
+    const PacketTrace& tr = slots_[i].trace;
     if (!tr.complete) {
       continue;
     }
@@ -109,8 +198,8 @@ std::vector<HopLatency> PathTracer::HopLatencies() const {
       auto [it, inserted] = by_pair.try_emplace(key);
       HopLatency& hl = it->second;
       if (inserted) {
-        hl.from = key.first;
-        hl.to = key.second;
+        hl.from = HopPointName(tr.hops[h - 1]);
+        hl.to = HopPointName(tr.hops[h]);
         hl.min = hl.max = dt;
       } else {
         hl.min = std::min(hl.min, dt);
@@ -118,6 +207,7 @@ std::vector<HopLatency> PathTracer::HopLatencies() const {
       }
       hl.count++;
       hl.sum += dt;
+      hl.wait_sum += tr.hops[h].wait;
     }
   }
   std::vector<HopLatency> out;
@@ -130,11 +220,11 @@ std::vector<HopLatency> PathTracer::HopLatencies() const {
 
 HistogramSnapshot PathTracer::HopLatencyHistogram(size_t buckets) const {
   // Two passes: find the observed range, then bucket.
-  uint64_t n = std::min<uint64_t>(next_slot_.load(std::memory_order_relaxed), traces_.size());
+  uint64_t n = sampled();
   double lo = 0, hi = 0;
   bool first = true;
   for (uint64_t i = 0; i < n; ++i) {
-    const PacketTrace& tr = traces_[i];
+    const PacketTrace& tr = slots_[i].trace;
     if (!tr.complete) {
       continue;
     }
@@ -156,7 +246,7 @@ HistogramSnapshot PathTracer::HopLatencyHistogram(size_t buckets) const {
   hi += (hi - lo) * 1e-6;
   ShardedHistogram hist(HistogramOptions{lo, hi, buckets});
   for (uint64_t i = 0; i < n; ++i) {
-    const PacketTrace& tr = traces_[i];
+    const PacketTrace& tr = slots_[i].trace;
     if (!tr.complete) {
       continue;
     }

@@ -1,0 +1,148 @@
+#include "telemetry/trace_export.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace rb {
+namespace telemetry {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendNumber(std::string* out, double v) {
+  if (!std::isfinite(v)) {
+    *out += "0";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  *out += buf;
+}
+
+// "cpu@3" -> 3; points without a numeric @-suffix share track 0.
+int TrackOf(const std::string& point) {
+  size_t at = point.rfind('@');
+  if (at == std::string::npos || at + 1 >= point.size()) {
+    return 0;
+  }
+  int v = 0;
+  for (size_t i = at + 1; i < point.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(point[i]))) {
+      return 0;
+    }
+    v = v * 10 + (point[i] - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string TraceEventJson(const PathTracer& tracer, bool complete_only) {
+  std::vector<PacketTrace> traces = tracer.Traces();
+
+  // Rebase: wall-clock steady_clock seconds are huge; Perfetto renders
+  // from the earliest ts, so subtract the run's first hop time.
+  double t0 = std::numeric_limits<double>::infinity();
+  for (const PacketTrace& tr : traces) {
+    if (!tr.hops.empty()) {
+      t0 = std::min(t0, tr.hops.front().t);
+    }
+  }
+  if (!std::isfinite(t0)) {
+    t0 = 0;
+  }
+
+  std::string out = "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first_event = true;
+  for (const PacketTrace& tr : traces) {
+    if (tr.hops.empty() || (complete_only && !tr.complete)) {
+      continue;
+    }
+    // Process name metadata: one row group per sampled packet.
+    if (!first_event) {
+      out += ", ";
+    }
+    first_event = false;
+    out += "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": ";
+    out += std::to_string(tr.id);
+    out += ", \"args\": {\"name\": \"packet ";
+    out += std::to_string(tr.candidate);
+    out += tr.complete ? "\"}}" : " (dropped)\"}}";
+
+    for (size_t h = 1; h < tr.hops.size(); ++h) {
+      const TraceHop& prev = tr.hops[h - 1];
+      const TraceHop& hop = tr.hops[h];
+      double dur_us = (hop.t - prev.t) * 1e6;
+      if (dur_us < 0) {
+        dur_us = 0;  // defensive: clock skew between hop sources
+      }
+      double wait_us = hop.wait * 1e6;
+      out += ", {\"ph\": \"X\", \"name\": \"";
+      AppendEscaped(&out, HopPointName(hop));
+      out += "\", \"cat\": \"hop\", \"pid\": ";
+      out += std::to_string(tr.id);
+      out += ", \"tid\": ";
+      out += std::to_string(TrackOf(HopPointName(hop)));
+      out += ", \"ts\": ";
+      AppendNumber(&out, (prev.t - t0) * 1e6);
+      out += ", \"dur\": ";
+      AppendNumber(&out, dur_us);
+      out += ", \"args\": {\"from\": \"";
+      AppendEscaped(&out, HopPointName(prev));
+      out += "\", \"wait_us\": ";
+      AppendNumber(&out, wait_us);
+      out += ", \"service_us\": ";
+      AppendNumber(&out, dur_us >= wait_us ? dur_us - wait_us : 0.0);
+      if (!tr.complete && h + 1 == tr.hops.size()) {
+        out += ", \"drop\": true";
+      }
+      out += "}}";
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool WriteTraceEventFile(const PathTracer& tracer, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    RB_LOG_ERROR("cannot open trace-out file %s", path.c_str());
+    return false;
+  }
+  f << TraceEventJson(tracer);
+  return static_cast<bool>(f);
+}
+
+}  // namespace telemetry
+}  // namespace rb

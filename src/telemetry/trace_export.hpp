@@ -1,0 +1,33 @@
+// Chrome/Perfetto trace-event export for sampled packet traces.
+//
+// Serializes a PathTracer's held traces into the Trace Event JSON format
+// (https://ui.perfetto.dev, chrome://tracing): each sampled packet becomes
+// one "process" (pid = trace id) and each consecutive hop pair becomes a
+// complete "X" event whose duration is the residency at the destination
+// hop, with args carrying the queueing-wait / service split. Hop points
+// named "thing@N" are placed on track (tid) N so a cluster-DES trace lays
+// its ingress / via / egress servers on separate rows of one span tree.
+#ifndef RB_TELEMETRY_TRACE_EXPORT_HPP_
+#define RB_TELEMETRY_TRACE_EXPORT_HPP_
+
+#include <string>
+
+#include "telemetry/trace.hpp"
+
+namespace rb {
+namespace telemetry {
+
+// {"traceEvents": [...], "displayTimeUnit": "ns"}. Timestamps are
+// converted from the tracer's seconds to microseconds (the format's unit)
+// and rebased so each run starts near t=0. Incomplete traces (dropped
+// packets) are exported too — their last span is tagged "drop": true —
+// unless `complete_only`.
+std::string TraceEventJson(const PathTracer& tracer, bool complete_only = false);
+
+// Writes TraceEventJson to `path`. Returns false (and logs) on I/O error.
+bool WriteTraceEventFile(const PathTracer& tracer, const std::string& path);
+
+}  // namespace telemetry
+}  // namespace rb
+
+#endif  // RB_TELEMETRY_TRACE_EXPORT_HPP_

@@ -212,7 +212,7 @@ TEST(ClusterSimTest, TelemetryTracksDeliveriesAndTracesDeterministically) {
       EXPECT_DOUBLE_EQ(ta[i].hops[h].t, tb[i].hops[h].t);
     }
     if (ta[i].complete) {
-      EXPECT_EQ(ta[i].hops.back().point.rfind("ext-out@", 0), 0u);
+      EXPECT_EQ(telemetry::HopPointName(ta[i].hops.back()).rfind("ext-out@", 0), 0u);
     }
   }
 }

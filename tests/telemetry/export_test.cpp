@@ -155,9 +155,10 @@ TEST(ExportTest, RouterJsonSnapshotMatchesGroundTruth) {
   EXPECT_DOUBLE_EQ(sampled, static_cast<double>(delivered / tc.sample_every));
   const JsonValue* hop_hist = traces->Find("hop_latency");
   ASSERT_NE(hop_hist, nullptr);
-  // Each sampled minimal-forwarding trace has 4 hops (FromDevice ->
-  // CheckIPHeader -> Queue -> ToDevice) = 3 latency deltas.
-  EXPECT_DOUBLE_EQ(hop_hist->Find("count")->NumberOr(0), sampled * 3);
+  // Each sampled minimal-forwarding trace has 5 hops (FromDevice ->
+  // CheckIPHeader -> Queue -> Queue/deq -> ToDevice; the dequeue hop
+  // carries the measured queueing wait) = 4 latency deltas.
+  EXPECT_DOUBLE_EQ(hop_hist->Find("count")->NumberOr(0), sampled * 4);
   const JsonValue* hops = traces->Find("hops");
   ASSERT_NE(hops, nullptr);
   EXPECT_FALSE(hops->arr.empty());

@@ -1,0 +1,209 @@
+#include "telemetry/latency_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rb {
+namespace {
+
+using telemetry::LatencyBuckets;
+using telemetry::LatencyHistogram;
+using telemetry::LatencySnapshot;
+
+// --- bucket geometry -------------------------------------------------
+
+TEST(LatencyBucketsTest, UnitBucketsAreExactBelowSubCount) {
+  // Values below 2^kSubBits land in one-value-wide buckets: Index is the
+  // identity and [LowerNs, UpperNs) is [v, v+1).
+  constexpr uint64_t kSub = uint64_t{1} << LatencyBuckets::kSubBits;
+  for (uint64_t v = 0; v < kSub; ++v) {
+    size_t idx = LatencyBuckets::Index(v);
+    EXPECT_EQ(idx, static_cast<size_t>(v));
+    EXPECT_EQ(LatencyBuckets::LowerNs(idx), v);
+    EXPECT_EQ(LatencyBuckets::UpperNs(idx), v + 1);
+  }
+}
+
+TEST(LatencyBucketsTest, IndexLowerUpperRoundTripAtOctaveBoundaries) {
+  // At every octave boundary 2^e, the value must land in the bucket whose
+  // [lower, upper) range contains it, and the exact power of two must be
+  // its bucket's lower edge (a new octave starts there).
+  for (int e = LatencyBuckets::kSubBits; e <= 39; ++e) {
+    const uint64_t v = uint64_t{1} << e;
+    for (uint64_t probe : {v - 1, v, v + 1}) {
+      size_t idx = LatencyBuckets::Index(probe);
+      EXPECT_LE(LatencyBuckets::LowerNs(idx), probe)
+          << "probe " << probe << " below its bucket";
+      EXPECT_GT(LatencyBuckets::UpperNs(idx), probe)
+          << "probe " << probe << " at/above its bucket's upper edge";
+    }
+    EXPECT_EQ(LatencyBuckets::LowerNs(LatencyBuckets::Index(v)), v)
+        << "2^" << e << " must open its own bucket";
+  }
+}
+
+TEST(LatencyBucketsTest, IndexIsMonotoneAcrossSubBucketEdges) {
+  // Sweep a few octaves edge by edge: Index never decreases and each
+  // sub-bucket's lower edge maps to a strictly larger index than the
+  // previous sub-bucket's.
+  size_t prev = 0;
+  for (int e = LatencyBuckets::kSubBits; e < LatencyBuckets::kSubBits + 8; ++e) {
+    const uint64_t base = uint64_t{1} << e;
+    const uint64_t step = base >> LatencyBuckets::kSubBits;
+    for (uint64_t sub = 0; sub < (uint64_t{1} << LatencyBuckets::kSubBits); ++sub) {
+      size_t idx = LatencyBuckets::Index(base + sub * step);
+      EXPECT_GT(idx, prev);
+      prev = idx;
+      // Everything inside the sub-bucket shares the index.
+      EXPECT_EQ(LatencyBuckets::Index(base + sub * step + step - 1), idx);
+    }
+  }
+}
+
+TEST(LatencyBucketsTest, HugeValuesClampToTopBucket) {
+  const size_t top = LatencyBuckets::kCount - 1;
+  EXPECT_EQ(LatencyBuckets::Index(~uint64_t{0}), top);
+  EXPECT_EQ(LatencyBuckets::Index(uint64_t{1} << 63), top);
+  // The top bucket still has a finite, ordered range.
+  EXPECT_GT(LatencyBuckets::UpperNs(top), LatencyBuckets::LowerNs(top));
+}
+
+TEST(LatencyBucketsTest, RelativeResolutionIsBoundedBySubBucketWidth) {
+  // The design claim: ~6% relative resolution (1/16 of an octave) above
+  // the unit-bucket region. Check the bucket width against its lower edge.
+  for (uint64_t v : {100ull, 1000ull, 123456ull, 7654321ull, 1ull << 30}) {
+    size_t idx = LatencyBuckets::Index(v);
+    uint64_t lo = LatencyBuckets::LowerNs(idx);
+    uint64_t hi = LatencyBuckets::UpperNs(idx);
+    EXPECT_LE(static_cast<double>(hi - lo) / static_cast<double>(lo), 1.0 / 16.0 + 1e-9)
+        << "bucket around " << v << " wider than a 1/16 octave";
+  }
+}
+
+// --- histogram + snapshot semantics ----------------------------------
+
+TEST(LatencyHistogramTest, SnapshotReconstructsCountMinMax) {
+  LatencyHistogram h;
+  telemetry::SetThisCore(0);
+  h.ObserveNs(3);      // unit bucket: exact
+  h.ObserveNs(3);
+  h.ObserveNs(1000);   // log bucket: min/max are bucket edges
+  LatencySnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.min_ns, 3u);  // unit bucket lower edge == value
+  // max is the inclusive upper edge of 1000's bucket — within one
+  // sub-bucket (1/16 octave) above the value, never below it.
+  EXPECT_GE(s.max_ns, 1000u);
+  EXPECT_LE(s.max_ns, 1063u);
+}
+
+TEST(LatencyHistogramTest, SnapshotMeanWithinBucketResolution) {
+  LatencyHistogram h;
+  telemetry::SetThisCore(0);
+  Rng rng(7);
+  double exact_sum = 0;
+  const int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = 500 + rng.NextBounded(1000000);
+    exact_sum += static_cast<double>(v);
+    h.ObserveNs(v);
+  }
+  LatencySnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kN));
+  // Midpoint reconstruction: within the ~6% sub-bucket width (use 4% —
+  // midpoints cancel much of the error on a spread-out distribution).
+  double exact_mean = exact_sum / kN;
+  EXPECT_NEAR(s.mean_ns(), exact_mean, exact_mean * 0.04);
+}
+
+TEST(LatencyHistogramTest, MergesAcrossCoreShards) {
+  LatencyHistogram h;
+  for (int core = 0; core < 5; ++core) {
+    telemetry::SetThisCore(core);
+    h.ObserveNs(100);
+  }
+  telemetry::SetThisCore(0);
+  EXPECT_EQ(h.Snapshot().count, 5u);
+}
+
+TEST(LatencySnapshotTest, PercentileAtBucketEdges) {
+  LatencyHistogram h;
+  telemetry::SetThisCore(0);
+  // 100 observations of one unit-bucket value: every percentile is that
+  // value exactly (the envelope clip pins interpolation to min == max).
+  for (int i = 0; i < 100; ++i) {
+    h.ObserveNs(7);
+  }
+  LatencySnapshot s = h.Snapshot();
+  EXPECT_DOUBLE_EQ(s.PercentileNs(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.PercentileNs(50), 7.0);
+  EXPECT_DOUBLE_EQ(s.PercentileNs(100), 7.0);
+}
+
+TEST(LatencySnapshotTest, PercentileSplitsMassAcrossTwoBuckets) {
+  LatencyHistogram h;
+  telemetry::SetThisCore(0);
+  // Half the mass at 2, half at 10: p25 must read from 2's bucket, p75
+  // from 10's, and p50 sits at the boundary between them.
+  for (int i = 0; i < 50; ++i) {
+    h.ObserveNs(2);
+    h.ObserveNs(10);
+  }
+  LatencySnapshot s = h.Snapshot();
+  EXPECT_NEAR(s.PercentileNs(25), 2.0, 1.0);
+  EXPECT_NEAR(s.PercentileNs(75), 10.0, 1.0);
+  EXPECT_LT(s.PercentileNs(25), s.PercentileNs(75));
+}
+
+TEST(LatencySnapshotTest, P999OnHeavyTailedDistribution) {
+  // 1% of packets take ~100x longer (the §6.2 story: queueing tails).
+  // p50 must sit in the body, p999 in the tail — the log buckets must
+  // keep both meaningful simultaneously.
+  LatencyHistogram h;
+  telemetry::SetThisCore(0);
+  Rng rng(42);
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    uint64_t v = (rng.NextBounded(100) == 0) ? 1000000 + rng.NextBounded(500000)
+                                             : 10000 + rng.NextBounded(5000);
+    h.ObserveNs(v);
+  }
+  LatencySnapshot s = h.Snapshot();
+  double p50 = s.PercentileNs(50);
+  double p99 = s.PercentileNs(99);
+  double p999 = s.PercentileNs(99.9);
+  EXPECT_GE(p50, 10000.0 * 0.94);
+  EXPECT_LE(p50, 15000.0 * 1.07);
+  EXPECT_GE(p999, 1000000.0 * 0.94);  // tail resolved, not smeared
+  EXPECT_LE(p999, 1500000.0 * 1.07);
+  EXPECT_LT(p50, p99);
+  EXPECT_LT(p99, p999);
+  EXPECT_EQ(s.count, static_cast<uint64_t>(kN));
+}
+
+TEST(LatencySnapshotTest, EmptySnapshotIsAllZero) {
+  LatencyHistogram h;
+  LatencySnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_ns(), 0.0);
+  EXPECT_DOUBLE_EQ(s.PercentileNs(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.PercentileNs(99.9), 0.0);
+}
+
+TEST(LatencyStatsTest, IngressStampKillSwitchRoundTrips) {
+  // Default on; off and back on must round-trip (bench_latency's A/B and
+  // any deployment shedding the stamp depend on this).
+  EXPECT_TRUE(telemetry::IngressStampEnabled());
+  telemetry::SetIngressStampEnabled(false);
+  EXPECT_FALSE(telemetry::IngressStampEnabled());
+  telemetry::SetIngressStampEnabled(true);
+  EXPECT_TRUE(telemetry::IngressStampEnabled());
+}
+
+}  // namespace
+}  // namespace rb

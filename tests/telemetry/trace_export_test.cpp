@@ -1,0 +1,157 @@
+#include "telemetry/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "telemetry/json.hpp"
+#include "telemetry/trace.hpp"
+
+namespace rb {
+namespace {
+
+using telemetry::JsonValue;
+using telemetry::ParseJson;
+using telemetry::PathTracer;
+using telemetry::TraceEventJson;
+using telemetry::TracerConfig;
+
+TracerConfig SampleAllConfig() {
+  TracerConfig cfg;
+  cfg.sample_every = 1;  // sample everything: the test drives few packets
+  cfg.max_traces = 64;
+  cfg.seed = 3;
+  return cfg;
+}
+
+// Collects the "X" (complete-duration) events out of a parsed trace doc.
+std::vector<const JsonValue*> XEvents(const JsonValue& doc) {
+  std::vector<const JsonValue*> out;
+  const JsonValue* events = doc.Find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    return out;
+  }
+  for (const JsonValue& e : events->arr) {
+    const JsonValue* ph = e.Find("ph");
+    if (ph != nullptr && ph->is_string() && ph->str == "X") {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+TEST(TraceExportTest, EmptyTracerProducesValidEmptyDocument) {
+  PathTracer tracer(SampleAllConfig());
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(TraceEventJson(tracer), &doc, &err)) << err;
+  EXPECT_TRUE(XEvents(doc).empty());
+}
+
+TEST(TraceExportTest, CompleteTraceExportsOneXEventPerHopPair) {
+  PathTracer tracer(SampleAllConfig());
+  uint64_t h = tracer.StartTrace("ext-rx@0", 1.0);
+  ASSERT_NE(h, 0u);
+  tracer.Record(h, "cpu@0", 1.000010, /*wait=*/4e-6);
+  tracer.EndTrace(h, "ext-out@1", 1.000025, /*wait=*/5e-6);
+
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(TraceEventJson(tracer), &doc, &err)) << err;
+  std::vector<const JsonValue*> xs = XEvents(doc);
+  ASSERT_EQ(xs.size(), 2u);  // 3 hops -> 2 consecutive pairs
+
+  // First pair: ext-rx -> cpu, 10us residency of which 4us is wait.
+  const JsonValue* e0 = xs[0];
+  EXPECT_EQ(e0->Find("name")->str, "cpu@0");
+  EXPECT_EQ(e0->Find("args", "from")->str, "ext-rx@0");
+  EXPECT_NEAR(e0->Find("dur")->NumberOr(-1), 10.0, 0.01);
+  EXPECT_NEAR(e0->Find("args", "wait_us")->NumberOr(-1), 4.0, 0.01);
+  EXPECT_NEAR(e0->Find("args", "service_us")->NumberOr(-1), 6.0, 0.01);
+
+  // Second pair: cpu -> ext-out, 15us of which 5us wait.
+  const JsonValue* e1 = xs[1];
+  EXPECT_EQ(e1->Find("name")->str, "ext-out@1");
+  EXPECT_NEAR(e1->Find("dur")->NumberOr(-1), 15.0, 0.01);
+  EXPECT_NEAR(e1->Find("args", "service_us")->NumberOr(-1), 10.0, 0.01);
+
+  // wait + service == dur on every event (the decomposition contract).
+  for (const JsonValue* e : xs) {
+    EXPECT_NEAR(e->Find("args", "wait_us")->NumberOr(0) +
+                    e->Find("args", "service_us")->NumberOr(0),
+                e->Find("dur")->NumberOr(-1), 0.01);
+  }
+}
+
+TEST(TraceExportTest, TimestampsAreRebasedToFirstHop) {
+  // Wall-clock hop times are huge; the exporter subtracts the earliest
+  // hop so Perfetto renders from ts ~ 0.
+  PathTracer tracer(SampleAllConfig());
+  uint64_t h = tracer.StartTrace("a", 12345.5);
+  tracer.EndTrace(h, "b", 12345.5001);
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(TraceEventJson(tracer), &doc));
+  std::vector<const JsonValue*> xs = XEvents(doc);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_NEAR(xs[0]->Find("ts")->NumberOr(-1), 0.0, 1e-6);
+  EXPECT_NEAR(xs[0]->Find("dur")->NumberOr(-1), 100.0, 0.01);
+}
+
+TEST(TraceExportTest, DroppedTraceMarkedAndExcludableViaCompleteOnly) {
+  PathTracer tracer(SampleAllConfig());
+  uint64_t done = tracer.StartTrace("rx", 1.0);
+  tracer.EndTrace(done, "tx", 1.00001);
+  uint64_t dropped = tracer.StartTrace("rx", 2.0);
+  tracer.Abandon(dropped, "queue-drop", 2.00002);
+
+  // Default export carries both; the abandoned trace's terminal event is
+  // tagged args.drop=true so the viewer can tell the paths apart.
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(TraceEventJson(tracer), &doc));
+  std::vector<const JsonValue*> xs = XEvents(doc);
+  ASSERT_EQ(xs.size(), 2u);
+  int drop_tagged = 0;
+  for (const JsonValue* e : xs) {
+    const JsonValue* d = e->Find("args", "drop");
+    if (d != nullptr && d->b) {
+      drop_tagged++;
+    }
+  }
+  EXPECT_EQ(drop_tagged, 1);
+
+  // complete_only excludes the dropped path entirely.
+  JsonValue only;
+  ASSERT_TRUE(ParseJson(TraceEventJson(tracer, /*complete_only=*/true), &only));
+  EXPECT_EQ(XEvents(only).size(), 1u);
+}
+
+TEST(TraceExportTest, HopNamesWithQuotesAreEscaped) {
+  PathTracer tracer(SampleAllConfig());
+  uint64_t h = tracer.StartTrace("a\"b\\c", 1.0);
+  tracer.EndTrace(h, "plain", 1.001);
+  JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(ParseJson(TraceEventJson(tracer), &doc, &err)) << err;
+  std::vector<const JsonValue*> xs = XEvents(doc);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_EQ(xs[0]->Find("args", "from")->str, "a\"b\\c");
+}
+
+TEST(TraceExportTest, NumericAtSuffixSelectsTrack) {
+  // "cpu@3" renders on tid 3; names without a numeric suffix share tid 0.
+  PathTracer tracer(SampleAllConfig());
+  uint64_t h = tracer.StartTrace("ext-rx@0", 1.0);
+  tracer.Record(h, "cpu@3", 1.00001);
+  tracer.EndTrace(h, "ext-out", 1.00002);
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(TraceEventJson(tracer), &doc));
+  std::vector<const JsonValue*> xs = XEvents(doc);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_NEAR(xs[0]->Find("tid")->NumberOr(-1), 3.0, 0.0);
+  EXPECT_NEAR(xs[1]->Find("tid")->NumberOr(-1), 0.0, 0.0);
+}
+
+}  // namespace
+}  // namespace rb

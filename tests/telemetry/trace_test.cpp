@@ -8,6 +8,7 @@ namespace rb {
 namespace {
 
 using telemetry::HopLatency;
+using telemetry::HopPointName;
 using telemetry::PacketTrace;
 using telemetry::PathTracer;
 using telemetry::TracerConfig;
@@ -72,8 +73,8 @@ TEST(PathTracerTest, RecordsHopsInOrderAndEndCompletes) {
   ASSERT_EQ(traces.size(), 1u);
   EXPECT_TRUE(traces[0].complete);
   ASSERT_EQ(traces[0].hops.size(), 3u);
-  EXPECT_EQ(traces[0].hops[0].point, "from");
-  EXPECT_EQ(traces[0].hops[2].point, "to");
+  EXPECT_EQ(HopPointName(traces[0].hops[0]), "from");
+  EXPECT_EQ(HopPointName(traces[0].hops[2]), "to");
   EXPECT_DOUBLE_EQ(traces[0].hops[2].t, 2.0);
 }
 
@@ -124,27 +125,122 @@ TEST(PathTracerTest, AbandonedTracesExcludedFromAggregates) {
   std::vector<PacketTrace> traces = tracer.Traces();
   ASSERT_EQ(traces.size(), 2u);
   EXPECT_FALSE(traces[1].complete);
-  EXPECT_EQ(traces[1].hops.back().point, "drop");
+  EXPECT_EQ(HopPointName(traces[1].hops.back()), "drop");
   // ...but only the completed trace contributes latency stats.
   std::vector<HopLatency> hops = tracer.HopLatencies();
   ASSERT_EQ(hops.size(), 1u);
   EXPECT_EQ(hops[0].count, 1u);
 }
 
-TEST(PathTracerTest, StopsSamplingAtMaxTraces) {
+TEST(PathTracerTest, ReservoirHoldsAtMostMaxTraces) {
   TracerConfig cfg;
   cfg.sample_every = 1;
   cfg.max_traces = 5;
   PathTracer tracer(cfg);
-  size_t taken = 0;
   for (int i = 0; i < 100; ++i) {
-    if (tracer.StartTrace("x", i) != 0) {
-      taken++;
+    uint64_t h = tracer.StartTrace("x", i);
+    tracer.EndTrace(h, "y", i + 0.5);  // no-op for the unsampled majority
+  }
+  EXPECT_EQ(tracer.Traces().size(), 5u);
+  EXPECT_EQ(tracer.sampled(), 5u);
+  EXPECT_EQ(tracer.candidates(), 100u);
+  EXPECT_EQ(tracer.started(), 100u);
+}
+
+TEST(PathTracerTest, ReservoirSamplingHasNoEarlyRunBias) {
+  // The old behavior kept only the *first* max_traces candidates, so a
+  // long run's sample said nothing about its steady state. Reservoir
+  // sampling must keep candidates from the whole run: with 64 slots and
+  // 10000 candidates, a first-N sampler has mean candidate index 31.5 and
+  // none above 63; a uniform reservoir's mean is ~5000.
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  cfg.max_traces = 64;
+  cfg.seed = 7;
+  PathTracer tracer(cfg);
+  constexpr uint64_t kCandidates = 10000;
+  for (uint64_t i = 0; i < kCandidates; ++i) {
+    uint64_t h = tracer.StartTrace("x", static_cast<double>(i));
+    tracer.EndTrace(h, "y", static_cast<double>(i) + 0.5);
+  }
+  std::vector<PacketTrace> traces = tracer.Traces();
+  ASSERT_EQ(traces.size(), 64u);
+  double mean = 0;
+  uint64_t late = 0;
+  for (const PacketTrace& tr : traces) {
+    EXPECT_TRUE(tr.complete);  // replacement didn't corrupt slot state
+    mean += static_cast<double>(tr.candidate);
+    if (tr.candidate >= kCandidates / 2) {
+      late++;
     }
   }
-  EXPECT_EQ(taken, 5u);
-  EXPECT_EQ(tracer.Traces().size(), 5u);
-  EXPECT_EQ(tracer.started(), 100u);
+  mean /= static_cast<double>(traces.size());
+  // Uniform sample: mean ≈ 5000 (std err ≈ 360), about half late. Any
+  // early-run bias pulls both far outside these loose bounds.
+  EXPECT_GT(mean, 3000.0);
+  EXPECT_LT(mean, 7000.0);
+  EXPECT_GE(late, 16u);
+  // And for a fixed seed the kept set is exactly reproducible.
+  PathTracer again(cfg);
+  for (uint64_t i = 0; i < kCandidates; ++i) {
+    uint64_t h = again.StartTrace("x", static_cast<double>(i));
+    again.EndTrace(h, "y", static_cast<double>(i) + 0.5);
+  }
+  std::vector<PacketTrace> traces2 = again.Traces();
+  ASSERT_EQ(traces2.size(), traces.size());
+  for (size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(traces2[i].candidate, traces[i].candidate);
+  }
+}
+
+TEST(PathTracerTest, StaleHandleAfterEvictionIsIgnored) {
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  cfg.max_traces = 1;
+  cfg.seed = 3;
+  PathTracer tracer(cfg);
+  uint64_t first = tracer.StartTrace("a", 0.0);
+  ASSERT_NE(first, 0u);
+  // Drive candidates until one evicts the first trace from the only slot.
+  uint64_t evictor = 0;
+  for (int i = 0; i < 64 && evictor == 0; ++i) {
+    evictor = tracer.StartTrace("b", 1.0 + i);
+  }
+  ASSERT_NE(evictor, 0u);
+  ASSERT_NE(evictor, first);
+  // The evicted packet's late hops must not corrupt the new occupant.
+  tracer.Record(first, "ghost", 99.0);
+  tracer.EndTrace(first, "ghost-end", 100.0);
+  std::vector<PacketTrace> traces = tracer.Traces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_FALSE(traces[0].complete);
+  for (const auto& hop : traces[0].hops) {
+    EXPECT_NE(HopPointName(hop), "ghost");
+  }
+  // The live handle still records normally.
+  tracer.EndTrace(evictor, "c", 2.0);
+  EXPECT_TRUE(tracer.Traces()[0].complete);
+}
+
+TEST(PathTracerTest, HopWaitFlowsIntoAggregates) {
+  TracerConfig cfg;
+  cfg.sample_every = 1;
+  PathTracer tracer(cfg);
+  for (int i = 0; i < 4; ++i) {
+    uint64_t h = tracer.StartTrace("a", 0.0);
+    tracer.Record(h, "b", 2.0, /*wait=*/0.5);
+    tracer.EndTrace(h, "c", 3.0);
+  }
+  std::vector<HopLatency> hops = tracer.HopLatencies();
+  const HopLatency* ab = nullptr;
+  for (const auto& hl : hops) {
+    if (hl.from == "a" && hl.to == "b") {
+      ab = &hl;
+    }
+  }
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(ab->mean(), 2.0);
+  EXPECT_DOUBLE_EQ(ab->mean_wait(), 0.5);  // residency = 0.5 wait + 1.5 service
 }
 
 TEST(PathTracerTest, HopLatencyHistogramCoversEveryDelta) {

@@ -5,6 +5,7 @@ Usage:
     check_bench_regression.py --baseline bench/baselines/BENCH_profile.json \
         --current BENCH_profile.json [--cycles-tolerance 3.0]
     check_bench_regression.py --overload OVERLOAD.json
+    check_bench_regression.py --latency LATENCY.json
     check_bench_regression.py --self-test
 
 --overload validates a bench_overload JSON dump structurally: schema,
@@ -262,6 +263,108 @@ def check_overload(doc):
     return failures
 
 
+# bench_latency structural contract. Like --overload, these are
+# machine-independent invariants — estimator agreement ratios, queueing-knee
+# ordering, conservation — not cycle counts, so no committed tolerance flag.
+LATENCY_SCHEMA = "rb.bench_latency.v1"
+LATENCY_REQUIRED = ("seed", "estimator", "des", "sweep", "stamp_ab",
+                    "conservation_ok", "checks_failed")
+LATENCY_DES_REQUIRED = (
+    "direct_mean_us",
+    "via_mean_us",
+    "rel_err_direct",
+    "rel_err_via",
+    "direct_cpu_wait_us",
+)
+LATENCY_STAMP_REQUIRED = ("off_cycles_per_pkt", "on_cycles_per_pkt",
+                          "overhead_frac", "aa_frac", "overhead_bar")
+LATENCY_MAX_REL_ERR = 0.25   # same bound bench_latency enforces (--tolerance)
+LATENCY_MIN_SWEEP_POINTS = 3  # need >= 3 points for the knee to be a curve
+
+
+def check_latency(doc):
+    """Structural + invariant checks for one bench_latency JSON document."""
+    failures = []
+    if doc.get("schema") != LATENCY_SCHEMA:
+        return [f"unexpected schema {doc.get('schema')!r} (want {LATENCY_SCHEMA!r})"]
+    for key in LATENCY_REQUIRED:
+        if key not in doc:
+            failures.append(f"required field '{key}' missing")
+    des = doc.get("des", {})
+    for key in LATENCY_DES_REQUIRED:
+        if key not in des:
+            failures.append(f"required field 'des.{key}' missing")
+    stamp = doc.get("stamp_ab", {})
+    for key in LATENCY_STAMP_REQUIRED:
+        if key not in stamp:
+            failures.append(f"required field 'stamp_ab.{key}' missing")
+    if failures:
+        return failures  # value checks below assume the fields exist
+
+    if doc["conservation_ok"] is not True:
+        failures.append("conservation_ok is not true: the DES leaked or double-counted packets")
+    if doc["checks_failed"] != 0:
+        failures.append(f"bench reported {doc['checks_failed']} failed internal check(s)")
+
+    # §6.2 ordering: direct (2 hops) must beat detoured VLB (3 hops), and
+    # both must agree with the closed-form estimator.
+    if float(des["direct_mean_us"]) >= float(des["via_mean_us"]):
+        failures.append(
+            f"des.direct_mean_us {des['direct_mean_us']:.2f} >= "
+            f"des.via_mean_us {des['via_mean_us']:.2f} "
+            "(2-hop direct must be faster than 3-hop VLB)"
+        )
+    for key in ("rel_err_direct", "rel_err_via"):
+        if abs(float(des[key])) > LATENCY_MAX_REL_ERR:
+            failures.append(
+                f"des.{key} {float(des[key]):.3f} exceeds {LATENCY_MAX_REL_ERR} "
+                "(DES disagrees with the EstimateLatency closed form)"
+            )
+    if float(des["direct_cpu_wait_us"]) >= 1.0:
+        failures.append(
+            f"des.direct_cpu_wait_us {float(des['direct_cpu_wait_us']):.3f} >= 1.0 "
+            "(light-load run queued; the mean is no longer pure path cost)"
+        )
+
+    # Queueing knee: percentile grows with offered load across >= 3 points
+    # (a --smoke dump runs only the 2-point curve; p99 ordering still binds).
+    sweep = doc.get("sweep", [])
+    min_points = 2 if doc.get("smoke") else LATENCY_MIN_SWEEP_POINTS
+    if len(sweep) < min_points:
+        failures.append(
+            f"sweep has {len(sweep)} points (< {min_points}); "
+            "the latency-vs-load curve needs a body and a knee"
+        )
+    else:
+        bursts = [int(pt.get("burst", 0)) for pt in sweep]
+        if bursts != sorted(bursts) or len(set(bursts)) != len(bursts):
+            failures.append(f"sweep bursts {bursts} not strictly increasing")
+        for pt in sweep:
+            if int(pt.get("count", 0)) <= 0:
+                failures.append(f"sweep point burst={pt.get('burst')} observed no packets")
+        p99s = [float(pt.get("p99_us", 0.0)) for pt in sweep]
+        if p99s and p99s[-1] <= p99s[0]:
+            failures.append(
+                f"sweep p99 did not grow with load ({p99s[0]:.2f} -> {p99s[-1]:.2f} us); "
+                "no queueing knee"
+            )
+
+    # Stamp A/B: overhead under the bar plus the host's measured same-code
+    # resolution (the A/A spread) — the same noise-aware gate the bench uses.
+    overhead = float(stamp["overhead_frac"])
+    bar = float(stamp["overhead_bar"])
+    aa = abs(float(stamp["aa_frac"]))
+    if overhead >= bar + aa:
+        failures.append(
+            f"stamp_ab.overhead_frac {overhead:.4f} >= bar {bar:.2f} + A/A spread {aa:.4f} "
+            "(ingress stamping costs more than the budget)"
+        )
+    for key in ("off_cycles_per_pkt", "on_cycles_per_pkt"):
+        if float(stamp[key]) <= 0:
+            failures.append(f"stamp_ab.{key} is not positive")
+    return failures
+
+
 def load_json(path):
     try:
         with open(path) as f:
@@ -410,7 +513,80 @@ def self_test():
     wrong_schema = {"schema": "rb.bench_failover.v1"}
     f = check_overload(wrong_schema)
     assert any("schema" in x for x in f), f"wrong schema not caught: {f}"
-    print("self-test: 21/21 checks passed")
+
+    # 10. bench_latency structural checks: a healthy dump passes; an
+    # inverted direct/via ordering, an estimator disagreement, a flat
+    # sweep, an over-budget stamp, and a dropped field each fail.
+    latency = {
+        "schema": LATENCY_SCHEMA,
+        "seed": 7,
+        "estimator": {"cluster_2hop_us": 47.68, "cluster_3hop_us": 71.52},
+        "des": {
+            "direct_mean_us": 47.81,
+            "via_mean_us": 72.19,
+            "rel_err_direct": 0.003,
+            "rel_err_via": 0.009,
+            "direct_cpu_wait_us": 0.0,
+        },
+        "sweep": [
+            {"burst": 16, "count": 65536, "p99_us": 5.0},
+            {"burst": 64, "count": 65536, "p99_us": 20.0},
+            {"burst": 256, "count": 65536, "p99_us": 60.0},
+            {"burst": 1024, "count": 64731, "p99_us": 170.0},
+        ],
+        "stamp_ab": {
+            "off_cycles_per_pkt": 385.2,
+            "on_cycles_per_pkt": 389.8,
+            "overhead_frac": 0.012,
+            "aa_frac": 0.011,
+            "overhead_bar": 0.02,
+        },
+        "conservation_ok": True,
+        "checks_failed": 0,
+    }
+    assert not check_latency(latency), f"healthy latency dump flagged: {check_latency(latency)}"
+    inverted_lat = json.loads(json.dumps(latency))
+    inverted_lat["des"]["via_mean_us"] = 40.0
+    f = check_latency(inverted_lat)
+    assert any("faster than 3-hop" in x for x in f), f"inverted direct/via not caught: {f}"
+    disagree = json.loads(json.dumps(latency))
+    disagree["des"]["rel_err_via"] = 0.4
+    f = check_latency(disagree)
+    assert any("rel_err_via" in x for x in f), f"estimator disagreement not caught: {f}"
+    flat = json.loads(json.dumps(latency))
+    for pt in flat["sweep"]:
+        pt["p99_us"] = 5.0
+    f = check_latency(flat)
+    assert any("knee" in x for x in f), f"flat sweep not caught: {f}"
+    costly = json.loads(json.dumps(latency))
+    costly["stamp_ab"]["overhead_frac"] = 0.05
+    f = check_latency(costly)
+    assert any("overhead_frac" in x for x in f), f"over-budget stamp not caught: {f}"
+    # The A/A spread widens the gate: 3% overhead passes when the host
+    # cannot resolve same-code runs better than 2%.
+    noisy = json.loads(json.dumps(latency))
+    noisy["stamp_ab"]["overhead_frac"] = 0.03
+    noisy["stamp_ab"]["aa_frac"] = 0.02
+    assert not check_latency(noisy), f"A/A-widened gate not honored: {check_latency(noisy)}"
+    queued = json.loads(json.dumps(latency))
+    queued["des"]["direct_cpu_wait_us"] = 3.0
+    f = check_latency(queued)
+    assert any("cpu_wait" in x for x in f), f"queued light-load run not caught: {f}"
+    gutted_lat = json.loads(json.dumps(latency))
+    del gutted_lat["des"]["rel_err_direct"]
+    f = check_latency(gutted_lat)
+    assert any("rel_err_direct" in x for x in f), f"missing des field not caught: {f}"
+    short_sweep = json.loads(json.dumps(latency))
+    short_sweep["sweep"] = short_sweep["sweep"][:2]
+    f = check_latency(short_sweep)
+    assert any("sweep has 2 points" in x for x in f), f"short sweep not caught: {f}"
+    # ... but a --smoke dump legitimately runs only the 2-point curve.
+    smoke_sweep = json.loads(json.dumps(short_sweep))
+    smoke_sweep["smoke"] = True
+    assert not check_latency(smoke_sweep), f"smoke 2-point sweep flagged: {check_latency(smoke_sweep)}"
+    f = check_latency({"schema": "rb.bench_overload.v1"})
+    assert any("schema" in x for x in f), f"wrong latency schema not caught: {f}"
+    print("self-test: 32/32 checks passed")
     return 0
 
 
@@ -445,6 +621,11 @@ def main():
         metavar="FILE",
         help="validate a bench_overload JSON dump structurally and exit",
     )
+    ap.add_argument(
+        "--latency",
+        metavar="FILE",
+        help="validate a bench_latency JSON dump structurally and exit",
+    )
     args = ap.parse_args()
 
     if args.self_test:
@@ -457,6 +638,15 @@ def main():
                 print(f"  FAIL: {line}")
             return 1
         print(f"{args.overload}: bench_overload structure and fairness contract ok")
+        return 0
+    if args.latency:
+        failures = check_latency(load_json(args.latency))
+        if failures:
+            print(f"{len(failures)} problem(s) in {args.latency}:")
+            for line in failures:
+                print(f"  FAIL: {line}")
+            return 1
+        print(f"{args.latency}: bench_latency structure and §6.2 contract ok")
         return 0
     if not args.baseline or not args.current:
         ap.error("--baseline and --current are required (or use --self-test)")

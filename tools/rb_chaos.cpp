@@ -25,6 +25,7 @@
 // pool (in_use() == 0 once everything is drained).
 //
 // Exit status: 0 iff no invariant was violated.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -46,6 +47,7 @@
 #include "packet/pool.hpp"
 #include "telemetry/flight_recorder.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 #include "workload/traffic_matrix.hpp"
 
 namespace {
@@ -147,8 +149,16 @@ void RunDesEpisode(uint64_t seed, int episode, double duration, bool verbose) {
                                                 weights);
   }
 
+  // Sampled path traces feed the per-episode latency-sanity invariant
+  // checked after Finish (monotone hop stamps, wait <= residency).
+  rb::telemetry::TracerConfig tcfg;
+  tcfg.sample_every = 8;
+  tcfg.max_traces = 1024;
+  tcfg.seed = seed + static_cast<uint64_t>(episode) * 131ULL + 5;
+  rb::telemetry::PathTracer tracer(tcfg);
+
   rb::ClusterSim sim(cfg);
-  sim.BindTelemetry(&rb::telemetry::MetricRegistry::Global(), nullptr);
+  sim.BindTelemetry(&rb::telemetry::MetricRegistry::Global(), &tracer);
 
   if (verbose) {
     std::printf(
@@ -213,6 +223,39 @@ void RunDesEpisode(uint64_t seed, int episode, double duration, bool verbose) {
   Check(sim.in_flight() == 0,
         rb::Format("episode %d: %zu slots still in flight after Finish", episode,
                    sim.in_flight()));
+
+  // Latency sanity over the sampled paths: simulated-time hop stamps must
+  // be monotone, a hop's queueing wait cannot exceed its residency, and
+  // end-to-end must equal the sum of hop deltas (telescoping by
+  // construction today — the check guards future hop-recording bugs).
+  size_t traces_checked = 0;
+  for (const auto& tr : tracer.Traces()) {
+    if (!tr.complete || tr.hops.size() < 2) {
+      continue;
+    }
+    traces_checked++;
+    double sum_deltas = 0;
+    bool monotone = true;
+    bool wait_ok = tr.hops.front().wait >= 0;
+    for (size_t h = 1; h < tr.hops.size(); ++h) {
+      double delta = tr.hops[h].t - tr.hops[h - 1].t;
+      monotone = monotone && delta >= 0;
+      sum_deltas += delta;
+      wait_ok = wait_ok && tr.hops[h].wait >= 0 && tr.hops[h].wait <= delta + 1e-9;
+    }
+    Check(monotone, rb::Format("episode %d: trace %llu has non-monotone hop timestamps",
+                               episode, static_cast<unsigned long long>(tr.id)));
+    Check(wait_ok,
+          rb::Format("episode %d: trace %llu has a hop wait outside [0, residency]", episode,
+                     static_cast<unsigned long long>(tr.id)));
+    double e2e = tr.hops.back().t - tr.hops.front().t;
+    Check(std::abs(e2e - sum_deltas) <= 1e-9,
+          rb::Format("episode %d: trace %llu e2e %.9f != sum of hop deltas %.9f", episode,
+                     static_cast<unsigned long long>(tr.id), e2e, sum_deltas));
+  }
+  Check(stats.delivered_packets < 64 || traces_checked > 0,
+        rb::Format("episode %d: delivered %llu packets but completed no sampled traces",
+                   episode, static_cast<unsigned long long>(stats.delivered_packets)));
 
   if (plan.clean) {
     // Flowlet-δ guarantee: light load, healthy mesh, flowlets pinned —

@@ -173,6 +173,13 @@ struct QueueRow {
   std::string name;           // element name ("Queue@4")
   size_t capacity = 0;
   std::vector<size_t> hist;   // recent occupancy samples (sparkline)
+  bool have_wait = false;     // element also exports .wait_us
+  std::vector<double> wait_hist;  // recent dequeue sojourns (us)
+};
+
+struct LatencyRow {
+  std::string name;      // element name exporting .latency
+  std::string summary;   // last "count=... p50_us=... ..." payload
 };
 
 struct ElementRow {
@@ -185,6 +192,16 @@ struct ElementRow {
 
 uint64_t ParseU64(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); }
 
+// Pulls "key=<number>" out of a handler payload like
+// "count=128 p50_us=1.71 p99_us=4.97"; returns 0 when absent.
+double ParseField(const std::string& payload, const std::string& key) {
+  size_t at = payload.find(key + "=");
+  if (at == std::string::npos) {
+    return 0.0;
+  }
+  return std::strtod(payload.c_str() + at + key.size() + 1, nullptr);
+}
+
 // Unicode block sparkline over the tail of `hist`, scaled to `cap`.
 std::string Sparkline(const std::vector<size_t>& hist, size_t cap, size_t width) {
   static const char* kBlocks[] = {" ", "▁", "▂", "▃",
@@ -195,6 +212,30 @@ std::string Sparkline(const std::vector<size_t>& hist, size_t cap, size_t width)
     size_t level = 0;
     if (cap > 0 && hist[i] > 0) {
       level = 1 + (hist[i] * 7) / cap;  // occupied -> at least one bar
+      if (level > 8) {
+        level = 8;
+      }
+    }
+    out += kBlocks[level];
+  }
+  return out;
+}
+
+// Sparkline over the tail of a double-valued series, auto-scaled to the
+// window's maximum (queue waits have no fixed capacity to scale against).
+std::string SparklineAuto(const std::vector<double>& hist, size_t width) {
+  static const char* kBlocks[] = {" ", "▁", "▂", "▃",
+                                  "▄", "▅", "▆", "▇", "█"};
+  size_t start = hist.size() > width ? hist.size() - width : 0;
+  double peak = 0;
+  for (size_t i = start; i < hist.size(); ++i) {
+    peak = hist[i] > peak ? hist[i] : peak;
+  }
+  std::string out;
+  for (size_t i = start; i < hist.size(); ++i) {
+    size_t level = 0;
+    if (peak > 0 && hist[i] > 0) {
+      level = 1 + static_cast<size_t>((hist[i] * 7) / peak);
       if (level > 8) {
         level = 8;
       }
@@ -233,6 +274,8 @@ int main(int argc, char** argv) {
   }
   std::vector<QueueRow> queues;
   std::vector<ElementRow> elements;
+  std::vector<LatencyRow> latencies;
+  std::vector<std::string> wait_paths;
   bool have_cluster = false;
   bool have_fr = false;
   bool have_sched = false;
@@ -248,9 +291,13 @@ int main(int argc, char** argv) {
     }
     std::string path = line.substr(start);
     if (path.size() > 10 && path.rfind(".occupancy") == path.size() - 10) {
-      queues.push_back(QueueRow{path.substr(0, path.size() - 10), 0, {}});
+      queues.push_back(QueueRow{path.substr(0, path.size() - 10), 0, {}, false, {}});
     } else if (path.size() > 7 && path.rfind(".counts") == path.size() - 7) {
       elements.push_back(ElementRow{path.substr(0, path.size() - 7), 0, 0, 0, 0});
+    } else if (path.size() > 8 && path.rfind(".latency") == path.size() - 8) {
+      latencies.push_back(LatencyRow{path.substr(0, path.size() - 8), ""});
+    } else if (path.size() > 8 && path.rfind(".wait_us") == path.size() - 8) {
+      wait_paths.push_back(path.substr(0, path.size() - 8));
     } else if (path == "cluster.node_loads") {
       have_cluster = true;
     } else if (path == "fr.recorded") {
@@ -263,6 +310,11 @@ int main(int argc, char** argv) {
   for (auto& q : queues) {
     if (client.Command("READ " + q.name + ".capacity", &payload)) {
       q.capacity = static_cast<size_t>(ParseU64(payload));
+    }
+    for (const std::string& w : wait_paths) {
+      if (w == q.name) {
+        q.have_wait = true;
+      }
     }
   }
 
@@ -302,6 +354,19 @@ int main(int argc, char** argv) {
       if (q.hist.size() > 64) {
         q.hist.erase(q.hist.begin());
       }
+      if (q.have_wait && client.Command("READ " + q.name + ".wait_us", &payload)) {
+        q.wait_hist.push_back(std::strtod(payload.c_str(), nullptr));
+        if (q.wait_hist.size() > 64) {
+          q.wait_hist.erase(q.wait_hist.begin());
+        }
+      }
+    }
+    for (auto& l : latencies) {
+      if (lost || !client.Command("READ " + l.name + ".latency", &payload)) {
+        lost = true;
+        break;
+      }
+      l.summary = payload;
     }
     if (lost) {
       std::fprintf(stderr, "rb_top: peer went away\n");
@@ -328,12 +393,33 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(e.counts), e.count_rate,
                   static_cast<unsigned long long>(e.drop_delta));
     }
+    if (!latencies.empty()) {
+      // Ingress-to-egress percentiles from the always-on latency plane
+      // (the same histograms bench_latency gates on).
+      std::printf("\nLATENCY%45s%10s%10s%10s\n", "pkts", "p50 us", "p99 us", "p999 us");
+      for (const auto& l : latencies) {
+        uint64_t count = static_cast<uint64_t>(ParseField(l.summary, "count"));
+        if (count == 0) {
+          continue;  // unbound or idle — keep the screen to live paths
+        }
+        std::printf("  %-40s %11llu %9.2f %9.2f %9.2f\n", l.name.c_str(),
+                    static_cast<unsigned long long>(count),
+                    ParseField(l.summary, "p50_us"), ParseField(l.summary, "p99_us"),
+                    ParseField(l.summary, "p999_us"));
+      }
+    }
     if (!queues.empty()) {
       std::printf("\nQUEUES%30s  occupancy (last %d samples)\n", "now/cap", 32);
       for (const auto& q : queues) {
         size_t now = q.hist.empty() ? 0 : q.hist.back();
         std::printf("  %-24s %5zu/%-5zu  |%s|\n", q.name.c_str(), now, q.capacity,
                     Sparkline(q.hist, q.capacity, 32).c_str());
+        if (q.have_wait && !q.wait_hist.empty()) {
+          // Dequeue sojourn of the latest stamped packet, auto-scaled to
+          // the window peak: the queueing half of the latency story.
+          std::printf("  %-24s %8.1fus    |%s|\n", "  wait", q.wait_hist.back(),
+                      SparklineAuto(q.wait_hist, 32).c_str());
+        }
       }
     }
     uint64_t drop_delta = first ? 0 : total_drops - prev_total_drops;
