@@ -59,7 +59,7 @@ struct WorkloadResult {
 // (inject / run / drain) make the profiled roots cover the whole drive
 // loop, so attribution_coverage measures what the scope tree explains of
 // the raw cycle delta around the loop.
-WorkloadResult RunWorkload(const Workload& w, int packets) {
+WorkloadResult RunWorkload(const Workload& w, int packets, bool compile_programs) {
   namespace tele = rb::telemetry;
 
   rb::SingleServerConfig cfg;
@@ -69,6 +69,7 @@ WorkloadResult RunWorkload(const Workload& w, int packets) {
   cfg.app = w.app;
   cfg.pool_packets = 16384;
   cfg.table.num_routes = 65536;
+  cfg.compile_programs = compile_programs;
   rb::SingleServerRouter router(cfg);
   router.Initialize();
 
@@ -290,6 +291,9 @@ int main(int argc, char** argv) {
   auto* repeats = flags.AddInt64(
       "repeats", 5, "runs per workload; the minimum-cycle run is reported");
   auto* smoke = flags.AddBool("smoke", false, "tiny run for CI (overrides --packets)");
+  auto* compile = flags.AddBool("compile-programs", true,
+                                "collapse classifier chains into compiled match programs "
+                                "(DESIGN.md §16); default on, as in production configs");
   auto* json = flags.AddString("json", "", "write the regression-tracked flat JSON here");
   auto* csv = flags.AddString("csv", "", "optional CSV output path");
   auto* profile_out = rb::AddProfileOutFlag(&flags);
@@ -320,11 +324,11 @@ int main(int argc, char** argv) {
   const int reps = *repeats > 0 ? static_cast<int>(*repeats) : 1;
   std::vector<WorkloadResult> results;
   for (const Workload& w : workloads) {
-    results.push_back(RunWorkload(w, n));
+    results.push_back(RunWorkload(w, n, *compile));
   }
   for (int r = 1; r < reps; ++r) {
     for (size_t i = 0; i < std::size(workloads); ++i) {
-      WorkloadResult cand = RunWorkload(workloads[i], n);
+      WorkloadResult cand = RunWorkload(workloads[i], n, *compile);
       if (cand.pipeline_cycles_per_packet < results[i].pipeline_cycles_per_packet) {
         results[i] = std::move(cand);
       }

@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
   auto* ports = flags.AddInt64("ports", 4, "router ports");
   auto* routes = flags.AddInt64("routes", 256 * 1024, "routing-table entries");
   auto* trace_every = flags.AddInt64("trace-every", 64, "sample 1 in N packet paths");
+  auto* compile = flags.AddBool("compile-programs", true,
+                                "collapse classifier chains into compiled match programs "
+                                "(DESIGN.md §16); the .program handler shows the result");
   auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   auto* profile_out = rb::AddProfileOutFlag(&flags);
   auto* trace_out = rb::AddTraceOutFlag(&flags);
@@ -67,6 +70,7 @@ int main(int argc, char** argv) {
   config.app = rb::App::kIpRouting;
   config.pool_packets = 1 << 16;
   config.table.num_routes = static_cast<size_t>(*routes);
+  config.compile_programs = *compile;
 
   printf("building IP router: %d ports, %d queues/port, %lld-entry DIR-24-8 table...\n",
          config.num_ports, config.queues_per_port, static_cast<long long>(*routes));
@@ -78,8 +82,10 @@ int main(int argc, char** argv) {
   rb::telemetry::PathTracer tracer(tc);
   router.EnableTelemetry(&registry, &tracer);
   router.Initialize();
-  printf("  table memory: %.1f MiB (tbl24 + %zu tbl_long segments)\n",
-         router.table().memory_bytes() / 1048576.0, router.table().num_long_segments());
+  if (const rb::Dir24_8* dir = router.dir_table()) {
+    printf("  table memory: %.1f MiB (tbl24 + %zu tbl_long segments)\n",
+           dir->memory_bytes() / 1048576.0, dir->num_long_segments());
+  }
 
   // Live control plane: element/queue handlers plus the tracer knobs and
   // ctl.stop, served off the data path's thread.

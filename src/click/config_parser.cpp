@@ -13,6 +13,7 @@
 #include "click/elements/queue.hpp"
 #include "click/elements/to_device.hpp"
 #include "common/strings.hpp"
+#include "program/compiled_classifier.hpp"
 
 namespace rb {
 namespace {
@@ -259,6 +260,22 @@ struct Builder {
     }
     if (class_name == "EtherClassifier") {
       return router->Add<EtherClassifier>();
+    }
+    if (class_name == "Classifier") {
+      // Click-style pattern classifier, compiled straight to a
+      // MatchProgram: one output per pattern, first match wins, no match
+      // drops. e.g. Classifier(12/0800 23/06, 12/0800, -).
+      if (args.empty()) {
+        Fail("Classifier needs at least one pattern");
+        return nullptr;
+      }
+      program::MatchProgram prog;
+      std::string perr;
+      if (!program::CompileClassifierPatterns(args, &prog, &perr)) {
+        Fail(Format("Classifier: %s", perr.c_str()));
+        return nullptr;
+      }
+      return router->Add<CompiledClassifier>(std::move(prog), static_cast<int>(args.size()));
     }
     if (class_name == "IpProtoClassifier") {
       std::vector<uint8_t> protos;

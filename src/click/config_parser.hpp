@@ -14,6 +14,8 @@
 // Classes: FromDevice(port, queue [, kp [, core]]), ToDevice(port, queue
 // [, burst [, core]]), Queue([capacity]), CheckIPHeader, DecIPTTL,
 // IPLookup(n_next_hops), EtherClassifier, IpProtoClassifier(p0, p1, ...),
+// Classifier(pattern, ...) — Click pattern syntax ("12/0800 23/06", "-"),
+// compiled to a MatchProgram, one output per pattern, no match drops —
 // HashSwitch(n), RoundRobinSwitch(n), Counter, Discard, Tee(n), Paint(c),
 // PaintSwitch(n), StripEther, IPsecEncrypt, IPsecDecrypt, SetFlowHash.
 //

@@ -50,6 +50,8 @@ size_t Element::PullBatch(int port, PacketBatch* out, int max) {
 
 void Element::Initialize(Router* /*router*/) {}
 
+bool Element::CompileMatch(program::MatchProgram* /*out*/) const { return false; }
+
 void Element::BindTelemetry(telemetry::MetricRegistry* registry, telemetry::PathTracer* tracer,
                             const std::string& prefix) {
   if (!telemetry::Enabled()) {

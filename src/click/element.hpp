@@ -42,6 +42,10 @@
 
 namespace rb {
 
+namespace program {
+class MatchProgram;
+}  // namespace program
+
 class Router;
 
 class Element {
@@ -101,6 +105,14 @@ class Element {
 
   // Called once by Router::Initialize after the graph is wired.
   virtual void Initialize(Router* router);
+
+  // Compiled-packet-program hook (DESIGN.md §16): a pure classification
+  // element — one whose processing is a read-only match that partitions
+  // the input onto its outputs — fills `out` with the equivalent
+  // MatchProgram (one program lane per output port) and returns true.
+  // Router::CompilePrograms collapses chains of such elements into a
+  // single CompiledClassifier. Default: not compilable.
+  virtual bool CompileMatch(program::MatchProgram* out) const;
 
   int n_inputs() const { return static_cast<int>(inputs_.size()); }
   int n_outputs() const { return static_cast<int>(outputs_.size()); }

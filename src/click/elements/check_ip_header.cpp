@@ -1,6 +1,7 @@
 #include "click/elements/check_ip_header.hpp"
 
 #include "packet/headers.hpp"
+#include "program/match_program.hpp"
 
 namespace rb {
 
@@ -41,6 +42,23 @@ void CheckIpHeader::PushBatch(int /*port*/, PacketBatch& batch) {
   bad_ += bad.size();
   OutputBatch(0, ok);
   OutputBatch(1, bad);  // drops (counted) if output 1 is unwired
+}
+
+bool CheckIpHeader::CompileMatch(program::MatchProgram* out) const {
+  using program::MatchInsn;
+  using program::MatchProgram;
+  out->set_n_outputs(2);
+  // The compiled form of HeaderOk: the length gate and EtherType test are
+  // plain insns, the dynamic-IHL/checksum rest is the kIpHeaderOk
+  // super-op, so the predicate stays byte-identical to the interpreter.
+  out->AddInsn({MatchInsn::kLenGe, 0, 0, 0, EthernetView::kSize + Ipv4View::kMinSize, 1,
+                MatchProgram::Terminal(1)});
+  out->AddInsn({MatchInsn::kMatch, 12, 14, 0xffff0000u,
+                static_cast<uint32_t>(EthernetView::kTypeIpv4) << 16, 2,
+                MatchProgram::Terminal(1)});
+  out->AddInsn({MatchInsn::kIpHeaderOk, EthernetView::kSize, 0, 0, 0, MatchProgram::Terminal(0),
+                MatchProgram::Terminal(1)});
+  return true;
 }
 
 }  // namespace rb

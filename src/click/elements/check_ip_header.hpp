@@ -15,6 +15,7 @@ class CheckIpHeader : public BatchElement {
   CheckIpHeader() : BatchElement(1, 2) {}
   const char* class_name() const override { return "CheckIPHeader"; }
   void PushBatch(int port, PacketBatch& batch) override;
+  bool CompileMatch(program::MatchProgram* out) const override;
 
   uint64_t bad() const { return bad_; }
 

@@ -26,6 +26,7 @@ class EtherClassifier : public BatchElement {
   EtherClassifier() : BatchElement(1, 2) {}
   const char* class_name() const override { return "EtherClassifier"; }
   void PushBatch(int port, PacketBatch& batch) override;
+  bool CompileMatch(program::MatchProgram* out) const override;
 };
 
 class IpProtoClassifier : public BatchElement {
@@ -34,6 +35,7 @@ class IpProtoClassifier : public BatchElement {
   explicit IpProtoClassifier(std::vector<uint8_t> protos);
   const char* class_name() const override { return "IpProtoClassifier"; }
   void PushBatch(int port, PacketBatch& batch) override;
+  bool CompileMatch(program::MatchProgram* out) const override;
 
  private:
   std::vector<uint8_t> protos_;

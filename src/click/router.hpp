@@ -59,6 +59,19 @@ class Router {
   // Registers a task (called by elements during Initialize).
   void RegisterTask(std::unique_ptr<Task> task);
 
+  // Compiled-packet-programs pass (DESIGN.md §16): finds maximal chains of
+  // adjacent classification elements that expose a MatchProgram through
+  // Element::CompileMatch (EtherClassifier, IpProtoClassifier,
+  // CheckIPHeader, ...), merges their programs into one flat instruction
+  // array, and replaces each chain with a single CompiledClassifier wired
+  // to the chain's original entry and exit edges. Exit lanes are ordered
+  // by the interpreted chain's depth-first output order, so downstream
+  // elements receive packets in exactly the interpreted sequence. The
+  // collapsed originals stay owned by the router but are detached from the
+  // graph. Call after the graph is built, before BindTelemetry/Initialize.
+  // Returns the number of CompiledClassifier elements created.
+  int CompilePrograms();
+
   // Validates wiring (port indices sane, no double wiring — enforced at
   // Connect time) and calls Initialize on every element in insertion
   // order. Must be called exactly once before running.

@@ -10,6 +10,9 @@
 
 namespace rb {
 
+// Selects the LPM structure backing the IP-routing application's table.
+enum class LpmKind { kDir24_8, kRadixTrie };
+
 // Configuration for one RouteBricks server (a "linecard" of the cluster,
 // or a standalone software router).
 struct SingleServerConfig {
@@ -26,8 +29,17 @@ struct SingleServerConfig {
   uint16_t graph_batch = 0;
   size_t pool_packets = 65536;
   size_t queue_capacity = 1024;
+  // Compiled packet programs (DESIGN.md §16): when set, the graph build
+  // runs Router::CompilePrograms, collapsing classification chains
+  // (CheckIPHeader, classifiers) into CompiledClassifier elements. The
+  // interpreted path stays the reference; benches default this on.
+  bool compile_programs = false;
   // IP routing.
   TableGenConfig table;
+  // Which LPM structure backs the routing table: the flat DIR-24-8 is the
+  // data-plane default; the radix trie is the reference implementation
+  // kept selectable for differential testing.
+  LpmKind lpm = LpmKind::kDir24_8;
   // IPsec.
   EspConfig esp;
 

@@ -11,6 +11,7 @@
 #include "click/elements/to_device.hpp"
 #include "common/log.hpp"
 #include "common/strings.hpp"
+#include "lookup/radix_trie.hpp"
 
 namespace rb {
 
@@ -26,7 +27,11 @@ SingleServerRouter::SingleServerRouter(const SingleServerConfig& config) : confi
     ports_.push_back(std::make_unique<NicPort>(nc));
   }
   if (config.app == App::kIpRouting) {
-    table_ = std::make_unique<Dir24_8>();
+    if (config.lpm == LpmKind::kRadixTrie) {
+      table_ = std::make_unique<RadixTrie>();
+    } else {
+      table_ = std::make_unique<Dir24_8>();
+    }
     TableGenConfig tg = config.table;
     tg.num_next_hops = static_cast<uint32_t>(config.num_ports);
     table_->InsertAll(GenerateRoutingTable(tg));
@@ -109,6 +114,12 @@ void SingleServerRouter::Initialize() {
   RB_CHECK_MSG(!initialized_, "Initialize called twice");
   initialized_ = true;
   BuildGraph();
+  if (config_.compile_programs) {
+    // Collapse classification chains before telemetry binds and elements
+    // initialize, so the compiled elements get counters and the pollers
+    // cache post-rewire backpressure boundaries.
+    router_.CompilePrograms();
+  }
   if (tele_registry_ != nullptr || tele_tracer_ != nullptr) {
     router_.BindTelemetry(tele_registry_, tele_tracer_);
   }

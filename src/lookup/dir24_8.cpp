@@ -1,6 +1,9 @@
 #include "lookup/dir24_8.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
+#include "common/prefetch.hpp"
 
 namespace rb {
 
@@ -99,6 +102,29 @@ uint32_t Dir24_8::Lookup(uint32_t addr) const {
     entry = tbl_long_[static_cast<size_t>(seg) * kSegmentSize + (addr & 0xff)];
   }
   return ResolveNextHop(entry);
+}
+
+void Dir24_8::LookupBatch(const uint32_t* addrs, uint32_t* hops, size_t n) const {
+  const uint16_t* t24 = tbl24_.data();
+  // Prime the pipeline: the first kPrefetchAhead lines are in flight
+  // before any resolution starts.
+  const size_t lead = std::min(kPrefetchAhead, n);
+  for (size_t i = 0; i < lead; ++i) {
+    PrefetchForRead(&t24[addrs[i] >> 8]);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kPrefetchAhead < n) {
+      PrefetchForRead(&t24[addrs[i + kPrefetchAhead] >> 8]);
+    }
+    uint16_t entry = t24[addrs[i] >> 8];
+    if (entry & kExtendedBit) {
+      // The tbl_long second access stays serialized (it depends on the
+      // tbl24 load); long prefixes are the rare case by construction.
+      uint32_t seg = entry & ~kExtendedBit;
+      entry = tbl_long_[static_cast<size_t>(seg) * kSegmentSize + (addrs[i] & 0xff)];
+    }
+    hops[i] = next_hops_[entry];
+  }
 }
 
 size_t Dir24_8::memory_bytes() const {

@@ -34,6 +34,11 @@ class Dir24_8 : public LpmTable {
 
   void Insert(uint32_t prefix, uint8_t length, uint32_t next_hop) override;
   uint32_t Lookup(uint32_t addr) const override;
+  // Batch lookup with TBL24 prefetch pipelining: random destinations make
+  // every tbl24 access a likely cache miss into a 32 MB array, so the line
+  // for address i+kPrefetchAhead is requested while address i resolves,
+  // overlapping up to kPrefetchAhead misses instead of serializing them.
+  void LookupBatch(const uint32_t* addrs, uint32_t* hops, size_t n) const override;
   size_t size() const override { return size_; }
   std::string name() const override { return "Dir24-8"; }
 
@@ -45,6 +50,9 @@ class Dir24_8 : public LpmTable {
   static constexpr uint16_t kExtendedBit = 0x8000;
   static constexpr size_t kSegmentSize = 256;
   static constexpr uint16_t kMaxNextHops = 0x7fff;
+  // Lookup distance covered by software prefetch in LookupBatch: deep
+  // enough to overlap a DRAM miss, shallow enough to stay within a burst.
+  static constexpr size_t kPrefetchAhead = 8;
 
   uint16_t InternNextHop(uint32_t next_hop);
   uint32_t ResolveNextHop(uint16_t index) const;

@@ -27,6 +27,18 @@ class LpmTable {
   // Returns the next hop for `addr`, or kNoRoute when nothing matches.
   virtual uint32_t Lookup(uint32_t addr) const = 0;
 
+  // Resolves a whole burst: hops[i] = Lookup(addrs[i]). The batch form is
+  // the data-plane entry point (IpLookup gathers a burst of destinations
+  // and resolves them in one virtual call); implementations with random-
+  // access tables override it to pipeline software prefetches across the
+  // burst (Dir24_8 prefetches the TBL24 lines for packets i+1..i+k while
+  // resolving packet i). Default: a plain per-address loop.
+  virtual void LookupBatch(const uint32_t* addrs, uint32_t* hops, size_t n) const {
+    for (size_t i = 0; i < n; ++i) {
+      hops[i] = Lookup(addrs[i]);
+    }
+  }
+
   virtual size_t size() const = 0;
   virtual std::string name() const = 0;
 

@@ -1,0 +1,386 @@
+#include "program/match_program.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "common/strings.hpp"
+#include "packet/headers.hpp"
+
+namespace rb::program {
+
+int MatchProgram::AddInsn(const MatchInsn& insn) {
+  RB_CHECK_MSG(insns_.size() < 0x7fff, "MatchProgram too large for 16-bit jumps");
+  RB_CHECK_MSG(insn.offset + 4u <= kMaxOffset, "match offset beyond packet-buffer slack");
+  insns_.push_back(insn);
+  switch (insn.op) {
+    case MatchInsn::kLenGe:
+      safe_length_ = std::max(safe_length_, insn.value);
+      break;
+    case MatchInsn::kMatch:
+      safe_length_ = std::max(safe_length_, static_cast<uint32_t>(insn.extent));
+      break;
+    case MatchInsn::kIpHeaderOk:
+    case MatchInsn::kEtherIpv4Ok:
+      // The minimum length under which the op can say "yes"; the dynamic
+      // IHL-dependent checks are part of the predicate itself.
+      safe_length_ = std::max(safe_length_, insn.offset + Ipv4View::kMinSize);
+      break;
+  }
+  return static_cast<int>(insns_.size()) - 1;
+}
+
+int MatchProgram::Fuse() {
+  if (insns_.size() < 3) {
+    return 0;
+  }
+  // Jump in-degrees: an interior insn of a fused triple must be reachable
+  // only from its chain predecessor, or rewriting it away would strand
+  // another path.
+  std::vector<int> indeg(insns_.size(), 0);
+  indeg[0]++;  // entry
+  for (const MatchInsn& in : insns_) {
+    for (int16_t t : {in.yes, in.no}) {
+      if (t >= 0) {
+        indeg[static_cast<size_t>(t)]++;
+      }
+    }
+  }
+
+  constexpr int kDropped = -1;
+  std::vector<int> remap(insns_.size(), kDropped);
+  std::vector<MatchInsn> out;
+  int fused = 0;
+  for (size_t i = 0; i < insns_.size(); ++i) {
+    const MatchInsn& a = insns_[i];
+    if (i + 2 < insns_.size()) {
+      const MatchInsn& b = insns_[i + 1];
+      const MatchInsn& c = insns_[i + 2];
+      const uint32_t off = c.offset;  // IPv4 header base
+      const bool shape =
+          a.op == MatchInsn::kLenGe && b.op == MatchInsn::kMatch &&
+          c.op == MatchInsn::kIpHeaderOk &&
+          a.yes == static_cast<int16_t>(i + 1) && b.yes == static_cast<int16_t>(i + 2) &&
+          a.no == b.no && b.no == c.no && off >= 2 &&
+          a.value == off + Ipv4View::kMinSize && b.offset == off - 2 &&
+          b.mask == 0xffff0000u &&
+          b.value == static_cast<uint32_t>(EthernetView::kTypeIpv4) << 16 &&
+          indeg[i + 1] == 1 && indeg[i + 2] == 1;
+      if (shape) {
+        remap[i] = static_cast<int>(out.size());
+        out.push_back({MatchInsn::kEtherIpv4Ok, static_cast<uint16_t>(off), 0, 0, 0, c.yes, a.no});
+        fused++;
+        i += 2;  // b and c absorbed
+        continue;
+      }
+    }
+    remap[i] = static_cast<int>(out.size());
+    out.push_back(a);
+  }
+  if (fused == 0) {
+    return 0;
+  }
+  // Rebuild through AddInsn so safe_length is recomputed, rewriting the
+  // surviving jump indices. Terminals pass through untouched.
+  MatchProgram next;
+  next.n_outputs_ = n_outputs_;
+  next.output_everything_ = output_everything_;
+  for (MatchInsn in : out) {
+    for (int16_t* t : {&in.yes, &in.no}) {
+      if (*t >= 0) {
+        RB_CHECK_MSG(remap[static_cast<size_t>(*t)] != kDropped, "jump into fused interior");
+        *t = static_cast<int16_t>(remap[static_cast<size_t>(*t)]);
+      }
+    }
+    next.AddInsn(in);
+  }
+  *this = std::move(next);
+  return fused;
+}
+
+bool MatchProgram::Validate(std::string* error) const {
+  auto fail = [error](std::string msg) {
+    if (error != nullptr) {
+      *error = std::move(msg);
+    }
+    return false;
+  };
+  if (n_outputs_ <= 0) {
+    return fail("program declares no outputs");
+  }
+  if (insns_.empty()) {
+    if (output_everything_ < 0 || output_everything_ >= n_outputs_) {
+      return fail("output_everything out of range");
+    }
+    return true;
+  }
+  for (size_t i = 0; i < insns_.size(); ++i) {
+    for (int16_t target : {insns_[i].yes, insns_[i].no}) {
+      if (target >= 0) {
+        // Strictly forward: guarantees termination without a step budget.
+        if (static_cast<size_t>(target) <= i || static_cast<size_t>(target) >= insns_.size()) {
+          return fail(Format("insn %zu jumps to %d (not strictly forward)", i,
+                             static_cast<int>(target)));
+        }
+      } else {
+        int out = TerminalOutput(target);
+        if (out >= n_outputs_) {
+          return fail(Format("insn %zu exits lane %d of %d", i, out, n_outputs_));
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string MatchProgram::Listing() const {
+  std::string out = Format("insns %zu safe_length %u outputs %d\n", insns_.size(),
+                           safe_length_, n_outputs_);
+  if (insns_.empty()) {
+    out += Format("  (empty: all -> [%d])\n", output_everything_);
+    return out;
+  }
+  auto branch = [](int16_t t) {
+    if (t >= 0) {
+      return Format("%d", static_cast<int>(t));
+    }
+    return Format("[%d]", TerminalOutput(t));
+  };
+  for (size_t i = 0; i < insns_.size(); ++i) {
+    const MatchInsn& in = insns_[i];
+    switch (in.op) {
+      case MatchInsn::kLenGe:
+        out += Format("  %zu: len >= %u", i, in.value);
+        break;
+      case MatchInsn::kMatch:
+        out += Format("  %zu: %u/%08x%%%08x", i, in.offset, in.value, in.mask);
+        break;
+      case MatchInsn::kIpHeaderOk:
+        out += Format("  %zu: ip_header_ok @%u", i, in.offset);
+        break;
+      case MatchInsn::kEtherIpv4Ok:
+        out += Format("  %zu: ether_ipv4_ok @%u", i, in.offset);
+        break;
+    }
+    out += Format(" yes->%s no->%s\n", branch(in.yes).c_str(), branch(in.no).c_str());
+  }
+  return out;
+}
+
+int MatchProgram::AppendRebased(const MatchProgram& other, const std::vector<int16_t>& map_terminal) {
+  RB_CHECK_MSG(!other.insns_.empty(), "cannot append an empty program");
+  const int base = static_cast<int>(insns_.size());
+  for (const MatchInsn& in : other.insns_) {
+    MatchInsn shifted = in;
+    for (int16_t* target : {&shifted.yes, &shifted.no}) {
+      if (*target >= 0) {
+        *target = static_cast<int16_t>(*target + base);
+      } else {
+        int out = TerminalOutput(*target);
+        RB_CHECK_MSG(static_cast<size_t>(out) < map_terminal.size(),
+                     "terminal lane without a mapping");
+        *target = map_terminal[static_cast<size_t>(out)];
+      }
+    }
+    AddInsn(shifted);
+  }
+  return base;
+}
+
+namespace {
+
+int HexNibble(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  if (c >= 'A' && c <= 'F') {
+    return c - 'A' + 10;
+  }
+  return -1;
+}
+
+// One "offset/value[%mask]" clause expanded to per-byte value/mask pairs.
+struct Clause {
+  uint32_t offset = 0;
+  std::vector<uint8_t> value;
+  std::vector<uint8_t> mask;
+};
+
+bool ParseClause(const std::string& text, Clause* out, std::string* error) {
+  size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0) {
+    *error = Format("clause '%s' lacks offset/value", text.c_str());
+    return false;
+  }
+  char* end = nullptr;
+  long off = std::strtol(text.c_str(), &end, 10);
+  if (end != text.c_str() + slash || off < 0 ||
+      static_cast<uint32_t>(off) >= MatchProgram::kMaxOffset) {
+    *error = Format("clause '%s' has a bad offset", text.c_str());
+    return false;
+  }
+  out->offset = static_cast<uint32_t>(off);
+  std::string digits = text.substr(slash + 1);
+  std::string mask_digits;
+  size_t pct = digits.find('%');
+  if (pct != std::string::npos) {
+    mask_digits = digits.substr(pct + 1);
+    digits = digits.substr(0, pct);
+  }
+  if (digits.empty() || digits.size() % 2 != 0 ||
+      (!mask_digits.empty() && mask_digits.size() != digits.size())) {
+    *error = Format("clause '%s' needs whole hex bytes (mask same width)", text.c_str());
+    return false;
+  }
+  for (size_t i = 0; i < digits.size(); i += 2) {
+    uint8_t v = 0;
+    uint8_t m = 0;
+    for (int half = 0; half < 2; ++half) {
+      char c = digits[i + static_cast<size_t>(half)];
+      int nib;
+      int mnib = 0xf;
+      if (c == '?') {
+        nib = 0;
+        mnib = 0;
+      } else if ((nib = HexNibble(c)) < 0) {
+        *error = Format("clause '%s' has a bad hex digit", text.c_str());
+        return false;
+      }
+      if (!mask_digits.empty()) {
+        int explicit_m = HexNibble(mask_digits[i + static_cast<size_t>(half)]);
+        if (explicit_m < 0) {
+          *error = Format("clause '%s' has a bad mask digit", text.c_str());
+          return false;
+        }
+        mnib &= explicit_m;
+      }
+      v = static_cast<uint8_t>((v << 4) | (nib & mnib));
+      m = static_cast<uint8_t>((m << 4) | mnib);
+    }
+    out->value.push_back(v);
+    out->mask.push_back(m);
+  }
+  return true;
+}
+
+// Emits the kMatch windows for one pattern's clauses: yes chains to the
+// next window (last one to `on_match`), no falls to `on_fail`. Returns the
+// entry point of the emitted chain.
+int16_t EmitPattern(const std::vector<Clause>& clauses, int16_t on_match, int16_t on_fail,
+                    MatchProgram* prog) {
+  // Gather (offset, value, mask) windows of up to 4 bytes per clause.
+  struct Window {
+    uint16_t offset;
+    uint16_t extent;
+    uint32_t mask;
+    uint32_t value;
+  };
+  std::vector<Window> windows;
+  for (const Clause& c : clauses) {
+    for (size_t i = 0; i < c.value.size(); i += 4) {
+      Window w{static_cast<uint16_t>(c.offset + i), 0, 0, 0};
+      uint16_t last_significant = 0;
+      for (size_t b = 0; b < 4 && i + b < c.value.size(); ++b) {
+        w.value |= static_cast<uint32_t>(c.value[i + b]) << (24 - 8 * b);
+        w.mask |= static_cast<uint32_t>(c.mask[i + b]) << (24 - 8 * b);
+        if (c.mask[i + b] != 0) {
+          last_significant = static_cast<uint16_t>(b + 1);
+        }
+      }
+      if (w.mask == 0) {
+        continue;  // fully wildcarded window matches trivially
+      }
+      w.extent = static_cast<uint16_t>(w.offset + last_significant);
+      windows.push_back(w);
+    }
+  }
+  if (windows.empty()) {
+    return on_match;  // "-" or all-wildcard pattern
+  }
+  // Emit in order; each window's `yes` points at the next emitted insn.
+  int16_t entry = static_cast<int16_t>(prog->size());
+  for (size_t i = 0; i < windows.size(); ++i) {
+    const Window& w = windows[i];
+    MatchInsn in;
+    in.op = MatchInsn::kMatch;
+    in.offset = w.offset;
+    in.extent = w.extent;
+    in.mask = w.mask;
+    in.value = w.value;
+    in.yes = i + 1 < windows.size() ? static_cast<int16_t>(prog->size() + 1) : on_match;
+    in.no = on_fail;
+    prog->AddInsn(in);
+  }
+  return entry;
+}
+
+}  // namespace
+
+bool CompileClassifierPatterns(const std::vector<std::string>& patterns, MatchProgram* out,
+                               std::string* error) {
+  if (patterns.empty()) {
+    *error = "no patterns";
+    return false;
+  }
+  const int n_out = static_cast<int>(patterns.size());
+  out->set_n_outputs(n_out + 1);  // final lane: no match
+  // Parse every pattern up front so errors surface before emission.
+  std::vector<std::vector<Clause>> parsed;
+  for (const std::string& pattern : patterns) {
+    std::vector<Clause> clauses;
+    for (const std::string& tok : Split(pattern, ' ')) {
+      if (tok.empty() || tok == "-") {
+        continue;
+      }
+      Clause c;
+      if (!ParseClause(tok, &c, error)) {
+        return false;
+      }
+      clauses.push_back(std::move(c));
+    }
+    parsed.push_back(std::move(clauses));
+  }
+  // A "-" (all-wildcard) pattern matches everything, so patterns after it
+  // are unreachable: emission stops there. First match wins, like Click.
+  size_t n_emit = parsed.size();
+  // Measure each pattern's window count (dry emit into scratch) so entry
+  // offsets are known before the real emission.
+  std::vector<size_t> sizes(parsed.size());
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    MatchProgram scratch;
+    scratch.set_n_outputs(n_out + 1);
+    EmitPattern(parsed[i], MatchProgram::Terminal(0), MatchProgram::Terminal(0), &scratch);
+    sizes[i] = scratch.size();
+  }
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    if (sizes[i] == 0) {
+      n_emit = i;  // match-all: everything from here is unreachable
+      break;
+    }
+  }
+  if (n_emit == 0) {
+    // First pattern is "-": the empty program sends everything to lane 0.
+    out->set_output_everything(0);
+    return out->Validate(error);
+  }
+  // entry[i]: where pattern i's chain begins — an insn index for emitted
+  // patterns, a terminal for the lane past the last emitted one (either
+  // the match-all pattern's lane or the no-match lane).
+  std::vector<int16_t> entry(n_emit + 1);
+  size_t at = 0;
+  for (size_t i = 0; i < n_emit; ++i) {
+    entry[i] = static_cast<int16_t>(at);
+    at += sizes[i];
+  }
+  entry[n_emit] = n_emit < parsed.size() ? MatchProgram::Terminal(static_cast<int>(n_emit))
+                                         : MatchProgram::Terminal(n_out);
+  for (size_t i = 0; i < n_emit; ++i) {
+    EmitPattern(parsed[i], MatchProgram::Terminal(static_cast<int>(i)), entry[i + 1], out);
+  }
+  return out->Validate(error);
+}
+
+}  // namespace rb::program

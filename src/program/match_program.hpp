@@ -1,0 +1,227 @@
+// MatchProgram: a flat, branch-predictable classification IR — the rb
+// analogue of Click's Classifier instruction program and the
+// click-fastclassifier specializer (SNIPPETS.md).
+//
+// A program is an array of instructions {op, offset, mask, value, yes,
+// no}. Execution starts at instruction 0; `yes`/`no` are either the index
+// of the next instruction (>= 0) or a terminal encoding an output lane
+// (< 0, Click-style: -(output + 1)). Three ops cover everything the
+// interpreted classification elements do:
+//
+//   kLenGe      frame length >= value
+//   kMatch      (LoadBe32(data + offset) & mask) == value
+//   kIpHeaderOk full IPv4 header validation (version/IHL/lengths/checksum)
+//               for the header starting at `offset` — the one check a pure
+//               offset/mask/value window cannot express (dynamic IHL,
+//               checksum), kept as a super-op so CheckIPHeader compiles to
+//               the byte-identical predicate it interprets.
+//
+// `safe_length` is the hoisted prefix check: the maximum frame length any
+// instruction can require or read. A packet at least that long takes the
+// fast path — every kLenGe is skipped (trivially true) and every kMatch
+// window is known in range. Shorter packets take the checked path, where
+// a kMatch whose window extends past the frame fails (Click's semantics
+// for short packets).
+//
+// Memory-safety note: kMatch always loads a 4-byte window. The window may
+// extend past length() when the trailing mask bytes are zero (e.g. the
+// EtherType match at offset 12 on a 14-byte frame reads bytes 12..15);
+// those bytes are masked off, so the result is deterministic, and Packet
+// buffers carry >= 64 bytes of slack beyond any classifier offset
+// (packet.hpp: 2048-byte buffers, offsets bounded by kMaxOffset below).
+#ifndef RB_PROGRAM_MATCH_PROGRAM_HPP_
+#define RB_PROGRAM_MATCH_PROGRAM_HPP_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/headers.hpp"
+
+namespace rb::program {
+
+struct MatchInsn {
+  enum Op : uint8_t {
+    kLenGe = 0,       // length >= value
+    kMatch = 1,       // (LoadBe32(data + offset) & mask) == value
+    kIpHeaderOk = 2,  // IPv4 header at `offset` fully valid
+    // Fused superinstruction (produced by Fuse(), never emitted by the
+    // element compilers directly): length gate + EtherType-is-IPv4 test +
+    // full IPv4 validation at `offset`, i.e. the whole CheckIPHeader
+    // predicate in one dispatch. Interpreting the three-insn form costs a
+    // dispatch per insn per packet — more than the interpreted element it
+    // replaces — so the peephole collapses the common triple.
+    kEtherIpv4Ok = 3
+  };
+
+  Op op = kMatch;
+  uint16_t offset = 0;  // byte offset into the frame (kMatch, kIpHeaderOk)
+  uint16_t extent = 0;  // offset + last significant byte + 1 (checked path)
+  uint32_t mask = 0;    // kMatch
+  uint32_t value = 0;   // kMatch: expected masked window; kLenGe: length
+  int16_t yes = 0;      // next insn index, or terminal (< 0)
+  int16_t no = 0;
+
+  bool operator==(const MatchInsn&) const = default;
+};
+
+class MatchProgram {
+ public:
+  // Largest frame offset an instruction may touch: keeps every 4-byte
+  // window (and the 60-byte max IPv4 header) well inside the packet
+  // buffer's guaranteed slack.
+  static constexpr uint32_t kMaxOffset = 256;
+
+  // Terminal encoding (Click-style): output o <-> jump target -(o + 1).
+  static constexpr int16_t Terminal(int output) { return static_cast<int16_t>(-(output + 1)); }
+  static constexpr int TerminalOutput(int16_t t) { return -static_cast<int>(t) - 1; }
+
+  MatchProgram() = default;
+
+  // Appends an instruction; returns its index. RB_CHECKs the offsets are
+  // within kMaxOffset (build-time, never on the data path).
+  int AddInsn(const MatchInsn& insn);
+
+  // Declares the number of output lanes. Every terminal must land in
+  // [0, n_outputs).
+  void set_n_outputs(int n) { n_outputs_ = n; }
+  int n_outputs() const { return n_outputs_; }
+
+  // For the empty program: every packet exits this lane.
+  void set_output_everything(int out) { output_everything_ = out; }
+  int output_everything() const { return output_everything_; }
+
+  bool empty() const { return insns_.empty(); }
+  size_t size() const { return insns_.size(); }
+  const MatchInsn& insn(size_t i) const { return insns_[i]; }
+  const std::vector<MatchInsn>& insns() const { return insns_; }
+
+  uint32_t safe_length() const { return safe_length_; }
+
+  // Validates the program: instruction targets in range, terminals within
+  // n_outputs, no cycles possible (every jump must move strictly forward).
+  // Returns false and fills `error` on violation. Run once at build time;
+  // Execute assumes a validated program.
+  bool Validate(std::string* error) const;
+
+  // Classifies one frame; returns the output lane. Hot path: one indirect-
+  // free loop over the flat array, no virtual calls, no allocation.
+  // Defined inline below so CompiledClassifier's per-packet loop can fold
+  // it in — an out-of-line call per packet costs more than the interpreted
+  // elements it replaces on short chains.
+  int Execute(const uint8_t* data, uint32_t length) const;
+
+  // Human-readable disassembly (one insn per line), for the `.program`
+  // read handler and tests.
+  std::string Listing() const;
+
+  // Peephole pass: rewrites each kLenGe -> kMatch(EtherType IPv4) ->
+  // kIpHeaderOk triple whose three failure edges agree (and whose interior
+  // insns have no other predecessors) into a single kEtherIpv4Ok
+  // superinstruction. Returns the number of triples fused. Run by
+  // Router::CompilePrograms after chain merging; behavior-preserving for
+  // every frame length and byte pattern.
+  int Fuse();
+
+  // Appends `other`'s instructions, shifting its internal jumps by this
+  // program's current size. Terminals of `other` are rewritten through
+  // `map_terminal`: for terminal output o, map_terminal[o] is the new
+  // yes/no field verbatim (either a jump index into the combined program
+  // or a new terminal). Returns the index where `other`'s entry landed.
+  int AppendRebased(const MatchProgram& other, const std::vector<int16_t>& map_terminal);
+
+ private:
+  std::vector<MatchInsn> insns_;
+  uint32_t safe_length_ = 0;
+  int n_outputs_ = 0;
+  int output_everything_ = 0;
+};
+
+// Compiles Click classifier pattern strings into a program: one pattern
+// per output lane, first match wins, no match -> the extra final lane
+// (patterns.size(), conventionally a drop).
+//
+// Pattern syntax (the Click subset we support):
+//   "offset/hexvalue"            e.g. "12/0800"
+//   "offset/hexvalue%hexmask"    explicit mask
+//   "?" hex digits are wildcards e.g. "33/02?1"
+//   clauses separated by spaces  e.g. "12/0800 23/06"
+//   "-"                          match every packet
+//
+// On success the program has patterns.size() + 1 outputs and returns
+// true; on a malformed pattern returns false with `error` set.
+bool CompileClassifierPatterns(const std::vector<std::string>& patterns, MatchProgram* out,
+                               std::string* error);
+
+namespace detail {
+
+// The kIpHeaderOk predicate: byte-identical to CheckIpHeader's HeaderOk
+// minus the EtherType test (which precedes it as a kMatch insn). `off` is
+// the IPv4 header base (14 for plain Ethernet).
+inline bool IpHeaderOkAt(const uint8_t* data, uint32_t length, uint32_t off) {
+  if (length < off + Ipv4View::kMinSize) {
+    return false;
+  }
+  Ipv4View ip{const_cast<uint8_t*>(data) + off};
+  return ip.version() == 4 && ip.ihl() >= 5 && ip.total_length() >= ip.header_length() &&
+         ip.total_length() <= length - off && length >= off + ip.header_length() &&
+         ip.ChecksumOk();
+}
+
+// The kEtherIpv4Ok predicate: the fused CheckIPHeader check. `off` is the
+// IPv4 header base; the 2-byte EtherType immediately precedes it. The
+// length gate runs first, so the EtherType window (inside the packet
+// buffer's guaranteed slack for any frame) is only trusted on frames long
+// enough to carry it.
+inline bool EtherIpv4OkAt(const uint8_t* data, uint32_t length, uint32_t off) {
+  if (length < off + Ipv4View::kMinSize) {
+    return false;
+  }
+  if ((LoadBe32(data + off - 4) & 0xffffu) != EthernetView::kTypeIpv4) {
+    return false;
+  }
+  return IpHeaderOkAt(data, length, off);
+}
+
+}  // namespace detail
+
+inline int MatchProgram::Execute(const uint8_t* data, uint32_t length) const {
+  if (insns_.empty()) {
+    return output_everything_;
+  }
+  // Hoisted prefix check: at or above safe_length every kLenGe is true and
+  // every kMatch window is in range, so the common case runs mask/compare
+  // steps only.
+  const bool fast = length >= safe_length_;
+  const MatchInsn* insns = insns_.data();
+  int16_t pc = 0;
+  do {
+    const MatchInsn& in = insns[pc];
+    bool yes;
+    switch (in.op) {
+      case MatchInsn::kLenGe:
+        yes = fast || length >= in.value;
+        break;
+      case MatchInsn::kMatch:
+        if (!fast && in.extent > length) {
+          yes = false;  // window out of range: short packets fail the match
+          break;
+        }
+        yes = (LoadBe32(data + in.offset) & in.mask) == in.value;
+        break;
+      case MatchInsn::kIpHeaderOk:
+        yes = detail::IpHeaderOkAt(data, length, in.offset);
+        break;
+      case MatchInsn::kEtherIpv4Ok:
+      default:
+        yes = detail::EtherIpv4OkAt(data, length, in.offset);
+        break;
+    }
+    pc = yes ? in.yes : in.no;
+  } while (pc >= 0);
+  return TerminalOutput(pc);
+}
+
+}  // namespace rb::program
+
+#endif  // RB_PROGRAM_MATCH_PROGRAM_HPP_

@@ -153,6 +153,73 @@ TEST_F(ElementsTest, IpLookupDropsNoRoute) {
   EXPECT_EQ(pool_.available(), pool_.capacity());
 }
 
+TEST_F(ElementsTest, IpLookupOutOfRangeHopDropsInsteadOfAliasing) {
+  // Regression: a next hop beyond the identity map used to wrap onto
+  // (hop - 1) % n_outputs and silently forward out a wrong port. It must
+  // land in the bad_hop bucket and be dropped.
+  RadixTrie table;
+  table.Insert(0x0a000000, 8, 1);
+  table.Insert(0x14000000, 8, 7);  // hop 7 with only 2 ports: misconfigured
+  Router r;
+  auto* lookup = r.Add<IpLookup>(&table, 2);
+  auto* port1 = r.Add<CollectSink>();
+  auto* port2 = r.Add<CollectSink>();
+  r.Connect(lookup, 0, port1, 0);
+  r.Connect(lookup, 1, port2, 0);
+  r.Initialize();
+  lookup->Push(0, Frame(&pool_, 0x14010101));
+  EXPECT_EQ(port1->got.size(), 0u) << "hop 7 must not alias onto port (7-1)%2";
+  EXPECT_EQ(port2->got.size(), 0u);
+  EXPECT_EQ(lookup->bad_hop(), 1u);
+  EXPECT_EQ(lookup->no_route(), 0u);
+  EXPECT_EQ(pool_.available(), pool_.capacity());
+  // In-range hops still route.
+  lookup->Push(0, Frame(&pool_, 0x0a010101));
+  ASSERT_EQ(port1->got.size(), 1u);
+  pool_.Free(port1->got[0]);
+}
+
+TEST_F(ElementsTest, IpLookupExplicitHopMapRemapsPorts) {
+  RadixTrie table;
+  table.Insert(0x0a000000, 8, 1);
+  table.Insert(0x14000000, 8, 2);
+  table.Insert(0x1e000000, 8, 3);
+  Router r;
+  // hop 1 -> port 1, hop 2 -> port 0, hop 3 -> explicitly invalid.
+  auto* lookup = r.Add<IpLookup>(&table, 2, std::vector<int32_t>{-1, 1, 0, -1});
+  auto* port0 = r.Add<CollectSink>();
+  auto* port1 = r.Add<CollectSink>();
+  r.Connect(lookup, 0, port0, 0);
+  r.Connect(lookup, 1, port1, 0);
+  r.Initialize();
+  lookup->Push(0, Frame(&pool_, 0x0a010101));
+  lookup->Push(0, Frame(&pool_, 0x14010101));
+  lookup->Push(0, Frame(&pool_, 0x1e010101));
+  ASSERT_EQ(port1->got.size(), 1u);
+  ASSERT_EQ(port0->got.size(), 1u);
+  EXPECT_EQ(lookup->bad_hop(), 1u);
+  pool_.Free(port0->got[0]);
+  pool_.Free(port1->got[0]);
+  EXPECT_EQ(pool_.available(), pool_.capacity());
+}
+
+TEST_F(ElementsTest, IpLookupShortFrameDrops) {
+  RadixTrie table;
+  table.Insert(0x0a000000, 8, 1);
+  Router r;
+  auto* lookup = r.Add<IpLookup>(&table, 1);
+  auto* sink = r.Add<CollectSink>();
+  r.Connect(lookup, 0, sink, 0);
+  r.Initialize();
+  Packet* p = Frame(&pool_, 0x0a010101);
+  p->Trim(p->length() - 20);  // shorter than eth + ip headers
+  lookup->Push(0, p);
+  EXPECT_EQ(sink->got.size(), 0u);
+  EXPECT_EQ(lookup->drops(), 1u);
+  EXPECT_EQ(lookup->no_route(), 0u);
+  EXPECT_EQ(pool_.available(), pool_.capacity());
+}
+
 TEST_F(ElementsTest, EtherClassifierSplitsByType) {
   Router r;
   auto* cls = r.Add<EtherClassifier>();

@@ -111,7 +111,7 @@ TEST(SingleServerTest, IpRoutingFollowsTable) {
   SingleServerRouter router(SmallConfig(App::kIpRouting));
   router.Initialize();
   // Pick destinations straight from the table so every packet routes.
-  const Dir24_8& table = router.table();
+  const LpmTable& table = router.table();
   SyntheticConfig gen_cfg;
   gen_cfg.random_dst = true;
   gen_cfg.seed = 3;

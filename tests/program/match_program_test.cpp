@@ -1,0 +1,447 @@
+#include "program/match_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "click/elements/check_ip_header.hpp"
+#include "click/elements/classifier.hpp"
+#include "packet/headers.hpp"
+#include "packet/pool.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+using program::CompileClassifierPatterns;
+using program::MatchInsn;
+using program::MatchProgram;
+
+Packet* Frame(PacketPool* pool, uint32_t dst_ip = 0x0a000001, uint8_t proto = 17,
+              uint32_t size = 64) {
+  FrameSpec spec;
+  spec.size = size;
+  spec.flow.src_ip = 0x0b000001;
+  spec.flow.dst_ip = dst_ip;
+  spec.flow.src_port = 100;
+  spec.flow.dst_port = 200;
+  spec.flow.protocol = proto;
+  return AllocFrame(spec, pool);
+}
+
+class MatchProgramTest : public ::testing::Test {
+ protected:
+  PacketPool pool_{64};
+};
+
+TEST(MatchProgramEncodingTest, TerminalRoundTrips) {
+  for (int out = 0; out < 40; ++out) {
+    int16_t t = MatchProgram::Terminal(out);
+    EXPECT_LT(t, 0);
+    EXPECT_EQ(MatchProgram::TerminalOutput(t), out);
+  }
+  // Click's encoding: output 0 <-> -1.
+  EXPECT_EQ(MatchProgram::Terminal(0), -1);
+  EXPECT_EQ(MatchProgram::TerminalOutput(-1), 0);
+}
+
+TEST(MatchProgramEncodingTest, EmptyProgramRoutesEverythingToConfiguredLane) {
+  MatchProgram prog;
+  prog.set_n_outputs(3);
+  prog.set_output_everything(2);
+  std::string err;
+  ASSERT_TRUE(prog.Validate(&err)) << err;
+  uint8_t data[64] = {};
+  EXPECT_EQ(prog.Execute(data, 64), 2);
+  EXPECT_EQ(prog.Execute(data, 0), 2);
+}
+
+TEST(MatchProgramEncodingTest, SafeLengthTracksEveryOp) {
+  MatchProgram prog;
+  prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 14, 1, MatchProgram::Terminal(1)});
+  EXPECT_EQ(prog.safe_length(), 14u);
+  prog.AddInsn({MatchInsn::kMatch, 20, 24, 0xffu, 6, 2, MatchProgram::Terminal(1)});
+  EXPECT_EQ(prog.safe_length(), 24u);
+  prog.AddInsn({MatchInsn::kIpHeaderOk, 14, 0, 0, 0, MatchProgram::Terminal(0),
+                MatchProgram::Terminal(1)});
+  EXPECT_EQ(prog.safe_length(), 14u + Ipv4View::kMinSize);
+}
+
+TEST(MatchProgramValidateTest, RejectsBackwardAndOutOfRangeJumps) {
+  std::string err;
+  {
+    MatchProgram prog;  // self-loop
+    prog.set_n_outputs(1);
+    prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 14, 0, MatchProgram::Terminal(0)});
+    EXPECT_FALSE(prog.Validate(&err));
+    EXPECT_NE(err.find("forward"), std::string::npos) << err;
+  }
+  {
+    MatchProgram prog;  // jump past the end
+    prog.set_n_outputs(1);
+    prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 14, 5, MatchProgram::Terminal(0)});
+    EXPECT_FALSE(prog.Validate(&err));
+  }
+  {
+    MatchProgram prog;  // backward jump in a 2-insn program
+    prog.set_n_outputs(1);
+    prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 14, 1, MatchProgram::Terminal(0)});
+    prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 20, 0, MatchProgram::Terminal(0)});
+    EXPECT_FALSE(prog.Validate(&err));
+  }
+}
+
+TEST(MatchProgramValidateTest, RejectsTerminalBeyondOutputs) {
+  MatchProgram prog;
+  prog.set_n_outputs(2);
+  prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 14, MatchProgram::Terminal(2),
+                MatchProgram::Terminal(1)});
+  std::string err;
+  EXPECT_FALSE(prog.Validate(&err));
+  EXPECT_NE(err.find("lane"), std::string::npos) << err;
+  // And no outputs at all is itself invalid.
+  MatchProgram none;
+  EXPECT_FALSE(none.Validate(&err));
+}
+
+TEST(MatchProgramValidateTest, AcceptsForwardOnlyProgram) {
+  MatchProgram prog;
+  prog.set_n_outputs(2);
+  prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 14, 1, MatchProgram::Terminal(1)});
+  prog.AddInsn({MatchInsn::kMatch, 12, 14, 0xffff0000u, 0x08000000u, MatchProgram::Terminal(0),
+                MatchProgram::Terminal(1)});
+  std::string err;
+  EXPECT_TRUE(prog.Validate(&err)) << err;
+}
+
+TEST(MatchProgramExecuteTest, CheckedPathFailsShortWindows) {
+  // A match at offset 20 on a frame shorter than its extent must fail (the
+  // Click short-packet rule), not read stale bytes.
+  MatchProgram prog;
+  prog.set_n_outputs(2);
+  prog.AddInsn({MatchInsn::kMatch, 20, 24, 0x000000ffu, 17, MatchProgram::Terminal(0),
+                MatchProgram::Terminal(1)});
+  std::string err;
+  ASSERT_TRUE(prog.Validate(&err)) << err;
+  uint8_t data[64] = {};
+  data[23] = 17;
+  EXPECT_EQ(prog.Execute(data, 64), 0);  // fast path
+  EXPECT_EQ(prog.Execute(data, 24), 0);  // exactly at the extent
+  EXPECT_EQ(prog.Execute(data, 23), 1);  // one byte short: checked path fails
+  EXPECT_EQ(prog.Execute(data, 0), 1);
+}
+
+TEST(MatchProgramExecuteTest, TrailingMaskedBytesDoNotExtendTheWindow) {
+  // An EtherType match reads a 4-byte window at offset 12 but only the
+  // first two bytes are significant: a 14-byte frame must still match.
+  MatchProgram prog;
+  prog.set_n_outputs(2);
+  prog.AddInsn({MatchInsn::kMatch, 12, 14, 0xffff0000u, 0x08000000u, MatchProgram::Terminal(0),
+                MatchProgram::Terminal(1)});
+  EXPECT_EQ(prog.safe_length(), 14u);
+  uint8_t data[64] = {};
+  data[12] = 0x08;
+  data[13] = 0x00;
+  EXPECT_EQ(prog.Execute(data, 14), 0);
+  EXPECT_EQ(prog.Execute(data, 13), 1);
+}
+
+TEST_F(MatchProgramTest, EtherClassifierProgramMatchesInterpretedSemantics) {
+  EtherClassifier ether;
+  MatchProgram prog;
+  ASSERT_TRUE(ether.CompileMatch(&prog));
+  std::string err;
+  ASSERT_TRUE(prog.Validate(&err)) << err;
+  EXPECT_EQ(prog.n_outputs(), 2);
+
+  Packet* ipv4 = Frame(&pool_);
+  EXPECT_EQ(prog.Execute(ipv4->data(), ipv4->length()), 0);
+  EthernetView{ipv4->data()}.set_ether_type(0x0806);  // ARP
+  EXPECT_EQ(prog.Execute(ipv4->data(), ipv4->length()), 1);
+  // Runt frame: shorter than an Ethernet header.
+  EthernetView{ipv4->data()}.set_ether_type(EthernetView::kTypeIpv4);
+  EXPECT_EQ(prog.Execute(ipv4->data(), 10), 1);
+  pool_.Free(ipv4);
+}
+
+TEST_F(MatchProgramTest, IpProtoClassifierProgramMatchesInterpretedSemantics) {
+  IpProtoClassifier proto({6, 17, 50});
+  MatchProgram prog;
+  ASSERT_TRUE(proto.CompileMatch(&prog));
+  std::string err;
+  ASSERT_TRUE(prog.Validate(&err)) << err;
+  EXPECT_EQ(prog.n_outputs(), 4);  // three protocols + no-match
+
+  struct Case {
+    uint8_t proto;
+    int lane;
+  };
+  for (const Case& c : {Case{6, 0}, Case{17, 1}, Case{50, 2}, Case{1, 3}}) {
+    Packet* p = Frame(&pool_, 0x0a000001, c.proto);
+    EXPECT_EQ(prog.Execute(p->data(), p->length()), c.lane) << "proto " << int(c.proto);
+    pool_.Free(p);
+  }
+  // Truncated below the IPv4 header: no-match lane.
+  Packet* runt = Frame(&pool_);
+  EXPECT_EQ(prog.Execute(runt->data(), 20), 3);
+  pool_.Free(runt);
+}
+
+TEST_F(MatchProgramTest, CheckIpHeaderProgramMatchesInterpretedSemantics) {
+  CheckIpHeader check;
+  MatchProgram prog;
+  ASSERT_TRUE(check.CompileMatch(&prog));
+  std::string err;
+  ASSERT_TRUE(prog.Validate(&err)) << err;
+  EXPECT_EQ(prog.n_outputs(), 2);
+
+  Packet* good = Frame(&pool_);
+  EXPECT_EQ(prog.Execute(good->data(), good->length()), 0);
+
+  // Each corruption must land on the bad lane, exactly as the interpreted
+  // element classifies it.
+  Packet* p = Frame(&pool_);
+  p->data()[EthernetView::kSize + 10] ^= 0xff;  // checksum
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 1);
+  pool_.Free(p);
+
+  p = Frame(&pool_);
+  EthernetView{p->data()}.set_ether_type(0x86dd);  // IPv6 EtherType
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 1);
+  pool_.Free(p);
+
+  p = Frame(&pool_);
+  p->data()[EthernetView::kSize] = 0x65;  // version 6
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 1);
+  pool_.Free(p);
+
+  p = Frame(&pool_);
+  p->data()[EthernetView::kSize] = 0x44;  // IHL 4 < 5
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 1);
+  pool_.Free(p);
+
+  // Truncated below the minimum Ethernet + IPv4 size.
+  EXPECT_EQ(prog.Execute(good->data(), 30), 1);
+  pool_.Free(good);
+}
+
+TEST_F(MatchProgramTest, FuseCollapsesCheckIpHeaderTripleBehaviorPreserving) {
+  CheckIpHeader check;
+  MatchProgram unfused;
+  ASSERT_TRUE(check.CompileMatch(&unfused));
+  MatchProgram fused = unfused;
+  EXPECT_EQ(fused.Fuse(), 1);
+  EXPECT_EQ(fused.size(), 1u);
+  EXPECT_NE(fused.Listing().find("ether_ipv4_ok"), std::string::npos);
+  std::string err;
+  ASSERT_TRUE(fused.Validate(&err)) << err;
+  // Already fused: a second pass finds nothing.
+  EXPECT_EQ(fused.Fuse(), 0);
+
+  // Same lane as the three-insn form for every frame shape, including
+  // every truncation point around the header boundaries.
+  auto same = [&](Packet* p) {
+    for (uint32_t len : {0u, 10u, 13u, 14u, 23u, 33u, 34u, p->length()}) {
+      EXPECT_EQ(fused.Execute(p->data(), len), unfused.Execute(p->data(), len))
+          << "length " << len;
+    }
+  };
+  Packet* good = Frame(&pool_);
+  same(good);
+  pool_.Free(good);
+  Packet* p = Frame(&pool_);
+  p->data()[EthernetView::kSize + 10] ^= 0xff;  // checksum
+  same(p);
+  pool_.Free(p);
+  p = Frame(&pool_);
+  EthernetView{p->data()}.set_ether_type(0x0806);  // ARP
+  same(p);
+  pool_.Free(p);
+  p = Frame(&pool_);
+  p->data()[EthernetView::kSize] = 0x44;  // IHL 4 < 5
+  same(p);
+  pool_.Free(p);
+}
+
+TEST(MatchProgramFuseTest, DivergentFailureEdgesAreNotFused) {
+  // Same triple shape, but the length gate fails to a different lane than
+  // the EtherType/header tests: no single superinstruction can encode two
+  // failure targets.
+  MatchProgram prog;
+  prog.set_n_outputs(3);
+  prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 34, 1, MatchProgram::Terminal(2)});
+  prog.AddInsn({MatchInsn::kMatch, 12, 14, 0xffff0000u, 0x08000000u, 2,
+                MatchProgram::Terminal(1)});
+  prog.AddInsn(
+      {MatchInsn::kIpHeaderOk, 14, 0, 0, 0, MatchProgram::Terminal(0), MatchProgram::Terminal(1)});
+  EXPECT_EQ(prog.Fuse(), 0);
+  EXPECT_EQ(prog.size(), 3u);
+}
+
+TEST(MatchProgramFuseTest, JumpIntoTripleInteriorBlocksFusion) {
+  // An external edge lands on the triple's kMatch: rewriting the triple
+  // away would strand that path, so the peephole must skip it.
+  MatchProgram prog;
+  prog.set_n_outputs(2);
+  prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 100, 1, 2});
+  prog.AddInsn({MatchInsn::kLenGe, 0, 0, 0, 34, 2, MatchProgram::Terminal(1)});
+  prog.AddInsn({MatchInsn::kMatch, 12, 14, 0xffff0000u, 0x08000000u, 3,
+                MatchProgram::Terminal(1)});
+  prog.AddInsn(
+      {MatchInsn::kIpHeaderOk, 14, 0, 0, 0, MatchProgram::Terminal(0), MatchProgram::Terminal(1)});
+  std::string err;
+  ASSERT_TRUE(prog.Validate(&err)) << err;
+  EXPECT_EQ(prog.Fuse(), 0);
+  EXPECT_EQ(prog.size(), 4u);
+}
+
+TEST_F(MatchProgramTest, FusePreservesSurroundingInsnsAndRemapsJumps) {
+  // EtherClassifier's program ahead of CheckIpHeader's triple (the merged
+  // ether -> check chain): the prefix survives, its jump into the triple's
+  // head is remapped, and routing is unchanged.
+  EtherClassifier ether;
+  CheckIpHeader check;
+  MatchProgram head;
+  MatchProgram tail;
+  ASSERT_TRUE(ether.CompileMatch(&head));
+  ASSERT_TRUE(check.CompileMatch(&tail));
+  MatchProgram merged;
+  merged.set_n_outputs(3);  // 0 = ok, 1 = bad header, 2 = non-IP
+  const auto tail_base = static_cast<int16_t>(head.size());
+  merged.AppendRebased(head, {tail_base, MatchProgram::Terminal(2)});
+  merged.AppendRebased(tail, {MatchProgram::Terminal(0), MatchProgram::Terminal(1)});
+  MatchProgram fused = merged;
+  EXPECT_EQ(fused.Fuse(), 1);
+  EXPECT_EQ(fused.size(), merged.size() - 2);
+  std::string err;
+  ASSERT_TRUE(fused.Validate(&err)) << err;
+
+  Packet* good = Frame(&pool_);
+  EXPECT_EQ(fused.Execute(good->data(), good->length()), 0);
+  Packet* bad = Frame(&pool_);
+  bad->data()[EthernetView::kSize + 10] ^= 0xff;
+  EXPECT_EQ(fused.Execute(bad->data(), bad->length()), 1);
+  Packet* arp = Frame(&pool_);
+  EthernetView{arp->data()}.set_ether_type(0x0806);
+  EXPECT_EQ(fused.Execute(arp->data(), arp->length()), 2);
+  for (Packet* p : {good, bad, arp}) {
+    EXPECT_EQ(fused.Execute(p->data(), p->length()), merged.Execute(p->data(), p->length()));
+    pool_.Free(p);
+  }
+}
+
+TEST_F(MatchProgramTest, PatternCompilerBasicEtherType) {
+  MatchProgram prog;
+  std::string err;
+  ASSERT_TRUE(CompileClassifierPatterns({"12/0800"}, &prog, &err)) << err;
+  EXPECT_EQ(prog.n_outputs(), 2);
+  Packet* p = Frame(&pool_);
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 0);
+  EthernetView{p->data()}.set_ether_type(0x0806);
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 1);  // no-match lane
+  pool_.Free(p);
+}
+
+TEST_F(MatchProgramTest, PatternCompilerMultiClauseFirstMatchWins) {
+  // The classic Click demux: IPv4+TCP, IPv4+UDP, anything else.
+  MatchProgram prog;
+  std::string err;
+  ASSERT_TRUE(CompileClassifierPatterns({"12/0800 23/06", "12/0800 23/11", "-"}, &prog, &err))
+      << err;
+  EXPECT_EQ(prog.n_outputs(), 4);
+  Packet* tcp = Frame(&pool_, 0x0a000001, 6);
+  Packet* udp = Frame(&pool_, 0x0a000001, 17);
+  Packet* icmp = Frame(&pool_, 0x0a000001, 1);
+  EXPECT_EQ(prog.Execute(tcp->data(), tcp->length()), 0);
+  EXPECT_EQ(prog.Execute(udp->data(), udp->length()), 1);
+  EXPECT_EQ(prog.Execute(icmp->data(), icmp->length()), 2);  // the "-" lane
+  pool_.Free(tcp);
+  pool_.Free(udp);
+  pool_.Free(icmp);
+}
+
+TEST_F(MatchProgramTest, PatternCompilerWildcardNibblesAndMasks) {
+  MatchProgram prog;
+  std::string err;
+  // "08??" wildcards the low byte; "%" supplies an explicit mask.
+  ASSERT_TRUE(CompileClassifierPatterns({"12/08??", "12/0800%ff00"}, &prog, &err)) << err;
+  Packet* p = Frame(&pool_);
+  EthernetView eth{p->data()};
+  eth.set_ether_type(0x08ab);
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 0);
+  eth.set_ether_type(0x0800);
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 0);  // first match wins
+  eth.set_ether_type(0x0900);
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 2);
+  pool_.Free(p);
+}
+
+TEST_F(MatchProgramTest, PatternCompilerDashFirstIsMatchEverything) {
+  MatchProgram prog;
+  std::string err;
+  ASSERT_TRUE(CompileClassifierPatterns({"-", "12/0800"}, &prog, &err)) << err;
+  EXPECT_TRUE(prog.empty());
+  Packet* p = Frame(&pool_);
+  EXPECT_EQ(prog.Execute(p->data(), p->length()), 0);
+  pool_.Free(p);
+}
+
+TEST(MatchProgramPatternErrorTest, MalformedPatternsReportErrors) {
+  MatchProgram prog;
+  std::string err;
+  EXPECT_FALSE(CompileClassifierPatterns({"zz/10"}, &prog, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(CompileClassifierPatterns({"12/8"}, &prog, &err)) << "odd digit count";
+  EXPECT_FALSE(CompileClassifierPatterns({"12/08zz"}, &prog, &err));
+  EXPECT_FALSE(CompileClassifierPatterns({"12/0800%ff"}, &prog, &err)) << "mask width mismatch";
+  EXPECT_FALSE(CompileClassifierPatterns({"999/08"}, &prog, &err)) << "offset beyond slack";
+  EXPECT_FALSE(CompileClassifierPatterns({}, &prog, &err));
+}
+
+TEST(MatchProgramListingTest, ListingShowsEveryInsnAndTerminal) {
+  MatchProgram prog;
+  std::string err;
+  ASSERT_TRUE(CompileClassifierPatterns({"12/0800 23/06"}, &prog, &err)) << err;
+  std::string listing = prog.Listing();
+  EXPECT_NE(listing.find("safe_length"), std::string::npos);
+  EXPECT_NE(listing.find("12/08000000"), std::string::npos);
+  EXPECT_NE(listing.find("[1]"), std::string::npos) << "no-match terminal:\n" << listing;
+}
+
+TEST(MatchProgramAppendTest, AppendRebasedShiftsJumpsAndRemapsTerminals) {
+  // head: EtherClassifier program (lanes: 0 = IPv4, 1 = other).
+  EtherClassifier ether;
+  MatchProgram head;
+  ASSERT_TRUE(ether.CompileMatch(&head));
+  // tail: IpProtoClassifier program (lanes: 0 = UDP, 1 = no match).
+  IpProtoClassifier proto({17});
+  MatchProgram tail;
+  ASSERT_TRUE(proto.CompileMatch(&tail));
+
+  // Merge: ether lane 0 falls through into the proto program; final lanes
+  // are [0]=UDP, [1]=non-UDP-IP, [2]=non-IP.
+  MatchProgram merged;
+  const int tail_base = static_cast<int>(head.size());
+  merged.AppendRebased(head, {static_cast<int16_t>(tail_base), MatchProgram::Terminal(2)});
+  int landed = merged.AppendRebased(
+      tail, {MatchProgram::Terminal(0), MatchProgram::Terminal(1)});
+  EXPECT_EQ(landed, tail_base);
+  merged.set_n_outputs(3);
+  std::string err;
+  ASSERT_TRUE(merged.Validate(&err)) << err;
+
+  PacketPool pool{16};
+  Packet* udp = Frame(&pool, 0x0a000001, 17);
+  Packet* tcp = Frame(&pool, 0x0a000001, 6);
+  EXPECT_EQ(merged.Execute(udp->data(), udp->length()), 0);
+  EXPECT_EQ(merged.Execute(tcp->data(), tcp->length()), 1);
+  EthernetView{tcp->data()}.set_ether_type(0x0806);
+  EXPECT_EQ(merged.Execute(tcp->data(), tcp->length()), 2);
+  pool.Free(udp);
+  pool.Free(tcp);
+}
+
+}  // namespace
+}  // namespace rb

@@ -6,7 +6,14 @@ Usage:
         --current BENCH_profile.json [--cycles-tolerance 3.0]
     check_bench_regression.py --overload OVERLOAD.json
     check_bench_regression.py --latency LATENCY.json
+    check_bench_regression.py --compiled-ab AB.json
     check_bench_regression.py --self-test
+
+--compiled-ab validates a bench_fig8_workloads --json dump: on every
+workload, the compiled-classifier pipeline must be no slower than the
+interpreted one (within a small noise allowance). Machine-independent —
+both modes ran on the same host in the same process — so no committed
+baseline.
 
 --overload validates a bench_overload JSON dump structurally: schema,
 required fields, conservation, and the paper-§3 fairness contract
@@ -365,6 +372,44 @@ def check_latency(doc):
     return failures
 
 
+# bench_fig8 compiled-vs-interpreted A/B contract: compiling classifier
+# chains into match programs must never make a workload slower. Both modes
+# run interleaved on the same host, so the only allowance is cycle-count
+# noise, not machine variance.
+COMPILED_AB_SCHEMA = "rb.bench_fig8_compiled_ab.v1"
+COMPILED_AB_MAX_RATIO = 1.10  # compiled may cost at most 10% more than interpreted
+COMPILED_AB_REQUIRED = ("interpreted_cycles_per_packet", "compiled_cycles_per_packet")
+
+
+def check_compiled_ab(doc, max_ratio=COMPILED_AB_MAX_RATIO):
+    """Structural + no-slower checks for one compiled A/B JSON document."""
+    failures = []
+    if doc.get("schema") != COMPILED_AB_SCHEMA:
+        return [f"unexpected schema {doc.get('schema')!r} (want {COMPILED_AB_SCHEMA!r})"]
+    workloads = doc.get("workloads", {})
+    if not workloads:
+        return ["no workloads in A/B document"]
+    for wname, w in sorted(workloads.items()):
+        missing = [k for k in COMPILED_AB_REQUIRED if k not in w]
+        if missing:
+            failures.append(f"workloads.{wname}: missing field(s) {missing}")
+            continue
+        interp = float(w["interpreted_cycles_per_packet"])
+        comp = float(w["compiled_cycles_per_packet"])
+        if interp <= 0 or comp <= 0:
+            failures.append(
+                f"workloads.{wname}: non-positive cycles/packet "
+                f"(interpreted {interp:.1f}, compiled {comp:.1f})"
+            )
+        elif comp > interp * max_ratio:
+            failures.append(
+                f"workloads.{wname}: compiled {comp:.1f} cyc/pkt vs interpreted "
+                f"{interp:.1f} (x{comp / interp:.2f} > x{max_ratio:.2f} allowed; "
+                "the compiled path must not be slower)"
+            )
+    return failures
+
+
 def load_json(path):
     try:
         with open(path) as f:
@@ -586,7 +631,49 @@ def self_test():
     assert not check_latency(smoke_sweep), f"smoke 2-point sweep flagged: {check_latency(smoke_sweep)}"
     f = check_latency({"schema": "rb.bench_overload.v1"})
     assert any("schema" in x for x in f), f"wrong latency schema not caught: {f}"
-    print("self-test: 32/32 checks passed")
+
+    # --- compiled-vs-interpreted A/B contract ---
+    ab = {
+        "schema": "rb.bench_fig8_compiled_ab.v1",
+        "cycle_source": "rdtscp",
+        "workloads": {
+            "fwd_64": {
+                "interpreted_cycles_per_packet": 300.0,
+                "compiled_cycles_per_packet": 290.0,
+                "interpreted_mpps": 10.0,
+                "compiled_mpps": 10.3,
+            },
+            "rtr_64": {
+                "interpreted_cycles_per_packet": 400.0,
+                "compiled_cycles_per_packet": 350.0,
+                "interpreted_mpps": 7.5,
+                "compiled_mpps": 8.6,
+            },
+        },
+    }
+    assert not check_compiled_ab(ab), f"healthy A/B dump flagged: {check_compiled_ab(ab)}"
+    slow = json.loads(json.dumps(ab))
+    slow["workloads"]["rtr_64"]["compiled_cycles_per_packet"] = 500.0
+    f = check_compiled_ab(slow)
+    assert any("rtr_64" in x and "slower" in x for x in f), f"slower compiled path not caught: {f}"
+    # Within the 10% noise allowance: 10.09x of interpreted passes.
+    near = json.loads(json.dumps(ab))
+    near["workloads"]["fwd_64"]["compiled_cycles_per_packet"] = 300.0 * 1.09
+    assert not check_compiled_ab(near), f"within-noise A/B flagged: {check_compiled_ab(near)}"
+    f = check_compiled_ab({"schema": "rb.bench_overload.v1", "workloads": {}})
+    assert any("schema" in x for x in f), f"wrong A/B schema not caught: {f}"
+    f = check_compiled_ab({"schema": "rb.bench_fig8_compiled_ab.v1", "workloads": {}})
+    assert any("no workloads" in x for x in f), f"empty A/B dump not caught: {f}"
+    gutted_ab = json.loads(json.dumps(ab))
+    del gutted_ab["workloads"]["fwd_64"]["compiled_cycles_per_packet"]
+    f = check_compiled_ab(gutted_ab)
+    assert any("missing field" in x for x in f), f"missing A/B field not caught: {f}"
+    zeroed = json.loads(json.dumps(ab))
+    zeroed["workloads"]["fwd_64"]["interpreted_cycles_per_packet"] = 0.0
+    f = check_compiled_ab(zeroed)
+    assert any("non-positive" in x for x in f), f"zero cycles/packet not caught: {f}"
+
+    print("self-test: 39/39 checks passed")
     return 0
 
 
@@ -626,6 +713,11 @@ def main():
         metavar="FILE",
         help="validate a bench_latency JSON dump structurally and exit",
     )
+    ap.add_argument(
+        "--compiled-ab",
+        metavar="FILE",
+        help="validate a bench_fig8 compiled-vs-interpreted A/B JSON dump and exit",
+    )
     args = ap.parse_args()
 
     if args.self_test:
@@ -647,6 +739,16 @@ def main():
                 print(f"  FAIL: {line}")
             return 1
         print(f"{args.latency}: bench_latency structure and §6.2 contract ok")
+        return 0
+    if args.compiled_ab:
+        failures = check_compiled_ab(load_json(args.compiled_ab))
+        if failures:
+            print(f"{len(failures)} problem(s) in {args.compiled_ab}:")
+            for line in failures:
+                print(f"  FAIL: {line}")
+            return 1
+        print(f"{args.compiled_ab}: compiled classifiers no slower than interpreted "
+              f"(x{COMPILED_AB_MAX_RATIO:.2f} gate) on every workload")
         return 0
     if not args.baseline or not args.current:
         ap.error("--baseline and --current are required (or use --self-test)")

@@ -188,6 +188,7 @@ struct ElementRow {
   uint64_t drops = 0;
   double count_rate = 0;  // per second, since last frame
   uint64_t drop_delta = 0;
+  bool compiled = false;  // element also exports .program (a compiled classifier)
 };
 
 uint64_t ParseU64(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); }
@@ -276,6 +277,7 @@ int main(int argc, char** argv) {
   std::vector<ElementRow> elements;
   std::vector<LatencyRow> latencies;
   std::vector<std::string> wait_paths;
+  std::vector<std::string> program_paths;
   bool have_cluster = false;
   bool have_fr = false;
   bool have_sched = false;
@@ -298,12 +300,21 @@ int main(int argc, char** argv) {
       latencies.push_back(LatencyRow{path.substr(0, path.size() - 8), ""});
     } else if (path.size() > 8 && path.rfind(".wait_us") == path.size() - 8) {
       wait_paths.push_back(path.substr(0, path.size() - 8));
+    } else if (path.size() > 8 && path.rfind(".program") == path.size() - 8) {
+      program_paths.push_back(path.substr(0, path.size() - 8));
     } else if (path == "cluster.node_loads") {
       have_cluster = true;
     } else if (path == "fr.recorded") {
       have_fr = true;
     } else if (path == "sched.watchdog_stalls") {
       have_sched = true;
+    }
+  }
+  for (auto& e : elements) {
+    for (const std::string& p : program_paths) {
+      if (p == e.name) {
+        e.compiled = true;  // runs a collapsed match program (DESIGN.md §16)
+      }
     }
   }
   std::string payload;
@@ -389,9 +400,10 @@ int main(int argc, char** argv) {
       if (e.counts == 0 && e.drops == 0) {
         continue;  // keep the screen to elements that saw traffic
       }
-      std::printf("  %-40s %11llu %11.0f %9llu\n", e.name.c_str(),
+      std::printf("  %-40s %11llu %11.0f %9llu%s\n", e.name.c_str(),
                   static_cast<unsigned long long>(e.counts), e.count_rate,
-                  static_cast<unsigned long long>(e.drop_delta));
+                  static_cast<unsigned long long>(e.drop_delta),
+                  e.compiled ? " [compiled]" : "");
     }
     if (!latencies.empty()) {
       // Ingress-to-egress percentiles from the always-on latency plane
