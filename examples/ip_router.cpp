@@ -5,7 +5,7 @@
 //
 //   $ ./ip_router [--packets=N] [--ports=P] [--metrics-out=metrics.json]
 //                 [--profile-out=profile.json] [--trace-out=trace.json]
-//                 [--control-socket=ADDR]
+//                 [--control-socket=ADDR] [--stateful]
 //
 // With --metrics-out, the run's full telemetry lands in one JSON document:
 // per-element packet counters, per-queue drop/occupancy stats, NIC port
@@ -45,6 +45,12 @@ int main(int argc, char** argv) {
   auto* compile = flags.AddBool("compile-programs", true,
                                 "collapse classifier chains into compiled match programs "
                                 "(DESIGN.md §16); the .program handler shows the result");
+  auto* stateful = flags.AddBool("stateful", false,
+                                 "insert a source-NAPT Nat element on every chain "
+                                 "(DESIGN.md §17); the .flows/.hi/.lo handlers show the "
+                                 "live flow tables");
+  auto* nat_capacity = flags.AddInt64("nat-capacity", 4096,
+                                      "flow-table slots per Nat element (with --stateful)");
   auto* metrics_out = rb::AddMetricsOutFlag(&flags);
   auto* profile_out = rb::AddProfileOutFlag(&flags);
   auto* trace_out = rb::AddTraceOutFlag(&flags);
@@ -71,6 +77,8 @@ int main(int argc, char** argv) {
   config.pool_packets = 1 << 16;
   config.table.num_routes = static_cast<size_t>(*routes);
   config.compile_programs = *compile;
+  config.stateful_nat = *stateful;
+  config.nat_capacity = static_cast<size_t>(*nat_capacity);
 
   printf("building IP router: %d ports, %d queues/port, %lld-entry DIR-24-8 table...\n",
          config.num_ports, config.queues_per_port, static_cast<long long>(*routes));

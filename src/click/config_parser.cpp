@@ -6,10 +6,12 @@
 #include "click/elements/classifier.hpp"
 #include "click/elements/dec_ip_ttl.hpp"
 #include "click/elements/ether.hpp"
+#include "click/elements/flow_policer.hpp"
 #include "click/elements/from_device.hpp"
 #include "click/elements/ip_lookup.hpp"
 #include "click/elements/ipsec.hpp"
 #include "click/elements/misc.hpp"
+#include "click/elements/nat.hpp"
 #include "click/elements/queue.hpp"
 #include "click/elements/to_device.hpp"
 #include "common/strings.hpp"
@@ -104,6 +106,30 @@ struct Builder {
     long v = strtol(args[i].c_str(), &end, 0);
     if (end == args[i].c_str() || *end != '\0') {
       return Fail(Format("bad integer argument '%s'", args[i].c_str()));
+    }
+    *out = v;
+    return true;
+  }
+
+  // Splits a Click keyword argument ("KEY value") for elements that take
+  // keyword args only (no positional form).
+  bool KeywordArg(const char* elem, const std::string& arg, std::string* key,
+                  std::string* val) {
+    size_t sp = arg.find_first_of(" \t");
+    if (sp == std::string::npos) {
+      return Fail(Format("%s: expected 'KEY value', got '%s'", elem, arg.c_str()));
+    }
+    *key = Trim(arg.substr(0, sp));
+    *val = Trim(arg.substr(sp));
+    return true;
+  }
+
+  bool NumberVal(const char* elem, const std::string& key, const std::string& val,
+                 double* out) {
+    char* end = nullptr;
+    double v = strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0' || v < 0) {
+      return Fail(Format("%s: bad value '%s' for %s", elem, val.c_str(), key.c_str()));
     }
     *out = v;
     return true;
@@ -339,6 +365,112 @@ struct Builder {
     }
     if (class_name == "SetFlowHash") {
       return router->Add<SetFlowHash>();
+    }
+    if (class_name == "Nat") {
+      // Nat(EXTERNAL a.b.c.d, BASE_PORT n, CAPACITY n, SHARDS n,
+      //     HI f, LO f, IDLE_MS n) — keyword args only.
+      NatOptions opt;
+      for (size_t i = 0; i < args.size(); ++i) {
+        std::string key, val;
+        if (!KeywordArg("Nat", args[i], &key, &val)) {
+          return nullptr;
+        }
+        if (key == "EXTERNAL") {
+          if (!ParseIpv4(val, &opt.external_ip)) {
+            Fail(Format("Nat: bad EXTERNAL address '%s'", val.c_str()));
+            return nullptr;
+          }
+          continue;
+        }
+        double num = 0;
+        if (!NumberVal("Nat", key, val, &num)) {
+          return nullptr;
+        }
+        if (key == "BASE_PORT") {
+          opt.base_port = static_cast<uint16_t>(num);
+        } else if (key == "CAPACITY") {
+          opt.capacity = static_cast<size_t>(num);
+        } else if (key == "SHARDS") {
+          opt.shards = static_cast<int>(num);
+        } else if (key == "HI") {
+          opt.hi_watermark = num;
+        } else if (key == "LO") {
+          opt.lo_watermark = num;
+        } else if (key == "IDLE_MS") {
+          opt.idle_timeout_ms = static_cast<uint32_t>(num);
+        } else {
+          Fail(Format("Nat: unknown keyword '%s'", key.c_str()));
+          return nullptr;
+        }
+      }
+      if (!(opt.hi_watermark > 0 && opt.hi_watermark <= 1.0 && opt.lo_watermark > 0 &&
+            opt.lo_watermark < opt.hi_watermark)) {
+        Fail("Nat: watermarks must satisfy 0 < LO < HI <= 1");
+        return nullptr;
+      }
+      if (opt.base_port + opt.capacity > 65536) {
+        Fail("Nat: CAPACITY does not fit the port space above BASE_PORT");
+        return nullptr;
+      }
+      return router->Add<Nat>(opt);
+    }
+    if (class_name == "FlowPolicer") {
+      // FlowPolicer(RATE pps, BURST n, CAPACITY n, MODE POLICE|FIREWALL,
+      //             SHARDS n, HI f, LO f, IDLE_MS n) — keyword args only.
+      FlowPolicerOptions opt;
+      for (size_t i = 0; i < args.size(); ++i) {
+        std::string key, val;
+        if (!KeywordArg("FlowPolicer", args[i], &key, &val)) {
+          return nullptr;
+        }
+        if (key == "MODE") {
+          std::string mode;
+          for (char c : val) {
+            mode.push_back(static_cast<char>(toupper(static_cast<unsigned char>(c))));
+          }
+          if (mode == "POLICE") {
+            opt.mode = PolicerMode::kPolice;
+          } else if (mode == "FIREWALL") {
+            opt.mode = PolicerMode::kFirewall;
+          } else {
+            Fail(Format("FlowPolicer: unknown MODE '%s'", val.c_str()));
+            return nullptr;
+          }
+          continue;
+        }
+        double num = 0;
+        if (!NumberVal("FlowPolicer", key, val, &num)) {
+          return nullptr;
+        }
+        if (key == "RATE") {
+          opt.rate_pps = static_cast<uint64_t>(num);
+        } else if (key == "BURST") {
+          opt.burst = static_cast<uint64_t>(num);
+        } else if (key == "CAPACITY") {
+          opt.capacity = static_cast<size_t>(num);
+        } else if (key == "SHARDS") {
+          opt.shards = static_cast<int>(num);
+        } else if (key == "HI") {
+          opt.hi_watermark = num;
+        } else if (key == "LO") {
+          opt.lo_watermark = num;
+        } else if (key == "IDLE_MS") {
+          opt.idle_timeout_ms = static_cast<uint32_t>(num);
+        } else {
+          Fail(Format("FlowPolicer: unknown keyword '%s'", key.c_str()));
+          return nullptr;
+        }
+      }
+      if (opt.rate_pps == 0 || opt.burst == 0) {
+        Fail("FlowPolicer: RATE and BURST must be positive");
+        return nullptr;
+      }
+      if (!(opt.hi_watermark > 0 && opt.hi_watermark <= 1.0 && opt.lo_watermark > 0 &&
+            opt.lo_watermark < opt.hi_watermark)) {
+        Fail("FlowPolicer: watermarks must satisfy 0 < LO < HI <= 1");
+        return nullptr;
+      }
+      return router->Add<FlowPolicer>(opt);
     }
     Fail(Format("unknown element class '%s'", class_name.c_str()));
     return nullptr;

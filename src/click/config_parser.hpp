@@ -17,7 +17,10 @@
 // Classifier(pattern, ...) — Click pattern syntax ("12/0800 23/06", "-"),
 // compiled to a MatchProgram, one output per pattern, no match drops —
 // HashSwitch(n), RoundRobinSwitch(n), Counter, Discard, Tee(n), Paint(c),
-// PaintSwitch(n), StripEther, IPsecEncrypt, IPsecDecrypt, SetFlowHash.
+// PaintSwitch(n), StripEther, IPsecEncrypt, IPsecDecrypt, SetFlowHash,
+// Nat(EXTERNAL a.b.c.d, BASE_PORT n, CAPACITY n, SHARDS n, HI f, LO f,
+// IDLE_MS n), FlowPolicer(RATE pps, BURST n, CAPACITY n, MODE
+// POLICE|FIREWALL, SHARDS n, HI f, LO f, IDLE_MS n).
 //
 // Device indices resolve against the ConfigContext's port list; IPLookup
 // uses the context's routing table and IPsec* the context's ESP config.

@@ -157,6 +157,9 @@ ClusterSim::ClusterSim(const ClusterConfig& config)
   delivered_by_dst_.assign(n, 0);
   delivered_bytes_by_src_.assign(n, 0);
   delivered_bytes_by_dst_.assign(n, 0);
+  if (config.stateful.enabled) {
+    stateful_ = std::make_unique<StatefulPlane>(config.stateful, n);
+  }
   ScheduleFailures();
 }
 
@@ -219,10 +222,16 @@ void ClusterSim::ApplyFailure(uint32_t fail_index, SimTime now) {
     case FailureKind::kNodeDown:
       node_alive_[fe.node] = 0;
       SetNodeServersDisabled(fe.node, true, now);
+      if (stateful_ != nullptr) {
+        stateful_->OnNodeDown(fe.node);
+      }
       break;
     case FailureKind::kNodeUp:
       node_alive_[fe.node] = 1;
       SetNodeServersDisabled(fe.node, false, now);
+      if (stateful_ != nullptr) {
+        stateful_->OnNodeUp(fe.node);
+      }
       break;
     case FailureKind::kLinkDown:
       DisableServer(LinkId(fe.node, fe.peer), true, now);
@@ -249,6 +258,11 @@ void ClusterSim::ApplyDetection(uint32_t fail_index, SimTime now) {
       health_.SetNodeAlive(fe.node, false);
       for (auto& vlb : vlb_) {
         vlb->OnNodeUnhealthy(fe.node);
+      }
+      if (stateful_ != nullptr) {
+        // Ownership fails over at *detection*, like VLB rerouting: the
+        // shared baseline loses the shard, SCR replays it.
+        stateful_->OnNodeDetectedDown(fe.node);
       }
       break;
     case FailureKind::kNodeUp:
@@ -569,6 +583,12 @@ void ClusterSim::ForwardAfter(uint32_t slot, SimTime now) {
       break;
 
     case Stage::kCpuIngress: {
+      if (stateful_ != nullptr) {
+        // The per-flow state update (NAT mapping, byte counters, SCR log
+        // append) runs at the ingress CPU, after admission and before the
+        // VLB decision. Ticks are simulated microseconds.
+        stateful_->Apply(pkt.flow_id, pkt.bytes, static_cast<uint32_t>(now * 1e6));
+      }
       if (pkt.src == pkt.dst) {
         pkt.direct = true;
         pkt.stage = Stage::kExtOut;
@@ -826,6 +846,9 @@ ClusterRunStats ClusterSim::Finish(SimTime duration) {
   }
   stats_.failure_log = failure_log_;
   stats_.timeline = std::move(timeline_);
+  if (stateful_ != nullptr) {
+    stats_.stateful = stateful_->stats();
+  }
   uint64_t total = reorder_.total_packets();
   stats_.reorder_packet_fraction =
       total ? static_cast<double>(reorder_.reordered_packets()) / static_cast<double>(total) : 0;
@@ -861,6 +884,9 @@ void ClusterSim::FinishTelemetry(SimTime duration) {
     }
     r.GetCounter("des/admission/engage_events")->Add(engage_events);
     r.GetCounter("des/admission/dropped_dead")->Add(dropped_dead);
+  }
+  if (stateful_ != nullptr) {
+    stateful_->ExportTelemetry(&r, "");
   }
   if (!failure_log_.empty()) {
     r.GetCounter("des/failures/events")->Add(stats_.failure_events_applied);
@@ -983,6 +1009,9 @@ void ClusterSim::AddHandlers(telemetry::HandlerRegistry* handlers) {
     }
     return out;
   });
+  if (stateful_ != nullptr) {
+    stateful_->AddHandlers(handlers, "cluster.stateful");
+  }
   if (!admission_.empty()) {
     handlers->AddRead("admission.engaged", [this] {
       std::string out;

@@ -26,6 +26,7 @@
 
 #include "cluster/admission.hpp"
 #include "cluster/failure.hpp"
+#include "flow/stateful_plane.hpp"
 #include "cluster/node.hpp"
 #include "cluster/reorder.hpp"
 #include "common/stats.hpp"
@@ -103,6 +104,13 @@ struct ClusterConfig {
   // delivered / dropped packets and latency (bucketed by event time) — the
   // before/during/after view the failover bench plots.
   SimTime timeline_window = 0;
+
+  // Stateful-NF plane (DESIGN.md §17): when enabled, every packet runs a
+  // per-flow state update (distributed NAT) at its ingress CPU stage,
+  // homed by flow id across the nodes. `stateful.mode` selects the
+  // shared-state baseline (node failure loses the shard) or SCR
+  // (replay-on-failover preserves established-flow mappings).
+  StatefulPlaneConfig stateful;
 
   // The paper's prototype: 4 Nehalem nodes, full mesh, Direct VLB with
   // flowlets, calibrated application costs.
@@ -193,6 +201,9 @@ struct ClusterRunStats {
   uint64_t flowlets_invalidated = 0;   // flowlets erased at detection time
   std::vector<FailureLogEntry> failure_log;
   std::vector<TimelineBucket> timeline;  // empty unless timeline_window > 0
+
+  // Stateful-plane outcome (zero-valued unless config.stateful.enabled).
+  StatefulPlaneStats stateful;
 };
 
 class ClusterSim {
@@ -245,6 +256,9 @@ class ClusterSim {
   }
   // Applied failure events so far, with apply/detect timestamps.
   const std::vector<FailureLogEntry>& failure_log() const { return failure_log_; }
+  // Stateful plane, or null when config.stateful.enabled is false. Tests
+  // snapshot NAT mappings through this (MappingSnapshot) after Finish.
+  const StatefulPlane* stateful_plane() const { return stateful_.get(); }
 
   // Attaches telemetry sinks; call before any Inject. With a registry, the
   // delivery-latency histogram accumulates under "des/latency_s" and the
@@ -390,6 +404,7 @@ class ClusterSim {
   std::vector<FifoServer> servers_;
   std::vector<std::unique_ptr<DirectVlbRouter>> vlb_;
   std::vector<std::unique_ptr<AdmissionDrr>> admission_;  // empty = disabled
+  std::unique_ptr<StatefulPlane> stateful_;               // null = disabled
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::vector<InFlight> packets_;
   std::vector<uint32_t> free_slots_;

@@ -34,6 +34,14 @@ struct SingleServerConfig {
   // (CheckIPHeader, classifiers) into CompiledClassifier elements. The
   // interpreted path stays the reference; benches default this on.
   bool compile_programs = false;
+  // Stateful NAT leg (DESIGN.md §17): when set, the IP-routing graph
+  // inserts a source-NAPT Nat element (backed by a watermark-evicting
+  // FlowTable) between header check and TTL decrement on every
+  // (port, queue) chain. Off by default — the baseline graphs stay
+  // stateless; ip_router's --stateful flag and the control-socket smoke
+  // test flip it on to exercise the live `.flows`/`.hi`/`.lo` handlers.
+  bool stateful_nat = false;
+  size_t nat_capacity = 4096;  // flow-table slots (== mapping ports) per Nat
   // IP routing.
   TableGenConfig table;
   // Which LPM structure backs the routing table: the flat DIR-24-8 is the

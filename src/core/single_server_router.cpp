@@ -7,6 +7,7 @@
 #include "click/elements/from_device.hpp"
 #include "click/elements/ip_lookup.hpp"
 #include "click/elements/ipsec.hpp"
+#include "click/elements/nat.hpp"
 #include "click/elements/queue.hpp"
 #include "click/elements/to_device.hpp"
 #include "common/log.hpp"
@@ -80,9 +81,21 @@ void SingleServerRouter::BuildGraph() {
           break;
         }
         case App::kIpRouting: {
+          Element* upstream = check;
+          if (config_.stateful_nat) {
+            // Outbound-only NAPT leg: input/output 0 sit in the chain;
+            // the reply side (port 1) stays unwired — this graph has no
+            // outside->inside path. Each chain owns its table, so the
+            // handler plane exposes one `.flows` surface per Nat.
+            NatOptions nat_opt;
+            nat_opt.capacity = config_.nat_capacity;
+            auto* nat = router_.Add<Nat>(nat_opt);
+            router_.Connect(check, 0, nat, 0);
+            upstream = nat;
+          }
           auto* ttl = router_.Add<DecIpTtl>();
           auto* lookup = router_.Add<IpLookup>(table_.get(), num_ports);
-          router_.Connect(check, 0, ttl, 0);
+          router_.Connect(upstream, 0, ttl, 0);
           router_.Connect(ttl, 0, lookup, 0);
           for (int out_port = 0; out_port < num_ports; ++out_port) {
             router_.Connect(lookup, out_port, legs[static_cast<size_t>(out_port)], 0);

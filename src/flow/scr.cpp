@@ -1,0 +1,37 @@
+#include "flow/scr.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace rb {
+
+ScrLog::ScrLog(int shards, size_t checkpoint_period)
+    : shards_(static_cast<size_t>(shards)), checkpoint_period_(checkpoint_period) {
+  RB_CHECK(shards >= 1);
+  RB_CHECK(checkpoint_period_ >= 1);
+  for (auto& s : shards_) {
+    s.tail.reserve(checkpoint_period_);
+  }
+}
+
+void ScrLog::Append(int shard, const ScrRecord& r) {
+  ShardLog& s = shards_[static_cast<size_t>(shard)];
+  s.tail.push_back(r);
+  ++appended_;
+  tail_highwater_ = std::max(tail_highwater_, s.tail.size());
+}
+
+bool ScrLog::NeedsCheckpoint(int shard) const {
+  return shards_[static_cast<size_t>(shard)].tail.size() >= checkpoint_period_;
+}
+
+void ScrLog::InstallCheckpoint(int shard, ScrSnapshot snap) {
+  ShardLog& s = shards_[static_cast<size_t>(shard)];
+  s.snapshot = std::move(snap);
+  s.tail.clear();
+  ++checkpoints_;
+}
+
+}  // namespace rb

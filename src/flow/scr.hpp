@@ -1,0 +1,74 @@
+// State-Compute Replication support (PAPERS.md, Xu et al.): instead of
+// sharing flow state, each shard appends the per-packet *inputs* of its
+// state updates to a log; a replica reconstructs the shard's exact state
+// by re-executing the deterministic update function over that history.
+// Replay cost is bounded by periodic checkpoints: every
+// `checkpoint_period` appends the owner snapshots the shard's state and
+// truncates the tail, so a failover replays at most one snapshot
+// install plus `checkpoint_period` record re-executions.
+//
+// The log stores update inputs (flow id, tick, bytes), not state — that
+// is the "compute replication" half of SCR: the replica does the same
+// work the primary did, which is what makes the reconstructed mappings
+// byte-identical instead of approximately-synchronized.
+#ifndef RB_FLOW_SCR_HPP_
+#define RB_FLOW_SCR_HPP_
+
+#include <cstdint>
+#include <vector>
+
+#include "flow/flow_table.hpp"
+
+namespace rb {
+
+// One state-update input, as seen by the shard's update function.
+struct ScrRecord {
+  uint64_t flow_id = 0;
+  uint32_t tick = 0;
+  uint32_t bytes = 0;
+};
+
+// A shard checkpoint: the allocator cursor plus every live entry. The
+// update function's only non-table inputs are the allocator and the
+// record stream, so (snapshot, tail) fully determines shard state.
+struct ScrSnapshot {
+  uint64_t alloc_next = 0;
+  std::vector<FlowEntry> entries;
+};
+
+class ScrLog {
+ public:
+  ScrLog(int shards, size_t checkpoint_period);
+
+  void Append(int shard, const ScrRecord& r);
+  // True when the shard's tail has reached the checkpoint period and the
+  // owner should snapshot before the next append.
+  bool NeedsCheckpoint(int shard) const;
+  // Installs `snap` as the shard's recovery base and truncates the tail.
+  void InstallCheckpoint(int shard, ScrSnapshot snap);
+
+  const ScrSnapshot& snapshot(int shard) const { return shards_[shard].snapshot; }
+  const std::vector<ScrRecord>& tail(int shard) const { return shards_[shard].tail; }
+  size_t tail_size(int shard) const { return shards_[shard].tail.size(); }
+  size_t checkpoint_period() const { return checkpoint_period_; }
+
+  uint64_t appended() const { return appended_; }
+  uint64_t checkpoints() const { return checkpoints_; }
+  size_t tail_highwater() const { return tail_highwater_; }
+
+ private:
+  struct ShardLog {
+    ScrSnapshot snapshot;
+    std::vector<ScrRecord> tail;
+  };
+
+  std::vector<ShardLog> shards_;
+  size_t checkpoint_period_;
+  uint64_t appended_ = 0;
+  uint64_t checkpoints_ = 0;
+  size_t tail_highwater_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_FLOW_SCR_HPP_

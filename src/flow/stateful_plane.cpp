@@ -1,0 +1,245 @@
+#include "flow/stateful_plane.hpp"
+
+#include "common/log.hpp"
+#include "telemetry/handler.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace rb {
+
+StatefulPlane::StatefulPlane(const StatefulPlaneConfig& config, int nodes)
+    : config_(config), nodes_(nodes) {
+  RB_CHECK(nodes_ >= 1);
+  tables_.reserve(static_cast<size_t>(nodes_));
+  for (int i = 0; i < nodes_; ++i) {
+    FlowTableConfig tc;
+    tc.capacity = config_.capacity_per_node;
+    tc.shards = 1;  // a home shard has one owner; no internal sharding
+    tc.max_probe_buckets = config_.max_probe_buckets;
+    tc.hi_watermark = config_.hi_watermark;
+    tc.lo_watermark = config_.lo_watermark;
+    tc.idle_timeout = config_.idle_timeout;
+    tables_.push_back(std::make_unique<FlowTable>(tc));
+  }
+  if (config_.mode == StateMode::kScr) {
+    log_ = std::make_unique<ScrLog>(nodes_, config_.checkpoint_period);
+  }
+  owner_.resize(static_cast<size_t>(nodes_));
+  for (int i = 0; i < nodes_; ++i) {
+    owner_[static_cast<size_t>(i)] = i;
+  }
+  alloc_next_.assign(static_cast<size_t>(nodes_), 0);
+  incarnation_.assign(static_cast<size_t>(nodes_), 0);
+  node_alive_.assign(static_cast<size_t>(nodes_), true);
+  node_detected_alive_.assign(static_cast<size_t>(nodes_), true);
+}
+
+FlowKey StatefulPlane::KeyForFlow(uint64_t flow_id) {
+  // Address words carry the flow id verbatim (snapshots invert them);
+  // ports and protocol come from the stable hash so keys look like
+  // plausible 5-tuples without costing determinism.
+  FlowKey key;
+  key.src_ip = static_cast<uint32_t>(flow_id >> 32);
+  key.dst_ip = static_cast<uint32_t>(flow_id);
+  FlowKey seed{key.src_ip, key.dst_ip, 0, 0, 0};
+  const uint64_t h = FlowHash64(seed);
+  key.src_port = static_cast<uint16_t>(h);
+  key.dst_port = static_cast<uint16_t>(h >> 16);
+  key.protocol = 6;  // TCP
+  return key;
+}
+
+uint64_t StatefulPlane::FlowOfKey(const FlowKey& key) {
+  return (static_cast<uint64_t>(key.src_ip) << 32) | key.dst_ip;
+}
+
+uint64_t StatefulPlane::MakeMapping(int home) {
+  // incarnation | home | allocation sequence: unique per flow within an
+  // incarnation, and *provably different* across a shared-mode failover
+  // (the incarnation bump), which is what the differential test keys on.
+  const uint64_t seq = alloc_next_[static_cast<size_t>(home)]++;
+  return (static_cast<uint64_t>(incarnation_[static_cast<size_t>(home)]) << 48) |
+         (static_cast<uint64_t>(home) << 40) | seq;
+}
+
+void StatefulPlane::UpdateState(int home, uint64_t flow_id, uint32_t bytes,
+                                uint32_t tick) {
+  const FlowKey key = KeyForFlow(flow_id);
+  bool inserted = false;
+  FlowEntry* e = tables_[static_cast<size_t>(home)]->FindOrInsert(key, tick, &inserted);
+  if (e == nullptr) {
+    ++table_full_;
+    return;
+  }
+  if (inserted) {
+    e->state0 = MakeMapping(home);
+    ++flows_created_;
+  }
+  e->flags |= FlowEntry::kEstablished;
+  e->state1 += bytes;  // per-flow byte counter (mod 2^32)
+}
+
+void StatefulPlane::Apply(uint64_t flow_id, uint32_t bytes, uint32_t tick) {
+  ++packets_;
+  const int home = HomeOf(flow_id);
+  const int owner = owner_[static_cast<size_t>(home)];
+  if (!node_alive_[static_cast<size_t>(owner)]) {
+    // Blind window: the owner is dead but not yet detected, so the
+    // update has nowhere to run. The packet itself keeps forwarding.
+    ++state_unavailable_;
+    return;
+  }
+  if (log_ != nullptr) {
+    if (log_->NeedsCheckpoint(home)) {
+      Checkpoint(home);
+    }
+    log_->Append(home, ScrRecord{flow_id, tick, bytes});
+  }
+  UpdateState(home, flow_id, bytes, tick);
+}
+
+void StatefulPlane::Checkpoint(int home) {
+  ScrSnapshot snap;
+  snap.alloc_next = alloc_next_[static_cast<size_t>(home)];
+  snap.entries.reserve(tables_[static_cast<size_t>(home)]->occupancy());
+  tables_[static_cast<size_t>(home)]->ForEachInShard(
+      0, [&snap](const FlowEntry& e) { snap.entries.push_back(e); });
+  log_->InstallCheckpoint(home, std::move(snap));
+}
+
+void StatefulPlane::Replay(int home) {
+  const ScrSnapshot& snap = log_->snapshot(home);
+  FlowTable& table = *tables_[static_cast<size_t>(home)];
+  alloc_next_[static_cast<size_t>(home)] = snap.alloc_next;
+  for (const FlowEntry& e : snap.entries) {
+    table.Restore(0, e);
+  }
+  const auto& tail = log_->tail(home);
+  for (const ScrRecord& r : tail) {
+    UpdateState(home, r.flow_id, r.bytes, r.tick);
+  }
+  ++replays_;
+  replayed_records_ += tail.size();
+}
+
+int StatefulPlane::NextAliveAfter(int node) const {
+  for (int step = 1; step < nodes_; ++step) {
+    const int candidate = (node + step) % nodes_;
+    if (node_detected_alive_[static_cast<size_t>(candidate)]) {
+      return candidate;
+    }
+  }
+  return node;  // everything is down; ownership parks in place
+}
+
+void StatefulPlane::OnNodeDown(int node) {
+  node_alive_[static_cast<size_t>(node)] = false;
+}
+
+void StatefulPlane::OnNodeDetectedDown(int node) {
+  node_detected_alive_[static_cast<size_t>(node)] = false;
+  const int new_owner = NextAliveAfter(node);
+  if (new_owner == node) {
+    return;
+  }
+  for (int home = 0; home < nodes_; ++home) {
+    if (owner_[static_cast<size_t>(home)] != node) {
+      continue;
+    }
+    ++failovers_;
+    FlowTable& table = *tables_[static_cast<size_t>(home)];
+    if (config_.mode == StateMode::kShared) {
+      // The dead node's memory is unrecoverable and nothing else holds
+      // the state: the failover owner starts empty, under a new
+      // incarnation so fresh mappings never collide with lost ones.
+      lost_flows_ += table.occupancy();
+      table.Clear();
+      ++incarnation_[static_cast<size_t>(home)];
+    } else {
+      // SCR: the replicated log survives the node. Drop whatever view
+      // this process held of the dead shard and reconstruct from
+      // snapshot + tail through the same update function.
+      table.Clear();
+      Replay(home);
+    }
+    owner_[static_cast<size_t>(home)] = new_owner;
+  }
+}
+
+void StatefulPlane::OnNodeUp(int node) {
+  node_alive_[static_cast<size_t>(node)] = true;
+  node_detected_alive_[static_cast<size_t>(node)] = true;
+  // Ownership stays with the failover target (sticky): moving flows
+  // back would lose state in shared mode and buy nothing in SCR mode.
+}
+
+std::map<uint64_t, uint64_t> StatefulPlane::MappingSnapshot() const {
+  std::map<uint64_t, uint64_t> out;
+  for (int home = 0; home < nodes_; ++home) {
+    tables_[static_cast<size_t>(home)]->ForEachInShard(0, [&out](const FlowEntry& e) {
+      out[FlowOfKey(e.key())] = e.state0;
+    });
+  }
+  return out;
+}
+
+StatefulPlaneStats StatefulPlane::stats() const {
+  StatefulPlaneStats s;
+  s.packets = packets_;
+  s.flows_created = flows_created_;
+  s.state_unavailable = state_unavailable_;
+  s.table_full = table_full_;
+  s.failovers = failovers_;
+  s.lost_flows = lost_flows_;
+  s.replays = replays_;
+  s.replayed_records = replayed_records_;
+  if (log_ != nullptr) {
+    s.checkpoints = log_->checkpoints();
+    s.log_appended = log_->appended();
+  }
+  for (const auto& t : tables_) {
+    s.evictions += t->stats().evictions();
+    s.active_flows += t->occupancy();
+  }
+  return s;
+}
+
+void StatefulPlane::AddHandlers(telemetry::HandlerRegistry* handlers,
+                                const std::string& owner) {
+  handlers->AddRead(owner + ".mode", [this] {
+    return std::string(config_.mode == StateMode::kScr ? "scr" : "shared");
+  });
+  handlers->AddRead(owner + ".flows",
+                    [this] { return std::to_string(stats().active_flows); });
+  handlers->AddRead(owner + ".state_unavailable",
+                    [this] { return std::to_string(state_unavailable_); });
+  handlers->AddRead(owner + ".evictions",
+                    [this] { return std::to_string(stats().evictions); });
+  handlers->AddRead(owner + ".replays", [this] { return std::to_string(replays_); });
+  handlers->AddRead(owner + ".replayed_records",
+                    [this] { return std::to_string(replayed_records_); });
+  handlers->AddRead(owner + ".lost_flows",
+                    [this] { return std::to_string(lost_flows_); });
+  handlers->AddRead(owner + ".failovers",
+                    [this] { return std::to_string(failovers_); });
+}
+
+void StatefulPlane::ExportTelemetry(telemetry::MetricRegistry* registry,
+                                    const std::string& prefix) const {
+  if (registry == nullptr) {
+    return;
+  }
+  const StatefulPlaneStats s = stats();
+  const std::string base = prefix + "des/stateful/";
+  registry->GetCounter(base + "packets")->Add(s.packets);
+  registry->GetCounter(base + "flows_created")->Add(s.flows_created);
+  registry->GetCounter(base + "state_unavailable")->Add(s.state_unavailable);
+  registry->GetCounter(base + "table_full")->Add(s.table_full);
+  registry->GetCounter(base + "evictions")->Add(s.evictions);
+  registry->GetCounter(base + "failovers")->Add(s.failovers);
+  registry->GetCounter(base + "lost_flows")->Add(s.lost_flows);
+  registry->GetCounter(base + "replays")->Add(s.replays);
+  registry->GetCounter(base + "replayed_records")->Add(s.replayed_records);
+  registry->GetGauge(base + "active_flows")->Set(static_cast<double>(s.active_flows));
+}
+
+}  // namespace rb

@@ -1,0 +1,151 @@
+// The cluster's stateful-NF plane: a distributed source-NAT state
+// machine layered over the DES (DESIGN.md §17).
+//
+// Every flow has a *home* shard (flow_id mod N, one shard per node);
+// the node owning that shard runs the flow's state updates — allocating
+// a NAT mapping on the first packet, marking the flow established,
+// accumulating bytes. The plane models the ablation the SCR paper
+// frames as the central design axis:
+//
+//  - kShared: state lives only in the owner's memory. When a
+//    FailureSchedule kills the node, every flow homed there loses its
+//    mapping; the failover owner starts from an empty table and a
+//    bumped incarnation counter, so re-established flows provably get
+//    *different* mappings (real-world symptom: every NAT'd connection
+//    through the dead node resets).
+//  - kScr: the owner also appends each update's inputs to a per-shard
+//    replicated log (ScrLog) with periodic checkpoints. On detected
+//    failure the failover owner replays snapshot + tail through the
+//    same deterministic update function, reconstructing byte-identical
+//    mappings — established flows survive the kill-a-node timeline.
+//
+// Failure semantics follow PR 2's apply-vs-detect split: between the
+// ground-truth failure (ApplyFailure) and its detection
+// (failure_detection_delay later), packets for the dead owner's flows
+// find no reachable state; they are counted `state_unavailable` and
+// still forwarded (the data plane does not block on the control plane).
+// Ownership moves at *detection* time, like VLB's OnNodeUnhealthy.
+#ifndef RB_FLOW_STATEFUL_PLANE_HPP_
+#define RB_FLOW_STATEFUL_PLANE_HPP_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "flow/flow_table.hpp"
+#include "flow/scr.hpp"
+
+namespace rb {
+
+namespace telemetry {
+class HandlerRegistry;
+class MetricRegistry;
+}  // namespace telemetry
+
+enum class StateMode : uint8_t {
+  kShared,  // naive shared-state baseline: failover loses the shard
+  kScr,     // state-compute replication: failover replays the log
+};
+
+struct StatefulPlaneConfig {
+  bool enabled = false;
+  StateMode mode = StateMode::kScr;
+  size_t capacity_per_node = size_t{1} << 16;  // slots per home shard
+  size_t checkpoint_period = 4096;             // SCR log records per checkpoint
+  uint32_t idle_timeout = 0;                   // ticks; 0 = never idle-evict
+  int max_probe_buckets = 8;
+  double hi_watermark = 0.85;
+  double lo_watermark = 0.70;
+};
+
+struct StatefulPlaneStats {
+  uint64_t packets = 0;            // state updates attempted
+  uint64_t flows_created = 0;      // first-packet mapping allocations
+  uint64_t state_unavailable = 0;  // owner dead, not yet detected
+  uint64_t table_full = 0;         // insert failed (eviction disabled)
+  uint64_t evictions = 0;          // aggregated over home tables
+  uint64_t failovers = 0;          // home shards that changed owner
+  uint64_t lost_flows = 0;         // flows dropped on shared-mode failover
+  uint64_t replays = 0;            // SCR shard replays
+  uint64_t replayed_records = 0;   // log records re-executed
+  uint64_t checkpoints = 0;
+  uint64_t log_appended = 0;
+  uint64_t active_flows = 0;       // live table occupancy at snapshot time
+};
+
+class StatefulPlane {
+ public:
+  StatefulPlane(const StatefulPlaneConfig& config, int nodes);
+
+  // One packet's state update at its ingress node: called by the DES at
+  // the kCpuIngress stage (after admission, before VLB routing). Never
+  // blocks or fails the packet — state trouble is counted, forwarding
+  // continues.
+  void Apply(uint64_t flow_id, uint32_t bytes, uint32_t tick);
+
+  // Failure timeline hooks (ClusterSim wires these to FailureSchedule).
+  void OnNodeDown(int node);          // ground truth: memory is gone
+  void OnNodeDetectedDown(int node);  // detection: ownership fails over
+  void OnNodeUp(int node);
+
+  int HomeOf(uint64_t flow_id) const {
+    return static_cast<int>(flow_id % static_cast<uint64_t>(nodes_));
+  }
+  int OwnerOf(uint64_t flow_id) const { return owner_[HomeOf(flow_id)]; }
+
+  // The synthetic 5-tuple a DES flow id keys state under; invertible
+  // (flow id in the address words) so snapshots can report per-flow.
+  static FlowKey KeyForFlow(uint64_t flow_id);
+  static uint64_t FlowOfKey(const FlowKey& key);
+
+  // flow_id -> NAT mapping word, over every live entry. The failover
+  // differential test compares these across runs byte-for-byte.
+  std::map<uint64_t, uint64_t> MappingSnapshot() const;
+
+  StatefulPlaneStats stats() const;
+  StateMode mode() const { return config_.mode; }
+  int nodes() const { return nodes_; }
+  const ScrLog* log() const { return log_.get(); }
+
+  // "cluster.stateful.*" read handlers: mode, flows, state_unavailable,
+  // evictions, replays, replayed_records, lost_flows, failovers.
+  void AddHandlers(telemetry::HandlerRegistry* handlers, const std::string& owner);
+  // Final counters under "<prefix>des/stateful/..." (called from
+  // ClusterSim::FinishTelemetry, once).
+  void ExportTelemetry(telemetry::MetricRegistry* registry,
+                       const std::string& prefix) const;
+
+ private:
+  // The deterministic per-packet update function — the "compute" SCR
+  // replicates. Replay calls exactly this.
+  void UpdateState(int home, uint64_t flow_id, uint32_t bytes, uint32_t tick);
+  void Checkpoint(int home);
+  void Replay(int home);
+  int NextAliveAfter(int node) const;
+  uint64_t MakeMapping(int home) ;
+
+  StatefulPlaneConfig config_;
+  int nodes_;
+  std::vector<std::unique_ptr<FlowTable>> tables_;  // one per home shard
+  std::unique_ptr<ScrLog> log_;                     // SCR mode only
+  std::vector<int> owner_;            // home shard -> owning node (sticky)
+  std::vector<uint64_t> alloc_next_;  // per-home mapping allocator cursor
+  std::vector<uint32_t> incarnation_;  // bumped on shared-mode failover
+  std::vector<bool> node_alive_;       // ground truth
+  std::vector<bool> node_detected_alive_;
+
+  uint64_t packets_ = 0;
+  uint64_t flows_created_ = 0;
+  uint64_t state_unavailable_ = 0;
+  uint64_t table_full_ = 0;
+  uint64_t failovers_ = 0;
+  uint64_t lost_flows_ = 0;
+  uint64_t replays_ = 0;
+  uint64_t replayed_records_ = 0;
+};
+
+}  // namespace rb
+
+#endif  // RB_FLOW_STATEFUL_PLANE_HPP_

@@ -35,4 +35,19 @@ uint16_t ChecksumUpdate16(uint16_t old_checksum, uint16_t old_field, uint16_t ne
   return static_cast<uint16_t>(~sum);
 }
 
+uint16_t ChecksumUpdate32(uint16_t old_checksum, uint32_t old_field, uint32_t new_field) {
+  // Same RFC 1624 arithmetic with both halves of the 32-bit field summed
+  // before the fold; one's-complement addition is associative under
+  // folding, so this matches the two-step 16-bit chain exactly.
+  uint32_t sum = static_cast<uint16_t>(~old_checksum);
+  sum += static_cast<uint16_t>(~(old_field >> 16));
+  sum += static_cast<uint16_t>(new_field >> 16);
+  sum += static_cast<uint16_t>(~old_field);
+  sum += static_cast<uint16_t>(new_field);
+  while (sum >> 16) {
+    sum = (sum & 0xffff) + (sum >> 16);
+  }
+  return static_cast<uint16_t>(~sum);
+}
+
 }  // namespace rb

@@ -21,6 +21,15 @@ uint16_t Checksum(const uint8_t* data, size_t len);
 // 16-bit field change; used by DecIPTTL to avoid recomputing the header.
 uint16_t ChecksumUpdate16(uint16_t old_checksum, uint16_t old_field, uint16_t new_field);
 
+// RFC 1624 update for a 32-bit field change (an IPv4 address), folding
+// both 16-bit halves into one pass. Bit-identical to chaining
+// ChecksumUpdate16 over the high and low halves — the single audited
+// patch helper shared by the injector's template fill and the NAT
+// rewrite path. Note the one's-complement zero ambiguity: patching a
+// field from 0 to 0 is not an identity (0x0000 vs 0xffff residue), so
+// callers patching optional fields guard on old != new.
+uint16_t ChecksumUpdate32(uint16_t old_checksum, uint32_t old_field, uint32_t new_field);
+
 }  // namespace rb
 
 #endif  // RB_PACKET_CHECKSUM_HPP_

@@ -74,4 +74,78 @@ FlowGenConfig FlowTrafficGenerator::ConfigForRate(double target_bps, double mean
   return config;
 }
 
+FlowChurnGenerator::FlowChurnGenerator(const FlowChurnConfig& config)
+    : config_(config), rng_(config.seed) {
+  RB_CHECK(config_.target_flows > 0);
+  RB_CHECK(config_.zipf_s > 0);
+  RB_CHECK(config_.churn_per_packet >= 0 && config_.churn_per_packet <= 1);
+  active_.reserve(config_.target_flows);
+}
+
+FlowKey FlowChurnGenerator::KeyFor(uint64_t flow_id) {
+  // splitmix64-style finalizer: ~96 bits of key entropy, so a million
+  // ids give distinct 5-tuples with overwhelming probability.
+  uint64_t h = (flow_id + 1) * 0x9e3779b97f4a7c15ull;
+  h ^= h >> 32;
+  h *= 0xd6e8feb86659fd93ull;
+  h ^= h >> 32;
+  uint64_t h2 = h * 0xbf58476d1ce4e5b9ull;
+  h2 ^= h2 >> 29;
+  FlowKey key;
+  key.src_ip = static_cast<uint32_t>(h);
+  key.dst_ip = static_cast<uint32_t>(h >> 32);
+  key.src_port = static_cast<uint16_t>(1024 + h2 % 60000);
+  key.dst_port = static_cast<uint16_t>(1024 + (h2 >> 24) % 60000);
+  key.protocol = Ipv4View::kProtoTcp;
+  return key;
+}
+
+uint64_t FlowChurnGenerator::PickActive() {
+  // Continuous inverse-CDF approximation of Zipf over ranks [1, n]:
+  // P(rank <= r) ~ (r^(1-s) - 1) / (n^(1-s) - 1). Earlier slots are
+  // hotter; churn replaces a dead flow in place, so a replacement
+  // inherits its predecessor's rank and elephants stay elephants.
+  const double n = static_cast<double>(active_.size());
+  const double s = config_.zipf_s;
+  const double u = rng_.NextDouble();
+  double rank;
+  if (s > 0.999 && s < 1.001) {
+    rank = std::pow(n, u);  // s -> 1 limit: CDF ~ ln r / ln n
+  } else {
+    const double t = std::pow(n, 1.0 - s);
+    rank = std::pow((t - 1.0) * u + 1.0, 1.0 / (1.0 - s));
+  }
+  if (rank < 1.0) {
+    rank = 1.0;
+  }
+  uint64_t idx = static_cast<uint64_t>(rank) - 1;
+  if (idx >= active_.size()) {
+    idx = active_.size() - 1;
+  }
+  return idx;
+}
+
+FlowChurnGenerator::Item FlowChurnGenerator::Next() {
+  uint64_t idx;
+  if (active_.size() < config_.target_flows) {
+    // Ramp: every call births one flow and emits its first packet, so
+    // the population reaches target_flows after target_flows packets.
+    idx = active_.size();
+    active_.push_back(next_flow_id_++);
+    births_++;
+  } else {
+    if (config_.churn_per_packet > 0 && rng_.NextBool(config_.churn_per_packet)) {
+      const uint64_t dead = rng_.NextBounded(active_.size());
+      active_[dead] = next_flow_id_++;
+      deaths_++;
+      births_++;
+    }
+    idx = PickActive();
+  }
+  Item item;
+  item.flow_id = active_[idx];
+  item.key = KeyFor(item.flow_id);
+  return item;
+}
+
 }  // namespace rb

@@ -67,6 +67,58 @@ class FlowTrafficGenerator {
   std::priority_queue<ActiveFlow, std::vector<ActiveFlow>, std::greater<>> active_;
 };
 
+// Million-flow churn for the stateful plane (DESIGN.md §17).
+//
+// FlowTrafficGenerator above models *time*: it is built for flowlet
+// experiments where inter-packet gaps matter, and its priority queue
+// caps how many flows are practically concurrent. Stateful-NF stress
+// needs the opposite trade: millions of flows live at once, packet
+// emission skewed heavy-tailed across them (a few elephants, a long
+// tail of mice), and continuous flow birth/death so the flow table sees
+// insert/evict churn rather than a static working set. FlowChurnGenerator
+// drops the clock and models exactly that population.
+struct FlowChurnConfig {
+  size_t target_flows = 1 << 20;  // concurrent-flow population after ramp
+  double zipf_s = 1.1;            // emission skew across active flows
+  double churn_per_packet = 1e-3;  // P(one death + one birth) per packet
+  uint64_t seed = 11;
+};
+
+class FlowChurnGenerator {
+ public:
+  struct Item {
+    uint64_t flow_id = 0;
+    FlowKey key;
+  };
+
+  explicit FlowChurnGenerator(const FlowChurnConfig& config);
+
+  // Returns the next packet's flow. Ramps the population one birth per
+  // call until `target_flows` are live, then holds it there under
+  // churn: with probability `churn_per_packet` a uniform-random active
+  // flow dies and a fresh one is born in its place. Same seed, same
+  // stream — forever.
+  Item Next();
+
+  // Deterministic 5-tuple for a flow id (pure function of the id, so
+  // two generators with the same seed agree on every key).
+  static FlowKey KeyFor(uint64_t flow_id);
+
+  size_t active_flows() const { return active_.size(); }
+  uint64_t births() const { return births_; }
+  uint64_t deaths() const { return deaths_; }
+
+ private:
+  uint64_t PickActive();  // Zipf-skewed index into the active population
+
+  FlowChurnConfig config_;
+  Rng rng_;
+  std::vector<uint64_t> active_;  // live flow ids, order = Zipf rank
+  uint64_t next_flow_id_ = 0;
+  uint64_t births_ = 0;
+  uint64_t deaths_ = 0;
+};
+
 }  // namespace rb
 
 #endif  // RB_WORKLOAD_FLOWS_HPP_

@@ -86,12 +86,10 @@ BulkInjector::PatchRecord BulkInjector::BuildRecord(const FrameSpec& spec) {
                             static_cast<uint16_t>((64u << 8) | r.protocol));
   }
   if (r.src_ip != 0) {
-    csum = ChecksumUpdate16(csum, 0, static_cast<uint16_t>(r.src_ip >> 16));
-    csum = ChecksumUpdate16(csum, 0, static_cast<uint16_t>(r.src_ip));
+    csum = ChecksumUpdate32(csum, 0, r.src_ip);
   }
   if (r.dst_ip != 0) {
-    csum = ChecksumUpdate16(csum, 0, static_cast<uint16_t>(r.dst_ip >> 16));
-    csum = ChecksumUpdate16(csum, 0, static_cast<uint16_t>(r.dst_ip));
+    csum = ChecksumUpdate32(csum, 0, r.dst_ip);
   }
   r.ip_checksum = csum;
   r.flow_id = spec.flow_id;

@@ -1,0 +1,136 @@
+// Differential stateful-failover test (DESIGN.md §17): the SCR claim,
+// end to end in the DES. Establish a fixed flow population, kill a node
+// mid-run, keep the same flows talking, and compare final NAT mappings
+// against an identical run with no failure. SCR mode must reconstruct
+// byte-identical mappings; the shared-state baseline must demonstrably
+// lose every flow homed at the dead node.
+#include <gtest/gtest.h>
+
+#include "cluster/des.hpp"
+#include "workload/synthetic.hpp"
+
+namespace rb {
+namespace {
+
+constexpr int kFlows = 64;
+constexpr double kFailTime = 2e-3;
+constexpr uint16_t kDeadNode = 2;
+
+ClusterConfig StatefulRb4(StateMode mode, bool with_failure) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  cfg.seed = 7;
+  cfg.stateful.enabled = true;
+  cfg.stateful.mode = mode;
+  cfg.stateful.capacity_per_node = 1 << 10;
+  cfg.stateful.checkpoint_period = 64;
+  if (with_failure) {
+    cfg.failures.NodeDown(kDeadNode, kFailTime);
+  }
+  return cfg;
+}
+
+// Phase A establishes every flow before the failure; phase B re-sends
+// the same flows afterwards. Injection is identical across runs, so any
+// mapping difference is the failover's doing. Flows enter at node 0
+// (alive throughout) so packets reach the ingress state update even
+// while their *state home* is the dead node.
+ClusterRunStats DriveFlows(ClusterSim* sim) {
+  const double gap = 10e-6;
+  SimTime t = 0;
+  uint64_t seq = 0;
+  for (int round = 0; round < 3; ++round) {      // phase A: establish
+    for (uint64_t f = 0; f < kFlows; ++f, t += gap) {
+      sim->Inject(0, 1, f, seq++, 64, t);
+    }
+  }
+  t = kFailTime + 1e-3;                          // phase B: after failover
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t f = 0; f < kFlows; ++f, t += gap) {
+      sim->Inject(0, 1, f, seq++, 64, t);
+    }
+  }
+  return sim->Finish(t + 1e-3);
+}
+
+TEST(StatefulFailoverTest, ScrModePreservesEstablishedMappingsAcrossNodeKill) {
+  ClusterSim baseline(StatefulRb4(StateMode::kScr, /*with_failure=*/false));
+  ClusterRunStats base_stats = DriveFlows(&baseline);
+  const auto base_map = baseline.stateful_plane()->MappingSnapshot();
+  ASSERT_EQ(base_map.size(), static_cast<size_t>(kFlows));
+
+  ClusterSim failed(StatefulRb4(StateMode::kScr, /*with_failure=*/true));
+  ClusterRunStats fail_stats = DriveFlows(&failed);
+  const auto fail_map = failed.stateful_plane()->MappingSnapshot();
+
+  EXPECT_EQ(base_map, fail_map)
+      << "SCR failover must reconstruct byte-identical established-flow mappings";
+  EXPECT_EQ(fail_stats.stateful.lost_flows, 0u);
+  EXPECT_GT(fail_stats.stateful.failovers, 0u);
+  EXPECT_GT(fail_stats.stateful.replays, 0u);
+  EXPECT_EQ(base_stats.stateful.failovers, 0u);
+  // Bounded replay: at most snapshot + one checkpoint period of records
+  // per failed-over shard.
+  EXPECT_LE(fail_stats.stateful.replayed_records,
+            fail_stats.stateful.replays * StatefulRb4(StateMode::kScr, true)
+                                              .stateful.checkpoint_period);
+  EXPECT_EQ(AuditConservation(fail_stats), "");
+}
+
+TEST(StatefulFailoverTest, SharedModeDemonstrablyLosesFlowsHomedAtDeadNode) {
+  ClusterSim baseline(StatefulRb4(StateMode::kShared, /*with_failure=*/false));
+  DriveFlows(&baseline);
+  const auto base_map = baseline.stateful_plane()->MappingSnapshot();
+  ASSERT_EQ(base_map.size(), static_cast<size_t>(kFlows));
+
+  ClusterSim failed(StatefulRb4(StateMode::kShared, /*with_failure=*/true));
+  ClusterRunStats fail_stats = DriveFlows(&failed);
+  const auto fail_map = failed.stateful_plane()->MappingSnapshot();
+
+  EXPECT_GT(fail_stats.stateful.lost_flows, 0u);
+  EXPECT_NE(base_map, fail_map);
+  // Every flow homed at the dead node re-established under a different
+  // mapping (bumped incarnation); flows homed elsewhere are untouched.
+  const int nodes = baseline.config().num_nodes;
+  for (const auto& [flow, mapping] : base_map) {
+    const int home = static_cast<int>(flow % static_cast<uint64_t>(nodes));
+    auto it = fail_map.find(flow);
+    ASSERT_NE(it, fail_map.end()) << "flow " << flow << " re-establishes in phase B";
+    if (home == kDeadNode) {
+      EXPECT_NE(it->second, mapping) << "flow " << flow << " must have lost its mapping";
+    } else {
+      EXPECT_EQ(it->second, mapping) << "flow " << flow << " was not homed at the dead node";
+    }
+  }
+  EXPECT_EQ(AuditConservation(fail_stats), "");
+}
+
+TEST(StatefulFailoverTest, StatefulPlaneDisabledByDefault) {
+  ClusterConfig cfg = ClusterConfig::Rb4();
+  ClusterSim sim(cfg);
+  EXPECT_EQ(sim.stateful_plane(), nullptr);
+  sim.Inject(0, 1, 1, 0, 64, 0);
+  ClusterRunStats stats = sim.Finish(1e-3);
+  EXPECT_EQ(stats.stateful.packets, 0u);
+}
+
+TEST(StatefulFailoverTest, BlindWindowCountsStateUnavailable) {
+  // Between ground-truth death and detection, packets whose state home
+  // is the dead node find no reachable owner: counted, still forwarded.
+  ClusterConfig cfg = StatefulRb4(StateMode::kScr, /*with_failure=*/true);
+  cfg.failure_detection_delay = 500e-6;
+  ClusterSim sim(cfg);
+  const double gap = 10e-6;
+  uint64_t seq = 0;
+  // Flow homed at the dead node (flow_id % 4 == 2), injected at node 0
+  // continuously across the failure.
+  for (SimTime t = 0; t < 4e-3; t += gap) {
+    sim.Inject(0, 1, kDeadNode, seq++, 64, t);
+  }
+  ClusterRunStats stats = sim.Finish(5e-3);
+  EXPECT_GT(stats.stateful.state_unavailable, 0u);
+  EXPECT_GT(stats.stateful.failovers, 0u);
+  EXPECT_GT(stats.delivered_packets, 0u);
+}
+
+}  // namespace
+}  // namespace rb

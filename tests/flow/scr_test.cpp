@@ -1,0 +1,155 @@
+#include "flow/scr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "flow/stateful_plane.hpp"
+#include "telemetry/handler.hpp"
+
+namespace rb {
+namespace {
+
+TEST(ScrLogTest, AppendAccumulatesInShardTail) {
+  ScrLog log(/*shards=*/2, /*checkpoint_period=*/4);
+  log.Append(0, ScrRecord{1, 10, 64});
+  log.Append(0, ScrRecord{2, 11, 64});
+  log.Append(1, ScrRecord{3, 12, 128});
+  EXPECT_EQ(log.tail_size(0), 2u);
+  EXPECT_EQ(log.tail_size(1), 1u);
+  EXPECT_EQ(log.appended(), 3u);
+  EXPECT_EQ(log.tail(0)[0].flow_id, 1u);
+  EXPECT_EQ(log.tail(0)[1].tick, 11u);
+}
+
+TEST(ScrLogTest, CheckpointTruncatesTail) {
+  ScrLog log(1, /*checkpoint_period=*/3);
+  for (uint64_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(log.NeedsCheckpoint(0));
+    log.Append(0, ScrRecord{i, static_cast<uint32_t>(i), 64});
+  }
+  EXPECT_TRUE(log.NeedsCheckpoint(0)) << "tail at period must request a checkpoint";
+  ScrSnapshot snap;
+  snap.alloc_next = 7;
+  snap.entries.resize(2);
+  log.InstallCheckpoint(0, std::move(snap));
+  EXPECT_EQ(log.tail_size(0), 0u);
+  EXPECT_EQ(log.checkpoints(), 1u);
+  EXPECT_EQ(log.snapshot(0).alloc_next, 7u);
+  EXPECT_EQ(log.snapshot(0).entries.size(), 2u);
+  EXPECT_EQ(log.tail_highwater(), 3u);
+}
+
+// --- StatefulPlane: the distributed NAT state machine over the log ---
+
+StatefulPlaneConfig PlaneConfig(StateMode mode) {
+  StatefulPlaneConfig c;
+  c.enabled = true;
+  c.mode = mode;
+  c.capacity_per_node = 1 << 10;
+  c.checkpoint_period = 16;
+  return c;
+}
+
+TEST(StatefulPlaneTest, FirstPacketAllocatesMappingEncodingHomeAndIncarnation) {
+  StatefulPlane plane(PlaneConfig(StateMode::kScr), /*nodes=*/4);
+  plane.Apply(/*flow_id=*/5, /*bytes=*/100, /*tick=*/1);
+  plane.Apply(5, 100, 2);
+  plane.Apply(6, 100, 3);
+  auto snap = plane.MappingSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  // flow 5 homes at node 1, flow 6 at node 2; mapping word encodes
+  // (incarnation << 48) | (home << 40) | alloc_seq.
+  EXPECT_EQ((snap[5] >> 40) & 0xff, 1u);
+  EXPECT_EQ((snap[6] >> 40) & 0xff, 2u);
+  EXPECT_EQ(snap[5] >> 48, 0u) << "first incarnation is zero";
+  const auto s = plane.stats();
+  EXPECT_EQ(s.packets, 3u);
+  EXPECT_EQ(s.flows_created, 2u);
+  EXPECT_EQ(s.log_appended, 3u);
+}
+
+TEST(StatefulPlaneTest, KeyForFlowRoundTrips) {
+  for (uint64_t id : {0ull, 1ull, 12345ull, 0xffffffffffull}) {
+    EXPECT_EQ(StatefulPlane::FlowOfKey(StatefulPlane::KeyForFlow(id)), id);
+  }
+}
+
+TEST(StatefulPlaneTest, UndetectedFailureCountsStateUnavailable) {
+  StatefulPlane plane(PlaneConfig(StateMode::kScr), 2);
+  plane.Apply(1, 64, 1);  // flow 1 homes at node 1
+  plane.OnNodeDown(1);    // ground truth, not yet detected
+  plane.Apply(1, 64, 2);
+  plane.Apply(3, 64, 3);  // also homed at 1
+  const auto s = plane.stats();
+  EXPECT_EQ(s.state_unavailable, 2u) << "blind window packets find no reachable state";
+  EXPECT_EQ(s.failovers, 0u) << "ownership does not move before detection";
+}
+
+TEST(StatefulPlaneTest, SharedModeFailoverLosesFlowsAndBumpsIncarnation) {
+  StatefulPlane plane(PlaneConfig(StateMode::kShared), 2);
+  plane.Apply(1, 64, 1);
+  plane.Apply(3, 64, 2);
+  const uint64_t before = plane.MappingSnapshot().at(1);
+  plane.OnNodeDown(1);
+  plane.OnNodeDetectedDown(1);
+  auto s = plane.stats();
+  EXPECT_EQ(s.failovers, 1u);
+  EXPECT_EQ(s.lost_flows, 2u);
+  EXPECT_EQ(plane.OwnerOf(1), 0) << "home 1 fails over to node 0";
+  EXPECT_TRUE(plane.MappingSnapshot().empty());
+  // Re-established flow gets a provably different mapping: the
+  // incarnation in the top bits changed.
+  plane.Apply(1, 64, 3);
+  const uint64_t after = plane.MappingSnapshot().at(1);
+  EXPECT_NE(before, after);
+  EXPECT_EQ(after >> 48, 1u);
+}
+
+TEST(StatefulPlaneTest, ScrModeFailoverReplaysByteIdenticalMappings) {
+  StatefulPlane plane(PlaneConfig(StateMode::kScr), 2);
+  // Enough packets on home 1 to cross a checkpoint boundary, so replay
+  // exercises snapshot + tail, not just the tail.
+  for (uint32_t i = 0; i < 50; ++i) {
+    plane.Apply(1 + 2 * (i % 5), 64, i);  // flows 1,3,5,7,9 — all home 1
+  }
+  const auto before = plane.MappingSnapshot();
+  ASSERT_EQ(before.size(), 5u);
+  plane.OnNodeDown(1);
+  plane.OnNodeDetectedDown(1);
+  const auto after = plane.MappingSnapshot();
+  EXPECT_EQ(before, after) << "SCR replay must reconstruct byte-identical mappings";
+  const auto s = plane.stats();
+  EXPECT_EQ(s.failovers, 1u);
+  EXPECT_EQ(s.lost_flows, 0u);
+  EXPECT_EQ(s.replays, 1u);
+  EXPECT_GT(s.checkpoints, 0u);
+  // Bounded replay: the tail can never exceed one checkpoint period.
+  EXPECT_LE(plane.log()->tail_highwater(), PlaneConfig(StateMode::kScr).checkpoint_period);
+}
+
+TEST(StatefulPlaneTest, OwnershipStickyAfterRecovery) {
+  StatefulPlane plane(PlaneConfig(StateMode::kScr), 3);
+  plane.Apply(1, 64, 1);
+  plane.OnNodeDown(1);
+  plane.OnNodeDetectedDown(1);
+  EXPECT_EQ(plane.OwnerOf(1), 2) << "next detected-alive node after 1";
+  plane.OnNodeUp(1);
+  EXPECT_EQ(plane.OwnerOf(1), 2) << "recovery does not claw back ownership";
+  plane.Apply(1, 64, 2);
+  EXPECT_EQ(plane.stats().state_unavailable, 0u);
+}
+
+TEST(StatefulPlaneTest, HandlersExposeModeAndCounters) {
+  StatefulPlane plane(PlaneConfig(StateMode::kScr), 2);
+  telemetry::HandlerRegistry handlers;
+  plane.AddHandlers(&handlers, "cluster.stateful");
+  plane.Apply(1, 64, 1);
+  auto mode = handlers.Read("cluster.stateful.mode");
+  ASSERT_TRUE(mode.ok);
+  EXPECT_EQ(mode.text, "scr");
+  auto flows = handlers.Read("cluster.stateful.flows");
+  ASSERT_TRUE(flows.ok);
+  EXPECT_EQ(flows.text, "1");
+}
+
+}  // namespace
+}  // namespace rb

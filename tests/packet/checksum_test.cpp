@@ -80,5 +80,52 @@ TEST(ChecksumTest, IncrementalUpdateMatchesRecompute) {
   }
 }
 
+// The 32-bit variant is the audited single implementation shared by the
+// injector's template fill and the NAT rewrite path. It must be
+// bit-identical to chaining the 16-bit update over both halves — the
+// byte-equivalence contract that let the injector switch over.
+TEST(ChecksumTest, Update32MatchesChainedUpdate16) {
+  Rng rng(4);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const uint16_t csum = static_cast<uint16_t>(rng.Next());
+    const uint32_t old_field = static_cast<uint32_t>(rng.Next());
+    const uint32_t new_field = static_cast<uint32_t>(rng.Next());
+    uint16_t chained = ChecksumUpdate16(csum, static_cast<uint16_t>(old_field >> 16),
+                                        static_cast<uint16_t>(new_field >> 16));
+    chained = ChecksumUpdate16(chained, static_cast<uint16_t>(old_field),
+                               static_cast<uint16_t>(new_field));
+    EXPECT_EQ(ChecksumUpdate32(csum, old_field, new_field), chained) << "trial " << trial;
+  }
+}
+
+TEST(ChecksumTest, Update32MatchesRecomputeOnAddressRewrite) {
+  // An IP header whose source address gets NAT-rewritten: the
+  // incremental patch must land exactly where a full recompute does.
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint8_t buf[20];
+    for (auto& b : buf) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    buf[10] = buf[11] = 0;
+    uint16_t sum = Checksum(buf, sizeof(buf));
+    buf[10] = static_cast<uint8_t>(sum >> 8);
+    buf[11] = static_cast<uint8_t>(sum);
+
+    const uint32_t old_src = (static_cast<uint32_t>(buf[12]) << 24) |
+                             (static_cast<uint32_t>(buf[13]) << 16) |
+                             (static_cast<uint32_t>(buf[14]) << 8) | buf[15];
+    const uint32_t new_src = static_cast<uint32_t>(rng.Next());
+    buf[12] = static_cast<uint8_t>(new_src >> 24);
+    buf[13] = static_cast<uint8_t>(new_src >> 16);
+    buf[14] = static_cast<uint8_t>(new_src >> 8);
+    buf[15] = static_cast<uint8_t>(new_src);
+    uint16_t updated = ChecksumUpdate32(sum, old_src, new_src);
+    buf[10] = static_cast<uint8_t>(updated >> 8);
+    buf[11] = static_cast<uint8_t>(updated);
+    EXPECT_EQ(Checksum(buf, sizeof(buf)), 0) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace rb

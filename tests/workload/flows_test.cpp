@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <set>
+#include <tuple>
 
 #include "workload/abilene.hpp"
 #include "workload/synthetic.hpp"
@@ -113,6 +116,101 @@ TEST(FlowGenTest, AbileneSizesWork) {
     uint32_t s = gen.Next().spec.size;
     EXPECT_TRUE(s == 64 || s == 576 || s == 1500);
   }
+}
+
+// --- FlowChurnGenerator: the stateful plane's million-flow workload ---
+
+TEST(FlowChurnTest, RampsToTargetThenHoldsUnderChurn) {
+  FlowChurnConfig cfg;
+  cfg.target_flows = 5000;
+  cfg.churn_per_packet = 0.01;
+  cfg.seed = 3;
+  FlowChurnGenerator gen(cfg);
+  for (size_t i = 0; i < cfg.target_flows; ++i) {
+    gen.Next();
+  }
+  EXPECT_EQ(gen.active_flows(), cfg.target_flows);
+  EXPECT_EQ(gen.births(), cfg.target_flows);
+  EXPECT_EQ(gen.deaths(), 0u);
+  for (int i = 0; i < 20000; ++i) {
+    gen.Next();
+  }
+  EXPECT_EQ(gen.active_flows(), cfg.target_flows) << "churn holds the population constant";
+  EXPECT_GT(gen.deaths(), 0u);
+  EXPECT_EQ(gen.births(), cfg.target_flows + gen.deaths()) << "every death births a replacement";
+  // ~1% of 20000 packets churn; allow generous slack.
+  EXPECT_NEAR(static_cast<double>(gen.deaths()), 200.0, 100.0);
+}
+
+TEST(FlowChurnTest, DeterministicUnderSeed) {
+  FlowChurnConfig cfg;
+  cfg.target_flows = 2000;
+  cfg.churn_per_packet = 0.01;
+  cfg.seed = 42;
+  FlowChurnGenerator a(cfg);
+  FlowChurnGenerator b(cfg);
+  for (int i = 0; i < 30000; ++i) {
+    const auto ia = a.Next();
+    const auto ib = b.Next();
+    ASSERT_EQ(ia.flow_id, ib.flow_id) << "packet " << i;
+    ASSERT_TRUE(ia.key == ib.key) << "packet " << i;
+  }
+  cfg.seed = 43;
+  FlowChurnGenerator c(cfg);
+  bool diverged = false;
+  FlowChurnGenerator a2(FlowChurnConfig{cfg.target_flows, cfg.zipf_s, cfg.churn_per_packet, 42});
+  for (int i = 0; i < 30000 && !diverged; ++i) {
+    diverged = a2.Next().flow_id != c.Next().flow_id;
+  }
+  EXPECT_TRUE(diverged) << "different seeds must produce different streams";
+}
+
+TEST(FlowChurnTest, EmissionIsZipfSkewed) {
+  FlowChurnConfig cfg;
+  cfg.target_flows = 10000;
+  cfg.zipf_s = 1.1;
+  cfg.churn_per_packet = 0;  // isolate the emission distribution
+  cfg.seed = 9;
+  FlowChurnGenerator gen(cfg);
+  for (size_t i = 0; i < cfg.target_flows; ++i) {
+    gen.Next();  // ramp
+  }
+  std::map<uint64_t, uint64_t> counts;
+  const int kPackets = 200000;
+  for (int i = 0; i < kPackets; ++i) {
+    counts[gen.Next().flow_id]++;
+  }
+  // Heavy tail: the hottest flow dwarfs the median, and a small head of
+  // flows carries a large share of packets.
+  uint64_t hottest = 0;
+  uint64_t head_packets = 0;
+  std::vector<uint64_t> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [id, n] : counts) {
+    sorted.push_back(n);
+    hottest = std::max(hottest, n);
+  }
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (size_t i = 0; i < sorted.size() / 100; ++i) {
+    head_packets += sorted[i];  // top 1% of flows
+  }
+  EXPECT_GT(hottest, static_cast<uint64_t>(kPackets) / 500)
+      << "an elephant flow must exist";
+  EXPECT_GT(static_cast<double>(head_packets) / kPackets, 0.25)
+      << "top 1% of flows should carry >25% of packets under s=1.1";
+}
+
+TEST(FlowChurnTest, KeysAreDistinctAndDeterministic) {
+  // KeyFor is a pure function: no two of the first 100k flow ids
+  // collide, and the same id always yields the same key.
+  std::set<std::tuple<uint32_t, uint32_t, uint16_t, uint16_t>> seen;
+  for (uint64_t id = 0; id < 100000; ++id) {
+    const FlowKey k = FlowChurnGenerator::KeyFor(id);
+    EXPECT_TRUE(seen.emplace(k.src_ip, k.dst_ip, k.src_port, k.dst_port).second)
+        << "key collision at flow " << id;
+  }
+  const FlowKey again = FlowChurnGenerator::KeyFor(77);
+  EXPECT_TRUE(again == FlowChurnGenerator::KeyFor(77));
 }
 
 }  // namespace

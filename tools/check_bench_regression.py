@@ -7,7 +7,17 @@ Usage:
     check_bench_regression.py --overload OVERLOAD.json
     check_bench_regression.py --latency LATENCY.json
     check_bench_regression.py --compiled-ab AB.json
+    check_bench_regression.py --stateful STATEFUL.json
     check_bench_regression.py --self-test
+
+--stateful validates a bench_stateful JSON dump: schema, required
+fields, and the §17 robustness contract — a full run holds >= 1M
+concurrent flows with zero insert failures and a probe p99 inside the
+bounded window; 2x overload keeps forwarding with watermark eviction
+engaged and drops confined to the flow_table_full bucket; SCR failover
+preserves every established mapping (the shared baseline must not);
+replay stays bounded by the checkpoint period. All machine-independent,
+so no committed baseline.
 
 --compiled-ab validates a bench_fig8_workloads --json dump: on every
 workload, the compiled-classifier pipeline must be no slower than the
@@ -410,6 +420,112 @@ def check_compiled_ab(doc, max_ratio=COMPILED_AB_MAX_RATIO):
     return failures
 
 
+# bench_stateful structural contract (§17): the robustness gates the
+# bench itself enforces, re-checked on the dump so a soak/CI consumer
+# cannot silently run a gutted bench.
+STATEFUL_SCHEMA = "rb.bench_stateful.v1"
+STATEFUL_REQUIRED = ("seed", "smoke", "table", "overload", "ablation", "failover",
+                     "conservation_ok", "checks_failed")
+STATEFUL_TABLE_REQUIRED = ("concurrent_flows", "insert_fail", "evictions", "probe_p99",
+                           "max_probe_buckets", "ns_per_op")
+STATEFUL_OVERLOAD_REQUIRED = ("offered", "forwarded", "evict_watermark", "table_full_drops",
+                              "strict_forwarded", "strict_table_full_drops", "ports_conserved")
+STATEFUL_ABLATION_REQUIRED = ("shared_ns_per_op", "scr_ns_per_op", "scr_overhead_frac",
+                              "replays", "replayed_records", "checkpoint_period",
+                              "replay_bound_ok")
+STATEFUL_FAILOVER_REQUIRED = ("scr_preserved", "shared_preserved", "lost_flows_shared")
+STATEFUL_MIN_FLOWS = 1_000_000  # full-run concurrent-flow floor (--smoke exempt)
+
+
+def check_stateful(doc):
+    """Structural + invariant checks for one bench_stateful JSON document."""
+    failures = []
+    if doc.get("schema") != STATEFUL_SCHEMA:
+        return [f"unexpected schema {doc.get('schema')!r} (want {STATEFUL_SCHEMA!r})"]
+    for key in STATEFUL_REQUIRED:
+        if key not in doc:
+            failures.append(f"required field '{key}' missing")
+    for section, required in (
+        ("table", STATEFUL_TABLE_REQUIRED),
+        ("overload", STATEFUL_OVERLOAD_REQUIRED),
+        ("ablation", STATEFUL_ABLATION_REQUIRED),
+        ("failover", STATEFUL_FAILOVER_REQUIRED),
+    ):
+        body = doc.get(section, {})
+        for key in required:
+            if key not in body:
+                failures.append(f"required field '{section}.{key}' missing")
+    if failures:
+        return failures  # value checks below assume the fields exist
+
+    if doc["conservation_ok"] is not True:
+        failures.append("conservation_ok is not true: the DES leaked or double-counted packets")
+    if doc["checks_failed"] != 0:
+        failures.append(f"bench reported {doc['checks_failed']} failed internal check(s)")
+
+    table = doc["table"]
+    if not doc.get("smoke") and int(table["concurrent_flows"]) < STATEFUL_MIN_FLOWS:
+        failures.append(
+            f"table.concurrent_flows {table['concurrent_flows']} < {STATEFUL_MIN_FLOWS} "
+            "(a full run must hold a million concurrent flows)"
+        )
+    if int(table["insert_fail"]) != 0:
+        failures.append(f"table.insert_fail {table['insert_fail']} != 0 under churn")
+    p99 = int(table["probe_p99"])
+    window = int(table["max_probe_buckets"])
+    if not 1 <= p99 <= window:
+        failures.append(f"table.probe_p99 {p99} outside the bounded window [1, {window}]")
+    if float(table["ns_per_op"]) <= 0:
+        failures.append("table.ns_per_op is not positive")
+
+    ov = doc["overload"]
+    if int(ov["forwarded"]) != int(ov["offered"]):
+        failures.append(
+            f"overload.forwarded {ov['forwarded']} != offered {ov['offered']} "
+            "(eviction policy stopped forwarding under 2x overload)"
+        )
+    if int(ov["evict_watermark"]) <= 0:
+        failures.append("overload.evict_watermark is 0: watermark eviction never engaged")
+    if int(ov["table_full_drops"]) != 0:
+        failures.append(
+            f"overload.table_full_drops {ov['table_full_drops']} != 0 with eviction on"
+        )
+    if int(ov["strict_table_full_drops"]) <= 0:
+        failures.append(
+            "overload.strict_table_full_drops is 0: the strict policy must surface "
+            "overload in the flow_table_full bucket"
+        )
+    if int(ov["strict_forwarded"]) + int(ov["strict_table_full_drops"]) != int(ov["offered"]):
+        failures.append("strict policy: forwarded + flow_table_full drops != offered")
+    if ov["ports_conserved"] is not True:
+        failures.append("overload.ports_conserved is not true: evicted mappings leaked ports")
+
+    abl = doc["ablation"]
+    for key in ("shared_ns_per_op", "scr_ns_per_op"):
+        if float(abl[key]) <= 0:
+            failures.append(f"ablation.{key} is not positive")
+    if abl["replay_bound_ok"] is not True:
+        failures.append(
+            f"ablation replay unbounded: {abl['replayed_records']} records > "
+            f"{abl['replays']} replays x checkpoint_period {abl['checkpoint_period']}"
+        )
+
+    fo = doc["failover"]
+    if float(fo["scr_preserved"]) != 1.0:
+        failures.append(
+            f"failover.scr_preserved {fo['scr_preserved']} != 1.0 "
+            "(SCR must reconstruct every established mapping byte-identically)"
+        )
+    if float(fo["shared_preserved"]) >= 1.0:
+        failures.append(
+            f"failover.shared_preserved {fo['shared_preserved']} >= 1.0 "
+            "(the shared baseline must demonstrably lose the dead node's flows)"
+        )
+    if int(fo["lost_flows_shared"]) <= 0:
+        failures.append("failover.lost_flows_shared is 0 (nothing was at stake)")
+    return failures
+
+
 def load_json(path):
     try:
         with open(path) as f:
@@ -673,7 +789,99 @@ def self_test():
     f = check_compiled_ab(zeroed)
     assert any("non-positive" in x for x in f), f"zero cycles/packet not caught: {f}"
 
-    print("self-test: 39/39 checks passed")
+    # 11. bench_stateful structural checks: a healthy dump passes; each
+    # broken robustness gate fails.
+    stateful = {
+        "schema": STATEFUL_SCHEMA,
+        "seed": 11,
+        "smoke": False,
+        "table": {
+            "concurrent_flows": 1049349,
+            "ops": 5242880,
+            "insert_fail": 0,
+            "evictions": 582,
+            "probe_p99": 3,
+            "max_probe_buckets": 8,
+            "load_factor": 0.5,
+            "ns_per_op": 180.9,
+        },
+        "overload": {
+            "offered": 8192,
+            "forwarded": 8192,
+            "evict_watermark": 4546,
+            "table_full_drops": 0,
+            "strict_forwarded": 4096,
+            "strict_table_full_drops": 4096,
+            "ports_conserved": True,
+        },
+        "ablation": {
+            "shared_ns_per_op": 36.2,
+            "scr_ns_per_op": 47.7,
+            "scr_overhead_frac": 0.317,
+            "replay_ms": 0.17,
+            "replays": 1,
+            "replayed_records": 4096,
+            "checkpoint_period": 4096,
+            "replay_bound_ok": True,
+        },
+        "failover": {
+            "scr_preserved": 1.0,
+            "shared_preserved": 0.75,
+            "lost_flows_shared": 16,
+            "state_unavailable": 0,
+        },
+        "conservation_ok": True,
+        "checks_failed": 0,
+    }
+    assert not check_stateful(stateful), f"healthy stateful dump flagged: {check_stateful(stateful)}"
+    # The million-flow floor binds on full runs and is waived for --smoke.
+    small = json.loads(json.dumps(stateful))
+    small["table"]["concurrent_flows"] = 32814
+    f = check_stateful(small)
+    assert any("concurrent_flows" in x for x in f), f"under-populated table not caught: {f}"
+    small["smoke"] = True
+    assert not check_stateful(small), f"smoke run held to the full floor: {check_stateful(small)}"
+    failed_insert = json.loads(json.dumps(stateful))
+    failed_insert["table"]["insert_fail"] = 12
+    f = check_stateful(failed_insert)
+    assert any("insert_fail" in x for x in f), f"insert failures not caught: {f}"
+    long_probe = json.loads(json.dumps(stateful))
+    long_probe["table"]["probe_p99"] = 9
+    f = check_stateful(long_probe)
+    assert any("probe_p99" in x for x in f), f"unbounded probe not caught: {f}"
+    stalled = json.loads(json.dumps(stateful))
+    stalled["overload"]["forwarded"] = 6000
+    f = check_stateful(stalled)
+    assert any("stopped forwarding" in x for x in f), f"forwarding stall not caught: {f}"
+    no_evict = json.loads(json.dumps(stateful))
+    no_evict["overload"]["evict_watermark"] = 0
+    f = check_stateful(no_evict)
+    assert any("never engaged" in x for x in f), f"missing watermark eviction not caught: {f}"
+    leaky_ports = json.loads(json.dumps(stateful))
+    leaky_ports["overload"]["ports_conserved"] = False
+    f = check_stateful(leaky_ports)
+    assert any("leaked ports" in x for x in f), f"port leak not caught: {f}"
+    lossy_scr = json.loads(json.dumps(stateful))
+    lossy_scr["failover"]["scr_preserved"] = 0.94
+    f = check_stateful(lossy_scr)
+    assert any("scr_preserved" in x for x in f), f"lossy SCR failover not caught: {f}"
+    too_good = json.loads(json.dumps(stateful))
+    too_good["failover"]["shared_preserved"] = 1.0
+    too_good["failover"]["lost_flows_shared"] = 0
+    f = check_stateful(too_good)
+    assert any("shared_preserved" in x for x in f), f"lossless shared baseline not caught: {f}"
+    unbounded = json.loads(json.dumps(stateful))
+    unbounded["ablation"]["replay_bound_ok"] = False
+    f = check_stateful(unbounded)
+    assert any("replay unbounded" in x for x in f), f"unbounded replay not caught: {f}"
+    gutted_st = json.loads(json.dumps(stateful))
+    del gutted_st["overload"]["strict_table_full_drops"]
+    f = check_stateful(gutted_st)
+    assert any("strict_table_full_drops" in x for x in f), f"missing stateful field not caught: {f}"
+    f = check_stateful({"schema": "rb.bench_overload.v1"})
+    assert any("schema" in x for x in f), f"wrong stateful schema not caught: {f}"
+
+    print("self-test: 52/52 checks passed")
     return 0
 
 
@@ -718,6 +926,11 @@ def main():
         metavar="FILE",
         help="validate a bench_fig8 compiled-vs-interpreted A/B JSON dump and exit",
     )
+    ap.add_argument(
+        "--stateful",
+        metavar="FILE",
+        help="validate a bench_stateful JSON dump structurally and exit",
+    )
     args = ap.parse_args()
 
     if args.self_test:
@@ -749,6 +962,15 @@ def main():
             return 1
         print(f"{args.compiled_ab}: compiled classifiers no slower than interpreted "
               f"(x{COMPILED_AB_MAX_RATIO:.2f} gate) on every workload")
+        return 0
+    if args.stateful:
+        failures = check_stateful(load_json(args.stateful))
+        if failures:
+            print(f"{len(failures)} problem(s) in {args.stateful}:")
+            for line in failures:
+                print(f"  FAIL: {line}")
+            return 1
+        print(f"{args.stateful}: bench_stateful structure and §17 robustness contract ok")
         return 0
     if not args.baseline or not args.current:
         ap.error("--baseline and --current are required (or use --self-test)")

@@ -7,7 +7,9 @@ Starts ip_router serving a Unix control socket, then over that socket:
   2. READ a queue's occupancy/capacity while traffic flows
   3. WRITE <queue>.codel_target_us mid-run and read the change back
      (the acceptance-criteria round trip)
-  4. WRITE tracer.sample_every and read it back
+  4. WRITE tracer.sample_every and read it back; READ a Nat element's
+     .flows/.occupancy while traffic flows (the router runs --stateful)
+     and retune its .lo/.hi eviction watermarks live
   5. GET /metrics — validated with check_prometheus.py
   6. GET /metrics.json — must parse as JSON
   7. rb_top --once against the same socket renders a frame
@@ -102,7 +104,7 @@ def main():
     sock_path = os.path.join(tmp, "ctl.sock")
     proc = subprocess.Popen(
         [args.router, "--control-socket", sock_path, "--packets", "20000",
-         "--routes", str(64 * 1024)],
+         "--routes", str(64 * 1024), "--stateful"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
     try:
         deadline = time.time() + 30
@@ -123,7 +125,11 @@ def main():
         status, listing = c.command("LIST")
         check(status.startswith("200 DATA"), f"LIST answers framed data ({status})")
         paths = [line.split()[-1] for line in listing.splitlines() if " " in line]
-        queues = sorted(p[: -len(".occupancy")] for p in paths if p.endswith(".occupancy"))
+        # Flow tables alias `.occupancy` too — key queues on `.codel_target_us`
+        # (only real queues carry the CoDel knob) and stateful tables on `.flows`.
+        nats = sorted(p[: -len(".flows")] for p in paths if p.endswith(".flows"))
+        queues = sorted(p[: -len(".codel_target_us")] for p in paths
+                        if p.endswith(".codel_target_us"))
         check(len(queues) > 0, f"LIST exposes queue handlers ({len(queues)} queues)")
         for want in ("tracer.sample_every", "ctl.stop", "ctl.status", "fr.recorded",
                      "router.elements"):
@@ -158,6 +164,28 @@ def main():
         check(status.startswith("200"), "WRITE tracer.sample_every 16")
         status, se = c.command("READ tracer.sample_every")
         check(se.strip() == "16", f"tracer.sample_every reads back 16 (got {se.strip()!r})")
+
+        # Stateful plane (DESIGN.md §17): the router runs --stateful, so
+        # every chain's Nat publishes its flow table. Read the live table,
+        # then retune the eviction watermarks mid-run (lo before hi — the
+        # table rejects any write that breaks 0 < lo < hi <= 1).
+        check(len(nats) > 0, f"LIST exposes stateful .flows handlers ({len(nats)} tables)")
+        nat = nats[0]
+        status, flows = c.command(f"READ {nat}.flows")
+        check(status.startswith("200 DATA") and flows.strip().isdigit(),
+              f"READ {nat}.flows -> {flows.strip()!r}")
+        status, cap = c.command(f"READ {nat}.capacity")
+        check(status.startswith("200 DATA") and int(cap) > 0,
+              f"READ {nat}.capacity -> {cap.strip()!r}")
+        status, _ = c.command(f"WRITE {nat}.lo 0.40")
+        check(status.startswith("200"), f"WRITE {nat}.lo 0.40 ({status})")
+        status, _ = c.command(f"WRITE {nat}.hi 0.60")
+        check(status.startswith("200"), f"WRITE {nat}.hi 0.60 ({status})")
+        status, hi = c.command(f"READ {nat}.hi")
+        check(status.startswith("200 DATA") and abs(float(hi) - 0.60) < 1e-6,
+              f"watermark retune reads back ({hi.strip()!r})")
+        status, _ = c.command(f"WRITE {nat}.hi 0.20")
+        check(status.startswith("540"), f"WRITE {nat}.hi below .lo -> 540 ({status})")
 
         # Error paths return protocol errors, not hangs.
         status, _ = c.command("READ no.such.handler")

@@ -24,6 +24,19 @@
 // of poll/drain, and check exact packet conservation plus a leak-free
 // pool (in_use() == 0 once everything is drained).
 //
+// Stateful episodes (DESIGN.md §17) come in two flavors. NAT episodes
+// drive a randomized Nat (capacity, watermarks, eviction policy, idle
+// timeout, live watermark retunes) with heavy churn plus stray inbound
+// replies, and check flow-count conservation (occupancy == inserts -
+// evictions - erases), port conservation (mappings == occupancy — a
+// double-eviction would double-free a port and break this), exact
+// packet accounting across the drop buckets, and a leak-free pool.
+// Plane episodes drive a StatefulPlane twin-run (same Apply sequence,
+// one run with a random mid-run node kill): SCR mode must end with a
+// byte-identical mapping snapshot and a replay tail bounded by the
+// checkpoint period; the shared baseline must lose exactly the dead
+// node's flows and nothing else.
+//
 // Exit status: 0 iff no invariant was violated.
 #include <cmath>
 #include <cstdio>
@@ -35,9 +48,13 @@
 #include <vector>
 
 #include "click/elements/from_device.hpp"
+#include "click/elements/nat.hpp"
 #include "click/elements/queue.hpp"
 #include "click/elements/to_device.hpp"
 #include "click/router.hpp"
+#include "flow/stateful_plane.hpp"
+#include "telemetry/handler.hpp"
+#include "workload/flows.hpp"
 #include "cluster/des.hpp"
 #include "cluster/failure.hpp"
 #include "common/flags.hpp"
@@ -386,6 +403,257 @@ void RunGraphEpisode(uint64_t seed, int episode, bool verbose) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Stateful episodes (DESIGN.md §17)
+// ---------------------------------------------------------------------
+
+// Sink that counts and recycles everything a Nat output pushes.
+class CountingSink : public rb::Element {
+ public:
+  explicit CountingSink(rb::PacketPool* pool) : Element(1, 0), pool_(pool) {}
+  const char* class_name() const override { return "CountingSink"; }
+  void Push(int, rb::Packet* p) override {
+    count++;
+    pool_->Free(p);
+  }
+  uint64_t count = 0;
+
+ private:
+  rb::PacketPool* pool_;
+};
+
+// NAT flavor: randomized table shape + churn overload + stray replies.
+void RunNatChaosEpisode(uint64_t seed, int episode, bool verbose) {
+  rb::Rng rng(seed * 6364136223846793005ULL + static_cast<uint64_t>(episode) * 104729ULL + 9);
+
+  rb::NatOptions opt;
+  const size_t kCaps[] = {64, 256, 1024};
+  opt.capacity = kCaps[rng.NextBounded(3)];
+  opt.hi_watermark = 0.5 + rng.NextDouble() * 0.4;
+  opt.lo_watermark = opt.hi_watermark * (0.3 + rng.NextDouble() * 0.5);
+  opt.evict_on_full = rng.NextDouble() < 0.7;
+  if (!opt.evict_on_full && rng.NextDouble() < 0.5) {
+    opt.hi_watermark = 1.0;  // strict table: drops, never eviction
+    opt.lo_watermark = 0.5;
+  }
+  opt.idle_timeout_ms = rng.NextDouble() < 0.3 ? 1 + rng.NextBounded(50) : 0;
+
+  rb::Router r;
+  rb::PacketPool pool(2048);
+  auto* nat = r.Add<rb::Nat>(opt);
+  auto* out = r.Add<CountingSink>(&pool);
+  auto* in = r.Add<CountingSink>(&pool);
+  r.Connect(nat, 0, out, 0);
+  r.Connect(nat, 1, in, 0);
+  r.Initialize();
+  nat->set_clock(&FakeClock);
+  rb::telemetry::HandlerRegistry handlers;
+  nat->AddHandlers(&handlers);
+
+  rb::FlowChurnConfig wcfg;
+  wcfg.target_flows = opt.capacity * (1 + rng.NextBounded(6));
+  wcfg.churn_per_packet = 0.01 * rng.NextDouble();
+  wcfg.seed = seed + static_cast<uint64_t>(episode) * 31ULL;
+  rb::FlowChurnGenerator gen(wcfg);
+
+  if (verbose) {
+    std::printf("nat episode %d: cap=%zu hi=%.2f lo=%.2f evict=%d idle=%ums flows=%zu\n",
+                episode, opt.capacity, opt.hi_watermark, opt.lo_watermark,
+                opt.evict_on_full ? 1 : 0, opt.idle_timeout_ms, wcfg.target_flows);
+  }
+
+  uint64_t injected = 0;
+  const int batches = 100 + static_cast<int>(rng.NextBounded(200));
+  for (int b = 0; b < batches; ++b) {
+    g_fake_now += rng.NextDouble() * 5e-3;  // ms-scale ticks for idle/LRU
+    rb::PacketBatch batch;
+    const uint32_t k = 1 + rng.NextBounded(32);
+    for (uint32_t i = 0; i < k; ++i) {
+      rb::FrameSpec spec;
+      spec.size = 64;
+      spec.flow = gen.Next().key;
+      rb::Packet* p = rb::AllocFrame(spec, &pool);
+      if (p == nullptr) {
+        break;
+      }
+      batch.PushBack(p);
+      injected++;
+    }
+    nat->PushBatch(0, batch);
+
+    if (rng.NextDouble() < 0.3) {
+      // Stray replies: some ports hold live mappings, some never will.
+      rb::PacketBatch replies;
+      const uint32_t n = 1 + rng.NextBounded(8);
+      for (uint32_t i = 0; i < n; ++i) {
+        rb::FrameSpec spec;
+        spec.size = 64;
+        const uint16_t port = static_cast<uint16_t>(
+            opt.base_port + rng.NextBounded(static_cast<uint32_t>(opt.capacity) + 64));
+        spec.flow = rb::FlowKey{0x08080808u, opt.external_ip, 53, port, 17};
+        rb::Packet* p = rb::AllocFrame(spec, &pool);
+        if (p == nullptr) {
+          break;
+        }
+        replies.PushBack(p);
+        injected++;
+      }
+      nat->PushBatch(1, replies);
+    }
+    if (rng.NextDouble() < 0.05) {
+      // Live watermark retune mid-flight must never corrupt the table.
+      const double hi = 0.5 + rng.NextDouble() * 0.5;
+      const double lo = hi * 0.5;
+      handlers.Write("nat.lo", rb::Format("%.3f", lo));
+      handlers.Write("nat.hi", rb::Format("%.3f", hi));
+    }
+  }
+
+  const rb::FlowTableStats s = nat->table().stats();
+  const uint64_t accounted = out->count + in->count + nat->table_full_drops() +
+                             nat->no_mapping_drops() + nat->malformed_drops();
+  Check(injected == accounted,
+        rb::Format("nat episode %d: injected %llu != forwarded+dropped %llu", episode,
+                   static_cast<unsigned long long>(injected),
+                   static_cast<unsigned long long>(accounted)));
+  Check(nat->table().occupancy() == s.inserts - s.evictions() - s.erases,
+        rb::Format("nat episode %d: flow-count conservation broke (occ %zu, inserts %llu, "
+                   "evictions %llu, erases %llu)",
+                   episode, nat->table().occupancy(),
+                   static_cast<unsigned long long>(s.inserts),
+                   static_cast<unsigned long long>(s.evictions()),
+                   static_cast<unsigned long long>(s.erases)));
+  Check(nat->mappings_in_use() == nat->table().occupancy(),
+        rb::Format("nat episode %d: %zu mappings vs %zu occupancy (double-eviction or "
+                   "port leak)",
+                   episode, nat->mappings_in_use(), nat->table().occupancy()));
+  Check(nat->table().occupancy() <= nat->table().capacity_slots(),
+        rb::Format("nat episode %d: occupancy above capacity", episode));
+  Check(pool.in_use() == 0,
+        rb::Format("nat episode %d: %zu packets leaked (pool still charged)", episode,
+                   pool.in_use()));
+  if (verbose) {
+    std::printf("nat episode %d: injected %llu out %llu in %llu evict %llu full %llu "
+                "no_map %llu occ %zu\n",
+                episode, static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(out->count),
+                static_cast<unsigned long long>(in->count),
+                static_cast<unsigned long long>(s.evictions()),
+                static_cast<unsigned long long>(nat->table_full_drops()),
+                static_cast<unsigned long long>(nat->no_mapping_drops()),
+                nat->table().occupancy());
+  }
+}
+
+// Plane flavor: twin runs over an identical Apply sequence, one with a
+// random mid-run node kill. SCR must reconstruct byte-identical
+// mappings; shared must lose exactly the dead node's flows.
+void RunPlaneChaosEpisode(uint64_t seed, int episode, bool verbose) {
+  rb::Rng rng(seed ^ (0x2545f4914f6cdd1dULL * static_cast<uint64_t>(episode + 11)));
+  const int nodes = 2 + static_cast<int>(rng.NextBounded(7));
+  const uint64_t flows = 8 + rng.NextBounded(120);
+  const int dead = static_cast<int>(rng.NextBounded(static_cast<uint32_t>(nodes)));
+
+  rb::StatefulPlaneConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity_per_node = 1 << 10;
+  cfg.checkpoint_period = size_t{8} << rng.NextBounded(5);
+
+  // One shared Apply sequence: round 0 establishes every flow, later
+  // rounds revisit them in random order with random repeats.
+  struct Op {
+    uint64_t flow;
+    uint32_t bytes;
+    uint32_t tick;
+  };
+  std::vector<Op> before_kill;
+  std::vector<Op> after_kill;
+  uint32_t tick = 0;
+  for (uint64_t f = 0; f < flows; ++f) {
+    before_kill.push_back({f, static_cast<uint32_t>(64 + rng.NextBounded(1400)), tick++});
+  }
+  const int pre_rounds = static_cast<int>(rng.NextBounded(3));
+  for (int rd = 0; rd < pre_rounds; ++rd) {
+    for (uint64_t f = 0; f < flows; ++f) {
+      if (rng.NextDouble() < 0.6) {
+        before_kill.push_back({f, static_cast<uint32_t>(64 + rng.NextBounded(1400)), tick++});
+      }
+    }
+  }
+  const int post_rounds = 1 + static_cast<int>(rng.NextBounded(3));
+  for (int rd = 0; rd < post_rounds; ++rd) {
+    for (uint64_t f = 0; f < flows; ++f) {
+      if (rng.NextDouble() < 0.7) {
+        after_kill.push_back({f, static_cast<uint32_t>(64 + rng.NextBounded(1400)), tick++});
+      }
+    }
+  }
+
+  for (const rb::StateMode mode : {rb::StateMode::kScr, rb::StateMode::kShared}) {
+    cfg.mode = mode;
+    rb::StatefulPlane base(cfg, nodes);
+    rb::StatefulPlane fail(cfg, nodes);
+    for (const Op& op : before_kill) {
+      base.Apply(op.flow, op.bytes, op.tick);
+      fail.Apply(op.flow, op.bytes, op.tick);
+    }
+    fail.OnNodeDown(dead);
+    fail.OnNodeDetectedDown(dead);
+    if (rng.NextDouble() < 0.4) {
+      fail.OnNodeUp(dead);  // recovery: ownership is sticky, state stays put
+    }
+    for (const Op& op : after_kill) {
+      base.Apply(op.flow, op.bytes, op.tick);
+      fail.Apply(op.flow, op.bytes, op.tick);
+    }
+
+    const auto base_map = base.MappingSnapshot();
+    const auto fail_map = fail.MappingSnapshot();
+    const rb::StatefulPlaneStats fs = fail.stats();
+    const char* mname = mode == rb::StateMode::kScr ? "scr" : "shared";
+    Check(base_map.size() == flows,
+          rb::Format("plane episode %d (%s): baseline holds %zu of %llu flows", episode,
+                     mname, base_map.size(), static_cast<unsigned long long>(flows)));
+    if (mode == rb::StateMode::kScr) {
+      Check(base_map == fail_map,
+            rb::Format("plane episode %d: SCR failover mappings diverged from baseline "
+                       "(nodes %d, dead %d, checkpoint %zu)",
+                       episode, nodes, dead, cfg.checkpoint_period));
+      Check(fs.lost_flows == 0,
+            rb::Format("plane episode %d: SCR lost %llu flows", episode,
+                       static_cast<unsigned long long>(fs.lost_flows)));
+      Check(fs.replayed_records <= fs.replays * cfg.checkpoint_period,
+            rb::Format("plane episode %d: replay tail unbounded (%llu records, %llu "
+                       "replays, period %zu)",
+                       episode, static_cast<unsigned long long>(fs.replayed_records),
+                       static_cast<unsigned long long>(fs.replays), cfg.checkpoint_period));
+    } else {
+      // Shared: exactly the dead node's re-applied flows re-mapped; every
+      // other flow untouched.
+      for (const auto& [flow, mapping] : base_map) {
+        const int home = static_cast<int>(flow % static_cast<uint64_t>(nodes));
+        auto it = fail_map.find(flow);
+        if (home != dead) {
+          Check(it != fail_map.end() && it->second == mapping,
+                rb::Format("plane episode %d: shared failover disturbed flow %llu homed "
+                           "at live node %d",
+                           episode, static_cast<unsigned long long>(flow), home));
+        } else {
+          Check(it == fail_map.end() || it->second != mapping,
+                rb::Format("plane episode %d: flow %llu kept its mapping through a "
+                           "shared-mode kill of node %d",
+                           episode, static_cast<unsigned long long>(flow), dead));
+        }
+      }
+    }
+  }
+  if (verbose) {
+    std::printf("plane episode %d: nodes=%d flows=%llu dead=%d period=%zu ops=%zu+%zu\n",
+                episode, nodes, static_cast<unsigned long long>(flows), dead,
+                cfg.checkpoint_period, before_kill.size(), after_kill.size());
+  }
+}
+
 // Registry counters must never decrease across episode snapshots.
 void CheckMonotone(const rb::telemetry::RegistrySnapshot& prev,
                    const rb::telemetry::RegistrySnapshot& cur, int episode) {
@@ -413,6 +681,8 @@ int main(int argc, char** argv) {
   auto* seed = flags.AddInt64("seed", 1, "master seed (printed; reuse to replay)");
   auto* episodes = flags.AddInt64("episodes", 6, "DES episodes");
   auto* graph_episodes = flags.AddInt64("graph-episodes", 6, "element-graph episodes");
+  auto* stateful_episodes =
+      flags.AddInt64("stateful-episodes", 6, "stateful NAT + SCR-plane episodes");
   auto* duration = flags.AddDouble("duration", 0.02, "simulated seconds per DES episode");
   auto* smoke = flags.AddBool("smoke", false, "fixed small preset for CI (<5s)");
   auto* verbose = flags.AddBool("verbose", false, "per-episode detail");
@@ -432,12 +702,16 @@ int main(int argc, char** argv) {
   if (*smoke) {
     *episodes = 4;
     *graph_episodes = 3;
+    *stateful_episodes = 4;
     *duration = 0.006;
   }
 
-  std::printf("rb_chaos seed=%llu episodes=%lld graph-episodes=%lld duration=%.4fs\n",
-              static_cast<unsigned long long>(*seed), static_cast<long long>(*episodes),
-              static_cast<long long>(*graph_episodes), *duration);
+  std::printf(
+      "rb_chaos seed=%llu episodes=%lld graph-episodes=%lld stateful-episodes=%lld "
+      "duration=%.4fs\n",
+      static_cast<unsigned long long>(*seed), static_cast<long long>(*episodes),
+      static_cast<long long>(*graph_episodes), static_cast<long long>(*stateful_episodes),
+      *duration);
 
   rb::telemetry::RegistrySnapshot prev = rb::telemetry::MetricRegistry::Global().Snapshot();
   for (int e = 0; e < *episodes; ++e) {
@@ -449,6 +723,14 @@ int main(int argc, char** argv) {
   for (int e = 0; e < *graph_episodes; ++e) {
     RunGraphEpisode(static_cast<uint64_t>(*seed), e, *verbose);
   }
+  for (int e = 0; e < *stateful_episodes; ++e) {
+    // Alternate flavors: even = NAT table chaos, odd = SCR-plane twins.
+    if ((e % 2) == 0) {
+      RunNatChaosEpisode(static_cast<uint64_t>(*seed), e, *verbose);
+    } else {
+      RunPlaneChaosEpisode(static_cast<uint64_t>(*seed), e, *verbose);
+    }
+  }
 
   if (!flight_dump->empty()) {
     if (recorder.DumpToFile(*flight_dump)) {
@@ -459,9 +741,11 @@ int main(int argc, char** argv) {
     }
   }
   if (g_violations == 0) {
-    std::printf("rb_chaos OK: %lld DES + %lld graph episodes, 0 violations (seed %llu)\n",
-                static_cast<long long>(*episodes), static_cast<long long>(*graph_episodes),
-                static_cast<unsigned long long>(*seed));
+    std::printf(
+        "rb_chaos OK: %lld DES + %lld graph + %lld stateful episodes, 0 violations "
+        "(seed %llu)\n",
+        static_cast<long long>(*episodes), static_cast<long long>(*graph_episodes),
+        static_cast<long long>(*stateful_episodes), static_cast<unsigned long long>(*seed));
     rb::telemetry::FlightRecorder::Install(nullptr);
     return 0;
   }

@@ -189,6 +189,7 @@ struct ElementRow {
   double count_rate = 0;  // per second, since last frame
   uint64_t drop_delta = 0;
   bool compiled = false;  // element also exports .program (a compiled classifier)
+  bool stateful = false;  // element also exports .flows (a per-flow state table)
 };
 
 uint64_t ParseU64(const std::string& s) { return std::strtoull(s.c_str(), nullptr, 10); }
@@ -278,6 +279,7 @@ int main(int argc, char** argv) {
   std::vector<LatencyRow> latencies;
   std::vector<std::string> wait_paths;
   std::vector<std::string> program_paths;
+  std::vector<std::string> flows_paths;
   bool have_cluster = false;
   bool have_fr = false;
   bool have_sched = false;
@@ -302,6 +304,8 @@ int main(int argc, char** argv) {
       wait_paths.push_back(path.substr(0, path.size() - 8));
     } else if (path.size() > 8 && path.rfind(".program") == path.size() - 8) {
       program_paths.push_back(path.substr(0, path.size() - 8));
+    } else if (path.size() > 6 && path.rfind(".flows") == path.size() - 6) {
+      flows_paths.push_back(path.substr(0, path.size() - 6));
     } else if (path == "cluster.node_loads") {
       have_cluster = true;
     } else if (path == "fr.recorded") {
@@ -314,6 +318,11 @@ int main(int argc, char** argv) {
     for (const std::string& p : program_paths) {
       if (p == e.name) {
         e.compiled = true;  // runs a collapsed match program (DESIGN.md §16)
+      }
+    }
+    for (const std::string& p : flows_paths) {
+      if (p == e.name) {
+        e.stateful = true;  // carries a per-flow state table (DESIGN.md §17)
       }
     }
   }
@@ -400,10 +409,11 @@ int main(int argc, char** argv) {
       if (e.counts == 0 && e.drops == 0) {
         continue;  // keep the screen to elements that saw traffic
       }
-      std::printf("  %-40s %11llu %11.0f %9llu%s\n", e.name.c_str(),
+      std::printf("  %-40s %11llu %11.0f %9llu%s%s\n", e.name.c_str(),
                   static_cast<unsigned long long>(e.counts), e.count_rate,
                   static_cast<unsigned long long>(e.drop_delta),
-                  e.compiled ? " [compiled]" : "");
+                  e.compiled ? " [compiled]" : "",
+                  e.stateful ? " [stateful]" : "");
     }
     if (!latencies.empty()) {
       // Ingress-to-egress percentiles from the always-on latency plane

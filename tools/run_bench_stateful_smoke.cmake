@@ -1,0 +1,12 @@
+# ctest driver for the bench_stateful smoke gate: run the bench, then the
+# invariant checker over its JSON dump. Two steps in one test so tier-1
+# fails when either the bench's own Check() gates or the checker's
+# robustness-contract validation trips.
+execute_process(COMMAND ${BENCH} --smoke --json=${OUT} RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_stateful --smoke failed (rc=${bench_rc})")
+endif()
+execute_process(COMMAND ${PYTHON} ${CHECKER} --stateful ${OUT} RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "check_bench_regression --stateful failed (rc=${check_rc})")
+endif()
